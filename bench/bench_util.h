@@ -1,0 +1,48 @@
+// Shared infrastructure for the experiment harness.
+//
+// Every bench binary regenerates one table or figure of the paper's §VI.
+// Row counts follow the paper's axes scaled by the SCWSC_BENCH_SCALE
+// environment variable (default chosen so the full suite completes in a few
+// minutes on a laptop); shapes — who wins, by what factor, where crossovers
+// fall — are scale-stable, which is what EXPERIMENTS.md records.
+
+#ifndef SCWSC_BENCH_BENCH_UTIL_H_
+#define SCWSC_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/gen/lbl_synth.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace bench {
+
+/// SCWSC_BENCH_SCALE (float, default 0.1): multiplies every paper row-count
+/// axis. 1.0 reproduces the paper's 700k-row ceiling.
+double ScaleFactor();
+
+/// paper_rows * ScaleFactor(), at least 1000.
+std::size_t ScaledRows(std::size_t paper_rows);
+
+/// The base synthetic LBL-like trace used across benches (deterministic).
+Table MakeTrace(std::size_t rows, std::uint64_t seed = 42);
+
+/// Prints the experiment banner: id, paper artifact, scale note.
+void PrintBanner(const std::string& experiment_id,
+                 const std::string& paper_artifact);
+
+/// Prints a row of "name=value" pairs in a stable aligned format followed
+/// by a machine-greppable CSV line ("#csv,<exp>,<v1>,<v2>,...").
+void PrintCsvRow(const std::string& experiment_id,
+                 const std::vector<std::string>& values);
+
+/// Formats seconds with 3 decimals.
+std::string Secs(double seconds);
+
+}  // namespace bench
+}  // namespace scwsc
+
+#endif  // SCWSC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+// EXP-RW — §III: the budgeted-max-coverage greedy [11] has arbitrarily poor
+// coverage on the constructed instance, even when allowed c·k sets, while
+// the optimum (and CWSC) reach 100% with k sets.
+//
+// Elements {1..C·k}; c·k singletons of weight 1; k blocks of C elements of
+// weight C+1. Budgeted greedy prefers the singletons (gain 1 > C/(C+1)).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+#include "src/core/baselines.h"
+#include "src/core/cwsc.h"
+#include "src/core/instances.h"
+
+int main() {
+  using namespace scwsc;
+  using namespace scwsc::bench;
+
+  PrintBanner("EXP-RW", "§III counterexample vs budgeted max coverage");
+  std::printf("%6s %4s %4s %10s %18s %14s %14s\n", "C", "c", "k", "universe",
+              "budgeted coverage", "CWSC coverage", "opt coverage");
+
+  const std::size_t c = 3;
+  const std::size_t k = 10;
+  for (std::size_t C : {10u, 50u, 100u, 500u}) {
+    CounterexampleSpec spec;
+    spec.big_set_size = C;
+    spec.small_set_multiplier = c;
+    spec.k = k;
+    auto system = MakeBudgetedCounterexample(spec);
+    SCWSC_CHECK(system.ok(), "construction failed");
+
+    const double opt_cost = double(k) * (double(C) + 1.0);
+    BudgetedMaxCoverageOptions bmc;
+    bmc.budget = opt_cost;
+    bmc.max_sets = c * k;
+    auto greedy = RunBudgetedMaxCoverage(*system, bmc);
+    SCWSC_CHECK(greedy.ok(), "budgeted greedy failed");
+
+    auto cwsc = RunCwsc(*system, {k, 1.0});
+    SCWSC_CHECK(cwsc.ok(), "CWSC failed");
+
+    std::printf("%6zu %4zu %4zu %10zu %12zu (%3.0f%%) %8zu (%3.0f%%) %14zu\n",
+                C, c, k, system->num_elements(), greedy->covered,
+                100.0 * double(greedy->covered) /
+                    double(system->num_elements()),
+                cwsc->covered,
+                100.0 * double(cwsc->covered) / double(system->num_elements()),
+                system->num_elements());
+    PrintCsvRow("exp_iii",
+                {std::to_string(C), std::to_string(greedy->covered),
+                 std::to_string(cwsc->covered),
+                 std::to_string(system->num_elements())});
+  }
+  std::printf(
+      "\nThe budgeted greedy covers only c*k = %zu elements regardless of C;\n"
+      "its coverage ratio vs the optimum decays as 1/C (arbitrarily poor).\n",
+      c * k);
+  return 0;
+}

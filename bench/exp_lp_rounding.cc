@@ -1,0 +1,71 @@
+// EXP-LP — §III's relax-and-round approach, made concrete.
+//
+// The paper's related-work discussion notes that solving the natural LP
+// relaxation and rounding "may violate the cardinality constraint by more
+// than a (1 + ε) factor unless k is large". This bench solves the exact
+// relaxation (own two-phase simplex, src/lp) on small trace samples and
+// reports, per k: the certified LP lower bound, CWSC's cost (and its
+// certified gap), the rounded solution's cost, and the cardinality
+// violation — which shrinks as k grows, exactly the §III caveat.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/core/cwsc.h"
+#include "src/lp/lp_rounding.h"
+#include "src/pattern/pattern_system.h"
+
+int main() {
+  using namespace scwsc;
+  using namespace scwsc::bench;
+
+  PrintBanner("EXP-LP", "§III: LP relaxation, rounding, and the k-violation");
+  std::printf("%4s %12s %12s %10s %12s %12s %10s\n", "k", "LP bound",
+              "CWSC", "CWSC/LP", "rounded", "|S|", "violation");
+
+  // Small sample: the dense simplex is O((m+n)^3)-ish.
+  Table big = MakeTrace(ScaledRows(700'000));
+  Rng rng(303);
+  Table sampled = big.Sample(60, rng);
+  auto projected = sampled.ProjectAttributes({0, 3, 4});
+  SCWSC_CHECK(projected.ok(), "projection failed");
+  auto system = pattern::PatternSystem::Build(
+      *projected, pattern::CostFunction(pattern::CostKind::kMax));
+  SCWSC_CHECK(system.ok(), "enumeration failed");
+
+  const double fraction = 0.5;
+  for (std::size_t k : {2u, 4u, 8u, 16u, 32u}) {
+    auto greedy = RunCwsc(system->set_system(), {k, fraction});
+    SCWSC_CHECK(greedy.ok(), "CWSC failed");
+
+    lp::LpScwscOptions opts;
+    opts.k = k;
+    opts.coverage_fraction = fraction;
+    opts.trials = 64;
+    auto rounded = lp::SolveByLpRounding(system->set_system(), opts);
+    SCWSC_CHECK(rounded.ok(), "LP rounding failed");
+
+    const double gap = rounded->lp_lower_bound > 0
+                           ? greedy->total_cost / rounded->lp_lower_bound
+                           : 1.0;
+    std::printf("%4zu %12s %12s %9.2fx %12s %12zu %10zu\n", k,
+                FormatNumber(rounded->lp_lower_bound, 5).c_str(),
+                FormatNumber(greedy->total_cost, 5).c_str(), gap,
+                FormatNumber(rounded->solution.total_cost, 5).c_str(),
+                rounded->solution.sets.size(),
+                rounded->cardinality_violation);
+    PrintCsvRow("exp_lp", {std::to_string(k),
+                           FormatNumber(rounded->lp_lower_bound, 6),
+                           FormatNumber(greedy->total_cost, 6),
+                           FormatNumber(rounded->solution.total_cost, 6),
+                           std::to_string(rounded->solution.sets.size()),
+                           std::to_string(rounded->cardinality_violation)});
+  }
+  std::printf(
+      "\nThe LP bound certifies CWSC's optimality gap without exhaustive\n"
+      "search; the rounded solution's cardinality violation illustrates\n"
+      "§III's caveat about the relax-and-round approach.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// EXP-C1 — §VI-C: existing two-of-three approaches are unsuitable.
+//
+// The partial maximum coverage heuristic [10] ignores cost: the paper
+// reports a constant cost of 229 regardless of ŝ — about 10x CWSC's cost
+// at ŝ = 0.3 and over 3x at ŝ = 0.6. Reproduced here under the sum cost
+// (where cost differences across pattern sizes are sharpest) and the max
+// cost.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+#include "src/core/baselines.h"
+#include "src/core/cwsc.h"
+#include "src/pattern/pattern_system.h"
+
+int main() {
+  using namespace scwsc;
+  using namespace scwsc::bench;
+
+  PrintBanner("EXP-C1",
+              "§VI-C: partial max coverage pays a large cost multiple");
+
+  const std::size_t rows = ScaledRows(700'000);
+  Table base = MakeTrace(rows);
+
+  for (auto kind : {pattern::CostKind::kSum, pattern::CostKind::kMax}) {
+    const pattern::CostFunction cost_fn(kind);
+    auto system = pattern::PatternSystem::Build(base, cost_fn);
+    SCWSC_CHECK(system.ok(), "enumeration failed");
+
+    // Partial max coverage picks its full k = 10 sets by benefit only; its
+    // cost is the same whatever ŝ is ("regardless of the coverage
+    // fraction").
+    GreedyMaxCoverageOptions mc;
+    mc.k = 10;
+    auto maxcov = RunGreedyMaxCoverage(system->set_system(), mc);
+    SCWSC_CHECK(maxcov.ok(), "max coverage failed");
+
+    std::printf("\ncost function: %s\n", cost_fn.Name().c_str());
+    std::printf("%8s %16s %16s %10s\n", "s", "maxcov cost", "CWSC cost",
+                "ratio");
+    for (double s : {0.3, 0.4, 0.5, 0.6}) {
+      auto cwsc = RunCwsc(system->set_system(), {10, s});
+      SCWSC_CHECK(cwsc.ok(), "CWSC failed");
+      const double ratio = maxcov->total_cost / cwsc->total_cost;
+      std::printf("%8.1f %16s %16s %9.1fx\n", s,
+                  FormatNumber(maxcov->total_cost, 6).c_str(),
+                  FormatNumber(cwsc->total_cost, 6).c_str(), ratio);
+      PrintCsvRow("exp_vi_c",
+                  {cost_fn.Name(), StrFormat("%.1f", s),
+                   FormatNumber(maxcov->total_cost, 6),
+                   FormatNumber(cwsc->total_cost, 6),
+                   StrFormat("%.2f", ratio)});
+    }
+  }
+  return 0;
+}

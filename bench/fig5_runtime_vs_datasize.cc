@@ -1,0 +1,39 @@
+// EXP-F5 — Figure 5: running time vs data size.
+//
+// Paper setup: random samples of the LBL trace from ~100k to ~700k tuples,
+// k = 10, ŝ = 0.3, b = 1, ε = 1. Expected shape: optimized variants at
+// least ~2x faster than their unoptimized counterparts, with the gap
+// growing in n; CWSC faster than CMC.
+
+#include <cstdio>
+
+#include "bench/fig_common.h"
+#include "src/common/rng.h"
+
+int main() {
+  using namespace scwsc;
+  using namespace scwsc::bench;
+
+  PrintBanner("EXP-F5", "Fig. 5: running time vs number of tuples");
+  std::printf("%10s %12s %12s %12s %12s\n", "tuples", "CWSC(s)",
+              "optCWSC(s)", "CMC(s)", "optCMC(s)");
+
+  const std::size_t max_rows = ScaledRows(700'000);
+  Table base = MakeTrace(max_rows);
+  Rng rng(2015);
+
+  for (int step = 1; step <= 7; ++step) {
+    const std::size_t rows = max_rows * static_cast<std::size_t>(step) / 7;
+    Table sample = base.Sample(rows, rng);
+    QuadResult q = RunQuad(sample, /*k=*/10, /*fraction=*/0.3, /*b=*/1.0,
+                           /*epsilon=*/1.0);
+    std::printf("%10zu %12s %12s %12s %12s\n", sample.num_rows(),
+                Secs(q.cwsc_seconds).c_str(), Secs(q.opt_cwsc_seconds).c_str(),
+                Secs(q.cmc_seconds).c_str(), Secs(q.opt_cmc_seconds).c_str());
+    PrintCsvRow("fig5",
+                {std::to_string(sample.num_rows()), Secs(q.cwsc_seconds),
+                 Secs(q.opt_cwsc_seconds), Secs(q.cmc_seconds),
+                 Secs(q.opt_cmc_seconds)});
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// EXP-F9 — Figure 9: running time vs coverage fraction ŝ.
+//
+// Paper setup: ŝ from 0.2 to 0.7 at fixed n, k = 10. Expected shape: CWSC
+// roughly flat in ŝ (iteration count depends only on k); CMC increasing in
+// ŝ (harder to satisfy the target within a budget, so more budget rounds).
+
+#include <cstdio>
+
+#include "bench/fig_common.h"
+
+int main() {
+  using namespace scwsc;
+  using namespace scwsc::bench;
+
+  PrintBanner("EXP-F9", "Fig. 9: running time vs coverage fraction");
+  std::printf("%6s %12s %12s %12s %12s\n", "s", "CWSC(s)", "optCWSC(s)",
+              "CMC(s)", "optCMC(s)");
+
+  const std::size_t rows = ScaledRows(700'000);
+  Table base = MakeTrace(rows);
+
+  for (double s : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    QuadResult q = RunQuad(base, 10, s, 1.0, 1.0);
+    std::printf("%6.1f %12s %12s %12s %12s\n", s, Secs(q.cwsc_seconds).c_str(),
+                Secs(q.opt_cwsc_seconds).c_str(), Secs(q.cmc_seconds).c_str(),
+                Secs(q.opt_cmc_seconds).c_str());
+    char sbuf[16];
+    std::snprintf(sbuf, sizeof(sbuf), "%.1f", s);
+    PrintCsvRow("fig9", {sbuf, Secs(q.cwsc_seconds),
+                         Secs(q.opt_cwsc_seconds), Secs(q.cmc_seconds),
+                         Secs(q.opt_cmc_seconds)});
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared runner for the Figure 5-9 benches: times the four solver variants
+// (unoptimized/optimized CWSC and CMC) on one table and reports the
+// "patterns considered" counters behind Fig. 6.
+//
+// Unoptimized timings include full pattern enumeration + set-system
+// construction and run the *literal* Fig. 1 / Fig. 2 pseudocode
+// (core/literal.h): computing and re-subtracting the marginal benefit of
+// every possible pattern is part of those algorithms, which is exactly the
+// work the §V-C optimizations remove. (The tuned generic engines in
+// cwsc.h/cmc.h — inverted indexes + lazy heaps — are compared against the
+// literal ones separately in bench/ablation_engine.)
+
+#ifndef SCWSC_BENCH_FIG_COMMON_H_
+#define SCWSC_BENCH_FIG_COMMON_H_
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/core/cmc.h"
+#include "src/core/cwsc.h"
+#include "src/core/literal.h"
+#include "src/pattern/opt_cmc.h"
+#include "src/pattern/opt_cwsc.h"
+#include "src/pattern/pattern_system.h"
+
+namespace scwsc {
+namespace bench {
+
+struct QuadResult {
+  double cwsc_seconds = 0.0;
+  double opt_cwsc_seconds = 0.0;
+  double cmc_seconds = 0.0;
+  double opt_cmc_seconds = 0.0;
+
+  std::size_t cwsc_considered = 0;      // enumerated patterns
+  std::size_t cmc_considered = 0;       // enumerated patterns x budget rounds
+  std::size_t opt_cwsc_considered = 0;  // lattice frontier
+  std::size_t opt_cmc_considered = 0;   // lattice frontier, summed over rounds
+
+  std::size_t cmc_rounds = 0;
+  std::size_t opt_cmc_rounds = 0;
+
+  double cwsc_cost = 0.0;
+  double cmc_cost = 0.0;
+  double opt_cwsc_cost = 0.0;
+  double opt_cmc_cost = 0.0;
+};
+
+/// Runs all four variants with the given parameters (paper defaults: k=10,
+/// ŝ=0.3, b=1, ε=1 — §VI-A) and the max measure cost.
+inline QuadResult RunQuad(const Table& table, std::size_t k, double fraction,
+                          double b, double epsilon) {
+  QuadResult out;
+  const pattern::CostFunction cost_fn(pattern::CostKind::kMax);
+
+  CwscOptions cwsc_opts{k, fraction};
+  CmcOptions cmc_opts;
+  cmc_opts.k = k;
+  cmc_opts.coverage_fraction = fraction;
+  cmc_opts.b = b;
+  cmc_opts.epsilon = epsilon;
+
+  {  // Unoptimized CWSC: enumerate every pattern, then Fig. 2 verbatim.
+    Stopwatch sw;
+    auto system = pattern::PatternSystem::Build(table, cost_fn);
+    SCWSC_CHECK(system.ok(), "enumeration failed");
+    auto solution = RunCwscLiteral(system->set_system(), cwsc_opts);
+    out.cwsc_seconds = sw.ElapsedSeconds();
+    SCWSC_CHECK(solution.ok(), "CWSC failed");
+    out.cwsc_cost = solution->total_cost;
+    out.cwsc_considered = system->num_patterns();
+  }
+  {  // Unoptimized CMC: enumeration + Fig. 1 verbatim.
+    Stopwatch sw;
+    auto system = pattern::PatternSystem::Build(table, cost_fn);
+    SCWSC_CHECK(system.ok(), "enumeration failed");
+    auto result = RunCmcLiteral(system->set_system(), cmc_opts);
+    out.cmc_seconds = sw.ElapsedSeconds();
+    SCWSC_CHECK(result.ok(), "CMC failed");
+    out.cmc_cost = result->solution.total_cost;
+    out.cmc_considered = result->sets_considered;
+    out.cmc_rounds = result->budget_rounds;
+  }
+  {  // Optimized CWSC (Fig. 3).
+    pattern::PatternStats stats;
+    Stopwatch sw;
+    auto solution =
+        pattern::RunOptimizedCwsc(table, cost_fn, cwsc_opts, &stats);
+    out.opt_cwsc_seconds = sw.ElapsedSeconds();
+    SCWSC_CHECK(solution.ok(), "optimized CWSC failed");
+    out.opt_cwsc_cost = solution->total_cost;
+    out.opt_cwsc_considered = stats.patterns_considered;
+  }
+  {  // Optimized CMC (Fig. 4).
+    pattern::PatternStats stats;
+    Stopwatch sw;
+    auto solution =
+        pattern::RunOptimizedCmc(table, cost_fn, cmc_opts, &stats);
+    out.opt_cmc_seconds = sw.ElapsedSeconds();
+    SCWSC_CHECK(solution.ok(), "optimized CMC failed");
+    out.opt_cmc_cost = solution->total_cost;
+    out.opt_cmc_considered = stats.patterns_considered;
+    out.opt_cmc_rounds = stats.budget_rounds;
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace scwsc
+
+#endif  // SCWSC_BENCH_FIG_COMMON_H_

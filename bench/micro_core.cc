@@ -1,0 +1,106 @@
+// EXP-MICRO — google-benchmark micro-benchmarks of the core greedy engine:
+// marginal-benefit maintenance, lazy selection, coverage-target math and
+// whole-solver throughput on random set systems.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/core/baselines.h"
+#include "src/core/cwsc.h"
+#include "src/core/greedy_state.h"
+#include "src/core/instances.h"
+
+namespace scwsc {
+namespace {
+
+SetSystem MakeRandom(std::size_t elements, std::size_t sets,
+                     std::size_t max_size) {
+  Rng rng(7);
+  RandomSystemSpec spec;
+  spec.num_elements = elements;
+  spec.num_sets = sets;
+  spec.max_set_size = max_size;
+  auto system = RandomSetSystem(spec, rng);
+  return std::move(system).value();
+}
+
+void BM_CoverStateSelect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SetSystem system = MakeRandom(n, n / 2, 16);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CoverState cover(system);
+    state.ResumeTiming();
+    for (SetId id = 0; id < system.num_sets(); id += 7) {
+      benchmark::DoNotOptimize(cover.Select(id));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(system.num_sets() / 7));
+}
+BENCHMARK(BM_CoverStateSelect)->Arg(1000)->Arg(10'000)->Arg(100'000);
+
+void BM_LazySelectorDrain(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::size_t> counts(m);
+  for (auto& c : counts) c = 1 + rng.NextBounded(1000);
+  for (auto _ : state) {
+    LazySelector selector;
+    for (SetId id = 0; id < m; ++id) {
+      selector.Push(MakeBenefitKey(counts[id], 1.0, id));
+    }
+    std::size_t drained = 0;
+    while (selector
+               .Pop([&](SetId id) -> std::optional<SelectionKey> {
+                 return MakeBenefitKey(counts[id], 1.0, id);
+               })
+               .has_value()) {
+      ++drained;
+    }
+    benchmark::DoNotOptimize(drained);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_LazySelectorDrain)->Arg(1000)->Arg(100'000);
+
+void BM_CoverageTarget(benchmark::State& state) {
+  double f = 0.0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    f += 1e-7;
+    total += SetSystem::CoverageTarget(f - std::floor(f), 700'000);
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_CoverageTarget);
+
+void BM_CwscEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SetSystem system = MakeRandom(n, n, 12);
+  for (auto _ : state) {
+    auto solution = RunCwsc(system, {10, 0.3});
+    benchmark::DoNotOptimize(solution);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CwscEndToEnd)->Arg(1000)->Arg(10'000)->Arg(50'000);
+
+void BM_GreedyWscEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SetSystem system = MakeRandom(n, n, 12);
+  for (auto _ : state) {
+    GreedyWscOptions opts;
+    opts.coverage_fraction = 0.5;
+    auto solution = RunGreedyWeightedSetCover(system, opts);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_GreedyWscEndToEnd)->Arg(1000)->Arg(10'000);
+
+}  // namespace
+}  // namespace scwsc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// EXP-MICRO — google-benchmark micro-benchmarks of the pattern substrate:
+// enumeration throughput, posting-list benefit computation, lattice child
+// grouping and pattern matching.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "src/pattern/benefit_index.h"
+#include "src/pattern/enumerate.h"
+#include "src/pattern/lattice.h"
+#include "src/pattern/opt_cwsc.h"
+
+namespace scwsc {
+namespace {
+
+const Table& Trace(std::size_t rows) {
+  static const Table* table = nullptr;
+  static std::size_t cached_rows = 0;
+  if (table == nullptr || cached_rows != rows) {
+    delete table;
+    table = new Table(bench::MakeTrace(rows));
+    cached_rows = rows;
+  }
+  return *table;
+}
+
+void BM_EnumerateAllPatterns(benchmark::State& state) {
+  const Table& table = Trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto patterns = pattern::EnumerateAllPatterns(table);
+    benchmark::DoNotOptimize(patterns);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_EnumerateAllPatterns)->Arg(2000)->Arg(20'000)->Arg(60'000);
+
+void BM_BenefitIndexBuild(benchmark::State& state) {
+  const Table& table = Trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pattern::BenefitIndex index(table);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_BenefitIndexBuild)->Arg(20'000)->Arg(60'000);
+
+void BM_BenefitLookup(benchmark::State& state) {
+  const Table& table = Trace(20'000);
+  pattern::BenefitIndex index(table);
+  // Fully-wildcarded except protocol: large posting list.
+  pattern::Pattern p = pattern::Pattern::AllWildcards(5).WithValue(0, 0);
+  for (auto _ : state) {
+    auto ben = index.Ben(p);
+    benchmark::DoNotOptimize(ben);
+  }
+}
+BENCHMARK(BM_BenefitLookup);
+
+void BM_GroupChildren(benchmark::State& state) {
+  const Table& table = Trace(static_cast<std::size_t>(state.range(0)));
+  pattern::Pattern root = pattern::Pattern::AllWildcards(5);
+  std::vector<RowId> rows(table.num_rows());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  for (auto _ : state) {
+    auto groups = pattern::GroupChildren(table, root, rows);
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_GroupChildren)->Arg(20'000)->Arg(60'000);
+
+void BM_PatternMatchScan(benchmark::State& state) {
+  const Table& table = Trace(20'000);
+  pattern::Pattern p = pattern::Pattern::AllWildcards(5).WithValue(0, 0)
+                           .WithValue(3, 0);
+  for (auto _ : state) {
+    std::size_t matches = 0;
+    for (RowId r = 0; r < table.num_rows(); ++r) {
+      if (p.Matches(table, r)) ++matches;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_PatternMatchScan);
+
+void BM_OptimizedCwscEndToEnd(benchmark::State& state) {
+  const Table& table = Trace(static_cast<std::size_t>(state.range(0)));
+  const pattern::CostFunction cost_fn(pattern::CostKind::kMax);
+  for (auto _ : state) {
+    auto solution =
+        pattern::RunOptimizedCwsc(table, cost_fn, {10, 0.3});
+    benchmark::DoNotOptimize(solution);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_OptimizedCwscEndToEnd)->Arg(20'000)->Arg(60'000);
+
+}  // namespace
+}  // namespace scwsc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// EXP-T5 — Table V: running time (seconds) of CWSC vs CMC over the same
+// (b, ε, ŝ) grid as Table IV.
+//
+// Expected shape: CWSC at least ~2x faster than every CMC configuration;
+// larger b decreases CMC's time (fewer budget rounds); larger ε increases
+// it (more levels to maintain).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+#include "src/core/cmc.h"
+#include "src/core/cwsc.h"
+#include "src/pattern/opt_cmc.h"
+#include "src/pattern/opt_cwsc.h"
+
+int main() {
+  using namespace scwsc;
+  using namespace scwsc::bench;
+
+  PrintBanner("EXP-T5", "Table V: running time (s), CWSC vs CMC(b, eps)");
+
+  const std::size_t rows = ScaledRows(700'000);
+  Table base = MakeTrace(rows);
+  const pattern::CostFunction cost_fn(pattern::CostKind::kMax);
+  const std::vector<double> fractions = {0.3, 0.4, 0.5, 0.6};
+
+  std::printf("%-26s", "Algorithm");
+  for (double s : fractions) std::printf(" s=%-10.1f", s);
+  std::printf("\n");
+
+  {
+    std::printf("%-26s", "CWSC");
+    std::vector<std::string> csv = {"CWSC"};
+    for (double s : fractions) {
+      Stopwatch sw;
+      auto solution = pattern::RunOptimizedCwsc(base, cost_fn, {10, s});
+      const double secs = sw.ElapsedSeconds();
+      SCWSC_CHECK(solution.ok(), "CWSC failed");
+      std::printf(" %-12s", Secs(secs).c_str());
+      csv.push_back(Secs(secs));
+    }
+    std::printf("\n");
+    PrintCsvRow("table5", csv);
+  }
+
+  for (double b : {0.5, 1.0, 2.0}) {
+    for (double eps : {1.0, 2.0}) {
+      const std::string name = StrFormat("CMC (b=%g, eps=%g)", b, eps);
+      std::printf("%-26s", name.c_str());
+      std::vector<std::string> csv = {name};
+      for (double s : fractions) {
+        CmcOptions opts;
+        opts.k = 10;
+        opts.coverage_fraction = s;
+        opts.b = b;
+        opts.epsilon = eps;
+        opts.relax_coverage = false;
+        Stopwatch sw;
+        auto solution = pattern::RunOptimizedCmc(base, cost_fn, opts);
+        const double secs = sw.ElapsedSeconds();
+        SCWSC_CHECK(solution.ok(), "CMC failed");
+        std::printf(" %-12s", Secs(secs).c_str());
+        csv.push_back(Secs(secs));
+      }
+      std::printf("\n");
+      PrintCsvRow("table5", csv);
+    }
+  }
+  return 0;
+}

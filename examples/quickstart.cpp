@@ -1,0 +1,94 @@
+// Quickstart: the paper's running example end to end.
+//
+// Builds Table I (16 real-world entities), materializes Table II (all 24
+// patterns with max-cost weights), and contrasts the solutions of plain
+// weighted set cover, size-constrained weighted set cover (exact and both
+// greedy algorithms) and max coverage — reproducing every number from the
+// paper's §I and the §V walk-throughs.
+//
+// Run: ./quickstart
+
+#include <cstdio>
+
+#include "src/scwsc.h"
+
+using namespace scwsc;
+
+int main() {
+  Table table = gen::MakeEntitiesTable();
+  const pattern::CostFunction cost_fn(pattern::CostKind::kMax);
+
+  std::printf("== Table I: %zu entities over (Type, Location) ==\n",
+              table.num_rows());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    std::printf("  %2u  %-2s %-10s %5.0f\n", r + 1, table.value_name(r, 0).c_str(),
+                table.value_name(r, 1).c_str(), table.measure(r));
+  }
+
+  auto system = pattern::PatternSystem::Build(table, cost_fn);
+  if (!system.ok()) {
+    std::fprintf(stderr, "enumeration failed: %s\n",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n== Table II: all %zu patterns (cost = max Cost, benefit = "
+              "#covered) ==\n",
+              system->num_patterns());
+  for (SetId id = 0; id < system->num_patterns(); ++id) {
+    const auto& s = system->set_system().set(id);
+    std::printf("  %-34s cost=%-4s benefit=%zu\n",
+                system->pattern(id).ToString(table).c_str(),
+                FormatNumber(s.cost).c_str(), s.elements.size());
+  }
+
+  const double fraction = 9.0 / 16.0;
+  std::printf("\n== covering at least 9/16 of the entities ==\n");
+
+  // 1. Plain weighted set cover: cheapest, but 7 patterns.
+  GreedyWscOptions wsc_opts;
+  wsc_opts.coverage_fraction = fraction;
+  auto wsc = RunGreedyWeightedSetCover(system->set_system(), wsc_opts);
+  std::printf("weighted set cover : %zu patterns, cost %s  (too many sets!)\n",
+              wsc->sets.size(), FormatNumber(wsc->total_cost).c_str());
+
+  // 2. Size-constrained weighted set cover with k = 2 — the paper's problem.
+  ExactOptions exact_opts;
+  exact_opts.k = 2;
+  exact_opts.coverage_fraction = fraction;
+  auto exact = SolveExact(system->set_system(), exact_opts);
+  std::printf("optimal k=2        : %s\n",
+              SolutionToString(system->set_system(), exact->solution).c_str());
+
+  CwscOptions cwsc_opts{2, fraction};
+  auto cwsc = pattern::RunOptimizedCwsc(table, cost_fn, cwsc_opts);
+  std::printf("CWSC (Fig. 2/3)    : cost %s, %zu patterns:",
+              FormatNumber(cwsc->total_cost).c_str(), cwsc->patterns.size());
+  for (const auto& p : cwsc->patterns) {
+    std::printf(" %s", p.ToString(table).c_str());
+  }
+  std::printf("\n");
+
+  CmcOptions cmc_opts;
+  cmc_opts.k = 2;
+  cmc_opts.coverage_fraction = fraction;
+  cmc_opts.relax_coverage = false;  // the walk-through folds (1-1/e) into s
+  pattern::PatternStats stats;
+  auto cmc = pattern::RunOptimizedCmc(table, cost_fn, cmc_opts, &stats);
+  std::printf("CMC  (Fig. 1/4)    : cost %s, %zu patterns after %zu budget "
+              "rounds (B = %s)\n",
+              FormatNumber(cmc->total_cost).c_str(), cmc->patterns.size(),
+              stats.budget_rounds, FormatNumber(stats.final_budget).c_str());
+
+  // 3. Max coverage ignores cost entirely.
+  GreedyMaxCoverageOptions mc_opts;
+  mc_opts.k = 2;
+  mc_opts.stop_coverage_fraction = fraction;
+  auto maxcov = RunGreedyMaxCoverage(system->set_system(), mc_opts);
+  std::printf("max coverage k=2   : cost %s  (pays for the ALL pattern)\n",
+              FormatNumber(maxcov->total_cost).c_str());
+
+  std::printf(
+      "\nThe size-constrained solutions use 2 patterns at a small premium\n"
+      "over the 7-pattern weighted set cover — the paper's motivation.\n");
+  return 0;
+}

@@ -1,0 +1,193 @@
+// scwsc_cli — solve size-constrained weighted set cover on a CSV file.
+//
+// Usage:
+//   scwsc_cli --input data.csv --measure Cost [options]
+//
+// Options:
+//   --input PATH        CSV file (header row; one column is the measure)
+//   --measure NAME      numeric measure column used for pattern weights
+//   --k N               maximum number of patterns        [default 10]
+//   --coverage F        coverage fraction in [0,1]        [default 0.3]
+//   --cost max|sum|lp   pattern cost function             [default max]
+//   --lp P              exponent for --cost lp            [default 2]
+//   --algorithm cwsc|cmc|exact                            [default cwsc]
+//   --b F               CMC budget growth                 [default 1]
+//   --epsilon F         CMC merged-level variant          [default 0]
+//   --strict            CMC: target the full s.n (not (1-1/e)s.n)
+//   --delimiter C       CSV delimiter                     [default ,]
+//
+// Output: one line per selected pattern, then a summary line. Exit code 0
+// on success, 1 on error or infeasibility.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/scwsc.h"
+
+using namespace scwsc;
+
+namespace {
+
+struct CliArgs {
+  std::string input;
+  std::string measure;
+  std::size_t k = 10;
+  double coverage = 0.3;
+  std::string cost = "max";
+  double lp = 2.0;
+  std::string algorithm = "cwsc";
+  double b = 1.0;
+  double epsilon = 0.0;
+  bool strict = false;
+  char delimiter = ',';
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n(run with --help for usage)\n",
+               message.c_str());
+  return 1;
+}
+
+void PrintUsage() {
+  std::printf(
+      "scwsc_cli --input data.csv --measure COLUMN [--k N] [--coverage F]\n"
+      "          [--cost max|sum|lp] [--lp P] [--algorithm cwsc|cmc|exact]\n"
+      "          [--b F] [--epsilon F] [--strict] [--delimiter C]\n");
+}
+
+Result<CliArgs> ParseArgs(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      PrintUsage();
+      std::exit(0);
+    }
+    if (flag == "--strict") {
+      args.strict = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("missing value for " + flag);
+    }
+    const std::string value = argv[++i];
+    if (flag == "--input") {
+      args.input = value;
+    } else if (flag == "--measure") {
+      args.measure = value;
+    } else if (flag == "--k") {
+      SCWSC_ASSIGN_OR_RETURN(auto k, ParseU64(value));
+      args.k = static_cast<std::size_t>(k);
+    } else if (flag == "--coverage") {
+      SCWSC_ASSIGN_OR_RETURN(args.coverage, ParseDouble(value));
+    } else if (flag == "--cost") {
+      args.cost = value;
+    } else if (flag == "--lp") {
+      SCWSC_ASSIGN_OR_RETURN(args.lp, ParseDouble(value));
+    } else if (flag == "--algorithm") {
+      args.algorithm = value;
+    } else if (flag == "--b") {
+      SCWSC_ASSIGN_OR_RETURN(args.b, ParseDouble(value));
+    } else if (flag == "--epsilon") {
+      SCWSC_ASSIGN_OR_RETURN(args.epsilon, ParseDouble(value));
+    } else if (flag == "--delimiter") {
+      if (value.size() != 1) {
+        return Status::InvalidArgument("--delimiter takes one character");
+      }
+      args.delimiter = value[0];
+    } else {
+      return Status::InvalidArgument("unknown flag " + flag);
+    }
+  }
+  if (args.input.empty()) return Status::InvalidArgument("--input required");
+  if (args.measure.empty()) {
+    return Status::InvalidArgument("--measure required");
+  }
+  return args;
+}
+
+Result<pattern::CostFunction> MakeCost(const CliArgs& args) {
+  if (args.cost == "max") {
+    return pattern::CostFunction(pattern::CostKind::kMax);
+  }
+  if (args.cost == "sum") {
+    return pattern::CostFunction(pattern::CostKind::kSum);
+  }
+  if (args.cost == "lp") return pattern::CostFunction::LpNorm(args.lp);
+  return Status::InvalidArgument("unknown cost function '" + args.cost + "'");
+}
+
+void PrintSolution(const Table& table, const pattern::PatternSolution& s) {
+  for (const auto& p : s.patterns) {
+    std::printf("%s\n", p.ToString(table).c_str());
+  }
+  std::printf("# %zu patterns, total cost %s, covered %zu/%zu (%.2f%%)\n",
+              s.patterns.size(), FormatNumber(s.total_cost).c_str(), s.covered,
+              table.num_rows(),
+              100.0 * static_cast<double>(s.covered) /
+                  static_cast<double>(table.num_rows() == 0
+                                          ? 1
+                                          : table.num_rows()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ParseArgs(argc, argv);
+  if (!args.ok()) return Fail(args.status().ToString());
+
+  csv::ReadOptions read_opts;
+  read_opts.measure_column = args->measure;
+  read_opts.delimiter = args->delimiter;
+  auto table = csv::ReadFile(args->input, read_opts);
+  if (!table.ok()) return Fail(table.status().ToString());
+
+  auto cost_fn = MakeCost(*args);
+  if (!cost_fn.ok()) return Fail(cost_fn.status().ToString());
+
+  Stopwatch sw;
+  if (args->algorithm == "cwsc") {
+    CwscOptions opts{args->k, args->coverage};
+    pattern::PatternStats stats;
+    auto solution = pattern::RunOptimizedCwsc(*table, *cost_fn, opts, &stats);
+    if (!solution.ok()) return Fail(solution.status().ToString());
+    PrintSolution(*table, *solution);
+    std::printf("# cwsc: %.3fs, %zu patterns considered\n",
+                sw.ElapsedSeconds(), stats.patterns_considered);
+    return 0;
+  }
+  if (args->algorithm == "cmc") {
+    CmcOptions opts;
+    opts.k = args->k;
+    opts.coverage_fraction = args->coverage;
+    opts.b = args->b;
+    opts.epsilon = args->epsilon;
+    opts.relax_coverage = !args->strict;
+    pattern::PatternStats stats;
+    auto solution = pattern::RunOptimizedCmc(*table, *cost_fn, opts, &stats);
+    if (!solution.ok()) return Fail(solution.status().ToString());
+    PrintSolution(*table, *solution);
+    std::printf("# cmc: %.3fs, %zu budget rounds (B = %s), %zu patterns "
+                "considered\n",
+                sw.ElapsedSeconds(), stats.budget_rounds,
+                FormatNumber(stats.final_budget).c_str(),
+                stats.patterns_considered);
+    return 0;
+  }
+  if (args->algorithm == "exact") {
+    auto system = pattern::PatternSystem::Build(*table, *cost_fn);
+    if (!system.ok()) return Fail(system.status().ToString());
+    ExactOptions opts;
+    opts.k = args->k;
+    opts.coverage_fraction = args->coverage;
+    auto result = SolveExact(system->set_system(), opts);
+    if (!result.ok()) return Fail(result.status().ToString());
+    PrintSolution(*table, system->ToPatternSolution(result->solution));
+    std::printf("# exact: %.3fs, %llu branch-and-bound nodes\n",
+                sw.ElapsedSeconds(),
+                static_cast<unsigned long long>(result->nodes));
+    return 0;
+  }
+  return Fail("unknown algorithm '" + args->algorithm + "'");
+}

@@ -1,0 +1,11 @@
+#include "src/common/bitset.h"
+
+namespace scwsc {
+
+void DynamicBitset::Resize(std::size_t n) {
+  SCWSC_CHECK(n >= size_, "DynamicBitset cannot shrink");
+  size_ = n;
+  words_.resize((n + 63) / 64, 0);
+}
+
+}  // namespace scwsc

@@ -1,0 +1,71 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace scwsc {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+void VLog(LogLevel level, const char* file, int line, const char* fmt,
+          va_list args) {
+  std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), Basename(file), line);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  va_list args;
+  va_start(args, fmt);
+  VLog(level, file, line, fmt, args);
+  va_end(args);
+}
+
+void LogFatal(const char* file, int line, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::fprintf(stderr, "[FATAL %s:%d] ", Basename(file), line);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+  std::abort();
+}
+
+}  // namespace scwsc

@@ -1,0 +1,59 @@
+// Minimal leveled logging and fatal-check macros.
+//
+// Logging goes to stderr; benchmarks and examples print their payload to
+// stdout so the two streams can be separated. Fatal checks abort: they guard
+// internal invariants only, never user input (user input errors surface as
+// Status).
+
+#ifndef SCWSC_COMMON_LOGGING_H_
+#define SCWSC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace scwsc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style log emission; prefer the SCWSC_LOG_* macros.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+
+/// Logs and aborts. Used by SCWSC_LOG_FATAL / SCWSC_CHECK.
+[[noreturn]] void LogFatal(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace scwsc
+
+#define SCWSC_LOG_DEBUG(...) \
+  ::scwsc::LogMessage(::scwsc::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define SCWSC_LOG_INFO(...) \
+  ::scwsc::LogMessage(::scwsc::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define SCWSC_LOG_WARN(...) \
+  ::scwsc::LogMessage(::scwsc::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define SCWSC_LOG_ERROR(...) \
+  ::scwsc::LogMessage(::scwsc::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)
+#define SCWSC_LOG_FATAL(...) \
+  ::scwsc::LogFatal(__FILE__, __LINE__, __VA_ARGS__)
+
+/// Aborts with a message when an internal invariant does not hold.
+#define SCWSC_CHECK(cond, ...)                                   \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::scwsc::LogFatal(__FILE__, __LINE__,                      \
+                        "Check failed: %s " __VA_ARGS__, #cond); \
+    }                                                            \
+  } while (false)
+
+#ifndef NDEBUG
+#define SCWSC_DCHECK(cond, ...) SCWSC_CHECK(cond, __VA_ARGS__)
+#else
+#define SCWSC_DCHECK(cond, ...) \
+  do {                          \
+  } while (false)
+#endif
+
+#endif  // SCWSC_COMMON_LOGGING_H_

@@ -1,0 +1,4 @@
+#include "src/common/stopwatch.h"
+
+// Stopwatch is header-only; this translation unit exists so the target has a
+// stable place to grow (e.g. CPU-time clocks) without touching the build.

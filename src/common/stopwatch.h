@@ -1,0 +1,33 @@
+// Stopwatch: wall-clock timing for the benchmark harness.
+
+#ifndef SCWSC_COMMON_STOPWATCH_H_
+#define SCWSC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace scwsc {
+
+/// Monotonic wall-clock stopwatch. Started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace scwsc
+
+#endif  // SCWSC_COMMON_STOPWATCH_H_

@@ -1,0 +1,98 @@
+#include "src/common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace scwsc {
+
+std::vector<std::string_view> SplitView(std::string_view line, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = line.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view StripView(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = StripView(s);
+  if (s.empty()) return Status::ParseError("empty numeric field");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::ParseError("trailing garbage in numeric field: '" + buf +
+                              "'");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    return Status::ParseError("numeric field out of range: '" + buf + "'");
+  }
+  return v;
+}
+
+Result<std::uint64_t> ParseU64(std::string_view s) {
+  s = StripView(s);
+  if (s.empty()) return Status::ParseError("empty integer field");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || buf[0] == '-') {
+    return Status::ParseError("bad integer field: '" + buf + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::ParseError("integer field out of range: '" + buf + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string FormatNumber(double v, int precision) {
+  std::string s = StrFormat("%.*g", precision, v);
+  return s;
+}
+
+}  // namespace scwsc

@@ -1,0 +1,41 @@
+// Small string utilities shared by the CSV reader, the pattern printer and
+// the benchmark harness.
+
+#ifndef SCWSC_COMMON_STRINGS_H_
+#define SCWSC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace scwsc {
+
+/// Splits `line` on `delim`. Empty fields are preserved; an empty input
+/// yields a single empty field (CSV semantics).
+std::vector<std::string_view> SplitView(std::string_view line, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripView(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a double; rejects trailing garbage, NaN and infinities.
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses a non-negative integer; rejects trailing garbage and overflow.
+Result<std::uint64_t> ParseU64(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a double with up to `precision` significant digits, trimming
+/// trailing zeros ("24", "27.5").
+std::string FormatNumber(double v, int precision = 6);
+
+}  // namespace scwsc
+
+#endif  // SCWSC_COMMON_STRINGS_H_

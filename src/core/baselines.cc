@@ -1,0 +1,117 @@
+#include "src/core/baselines.h"
+
+#include "src/core/greedy_state.h"
+
+namespace scwsc {
+
+Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
+                                           const GreedyWscOptions& options) {
+  if (options.coverage_fraction < 0.0 || options.coverage_fraction > 1.0) {
+    return Status::InvalidArgument("coverage_fraction must be in [0, 1]");
+  }
+  std::size_t rem =
+      SetSystem::CoverageTarget(options.coverage_fraction,
+                                system.num_elements());
+  Solution solution;
+  if (rem == 0) return solution;
+
+  CoverState state(system);
+  LazySelector selector;
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    const std::size_t count = state.MarginalCount(id);
+    if (count > 0) selector.Push(MakeGainKey(count, system.set(id).cost, id));
+  }
+
+  while (rem > 0) {
+    if (solution.sets.size() >= options.max_sets) {
+      return Status::Infeasible("greedy WSC: max_sets reached before target");
+    }
+    auto key = selector.Pop([&](SetId id) -> std::optional<SelectionKey> {
+      const std::size_t count = state.MarginalCount(id);
+      if (count == 0) return std::nullopt;
+      return MakeGainKey(count, system.set(id).cost, id);
+    });
+    if (!key.has_value()) {
+      return Status::Infeasible("greedy WSC: sets exhausted before target");
+    }
+    const std::size_t newly = state.Select(key->id);
+    solution.sets.push_back(key->id);
+    solution.total_cost += system.set(key->id).cost;
+    rem = newly >= rem ? 0 : rem - newly;
+  }
+  solution.covered = state.covered_count();
+  return solution;
+}
+
+Result<Solution> RunGreedyMaxCoverage(
+    const SetSystem& system, const GreedyMaxCoverageOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  if (options.stop_coverage_fraction < 0.0 ||
+      options.stop_coverage_fraction > 1.0) {
+    return Status::InvalidArgument("stop_coverage_fraction must be in [0, 1]");
+  }
+  const std::size_t stop_at = SetSystem::CoverageTarget(
+      options.stop_coverage_fraction, system.num_elements());
+
+  Solution solution;
+  CoverState state(system);
+  LazySelector selector;
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    const std::size_t count = state.MarginalCount(id);
+    if (count > 0) selector.Push(MakeBenefitKey(count, system.set(id).cost, id));
+  }
+
+  while (solution.sets.size() < options.k && state.covered_count() < stop_at) {
+    auto key = selector.Pop([&](SetId id) -> std::optional<SelectionKey> {
+      const std::size_t count = state.MarginalCount(id);
+      if (count == 0) return std::nullopt;
+      return MakeBenefitKey(count, system.set(id).cost, id);
+    });
+    if (!key.has_value()) break;  // nothing adds coverage
+    state.Select(key->id);
+    solution.sets.push_back(key->id);
+    solution.total_cost += system.set(key->id).cost;
+  }
+  solution.covered = state.covered_count();
+  return solution;
+}
+
+Result<Solution> RunBudgetedMaxCoverage(
+    const SetSystem& system, const BudgetedMaxCoverageOptions& options) {
+  if (options.budget < 0.0) {
+    return Status::InvalidArgument("budget must be >= 0");
+  }
+  Solution solution;
+  CoverState state(system);
+  double remaining = options.budget;
+
+  // The greedy of [11] considers, in each step, only sets that still fit in
+  // the remaining budget. Both filters decay monotonically — gains shrink
+  // with coverage and the remaining budget only decreases, so a set that no
+  // longer fits can be discarded permanently — which keeps the lazy
+  // selector sound.
+  LazySelector selector;
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    const std::size_t count = state.MarginalCount(id);
+    if (count > 0) selector.Push(MakeGainKey(count, system.set(id).cost, id));
+  }
+
+  while (solution.sets.size() < options.max_sets) {
+    auto key = selector.Pop([&](SetId id) -> std::optional<SelectionKey> {
+      const std::size_t count = state.MarginalCount(id);
+      if (count == 0) return std::nullopt;
+      if (system.set(id).cost > remaining) return std::nullopt;  // never fits again
+      return MakeGainKey(count, system.set(id).cost, id);
+    });
+    if (!key.has_value()) break;
+    const double cost = system.set(key->id).cost;
+    state.Select(key->id);
+    remaining -= cost;
+    solution.sets.push_back(key->id);
+    solution.total_cost += cost;
+  }
+  solution.covered = state.covered_count();
+  return solution;
+}
+
+}  // namespace scwsc

@@ -1,0 +1,71 @@
+#include "src/core/cwsc.h"
+
+#include "src/core/greedy_state.h"
+
+namespace scwsc {
+
+Result<Solution> RunCwsc(const SetSystem& system, const CwscOptions& options) {
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (options.coverage_fraction < 0.0 || options.coverage_fraction > 1.0) {
+    return Status::InvalidArgument("coverage_fraction must be in [0, 1]");
+  }
+
+  const std::size_t n = system.num_elements();
+  std::size_t rem = SetSystem::CoverageTarget(options.coverage_fraction, n);
+
+  Solution solution;
+  if (rem == 0) return solution;  // nothing to cover
+
+  CoverState state(system);
+  DynamicBitset selected(system.num_sets() == 0 ? 1 : system.num_sets());
+
+  for (std::size_t i = options.k; i >= 1; --i) {
+    // Fig. 2 line 06: argmax MGain over sets with |MBen| >= rem / i. The
+    // threshold is evaluated exactly in integers: |MBen| * i >= rem.
+    SetId best = kInvalidSet;
+    std::size_t best_count = 0;
+    for (SetId id = 0; id < system.num_sets(); ++id) {
+      if (selected.test(id)) continue;
+      const std::size_t count = state.MarginalCount(id);
+      if (count == 0 || count * i < rem) continue;
+      const double cost = system.set(id).cost;
+      if (best == kInvalidSet ||
+          BetterGain(count, cost, best_count, system.set(best).cost)) {
+        best = id;
+        best_count = count;
+      } else if (!BetterGain(best_count, system.set(best).cost, count, cost)) {
+        // Equal gain: break ties by higher marginal benefit, then lower
+        // cost, then lower set id (ids are canonical pattern order in the
+        // patterned case, making opt/unopt runs comparable).
+        const double best_cost = system.set(best).cost;
+        if (count > best_count ||
+            (count == best_count && (cost < best_cost || (cost == best_cost &&
+                                                          id < best)))) {
+          best = id;
+          best_count = count;
+        }
+      }
+    }
+    if (best == kInvalidSet) {
+      return Status::Infeasible(
+          "CWSC: no set with marginal benefit >= rem/i (Fig. 2 line 07)");
+    }
+
+    selected.set(best);
+    const std::size_t newly = state.Select(best);
+    solution.sets.push_back(best);
+    solution.total_cost += system.set(best).cost;
+    solution.covered = state.covered_count();
+    rem = newly >= rem ? 0 : rem - newly;
+    if (rem == 0) return solution;
+  }
+
+  // The loop ran k iterations without reaching the target: with exact
+  // integer thresholds this cannot happen (each pick covers >= ceil(rem/i)),
+  // so reaching here indicates an internal error.
+  return Status::Internal("CWSC exhausted k picks without meeting coverage");
+}
+
+}  // namespace scwsc

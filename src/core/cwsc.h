@@ -1,0 +1,35 @@
+// CWSC — Concise Weighted Set Cover (paper Fig. 2).
+//
+// Greedy partial weighted set cover with a per-iteration qualification
+// threshold: with i picks remaining and rem elements still to cover, only
+// sets with |MBen(s)| >= rem / i are considered, and among those the one with
+// the highest marginal gain |MBen(s)| / Cost(s) is chosen. The algorithm
+// returns at most k sets and always meets the coverage requirement when it
+// returns a solution; it carries no cost guarantee (paper §V-B) but is the
+// recommended solver in practice (paper §VI).
+
+#ifndef SCWSC_CORE_CWSC_H_
+#define SCWSC_CORE_CWSC_H_
+
+#include "src/common/result.h"
+#include "src/core/solution.h"
+
+namespace scwsc {
+
+struct CwscOptions {
+  /// Maximum number of sets in the solution (k in the paper).
+  std::size_t k = 10;
+  /// Desired coverage fraction (ŝ in the paper); in [0, 1].
+  double coverage_fraction = 0.3;
+};
+
+/// Runs CWSC over an explicit set system. Returns:
+///  - a Solution meeting the constraints, or
+///  - Status::Infeasible when no qualified set exists in some iteration
+///    (Fig. 2 line 07, "No solution"), or
+///  - Status::InvalidArgument for out-of-domain options.
+Result<Solution> RunCwsc(const SetSystem& system, const CwscOptions& options);
+
+}  // namespace scwsc
+
+#endif  // SCWSC_CORE_CWSC_H_

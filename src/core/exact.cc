@@ -1,0 +1,191 @@
+#include "src/core/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/bitset.h"
+#include "src/core/cwsc.h"
+
+namespace scwsc {
+namespace {
+
+struct SearchContext {
+  const SetSystem& system;
+  const std::vector<SetId>& order;        // sets sorted by cost ascending
+  const std::vector<std::size_t>& suffix_max_size;
+  const ExactOptions& options;
+
+  DynamicBitset covered;
+  std::vector<SetId> chosen = {};         // original ids, in pick order
+  double cost = 0.0;
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<SetId> best_sets = {};
+  bool found = false;
+
+  std::uint64_t nodes = 0;
+  bool exhausted = false;
+};
+
+void Dfs(SearchContext& ctx, std::size_t idx, std::size_t picks_left,
+         std::size_t rem) {
+  if (ctx.exhausted) return;
+  if (++ctx.nodes > ctx.options.max_nodes) {
+    ctx.exhausted = true;
+    return;
+  }
+  if (rem == 0) {
+    if (ctx.cost < ctx.best_cost ||
+        (ctx.cost == ctx.best_cost &&
+         (!ctx.found || ctx.chosen.size() < ctx.best_sets.size()))) {
+      ctx.best_cost = ctx.cost;
+      ctx.best_sets = ctx.chosen;
+      ctx.found = true;
+    }
+    return;
+  }
+  if (idx >= ctx.order.size() || picks_left == 0) return;
+
+  const std::size_t max_size = ctx.suffix_max_size[idx];
+  if (max_size == 0) return;
+  // Even picks_left sets of the largest remaining static size cannot close
+  // the gap.
+  const std::size_t need_picks = (rem + max_size - 1) / max_size;
+  if (need_picks > picks_left) return;
+  // Sets are cost-sorted, so every future pick costs at least
+  // cost(order[idx]); prune on the implied cost lower bound.
+  const double min_extra =
+      static_cast<double>(need_picks) * ctx.system.set(ctx.order[idx]).cost;
+  if (ctx.cost + min_extra >= ctx.best_cost) return;
+
+  const SetId id = ctx.order[idx];
+  const WeightedSet& s = ctx.system.set(id);
+
+  // Branch 1: take this set (builds cheap incumbents early).
+  std::vector<ElementId> newly;
+  newly.reserve(s.elements.size());
+  for (ElementId e : s.elements) {
+    if (ctx.covered.set(e)) newly.push_back(e);
+  }
+  if (!newly.empty()) {  // a set adding nothing can never help
+    ctx.chosen.push_back(id);
+    ctx.cost += s.cost;
+    const std::size_t gained = newly.size();
+    Dfs(ctx, idx + 1, picks_left - 1, gained >= rem ? 0 : rem - gained);
+    ctx.cost -= s.cost;
+    ctx.chosen.pop_back();
+  }
+  for (ElementId e : newly) ctx.covered.reset(e);
+
+  // Branch 2: skip this set.
+  Dfs(ctx, idx + 1, picks_left, rem);
+}
+
+}  // namespace
+
+Result<ExactResult> SolveExact(const SetSystem& system,
+                               const ExactOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  if (options.coverage_fraction < 0.0 || options.coverage_fraction > 1.0) {
+    return Status::InvalidArgument("coverage_fraction must be in [0, 1]");
+  }
+  const std::size_t target =
+      SetSystem::CoverageTarget(options.coverage_fraction,
+                                system.num_elements());
+
+  ExactResult result;
+  if (target == 0) return result;
+
+  // Preprocessing: a set is useless when another set covers a superset of
+  // its elements at a cost that is no higher (ties broken towards the
+  // earlier id). Pattern systems are full of such dominated sets — every
+  // pattern's benefit set is contained in each parent's — so this shrinks
+  // the search space dramatically without affecting the optimum.
+  std::vector<SetId> order;
+  {
+    std::vector<SetId> candidates(system.num_sets());
+    std::iota(candidates.begin(), candidates.end(), SetId{0});
+    // Exact-duplicate elimination first (cheap): keep the cheapest set per
+    // distinct element list.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](SetId a, SetId b) {
+                       const auto& ea = system.set(a).elements;
+                       const auto& eb = system.set(b).elements;
+                       if (ea != eb) return ea < eb;
+                       return system.set(a).cost < system.set(b).cost;
+                     });
+    std::vector<SetId> unique;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (i == 0 || system.set(candidates[i]).elements !=
+                        system.set(candidates[i - 1]).elements) {
+        unique.push_back(candidates[i]);
+      }
+    }
+    // Pairwise dominance for modest instance sizes.
+    std::vector<bool> dominated(unique.size(), false);
+    if (unique.size() <= 4096) {
+      for (std::size_t i = 0; i < unique.size(); ++i) {
+        if (dominated[i]) continue;
+        const WeightedSet& si = system.set(unique[i]);
+        for (std::size_t j = 0; j < unique.size(); ++j) {
+          if (i == j || dominated[j]) continue;
+          const WeightedSet& sj = system.set(unique[j]);
+          if (sj.cost <= si.cost && sj.elements.size() >= si.elements.size() &&
+              !(sj.cost == si.cost && sj.elements == si.elements) &&
+              std::includes(sj.elements.begin(), sj.elements.end(),
+                            si.elements.begin(), si.elements.end())) {
+            dominated[i] = true;
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      if (!dominated[i]) order.push_back(unique[i]);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](SetId a, SetId b) {
+    return system.set(a).cost < system.set(b).cost;
+  });
+
+  std::vector<std::size_t> suffix_max(order.size() + 1, 0);
+  for (std::size_t i = order.size(); i-- > 0;) {
+    suffix_max[i] =
+        std::max(suffix_max[i + 1], system.set(order[i]).elements.size());
+  }
+
+  SearchContext ctx{.system = system,
+                    .order = order,
+                    .suffix_max_size = suffix_max,
+                    .options = options,
+                    .covered = DynamicBitset(system.num_elements())};
+
+  // Seed the incumbent with the greedy CWSC solution when one exists; it
+  // prunes the search dramatically and the final answer can only improve.
+  CwscOptions greedy_opts{options.k, options.coverage_fraction};
+  if (auto greedy = RunCwsc(system, greedy_opts); greedy.ok()) {
+    ctx.best_cost = greedy->total_cost;
+    ctx.best_sets = greedy->sets;
+    ctx.found = true;
+  }
+
+  Dfs(ctx, 0, options.k, target);
+  result.nodes = ctx.nodes;
+  if (ctx.exhausted) {
+    return Status::ResourceExhausted("exact solver exceeded max_nodes");
+  }
+  if (!ctx.found) {
+    return Status::Infeasible("no feasible solution with at most k sets");
+  }
+  result.solution.sets = ctx.best_sets;
+  result.solution.total_cost = ctx.best_cost;
+  DynamicBitset covered(system.num_elements());
+  for (SetId id : ctx.best_sets) {
+    for (ElementId e : system.set(id).elements) covered.set(e);
+  }
+  result.solution.covered = covered.count();
+  return result;
+}
+
+}  // namespace scwsc

@@ -1,0 +1,50 @@
+#include "src/core/greedy_state.h"
+
+#include <limits>
+
+namespace scwsc {
+
+CoverState::CoverState(const SetSystem& system)
+    : system_(system), covered_(system.num_elements()) {
+  marginal_.reserve(system.num_sets());
+  for (const auto& s : system.sets()) marginal_.push_back(s.elements.size());
+  system.InvertedIndex();  // force construction up front
+}
+
+void CoverState::Reset() {
+  covered_.clear();
+  marginal_.clear();
+  for (const auto& s : system_.sets()) marginal_.push_back(s.elements.size());
+}
+
+std::size_t CoverState::Select(SetId id) {
+  const auto& inverted = system_.InvertedIndex();
+  std::size_t newly = 0;
+  for (ElementId e : system_.set(id).elements) {
+    if (covered_.set(e)) {
+      ++newly;
+      for (SetId other : inverted[e]) {
+        --marginal_[other];
+      }
+    }
+  }
+  return newly;
+}
+
+SelectionKey MakeBenefitKey(std::size_t count, double cost, SetId id) {
+  return SelectionKey{static_cast<double>(count), count, cost, id};
+}
+
+SelectionKey MakeGainKey(std::size_t count, double cost, SetId id) {
+  double gain;
+  if (cost == 0.0) {
+    // Zero-cost sets have unbounded gain; order them among themselves by
+    // count via the key's secondary field.
+    gain = count > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+  } else {
+    gain = static_cast<double>(count) / cost;
+  }
+  return SelectionKey{gain, count, cost, id};
+}
+
+}  // namespace scwsc

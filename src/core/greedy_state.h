@@ -1,0 +1,123 @@
+// Shared machinery for the greedy solvers.
+//
+// CoverState maintains, for one run of a greedy algorithm, the covered-
+// element bitset and the *live marginal benefit count* of every set
+// (|MBen(s, S)| in the paper's notation). Selecting a set marks its newly
+// covered elements and decrements the marginal counts of every other set
+// containing them via the system's inverted index; total update work over a
+// whole run is bounded by Σ_e degree(e) — each element is newly covered at
+// most once.
+//
+// LazySelector implements the classic lazy-greedy trick for argmax selection
+// under keys that only decrease over time (marginal benefit counts and
+// marginal gains are both non-increasing as coverage grows, by
+// submodularity): keys are heap-ordered as of their push time, and a popped
+// entry is re-pushed when its key has decayed.
+
+#ifndef SCWSC_CORE_GREEDY_STATE_H_
+#define SCWSC_CORE_GREEDY_STATE_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/core/set_system.h"
+
+namespace scwsc {
+
+class CoverState {
+ public:
+  explicit CoverState(const SetSystem& system);
+
+  /// Resets to the empty selection.
+  void Reset();
+
+  /// |MBen(s, S)| for the current selection S.
+  std::size_t MarginalCount(SetId id) const { return marginal_[id]; }
+
+  /// Number of covered elements.
+  std::size_t covered_count() const { return covered_.count(); }
+
+  bool IsCovered(ElementId e) const { return covered_.test(e); }
+
+  const DynamicBitset& covered() const { return covered_; }
+
+  /// Marks `id` selected: covers its elements and updates every marginal
+  /// count. Returns the number of newly covered elements (the marginal
+  /// benefit the selection realized).
+  std::size_t Select(SetId id);
+
+ private:
+  const SetSystem& system_;
+  DynamicBitset covered_;
+  std::vector<std::size_t> marginal_;
+};
+
+/// Priority key for greedy selection with deterministic tie-breaking:
+/// higher `primary` wins, then higher `count`, then lower `cost`, then lower
+/// set id. For benefit-driven selection pass primary = count; for gain-driven
+/// selection the caller encodes gain comparisons via MakeGainKey.
+struct SelectionKey {
+  double primary = 0.0;
+  std::size_t count = 0;
+  double cost = 0.0;
+  SetId id = kInvalidSet;
+
+  bool operator<(const SelectionKey& other) const {
+    if (primary != other.primary) return primary < other.primary;
+    if (count != other.count) return count < other.count;
+    if (cost != other.cost) return cost > other.cost;
+    return id > other.id;  // lower id preferred => "less" when id greater
+  }
+  bool operator==(const SelectionKey& other) const {
+    return primary == other.primary && count == other.count &&
+           cost == other.cost && id == other.id;
+  }
+};
+
+/// Key for benefit-maximizing selection (CMC levels, max coverage).
+SelectionKey MakeBenefitKey(std::size_t count, double cost, SetId id);
+
+/// Key for gain-maximizing selection (weighted set cover, budgeted MC).
+/// Gain = count / cost with cost 0 treated as the strongest possible gain;
+/// the double primary is count/cost which is monotone with the exact
+/// cross-multiplied comparison for the magnitudes arising here.
+SelectionKey MakeGainKey(std::size_t count, double cost, SetId id);
+
+/// Lazy-greedy max selector. Push every candidate once with its initial key;
+/// Pop() returns the candidate whose *current* key (as told by `refresh`) is
+/// maximal. `refresh` must never report a key greater than any previously
+/// reported key for the same id (monotone decay), which all marginal-benefit
+/// style keys satisfy.
+class LazySelector {
+ public:
+  void Push(SelectionKey key) { heap_.push(key); }
+
+  bool empty() const { return heap_.empty(); }
+
+  /// Pops the candidate with the maximal current key. `refresh(id)` returns
+  /// the candidate's current key, or nullopt when the candidate is no longer
+  /// eligible (e.g. zero marginal benefit) and should be discarded.
+  template <typename RefreshFn>
+  std::optional<SelectionKey> Pop(RefreshFn&& refresh) {
+    while (!heap_.empty()) {
+      SelectionKey top = heap_.top();
+      heap_.pop();
+      std::optional<SelectionKey> current = refresh(top.id);
+      if (!current.has_value()) continue;  // dropped
+      if (*current == top) return top;     // key is fresh: true argmax
+      // Key decayed; re-queue at its current value. By monotone decay the
+      // re-queued key is <= top, so the heap order stays consistent.
+      heap_.push(*current);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::priority_queue<SelectionKey> heap_;
+};
+
+}  // namespace scwsc
+
+#endif  // SCWSC_CORE_GREEDY_STATE_H_

@@ -1,0 +1,96 @@
+#include "src/core/instances.h"
+
+#include <numeric>
+
+namespace scwsc {
+
+Result<SetSystem> MakeBudgetedCounterexample(const CounterexampleSpec& spec) {
+  const std::size_t C = spec.big_set_size;
+  const std::size_t c = spec.small_set_multiplier;
+  const std::size_t k = spec.k;
+  if (C == 0 || c == 0 || k == 0) {
+    return Status::InvalidArgument("C, c and k must be positive");
+  }
+  if (c >= C) {
+    return Status::InvalidArgument(
+        "the construction needs c << C (at least c < C)");
+  }
+  const std::size_t n = C * k;
+  if (c * k > n) {
+    return Status::InvalidArgument("c*k singletons exceed the universe C*k");
+  }
+
+  SetSystem system(n);
+  // c*k singletons of weight 1: {0}, {1}, ..., {c*k - 1}.
+  for (std::size_t i = 0; i < c * k; ++i) {
+    SCWSC_ASSIGN_OR_RETURN(
+        SetId unused,
+        system.AddSet({static_cast<ElementId>(i)}, 1.0,
+                      "single" + std::to_string(i)));
+    (void)unused;
+  }
+  // k blocks of C consecutive elements, weight C + 1.
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<ElementId> block(C);
+    std::iota(block.begin(), block.end(), static_cast<ElementId>(j * C));
+    SCWSC_ASSIGN_OR_RETURN(
+        SetId unused,
+        system.AddSet(std::move(block), static_cast<double>(C) + 1.0,
+                      "block" + std::to_string(j)));
+    (void)unused;
+  }
+  if (spec.add_universe_set) {
+    std::vector<ElementId> all(n);
+    std::iota(all.begin(), all.end(), ElementId{0});
+    SCWSC_ASSIGN_OR_RETURN(
+        SetId unused,
+        system.AddSet(std::move(all), spec.universe_cost, "universe"));
+    (void)unused;
+  }
+  return system;
+}
+
+Result<SetSystem> RandomSetSystem(const RandomSystemSpec& spec, Rng& rng) {
+  if (spec.num_elements == 0) {
+    return Status::InvalidArgument("need at least one element");
+  }
+  if (spec.max_set_size == 0) {
+    return Status::InvalidArgument("max_set_size must be positive");
+  }
+  if (spec.min_cost < 0.0 || spec.max_cost < spec.min_cost) {
+    return Status::InvalidArgument("need 0 <= min_cost <= max_cost");
+  }
+  SetSystem system(spec.num_elements);
+  std::vector<double> used_costs;
+  for (std::size_t s = 0; s < spec.num_sets; ++s) {
+    const std::size_t size =
+        1 + static_cast<std::size_t>(rng.NextBounded(spec.max_set_size));
+    std::vector<ElementId> elements;
+    elements.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      elements.push_back(
+          static_cast<ElementId>(rng.NextBounded(spec.num_elements)));
+    }
+    double cost;
+    if (!used_costs.empty() && rng.NextBool(spec.duplicate_cost_probability)) {
+      cost = used_costs[static_cast<std::size_t>(
+          rng.NextBounded(used_costs.size()))];
+    } else {
+      cost = rng.NextDouble(spec.min_cost, spec.max_cost);
+    }
+    used_costs.push_back(cost);
+    SCWSC_ASSIGN_OR_RETURN(SetId unused,
+                           system.AddSet(std::move(elements), cost));
+    (void)unused;
+  }
+  if (spec.ensure_universe) {
+    std::vector<ElementId> all(spec.num_elements);
+    std::iota(all.begin(), all.end(), ElementId{0});
+    SCWSC_ASSIGN_OR_RETURN(
+        SetId unused, system.AddSet(std::move(all), spec.max_cost, "universe"));
+    (void)unused;
+  }
+  return system;
+}
+
+}  // namespace scwsc

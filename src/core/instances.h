@@ -1,0 +1,60 @@
+// Constructed and random set-system instances.
+//
+//  - MakeBudgetedCounterexample reproduces the §III construction showing
+//    that the budgeted-max-coverage greedy [11], even when allowed c·k sets,
+//    achieves arbitrarily poor coverage relative to an optimal k-set
+//    solution.
+//  - RandomSetSystem generates reproducible random instances for property
+//    tests and micro-benchmarks.
+
+#ifndef SCWSC_CORE_INSTANCES_H_
+#define SCWSC_CORE_INSTANCES_H_
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/core/set_system.h"
+
+namespace scwsc {
+
+struct CounterexampleSpec {
+  /// Size of each of the k "good" sets (C in §III); the universe has C*k
+  /// elements. Must satisfy big_set_size > small_set_multiplier.
+  std::size_t big_set_size = 100;  // C
+  /// The adversary allows the baseline c*k sets (c in §III, c << C).
+  std::size_t small_set_multiplier = 3;  // c
+  /// Number of sets in the optimal solution (k in §III).
+  std::size_t k = 10;
+  /// Also add an all-covering set of very large weight, so that Definition
+  /// 1's feasibility requirement holds for our algorithms.
+  bool add_universe_set = false;
+  double universe_cost = 0.0;  // used when add_universe_set
+};
+
+/// Builds the §III instance: elements {0,...,C·k-1}; c·k singleton sets
+/// {0},...,{c·k-1} of weight 1; k "block" sets of C consecutive elements,
+/// each of weight C+1. An optimal solution picks the k blocks (full
+/// coverage, cost k(C+1)); the budgeted greedy prefers the singletons
+/// (gain 1 vs C/(C+1) < 1) and covers only c·k elements.
+Result<SetSystem> MakeBudgetedCounterexample(const CounterexampleSpec& spec);
+
+struct RandomSystemSpec {
+  std::size_t num_elements = 100;
+  std::size_t num_sets = 50;
+  /// Each set's size is uniform in [1, max_set_size].
+  std::size_t max_set_size = 10;
+  /// Costs are uniform in [min_cost, max_cost].
+  double min_cost = 1.0;
+  double max_cost = 100.0;
+  /// Force a universe set (cost max_cost) so every instance is feasible.
+  bool ensure_universe = true;
+  /// Probability that a set's cost is exactly equal to some earlier set's
+  /// cost (exercises tie-breaking paths).
+  double duplicate_cost_probability = 0.0;
+};
+
+/// Generates a reproducible random weighted set system.
+Result<SetSystem> RandomSetSystem(const RandomSystemSpec& spec, Rng& rng);
+
+}  // namespace scwsc
+
+#endif  // SCWSC_CORE_INSTANCES_H_

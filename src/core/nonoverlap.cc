@@ -1,0 +1,97 @@
+#include "src/core/nonoverlap.h"
+
+#include "src/common/bitset.h"
+#include "src/core/greedy_state.h"
+
+namespace scwsc {
+
+Result<Solution> RunNonOverlappingGreedy(const SetSystem& system,
+                                         const NonOverlapOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  if (options.coverage_fraction < 0.0 || options.coverage_fraction > 1.0) {
+    return Status::InvalidArgument("coverage_fraction must be in [0, 1]");
+  }
+  std::size_t rem = SetSystem::CoverageTarget(options.coverage_fraction,
+                                              system.num_elements());
+  Solution solution;
+  if (rem == 0) return solution;
+
+  DynamicBitset covered(system.num_elements());
+  std::vector<bool> alive(system.num_sets(), true);
+
+  while (solution.sets.size() < options.k) {
+    // Argmax gain among sets fully disjoint from the current coverage.
+    // Disjointness is not monotone-decaying in a heap-friendly way (a set
+    // flips from eligible to ineligible exactly once, but its key does not
+    // change), so a scan with cached invalidation is the simplest sound
+    // choice at this module's scale.
+    SetId best = kInvalidSet;
+    std::size_t best_count = 0;
+    for (SetId id = 0; id < system.num_sets(); ++id) {
+      if (!alive[id]) continue;
+      const WeightedSet& s = system.set(id);
+      if (s.elements.empty()) {
+        alive[id] = false;
+        continue;
+      }
+      bool disjoint = true;
+      for (ElementId e : s.elements) {
+        if (covered.test(e)) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (!disjoint) {
+        alive[id] = false;  // can never become disjoint again
+        continue;
+      }
+      const std::size_t count = s.elements.size();
+      bool wins;
+      if (best == kInvalidSet) {
+        wins = true;
+      } else if (options.rule == NonOverlapOptions::Rule::kGain) {
+        const double best_cost = system.set(best).cost;
+        wins = BetterGain(count, s.cost, best_count, best_cost) ||
+               (!BetterGain(best_count, best_cost, count, s.cost) &&
+                (count > best_count ||
+                 (count == best_count &&
+                  (s.cost < best_cost || (s.cost == best_cost && id < best)))));
+      } else {
+        const double best_cost = system.set(best).cost;
+        wins = count > best_count ||
+               (count == best_count &&
+                (s.cost < best_cost || (s.cost == best_cost && id < best)));
+      }
+      if (wins) {
+        best = id;
+        best_count = count;
+      }
+    }
+    if (best == kInvalidSet) {
+      if (options.best_effort) {
+        solution.covered = covered.count();
+        return solution;
+      }
+      return Status::Infeasible(
+          "non-overlapping greedy: no disjoint set extends the selection");
+    }
+    alive[best] = false;
+    const WeightedSet& s = system.set(best);
+    for (ElementId e : s.elements) covered.set(e);
+    solution.sets.push_back(best);
+    solution.total_cost += s.cost;
+    rem = s.elements.size() >= rem ? 0 : rem - s.elements.size();
+    if (rem == 0) {
+      solution.covered = covered.count();
+      return solution;
+    }
+  }
+  if (options.best_effort) {
+    solution.covered = covered.count();
+    return solution;
+  }
+  return Status::Infeasible(
+      "non-overlapping greedy: k sets selected before reaching the target");
+}
+
+}  // namespace scwsc

@@ -1,0 +1,61 @@
+#include "src/core/solution.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/bitset.h"
+#include "src/common/strings.h"
+
+namespace scwsc {
+
+Result<SolutionAudit> AuditSolution(const SetSystem& system,
+                                    const Solution& solution) {
+  SolutionAudit audit;
+  audit.num_sets = solution.sets.size();
+  DynamicBitset covered(system.num_elements());
+  std::unordered_set<SetId> seen;
+  for (SetId id : solution.sets) {
+    if (id >= system.num_sets()) {
+      return Status::InvalidArgument("solution references unknown set id " +
+                                     std::to_string(id));
+    }
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("solution contains duplicate set id " +
+                                     std::to_string(id));
+    }
+    const WeightedSet& s = system.set(id);
+    audit.total_cost += s.cost;
+    for (ElementId e : s.elements) covered.set(e);
+  }
+  audit.covered = covered.count();
+  audit.bookkeeping_consistent =
+      audit.covered == solution.covered &&
+      std::abs(audit.total_cost - solution.total_cost) <=
+          1e-9 * std::max(1.0, std::abs(audit.total_cost));
+  return audit;
+}
+
+bool SatisfiesConstraints(const SetSystem& system, const Solution& solution,
+                          std::size_t k, double coverage_fraction) {
+  auto audit = AuditSolution(system, solution);
+  if (!audit.ok()) return false;
+  const std::size_t target =
+      SetSystem::CoverageTarget(coverage_fraction, system.num_elements());
+  return audit->num_sets <= k && audit->covered >= target;
+}
+
+std::string SolutionToString(const SetSystem& system,
+                             const Solution& solution) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < solution.sets.size(); ++i) {
+    if (i) out += ", ";
+    const WeightedSet& s = system.set(solution.sets[i]);
+    out += s.label.empty() ? "S" + std::to_string(solution.sets[i]) : s.label;
+  }
+  out += StrFormat("} cost=%s covered=%zu/%zu",
+                   FormatNumber(solution.total_cost).c_str(), solution.covered,
+                   system.num_elements());
+  return out;
+}
+
+}  // namespace scwsc

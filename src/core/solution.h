@@ -1,0 +1,50 @@
+// Solution: the output of every solver, plus an independent auditor.
+
+#ifndef SCWSC_CORE_SOLUTION_H_
+#define SCWSC_CORE_SOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/set_system.h"
+
+namespace scwsc {
+
+/// A sub-collection of sets chosen by a solver, with the solver's own
+/// bookkeeping of cost and coverage (audited independently by AuditSolution).
+struct Solution {
+  std::vector<SetId> sets;   // in selection order
+  double total_cost = 0.0;   // Σ Cost(s) over the selection
+  std::size_t covered = 0;   // |∪ Ben(s)|
+};
+
+/// Facts about a Solution recomputed from scratch against the SetSystem;
+/// used by tests and by the benchmark harness to guard against solver
+/// bookkeeping bugs.
+struct SolutionAudit {
+  std::size_t num_sets = 0;
+  double total_cost = 0.0;
+  std::size_t covered = 0;
+  /// True when the recomputed cost/coverage match the Solution's own fields.
+  bool bookkeeping_consistent = false;
+};
+
+/// Recomputes cost and coverage of `solution` over `system`. Fails if any
+/// SetId is out of range or duplicated.
+Result<SolutionAudit> AuditSolution(const SetSystem& system,
+                                    const Solution& solution);
+
+/// True when the solution meets the size-constrained weighted set cover
+/// constraints: at most `k` sets covering at least CoverageTarget(fraction,n)
+/// elements.
+bool SatisfiesConstraints(const SetSystem& system, const Solution& solution,
+                          std::size_t k, double coverage_fraction);
+
+/// Human-readable one-line summary: "{P6, P16} cost=27 covered=9/16".
+std::string SolutionToString(const SetSystem& system,
+                             const Solution& solution);
+
+}  // namespace scwsc
+
+#endif  // SCWSC_CORE_SOLUTION_H_

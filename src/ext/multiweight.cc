@@ -1,0 +1,152 @@
+#include "src/ext/multiweight.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace scwsc {
+namespace ext {
+
+MultiWeightSetSystem::MultiWeightSetSystem(std::size_t num_elements,
+                                           std::size_t num_objectives)
+    : num_elements_(num_elements), num_objectives_(num_objectives) {}
+
+Result<SetId> MultiWeightSetSystem::AddSet(std::vector<ElementId> elements,
+                                           std::vector<double> costs,
+                                           std::string label) {
+  if (costs.size() != num_objectives_) {
+    return Status::InvalidArgument("cost vector arity mismatch");
+  }
+  for (double c : costs) {
+    if (!(c >= 0.0) || !std::isfinite(c)) {
+      return Status::InvalidArgument("costs must be finite and >= 0");
+    }
+  }
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  if (!elements.empty() && elements.back() >= num_elements_) {
+    return Status::InvalidArgument("element id out of universe");
+  }
+  elements_.push_back(std::move(elements));
+  costs_.push_back(std::move(costs));
+  labels_.push_back(std::move(label));
+  return static_cast<SetId>(costs_.size() - 1);
+}
+
+Result<SetSystem> MultiWeightSetSystem::Scalarize(
+    const Scalarizer& scalarizer) const {
+  if (scalarizer.lambda().size() != num_objectives_) {
+    return Status::InvalidArgument("scalarizer arity mismatch");
+  }
+  SetSystem system(num_elements_);
+  for (SetId id = 0; id < num_sets(); ++id) {
+    SCWSC_ASSIGN_OR_RETURN(
+        SetId added, system.AddSet(elements_[id],
+                                   scalarizer.Apply(costs_[id]), labels_[id]));
+    (void)added;
+  }
+  return system;
+}
+
+namespace {
+Result<std::vector<double>> ValidateLambda(std::vector<double> lambda) {
+  if (lambda.empty()) {
+    return Status::InvalidArgument("lambda must be non-empty");
+  }
+  for (double l : lambda) {
+    if (!(l >= 0.0) || !std::isfinite(l)) {
+      return Status::InvalidArgument("lambda entries must be finite and >= 0");
+    }
+  }
+  return lambda;
+}
+}  // namespace
+
+Result<Scalarizer> Scalarizer::WeightedSum(std::vector<double> lambda) {
+  SCWSC_ASSIGN_OR_RETURN(auto validated, ValidateLambda(std::move(lambda)));
+  return Scalarizer(Kind::kWeightedSum, std::move(validated));
+}
+
+Result<Scalarizer> Scalarizer::WeightedChebyshev(std::vector<double> lambda) {
+  SCWSC_ASSIGN_OR_RETURN(auto validated, ValidateLambda(std::move(lambda)));
+  return Scalarizer(Kind::kWeightedChebyshev, std::move(validated));
+}
+
+double Scalarizer::Apply(const std::vector<double>& costs) const {
+  double out = 0.0;
+  for (std::size_t i = 0; i < lambda_.size(); ++i) {
+    const double term = lambda_[i] * costs[i];
+    if (kind_ == Kind::kWeightedSum) {
+      out += term;
+    } else {
+      out = std::max(out, term);
+    }
+  }
+  return out;
+}
+
+bool Dominates(const MultiSolution& a, const MultiSolution& b) {
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.objective_costs.size(); ++i) {
+    if (a.objective_costs[i] > b.objective_costs[i]) return false;
+    if (a.objective_costs[i] < b.objective_costs[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<MultiSolution> ParetoFilter(std::vector<MultiSolution> solutions) {
+  // Deduplicate by the selected set collection (order-insensitive).
+  std::set<std::vector<SetId>> seen;
+  std::vector<MultiSolution> unique;
+  for (auto& ms : solutions) {
+    std::vector<SetId> key = ms.solution.sets;
+    std::sort(key.begin(), key.end());
+    if (seen.insert(std::move(key)).second) unique.push_back(std::move(ms));
+  }
+  std::vector<MultiSolution> front;
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < unique.size() && !dominated; ++j) {
+      if (i != j && Dominates(unique[j], unique[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(unique[i]);
+  }
+  return front;
+}
+
+Result<std::vector<MultiSolution>> SweepScalarizations(
+    const MultiWeightSetSystem& system, const CwscOptions& options,
+    const std::vector<Scalarizer>& scalarizers) {
+  if (scalarizers.empty()) {
+    return Status::InvalidArgument("need at least one scalarizer");
+  }
+  std::vector<MultiSolution> outcomes;
+  Status last_failure = Status::OK();
+  for (const Scalarizer& sc : scalarizers) {
+    SCWSC_ASSIGN_OR_RETURN(SetSystem scalar, system.Scalarize(sc));
+    auto solved = RunCwsc(scalar, options);
+    if (!solved.ok()) {
+      last_failure = solved.status();
+      continue;
+    }
+    MultiSolution ms;
+    ms.solution = std::move(*solved);
+    ms.objective_costs.assign(system.num_objectives(), 0.0);
+    for (SetId id : ms.solution.sets) {
+      const auto& costs = system.costs(id);
+      for (std::size_t o = 0; o < costs.size(); ++o) {
+        ms.objective_costs[o] += costs[o];
+      }
+    }
+    outcomes.push_back(std::move(ms));
+  }
+  if (outcomes.empty()) {
+    return Status::Infeasible("every scalarized run failed: " +
+                              last_failure.ToString());
+  }
+  return ParetoFilter(std::move(outcomes));
+}
+
+}  // namespace ext
+}  // namespace scwsc

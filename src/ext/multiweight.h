@@ -1,0 +1,105 @@
+// Multi-weight size-constrained weighted set cover (paper §VII future work).
+//
+// "Another interesting problem is how to handle multiple weights associated
+// with each set or pattern."
+//
+// Each set carries a cost vector (e.g. deployment cost and staffing cost of
+// a facility). The solver scalarizes the vector into a single cost —
+// weighted sum or weighted Chebyshev (max) — runs CWSC, and reports the
+// solution's per-objective totals. SweepScalarizations runs a family of
+// scalarizers and keeps the Pareto-optimal outcomes, giving callers a
+// cost-tradeoff front instead of one number.
+
+#ifndef SCWSC_EXT_MULTIWEIGHT_H_
+#define SCWSC_EXT_MULTIWEIGHT_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/cwsc.h"
+#include "src/core/solution.h"
+
+namespace scwsc {
+namespace ext {
+
+class MultiWeightSetSystem {
+ public:
+  MultiWeightSetSystem(std::size_t num_elements, std::size_t num_objectives);
+
+  /// Adds a set with one cost per objective (costs.size() must equal
+  /// num_objectives; each cost finite and >= 0).
+  Result<SetId> AddSet(std::vector<ElementId> elements,
+                       std::vector<double> costs, std::string label = "");
+
+  std::size_t num_elements() const { return num_elements_; }
+  std::size_t num_objectives() const { return num_objectives_; }
+  std::size_t num_sets() const { return costs_.size(); }
+
+  const std::vector<double>& costs(SetId id) const { return costs_[id]; }
+  const std::vector<ElementId>& elements(SetId id) const {
+    return elements_[id];
+  }
+  const std::string& label(SetId id) const { return labels_[id]; }
+
+  /// Materializes a single-cost SetSystem with cost = scalarize(costs).
+  /// SetIds are preserved.
+  Result<SetSystem> Scalarize(const class Scalarizer& scalarizer) const;
+
+ private:
+  std::size_t num_elements_;
+  std::size_t num_objectives_;
+  std::vector<std::vector<ElementId>> elements_;
+  std::vector<std::vector<double>> costs_;
+  std::vector<std::string> labels_;
+};
+
+/// Maps a cost vector to a single cost.
+class Scalarizer {
+ public:
+  enum class Kind {
+    kWeightedSum,    // Σ lambda_i * c_i
+    kWeightedChebyshev,  // max_i lambda_i * c_i
+  };
+
+  /// `lambda` must be non-empty with non-negative finite entries.
+  static Result<Scalarizer> WeightedSum(std::vector<double> lambda);
+  static Result<Scalarizer> WeightedChebyshev(std::vector<double> lambda);
+
+  Kind kind() const { return kind_; }
+  const std::vector<double>& lambda() const { return lambda_; }
+
+  /// Requires costs.size() == lambda().size().
+  double Apply(const std::vector<double>& costs) const;
+
+ private:
+  Scalarizer(Kind kind, std::vector<double> lambda)
+      : kind_(kind), lambda_(std::move(lambda)) {}
+  Kind kind_;
+  std::vector<double> lambda_;
+};
+
+/// A solution with its per-objective cost totals.
+struct MultiSolution {
+  Solution solution;
+  std::vector<double> objective_costs;
+};
+
+/// True when a is at least as good as b on every objective and strictly
+/// better on at least one.
+bool Dominates(const MultiSolution& a, const MultiSolution& b);
+
+/// Keeps only the non-dominated solutions (stable order, duplicates by
+/// selected-set equality removed first).
+std::vector<MultiSolution> ParetoFilter(std::vector<MultiSolution> solutions);
+
+/// Runs CWSC once per scalarizer and returns the Pareto front of the
+/// distinct outcomes. Scalarizers whose runs are infeasible are skipped;
+/// Infeasible is returned only when every run fails.
+Result<std::vector<MultiSolution>> SweepScalarizations(
+    const MultiWeightSetSystem& system, const CwscOptions& options,
+    const std::vector<Scalarizer>& scalarizers);
+
+}  // namespace ext
+}  // namespace scwsc
+
+#endif  // SCWSC_EXT_MULTIWEIGHT_H_

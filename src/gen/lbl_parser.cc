@@ -1,0 +1,104 @@
+#include "src/gen/lbl_parser.h"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "src/common/strings.h"
+#include "src/table/builder.h"
+
+namespace scwsc {
+namespace gen {
+namespace {
+
+/// Splits on runs of whitespace (the archive uses single spaces, but be
+/// liberal in what we accept).
+std::vector<std::string_view> SplitWhitespace(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ParseLblConnections(std::istream& in,
+                                  const LblParseOptions& options,
+                                  LblParseStats* stats) {
+  LblParseStats local;
+  LblParseStats& st = stats ? *stats : local;
+  st = LblParseStats{};
+
+  TableBuilder builder(
+      {"protocol", "localhost", "remotehost", "endstate", "flags"},
+      "session_length");
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto fields = SplitWhitespace(line);
+    if (fields.empty()) continue;  // blank line
+    // timestamp duration protocol bytes bytes local remote state [flags]
+    // (the flags column is absent from some archive variants).
+    if (fields.size() != 8 && fields.size() != 9) {
+      if (options.skip_malformed_lines) {
+        ++st.skipped_malformed;
+        continue;
+      }
+      return Status::ParseError(
+          StrFormat("line %zu: expected 8 or 9 fields, got %zu", line_no,
+                    fields.size()));
+    }
+    double duration = options.unknown_duration_value;
+    if (fields[1] == "?") {
+      if (options.skip_unknown_durations) {
+        ++st.skipped_unknown;
+        continue;
+      }
+    } else {
+      auto parsed = ParseDouble(fields[1]);
+      if (!parsed.ok()) {
+        if (options.skip_malformed_lines) {
+          ++st.skipped_malformed;
+          continue;
+        }
+        return Status::ParseError(StrFormat(
+            "line %zu: bad duration '%.*s'", line_no,
+            static_cast<int>(fields[1].size()), fields[1].data()));
+      }
+      duration = *parsed;
+    }
+    const std::string_view flags = fields.size() == 9 ? fields[8] : "-";
+    SCWSC_RETURN_NOT_OK(builder.AddRow(
+        {fields[2], fields[5], fields[6], fields[7], flags}, duration));
+    ++st.parsed_rows;
+    if (options.max_rows != 0 && st.parsed_rows >= options.max_rows) break;
+  }
+  if (st.parsed_rows == 0) {
+    return Status::ParseError("no connection records parsed");
+  }
+  return std::move(builder).Build();
+}
+
+Result<Table> ParseLblConnectionsFile(const std::string& path,
+                                      const LblParseOptions& options,
+                                      LblParseStats* stats) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  return ParseLblConnections(in, options, stats);
+}
+
+}  // namespace gen
+}  // namespace scwsc

@@ -1,0 +1,57 @@
+// Parser for the real LBL-CONN-7 trace format (ita.ee.lbl.gov).
+//
+// The archive's connection records are whitespace-separated lines:
+//
+//   timestamp duration protocol bytes_src bytes_dst localhost remotehost
+//   state flags
+//
+// with "?" marking unknown durations/byte counts. This library's benches
+// substitute a synthetic trace (the archive is not redistributable), but
+// anyone holding the original file can parse it into the exact Table shape
+// the experiments use — 5 pattern attributes (protocol, localhost,
+// remotehost, endstate, flags) with the session duration as the measure —
+// and rerun every bench on the paper's real data.
+
+#ifndef SCWSC_GEN_LBL_PARSER_H_
+#define SCWSC_GEN_LBL_PARSER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace gen {
+
+struct LblParseOptions {
+  /// Rows whose duration is "?" are skipped when true; otherwise they get
+  /// unknown_duration_value.
+  bool skip_unknown_durations = true;
+  double unknown_duration_value = 0.0;
+  /// Stop after this many parsed rows (0 = no limit).
+  std::size_t max_rows = 0;
+  /// Tolerate and skip malformed lines instead of failing.
+  bool skip_malformed_lines = false;
+};
+
+struct LblParseStats {
+  std::size_t parsed_rows = 0;
+  std::size_t skipped_unknown = 0;
+  std::size_t skipped_malformed = 0;
+};
+
+/// Parses the LBL-CONN-7 record stream into the experiment Table.
+Result<Table> ParseLblConnections(std::istream& in,
+                                  const LblParseOptions& options = {},
+                                  LblParseStats* stats = nullptr);
+
+/// File overload.
+Result<Table> ParseLblConnectionsFile(const std::string& path,
+                                      const LblParseOptions& options = {},
+                                      LblParseStats* stats = nullptr);
+
+}  // namespace gen
+}  // namespace scwsc
+
+#endif  // SCWSC_GEN_LBL_PARSER_H_

@@ -1,0 +1,106 @@
+#include "src/gen/lbl_synth.h"
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/table/builder.h"
+
+namespace scwsc {
+namespace gen {
+namespace {
+
+const char* const kProtocolNames[] = {"nntp",   "smtp", "telnet", "ftp",
+                                      "finger", "http", "login",  "shell",
+                                      "exec",   "uucp"};
+const char* const kEndstateNames[] = {"SF",  "REJ",    "S0",   "S1",
+                                      "S2",  "S3",     "RSTO", "RSTR",
+                                      "OTH", "RSTOSn", "SHR",  "SH"};
+
+std::string ProtocolName(std::size_t i) {
+  constexpr std::size_t kNamed = sizeof(kProtocolNames) / sizeof(char*);
+  if (i < kNamed) return kProtocolNames[i];
+  return StrFormat("proto%zu", i);
+}
+
+std::string EndstateName(std::size_t i) {
+  constexpr std::size_t kNamed = sizeof(kEndstateNames) / sizeof(char*);
+  if (i < kNamed) return kEndstateNames[i];
+  return StrFormat("state%zu", i);
+}
+
+}  // namespace
+
+Result<Table> MakeLblSynth(const LblSynthSpec& spec) {
+  if (spec.num_rows == 0) {
+    return Status::InvalidArgument("num_rows must be positive");
+  }
+  if (spec.num_protocols == 0 || spec.num_localhosts == 0 ||
+      spec.num_remotehosts == 0 || spec.num_endstates == 0 ||
+      spec.num_flags == 0) {
+    return Status::InvalidArgument("all attribute domains must be non-empty");
+  }
+  if (spec.endstate_protocol_correlation < 0.0 ||
+      spec.endstate_protocol_correlation > 1.0) {
+    return Status::InvalidArgument("correlation must be in [0, 1]");
+  }
+  if (spec.session_log_sigma < 0.0) {
+    return Status::InvalidArgument("session_log_sigma must be >= 0");
+  }
+
+  // Deterministic per-value log-mean shift in [-1, 1], keyed on the
+  // attribute index and value id (independent of the RNG stream so that
+  // adding rows never changes earlier rows' measures).
+  const auto value_shift = [&](std::size_t attr, std::size_t value) {
+    std::uint64_t state =
+        spec.seed ^ (0x9E3779B97F4A7C15ull * (attr + 1)) ^ (value * 0x51ull);
+    const std::uint64_t h = SplitMix64(state);
+    return 2.0 * (static_cast<double>(h >> 11) * 0x1.0p-53) - 1.0;
+  };
+  // Attribute weights: protocol and end state dominate duration, flags
+  // matter a little, hosts barely.
+  const double weights[5] = {1.0, 0.15, 0.15, 0.7, 0.3};
+
+  Rng rng(spec.seed);
+  ZipfSampler protocol(spec.num_protocols, spec.protocol_skew);
+  ZipfSampler localhost(spec.num_localhosts, spec.host_skew);
+  ZipfSampler remotehost(spec.num_remotehosts, spec.host_skew);
+  ZipfSampler endstate(spec.num_endstates, spec.endstate_skew);
+  ZipfSampler flags(spec.num_flags, spec.flags_skew);
+
+  TableBuilder builder(
+      {"protocol", "localhost", "remotehost", "endstate", "flags"},
+      "session_length");
+
+  for (std::size_t i = 0; i < spec.num_rows; ++i) {
+    const std::size_t proto = protocol.Sample(rng);
+    const std::size_t lhost = localhost.Sample(rng);
+    const std::size_t rhost = remotehost.Sample(rng);
+    // Correlated end state: each protocol prefers one end state.
+    std::size_t state;
+    if (rng.NextBool(spec.endstate_protocol_correlation)) {
+      state = proto % spec.num_endstates;
+    } else {
+      state = endstate.Sample(rng);
+    }
+    const std::size_t flag = flags.Sample(rng);
+    const double mu =
+        spec.session_log_mean +
+        spec.measure_attribute_effect *
+            (weights[0] * value_shift(0, proto) +
+             weights[1] * value_shift(1, lhost) +
+             weights[2] * value_shift(2, rhost) +
+             weights[3] * value_shift(3, state) +
+             weights[4] * value_shift(4, flag));
+    const double session = rng.NextLogNormal(mu, spec.session_log_sigma);
+
+    const Status st = builder.AddRow(
+        {ProtocolName(proto), StrFormat("lh%zu", lhost),
+         StrFormat("rh%zu", rhost), EndstateName(state),
+         StrFormat("f%zu", flag)},
+        session);
+    SCWSC_RETURN_NOT_OK(st);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace gen
+}  // namespace scwsc

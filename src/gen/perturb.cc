@@ -1,0 +1,53 @@
+#include "src/gen/perturb.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scwsc {
+namespace gen {
+
+Result<Table> UniformPerturbMeasure(const Table& table, double delta,
+                                    Rng& rng) {
+  if (!table.has_measure()) {
+    return Status::InvalidArgument("table has no measure column");
+  }
+  if (delta < 0.0 || delta > 1.0) {
+    return Status::InvalidArgument("delta must be in [0, 1]");
+  }
+  std::vector<double> measure(table.num_rows());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    const double m = table.measure(r);
+    measure[r] = rng.NextDouble((1.0 - delta) * m, (1.0 + delta) * m);
+  }
+  return table.WithMeasure(std::move(measure));
+}
+
+Result<Table> LogNormalRankPreserving(const Table& table, double log_mean,
+                                      double log_sigma, Rng& rng) {
+  if (!table.has_measure()) {
+    return Status::InvalidArgument("table has no measure column");
+  }
+  if (log_sigma < 0.0) {
+    return Status::InvalidArgument("log_sigma must be >= 0");
+  }
+  const std::size_t n = table.num_rows();
+  std::vector<double> draws(n);
+  for (auto& d : draws) d = rng.NextLogNormal(log_mean, log_sigma);
+  std::sort(draws.begin(), draws.end());
+
+  // Rank of each row by original measure (ties by row id).
+  std::vector<RowId> order(n);
+  std::iota(order.begin(), order.end(), RowId{0});
+  std::stable_sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    return table.measure(a) < table.measure(b);
+  });
+
+  std::vector<double> measure(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    measure[order[rank]] = draws[rank];
+  }
+  return table.WithMeasure(std::move(measure));
+}
+
+}  // namespace gen
+}  // namespace scwsc

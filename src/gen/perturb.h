@@ -1,0 +1,33 @@
+// Measure perturbations of §VI-B.
+//
+// To probe CWSC's solution quality under different weight distributions the
+// paper derives two groups of synthetic data sets from the base trace:
+//  (1) each measure m replaced by a uniform draw from [(1-δ)m, (1+δ)m];
+//  (2) measures re-drawn from a log-normal distribution and assigned to
+//      rows in the same rank order as the original measures.
+
+#ifndef SCWSC_GEN_PERTURB_H_
+#define SCWSC_GEN_PERTURB_H_
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace gen {
+
+/// Group 1: per-row uniform perturbation with relative width delta in
+/// [0, 1]. delta = 0 returns an identical measure column.
+Result<Table> UniformPerturbMeasure(const Table& table, double delta,
+                                    Rng& rng);
+
+/// Group 2: draws num_rows log-normal values with the given parameters and
+/// assigns them rank-preservingly: the row with the r-th smallest original
+/// measure receives the r-th smallest new value (ties broken by row id).
+Result<Table> LogNormalRankPreserving(const Table& table, double log_mean,
+                                      double log_sigma, Rng& rng);
+
+}  // namespace gen
+}  // namespace scwsc
+
+#endif  // SCWSC_GEN_PERTURB_H_

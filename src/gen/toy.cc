@@ -1,0 +1,32 @@
+#include "src/gen/toy.h"
+
+#include "src/common/logging.h"
+#include "src/table/builder.h"
+
+namespace scwsc {
+namespace gen {
+
+Table MakeEntitiesTable() {
+  TableBuilder builder({"Type", "Location"}, "Cost");
+  struct Row {
+    const char* type;
+    const char* location;
+    double cost;
+  };
+  // Paper Table I, rows 1-16 in order (row id = paper ID - 1).
+  static constexpr Row kRows[] = {
+      {"A", "West", 10},      {"A", "Northeast", 32}, {"B", "South", 2},
+      {"A", "North", 4},      {"B", "East", 7},       {"A", "Northwest", 20},
+      {"B", "West", 4},       {"B", "Southwest", 24}, {"A", "Southwest", 4},
+      {"B", "Northwest", 4},  {"A", "North", 3},      {"B", "Northeast", 3},
+      {"B", "South", 1},      {"B", "North", 20},     {"A", "East", 3},
+      {"A", "South", 96},
+  };
+  for (const Row& row : kRows) {
+    SCWSC_CHECK(builder.AddRow({row.type, row.location}, row.cost).ok());
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace gen
+}  // namespace scwsc

@@ -1,0 +1,20 @@
+// The paper's running example (Tables I and II): 16 real-world entities
+// with Type and Location pattern attributes and a Cost measure.
+
+#ifndef SCWSC_GEN_TOY_H_
+#define SCWSC_GEN_TOY_H_
+
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace gen {
+
+/// Builds Table I of the paper verbatim: 16 entities, attributes Type
+/// (A/B) and Location (8 values), measure Cost. Enumerating its patterns
+/// with the max cost function yields exactly the 24 patterns of Table II.
+Table MakeEntitiesTable();
+
+}  // namespace gen
+}  // namespace scwsc
+
+#endif  // SCWSC_GEN_TOY_H_

@@ -1,0 +1,64 @@
+#include "src/gen/tripartite.h"
+
+#include "src/common/strings.h"
+#include "src/table/builder.h"
+
+namespace scwsc {
+namespace gen {
+
+Result<TripartiteInstance> MakeTripartiteReduction(
+    const TripartiteSpec& spec) {
+  if (spec.a_size == 0 || spec.b_size == 0 || spec.c_size == 0) {
+    return Status::InvalidArgument("all partitions must be non-empty");
+  }
+  if (spec.edge_probability < 0.0 || spec.edge_probability > 1.0) {
+    return Status::InvalidArgument("edge_probability must be in [0, 1]");
+  }
+  if (!(spec.big_weight > spec.tau)) {
+    return Status::InvalidArgument("big_weight must exceed tau");
+  }
+
+  Rng rng(spec.seed);
+  TableBuilder builder({"D1", "D2", "D3"}, "M");
+  std::vector<TripartiteEdge> edges;
+
+  auto an = [](std::size_t i) { return StrFormat("a%zu", i); };
+  auto bn = [](std::size_t i) { return StrFormat("b%zu", i); };
+  auto cn = [](std::size_t i) { return StrFormat("c%zu", i); };
+
+  for (std::size_t i = 0; i < spec.a_size; ++i) {
+    for (std::size_t j = 0; j < spec.b_size; ++j) {
+      if (!rng.NextBool(spec.edge_probability)) continue;
+      SCWSC_RETURN_NOT_OK(builder.AddRow({an(i), bn(j), "z"}, spec.tau));
+      edges.push_back(TripartiteEdge{an(i), bn(j)});
+    }
+  }
+  for (std::size_t i = 0; i < spec.a_size; ++i) {
+    for (std::size_t k = 0; k < spec.c_size; ++k) {
+      if (!rng.NextBool(spec.edge_probability)) continue;
+      SCWSC_RETURN_NOT_OK(builder.AddRow({an(i), "y", cn(k)}, spec.tau));
+      edges.push_back(TripartiteEdge{an(i), cn(k)});
+    }
+  }
+  for (std::size_t j = 0; j < spec.b_size; ++j) {
+    for (std::size_t k = 0; k < spec.c_size; ++k) {
+      if (!rng.NextBool(spec.edge_probability)) continue;
+      SCWSC_RETURN_NOT_OK(builder.AddRow({"x", bn(j), cn(k)}, spec.tau));
+      edges.push_back(TripartiteEdge{bn(j), cn(k)});
+    }
+  }
+  if (edges.empty()) {
+    return Status::Infeasible(
+        "random graph has no edges; raise edge_probability or reseed");
+  }
+  SCWSC_RETURN_NOT_OK(builder.AddRow({"x", "y", "z"}, spec.big_weight));
+
+  TripartiteInstance instance{std::move(builder).Build(), std::move(edges),
+                              0.0};
+  const double m = static_cast<double>(instance.edges.size());
+  instance.coverage_fraction = m / (m + 1.0);
+  return instance;
+}
+
+}  // namespace gen
+}  // namespace scwsc

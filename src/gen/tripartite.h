@@ -1,0 +1,61 @@
+// The Lemma 1 hardness gadget: reduction from VERTEX COVER IN TRIPARTITE
+// GRAPHS to size-constrained weighted set cover on patterned sets.
+//
+// Given a tripartite graph G = (A ∪ B ∪ C, E), build a table with pattern
+// attributes D1, D2, D3 and measure M: every edge becomes one record —
+// {a_i, b_j} -> (a_i, b_j, z | τ), {a_i, c_k} -> (a_i, y, c_k | τ),
+// {b_j, c_k} -> (x, b_j, c_k | τ) — plus a final record (x, y, z | W) with
+// W > τ. With coverage fraction m/(m+1) and max-measure costs, the
+// smallest set of patterns of cost ≤ τ covering the target equals the
+// minimum vertex cover of G (Lemma 1); tests/tripartite_test.cc verifies
+// this equivalence on random graphs against a brute-force vertex cover.
+
+#ifndef SCWSC_GEN_TRIPARTITE_H_
+#define SCWSC_GEN_TRIPARTITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace gen {
+
+struct TripartiteSpec {
+  std::size_t a_size = 4;
+  std::size_t b_size = 4;
+  std::size_t c_size = 4;
+  /// Probability of each cross-partition edge.
+  double edge_probability = 0.4;
+  std::uint64_t seed = 1;
+  /// Measure of edge records (the cost threshold of Lemma 1).
+  double tau = 1.0;
+  /// Measure of the (x, y, z) record; must exceed tau.
+  double big_weight = 100.0;
+};
+
+/// An edge of the generated tripartite graph, as vertex names
+/// ("a0".."aN", "b...", "c...").
+struct TripartiteEdge {
+  std::string u;
+  std::string v;
+};
+
+struct TripartiteInstance {
+  Table table;
+  std::vector<TripartiteEdge> edges;
+  /// The Lemma 1 coverage fraction m / (m + 1).
+  double coverage_fraction = 0.0;
+};
+
+/// Builds the reduction for a random tripartite graph. Fails when the graph
+/// has no edges (the reduction needs m >= 1) after the random draw — retry
+/// with another seed or higher probability.
+Result<TripartiteInstance> MakeTripartiteReduction(const TripartiteSpec& spec);
+
+}  // namespace gen
+}  // namespace scwsc
+
+#endif  // SCWSC_GEN_TRIPARTITE_H_

@@ -1,0 +1,112 @@
+#include "src/hierarchy/bucketize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+#include "src/table/builder.h"
+
+namespace scwsc {
+namespace hierarchy {
+
+Result<BucketizedAttribute> AppendBucketizedAttribute(
+    const Table& table, const std::vector<double>& values,
+    const std::string& name, const BucketizeOptions& options) {
+  if (values.size() != table.num_rows()) {
+    return Status::InvalidArgument("values length does not match row count");
+  }
+  if (options.num_buckets < 2) {
+    return Status::InvalidArgument("need at least 2 buckets");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot bucketize an empty table");
+  }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("values must be finite");
+    }
+  }
+
+  // Equi-depth cut points; deduplicate so buckets are non-degenerate.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> cuts;  // lower bounds of buckets 1..m-1
+  for (std::size_t b = 1; b < options.num_buckets; ++b) {
+    const double cut = sorted[values.size() * b / options.num_buckets];
+    if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+  }
+  const std::size_t num_buckets = cuts.size() + 1;
+
+  auto bucket_of = [&](double v) -> std::size_t {
+    return static_cast<std::size_t>(
+        std::upper_bound(cuts.begin(), cuts.end(), v) - cuts.begin());
+  };
+  auto bucket_lo = [&](std::size_t b) {
+    return b == 0 ? sorted.front() : cuts[b - 1];
+  };
+  auto bucket_hi = [&](std::size_t b) {
+    return b + 1 == num_buckets ? sorted.back() : cuts[b];
+  };
+  auto range_label = [&](std::size_t lo_bucket, std::size_t hi_bucket) {
+    return StrFormat("[%s..%s]", FormatNumber(bucket_lo(lo_bucket)).c_str(),
+                     FormatNumber(bucket_hi(hi_bucket)).c_str());
+  };
+
+  // Rebuild the table with the bucket attribute appended.
+  std::vector<std::string> attr_names = table.schema().attribute_names();
+  attr_names.push_back(name);
+  TableBuilder builder(attr_names, table.schema().measure_name());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string_view> row;
+    std::vector<std::string> storage;
+    storage.reserve(table.num_attributes() + 1);
+    for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+      storage.push_back(table.value_name(r, a));
+    }
+    const std::size_t b = bucket_of(values[r]);
+    storage.push_back(range_label(b, b));
+    for (const auto& s : storage) row.push_back(s);
+    SCWSC_RETURN_NOT_OK(
+        builder.AddRow(row, table.has_measure() ? table.measure(r) : 0.0));
+  }
+  Table with_bucket = std::move(builder).Build();
+  const std::size_t attr_index = with_bucket.num_attributes() - 1;
+
+  // Binary merge hierarchy over the ordered buckets: pair adjacent ranges
+  // until a single root covers everything.
+  std::vector<std::pair<std::string, std::string>> edges;
+  struct Range {
+    std::size_t lo, hi;
+    std::string label;
+  };
+  std::vector<Range> level;
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    level.push_back(Range{b, b, range_label(b, b)});
+  }
+  // Stop at two roots: a single root would cover every bucket and thus
+  // duplicate the ALL wildcard as a redundant lattice node.
+  while (level.size() > 2) {
+    std::vector<Range> next;
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      if (i + 1 < level.size()) {
+        Range merged{level[i].lo, level[i + 1].hi,
+                     "range" + range_label(level[i].lo, level[i + 1].hi)};
+        edges.emplace_back(level[i].label, merged.label);
+        edges.emplace_back(level[i + 1].label, merged.label);
+        next.push_back(std::move(merged));
+      } else {
+        next.push_back(level[i]);  // odd range promotes unchanged
+      }
+    }
+    level = std::move(next);
+  }
+
+  SCWSC_ASSIGN_OR_RETURN(
+      AttributeHierarchy h,
+      AttributeHierarchy::Build(with_bucket.dictionary(attr_index), edges));
+  return BucketizedAttribute{std::move(with_bucket), attr_index, std::move(h),
+                             num_buckets};
+}
+
+}  // namespace hierarchy
+}  // namespace scwsc

@@ -1,0 +1,50 @@
+// Numerical range attributes (paper §II's second deferred extension).
+//
+// A numeric series is discretized into equi-depth buckets that become a new
+// categorical pattern attribute, and a binary merge hierarchy is built over
+// the ordered buckets, so that contiguous ranges ("age in [13..19]") are
+// available to the hierarchical solvers as single lattice nodes: the solver
+// can pick a coarse range where it is cheap and drill into narrow buckets
+// where it pays.
+
+#ifndef SCWSC_HIERARCHY_BUCKETIZE_H_
+#define SCWSC_HIERARCHY_BUCKETIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/hierarchy/hierarchy.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace hierarchy {
+
+struct BucketizeOptions {
+  /// Target number of equi-depth buckets; duplicates at quantile boundaries
+  /// can merge buckets, so the realized count may be smaller.
+  std::size_t num_buckets = 8;
+};
+
+struct BucketizedAttribute {
+  /// The input table with one extra categorical attribute appended (last).
+  Table table;
+  /// Index of the appended attribute.
+  std::size_t attribute_index;
+  /// Binary range hierarchy over the appended attribute's buckets.
+  AttributeHierarchy hierarchy;
+  /// Realized bucket count.
+  std::size_t num_buckets;
+};
+
+/// Discretizes `values` (one per row of `table`) into the new attribute
+/// `name`. Bucket labels encode their half-open value range; internal
+/// nodes encode merged ranges.
+Result<BucketizedAttribute> AppendBucketizedAttribute(
+    const Table& table, const std::vector<double>& values,
+    const std::string& name, const BucketizeOptions& options = {});
+
+}  // namespace hierarchy
+}  // namespace scwsc
+
+#endif  // SCWSC_HIERARCHY_BUCKETIZE_H_

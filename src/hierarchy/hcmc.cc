@@ -1,0 +1,318 @@
+#include "src/hierarchy/hcmc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/bitset.h"
+#include "src/pattern/pattern.h"
+
+namespace scwsc {
+namespace hierarchy {
+namespace {
+
+struct Candidate {
+  std::vector<RowId> mben;
+  std::size_t epoch = 0;
+  double cost = 0.0;
+  bool cost_known = false;
+};
+
+struct HeapEntry {
+  std::size_t count;
+  HPattern key;
+};
+struct HeapLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.count != b.count) return a.count < b.count;
+    return CanonicalLess(b.key, a.key);
+  }
+};
+
+/// Ben(p) by a direct matching scan (hierarchical postings would need a
+/// per-node index; a scan is O(n·j) and only runs once per popped pattern).
+std::vector<RowId> BenOf(const Table& table, const TableHierarchy& hierarchy,
+                         const HPattern& p) {
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (p.Matches(table, hierarchy, r)) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<HSolution> RunHierarchicalCmc(const Table& table,
+                                     const TableHierarchy& hierarchy,
+                                     const pattern::CostFunction& cost_fn,
+                                     const CmcOptions& options,
+                                     pattern::PatternStats* stats) {
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  if (options.l == 0) return Status::InvalidArgument("l must be positive");
+  if (options.coverage_fraction < 0.0 || options.coverage_fraction > 1.0) {
+    return Status::InvalidArgument("coverage_fraction must be in [0, 1]");
+  }
+  if (options.b <= 0.0) {
+    return Status::InvalidArgument("budget growth b must be positive");
+  }
+  if (options.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  if (!table.has_measure()) {
+    return Status::InvalidArgument("pattern costs require a measure column");
+  }
+  if (hierarchy.num_attributes() != table.num_attributes()) {
+    return Status::InvalidArgument("hierarchy arity does not match table");
+  }
+
+  pattern::PatternStats local_stats;
+  pattern::PatternStats& st = stats ? *stats : local_stats;
+  st = pattern::PatternStats{};
+
+  const std::size_t n = table.num_rows();
+  const std::size_t j = table.num_attributes();
+  const double eff = options.relax_coverage
+                         ? (1.0 - 1.0 / M_E) * options.coverage_fraction
+                         : options.coverage_fraction;
+  const std::size_t target = SetSystem::CoverageTarget(eff, n);
+
+  HSolution solution;
+  if (target == 0) return solution;
+  if (n == 0) return Status::Infeasible("empty table with positive target");
+
+  std::vector<RowId> all_rows(n);
+  for (RowId r = 0; r < n; ++r) all_rows[r] = r;
+  const double root_cost = cost_fn.Compute(table, all_rows);
+
+  // Budget seed: same lower bound as the flat optimized CMC.
+  double min_measure = 0.0;
+  double min_positive_measure = 0.0;
+  bool first = true;
+  for (RowId r = 0; r < n; ++r) {
+    const double m = table.measure(r);
+    if (first || m < min_measure) min_measure = m;
+    if (m > 0.0 && (min_positive_measure == 0.0 || m < min_positive_measure)) {
+      min_positive_measure = m;
+    }
+    first = false;
+  }
+  double budget = static_cast<double>(options.k) * std::max(min_measure, 0.0);
+  if (budget <= 0.0) {
+    budget = min_positive_measure > 0.0 ? min_positive_measure : 1.0;
+  }
+
+  // Round-feasibility precheck (see hcmc.h): duplicate-group aggregates.
+  std::vector<double> coverable_thresholds;
+  {
+    bool bound_valid = cost_fn.kind() == pattern::CostKind::kMax;
+    if (!bound_valid) {
+      bound_valid = true;
+      for (RowId r = 0; r < n; ++r) {
+        if (table.measure(r) < 0.0) {
+          bound_valid = false;
+          break;
+        }
+      }
+    }
+    if (bound_valid) {
+      std::unordered_map<pattern::Pattern, std::vector<RowId>,
+                         pattern::PatternHash>
+          groups;
+      for (RowId r = 0; r < n; ++r) {
+        std::vector<ValueId> key(j);
+        for (std::size_t a = 0; a < j; ++a) key[a] = table.value(r, a);
+        groups[pattern::Pattern(std::move(key))].push_back(r);
+      }
+      coverable_thresholds.reserve(n);
+      for (const auto& [pat, rows] : groups) {
+        const double aggregate = cost_fn.Compute(table, rows);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          coverable_thresholds.push_back(aggregate);
+        }
+      }
+      std::sort(coverable_thresholds.begin(), coverable_thresholds.end());
+    }
+  }
+  auto coverable_rows = [&](double b) -> std::size_t {
+    if (coverable_thresholds.empty()) return n;
+    return static_cast<std::size_t>(
+        std::upper_bound(coverable_thresholds.begin(),
+                         coverable_thresholds.end(), b) -
+        coverable_thresholds.begin());
+  };
+
+  DynamicBitset covered(n);
+  bool final_round = budget >= root_cost;
+
+  using CandidateMap = std::unordered_map<HPattern, Candidate, HPatternHash>;
+  using KeySet = std::unordered_set<HPattern, HPatternHash>;
+  using Heap = std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess>;
+
+  for (std::size_t round = 1; round <= options.max_budget_rounds; ++round) {
+    st.budget_rounds = round;
+    if (coverable_rows(budget) < target) {
+      if (final_round) {
+        return Status::Infeasible(
+            "hierarchical CMC: coverage unreachable even at the "
+            "all-wildcards pattern's cost");
+      }
+      budget *= (1.0 + options.b);
+      if (budget >= root_cost) {
+        budget = root_cost;
+        final_round = true;
+      }
+      continue;
+    }
+
+    const auto levels =
+        BuildCmcLevels(budget, options.k, options.epsilon, options.l);
+    std::size_t total_allowance = 0;
+    for (const auto& lv : levels) total_allowance += lv.capacity;
+
+    covered.clear();
+    std::size_t rem = target;
+    CandidateMap candidates;
+    KeySet visited;
+    KeySet selected;
+    std::vector<std::size_t> level_count(levels.size(), 0);
+    std::size_t total_count = 0;
+    std::size_t epoch = 0;
+
+    HSolution round_solution;
+
+    {
+      Candidate root;
+      root.mben = all_rows;
+      root.cost = root_cost;
+      root.cost_known = true;
+      ++st.patterns_considered;
+      ++st.candidates_admitted;
+      candidates.emplace(HPattern::AllWildcards(j), std::move(root));
+    }
+    Heap heap;
+    heap.push(HeapEntry{n, HPattern::AllWildcards(j)});
+
+    while (!candidates.empty() && total_count <= total_allowance && rem > 0) {
+      if (heap.empty()) break;
+      HeapEntry top = heap.top();
+      heap.pop();
+      auto qit = candidates.find(top.key);
+      if (qit == candidates.end()) continue;
+      Candidate& cand_ref = qit->second;
+      if (cand_ref.epoch != epoch) {
+        auto& m = cand_ref.mben;
+        m.erase(std::remove_if(m.begin(), m.end(),
+                               [&](RowId r) { return covered.test(r); }),
+                m.end());
+        cand_ref.epoch = epoch;
+        if (m.empty()) {
+          candidates.erase(qit);
+          continue;
+        }
+      }
+      if (cand_ref.mben.size() != top.count) {
+        heap.push(HeapEntry{cand_ref.mben.size(), std::move(top.key)});
+        continue;
+      }
+
+      const HPattern q_key = top.key;
+      Candidate q = std::move(qit->second);
+      candidates.erase(qit);
+      if (!q.cost_known) {
+        q.cost = cost_fn.Compute(table, BenOf(table, hierarchy, q_key));
+        q.cost_known = true;
+      }
+
+      const int level = LevelOf(levels, q.cost);
+      bool selected_now = false;
+      if (level >= 0) {
+        std::size_t& cnt = level_count[static_cast<std::size_t>(level)];
+        ++cnt;
+        ++total_count;
+        if (cnt <= levels[static_cast<std::size_t>(level)].capacity) {
+          selected_now = true;
+        }
+      }
+
+      if (selected_now) {
+        round_solution.patterns.push_back(q_key);
+        round_solution.total_cost += q.cost;
+        selected.insert(q_key);
+        const std::size_t newly = q.mben.size();
+        for (RowId r : q.mben) covered.set(r);
+        rem = newly >= rem ? 0 : rem - newly;
+        ++epoch;
+        if (rem == 0) break;
+        continue;
+      }
+
+      visited.insert(q_key);
+      // Children of q with non-zero marginal benefit, grouped by the
+      // one-step specialization containing each row.
+      for (std::size_t a = 0; a < j; ++a) {
+        const AttributeHierarchy& h = hierarchy.attribute(a);
+        const NodeId pnode = q_key.node(a);
+        if (pnode != kAllNode && h.is_leaf(pnode)) continue;
+        const std::size_t child_depth =
+            pnode == kAllNode ? 0 : h.depth(pnode) + 1;
+        std::unordered_map<NodeId, std::vector<RowId>> by_node;
+        for (RowId r : q.mben) {
+          const NodeId leaf = table.value(r, a);
+          if (h.depth(leaf) < child_depth) continue;
+          by_node[h.AncestorAtDepth(leaf, child_depth)].push_back(r);
+        }
+        // Deterministic admission order by node id.
+        std::vector<NodeId> nodes;
+        nodes.reserve(by_node.size());
+        for (const auto& [node, rows] : by_node) nodes.push_back(node);
+        std::sort(nodes.begin(), nodes.end());
+        for (NodeId node : nodes) {
+          HPattern child = q_key.WithNode(a, node);
+          if (candidates.count(child) || visited.count(child) ||
+              selected.count(child)) {
+            continue;
+          }
+          bool parents_ok = true;
+          for (std::size_t pa = 0; pa < j && parents_ok; ++pa) {
+            if (child.is_wildcard(pa)) continue;
+            if (!visited.count(child.ParentAt(hierarchy, pa))) {
+              parents_ok = false;
+            }
+          }
+          if (!parents_ok) continue;
+          Candidate cand;
+          cand.mben = std::move(by_node[node]);
+          cand.epoch = epoch;
+          ++st.patterns_considered;
+          ++st.candidates_admitted;
+          const std::size_t count = cand.mben.size();
+          candidates.emplace(child, std::move(cand));
+          heap.push(HeapEntry{count, std::move(child)});
+        }
+      }
+    }
+
+    if (rem == 0) {
+      round_solution.covered = covered.count();
+      st.final_budget = budget;
+      return round_solution;
+    }
+    if (final_round) {
+      return Status::Infeasible(
+          "hierarchical CMC: coverage unreachable even at the all-wildcards "
+          "pattern's cost");
+    }
+    budget *= (1.0 + options.b);
+    if (budget >= root_cost) {
+      budget = root_cost;
+      final_round = true;
+    }
+  }
+  return Status::ResourceExhausted(
+      "hierarchical CMC: max_budget_rounds exceeded");
+}
+
+}  // namespace hierarchy
+}  // namespace scwsc

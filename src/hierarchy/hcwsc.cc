@@ -1,0 +1,236 @@
+#include "src/hierarchy/hcwsc.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/bitset.h"
+
+namespace scwsc {
+namespace hierarchy {
+namespace {
+
+struct Candidate {
+  HPattern pattern;
+  std::vector<RowId> ben;
+  std::vector<RowId> mben;
+  double cost = 0.0;
+  bool processed = false;
+};
+
+using CandidateMap = std::unordered_map<HPattern, Candidate, HPatternHash>;
+
+struct WaitEntry {
+  std::size_t count;
+  const HPattern* pattern;
+};
+struct WaitLess {
+  bool operator()(const WaitEntry& a, const WaitEntry& b) const {
+    if (a.count != b.count) return a.count < b.count;
+    return CanonicalLess(*b.pattern, *a.pattern);
+  }
+};
+
+bool BetterCandidate(const Candidate& cand, const Candidate& best) {
+  const std::size_t ca = cand.mben.size();
+  const std::size_t cb = best.mben.size();
+  if (BetterGain(ca, cand.cost, cb, best.cost)) return true;
+  if (BetterGain(cb, best.cost, ca, cand.cost)) return false;
+  if (ca != cb) return ca > cb;
+  if (cand.cost != best.cost) return cand.cost < best.cost;
+  return CanonicalLess(cand.pattern, best.pattern);
+}
+
+/// One prospective child of `q` at one attribute: the node one level below
+/// q's constraint on the ancestor path of some marginal row.
+struct HChildGroup {
+  std::size_t attr = 0;
+  NodeId node = kNoNode;
+  std::vector<RowId> marginal_rows;
+};
+
+/// Groups q's marginal rows by the one-step specialization that contains
+/// them, per attribute: below ALL that is the leaf's forest root; below an
+/// internal node its depth+1 ancestor; leaves have no children.
+std::vector<HChildGroup> GroupHChildren(const Table& table,
+                                        const TableHierarchy& hierarchy,
+                                        const HPattern& parent,
+                                        const std::vector<RowId>& rows) {
+  std::vector<HChildGroup> groups;
+  for (std::size_t a = 0; a < parent.num_attributes(); ++a) {
+    const AttributeHierarchy& h = hierarchy.attribute(a);
+    const NodeId pnode = parent.node(a);
+    if (pnode != kAllNode && h.is_leaf(pnode)) continue;  // no children
+    const std::size_t child_depth =
+        pnode == kAllNode ? 0 : h.depth(pnode) + 1;
+    std::unordered_map<NodeId, std::vector<RowId>> by_node;
+    for (RowId r : rows) {
+      const NodeId leaf = table.value(r, a);
+      if (h.depth(leaf) < child_depth) continue;  // leaf sits above
+      // When descending from an internal node, only rows in its subtree
+      // are in `rows` already (rows = MBen(parent)); the chain lookup
+      // yields the child on this leaf's path.
+      by_node[h.AncestorAtDepth(leaf, child_depth)].push_back(r);
+    }
+    const std::size_t first = groups.size();
+    for (auto& [node, grows] : by_node) {
+      groups.push_back(HChildGroup{a, node, std::move(grows)});
+    }
+    std::sort(groups.begin() + static_cast<std::ptrdiff_t>(first),
+              groups.end(), [](const HChildGroup& x, const HChildGroup& y) {
+                return x.node < y.node;
+              });
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<HSolution> RunHierarchicalCwsc(const Table& table,
+                                      const TableHierarchy& hierarchy,
+                                      const pattern::CostFunction& cost_fn,
+                                      const CwscOptions& options,
+                                      pattern::PatternStats* stats) {
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  if (options.coverage_fraction < 0.0 || options.coverage_fraction > 1.0) {
+    return Status::InvalidArgument("coverage_fraction must be in [0, 1]");
+  }
+  if (!table.has_measure()) {
+    return Status::InvalidArgument("pattern costs require a measure column");
+  }
+  if (hierarchy.num_attributes() != table.num_attributes()) {
+    return Status::InvalidArgument("hierarchy arity does not match table");
+  }
+
+  pattern::PatternStats local_stats;
+  pattern::PatternStats& st = stats ? *stats : local_stats;
+  st = pattern::PatternStats{};
+
+  const std::size_t n = table.num_rows();
+  std::size_t rem = SetSystem::CoverageTarget(options.coverage_fraction, n);
+  HSolution solution;
+  if (rem == 0) return solution;
+  if (n == 0) return Status::Infeasible("empty table with positive target");
+
+  DynamicBitset covered(n);
+  CandidateMap candidates;
+  std::unordered_set<HPattern, HPatternHash> selected;
+
+  {
+    Candidate root;
+    root.pattern = HPattern::AllWildcards(table.num_attributes());
+    root.ben.resize(n);
+    for (RowId r = 0; r < n; ++r) root.ben[r] = r;
+    root.mben = root.ben;
+    root.cost = cost_fn.Compute(table, root.ben);
+    ++st.patterns_considered;
+    ++st.candidates_admitted;
+    candidates.emplace(root.pattern, std::move(root));
+  }
+
+  for (std::size_t i = options.k; i >= 1; --i) {
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      if (it->second.mben.size() * i < rem) {
+        it = candidates.erase(it);
+      } else {
+        it->second.processed = false;
+        ++it;
+      }
+    }
+
+    std::priority_queue<WaitEntry, std::vector<WaitEntry>, WaitLess> waitlist;
+    for (auto& [pat, cand] : candidates) {
+      waitlist.push(WaitEntry{cand.mben.size(), &pat});
+    }
+    while (!waitlist.empty()) {
+      const WaitEntry top = waitlist.top();
+      waitlist.pop();
+      auto qit = candidates.find(*top.pattern);
+      if (qit == candidates.end() || qit->second.processed) continue;
+      Candidate& q = qit->second;
+      q.processed = true;
+
+      auto groups = GroupHChildren(table, hierarchy, q.pattern, q.mben);
+
+      struct Pending {
+        std::size_t group_index;
+        HPattern child;
+      };
+      std::vector<Pending> pending;
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        HPattern child = q.pattern.WithNode(groups[g].attr, groups[g].node);
+        if (candidates.count(child) || selected.count(child)) continue;
+        bool parents_ok = true;
+        for (std::size_t a = 0; a < child.num_attributes() && parents_ok;
+             ++a) {
+          if (child.is_wildcard(a)) continue;
+          if (!candidates.count(child.ParentAt(hierarchy, a))) {
+            parents_ok = false;
+          }
+        }
+        if (!parents_ok) continue;
+        pending.push_back(Pending{g, std::move(child)});
+      }
+
+      for (auto& pend : pending) {
+        const HChildGroup& group = groups[pend.group_index];
+        const AttributeHierarchy& h = hierarchy.attribute(group.attr);
+        Candidate cand;
+        cand.pattern = std::move(pend.child);
+        cand.ben.reserve(group.marginal_rows.size());
+        for (RowId r : q.ben) {
+          if (h.IsAncestorOrSelf(group.node, table.value(r, group.attr))) {
+            cand.ben.push_back(r);
+          }
+        }
+        cand.mben = group.marginal_rows;
+        cand.cost = cost_fn.Compute(table, cand.ben);
+        ++st.patterns_considered;
+        if (cand.mben.size() * i >= rem) {
+          ++st.candidates_admitted;
+          auto [it, inserted] =
+              candidates.emplace(cand.pattern, std::move(cand));
+          SCWSC_CHECK(inserted, "candidate admitted twice");
+          waitlist.push(WaitEntry{it->second.mben.size(), &it->first});
+        }
+      }
+    }
+
+    const Candidate* best = nullptr;
+    for (const auto& [pat, cand] : candidates) {
+      if (best == nullptr || BetterCandidate(cand, *best)) best = &cand;
+    }
+    if (best == nullptr) {
+      return Status::Infeasible("hierarchical CWSC: no qualified candidate");
+    }
+
+    solution.patterns.push_back(best->pattern);
+    solution.total_cost += best->cost;
+    const std::size_t newly = best->mben.size();
+    for (RowId r : best->mben) covered.set(r);
+    selected.insert(best->pattern);
+    candidates.erase(best->pattern);
+    rem = newly >= rem ? 0 : rem - newly;
+    solution.covered = covered.count();
+    if (rem == 0) return solution;
+
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      auto& mben = it->second.mben;
+      mben.erase(std::remove_if(mben.begin(), mben.end(),
+                                [&](RowId r) { return covered.test(r); }),
+                 mben.end());
+      if (mben.empty()) {
+        it = candidates.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  return Status::Internal(
+      "hierarchical CWSC exhausted k picks without meeting coverage");
+}
+
+}  // namespace hierarchy
+}  // namespace scwsc

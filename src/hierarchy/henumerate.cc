@@ -1,0 +1,96 @@
+#include "src/hierarchy/henumerate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace scwsc {
+namespace hierarchy {
+
+Result<std::vector<EnumeratedHPattern>> EnumerateAllHPatterns(
+    const Table& table, const TableHierarchy& hierarchy,
+    const HEnumerateOptions& options) {
+  const std::size_t j = table.num_attributes();
+  if (j == 0) {
+    return Status::InvalidArgument("table has no pattern attributes");
+  }
+  if (hierarchy.num_attributes() != j) {
+    return Status::InvalidArgument("hierarchy arity does not match table");
+  }
+
+  std::unordered_map<HPattern, std::uint32_t, HPatternHash> index;
+  std::vector<EnumeratedHPattern> out;
+
+  // Per-row generalization cross product: each attribute contributes the
+  // leaf's root chain plus ALL.
+  std::vector<std::vector<NodeId>> options_per_attr(j);
+  std::vector<std::size_t> cursor(j);
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t a = 0; a < j; ++a) {
+      const AttributeHierarchy& h = hierarchy.attribute(a);
+      const NodeId leaf = table.value(r, a);
+      auto& opts = options_per_attr[a];
+      opts.clear();
+      opts.push_back(kAllNode);
+      for (std::size_t d = 0; d <= h.depth(leaf); ++d) {
+        opts.push_back(h.AncestorAtDepth(leaf, d));
+      }
+      cursor[a] = 0;
+    }
+    // Odometer over the cross product.
+    while (true) {
+      std::vector<NodeId> nodes(j);
+      for (std::size_t a = 0; a < j; ++a) {
+        nodes[a] = options_per_attr[a][cursor[a]];
+      }
+      HPattern p(std::move(nodes));
+      auto [it, inserted] =
+          index.try_emplace(std::move(p), static_cast<std::uint32_t>(out.size()));
+      if (inserted) {
+        if (out.size() >= options.max_patterns) {
+          return Status::ResourceExhausted(
+              "hierarchical enumeration exceeded max_patterns");
+        }
+        out.push_back(EnumeratedHPattern{it->first, {}});
+      }
+      out[it->second].rows.push_back(r);
+
+      std::size_t a = 0;
+      while (a < j && ++cursor[a] == options_per_attr[a].size()) {
+        cursor[a] = 0;
+        ++a;
+      }
+      if (a == j) break;
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const EnumeratedHPattern& a, const EnumeratedHPattern& b) {
+              return CanonicalLess(a.pattern, b.pattern);
+            });
+  return out;
+}
+
+Result<HPatternSystem> HPatternSystem::Build(
+    const Table& table, const TableHierarchy& hierarchy,
+    const pattern::CostFunction& cost_fn, const HEnumerateOptions& options) {
+  if (!table.has_measure()) {
+    return Status::InvalidArgument(
+        "HPatternSystem requires a measure column for pattern costs");
+  }
+  SCWSC_ASSIGN_OR_RETURN(auto enumerated,
+                         EnumerateAllHPatterns(table, hierarchy, options));
+  SetSystem system(table.num_rows());
+  std::vector<HPattern> patterns;
+  patterns.reserve(enumerated.size());
+  for (auto& ep : enumerated) {
+    const double cost = cost_fn.Compute(table, ep.rows);
+    std::vector<ElementId> elements(ep.rows.begin(), ep.rows.end());
+    SCWSC_ASSIGN_OR_RETURN(SetId id, system.AddSet(std::move(elements), cost));
+    (void)id;
+    patterns.push_back(std::move(ep.pattern));
+  }
+  return HPatternSystem(std::move(system), std::move(patterns));
+}
+
+}  // namespace hierarchy
+}  // namespace scwsc

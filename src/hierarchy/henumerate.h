@@ -1,0 +1,61 @@
+// Enumeration of all hierarchical patterns with non-empty benefit, and the
+// bridge to the generic SetSystem (the hierarchical analogue of
+// pattern::EnumerateAllPatterns / PatternSystem).
+//
+// A record's generalizations per attribute are its leaf's full root chain
+// plus ALL, so each record produces Π_a (depth_a(leaf) + 2) patterns;
+// flat hierarchies reduce this to the familiar 2^j.
+
+#ifndef SCWSC_HIERARCHY_HENUMERATE_H_
+#define SCWSC_HIERARCHY_HENUMERATE_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/set_system.h"
+#include "src/core/solution.h"
+#include "src/hierarchy/hpattern.h"
+#include "src/pattern/cost.h"
+
+namespace scwsc {
+namespace hierarchy {
+
+struct EnumeratedHPattern {
+  HPattern pattern;
+  std::vector<RowId> rows;  // sorted, unique
+};
+
+struct HEnumerateOptions {
+  std::size_t max_patterns = 50'000'000;
+};
+
+/// All distinct hierarchical patterns matching at least one record, sorted
+/// canonically.
+Result<std::vector<EnumeratedHPattern>> EnumerateAllHPatterns(
+    const Table& table, const TableHierarchy& hierarchy,
+    const HEnumerateOptions& options = {});
+
+/// Materialized weighted set system over the hierarchical patterns;
+/// SetIds follow canonical pattern order.
+class HPatternSystem {
+ public:
+  static Result<HPatternSystem> Build(const Table& table,
+                                      const TableHierarchy& hierarchy,
+                                      const pattern::CostFunction& cost_fn,
+                                      const HEnumerateOptions& options = {});
+
+  const SetSystem& set_system() const { return system_; }
+  std::size_t num_patterns() const { return patterns_.size(); }
+  const HPattern& pattern(SetId id) const { return patterns_[id]; }
+
+ private:
+  HPatternSystem(SetSystem system, std::vector<HPattern> patterns)
+      : system_(std::move(system)), patterns_(std::move(patterns)) {}
+  SetSystem system_;
+  std::vector<HPattern> patterns_;
+};
+
+}  // namespace hierarchy
+}  // namespace scwsc
+
+#endif  // SCWSC_HIERARCHY_HENUMERATE_H_

@@ -1,0 +1,183 @@
+#include "src/hierarchy/hierarchy.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace scwsc {
+namespace hierarchy {
+
+AttributeHierarchy AttributeHierarchy::Flat(std::size_t num_leaves) {
+  AttributeHierarchy h;
+  h.num_leaves_ = num_leaves;
+  h.parent_.assign(num_leaves, kNoNode);
+  h.children_.assign(num_leaves, {});
+  h.roots_.resize(num_leaves);
+  for (NodeId v = 0; v < num_leaves; ++v) h.roots_[v] = v;
+  h.FinishConstruction();
+  return h;
+}
+
+Result<AttributeHierarchy> AttributeHierarchy::Build(
+    const Dictionary& dictionary,
+    const std::vector<std::pair<std::string, std::string>>& child_to_parent) {
+  AttributeHierarchy h;
+  h.num_leaves_ = dictionary.size();
+
+  // Assign ids: leaves first (dictionary ids), then internal names in
+  // first-mention order.
+  std::unordered_map<std::string, NodeId> internal_ids;
+  auto resolve = [&](const std::string& name,
+                     bool must_be_internal) -> Result<NodeId> {
+    auto leaf = dictionary.Find(name);
+    if (leaf.ok()) {
+      if (must_be_internal) {
+        return Status::InvalidArgument(
+            "hierarchy parent '" + name +
+            "' collides with a leaf value; parents must be internal nodes");
+      }
+      return *leaf;
+    }
+    auto it = internal_ids.find(name);
+    if (it != internal_ids.end()) return it->second;
+    const NodeId id =
+        static_cast<NodeId>(h.num_leaves_ + h.internal_names_.size());
+    internal_ids.emplace(name, id);
+    h.internal_names_.push_back(name);
+    return id;
+  };
+
+  // First pass: discover all nodes.
+  for (const auto& [child, parent] : child_to_parent) {
+    SCWSC_ASSIGN_OR_RETURN(NodeId c, resolve(child, false));
+    SCWSC_ASSIGN_OR_RETURN(NodeId p, resolve(parent, true));
+    (void)c;
+    (void)p;
+  }
+  const std::size_t num_nodes = h.num_leaves_ + h.internal_names_.size();
+  h.parent_.assign(num_nodes, kNoNode);
+  h.children_.assign(num_nodes, {});
+
+  // Second pass: wire edges.
+  for (const auto& [child, parent] : child_to_parent) {
+    SCWSC_ASSIGN_OR_RETURN(NodeId c, resolve(child, false));
+    SCWSC_ASSIGN_OR_RETURN(NodeId p, resolve(parent, true));
+    if (c == p) return Status::InvalidArgument("self-edge in hierarchy");
+    if (h.parent_[c] != kNoNode && h.parent_[c] != p) {
+      return Status::InvalidArgument("node '" + child +
+                                     "' has multiple parents");
+    }
+    if (h.parent_[c] == p) continue;  // duplicate edge
+    h.parent_[c] = p;
+    h.children_[p].push_back(c);
+  }
+
+  // Roots, cycle detection via root-path walking with a visited budget.
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (h.parent_[v] == kNoNode) h.roots_.push_back(v);
+    std::size_t steps = 0;
+    for (NodeId cur = v; cur != kNoNode; cur = h.parent_[cur]) {
+      if (++steps > num_nodes) {
+        return Status::InvalidArgument("hierarchy contains a cycle");
+      }
+    }
+  }
+  // Internal nodes with no children would be unreachable dead nodes; they
+  // are legal but useless, so reject to surface likely typos.
+  for (NodeId v = static_cast<NodeId>(h.num_leaves_); v < num_nodes; ++v) {
+    if (h.children_[v].empty()) {
+      return Status::InvalidArgument(
+          "internal node '" + h.internal_names_[v - h.num_leaves_] +
+          "' has no children");
+    }
+  }
+
+  h.FinishConstruction();
+  return h;
+}
+
+void AttributeHierarchy::FinishConstruction() {
+  const std::size_t num_nodes = parent_.size();
+  depth_.assign(num_nodes, 0);
+  euler_in_.assign(num_nodes, 0);
+  euler_out_.assign(num_nodes, 0);
+  leaf_count_.assign(num_nodes, 0);
+  chains_.assign(num_leaves_, {});
+
+  // Sort children and roots for deterministic traversal order.
+  for (auto& c : children_) std::sort(c.begin(), c.end());
+  std::sort(roots_.begin(), roots_.end());
+
+  std::uint32_t clock = 0;
+  std::vector<NodeId> path;
+  // Iterative DFS from each root.
+  struct Frame {
+    NodeId node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack;
+  for (NodeId root : roots_) {
+    stack.push_back(Frame{root, 0});
+    depth_[root] = 0;
+    euler_in_[root] = clock++;
+    path.push_back(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next_child < children_[frame.node].size()) {
+        const NodeId child = children_[frame.node][frame.next_child++];
+        depth_[child] = depth_[frame.node] + 1;
+        euler_in_[child] = clock++;
+        path.push_back(child);
+        stack.push_back(Frame{child, 0});
+      } else {
+        const NodeId node = frame.node;
+        euler_out_[node] = clock++;
+        if (is_leaf(node)) {
+          leaf_count_[node] = 1;
+          chains_[node] = path;  // root-to-leaf chain
+        }
+        if (parent_[node] != kNoNode) {
+          leaf_count_[parent_[node]] += leaf_count_[node];
+        }
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+const std::string& AttributeHierarchy::NodeName(const Dictionary& dictionary,
+                                                NodeId node) const {
+  if (is_leaf(node)) return dictionary.Name(node);
+  return internal_names_[node - num_leaves_];
+}
+
+TableHierarchy TableHierarchy::Flat(const Table& table) {
+  std::vector<AttributeHierarchy> per_attribute;
+  per_attribute.reserve(table.num_attributes());
+  for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+    per_attribute.push_back(AttributeHierarchy::Flat(table.domain_size(a)));
+  }
+  return TableHierarchy(std::move(per_attribute));
+}
+
+Result<TableHierarchy> TableHierarchy::Build(
+    const Table& table,
+    std::vector<std::pair<std::size_t, AttributeHierarchy>> overrides) {
+  TableHierarchy th = Flat(table);
+  for (auto& [attr, h] : overrides) {
+    if (attr >= table.num_attributes()) {
+      return Status::InvalidArgument("hierarchy attribute index out of range");
+    }
+    if (h.num_leaves() != table.domain_size(attr)) {
+      return Status::InvalidArgument(
+          "hierarchy leaf count does not match the attribute's domain");
+    }
+    th.per_attribute_[attr] = std::move(h);
+  }
+  return th;
+}
+
+}  // namespace hierarchy
+}  // namespace scwsc

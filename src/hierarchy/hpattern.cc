@@ -1,0 +1,83 @@
+#include "src/hierarchy/hpattern.h"
+
+#include "src/common/logging.h"
+
+namespace scwsc {
+namespace hierarchy {
+
+std::size_t HPattern::num_constants() const {
+  std::size_t c = 0;
+  for (NodeId n : nodes_) {
+    if (n != kAllNode) ++c;
+  }
+  return c;
+}
+
+HPattern HPattern::WithNode(std::size_t attr, NodeId node) const {
+  SCWSC_DCHECK(attr < nodes_.size());
+  std::vector<NodeId> nodes = nodes_;
+  nodes[attr] = node;
+  return HPattern(std::move(nodes));
+}
+
+bool HPattern::Matches(const Table& table, const TableHierarchy& hierarchy,
+                       RowId r) const {
+  SCWSC_DCHECK(nodes_.size() == table.num_attributes());
+  for (std::size_t a = 0; a < nodes_.size(); ++a) {
+    if (nodes_[a] == kAllNode) continue;
+    if (!hierarchy.attribute(a).IsAncestorOrSelf(nodes_[a],
+                                                 table.value(r, a))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HPattern HPattern::ParentAt(const TableHierarchy& hierarchy,
+                            std::size_t attr) const {
+  SCWSC_DCHECK(nodes_[attr] != kAllNode);
+  const NodeId parent = hierarchy.attribute(attr).parent(nodes_[attr]);
+  return WithNode(attr, parent == kNoNode ? kAllNode : parent);
+}
+
+std::string HPattern::ToString(const Table& table,
+                               const TableHierarchy& hierarchy) const {
+  std::string out = "{";
+  for (std::size_t a = 0; a < nodes_.size(); ++a) {
+    if (a) out += ", ";
+    out += table.schema().attribute_name(a);
+    out += '=';
+    if (nodes_[a] == kAllNode) {
+      out += "ALL";
+    } else {
+      out += hierarchy.attribute(a).NodeName(table.dictionary(a), nodes_[a]);
+    }
+  }
+  out += '}';
+  return out;
+}
+
+bool CanonicalLess(const HPattern& a, const HPattern& b) {
+  SCWSC_DCHECK(a.num_attributes() == b.num_attributes());
+  for (std::size_t i = 0; i < a.num_attributes(); ++i) {
+    const NodeId na = a.node(i);
+    const NodeId nb = b.node(i);
+    if (na == nb) continue;
+    if (na == kAllNode) return false;  // constrained orders before ALL
+    if (nb == kAllNode) return true;
+    return na < nb;
+  }
+  return false;
+}
+
+std::size_t HPatternHash::operator()(const HPattern& p) const {
+  std::size_t h = 1469598103934665603ull;
+  for (NodeId n : p.nodes()) {
+    h ^= n;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace hierarchy
+}  // namespace scwsc

@@ -1,0 +1,73 @@
+// HierarchicalPattern: a pattern whose attribute constraints may be any
+// hierarchy node, not just a leaf value.
+//
+// A record matches when, for every constrained attribute, its leaf value
+// lies in the constrained node's subtree. The specialization lattice is:
+// ALL -> (roots of the attribute's forest) -> children -> ... -> leaves;
+// the flat pattern lattice is the special case where every leaf is a root.
+
+#ifndef SCWSC_HIERARCHY_HPATTERN_H_
+#define SCWSC_HIERARCHY_HPATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hierarchy/hierarchy.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace hierarchy {
+
+/// Sentinel for the ALL wildcard (sits above every root).
+inline constexpr NodeId kAllNode = 0xFFFFFFFEu;
+
+class HPattern {
+ public:
+  HPattern() = default;
+  explicit HPattern(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {}
+
+  static HPattern AllWildcards(std::size_t num_attributes) {
+    return HPattern(std::vector<NodeId>(num_attributes, kAllNode));
+  }
+
+  std::size_t num_attributes() const { return nodes_.size(); }
+  NodeId node(std::size_t attr) const { return nodes_[attr]; }
+  bool is_wildcard(std::size_t attr) const { return nodes_[attr] == kAllNode; }
+  std::size_t num_constants() const;
+
+  HPattern WithNode(std::size_t attr, NodeId node) const;
+
+  /// True when row `r` of `table` matches under `hierarchy`.
+  bool Matches(const Table& table, const TableHierarchy& hierarchy,
+               RowId r) const;
+
+  /// The lattice parent obtained by generalizing attribute `attr` one step:
+  /// the node's hierarchy parent, or ALL when the node is a root. Requires
+  /// a non-wildcard attribute.
+  HPattern ParentAt(const TableHierarchy& hierarchy, std::size_t attr) const;
+
+  /// "{Location=South, Type=ALL}" with hierarchy node names.
+  std::string ToString(const Table& table,
+                       const TableHierarchy& hierarchy) const;
+
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  friend bool operator==(const HPattern& a, const HPattern& b) {
+    return a.nodes_ == b.nodes_;
+  }
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+/// Deterministic total order (attribute-wise node ids, ALL last).
+bool CanonicalLess(const HPattern& a, const HPattern& b);
+
+struct HPatternHash {
+  std::size_t operator()(const HPattern& p) const;
+};
+
+}  // namespace hierarchy
+}  // namespace scwsc
+
+#endif  // SCWSC_HIERARCHY_HPATTERN_H_

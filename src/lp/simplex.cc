@@ -1,0 +1,290 @@
+#include "src/lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scwsc {
+namespace lp {
+namespace {
+
+/// Dense simplex tableau over the constraint matrix with slack/surplus and
+/// artificial columns appended. Row 0..m-1 are constraints; the objective
+/// row is kept separately.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), a_(rows * cols, 0.0), b_(rows, 0.0) {}
+
+  double& At(std::size_t r, std::size_t c) { return a_[r * cols_ + c]; }
+  double At(std::size_t r, std::size_t c) const { return a_[r * cols_ + c]; }
+  double& Rhs(std::size_t r) { return b_[r]; }
+  double Rhs(std::size_t r) const { return b_[r]; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Gauss-Jordan pivot on (pr, pc).
+  void Pivot(std::size_t pr, std::size_t pc) {
+    const double piv = At(pr, pc);
+    for (std::size_t c = 0; c < cols_; ++c) At(pr, c) /= piv;
+    Rhs(pr) /= piv;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double f = At(r, pc);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) At(r, c) -= f * At(pr, c);
+      Rhs(r) -= f * Rhs(pr);
+    }
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+};
+
+struct Phase {
+  Tableau* tab;
+  std::vector<double>* reduced;  // objective row (length cols)
+  std::vector<std::size_t>* basis;  // basis[r] = basic column of row r
+};
+
+/// Runs simplex iterations on the given phase until optimality. Entering
+/// column by Bland's rule (smallest index with negative reduced cost),
+/// leaving row by minimum ratio with smallest-basis tie-break. `allowed`
+/// marks columns eligible to enter (used to lock out artificials in
+/// phase 2).
+Result<bool> Iterate(const Phase& ph, const std::vector<bool>& allowed,
+                     const LpOptions& options, std::size_t* pivots) {
+  Tableau& tab = *ph.tab;
+  std::vector<double>& reduced = *ph.reduced;
+  for (;;) {
+    // Entering column: Bland's rule.
+    std::size_t enter = tab.cols();
+    for (std::size_t c = 0; c < tab.cols(); ++c) {
+      if (allowed[c] && reduced[c] < -options.tolerance) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == tab.cols()) return true;  // optimal
+
+    // Leaving row: minimum ratio test.
+    std::size_t leave = tab.rows();
+    double best_ratio = 0.0;
+    for (std::size_t r = 0; r < tab.rows(); ++r) {
+      const double a = tab.At(r, enter);
+      if (a > options.tolerance) {
+        const double ratio = tab.Rhs(r) / a;
+        if (leave == tab.rows() || ratio < best_ratio - options.tolerance ||
+            (std::abs(ratio - best_ratio) <= options.tolerance &&
+             (*ph.basis)[r] < (*ph.basis)[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave == tab.rows()) {
+      return Status::Internal("unbounded");
+    }
+
+    if (++*pivots > options.max_pivots) {
+      return Status::ResourceExhausted("simplex exceeded max_pivots");
+    }
+    tab.Pivot(leave, enter);
+    // Update the objective row (the value itself is recomputed from the
+    // final basis by the caller).
+    const double f = reduced[enter];
+    if (f != 0.0) {
+      for (std::size_t c = 0; c < tab.cols(); ++c) {
+        reduced[c] -= f * tab.At(leave, c);
+      }
+    }
+    (*ph.basis)[leave] = enter;
+  }
+}
+
+}  // namespace
+
+Result<LpSolution> SolveLp(const LpProblem& problem, const LpOptions& options) {
+  const std::size_t n = problem.num_variables;
+  const std::size_t m = problem.constraints.size();
+  if (problem.objective.size() != n) {
+    return Status::InvalidArgument("objective arity mismatch");
+  }
+  for (double c : problem.objective) {
+    if (!std::isfinite(c)) {
+      return Status::InvalidArgument("objective must be finite");
+    }
+  }
+  for (const auto& con : problem.constraints) {
+    if (con.coefficients.size() != n) {
+      return Status::InvalidArgument("constraint arity mismatch");
+    }
+    if (!std::isfinite(con.rhs)) {
+      return Status::InvalidArgument("rhs must be finite");
+    }
+    for (double c : con.coefficients) {
+      if (!std::isfinite(c)) {
+        return Status::InvalidArgument("coefficients must be finite");
+      }
+    }
+  }
+
+  // Column layout: [structural n][slack/surplus, one per inequality]
+  // [artificials, as needed]. Normalize rhs >= 0 first.
+  std::size_t num_slack = 0;
+  for (const auto& con : problem.constraints) {
+    if (con.relation != Relation::kEqual) ++num_slack;
+  }
+  // Conservatively one artificial per row; unused ones are never created.
+  std::vector<int> slack_col(m, -1);
+  std::vector<int> artificial_col(m, -1);
+
+  // First pass to size the tableau.
+  std::size_t next_col = n;
+  std::vector<double> sign(m, 1.0);
+  std::vector<Relation> rel(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rel[i] = problem.constraints[i].relation;
+    if (problem.constraints[i].rhs < 0.0) {
+      sign[i] = -1.0;
+      if (rel[i] == Relation::kLessEqual) {
+        rel[i] = Relation::kGreaterEqual;
+      } else if (rel[i] == Relation::kGreaterEqual) {
+        rel[i] = Relation::kLessEqual;
+      }
+    }
+    if (rel[i] != Relation::kEqual) slack_col[i] = static_cast<int>(next_col++);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    // >= and = rows need artificials; <= rows start basic on their slack.
+    if (rel[i] != Relation::kLessEqual) {
+      artificial_col[i] = static_cast<int>(next_col++);
+    }
+  }
+  const std::size_t cols = next_col;
+
+  Tableau tab(m, cols);
+  std::vector<std::size_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& con = problem.constraints[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      tab.At(i, j) = sign[i] * con.coefficients[j];
+    }
+    tab.Rhs(i) = sign[i] * con.rhs;
+    if (slack_col[i] >= 0) {
+      tab.At(i, static_cast<std::size_t>(slack_col[i])) =
+          rel[i] == Relation::kLessEqual ? 1.0 : -1.0;
+    }
+    if (artificial_col[i] >= 0) {
+      tab.At(i, static_cast<std::size_t>(artificial_col[i])) = 1.0;
+      basis[i] = static_cast<std::size_t>(artificial_col[i]);
+    } else {
+      basis[i] = static_cast<std::size_t>(slack_col[i]);
+    }
+  }
+
+  std::size_t pivots = 0;
+
+  // Phase 1: minimize the sum of artificials.
+  bool has_artificials = false;
+  for (std::size_t i = 0; i < m; ++i) has_artificials |= artificial_col[i] >= 0;
+  if (has_artificials) {
+    std::vector<double> reduced(cols, 0.0);
+    // Objective = sum of artificial columns; express in terms of the
+    // current (artificial) basis: reduced = c - sum over basic rows.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (artificial_col[i] < 0) continue;
+      for (std::size_t c = 0; c < cols; ++c) reduced[c] -= tab.At(i, c);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (artificial_col[i] >= 0) {
+        reduced[static_cast<std::size_t>(artificial_col[i])] += 1.0;
+      }
+    }
+    std::vector<bool> allowed(cols, true);
+    Phase phase{&tab, &reduced, &basis};
+    SCWSC_ASSIGN_OR_RETURN(bool ok, Iterate(phase, allowed, options, &pivots));
+    (void)ok;
+    // Phase-1 value: total artificial mass still in the basis.
+    double infeasibility = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t i = 0; i < m; ++i) {
+        if (artificial_col[i] >= 0 &&
+            basis[r] == static_cast<std::size_t>(artificial_col[i])) {
+          infeasibility += tab.Rhs(r);
+        }
+      }
+    }
+    if (infeasibility > 1e-7) {
+      return Status::Infeasible("LP has no feasible point");
+    }
+    // Drive any residual artificial out of the basis (degenerate rows).
+    for (std::size_t r = 0; r < m; ++r) {
+      bool basic_artificial = false;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (artificial_col[i] >= 0 &&
+            basis[r] == static_cast<std::size_t>(artificial_col[i])) {
+          basic_artificial = true;
+        }
+      }
+      if (!basic_artificial) continue;
+      bool pivoted = false;
+      for (std::size_t c = 0; c < cols && !pivoted; ++c) {
+        bool is_artificial = false;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (artificial_col[i] >= 0 &&
+              c == static_cast<std::size_t>(artificial_col[i])) {
+            is_artificial = true;
+          }
+        }
+        if (is_artificial) continue;
+        if (std::abs(tab.At(r, c)) > options.tolerance) {
+          tab.Pivot(r, c);
+          basis[r] = c;
+          pivoted = true;
+        }
+      }
+      // If no pivot exists the row is all zero (redundant); leave it.
+    }
+  }
+
+  // Phase 2: the real objective, artificials locked out.
+  {
+    std::vector<double> reduced(cols, 0.0);
+    for (std::size_t j = 0; j < n; ++j) reduced[j] = problem.objective[j];
+    // Express in terms of the current basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t bc = basis[r];
+      const double cb = bc < n ? problem.objective[bc] : 0.0;
+      if (cb == 0.0) continue;
+      for (std::size_t c = 0; c < cols; ++c) {
+        reduced[c] -= cb * tab.At(r, c);
+      }
+    }
+    std::vector<bool> allowed(cols, true);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (artificial_col[i] >= 0) {
+        allowed[static_cast<std::size_t>(artificial_col[i])] = false;
+      }
+    }
+    Phase phase{&tab, &reduced, &basis};
+    SCWSC_ASSIGN_OR_RETURN(bool ok, Iterate(phase, allowed, options, &pivots));
+    (void)ok;
+
+    LpSolution solution;
+    solution.x.assign(n, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] < n) solution.x[basis[r]] = tab.Rhs(r);
+    }
+    double value = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      value += problem.objective[j] * solution.x[j];
+    }
+    solution.objective = value;
+    return solution;
+  }
+}
+
+}  // namespace lp
+}  // namespace scwsc

@@ -1,0 +1,64 @@
+// A dense two-phase primal simplex solver, written from scratch for the LP
+// relaxation of size-constrained weighted set cover (§III discusses the
+// ILP/relax-and-round approach; lp_rounding.h builds on this solver).
+//
+// Scope: small/medium dense LPs (hundreds of variables/constraints) in the
+// form
+//        min  c'x
+//        s.t. a_i'x  {<=, >=, =}  b_i      for each constraint i
+//             x >= 0
+//
+// Phase 1 minimizes the sum of artificial variables to find a basic
+// feasible solution; phase 2 optimizes the real objective. Bland's rule
+// guards against cycling. This is not a production LP code — no presolve,
+// no revised simplex, no numerical scaling — but it is exact enough for the
+// covering LPs used here and fully deterministic.
+
+#ifndef SCWSC_LP_SIMPLEX_H_
+#define SCWSC_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace scwsc {
+namespace lp {
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+struct Constraint {
+  std::vector<double> coefficients;  // one per variable
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  std::size_t num_variables = 0;
+  /// Minimized objective, one coefficient per variable.
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+};
+
+struct LpOptions {
+  std::size_t max_pivots = 100'000;
+  double tolerance = 1e-9;
+};
+
+struct LpSolution {
+  std::vector<double> x;
+  double objective = 0.0;
+};
+
+/// Solves the LP. Returns:
+///  - the optimal solution,
+///  - Infeasible when no x >= 0 satisfies the constraints,
+///  - InvalidArgument for malformed input (arity mismatches, NaNs),
+///  - ResourceExhausted when max_pivots is hit,
+///  - Internal("unbounded") when the objective is unbounded below.
+Result<LpSolution> SolveLp(const LpProblem& problem,
+                           const LpOptions& options = {});
+
+}  // namespace lp
+}  // namespace scwsc
+
+#endif  // SCWSC_LP_SIMPLEX_H_

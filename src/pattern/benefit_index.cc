@@ -1,0 +1,79 @@
+#include "src/pattern/benefit_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace scwsc {
+namespace pattern {
+
+BenefitIndex::BenefitIndex(const Table& table) : table_(table) {
+  postings_.resize(table.num_attributes());
+  for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+    postings_[a].resize(table.domain_size(a));
+    for (RowId r = 0; r < table.num_rows(); ++r) {
+      postings_[a][table.value(r, a)].push_back(r);
+    }
+  }
+  all_rows_.resize(table.num_rows());
+  std::iota(all_rows_.begin(), all_rows_.end(), RowId{0});
+}
+
+const std::vector<RowId>& BenefitIndex::Postings(std::size_t attr,
+                                                 ValueId value) const {
+  SCWSC_DCHECK(attr < postings_.size());
+  SCWSC_DCHECK(value < postings_[attr].size());
+  return postings_[attr][value];
+}
+
+std::vector<RowId> BenefitIndex::Ben(const Pattern& p) const {
+  SCWSC_DCHECK(p.num_attributes() == table_.num_attributes());
+  // Start from the shortest posting list among constants, then filter by the
+  // remaining constants directly against the table (cheaper than k-way list
+  // intersection for the small attribute counts of patterned data).
+  std::ptrdiff_t seed_attr = -1;
+  std::size_t seed_size = all_rows_.size() + 1;
+  for (std::size_t a = 0; a < p.num_attributes(); ++a) {
+    if (p.is_wildcard(a)) continue;
+    const std::size_t size = postings_[a][p.value(a)].size();
+    if (size < seed_size) {
+      seed_size = size;
+      seed_attr = static_cast<std::ptrdiff_t>(a);
+    }
+  }
+  if (seed_attr < 0) return all_rows_;  // all-wildcards
+
+  const auto& seed = postings_[static_cast<std::size_t>(seed_attr)]
+                              [p.value(static_cast<std::size_t>(seed_attr))];
+  std::vector<RowId> out;
+  out.reserve(seed.size());
+  for (RowId r : seed) {
+    bool match = true;
+    for (std::size_t a = 0; a < p.num_attributes(); ++a) {
+      if (static_cast<std::ptrdiff_t>(a) == seed_attr || p.is_wildcard(a)) {
+        continue;
+      }
+      if (table_.value(r, a) != p.value(a)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t BenefitIndex::BenefitCount(const Pattern& p) const {
+  std::size_t constants = p.num_constants();
+  if (constants == 0) return all_rows_.size();
+  if (constants == 1) {
+    for (std::size_t a = 0; a < p.num_attributes(); ++a) {
+      if (!p.is_wildcard(a)) return postings_[a][p.value(a)].size();
+    }
+  }
+  return Ben(p).size();
+}
+
+}  // namespace pattern
+}  // namespace scwsc

@@ -1,0 +1,44 @@
+// BenefitIndex: per-(attribute, value) posting lists over a Table.
+//
+// Ben(p) — the rows matching pattern p (paper §II) — is computed by
+// intersecting the posting lists of p's constant attributes; the
+// all-wildcards pattern yields every row. Postings are sorted by row id, so
+// every returned benefit set is sorted too.
+
+#ifndef SCWSC_PATTERN_BENEFIT_INDEX_H_
+#define SCWSC_PATTERN_BENEFIT_INDEX_H_
+
+#include <vector>
+
+#include "src/pattern/pattern.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace pattern {
+
+class BenefitIndex {
+ public:
+  explicit BenefitIndex(const Table& table);
+
+  /// Rows with table.value(row, attr) == value.
+  const std::vector<RowId>& Postings(std::size_t attr, ValueId value) const;
+
+  /// Ben(p): rows of the table matching p, sorted ascending.
+  std::vector<RowId> Ben(const Pattern& p) const;
+
+  /// |Ben(p)| without materializing the row list when p has <= 1 constant.
+  std::size_t BenefitCount(const Pattern& p) const;
+
+  const Table& table() const { return table_; }
+
+ private:
+  const Table& table_;
+  // postings_[attr][value] = sorted rows.
+  std::vector<std::vector<std::vector<RowId>>> postings_;
+  std::vector<RowId> all_rows_;
+};
+
+}  // namespace pattern
+}  // namespace scwsc
+
+#endif  // SCWSC_PATTERN_BENEFIT_INDEX_H_

@@ -1,0 +1,45 @@
+#include "src/pattern/codec.h"
+
+#include <bit>
+
+#include "src/common/logging.h"
+
+namespace scwsc {
+namespace pattern {
+
+PatternCodec::PatternCodec(const Table& table) {
+  unsigned total = 0;
+  for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+    const unsigned bits = static_cast<unsigned>(
+        std::bit_width(static_cast<std::uint64_t>(table.domain_size(a)) + 1));
+    shift_.push_back(total);
+    bits_.push_back(bits);
+    total += bits;
+  }
+  fits_ = total <= 64;
+}
+
+std::uint64_t PatternCodec::Encode(const Pattern& p) const {
+  SCWSC_DCHECK(fits_);
+  SCWSC_DCHECK(p.num_attributes() == bits_.size());
+  std::uint64_t key = 0;
+  for (std::size_t a = 0; a < bits_.size(); ++a) {
+    if (!p.is_wildcard(a)) {
+      key |= (static_cast<std::uint64_t>(p.value(a)) + 1) << shift_[a];
+    }
+  }
+  return key;
+}
+
+Pattern PatternCodec::Decode(std::uint64_t key) const {
+  SCWSC_DCHECK(fits_);
+  std::vector<ValueId> values(bits_.size(), kAll);
+  for (std::size_t a = 0; a < bits_.size(); ++a) {
+    const std::uint64_t enc = (key >> shift_[a]) & ((std::uint64_t{1} << bits_[a]) - 1);
+    if (enc != 0) values[a] = static_cast<ValueId>(enc - 1);
+  }
+  return Pattern(std::move(values));
+}
+
+}  // namespace pattern
+}  // namespace scwsc

@@ -1,0 +1,77 @@
+// PatternCodec: packs a pattern into a single 64-bit key when the table's
+// attribute domains are small enough.
+//
+// Each attribute a gets ceil(log2(|dom(a)| + 2)) bits holding value+1, with
+// 0 encoding the ALL wildcard; the all-wildcards pattern is key 0. Packed
+// keys make the hash maps and heaps of the lattice algorithms allocation-
+// free, and lattice moves (specialize / generalize one attribute) become
+// bit operations. Tables whose summed widths exceed 64 bits fall back to
+// Pattern-keyed containers (fits() == false).
+
+#ifndef SCWSC_PATTERN_CODEC_H_
+#define SCWSC_PATTERN_CODEC_H_
+
+#include <cstdint>
+
+#include "src/pattern/pattern.h"
+
+namespace scwsc {
+namespace pattern {
+
+class PatternCodec {
+ public:
+  explicit PatternCodec(const Table& table);
+
+  /// True when every pattern of this table packs into 64 bits.
+  bool fits() const { return fits_; }
+
+  std::size_t num_attributes() const { return bits_.size(); }
+
+  /// Requires fits(). The all-wildcards pattern encodes to 0.
+  std::uint64_t Encode(const Pattern& p) const;
+
+  /// Requires fits().
+  Pattern Decode(std::uint64_t key) const;
+
+  /// Key of the child obtained by specializing attribute `attr` to `v`.
+  std::uint64_t WithValue(std::uint64_t key, std::size_t attr,
+                          ValueId v) const {
+    return (key & ~FieldMask(attr)) |
+           ((static_cast<std::uint64_t>(v) + 1) << shift_[attr]);
+  }
+
+  /// Key of the parent obtained by wildcarding attribute `attr`.
+  std::uint64_t WithWildcard(std::uint64_t key, std::size_t attr) const {
+    return key & ~FieldMask(attr);
+  }
+
+  bool IsWildcard(std::uint64_t key, std::size_t attr) const {
+    return (key & FieldMask(attr)) == 0;
+  }
+
+ private:
+  std::uint64_t FieldMask(std::size_t attr) const {
+    return ((std::uint64_t{1} << bits_[attr]) - 1) << shift_[attr];
+  }
+
+  std::vector<unsigned> shift_;
+  std::vector<unsigned> bits_;
+  bool fits_ = false;
+};
+
+/// Mixes a packed key for unordered containers (splitmix64 finalizer).
+struct PackedKeyHash {
+  std::size_t operator()(std::uint64_t key) const {
+    key ^= key >> 30;
+    key *= 0xBF58476D1CE4E5B9ull;
+    key ^= key >> 27;
+    key *= 0x94D049BB133111EBull;
+    key ^= key >> 31;
+    return static_cast<std::size_t>(key);
+  }
+};
+
+}  // namespace pattern
+}  // namespace scwsc
+
+#endif  // SCWSC_PATTERN_CODEC_H_

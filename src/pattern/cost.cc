@@ -1,0 +1,66 @@
+#include "src/pattern/cost.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace scwsc {
+namespace pattern {
+
+CostFunction::CostFunction(CostKind kind) : kind_(kind), p_(2.0) {
+  SCWSC_CHECK(kind != CostKind::kLpNorm,
+              "use CostFunction::LpNorm to build an lp-norm cost");
+}
+
+Result<CostFunction> CostFunction::LpNorm(double p) {
+  if (!(p >= 1.0) || !std::isfinite(p)) {
+    return Status::InvalidArgument("lp-norm exponent must be finite and >= 1");
+  }
+  return CostFunction(CostKind::kLpNorm, p);
+}
+
+double CostFunction::Compute(const Table& table,
+                             const std::vector<RowId>& rows) const {
+  SCWSC_CHECK(table.has_measure(), "cost functions require a measure column");
+  switch (kind_) {
+    case CostKind::kMax: {
+      double best = 0.0;
+      bool first = true;
+      for (RowId r : rows) {
+        const double m = table.measure(r);
+        if (first || m > best) {
+          best = m;
+          first = false;
+        }
+      }
+      return best;
+    }
+    case CostKind::kSum: {
+      double total = 0.0;
+      for (RowId r : rows) total += table.measure(r);
+      return total;
+    }
+    case CostKind::kLpNorm: {
+      double total = 0.0;
+      for (RowId r : rows) total += std::pow(std::abs(table.measure(r)), p_);
+      return std::pow(total, 1.0 / p_);
+    }
+  }
+  return 0.0;
+}
+
+std::string CostFunction::Name() const {
+  switch (kind_) {
+    case CostKind::kMax:
+      return "max";
+    case CostKind::kSum:
+      return "sum";
+    case CostKind::kLpNorm:
+      return StrFormat("l%g-norm", p_);
+  }
+  return "?";
+}
+
+}  // namespace pattern
+}  // namespace scwsc

@@ -1,0 +1,55 @@
+// Pattern cost functions (paper §II).
+//
+// The weight of a pattern is computed from the measure attribute of the
+// records it covers, in an application-specific way; the paper's running
+// example uses max, and Lemma 1 notes the hardness argument extends to sum
+// and lp-norms. All three are provided.
+
+#ifndef SCWSC_PATTERN_COST_H_
+#define SCWSC_PATTERN_COST_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace pattern {
+
+enum class CostKind {
+  /// max_{t in Ben(p)} t[measure] — the paper's running example.
+  kMax,
+  /// Σ_{t in Ben(p)} t[measure].
+  kSum,
+  /// (Σ |t[measure]|^p)^(1/p).
+  kLpNorm,
+};
+
+class CostFunction {
+ public:
+  /// kMax or kSum.
+  explicit CostFunction(CostKind kind);
+
+  /// kLpNorm with exponent p >= 1.
+  static Result<CostFunction> LpNorm(double p);
+
+  CostKind kind() const { return kind_; }
+  double p() const { return p_; }
+
+  /// Cost of a pattern covering exactly `rows` of `table`. Rows must be
+  /// non-empty for kMax (a pattern in this library always covers at least
+  /// one record); returns 0 on an empty row set otherwise.
+  double Compute(const Table& table, const std::vector<RowId>& rows) const;
+
+  std::string Name() const;
+
+ private:
+  CostFunction(CostKind kind, double p) : kind_(kind), p_(p) {}
+  CostKind kind_;
+  double p_ = 2.0;
+};
+
+}  // namespace pattern
+}  // namespace scwsc
+
+#endif  // SCWSC_PATTERN_COST_H_

@@ -1,0 +1,146 @@
+#include "src/pattern/enumerate.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace scwsc {
+namespace pattern {
+namespace {
+
+/// Bit layout for packing one pattern into a uint64 key, when possible.
+struct PackLayout {
+  std::vector<unsigned> shift;
+  std::vector<unsigned> bits;
+  bool fits = false;
+};
+
+PackLayout ComputeLayout(const Table& table) {
+  PackLayout layout;
+  unsigned total = 0;
+  for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+    // Encode value+1 (0 reserved for ALL): needs bit_width(domain + 1) bits.
+    const unsigned bits = static_cast<unsigned>(
+        std::bit_width(static_cast<std::uint64_t>(table.domain_size(a)) + 1));
+    layout.shift.push_back(total);
+    layout.bits.push_back(bits);
+    total += bits;
+  }
+  layout.fits = total <= 64;
+  return layout;
+}
+
+Pattern UnpackPattern(std::uint64_t key, const PackLayout& layout) {
+  std::vector<ValueId> values(layout.bits.size(), kAll);
+  for (std::size_t a = 0; a < layout.bits.size(); ++a) {
+    const std::uint64_t mask = (std::uint64_t{1} << layout.bits[a]) - 1;
+    const std::uint64_t enc = (key >> layout.shift[a]) & mask;
+    values[a] = enc == 0 ? kAll : static_cast<ValueId>(enc - 1);
+  }
+  return Pattern(std::move(values));
+}
+
+Result<std::vector<EnumeratedPattern>> EnumeratePacked(
+    const Table& table, const PackLayout& layout,
+    const EnumerateOptions& options) {
+  const std::size_t j = table.num_attributes();
+  const std::size_t num_masks = std::size_t{1} << j;
+
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  index.reserve(table.num_rows() * 2);
+  std::vector<std::uint64_t> keys;
+  std::vector<std::vector<RowId>> rows;
+
+  std::vector<std::uint64_t> encoded(j);
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t a = 0; a < j; ++a) {
+      encoded[a] = (static_cast<std::uint64_t>(table.value(r, a)) + 1)
+                   << layout.shift[a];
+    }
+    for (std::size_t mask = 0; mask < num_masks; ++mask) {
+      std::uint64_t key = 0;
+      for (std::size_t a = 0; a < j; ++a) {
+        if (mask & (std::size_t{1} << a)) key |= encoded[a];
+      }
+      auto [it, inserted] =
+          index.try_emplace(key, static_cast<std::uint32_t>(keys.size()));
+      if (inserted) {
+        if (keys.size() >= options.max_patterns) {
+          return Status::ResourceExhausted(
+              "pattern enumeration exceeded max_patterns");
+        }
+        keys.push_back(key);
+        rows.emplace_back();
+      }
+      rows[it->second].push_back(r);
+    }
+  }
+
+  std::vector<EnumeratedPattern> out;
+  out.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    out.push_back(EnumeratedPattern{UnpackPattern(keys[i], layout),
+                                    std::move(rows[i])});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EnumeratedPattern& a, const EnumeratedPattern& b) {
+              return CanonicalLess(a.pattern, b.pattern);
+            });
+  return out;
+}
+
+Result<std::vector<EnumeratedPattern>> EnumerateGeneric(
+    const Table& table, const EnumerateOptions& options) {
+  const std::size_t j = table.num_attributes();
+  const std::size_t num_masks = std::size_t{1} << j;
+
+  std::unordered_map<Pattern, std::uint32_t, PatternHash> index;
+  std::vector<EnumeratedPattern> out;
+
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t mask = 0; mask < num_masks; ++mask) {
+      std::vector<ValueId> values(j, kAll);
+      for (std::size_t a = 0; a < j; ++a) {
+        if (mask & (std::size_t{1} << a)) values[a] = table.value(r, a);
+      }
+      Pattern p(std::move(values));
+      auto [it, inserted] =
+          index.try_emplace(std::move(p), static_cast<std::uint32_t>(out.size()));
+      if (inserted) {
+        if (out.size() >= options.max_patterns) {
+          return Status::ResourceExhausted(
+              "pattern enumeration exceeded max_patterns");
+        }
+        out.push_back(EnumeratedPattern{it->first, {}});
+      }
+      out[it->second].rows.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EnumeratedPattern& a, const EnumeratedPattern& b) {
+              return CanonicalLess(a.pattern, b.pattern);
+            });
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<EnumeratedPattern>> EnumerateAllPatterns(
+    const Table& table, const EnumerateOptions& options) {
+  if (table.num_attributes() == 0) {
+    return Status::InvalidArgument("table has no pattern attributes");
+  }
+  if (table.num_attributes() > 20) {
+    return Status::NotSupported(
+        "more than 20 pattern attributes would enumerate 2^j > 1M "
+        "generalizations per record; use the optimized algorithms instead");
+  }
+  const PackLayout layout = ComputeLayout(table);
+  if (layout.fits) return EnumeratePacked(table, layout, options);
+  return EnumerateGeneric(table, options);
+}
+
+}  // namespace pattern
+}  // namespace scwsc

@@ -1,0 +1,46 @@
+// Full pattern enumeration — the substrate of the *unoptimized* algorithms.
+//
+// Every distinct pattern that matches at least one record is a
+// generalization of some record: replacing any subset of a record's j
+// attribute values with ALL. Enumeration therefore walks each record's 2^j
+// generalizations, deduplicating through a hash map and accumulating each
+// pattern's benefit rows. Patterns matching nothing are never produced
+// (they can never be selected). The result is sorted canonically so that
+// pattern ids are stable across runs and across the opt/unopt pair.
+//
+// When the per-attribute domains fit, pattern keys are packed into a single
+// 64-bit word (value+1 in ceil(log2(|dom|+2)) bits per attribute, 0 = ALL);
+// otherwise a generic Pattern-keyed map is used.
+
+#ifndef SCWSC_PATTERN_ENUMERATE_H_
+#define SCWSC_PATTERN_ENUMERATE_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/pattern/pattern.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace pattern {
+
+struct EnumeratedPattern {
+  Pattern pattern;
+  std::vector<RowId> rows;  // Ben(pattern), sorted ascending
+};
+
+struct EnumerateOptions {
+  /// Refuse to materialize more than this many distinct patterns
+  /// (ResourceExhausted) — a guard against accidentally cubing a table with
+  /// many attributes.
+  std::size_t max_patterns = 200'000'000;
+};
+
+/// Enumerates all non-empty patterns of `table`, sorted by CanonicalLess.
+Result<std::vector<EnumeratedPattern>> EnumerateAllPatterns(
+    const Table& table, const EnumerateOptions& options = {});
+
+}  // namespace pattern
+}  // namespace scwsc
+
+#endif  // SCWSC_PATTERN_ENUMERATE_H_

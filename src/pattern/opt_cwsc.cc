@@ -1,0 +1,211 @@
+#include "src/pattern/opt_cwsc.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/bitset.h"
+#include "src/pattern/lattice.h"
+
+namespace scwsc {
+namespace pattern {
+namespace {
+
+struct Candidate {
+  Pattern pattern;
+  std::vector<RowId> ben;   // Ben(p): all matching rows
+  std::vector<RowId> mben;  // MBen(p): matching rows not yet covered
+  double cost = 0.0;
+  bool processed = false;   // waitlist flag for the current outer iteration
+};
+
+using CandidateMap = std::unordered_map<Pattern, Candidate, PatternHash>;
+
+/// Max-heap entry for the waitlist, ordered by marginal benefit with
+/// canonical pattern order as the deterministic tie-break (Fig. 3 line 13).
+struct WaitEntry {
+  std::size_t count;
+  const Pattern* pattern;
+};
+struct WaitLess {
+  bool operator()(const WaitEntry& a, const WaitEntry& b) const {
+    if (a.count != b.count) return a.count < b.count;
+    return CanonicalLess(*b.pattern, *a.pattern);  // smaller canonical first
+  }
+};
+
+/// True when `cand` beats `best` under the shared selection order: higher
+/// marginal gain, then higher marginal benefit, then lower cost, then
+/// canonically smaller pattern.
+bool BetterCandidate(const Candidate& cand, const Candidate& best) {
+  const std::size_t ca = cand.mben.size();
+  const std::size_t cb = best.mben.size();
+  if (BetterGain(ca, cand.cost, cb, best.cost)) return true;
+  if (BetterGain(cb, best.cost, ca, cand.cost)) return false;
+  if (ca != cb) return ca > cb;
+  if (cand.cost != best.cost) return cand.cost < best.cost;
+  return CanonicalLess(cand.pattern, best.pattern);
+}
+
+}  // namespace
+
+Result<PatternSolution> RunOptimizedCwsc(const Table& table,
+                                         const CostFunction& cost_fn,
+                                         const CwscOptions& options,
+                                         PatternStats* stats) {
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  if (options.coverage_fraction < 0.0 || options.coverage_fraction > 1.0) {
+    return Status::InvalidArgument("coverage_fraction must be in [0, 1]");
+  }
+  if (!table.has_measure()) {
+    return Status::InvalidArgument("pattern costs require a measure column");
+  }
+
+  PatternStats local_stats;
+  PatternStats& st = stats ? *stats : local_stats;
+  st = PatternStats{};
+
+  const std::size_t n = table.num_rows();
+  std::size_t rem = SetSystem::CoverageTarget(options.coverage_fraction, n);
+  PatternSolution solution;
+  if (rem == 0) return solution;
+  if (n == 0) return Status::Infeasible("empty table with positive target");
+
+  DynamicBitset covered(n);
+  ChildGrouper group_children(table);
+  CandidateMap candidates;
+  std::unordered_set<Pattern, PatternHash> selected;
+
+  // Fig. 3 lines 04-06: seed with the all-wildcards pattern.
+  {
+    Candidate root;
+    root.pattern = Pattern::AllWildcards(table.num_attributes());
+    root.ben.resize(n);
+    for (RowId r = 0; r < n; ++r) root.ben[r] = r;
+    root.mben = root.ben;
+    root.cost = cost_fn.Compute(table, root.ben);
+    ++st.patterns_considered;
+    ++st.candidates_admitted;
+    candidates.emplace(root.pattern, std::move(root));
+  }
+
+  for (std::size_t i = options.k; i >= 1; --i) {
+    // Lines 08-10: drop candidates below this iteration's threshold
+    // (|MBen| * i >= rem, in exact integers).
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      if (it->second.mben.size() * i < rem) {
+        it = candidates.erase(it);
+      } else {
+        it->second.processed = false;
+        ++it;
+      }
+    }
+
+    // Lines 11-20: descend the lattice from the surviving candidates.
+    std::priority_queue<WaitEntry, std::vector<WaitEntry>, WaitLess> waitlist;
+    for (auto& [pat, cand] : candidates) {
+      waitlist.push(WaitEntry{cand.mben.size(), &pat});
+    }
+    while (!waitlist.empty()) {
+      const WaitEntry top = waitlist.top();
+      waitlist.pop();
+      auto qit = candidates.find(*top.pattern);
+      if (qit == candidates.end() || qit->second.processed) continue;
+      Candidate& q = qit->second;
+      q.processed = true;
+
+      // Enumerate q's children with non-zero marginal benefit, grouped by
+      // (attribute, value); the group rows are exactly MBen(child).
+      auto groups = group_children(q.pattern, q.mben);
+
+      // For children that pass the membership + all-parents tests, compute
+      // Ben(child) = Ben(q) filtered by the specialized attribute in a
+      // single pass per attribute.
+      struct Pending {
+        std::size_t group_index;
+        Pattern child;
+      };
+      std::vector<Pending> pending;
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        Pattern child = q.pattern.WithValue(groups[g].attr, groups[g].value);
+        if (candidates.count(child) || selected.count(child)) continue;
+        bool parents_ok = true;
+        for (const Pattern& parent : Parents(child)) {
+          if (!candidates.count(parent)) {
+            parents_ok = false;
+            break;
+          }
+        }
+        if (!parents_ok) continue;
+        pending.push_back(Pending{g, std::move(child)});
+      }
+
+      for (auto& pend : pending) {
+        const ChildGroup& group = groups[pend.group_index];
+        // Line 17: compute MBen and Cost of the child.
+        Candidate cand;
+        cand.pattern = std::move(pend.child);
+        cand.ben.reserve(group.marginal_rows.size());
+        for (RowId r : q.ben) {
+          if (table.value(r, group.attr) == group.value) {
+            cand.ben.push_back(r);
+          }
+        }
+        cand.mben = group.marginal_rows;
+        cand.cost = cost_fn.Compute(table, cand.ben);
+        ++st.patterns_considered;
+        // Line 18: admit only when the child meets the threshold.
+        if (cand.mben.size() * i >= rem) {
+          ++st.candidates_admitted;
+          auto [it, inserted] =
+              candidates.emplace(cand.pattern, std::move(cand));
+          SCWSC_CHECK(inserted, "candidate admitted twice");
+          waitlist.push(WaitEntry{it->second.mben.size(), &it->first});
+        }
+      }
+    }
+
+    // Line 21: select the candidate with the highest marginal gain.
+    const Candidate* best = nullptr;
+    for (const auto& [pat, cand] : candidates) {
+      if (best == nullptr || BetterCandidate(cand, *best)) best = &cand;
+    }
+    if (best == nullptr) {
+      return Status::Infeasible(
+          "optimized CWSC: no qualified candidate (cannot happen when the "
+          "all-wildcards pattern is admissible)");
+    }
+
+    // Lines 23-26: commit the selection.
+    solution.patterns.push_back(best->pattern);
+    solution.total_cost += best->cost;
+    const std::size_t newly = best->mben.size();
+    for (RowId r : best->mben) covered.set(r);
+    selected.insert(best->pattern);
+    candidates.erase(best->pattern);
+    rem = newly >= rem ? 0 : rem - newly;
+    solution.covered = covered.count();
+    if (rem == 0) return solution;
+
+    // Lines 27-30: refresh marginal benefit sets against the new coverage
+    // and drop exhausted candidates.
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      auto& mben = it->second.mben;
+      mben.erase(std::remove_if(mben.begin(), mben.end(),
+                                [&](RowId r) { return covered.test(r); }),
+                 mben.end());
+      if (mben.empty()) {
+        it = candidates.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  return Status::Internal(
+      "optimized CWSC exhausted k picks without meeting coverage");
+}
+
+}  // namespace pattern
+}  // namespace scwsc

@@ -1,0 +1,78 @@
+#include "src/pattern/pattern.h"
+
+#include "src/common/logging.h"
+
+namespace scwsc {
+namespace pattern {
+
+std::size_t Pattern::num_constants() const {
+  std::size_t c = 0;
+  for (ValueId v : values_) {
+    if (v != kAll) ++c;
+  }
+  return c;
+}
+
+Pattern Pattern::WithValue(std::size_t attr, ValueId v) const {
+  SCWSC_DCHECK(attr < values_.size());
+  std::vector<ValueId> values = values_;
+  values[attr] = v;
+  return Pattern(std::move(values));
+}
+
+Pattern Pattern::WithWildcard(std::size_t attr) const {
+  return WithValue(attr, kAll);
+}
+
+bool Pattern::Matches(const Table& table, RowId row) const {
+  SCWSC_DCHECK(values_.size() == table.num_attributes());
+  for (std::size_t a = 0; a < values_.size(); ++a) {
+    if (values_[a] != kAll && table.value(row, a) != values_[a]) return false;
+  }
+  return true;
+}
+
+bool Pattern::Generalizes(const Pattern& other) const {
+  SCWSC_DCHECK(values_.size() == other.values_.size());
+  for (std::size_t a = 0; a < values_.size(); ++a) {
+    if (values_[a] != kAll && values_[a] != other.values_[a]) return false;
+  }
+  return true;
+}
+
+std::string Pattern::ToString(const Table& table) const {
+  std::string out = "{";
+  for (std::size_t a = 0; a < values_.size(); ++a) {
+    if (a) out += ", ";
+    out += table.schema().attribute_name(a);
+    out += '=';
+    out += values_[a] == kAll ? "ALL" : table.dictionary(a).Name(values_[a]);
+  }
+  out += '}';
+  return out;
+}
+
+bool CanonicalLess(const Pattern& a, const Pattern& b) {
+  SCWSC_DCHECK(a.num_attributes() == b.num_attributes());
+  for (std::size_t i = 0; i < a.num_attributes(); ++i) {
+    const ValueId va = a.value(i);
+    const ValueId vb = b.value(i);
+    if (va == vb) continue;
+    if (va == kAll) return false;  // concrete orders before ALL
+    if (vb == kAll) return true;
+    return va < vb;
+  }
+  return false;
+}
+
+std::size_t PatternHash::operator()(const Pattern& p) const {
+  std::size_t h = 1469598103934665603ull;  // FNV offset basis
+  for (ValueId v : p.values()) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace pattern
+}  // namespace scwsc

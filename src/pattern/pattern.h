@@ -1,0 +1,89 @@
+// Pattern: a conjunction of attribute values with ALL wildcards (paper §II).
+//
+// A pattern p over j pattern attributes assigns each attribute either a
+// concrete dictionary-encoded value or the wildcard ALL. A record t matches
+// p iff t agrees with p on every non-wildcard attribute. Patterns form a
+// lattice under specialization: replacing one wildcard by a concrete value
+// yields a child, replacing one concrete value by a wildcard yields a
+// parent; a pattern's benefit set is always contained in each parent's.
+
+#ifndef SCWSC_PATTERN_PATTERN_H_
+#define SCWSC_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace pattern {
+
+/// Sentinel ValueId for the ALL wildcard.
+inline constexpr ValueId kAll = 0xFFFFFFFFu;
+
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Constructs from explicit per-attribute values (kAll for wildcards).
+  explicit Pattern(std::vector<ValueId> values) : values_(std::move(values)) {}
+
+  /// The all-wildcards pattern over j attributes (covers every record;
+  /// Definition 1's always-feasible set).
+  static Pattern AllWildcards(std::size_t j) {
+    return Pattern(std::vector<ValueId>(j, kAll));
+  }
+
+  std::size_t num_attributes() const { return values_.size(); }
+
+  ValueId value(std::size_t attr) const { return values_[attr]; }
+  bool is_wildcard(std::size_t attr) const { return values_[attr] == kAll; }
+
+  /// Number of non-wildcard attributes (0 for the all-wildcards pattern).
+  std::size_t num_constants() const;
+
+  /// Returns a copy with attribute `attr` set to `v` (a child when the
+  /// attribute was a wildcard).
+  Pattern WithValue(std::size_t attr, ValueId v) const;
+
+  /// Returns a copy with attribute `attr` set to ALL (a parent when the
+  /// attribute was a constant).
+  Pattern WithWildcard(std::size_t attr) const;
+
+  /// True when record `row` of `table` matches this pattern.
+  bool Matches(const Table& table, RowId row) const;
+
+  /// True when this pattern is equal to or a generalization of `other`
+  /// (every constant of this pattern is matched by `other`); implies
+  /// Ben(other) ⊆ Ben(this).
+  bool Generalizes(const Pattern& other) const;
+
+  /// "{Type=B, Location=ALL}" using the table's dictionaries.
+  std::string ToString(const Table& table) const;
+
+  const std::vector<ValueId>& values() const { return values_; }
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<ValueId> values_;
+};
+
+/// Canonical total order on patterns of equal arity: attribute-wise, with
+/// any concrete value ordering before ALL, and concrete values by id. Used
+/// for deterministic tie-breaking in both the enumerated (unoptimized) and
+/// lattice (optimized) algorithms so that their selections coincide.
+bool CanonicalLess(const Pattern& a, const Pattern& b);
+
+/// FNV-style hash usable in unordered containers.
+struct PatternHash {
+  std::size_t operator()(const Pattern& p) const;
+};
+
+}  // namespace pattern
+}  // namespace scwsc
+
+#endif  // SCWSC_PATTERN_PATTERN_H_

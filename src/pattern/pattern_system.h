@@ -1,0 +1,61 @@
+// PatternSystem: the bridge from a patterned Table to the generic SetSystem
+// consumed by the unoptimized algorithms (paper Table II is exactly this
+// materialization for the running example).
+//
+// Pattern ids coincide with SetIds and follow CanonicalLess order, so both
+// the unoptimized algorithms (tie-breaking on SetId) and the optimized
+// algorithms (tie-breaking on CanonicalLess) make identical choices — the
+// equivalence the paper asserts at the end of §V-C1 and that our property
+// tests verify.
+
+#ifndef SCWSC_PATTERN_PATTERN_SYSTEM_H_
+#define SCWSC_PATTERN_PATTERN_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/set_system.h"
+#include "src/core/solution.h"
+#include "src/pattern/cost.h"
+#include "src/pattern/enumerate.h"
+#include "src/pattern/stats.h"
+
+namespace scwsc {
+namespace pattern {
+
+class PatternSystem {
+ public:
+  /// Enumerates every non-empty pattern of `table`, weighting each with
+  /// `cost_fn`. The table must outlive the PatternSystem.
+  static Result<PatternSystem> Build(const Table& table,
+                                     const CostFunction& cost_fn,
+                                     const EnumerateOptions& options = {});
+
+  const SetSystem& set_system() const { return system_; }
+  const Table& table() const { return *table_; }
+
+  std::size_t num_patterns() const { return patterns_.size(); }
+  const Pattern& pattern(SetId id) const { return patterns_[id]; }
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+
+  /// Converts a SetId-based solution into the pattern-based form the
+  /// optimized algorithms produce, for apples-to-apples comparison.
+  PatternSolution ToPatternSolution(const Solution& solution) const;
+
+ private:
+  PatternSystem(const Table& table, SetSystem system,
+                std::vector<Pattern> patterns)
+      : table_(&table),
+        system_(std::move(system)),
+        patterns_(std::move(patterns)) {}
+
+  const Table* table_;
+  SetSystem system_;
+  std::vector<Pattern> patterns_;
+};
+
+}  // namespace pattern
+}  // namespace scwsc
+
+#endif  // SCWSC_PATTERN_PATTERN_SYSTEM_H_

@@ -1,0 +1,40 @@
+// Shared output and instrumentation types of the patterned algorithms.
+
+#ifndef SCWSC_PATTERN_STATS_H_
+#define SCWSC_PATTERN_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/pattern/pattern.h"
+
+namespace scwsc {
+namespace pattern {
+
+/// A solution expressed as patterns (the optimized algorithms never
+/// materialize a SetSystem, so they cannot return SetIds).
+struct PatternSolution {
+  std::vector<Pattern> patterns;  // in selection order
+  double total_cost = 0.0;
+  std::size_t covered = 0;
+};
+
+/// Instrumentation counters; "patterns considered" is the Fig. 6 series:
+/// the number of (pattern, benefit/cost computation) events. The
+/// unoptimized algorithms consider every enumerated pattern (once per
+/// budget round for CMC); the optimized algorithms only consider the
+/// lattice frontier they actually descend.
+struct PatternStats {
+  std::size_t patterns_considered = 0;
+  /// Candidates that passed the admission threshold.
+  std::size_t candidates_admitted = 0;
+  /// Budget rounds tried (CMC only).
+  std::size_t budget_rounds = 0;
+  /// Budget of the successful round (CMC only).
+  double final_budget = 0.0;
+};
+
+}  // namespace pattern
+}  // namespace scwsc
+
+#endif  // SCWSC_PATTERN_STATS_H_

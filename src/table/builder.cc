@@ -1,0 +1,36 @@
+#include "src/table/builder.h"
+
+namespace scwsc {
+
+TableBuilder::TableBuilder(std::vector<std::string> attribute_names,
+                           std::string measure_name)
+    : schema_(std::move(attribute_names), std::move(measure_name)),
+      dictionaries_(schema_.num_attributes()),
+      columns_(schema_.num_attributes()) {}
+
+Status TableBuilder::AddRow(const std::vector<std::string_view>& values,
+                            double measure) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row arity does not match schema (" + std::to_string(values.size()) +
+        " vs " + std::to_string(schema_.num_attributes()) + ")");
+  }
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    columns_[a].push_back(dictionaries_[a].GetOrAdd(values[a]));
+  }
+  if (schema_.has_measure()) measure_.push_back(measure);
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status TableBuilder::AddRow(std::initializer_list<std::string_view> values,
+                            double measure) {
+  return AddRow(std::vector<std::string_view>(values), measure);
+}
+
+Table TableBuilder::Build() && {
+  return Table(std::move(schema_), std::move(dictionaries_),
+               std::move(columns_), std::move(measure_));
+}
+
+}  // namespace scwsc

@@ -1,0 +1,46 @@
+// TableBuilder: row-at-a-time construction of an immutable Table.
+
+#ifndef SCWSC_TABLE_BUILDER_H_
+#define SCWSC_TABLE_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+
+class TableBuilder {
+ public:
+  /// Builder for a table with the given categorical attributes and, when
+  /// `measure_name` is non-empty, a numeric measure attribute.
+  explicit TableBuilder(std::vector<std::string> attribute_names,
+                        std::string measure_name = "");
+
+  /// Appends a row given decoded string values (one per attribute).
+  /// `measure` is ignored when the schema has no measure.
+  Status AddRow(const std::vector<std::string_view>& values,
+                double measure = 0.0);
+
+  /// Convenience overload for literals.
+  Status AddRow(std::initializer_list<std::string_view> values,
+                double measure = 0.0);
+
+  std::size_t num_rows() const { return num_rows_; }
+
+  /// Finalizes into an immutable Table. The builder is consumed.
+  Table Build() &&;
+
+ private:
+  Schema schema_;
+  std::vector<Dictionary> dictionaries_;
+  std::vector<std::vector<ValueId>> columns_;
+  std::vector<double> measure_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace scwsc
+
+#endif  // SCWSC_TABLE_BUILDER_H_

@@ -1,0 +1,114 @@
+#include "src/table/csv.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/strings.h"
+#include "src/table/builder.h"
+
+namespace scwsc {
+namespace csv {
+
+Result<Table> Read(std::istream& in, const ReadOptions& options) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("empty input: missing CSV header");
+  }
+  const auto header = SplitView(line, options.delimiter);
+
+  std::vector<std::string> attr_names;
+  std::ptrdiff_t measure_idx = -1;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    const std::string name(StripView(header[i]));
+    if (name.empty()) {
+      return Status::ParseError("empty column name in header");
+    }
+    if (!options.measure_column.empty() && name == options.measure_column) {
+      if (measure_idx >= 0) {
+        return Status::ParseError("duplicate measure column '" + name + "'");
+      }
+      measure_idx = static_cast<std::ptrdiff_t>(i);
+    } else {
+      attr_names.push_back(name);
+    }
+  }
+  if (!options.measure_column.empty() && measure_idx < 0) {
+    return Status::NotFound("measure column '" + options.measure_column +
+                            "' not in header");
+  }
+
+  TableBuilder builder(attr_names,
+                       measure_idx >= 0 ? options.measure_column : "");
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StripView(line).empty()) continue;
+    const auto fields = SplitView(line, options.delimiter);
+    if (fields.size() != header.size()) {
+      return Status::ParseError(
+          StrFormat("line %zu: expected %zu fields, got %zu", line_no,
+                    header.size(), fields.size()));
+    }
+    std::vector<std::string_view> values;
+    double measure = 0.0;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (static_cast<std::ptrdiff_t>(i) == measure_idx) {
+        auto parsed = ParseDouble(fields[i]);
+        if (!parsed.ok()) {
+          return Status::ParseError(StrFormat(
+              "line %zu: %s", line_no, parsed.status().ToString().c_str()));
+        }
+        measure = *parsed;
+      } else {
+        values.push_back(StripView(fields[i]));
+      }
+    }
+    SCWSC_RETURN_NOT_OK(builder.AddRow(values, measure));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Table> ReadFile(const std::string& path, const ReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  return Read(in, options);
+}
+
+Status Write(const Table& table, std::ostream& out,
+             const WriteOptions& options) {
+  const Schema& schema = table.schema();
+  for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (a) out << options.delimiter;
+    out << schema.attribute_name(a);
+  }
+  if (schema.has_measure()) {
+    if (schema.num_attributes()) out << options.delimiter;
+    out << schema.measure_name();
+  }
+  out << '\n';
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (a) out << options.delimiter;
+      out << table.value_name(r, a);
+    }
+    if (schema.has_measure()) {
+      if (schema.num_attributes()) out << options.delimiter;
+      out << FormatNumber(table.measure(r), options.measure_precision);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+Status WriteFile(const Table& table, const std::string& path,
+                 const WriteOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open file for write: " + path);
+  return Write(table, out, options);
+}
+
+}  // namespace csv
+}  // namespace scwsc

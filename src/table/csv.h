@@ -1,0 +1,54 @@
+// CSV import/export for Tables.
+//
+// Format: a header line naming every column, then one row per line. All
+// columns except the designated measure column are treated as categorical
+// pattern attributes. Quoting is not supported (the LBL-style traces this
+// library targets are plain space/comma-separated tokens); a field containing
+// the delimiter is therefore impossible and parse errors are reported with
+// line numbers.
+
+#ifndef SCWSC_TABLE_CSV_H_
+#define SCWSC_TABLE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace csv {
+
+struct ReadOptions {
+  /// Column separator.
+  char delimiter = ',';
+  /// Name of the numeric measure column; empty means every column is a
+  /// pattern attribute and the table has no measure.
+  std::string measure_column;
+};
+
+/// Parses a table from an input stream.
+Result<Table> Read(std::istream& in, const ReadOptions& options = {});
+
+/// Parses a table from a file.
+Result<Table> ReadFile(const std::string& path,
+                       const ReadOptions& options = {});
+
+struct WriteOptions {
+  char delimiter = ',';
+  /// Number of significant digits for the measure column.
+  int measure_precision = 12;
+};
+
+/// Writes `table` (header + rows, measure last when present).
+Status Write(const Table& table, std::ostream& out,
+             const WriteOptions& options = {});
+
+/// Writes `table` to a file.
+Status WriteFile(const Table& table, const std::string& path,
+                 const WriteOptions& options = {});
+
+}  // namespace csv
+}  // namespace scwsc
+
+#endif  // SCWSC_TABLE_CSV_H_

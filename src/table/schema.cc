@@ -1,0 +1,43 @@
+#include "src/table/schema.h"
+
+#include "src/common/logging.h"
+
+namespace scwsc {
+
+ValueId Dictionary::GetOrAdd(std::string_view value) {
+  auto it = ids_.find(std::string(value));
+  if (it != ids_.end()) return it->second;
+  const ValueId id = static_cast<ValueId>(names_.size());
+  SCWSC_CHECK(names_.size() < 0xFFFFFFFFull, "dictionary overflow");
+  names_.emplace_back(value);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<ValueId> Dictionary::Find(std::string_view value) const {
+  auto it = ids_.find(std::string(value));
+  if (it == ids_.end()) {
+    return Status::NotFound("value not in dictionary: '" +
+                            std::string(value) + "'");
+  }
+  return it->second;
+}
+
+const std::string& Dictionary::Name(ValueId id) const {
+  SCWSC_CHECK(id < names_.size(), "ValueId out of range");
+  return names_[id];
+}
+
+Schema::Schema(std::vector<std::string> attribute_names,
+               std::string measure_name)
+    : attribute_names_(std::move(attribute_names)),
+      measure_name_(std::move(measure_name)) {}
+
+Result<std::size_t> Schema::AttributeIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < attribute_names_.size(); ++i) {
+    if (attribute_names_[i] == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + std::string(name) + "'");
+}
+
+}  // namespace scwsc

@@ -1,0 +1,79 @@
+// Schema and dictionary encoding for the relational substrate.
+//
+// The patterned special case of size-constrained weighted set cover operates
+// on a table of categorical "pattern attributes" D1..Dj plus a numeric
+// measure attribute used to weight patterns (paper §II). Categorical values
+// are dictionary-encoded to dense 32-bit ids so that pattern matching and
+// lattice descent are integer comparisons.
+
+#ifndef SCWSC_TABLE_SCHEMA_H_
+#define SCWSC_TABLE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace scwsc {
+
+/// Dense id of a categorical value within one attribute's dictionary.
+using ValueId = std::uint32_t;
+
+/// Row index within a Table.
+using RowId = std::uint32_t;
+
+/// Per-attribute dictionary: bidirectional string <-> ValueId map.
+/// Ids are assigned densely in first-seen order.
+class Dictionary {
+ public:
+  /// Returns the id for `value`, inserting it if new.
+  ValueId GetOrAdd(std::string_view value);
+
+  /// Returns the id for `value` or NotFound.
+  Result<ValueId> Find(std::string_view value) const;
+
+  /// Returns the string for `id`. Requires id < size().
+  const std::string& Name(ValueId id) const;
+
+  /// Number of distinct values (the active domain size, paper's |dom(Di)|).
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ValueId> ids_;
+};
+
+/// Names the pattern attributes and the optional measure attribute.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// `attribute_names` are the categorical pattern attributes D1..Dj;
+  /// `measure_name` names the numeric attribute (may be empty when the
+  /// table carries no measure and set costs come from elsewhere).
+  Schema(std::vector<std::string> attribute_names, std::string measure_name);
+
+  std::size_t num_attributes() const { return attribute_names_.size(); }
+  const std::string& attribute_name(std::size_t i) const {
+    return attribute_names_[i];
+  }
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+
+  bool has_measure() const { return !measure_name_.empty(); }
+  const std::string& measure_name() const { return measure_name_; }
+
+  /// Index of the attribute with the given name, or NotFound.
+  Result<std::size_t> AttributeIndex(std::string_view name) const;
+
+ private:
+  std::vector<std::string> attribute_names_;
+  std::string measure_name_;
+};
+
+}  // namespace scwsc
+
+#endif  // SCWSC_TABLE_SCHEMA_H_

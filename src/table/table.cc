@@ -1,0 +1,95 @@
+#include "src/table/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace scwsc {
+
+Table::Table(Schema schema, std::vector<Dictionary> dictionaries,
+             std::vector<std::vector<ValueId>> columns,
+             std::vector<double> measure)
+    : schema_(std::move(schema)),
+      dictionaries_(std::move(dictionaries)),
+      columns_(std::move(columns)),
+      measure_(std::move(measure)) {
+  SCWSC_CHECK(dictionaries_.size() == columns_.size(),
+              "one dictionary per column required");
+  SCWSC_CHECK(schema_.num_attributes() == columns_.size(),
+              "schema/column mismatch");
+  num_rows_ = columns_.empty() ? measure_.size() : columns_[0].size();
+  for (const auto& col : columns_) {
+    SCWSC_CHECK(col.size() == num_rows_, "ragged columns");
+  }
+  if (!measure_.empty()) {
+    SCWSC_CHECK(measure_.size() == num_rows_, "measure length mismatch");
+  }
+}
+
+Table Table::SelectRows(const std::vector<RowId>& rows) const {
+  // Re-densify dictionaries so domain sizes reflect the surviving rows
+  // (the paper's |dom(Di)| is always the *active* domain).
+  std::vector<Dictionary> dicts(columns_.size());
+  std::vector<std::vector<ValueId>> cols(columns_.size());
+  for (std::size_t a = 0; a < columns_.size(); ++a) {
+    cols[a].reserve(rows.size());
+    for (RowId r : rows) {
+      cols[a].push_back(dicts[a].GetOrAdd(dictionaries_[a].Name(columns_[a][r])));
+    }
+  }
+  std::vector<double> meas;
+  if (!measure_.empty()) {
+    meas.reserve(rows.size());
+    for (RowId r : rows) meas.push_back(measure_[r]);
+  }
+  return Table(schema_, std::move(dicts), std::move(cols), std::move(meas));
+}
+
+Table Table::Head(std::size_t n) const {
+  n = std::min(n, num_rows_);
+  std::vector<RowId> rows(n);
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  return SelectRows(rows);
+}
+
+Table Table::Sample(std::size_t n, Rng& rng) const {
+  n = std::min(n, num_rows_);
+  std::vector<RowId> all(num_rows_);
+  std::iota(all.begin(), all.end(), RowId{0});
+  // Partial Fisher-Yates: the first n entries form the sample.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t j =
+        i + static_cast<std::size_t>(rng.NextBounded(num_rows_ - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(n);
+  std::sort(all.begin(), all.end());
+  return SelectRows(all);
+}
+
+Result<Table> Table::ProjectAttributes(
+    const std::vector<std::size_t>& keep) const {
+  std::vector<std::string> names;
+  std::vector<Dictionary> dicts;
+  std::vector<std::vector<ValueId>> cols;
+  for (std::size_t a : keep) {
+    if (a >= columns_.size()) {
+      return Status::InvalidArgument("attribute index out of range");
+    }
+    names.push_back(schema_.attribute_name(a));
+    dicts.push_back(dictionaries_[a]);
+    cols.push_back(columns_[a]);
+  }
+  return Table(Schema(std::move(names), schema_.measure_name()),
+               std::move(dicts), std::move(cols), measure_);
+}
+
+Result<Table> Table::WithMeasure(std::vector<double> measure) const {
+  if (measure.size() != num_rows_) {
+    return Status::InvalidArgument("measure length does not match row count");
+  }
+  return Table(schema_, dictionaries_, columns_, std::move(measure));
+}
+
+}  // namespace scwsc

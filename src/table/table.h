@@ -1,0 +1,90 @@
+// Table: a columnar, dictionary-encoded data set of n records.
+//
+// Storage is column-major: one dense ValueId vector per pattern attribute and
+// one double vector for the measure. Tables are immutable after construction
+// (build them with TableBuilder); the experiment harness derives new tables
+// via Sample / ProjectAttributes / Head, matching how the paper varies data
+// size (Fig. 5/6) and attribute count (Fig. 7).
+
+#ifndef SCWSC_TABLE_TABLE_H_
+#define SCWSC_TABLE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/table/schema.h"
+
+namespace scwsc {
+
+class Table {
+ public:
+  Table(Schema schema, std::vector<Dictionary> dictionaries,
+        std::vector<std::vector<ValueId>> columns, std::vector<double> measure);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_attributes() const { return columns_.size(); }
+
+  /// The dictionary of attribute `attr`.
+  const Dictionary& dictionary(std::size_t attr) const {
+    return dictionaries_[attr];
+  }
+
+  /// Active domain size of attribute `attr`.
+  std::size_t domain_size(std::size_t attr) const {
+    return dictionaries_[attr].size();
+  }
+
+  /// Encoded value of row `row` in attribute `attr`.
+  ValueId value(RowId row, std::size_t attr) const {
+    return columns_[attr][row];
+  }
+
+  /// The whole encoded column for attribute `attr`.
+  const std::vector<ValueId>& column(std::size_t attr) const {
+    return columns_[attr];
+  }
+
+  /// Decoded (string) value of row `row` in attribute `attr`.
+  const std::string& value_name(RowId row, std::size_t attr) const {
+    return dictionaries_[attr].Name(columns_[attr][row]);
+  }
+
+  bool has_measure() const { return !measure_.empty(); }
+
+  /// Measure value of `row`. Requires has_measure().
+  double measure(RowId row) const { return measure_[row]; }
+  const std::vector<double>& measures() const { return measure_; }
+
+  /// A new table containing rows [0, n) of this one. n is clamped to
+  /// num_rows(). Dictionaries are re-densified to the surviving values.
+  Table Head(std::size_t n) const;
+
+  /// A uniform random sample (without replacement) of n rows, in original
+  /// row order. n is clamped to num_rows().
+  Table Sample(std::size_t n, Rng& rng) const;
+
+  /// A new table keeping only the pattern attributes whose indices appear in
+  /// `keep` (in the given order); the measure is retained.
+  Result<Table> ProjectAttributes(const std::vector<std::size_t>& keep) const;
+
+  /// A copy of this table with the measure column replaced. `measure` must
+  /// have num_rows() entries.
+  Result<Table> WithMeasure(std::vector<double> measure) const;
+
+ private:
+  Table SelectRows(const std::vector<RowId>& rows) const;
+
+  Schema schema_;
+  std::vector<Dictionary> dictionaries_;
+  std::vector<std::vector<ValueId>> columns_;  // [attr][row]
+  std::vector<double> measure_;                // empty when no measure
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace scwsc
+
+#endif  // SCWSC_TABLE_TABLE_H_

@@ -1,0 +1,179 @@
+#include "src/core/baselines.h"
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/instances.h"
+#include "src/core/solution.h"
+
+namespace scwsc {
+namespace {
+
+SetSystem MakeSystem() {
+  SetSystem system(8);
+  EXPECT_TRUE(system.AddSet({0, 1, 2, 3}, 4.0, "quad").ok());   // gain 1
+  EXPECT_TRUE(system.AddSet({4, 5}, 1.0, "cheap-pair").ok());   // gain 2
+  EXPECT_TRUE(system.AddSet({6}, 10.0, "pricey-single").ok());  // gain 0.1
+  EXPECT_TRUE(system.AddSet({7}, 1.0, "single").ok());          // gain 1
+  EXPECT_TRUE(system.AddSet({0, 1, 2, 3, 4, 5, 6, 7}, 40.0, "all").ok());
+  return system;
+}
+
+TEST(GreedyWscTest, PicksByMarginalGain) {
+  SetSystem system = MakeSystem();
+  GreedyWscOptions opts;
+  opts.coverage_fraction = 6.0 / 8.0;
+  auto solution = RunGreedyWeightedSetCover(system, opts);
+  ASSERT_TRUE(solution.ok());
+  // Order: cheap-pair (2), then quad (1) -> covered 6.
+  ASSERT_EQ(solution->sets.size(), 2u);
+  EXPECT_EQ(system.set(solution->sets[0]).label, "cheap-pair");
+  EXPECT_EQ(system.set(solution->sets[1]).label, "quad");
+  EXPECT_EQ(solution->covered, 6u);
+  EXPECT_DOUBLE_EQ(solution->total_cost, 5.0);
+}
+
+TEST(GreedyWscTest, UnboundedSizeGrowsWithCoverage) {
+  SetSystem system = MakeSystem();
+  GreedyWscOptions opts;
+  opts.coverage_fraction = 1.0;
+  auto solution = RunGreedyWeightedSetCover(system, opts);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->covered, 8u);
+  EXPECT_GE(solution->sets.size(), 4u);  // needs the pricey single too
+}
+
+TEST(GreedyWscTest, MaxSetsCapTriggersInfeasible) {
+  SetSystem system = MakeSystem();
+  GreedyWscOptions opts;
+  opts.coverage_fraction = 1.0;
+  opts.max_sets = 1;
+  EXPECT_TRUE(
+      RunGreedyWeightedSetCover(system, opts).status().IsInfeasible());
+}
+
+TEST(GreedyWscTest, InfeasibleWhenSetsExhausted) {
+  SetSystem system(4);
+  ASSERT_TRUE(system.AddSet({0}, 1.0).ok());
+  GreedyWscOptions opts;
+  opts.coverage_fraction = 1.0;
+  EXPECT_TRUE(
+      RunGreedyWeightedSetCover(system, opts).status().IsInfeasible());
+}
+
+TEST(GreedyWscTest, ZeroTargetIsEmpty) {
+  SetSystem system = MakeSystem();
+  GreedyWscOptions opts;
+  opts.coverage_fraction = 0.0;
+  auto solution = RunGreedyWeightedSetCover(system, opts);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->sets.empty());
+}
+
+TEST(GreedyMaxCoverageTest, IgnoresCostEntirely) {
+  SetSystem system = MakeSystem();
+  GreedyMaxCoverageOptions opts;
+  opts.k = 1;
+  auto solution = RunGreedyMaxCoverage(system, opts);
+  ASSERT_TRUE(solution.ok());
+  ASSERT_EQ(solution->sets.size(), 1u);
+  EXPECT_EQ(system.set(solution->sets[0]).label, "all");  // benefit 8
+  EXPECT_DOUBLE_EQ(solution->total_cost, 40.0);
+}
+
+TEST(GreedyMaxCoverageTest, StopsEarlyAtCoverageFraction) {
+  SetSystem system = MakeSystem();
+  GreedyMaxCoverageOptions opts;
+  opts.k = 5;
+  opts.stop_coverage_fraction = 0.5;
+  auto solution = RunGreedyMaxCoverage(system, opts);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->sets.size(), 1u);  // "all" covers everything at once
+}
+
+TEST(GreedyMaxCoverageTest, StopsWhenNothingAddsCoverage) {
+  SetSystem system(4);
+  ASSERT_TRUE(system.AddSet({0, 1}, 1.0).ok());
+  ASSERT_TRUE(system.AddSet({0, 1}, 1.0).ok());  // duplicate coverage
+  GreedyMaxCoverageOptions opts;
+  opts.k = 4;
+  auto solution = RunGreedyMaxCoverage(system, opts);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->sets.size(), 1u);
+  EXPECT_EQ(solution->covered, 2u);
+}
+
+TEST(BudgetedMaxCoverageTest, RespectsBudget) {
+  SetSystem system = MakeSystem();
+  BudgetedMaxCoverageOptions opts;
+  opts.budget = 5.0;
+  auto solution = RunBudgetedMaxCoverage(system, opts);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_LE(solution->total_cost, 5.0);
+  // cheap-pair (gain 2) then quad (gain 1): budget exactly spent.
+  EXPECT_EQ(solution->covered, 6u);
+}
+
+TEST(BudgetedMaxCoverageTest, ZeroBudgetSelectsOnlyFreeSets) {
+  SetSystem system(3);
+  ASSERT_TRUE(system.AddSet({0}, 0.0).ok());
+  ASSERT_TRUE(system.AddSet({1, 2}, 1.0).ok());
+  BudgetedMaxCoverageOptions opts;
+  opts.budget = 0.0;
+  auto solution = RunBudgetedMaxCoverage(system, opts);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->covered, 1u);
+  EXPECT_DOUBLE_EQ(solution->total_cost, 0.0);
+}
+
+TEST(BudgetedMaxCoverageTest, MaxSetsCapApplies) {
+  SetSystem system = MakeSystem();
+  BudgetedMaxCoverageOptions opts;
+  opts.budget = 100.0;
+  opts.max_sets = 2;
+  auto solution = RunBudgetedMaxCoverage(system, opts);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_LE(solution->sets.size(), 2u);
+}
+
+// §III counterexample: the budgeted greedy, allowed c*k sets, covers only
+// c*k elements while the optimum (the k blocks) covers all C*k.
+TEST(BudgetedMaxCoverageTest, SectionThreeCounterexample) {
+  CounterexampleSpec spec;
+  spec.big_set_size = 50;   // C
+  spec.small_set_multiplier = 3;  // c
+  spec.k = 4;
+  auto system = MakeBudgetedCounterexample(spec);
+  ASSERT_TRUE(system.ok());
+
+  // Optimal: the k blocks, total cost k*(C+1), full coverage.
+  const double opt_cost = double(spec.k) * (double(spec.big_set_size) + 1.0);
+
+  BudgetedMaxCoverageOptions opts;
+  opts.budget = opt_cost;
+  opts.max_sets = spec.small_set_multiplier * spec.k;  // c*k sets allowed
+  auto greedy = RunBudgetedMaxCoverage(*system, opts);
+  ASSERT_TRUE(greedy.ok());
+
+  // Greedy prefers the weight-1 singletons (gain 1 > C/(C+1)) and covers
+  // only c*k of the C*k elements.
+  EXPECT_EQ(greedy->covered, spec.small_set_multiplier * spec.k);
+  EXPECT_LT(greedy->covered, system->num_elements() / 2);
+}
+
+TEST(BaselinesTest, InvalidOptionsRejected) {
+  SetSystem system = MakeSystem();
+  GreedyWscOptions wsc;
+  wsc.coverage_fraction = -0.5;
+  EXPECT_TRUE(
+      RunGreedyWeightedSetCover(system, wsc).status().IsInvalidArgument());
+  GreedyMaxCoverageOptions mc;
+  mc.k = 0;
+  EXPECT_TRUE(RunGreedyMaxCoverage(system, mc).status().IsInvalidArgument());
+  BudgetedMaxCoverageOptions bmc;
+  bmc.budget = -1.0;
+  EXPECT_TRUE(
+      RunBudgetedMaxCoverage(system, bmc).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,290 @@
+#include "src/core/cmc.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/instances.h"
+#include "src/core/solution.h"
+
+namespace scwsc {
+namespace {
+
+TEST(BuildCmcLevelsTest, PartitionsBudgetForPowerOfTwoK) {
+  // k = 4, B = 8: geometric levels (4,8], (2,4], then cheap [0,2] with
+  // capacity k.
+  auto levels = BuildCmcLevels(8.0, 4, 0.0, 1);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_DOUBLE_EQ(levels[0].hi, 8.0);
+  EXPECT_DOUBLE_EQ(levels[0].lo, 4.0);
+  EXPECT_EQ(levels[0].capacity, 2u);
+  EXPECT_DOUBLE_EQ(levels[1].hi, 4.0);
+  EXPECT_DOUBLE_EQ(levels[1].lo, 2.0);
+  EXPECT_EQ(levels[1].capacity, 4u);
+  EXPECT_DOUBLE_EQ(levels[2].hi, 2.0);
+  EXPECT_TRUE(levels[2].closed_at_lo);
+  EXPECT_EQ(levels[2].capacity, 4u);
+}
+
+TEST(BuildCmcLevelsTest, NonPowerOfTwoKClampsLastGeometricLevel) {
+  // k = 3, B = 12: levels (6,12] cap 2, (4,6] cap 4 (clamped at B/k = 4),
+  // [0,4] cap 3.
+  auto levels = BuildCmcLevels(12.0, 3, 0.0, 1);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_DOUBLE_EQ(levels[1].lo, 4.0);
+  EXPECT_EQ(levels[1].capacity, 4u);
+  EXPECT_DOUBLE_EQ(levels[2].hi, 4.0);
+  EXPECT_EQ(levels[2].capacity, 3u);
+}
+
+TEST(BuildCmcLevelsTest, KOneHasSingleCheapLevel) {
+  auto levels = BuildCmcLevels(10.0, 1, 0.0, 1);
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_DOUBLE_EQ(levels[0].hi, 10.0);
+  EXPECT_TRUE(levels[0].closed_at_lo);
+  EXPECT_EQ(levels[0].capacity, 1u);
+}
+
+TEST(BuildCmcLevelsTest, EpsilonVariantLimitsGeometricCapacity) {
+  // k = 12, eps = 0.5 -> allowance 6: levels cap 2 and 4 (2+4 <= 6), then
+  // cheap level with capacity 12 (the paper's own example in §V-A3).
+  auto levels = BuildCmcLevels(16.0, 12, 0.5, 1);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0].capacity, 2u);
+  EXPECT_EQ(levels[1].capacity, 4u);
+  EXPECT_EQ(levels[2].capacity, 12u);
+  EXPECT_DOUBLE_EQ(levels[2].hi, 4.0);  // B / 2^2
+}
+
+TEST(BuildCmcLevelsTest, TinyEpsilonDegeneratesToOneLevel) {
+  auto levels = BuildCmcLevels(16.0, 4, 0.1, 1);  // allowance 0.4 < 2
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0].capacity, 4u);
+  EXPECT_DOUBLE_EQ(levels[0].hi, 16.0);
+}
+
+TEST(BuildCmcLevelsTest, GeneralizedBaseUsesPowersOfOnePlusL) {
+  // l = 2 -> base 3. k = 9, B = 9: levels (3,9] cap 3, (1,3] cap 9
+  // (clamped at B/k = 1), [0,1] cap 9.
+  auto levels = BuildCmcLevels(9.0, 9, 0.0, 2);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0].capacity, 3u);
+  EXPECT_DOUBLE_EQ(levels[0].lo, 3.0);
+  EXPECT_EQ(levels[1].capacity, 9u);
+  EXPECT_DOUBLE_EQ(levels[1].lo, 1.0);
+  EXPECT_EQ(levels[2].capacity, 9u);
+}
+
+TEST(BuildCmcLevelsTest, CapacityTotalsRespectTheoremBounds) {
+  for (std::size_t k : {1u, 2u, 3u, 5u, 10u, 17u, 64u, 100u}) {
+    EXPECT_LE(CmcMaxSelectable(k, 0.0, 1), 5 * k) << "k=" << k;
+    for (double eps : {0.5, 1.0, 2.0}) {
+      EXPECT_LE(CmcMaxSelectable(k, eps, 1),
+                static_cast<std::size_t>(std::ceil((1.0 + eps) * double(k))))
+          << "k=" << k << " eps=" << eps;
+    }
+  }
+}
+
+TEST(LevelOfTest, MapsCostsToLevels) {
+  auto levels = BuildCmcLevels(8.0, 4, 0.0, 1);
+  EXPECT_EQ(LevelOf(levels, 9.0), -1);   // over budget
+  EXPECT_EQ(LevelOf(levels, 8.0), 0);
+  EXPECT_EQ(LevelOf(levels, 4.5), 0);
+  EXPECT_EQ(LevelOf(levels, 4.0), 1);    // boundary goes to the cheaper level
+  EXPECT_EQ(LevelOf(levels, 2.0), 2);
+  EXPECT_EQ(LevelOf(levels, 0.0), 2);    // cheap level is closed at zero
+}
+
+SetSystem MakeSystemWithUniverse() {
+  SetSystem system(12);
+  EXPECT_TRUE(system.AddSet({0, 1, 2}, 3.0).ok());
+  EXPECT_TRUE(system.AddSet({3, 4, 5}, 3.0).ok());
+  EXPECT_TRUE(system.AddSet({6, 7}, 1.0).ok());
+  EXPECT_TRUE(system.AddSet({8}, 0.5).ok());
+  EXPECT_TRUE(system.AddSet({9, 10, 11}, 6.0).ok());
+  EXPECT_TRUE(
+      system
+          .AddSet({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 50.0, "universe")
+          .ok());
+  return system;
+}
+
+TEST(CmcTest, RejectsBadOptions) {
+  SetSystem system = MakeSystemWithUniverse();
+  CmcOptions opts;
+  opts.k = 0;
+  EXPECT_TRUE(RunCmc(system, opts).status().IsInvalidArgument());
+  opts = CmcOptions{};
+  opts.b = 0.0;
+  EXPECT_TRUE(RunCmc(system, opts).status().IsInvalidArgument());
+  opts = CmcOptions{};
+  opts.coverage_fraction = 2.0;
+  EXPECT_TRUE(RunCmc(system, opts).status().IsInvalidArgument());
+  opts = CmcOptions{};
+  opts.epsilon = -1.0;
+  EXPECT_TRUE(RunCmc(system, opts).status().IsInvalidArgument());
+  opts = CmcOptions{};
+  opts.l = 0;
+  EXPECT_TRUE(RunCmc(system, opts).status().IsInvalidArgument());
+}
+
+TEST(CmcTest, ZeroTargetReturnsEmptySolution) {
+  SetSystem system = MakeSystemWithUniverse();
+  CmcOptions opts;
+  opts.coverage_fraction = 0.0;
+  auto result = RunCmc(system, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->solution.sets.empty());
+}
+
+TEST(CmcTest, MeetsRelaxedCoverageWithinSetBound) {
+  SetSystem system = MakeSystemWithUniverse();
+  for (double fraction : {0.3, 0.5, 0.8, 1.0}) {
+    for (std::size_t k : {1u, 2u, 4u}) {
+      CmcOptions opts;
+      opts.k = k;
+      opts.coverage_fraction = fraction;
+      auto result = RunCmc(system, opts);
+      ASSERT_TRUE(result.ok())
+          << "k=" << k << " s=" << fraction << ": "
+          << result.status().ToString();
+      const std::size_t relaxed_target = SetSystem::CoverageTarget(
+          (1.0 - 1.0 / M_E) * fraction, system.num_elements());
+      EXPECT_GE(result->solution.covered, relaxed_target);
+      EXPECT_LE(result->solution.sets.size(), CmcMaxSelectable(k, 0.0, 1));
+      auto audit = AuditSolution(system, result->solution);
+      ASSERT_TRUE(audit.ok());
+      EXPECT_TRUE(audit->bookkeeping_consistent);
+    }
+  }
+}
+
+TEST(CmcTest, StrictCoverageModeReachesFullTarget) {
+  SetSystem system = MakeSystemWithUniverse();
+  CmcOptions opts;
+  opts.k = 3;
+  opts.coverage_fraction = 0.75;
+  opts.relax_coverage = false;
+  auto result = RunCmc(system, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->solution.covered, 9u);  // 0.75 * 12
+}
+
+TEST(CmcTest, EpsilonVariantRespectsSizeBound) {
+  SetSystem system = MakeSystemWithUniverse();
+  CmcOptions opts;
+  opts.k = 4;
+  opts.coverage_fraction = 1.0;
+  opts.epsilon = 1.0;
+  auto result = RunCmc(system, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->solution.sets.size(),
+            static_cast<std::size_t>((1.0 + opts.epsilon) * double(opts.k)));
+}
+
+TEST(CmcTest, BudgetGrowsGeometrically) {
+  SetSystem system = MakeSystemWithUniverse();
+  CmcOptions small_b;
+  small_b.k = 1;
+  small_b.coverage_fraction = 1.0;
+  small_b.b = 0.5;
+  auto with_small_b = RunCmc(system, small_b);
+  CmcOptions big_b = small_b;
+  big_b.b = 4.0;
+  auto with_big_b = RunCmc(system, big_b);
+  ASSERT_TRUE(with_small_b.ok());
+  ASSERT_TRUE(with_big_b.ok());
+  // Larger b converges in fewer (or equal) rounds.
+  EXPECT_LE(with_big_b->budget_rounds, with_small_b->budget_rounds);
+}
+
+TEST(CmcTest, FinerBudgetScheduleNeverCostsMoreOnThisInstance) {
+  SetSystem system = MakeSystemWithUniverse();
+  CmcOptions opts;
+  opts.k = 2;
+  opts.coverage_fraction = 0.9;
+  opts.b = 0.25;
+  auto fine = RunCmc(system, opts);
+  opts.b = 3.0;
+  auto coarse = RunCmc(system, opts);
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse.ok());
+  // Both are feasible; the finer schedule tracks the optimal budget more
+  // closely on this instance (this mirrors Table IV's observation that
+  // larger b tends to increase solution cost).
+  EXPECT_LE(fine->solution.total_cost,
+            coarse->solution.total_cost * (1.0 + 1e-9));
+}
+
+TEST(CmcTest, InfeasibleWithoutUniverseAtFullCoverage) {
+  SetSystem system(10);
+  ASSERT_TRUE(system.AddSet({0, 1}, 1.0).ok());
+  ASSERT_TRUE(system.AddSet({2}, 1.0).ok());
+  CmcOptions opts;
+  opts.k = 1;
+  opts.coverage_fraction = 1.0;
+  opts.relax_coverage = false;
+  EXPECT_TRUE(RunCmc(system, opts).status().IsInfeasible());
+}
+
+TEST(CmcTest, EmptySystemIsInfeasible) {
+  SetSystem system(5);
+  CmcOptions opts;
+  EXPECT_TRUE(RunCmc(system, opts).status().IsInfeasible());
+}
+
+TEST(CmcTest, AllZeroCostSystemStillCovers) {
+  SetSystem system(4);
+  ASSERT_TRUE(system.AddSet({0, 1}, 0.0).ok());
+  ASSERT_TRUE(system.AddSet({2, 3}, 0.0).ok());
+  CmcOptions opts;
+  opts.k = 2;
+  opts.coverage_fraction = 1.0;
+  opts.relax_coverage = false;
+  auto result = RunCmc(system, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->solution.covered, 4u);
+  EXPECT_DOUBLE_EQ(result->solution.total_cost, 0.0);
+}
+
+TEST(CmcTest, UniverseClampRoundCatchesExpensiveUniverse) {
+  // The only way to cover everything is a universe set more expensive than
+  // the geometric schedule's natural last round; the clamped final round
+  // must still find it.
+  SetSystem system(8);
+  ASSERT_TRUE(system.AddSet({0}, 1.0).ok());
+  ASSERT_TRUE(system.AddSet({0, 1, 2, 3, 4, 5, 6, 7}, 100.0, "u").ok());
+  CmcOptions opts;
+  opts.k = 1;
+  opts.coverage_fraction = 1.0;
+  opts.relax_coverage = false;
+  opts.b = 10.0;  // coarse schedule overshoots the universe cost quickly
+  auto result = RunCmc(system, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->solution.covered, 8u);
+}
+
+TEST(CmcTest, RandomInstancesRespectTheorem4Bounds) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomSystemSpec spec;
+    spec.num_elements = 40 + static_cast<std::size_t>(rng.NextBounded(60));
+    spec.num_sets = 20 + static_cast<std::size_t>(rng.NextBounded(80));
+    spec.max_set_size = 1 + static_cast<std::size_t>(rng.NextBounded(10));
+    auto system = RandomSetSystem(spec, rng);
+    ASSERT_TRUE(system.ok());
+    CmcOptions opts;
+    opts.k = 1 + static_cast<std::size_t>(rng.NextBounded(7));
+    opts.coverage_fraction = rng.NextDouble(0.1, 1.0);
+    auto result = RunCmc(*system, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_LE(result->solution.sets.size(), 5 * opts.k);
+    const std::size_t relaxed = SetSystem::CoverageTarget(
+        (1.0 - 1.0 / M_E) * opts.coverage_fraction, system->num_elements());
+    EXPECT_GE(result->solution.covered, relaxed);
+  }
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,109 @@
+#include "src/pattern/codec.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "src/gen/lbl_synth.h"
+#include "src/gen/toy.h"
+#include "src/pattern/enumerate.h"
+#include "src/table/builder.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+using pattern::kAll;
+using pattern::PackedKeyHash;
+using pattern::Pattern;
+using pattern::PatternCodec;
+
+TEST(PatternCodecTest, ToyTableFits) {
+  Table table = gen::MakeEntitiesTable();
+  PatternCodec codec(table);
+  EXPECT_TRUE(codec.fits());
+  EXPECT_EQ(codec.num_attributes(), 2u);
+}
+
+TEST(PatternCodecTest, AllWildcardsEncodesToZero) {
+  Table table = gen::MakeEntitiesTable();
+  PatternCodec codec(table);
+  EXPECT_EQ(codec.Encode(Pattern::AllWildcards(2)), 0u);
+  EXPECT_EQ(codec.Decode(0), Pattern::AllWildcards(2));
+}
+
+TEST(PatternCodecTest, RoundTripsEveryEnumeratedPattern) {
+  gen::LblSynthSpec spec;
+  spec.num_rows = 500;
+  auto table = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(table.ok());
+  PatternCodec codec(*table);
+  ASSERT_TRUE(codec.fits());
+  auto enumerated = pattern::EnumerateAllPatterns(*table);
+  ASSERT_TRUE(enumerated.ok());
+  std::unordered_set<std::uint64_t> keys;
+  for (const auto& ep : *enumerated) {
+    const std::uint64_t key = codec.Encode(ep.pattern);
+    EXPECT_EQ(codec.Decode(key), ep.pattern);
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate key";
+  }
+}
+
+TEST(PatternCodecTest, WithValueAndWithWildcardMatchPatternOps) {
+  Table table = gen::MakeEntitiesTable();
+  PatternCodec codec(table);
+  const Pattern root = Pattern::AllWildcards(2);
+  const std::uint64_t root_key = codec.Encode(root);
+  for (ValueId v = 0; v < table.domain_size(1); ++v) {
+    const std::uint64_t child_key = codec.WithValue(root_key, 1, v);
+    EXPECT_EQ(codec.Decode(child_key), root.WithValue(1, v));
+    EXPECT_FALSE(codec.IsWildcard(child_key, 1));
+    EXPECT_TRUE(codec.IsWildcard(child_key, 0));
+    EXPECT_EQ(codec.WithWildcard(child_key, 1), root_key);
+  }
+}
+
+TEST(PatternCodecTest, NestedSpecialization) {
+  Table table = gen::MakeEntitiesTable();
+  PatternCodec codec(table);
+  std::uint64_t key = codec.Encode(Pattern::AllWildcards(2));
+  key = codec.WithValue(key, 0, 1);
+  key = codec.WithValue(key, 1, 3);
+  const Pattern p = codec.Decode(key);
+  EXPECT_EQ(p.value(0), 1u);
+  EXPECT_EQ(p.value(1), 3u);
+  // Clearing one attribute leaves the other.
+  const Pattern parent = codec.Decode(codec.WithWildcard(key, 0));
+  EXPECT_TRUE(parent.is_wildcard(0));
+  EXPECT_EQ(parent.value(1), 3u);
+}
+
+TEST(PatternCodecTest, WideTablesDoNotFit) {
+  // 5 attributes with huge domains: widths sum past 64 bits. Building such
+  // a dictionary for real would be slow, so synthesize dictionaries by
+  // adding many distinct values to a builder.
+  TableBuilder builder({"a", "b", "c", "d", "e"}, "m");
+  Rng rng(3);
+  for (int i = 0; i < 40'000; ++i) {
+    std::vector<std::string> row;
+    std::vector<std::string_view> views;
+    for (int a = 0; a < 5; ++a) {
+      row.push_back("v" + std::to_string(rng.NextBounded(20'000)));
+    }
+    for (auto& v : row) views.push_back(v);
+    SCWSC_ASSERT_OK(builder.AddRow(views, 1.0));
+  }
+  Table table = std::move(builder).Build();
+  PatternCodec codec(table);
+  // 5 domains of ~18k values -> ~15 bits each = 75 bits: no fit.
+  EXPECT_FALSE(codec.fits());
+}
+
+TEST(PackedKeyHashTest, MixesDistinctKeys) {
+  PackedKeyHash hash;
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint64_t k = 0; k < 1000; ++k) hashes.insert(hash(k));
+  EXPECT_GT(hashes.size(), 990u);  // essentially collision-free on small sets
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,107 @@
+#include "src/common/bitset.h"
+
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace scwsc {
+namespace {
+
+TEST(DynamicBitsetTest, StartsEmpty) {
+  DynamicBitset bs(100);
+  EXPECT_EQ(bs.size(), 100u);
+  EXPECT_EQ(bs.count(), 0u);
+  EXPECT_TRUE(bs.none());
+  EXPECT_FALSE(bs.all());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(bs.test(i));
+}
+
+TEST(DynamicBitsetTest, SetReturnsWhetherBitWasClear) {
+  DynamicBitset bs(10);
+  EXPECT_TRUE(bs.set(3));
+  EXPECT_FALSE(bs.set(3));  // already set
+  EXPECT_TRUE(bs.test(3));
+  EXPECT_EQ(bs.count(), 1u);
+}
+
+TEST(DynamicBitsetTest, ResetReturnsWhetherBitWasSet) {
+  DynamicBitset bs(10);
+  bs.set(7);
+  EXPECT_TRUE(bs.reset(7));
+  EXPECT_FALSE(bs.reset(7));
+  EXPECT_EQ(bs.count(), 0u);
+}
+
+TEST(DynamicBitsetTest, CountTracksAcrossWordBoundaries) {
+  DynamicBitset bs(200);
+  for (std::size_t i = 0; i < 200; i += 3) bs.set(i);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 200; i += 3) ++expected;
+  EXPECT_EQ(bs.count(), expected);
+}
+
+TEST(DynamicBitsetTest, AllWhenEveryBitSet) {
+  DynamicBitset bs(65);  // crosses a word boundary
+  for (std::size_t i = 0; i < 65; ++i) bs.set(i);
+  EXPECT_TRUE(bs.all());
+  EXPECT_EQ(bs.count(), 65u);
+}
+
+TEST(DynamicBitsetTest, ClearResetsEverything) {
+  DynamicBitset bs(130);
+  for (std::size_t i = 0; i < 130; i += 2) bs.set(i);
+  bs.clear();
+  EXPECT_TRUE(bs.none());
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(bs.test(i));
+}
+
+TEST(DynamicBitsetTest, ResizeGrowsWithClearBits) {
+  DynamicBitset bs(10);
+  bs.set(9);
+  bs.Resize(300);
+  EXPECT_EQ(bs.size(), 300u);
+  EXPECT_EQ(bs.count(), 1u);
+  EXPECT_TRUE(bs.test(9));
+  EXPECT_FALSE(bs.test(299));
+  bs.set(299);
+  EXPECT_EQ(bs.count(), 2u);
+}
+
+TEST(DynamicBitsetTest, CountClearCountsUnsetIds) {
+  DynamicBitset bs(50);
+  bs.set(1);
+  bs.set(3);
+  std::vector<std::uint32_t> ids = {1, 2, 3, 4};
+  EXPECT_EQ(bs.CountClear(ids), 2u);  // 2 and 4
+}
+
+TEST(DynamicBitsetTest, ForEachSetVisitsInOrder) {
+  DynamicBitset bs(150);
+  std::vector<std::size_t> expected = {0, 63, 64, 127, 149};
+  for (std::size_t i : expected) bs.set(i);
+  std::vector<std::size_t> seen;
+  bs.ForEachSet([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitsetTest, EqualityComparesContents) {
+  DynamicBitset a(64), b(64);
+  a.set(5);
+  EXPECT_FALSE(a == b);
+  b.set(5);
+  EXPECT_TRUE(a == b);
+  DynamicBitset c(65);
+  c.set(5);
+  EXPECT_FALSE(a == c);  // different universes
+}
+
+TEST(DynamicBitsetTest, ZeroSizedBitsetIsCoherent) {
+  DynamicBitset bs(0);
+  EXPECT_EQ(bs.size(), 0u);
+  EXPECT_TRUE(bs.none());
+  EXPECT_TRUE(bs.all());  // vacuously
+}
+
+}  // namespace
+}  // namespace scwsc

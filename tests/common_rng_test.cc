@@ -1,0 +1,157 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace scwsc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::size_t kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 0.05 * expected);
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianHasApproximatelyUnitMoments) {
+  Rng rng(19);
+  constexpr int kDraws = 100'000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum2 / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMatchesTheoreticalMedian) {
+  Rng rng(23);
+  constexpr int kDraws = 50'000;
+  std::vector<double> draws(kDraws);
+  for (auto& d : draws) d = rng.NextLogNormal(2.0, 1.0);
+  std::nth_element(draws.begin(), draws.begin() + kDraws / 2, draws.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(draws[kDraws / 2], std::exp(2.0), 0.15 * std::exp(2.0));
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(29);
+  int truths = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBool(0.25)) ++truths;
+  }
+  EXPECT_NEAR(truths, kDraws * 0.25, kDraws * 0.02);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ZipfSamplerTest, SkewZeroIsUniform) {
+  Rng rng(37);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 40'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 4.0, kDraws * 0.02);
+}
+
+TEST(ZipfSamplerTest, PositiveSkewFavoursSmallIds) {
+  Rng rng(41);
+  ZipfSampler zipf(100, 1.2);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], 10 * std::max(1, counts[50]));
+}
+
+TEST(ZipfSamplerTest, SamplesStayInDomain) {
+  Rng rng(43);
+  ZipfSampler zipf(7, 2.0);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+TEST(SplitMix64Test, KnownSequenceProgresses) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = SplitMix64(state);
+  const std::uint64_t b = SplitMix64(state);
+  EXPECT_NE(a, b);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(SplitMix64(state2), a);  // deterministic
+}
+
+}  // namespace
+}  // namespace scwsc

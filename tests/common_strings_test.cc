@@ -1,0 +1,83 @@
+#include "src/common/strings.h"
+
+#include "gtest/gtest.h"
+
+namespace scwsc {
+namespace {
+
+TEST(SplitViewTest, SplitsOnDelimiter) {
+  auto parts = SplitView("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitViewTest, PreservesEmptyFields) {
+  auto parts = SplitView(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitViewTest, EmptyInputYieldsOneEmptyField) {
+  auto parts = SplitView("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StripViewTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(StripView("  x y  "), "x y");
+  EXPECT_EQ(StripView("\t\nabc\r "), "abc");
+  EXPECT_EQ(StripView("   "), "");
+  EXPECT_EQ(StripView(""), "");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ParseDoubleTest, ParsesPlainAndScientific) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  7.25 "), 7.25);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_TRUE(ParseDouble("").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("abc").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("1.5x").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("nan").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("inf").status().IsParseError());
+}
+
+TEST(ParseU64Test, ParsesNonNegativeIntegers) {
+  EXPECT_EQ(*ParseU64("0"), 0u);
+  EXPECT_EQ(*ParseU64("18446744073709551615"), 18446744073709551615ull);
+}
+
+TEST(ParseU64Test, RejectsNegativeAndOverflow) {
+  EXPECT_TRUE(ParseU64("-1").status().IsParseError());
+  EXPECT_TRUE(ParseU64("18446744073709551616").status().IsParseError());
+  EXPECT_TRUE(ParseU64("12.5").status().IsParseError());
+  EXPECT_TRUE(ParseU64("").status().IsParseError());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(FormatNumberTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatNumber(24.0), "24");
+  EXPECT_EQ(FormatNumber(27.5), "27.5");
+  EXPECT_EQ(FormatNumber(0.0), "0");
+}
+
+}  // namespace
+}  // namespace scwsc

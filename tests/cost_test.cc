@@ -1,0 +1,94 @@
+#include "src/pattern/cost.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/table/builder.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+using pattern::CostFunction;
+using pattern::CostKind;
+
+Table MakeMeasureTable() {
+  TableBuilder builder({"x"}, "m");
+  EXPECT_TRUE(builder.AddRow({"a"}, 3.0).ok());
+  EXPECT_TRUE(builder.AddRow({"a"}, -4.0).ok());
+  EXPECT_TRUE(builder.AddRow({"b"}, 12.0).ok());
+  EXPECT_TRUE(builder.AddRow({"b"}, 5.0).ok());
+  return std::move(builder).Build();
+}
+
+TEST(CostFunctionTest, MaxTakesLargestMeasure) {
+  Table t = MakeMeasureTable();
+  CostFunction cost(CostKind::kMax);
+  EXPECT_DOUBLE_EQ(cost.Compute(t, {0, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(cost.Compute(t, {0, 2, 3}), 12.0);
+  EXPECT_DOUBLE_EQ(cost.Compute(t, {1}), -4.0);
+}
+
+TEST(CostFunctionTest, SumAddsMeasures) {
+  Table t = MakeMeasureTable();
+  CostFunction cost(CostKind::kSum);
+  EXPECT_DOUBLE_EQ(cost.Compute(t, {0, 1}), -1.0);
+  EXPECT_DOUBLE_EQ(cost.Compute(t, {2, 3}), 17.0);
+  EXPECT_DOUBLE_EQ(cost.Compute(t, {}), 0.0);
+}
+
+TEST(CostFunctionTest, L2NormIsEuclidean) {
+  Table t = MakeMeasureTable();
+  auto cost = CostFunction::LpNorm(2.0);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(cost->Compute(t, {0, 1}), 5.0);  // sqrt(9 + 16)
+}
+
+TEST(CostFunctionTest, L1NormIsAbsoluteSum) {
+  Table t = MakeMeasureTable();
+  auto cost = CostFunction::LpNorm(1.0);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(cost->Compute(t, {0, 1}), 7.0);  // |3| + |-4|
+}
+
+TEST(CostFunctionTest, LpNormRejectsBadExponents) {
+  EXPECT_TRUE(CostFunction::LpNorm(0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(CostFunction::LpNorm(std::nan("")).status().IsInvalidArgument());
+}
+
+TEST(CostFunctionTest, NamesAreDescriptive) {
+  EXPECT_EQ(CostFunction(CostKind::kMax).Name(), "max");
+  EXPECT_EQ(CostFunction(CostKind::kSum).Name(), "sum");
+  EXPECT_EQ(CostFunction::LpNorm(2.0)->Name(), "l2-norm");
+}
+
+TEST(CostFunctionTest, SingleRowCostsAreTheMeasureItself) {
+  Table t = MakeMeasureTable();
+  for (CostKind kind : {CostKind::kMax, CostKind::kSum}) {
+    CostFunction cost(kind);
+    EXPECT_DOUBLE_EQ(cost.Compute(t, {2}), 12.0);
+  }
+  EXPECT_DOUBLE_EQ(CostFunction::LpNorm(3.0)->Compute(t, {2}), 12.0);
+}
+
+TEST(CostFunctionTest, MonotoneUnderRowAdditionForNonNegativeMeasures) {
+  TableBuilder builder({"x"}, "m");
+  for (int i = 0; i < 6; ++i) {
+    SCWSC_ASSERT_OK(builder.AddRow({"a"}, 1.0 + i));
+  }
+  Table t = std::move(builder).Build();
+  for (CostKind kind : {CostKind::kMax, CostKind::kSum}) {
+    CostFunction cost(kind);
+    double prev = 0.0;
+    std::vector<RowId> rows;
+    for (RowId r = 0; r < 6; ++r) {
+      rows.push_back(r);
+      const double c = cost.Compute(t, rows);
+      EXPECT_GE(c, prev) << cost.Name();
+      prev = c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,139 @@
+#include "src/table/csv.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "src/table/builder.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+TEST(CsvReadTest, ParsesHeaderAndRows) {
+  std::istringstream in("Type,Location,Cost\nA,West,10\nB,South,2\n");
+  csv::ReadOptions opts;
+  opts.measure_column = "Cost";
+  auto table = csv::Read(in, opts);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->num_attributes(), 2u);
+  EXPECT_EQ(table->value_name(0, 0), "A");
+  EXPECT_EQ(table->value_name(1, 1), "South");
+  EXPECT_DOUBLE_EQ(table->measure(0), 10.0);
+}
+
+TEST(CsvReadTest, MeasureColumnCanBeAnywhere) {
+  std::istringstream in("Cost,Type\n5,A\n7,B\n");
+  csv::ReadOptions opts;
+  opts.measure_column = "Cost";
+  auto table = csv::Read(in, opts);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_attributes(), 1u);
+  EXPECT_DOUBLE_EQ(table->measure(1), 7.0);
+  EXPECT_EQ(table->value_name(1, 0), "B");
+}
+
+TEST(CsvReadTest, NoMeasureColumnTreatsAllAsAttributes) {
+  std::istringstream in("a,b\nx,y\n");
+  auto table = csv::Read(in);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_attributes(), 2u);
+  EXPECT_FALSE(table->has_measure());
+}
+
+TEST(CsvReadTest, SkipsBlankLines) {
+  std::istringstream in("a\nx\n\n  \ny\n");
+  auto table = csv::Read(in);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, ErrorsCarryLineNumbers) {
+  std::istringstream in("a,b,Cost\nx,y,1\nx,y\n");
+  csv::ReadOptions opts;
+  opts.measure_column = "Cost";
+  auto table = csv::Read(in, opts);
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsParseError());
+  EXPECT_NE(table.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvReadTest, RejectsBadMeasureValue) {
+  std::istringstream in("a,Cost\nx,notanumber\n");
+  csv::ReadOptions opts;
+  opts.measure_column = "Cost";
+  EXPECT_TRUE(csv::Read(in, opts).status().IsParseError());
+}
+
+TEST(CsvReadTest, RejectsMissingMeasureColumn) {
+  std::istringstream in("a,b\nx,y\n");
+  csv::ReadOptions opts;
+  opts.measure_column = "Cost";
+  EXPECT_TRUE(csv::Read(in, opts).status().IsNotFound());
+}
+
+TEST(CsvReadTest, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_TRUE(csv::Read(in).status().IsParseError());
+}
+
+TEST(CsvReadTest, RejectsDuplicateMeasureColumn) {
+  std::istringstream in("Cost,Cost\n1,2\n");
+  csv::ReadOptions opts;
+  opts.measure_column = "Cost";
+  EXPECT_TRUE(csv::Read(in, opts).status().IsParseError());
+}
+
+TEST(CsvReadTest, CustomDelimiter) {
+  std::istringstream in("a|Cost\nx|2.5\n");
+  csv::ReadOptions opts;
+  opts.delimiter = '|';
+  opts.measure_column = "Cost";
+  auto table = csv::Read(in, opts);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->measure(0), 2.5);
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesTable) {
+  TableBuilder builder({"Type", "Location"}, "Cost");
+  SCWSC_ASSERT_OK(builder.AddRow({"A", "West"}, 10.25));
+  SCWSC_ASSERT_OK(builder.AddRow({"B", "South"}, 2.0));
+  Table original = std::move(builder).Build();
+
+  std::ostringstream out;
+  SCWSC_ASSERT_OK(csv::Write(original, out));
+
+  std::istringstream in(out.str());
+  csv::ReadOptions opts;
+  opts.measure_column = "Cost";
+  auto restored = csv::Read(in, opts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->num_rows(), original.num_rows());
+  for (RowId r = 0; r < original.num_rows(); ++r) {
+    for (std::size_t a = 0; a < original.num_attributes(); ++a) {
+      EXPECT_EQ(restored->value_name(r, a), original.value_name(r, a));
+    }
+    EXPECT_DOUBLE_EQ(restored->measure(r), original.measure(r));
+  }
+}
+
+TEST(CsvFileTest, ReadFileReportsMissingPath) {
+  EXPECT_TRUE(
+      csv::ReadFile("/nonexistent/path.csv").status().IsNotFound());
+}
+
+TEST(CsvFileTest, WriteFileAndReadFileRoundTrip) {
+  TableBuilder builder({"x"}, "m");
+  SCWSC_ASSERT_OK(builder.AddRow({"v"}, 3.5));
+  Table t = std::move(builder).Build();
+  const std::string path = ::testing::TempDir() + "/scwsc_csv_test.csv";
+  SCWSC_ASSERT_OK(csv::WriteFile(t, path));
+  csv::ReadOptions opts;
+  opts.measure_column = "m";
+  auto restored = csv::ReadFile(path, opts);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->measure(0), 3.5);
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,147 @@
+#include "src/core/cwsc.h"
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/instances.h"
+#include "src/core/solution.h"
+
+namespace scwsc {
+namespace {
+
+SetSystem MakeSimpleSystem() {
+  SetSystem system(10);
+  EXPECT_TRUE(system.AddSet({0, 1, 2, 3, 4}, 10.0, "big-cheapish").ok());
+  EXPECT_TRUE(system.AddSet({5, 6}, 1.0, "pair").ok());
+  EXPECT_TRUE(system.AddSet({7}, 1.0, "single7").ok());
+  EXPECT_TRUE(system.AddSet({8}, 1.0, "single8").ok());
+  EXPECT_TRUE(system.AddSet({9}, 1.0, "single9").ok());
+  EXPECT_TRUE(
+      system.AddSet({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 100.0, "universe").ok());
+  return system;
+}
+
+TEST(CwscTest, RejectsBadOptions) {
+  SetSystem system = MakeSimpleSystem();
+  EXPECT_TRUE(
+      RunCwsc(system, {0, 0.5}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      RunCwsc(system, {3, -0.1}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      RunCwsc(system, {3, 1.1}).status().IsInvalidArgument());
+}
+
+TEST(CwscTest, ZeroCoverageYieldsEmptySolution) {
+  SetSystem system = MakeSimpleSystem();
+  auto solution = RunCwsc(system, {3, 0.0});
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->sets.empty());
+  EXPECT_DOUBLE_EQ(solution->total_cost, 0.0);
+}
+
+TEST(CwscTest, MeetsCoverageWithinK) {
+  SetSystem system = MakeSimpleSystem();
+  for (double fraction : {0.2, 0.5, 0.7, 1.0}) {
+    for (std::size_t k : {1u, 2u, 3u, 5u}) {
+      auto solution = RunCwsc(system, {k, fraction});
+      ASSERT_TRUE(solution.ok())
+          << "k=" << k << " s=" << fraction << ": "
+          << solution.status().ToString();
+      EXPECT_TRUE(SatisfiesConstraints(system, *solution, k, fraction))
+          << SolutionToString(system, *solution);
+      auto audit = AuditSolution(system, *solution);
+      ASSERT_TRUE(audit.ok());
+      EXPECT_TRUE(audit->bookkeeping_consistent);
+    }
+  }
+}
+
+TEST(CwscTest, PrefersHighGainQualifiedSets) {
+  SetSystem system = MakeSimpleSystem();
+  // Target 5/10 elements with k = 1: only the big set or universe qualify
+  // (benefit >= 5); the big set has the better gain (5/10 > 10/100).
+  auto solution = RunCwsc(system, {1, 0.5});
+  ASSERT_TRUE(solution.ok());
+  ASSERT_EQ(solution->sets.size(), 1u);
+  EXPECT_EQ(system.set(solution->sets[0]).label, "big-cheapish");
+}
+
+TEST(CwscTest, QualificationThresholdSkipsSmallSets) {
+  // With k = 5 and target 5, the first iteration requires benefit >= 1, so
+  // greedy-by-gain would pick the cheap singles first; CWSC still finishes
+  // within k sets and meets the target.
+  SetSystem system = MakeSimpleSystem();
+  auto solution = RunCwsc(system, {5, 0.5});
+  ASSERT_TRUE(solution.ok());
+  EXPECT_LE(solution->sets.size(), 5u);
+  EXPECT_GE(solution->covered, 5u);
+}
+
+TEST(CwscTest, InfeasibleWithoutQualifiedSets) {
+  SetSystem system(10);
+  ASSERT_TRUE(system.AddSet({0}, 1.0).ok());
+  // Target 5 with k = 1 needs one set of benefit >= 5; none exists.
+  auto solution = RunCwsc(system, {1, 0.5});
+  EXPECT_TRUE(solution.status().IsInfeasible());
+}
+
+TEST(CwscTest, EmptySystemInfeasibleForPositiveTarget) {
+  SetSystem system(5);
+  EXPECT_TRUE(RunCwsc(system, {2, 0.5}).status().IsInfeasible());
+}
+
+TEST(CwscTest, FullCoverageViaUniverseSet) {
+  SetSystem system = MakeSimpleSystem();
+  auto solution = RunCwsc(system, {1, 1.0});
+  ASSERT_TRUE(solution.ok());
+  ASSERT_EQ(solution->sets.size(), 1u);
+  EXPECT_EQ(system.set(solution->sets[0]).label, "universe");
+  EXPECT_EQ(solution->covered, 10u);
+}
+
+TEST(CwscTest, TieBreaksOnLowerCostThenLowerId) {
+  SetSystem system(4);
+  ASSERT_TRUE(system.AddSet({0, 1}, 4.0, "expensive").ok());  // gain 0.5
+  ASSERT_TRUE(system.AddSet({2, 3}, 4.0, "same").ok());       // gain 0.5
+  ASSERT_TRUE(system.AddSet({0, 1, 2, 3}, 8.0, "all").ok());  // gain 0.5
+  // All three have gain 0.5. Tie-break: higher count -> "all".
+  auto solution = RunCwsc(system, {2, 0.5});
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(system.set(solution->sets[0]).label, "all");
+}
+
+TEST(CwscTest, DeterministicAcrossRuns) {
+  Rng rng(99);
+  RandomSystemSpec spec;
+  spec.num_elements = 60;
+  spec.num_sets = 40;
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+  auto s1 = RunCwsc(*system, {4, 0.6});
+  auto s2 = RunCwsc(*system, {4, 0.6});
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->sets, s2->sets);
+}
+
+TEST(CwscTest, RandomInstancesAlwaysSatisfyConstraintsWhenOk) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomSystemSpec spec;
+    spec.num_elements = 30 + static_cast<std::size_t>(rng.NextBounded(50));
+    spec.num_sets = 10 + static_cast<std::size_t>(rng.NextBounded(60));
+    spec.max_set_size = 1 + static_cast<std::size_t>(rng.NextBounded(8));
+    auto system = RandomSetSystem(spec, rng);
+    ASSERT_TRUE(system.ok());
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.NextBounded(8));
+    const double fraction = rng.NextDouble(0.0, 1.0);
+    auto solution = RunCwsc(*system, {k, fraction});
+    if (solution.ok()) {
+      EXPECT_TRUE(SatisfiesConstraints(*system, *solution, k, fraction))
+          << "trial " << trial << ": "
+          << SolutionToString(*system, *solution);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,184 @@
+// Property tests on random patterned tables, centred on the paper's §V-C1
+// claim: "the optimized algorithm chooses exactly the same patterns (and in
+// the same order) as the unoptimized algorithm, provided that both
+// algorithms break ties (on marginal gain) the same way."
+//
+// Random tables are generated over a parameter grid (rows, attributes,
+// domain sizes, cost function) via TEST_P; each instance compares
+// RunOptimizedCwsc against RunCwsc over the fully enumerated PatternSystem
+// and checks the CMC envelope (coverage, size, cost within the Theorem 4/5
+// factor of the CWSC solution's cost as a sanity anchor).
+
+#include <cmath>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/cmc.h"
+#include "src/core/cwsc.h"
+#include "src/gen/toy.h"
+#include "src/pattern/opt_cmc.h"
+#include "src/pattern/opt_cwsc.h"
+#include "src/pattern/pattern_system.h"
+#include "src/table/builder.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+using pattern::CostFunction;
+using pattern::CostKind;
+using pattern::PatternSystem;
+
+struct GridParam {
+  std::size_t rows;
+  std::size_t attrs;
+  std::size_t domain;
+  std::size_t k;
+  double fraction;
+  CostKind cost_kind;
+  std::uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<GridParam>& info) {
+  const GridParam& p = info.param;
+  std::string kind = p.cost_kind == CostKind::kMax ? "max" : "sum";
+  return "r" + std::to_string(p.rows) + "a" + std::to_string(p.attrs) + "d" +
+         std::to_string(p.domain) + "k" + std::to_string(p.k) + "f" +
+         std::to_string(static_cast<int>(p.fraction * 100)) + kind + "s" +
+         std::to_string(p.seed);
+}
+
+Table MakeRandomTable(const GridParam& p) {
+  Rng rng(p.seed);
+  std::vector<std::string> names;
+  for (std::size_t a = 0; a < p.attrs; ++a) {
+    names.push_back("D" + std::to_string(a));
+  }
+  TableBuilder builder(names, "m");
+  for (std::size_t r = 0; r < p.rows; ++r) {
+    std::vector<std::string> values;
+    for (std::size_t a = 0; a < p.attrs; ++a) {
+      values.push_back("v" + std::to_string(rng.NextBounded(p.domain)));
+    }
+    std::vector<std::string_view> views(values.begin(), values.end());
+    // Small integer measures produce plenty of cost ties, stressing the
+    // tie-breaking equivalence.
+    EXPECT_TRUE(
+        builder.AddRow(views, static_cast<double>(1 + rng.NextBounded(8)))
+            .ok());
+  }
+  return std::move(builder).Build();
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(EquivalenceTest, OptimizedCwscEqualsEnumeratedCwsc) {
+  const GridParam& param = GetParam();
+  Table table = MakeRandomTable(param);
+  CostFunction cost_fn = param.cost_kind == CostKind::kMax
+                             ? CostFunction(CostKind::kMax)
+                             : CostFunction(CostKind::kSum);
+
+  auto system = PatternSystem::Build(table, cost_fn);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  CwscOptions opts{param.k, param.fraction};
+  auto unopt = RunCwsc(system->set_system(), opts);
+  auto opt = pattern::RunOptimizedCwsc(table, cost_fn, opts);
+
+  ASSERT_TRUE(unopt.ok()) << unopt.status().ToString();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  // Identical pattern sequence, cost and coverage.
+  auto unopt_patterns = system->ToPatternSolution(*unopt);
+  ASSERT_EQ(opt->patterns.size(), unopt_patterns.patterns.size());
+  for (std::size_t i = 0; i < opt->patterns.size(); ++i) {
+    EXPECT_EQ(opt->patterns[i], unopt_patterns.patterns[i])
+        << "position " << i << ": " << opt->patterns[i].ToString(table)
+        << " vs " << unopt_patterns.patterns[i].ToString(table);
+  }
+  EXPECT_NEAR(opt->total_cost, unopt->total_cost, 1e-9);
+  EXPECT_EQ(opt->covered, unopt->covered);
+}
+
+TEST_P(EquivalenceTest, CmcVariantsSatisfyTheoremEnvelope) {
+  const GridParam& param = GetParam();
+  Table table = MakeRandomTable(param);
+  CostFunction cost_fn = param.cost_kind == CostKind::kMax
+                             ? CostFunction(CostKind::kMax)
+                             : CostFunction(CostKind::kSum);
+  auto system = PatternSystem::Build(table, cost_fn);
+  ASSERT_TRUE(system.ok());
+
+  CmcOptions opts;
+  opts.k = param.k;
+  opts.coverage_fraction = param.fraction;
+  const std::size_t relaxed_target = SetSystem::CoverageTarget(
+      (1.0 - 1.0 / M_E) * param.fraction, table.num_rows());
+
+  auto generic = RunCmc(system->set_system(), opts);
+  ASSERT_TRUE(generic.ok()) << generic.status().ToString();
+  EXPECT_GE(generic->solution.covered, relaxed_target);
+  EXPECT_LE(generic->solution.sets.size(), 5 * param.k);
+
+  auto optimized = pattern::RunOptimizedCmc(table, cost_fn, opts);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  EXPECT_GE(optimized->covered, relaxed_target);
+  EXPECT_LE(optimized->patterns.size(), 5 * param.k);
+
+  // Optimized CMC must never select duplicate patterns.
+  for (std::size_t i = 0; i < optimized->patterns.size(); ++i) {
+    for (std::size_t j = i + 1; j < optimized->patterns.size(); ++j) {
+      EXPECT_FALSE(optimized->patterns[i] == optimized->patterns[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTables, EquivalenceTest,
+    ::testing::Values(
+        GridParam{30, 2, 3, 3, 0.5, CostKind::kMax, 1},
+        GridParam{30, 2, 3, 3, 0.5, CostKind::kSum, 2},
+        GridParam{50, 3, 4, 4, 0.4, CostKind::kMax, 3},
+        GridParam{50, 3, 4, 4, 0.7, CostKind::kSum, 4},
+        GridParam{80, 3, 5, 5, 0.3, CostKind::kMax, 5},
+        GridParam{80, 4, 3, 5, 0.6, CostKind::kMax, 6},
+        GridParam{120, 4, 4, 6, 0.5, CostKind::kSum, 7},
+        GridParam{120, 2, 8, 4, 0.8, CostKind::kMax, 8},
+        GridParam{200, 3, 6, 8, 0.4, CostKind::kMax, 9},
+        GridParam{200, 5, 3, 6, 0.5, CostKind::kSum, 10},
+        GridParam{64, 2, 2, 2, 1.0, CostKind::kMax, 11},
+        GridParam{64, 3, 3, 10, 0.9, CostKind::kMax, 12},
+        GridParam{150, 4, 5, 3, 0.25, CostKind::kSum, 13},
+        GridParam{100, 3, 7, 7, 0.35, CostKind::kMax, 14},
+        GridParam{40, 6, 2, 4, 0.5, CostKind::kMax, 15},
+        GridParam{250, 3, 5, 5, 0.45, CostKind::kSum, 16}),
+    ParamName);
+
+// The paper's own example instance must also satisfy the equivalence.
+TEST(EquivalenceToyTest, ToyTableAgreesForManyParameterChoices) {
+  Table table = gen::MakeEntitiesTable();
+  CostFunction cost_fn(CostKind::kMax);
+  auto system = PatternSystem::Build(table, cost_fn);
+  ASSERT_TRUE(system.ok());
+  for (std::size_t k = 1; k <= 6; ++k) {
+    for (double fraction : {0.25, 0.5, 9.0 / 16.0, 0.75, 1.0}) {
+      CwscOptions opts{k, fraction};
+      auto unopt = RunCwsc(system->set_system(), opts);
+      auto opt = pattern::RunOptimizedCwsc(table, cost_fn, opts);
+      ASSERT_EQ(unopt.ok(), opt.ok()) << "k=" << k << " f=" << fraction;
+      if (!unopt.ok()) continue;
+      auto unopt_patterns = system->ToPatternSolution(*unopt);
+      ASSERT_EQ(opt->patterns.size(), unopt_patterns.patterns.size())
+          << "k=" << k << " f=" << fraction;
+      for (std::size_t i = 0; i < opt->patterns.size(); ++i) {
+        EXPECT_EQ(opt->patterns[i], unopt_patterns.patterns[i])
+            << "k=" << k << " f=" << fraction << " i=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,192 @@
+#include "src/core/exact.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "src/common/bitset.h"
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/cwsc.h"
+#include "src/core/instances.h"
+#include "src/core/solution.h"
+
+namespace scwsc {
+namespace {
+
+/// Naive reference: enumerate every subset of at most k sets.
+Result<Solution> BruteForce(const SetSystem& system, std::size_t k,
+                            double fraction) {
+  const std::size_t m = system.num_sets();
+  const std::size_t target =
+      SetSystem::CoverageTarget(fraction, system.num_elements());
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<SetId> best;
+  bool found = target == 0;
+  if (found) return Solution{};
+
+  std::vector<SetId> chosen;
+  // Recursive enumeration over subsets of size <= k.
+  std::function<void(std::size_t)> rec = [&](std::size_t start) {
+    // Evaluate the current selection.
+    DynamicBitset covered(system.num_elements());
+    double cost = 0.0;
+    for (SetId id : chosen) {
+      cost += system.set(id).cost;
+      for (ElementId e : system.set(id).elements) covered.set(e);
+    }
+    if (covered.count() >= target && cost < best_cost) {
+      best_cost = cost;
+      best = chosen;
+      found = true;
+    }
+    if (chosen.size() == k) return;
+    for (std::size_t i = start; i < m; ++i) {
+      chosen.push_back(static_cast<SetId>(i));
+      rec(i + 1);
+      chosen.pop_back();
+    }
+  };
+  rec(0);
+  if (!found) return Status::Infeasible("brute force: no feasible subset");
+  Solution solution;
+  solution.sets = best;
+  solution.total_cost = best_cost;
+  DynamicBitset covered(system.num_elements());
+  for (SetId id : best) {
+    for (ElementId e : system.set(id).elements) covered.set(e);
+  }
+  solution.covered = covered.count();
+  return solution;
+}
+
+TEST(ExactTest, RejectsBadOptions) {
+  SetSystem system(2);
+  ExactOptions opts;
+  opts.k = 0;
+  EXPECT_TRUE(SolveExact(system, opts).status().IsInvalidArgument());
+  opts = ExactOptions{};
+  opts.coverage_fraction = -1;
+  EXPECT_TRUE(SolveExact(system, opts).status().IsInvalidArgument());
+}
+
+TEST(ExactTest, ZeroTargetIsFreeEmptySolution) {
+  SetSystem system(5);
+  ExactOptions opts;
+  opts.coverage_fraction = 0.0;
+  auto result = SolveExact(system, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->solution.sets.empty());
+  EXPECT_DOUBLE_EQ(result->solution.total_cost, 0.0);
+}
+
+TEST(ExactTest, FindsObviousOptimum) {
+  SetSystem system(6);
+  ASSERT_TRUE(system.AddSet({0, 1, 2}, 5.0, "a").ok());
+  ASSERT_TRUE(system.AddSet({3, 4, 5}, 5.0, "b").ok());
+  ASSERT_TRUE(system.AddSet({0, 1, 2, 3, 4, 5}, 100.0, "u").ok());
+  ExactOptions opts;
+  opts.k = 2;
+  opts.coverage_fraction = 1.0;
+  auto result = SolveExact(system, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->solution.total_cost, 10.0);
+  EXPECT_EQ(result->solution.sets.size(), 2u);
+}
+
+TEST(ExactTest, InfeasibleWhenKTooSmall) {
+  SetSystem system(4);
+  ASSERT_TRUE(system.AddSet({0}, 1.0).ok());
+  ASSERT_TRUE(system.AddSet({1}, 1.0).ok());
+  ExactOptions opts;
+  opts.k = 1;
+  opts.coverage_fraction = 0.5;  // needs 2 elements, each set has 1
+  EXPECT_TRUE(SolveExact(system, opts).status().IsInfeasible());
+}
+
+TEST(ExactTest, NodeBudgetSurfacesAsResourceExhausted) {
+  Rng rng(77);
+  RandomSystemSpec spec;
+  spec.num_elements = 60;
+  spec.num_sets = 40;
+  spec.ensure_universe = false;
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+  ExactOptions opts;
+  opts.k = 10;
+  opts.coverage_fraction = 0.9;
+  opts.max_nodes = 10;  // absurdly small
+  auto result = SolveExact(*system, opts);
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST(ExactTest, NeverWorseThanGreedyCwsc) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomSystemSpec spec;
+    spec.num_elements = 25;
+    spec.num_sets = 18;
+    spec.max_set_size = 6;
+    auto system = RandomSetSystem(spec, rng);
+    ASSERT_TRUE(system.ok());
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.NextBounded(5));
+    const double fraction = rng.NextDouble(0.2, 0.9);
+    ExactOptions opts;
+    opts.k = k;
+    opts.coverage_fraction = fraction;
+    auto exact = SolveExact(*system, opts);
+    auto greedy = RunCwsc(*system, {k, fraction});
+    if (greedy.ok()) {
+      ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+      EXPECT_LE(exact->solution.total_cost,
+                greedy->total_cost * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(ExactTest, MatchesBruteForceOnSmallRandomInstances) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomSystemSpec spec;
+    spec.num_elements = 12;
+    spec.num_sets = 10;
+    spec.max_set_size = 5;
+    spec.min_cost = 1.0;
+    spec.max_cost = 20.0;
+    spec.ensure_universe = trial % 2 == 0;
+    auto system = RandomSetSystem(spec, rng);
+    ASSERT_TRUE(system.ok());
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.NextBounded(4));
+    const double fraction = rng.NextDouble(0.2, 1.0);
+
+    ExactOptions opts;
+    opts.k = k;
+    opts.coverage_fraction = fraction;
+    auto bb = SolveExact(*system, opts);
+    auto brute = BruteForce(*system, k, fraction);
+    ASSERT_EQ(bb.ok(), brute.ok())
+        << "trial " << trial << " bb=" << bb.status().ToString()
+        << " brute=" << brute.status().ToString();
+    if (bb.ok()) {
+      EXPECT_NEAR(bb->solution.total_cost, brute->total_cost, 1e-9)
+          << "trial " << trial;
+      EXPECT_TRUE(SatisfiesConstraints(*system, bb->solution, k, fraction));
+    }
+  }
+}
+
+TEST(ExactTest, ReportsSearchNodes) {
+  SetSystem system(4);
+  ASSERT_TRUE(system.AddSet({0, 1}, 1.0).ok());
+  ASSERT_TRUE(system.AddSet({2, 3}, 1.0).ok());
+  ExactOptions opts;
+  opts.k = 2;
+  opts.coverage_fraction = 1.0;
+  auto result = SolveExact(system, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->nodes, 0u);
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,253 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "src/table/builder.h"
+
+#include "gtest/gtest.h"
+#include "src/gen/lbl_synth.h"
+#include "src/pattern/opt_cwsc.h"
+#include "src/gen/perturb.h"
+#include "src/gen/toy.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+TEST(ToyGeneratorTest, MatchesPaperTableOne) {
+  Table t = gen::MakeEntitiesTable();
+  ASSERT_EQ(t.num_rows(), 16u);
+  // Spot-check a few rows against Table I.
+  EXPECT_EQ(t.value_name(0, 0), "A");
+  EXPECT_EQ(t.value_name(0, 1), "West");
+  EXPECT_DOUBLE_EQ(t.measure(0), 10.0);
+  EXPECT_EQ(t.value_name(12, 0), "B");
+  EXPECT_EQ(t.value_name(12, 1), "South");
+  EXPECT_DOUBLE_EQ(t.measure(12), 1.0);
+  EXPECT_DOUBLE_EQ(t.measure(15), 96.0);
+}
+
+TEST(LblSynthTest, GeneratesRequestedShape) {
+  gen::LblSynthSpec spec;
+  spec.num_rows = 5000;
+  auto t = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 5000u);
+  EXPECT_EQ(t->num_attributes(), 5u);
+  EXPECT_EQ(t->schema().attribute_name(0), "protocol");
+  EXPECT_EQ(t->schema().attribute_name(4), "flags");
+  EXPECT_EQ(t->schema().measure_name(), "session_length");
+  // Active domains are bounded by the spec.
+  EXPECT_LE(t->domain_size(0), spec.num_protocols);
+  EXPECT_LE(t->domain_size(1), spec.num_localhosts);
+  EXPECT_LE(t->domain_size(2), spec.num_remotehosts);
+}
+
+TEST(LblSynthTest, DeterministicInSeed) {
+  gen::LblSynthSpec spec;
+  spec.num_rows = 500;
+  spec.seed = 99;
+  auto a = gen::MakeLblSynth(spec);
+  auto b = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (RowId r = 0; r < a->num_rows(); ++r) {
+    for (std::size_t attr = 0; attr < 5; ++attr) {
+      EXPECT_EQ(a->value_name(r, attr), b->value_name(r, attr));
+    }
+    EXPECT_DOUBLE_EQ(a->measure(r), b->measure(r));
+  }
+}
+
+TEST(LblSynthTest, DifferentSeedsProduceDifferentTraces) {
+  gen::LblSynthSpec spec;
+  spec.num_rows = 500;
+  spec.seed = 1;
+  auto a = gen::MakeLblSynth(spec);
+  spec.seed = 2;
+  auto b = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::size_t differing = 0;
+  for (RowId r = 0; r < 500; ++r) {
+    if (a->value_name(r, 1) != b->value_name(r, 1)) ++differing;
+  }
+  EXPECT_GT(differing, 100u);
+}
+
+TEST(LblSynthTest, ProtocolDistributionIsSkewed) {
+  gen::LblSynthSpec spec;
+  spec.num_rows = 20'000;
+  auto t = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(t.ok());
+  std::vector<std::size_t> counts(t->domain_size(0), 0);
+  for (RowId r = 0; r < t->num_rows(); ++r) ++counts[t->value(r, 0)];
+  const std::size_t max_count = *std::max_element(counts.begin(), counts.end());
+  const std::size_t min_count = *std::min_element(counts.begin(), counts.end());
+  EXPECT_GT(max_count, 3 * min_count);  // Zipf skew is visible
+}
+
+TEST(LblSynthTest, SessionLengthsArePositive) {
+  gen::LblSynthSpec spec;
+  spec.num_rows = 2000;
+  auto t = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(t.ok());
+  for (RowId r = 0; r < t->num_rows(); ++r) {
+    EXPECT_GT(t->measure(r), 0.0);
+  }
+}
+
+TEST(LblSynthTest, SessionLengthDependsOnProtocol) {
+  // The log-mean shift per attribute value must be visible: per-protocol
+  // median session lengths should differ by a large factor.
+  gen::LblSynthSpec spec;
+  spec.num_rows = 30'000;
+  auto t = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(t.ok());
+  std::vector<std::vector<double>> by_proto(t->domain_size(0));
+  for (RowId r = 0; r < t->num_rows(); ++r) {
+    by_proto[t->value(r, 0)].push_back(t->measure(r));
+  }
+  double min_median = 0, max_median = 0;
+  bool first = true;
+  for (auto& v : by_proto) {
+    if (v.size() < 100) continue;
+    std::nth_element(v.begin(), v.begin() + std::ptrdiff_t(v.size() / 2),
+                     v.end());
+    const double median = v[v.size() / 2];
+    if (first || median < min_median) min_median = median;
+    if (first || median > max_median) max_median = median;
+    first = false;
+  }
+  EXPECT_GT(max_median, 2.0 * min_median);
+}
+
+TEST(LblSynthTest, ZeroEffectMakesMeasureIid) {
+  gen::LblSynthSpec spec;
+  spec.num_rows = 30'000;
+  spec.measure_attribute_effect = 0.0;
+  auto t = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(t.ok());
+  std::vector<std::vector<double>> by_proto(t->domain_size(0));
+  for (RowId r = 0; r < t->num_rows(); ++r) {
+    by_proto[t->value(r, 0)].push_back(t->measure(r));
+  }
+  double min_median = 0, max_median = 0;
+  bool first = true;
+  for (auto& v : by_proto) {
+    if (v.size() < 500) continue;
+    std::nth_element(v.begin(), v.begin() + std::ptrdiff_t(v.size() / 2),
+                     v.end());
+    const double median = v[v.size() / 2];
+    if (first || median < min_median) min_median = median;
+    if (first || median > max_median) max_median = median;
+    first = false;
+  }
+  EXPECT_LT(max_median, 1.3 * min_median);  // iid: medians nearly equal
+}
+
+TEST(LblSynthTest, DefaultTraceAvoidsAllWildcardsDegeneracy) {
+  // With attribute-dependent measures the all-wildcards pattern must not be
+  // the gain-optimal answer for a mid-range coverage request.
+  gen::LblSynthSpec spec;
+  spec.num_rows = 8'000;
+  auto t = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(t.ok());
+  auto solution = pattern::RunOptimizedCwsc(
+      *t, pattern::CostFunction(pattern::CostKind::kMax), {10, 0.5});
+  ASSERT_TRUE(solution.ok());
+  for (const auto& p : solution->patterns) {
+    EXPECT_GT(p.num_constants(), 0u)
+        << "degenerate all-wildcards selection: " << p.ToString(*t);
+  }
+}
+
+TEST(LblSynthTest, ValidatesSpec) {
+  gen::LblSynthSpec spec;
+  spec.num_rows = 0;
+  EXPECT_TRUE(gen::MakeLblSynth(spec).status().IsInvalidArgument());
+  spec = gen::LblSynthSpec{};
+  spec.num_protocols = 0;
+  EXPECT_TRUE(gen::MakeLblSynth(spec).status().IsInvalidArgument());
+  spec = gen::LblSynthSpec{};
+  spec.endstate_protocol_correlation = 2.0;
+  EXPECT_TRUE(gen::MakeLblSynth(spec).status().IsInvalidArgument());
+}
+
+TEST(PerturbTest, UniformPerturbStaysWithinDelta) {
+  Table t = gen::MakeEntitiesTable();
+  Rng rng(4);
+  auto perturbed = gen::UniformPerturbMeasure(t, 0.2, rng);
+  ASSERT_TRUE(perturbed.ok());
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    const double m = t.measure(r);
+    EXPECT_GE(perturbed->measure(r), 0.8 * m - 1e-12);
+    EXPECT_LE(perturbed->measure(r), 1.2 * m + 1e-12);
+  }
+}
+
+TEST(PerturbTest, DeltaZeroIsIdentity) {
+  Table t = gen::MakeEntitiesTable();
+  Rng rng(4);
+  auto perturbed = gen::UniformPerturbMeasure(t, 0.0, rng);
+  ASSERT_TRUE(perturbed.ok());
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(perturbed->measure(r), t.measure(r));
+  }
+}
+
+TEST(PerturbTest, UniformPerturbValidatesDelta) {
+  Table t = gen::MakeEntitiesTable();
+  Rng rng(4);
+  EXPECT_TRUE(
+      gen::UniformPerturbMeasure(t, 1.5, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      gen::UniformPerturbMeasure(t, -0.1, rng).status().IsInvalidArgument());
+}
+
+TEST(PerturbTest, LogNormalRewritePreservesRankOrder) {
+  Table t = gen::MakeEntitiesTable();
+  Rng rng(4);
+  auto rewritten = gen::LogNormalRankPreserving(t, 2.0, 1.0, rng);
+  ASSERT_TRUE(rewritten.ok());
+  // Original ordering by measure must equal new ordering by measure
+  // (stable on ties by row id).
+  std::vector<RowId> order_old(t.num_rows()), order_new(t.num_rows());
+  std::iota(order_old.begin(), order_old.end(), RowId{0});
+  order_new = order_old;
+  std::stable_sort(order_old.begin(), order_old.end(), [&](RowId a, RowId b) {
+    return t.measure(a) < t.measure(b);
+  });
+  std::stable_sort(order_new.begin(), order_new.end(), [&](RowId a, RowId b) {
+    return rewritten->measure(a) < rewritten->measure(b);
+  });
+  EXPECT_EQ(order_old, order_new);
+}
+
+TEST(PerturbTest, LogNormalRewriteChangesValues) {
+  Table t = gen::MakeEntitiesTable();
+  Rng rng(4);
+  auto rewritten = gen::LogNormalRankPreserving(t, 2.0, 1.0, rng);
+  ASSERT_TRUE(rewritten.ok());
+  std::size_t changed = 0;
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    if (std::abs(rewritten->measure(r) - t.measure(r)) > 1e-9) ++changed;
+  }
+  EXPECT_GT(changed, 10u);
+}
+
+TEST(PerturbTest, RequiresMeasureColumn) {
+  TableBuilder builder({"x"});
+  SCWSC_ASSERT_OK(builder.AddRow({"a"}));
+  Table t = std::move(builder).Build();
+  Rng rng(1);
+  EXPECT_TRUE(
+      gen::UniformPerturbMeasure(t, 0.1, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(gen::LogNormalRankPreserving(t, 2, 1, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scwsc

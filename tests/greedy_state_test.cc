@@ -1,0 +1,132 @@
+#include "src/core/greedy_state.h"
+
+#include "gtest/gtest.h"
+
+namespace scwsc {
+namespace {
+
+SetSystem MakeSystem() {
+  SetSystem system(6);
+  EXPECT_TRUE(system.AddSet({0, 1, 2}, 3.0).ok());  // set 0
+  EXPECT_TRUE(system.AddSet({2, 3}, 1.0).ok());     // set 1
+  EXPECT_TRUE(system.AddSet({4, 5}, 2.0).ok());     // set 2
+  EXPECT_TRUE(system.AddSet({0, 5}, 5.0).ok());     // set 3
+  return system;
+}
+
+TEST(CoverStateTest, InitialMarginalsEqualBenefits) {
+  SetSystem system = MakeSystem();
+  CoverState state(system);
+  EXPECT_EQ(state.MarginalCount(0), 3u);
+  EXPECT_EQ(state.MarginalCount(1), 2u);
+  EXPECT_EQ(state.MarginalCount(2), 2u);
+  EXPECT_EQ(state.MarginalCount(3), 2u);
+  EXPECT_EQ(state.covered_count(), 0u);
+}
+
+TEST(CoverStateTest, SelectUpdatesOverlappingSets) {
+  SetSystem system = MakeSystem();
+  CoverState state(system);
+  EXPECT_EQ(state.Select(0), 3u);  // covers 0,1,2
+  EXPECT_EQ(state.covered_count(), 3u);
+  EXPECT_EQ(state.MarginalCount(0), 0u);
+  EXPECT_EQ(state.MarginalCount(1), 1u);  // {3} left
+  EXPECT_EQ(state.MarginalCount(2), 2u);  // untouched
+  EXPECT_EQ(state.MarginalCount(3), 1u);  // {5} left
+  EXPECT_TRUE(state.IsCovered(1));
+  EXPECT_FALSE(state.IsCovered(3));
+}
+
+TEST(CoverStateTest, RepeatedSelectIsIdempotentOnCoverage) {
+  SetSystem system = MakeSystem();
+  CoverState state(system);
+  state.Select(1);
+  EXPECT_EQ(state.Select(1), 0u);  // nothing new
+  EXPECT_EQ(state.covered_count(), 2u);
+}
+
+TEST(CoverStateTest, ResetRestoresInitialState) {
+  SetSystem system = MakeSystem();
+  CoverState state(system);
+  state.Select(0);
+  state.Reset();
+  EXPECT_EQ(state.covered_count(), 0u);
+  EXPECT_EQ(state.MarginalCount(0), 3u);
+  EXPECT_EQ(state.MarginalCount(1), 2u);
+}
+
+TEST(SelectionKeyTest, OrdersByPrimaryThenCountThenCostThenId) {
+  SelectionKey a{2.0, 2, 1.0, 5};
+  SelectionKey b{1.0, 9, 0.0, 1};
+  EXPECT_TRUE(b < a);
+
+  SelectionKey c{2.0, 3, 1.0, 5};
+  EXPECT_TRUE(a < c);  // higher count wins
+
+  SelectionKey d{2.0, 2, 0.5, 5};
+  EXPECT_TRUE(a < d);  // lower cost wins
+
+  SelectionKey e{2.0, 2, 1.0, 4};
+  EXPECT_TRUE(a < e);  // lower id wins
+}
+
+TEST(MakeGainKeyTest, ZeroCostIsInfiniteGain) {
+  SelectionKey free = MakeGainKey(1, 0.0, 0);
+  SelectionKey paid = MakeGainKey(100, 0.001, 1);
+  EXPECT_TRUE(paid < free);
+  SelectionKey empty_free = MakeGainKey(0, 0.0, 2);
+  EXPECT_TRUE(empty_free < paid);
+}
+
+TEST(LazySelectorTest, PopsCurrentMaximumUnderDecay) {
+  // Simulated marginal counts that decay between pushes and pops.
+  std::vector<std::size_t> current = {5, 4, 3};
+  LazySelector selector;
+  for (SetId id = 0; id < 3; ++id) {
+    selector.Push(MakeBenefitKey(current[id], 1.0, id));
+  }
+  // Decay set 0 below set 1 before the first pop.
+  current[0] = 2;
+  auto refresh = [&](SetId id) -> std::optional<SelectionKey> {
+    if (current[id] == 0) return std::nullopt;
+    return MakeBenefitKey(current[id], 1.0, id);
+  };
+  auto first = selector.Pop(refresh);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 1u);  // 4 beats decayed 2 and 3
+
+  auto second = selector.Pop(refresh);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, 2u);
+
+  auto third = selector.Pop(refresh);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->id, 0u);
+
+  EXPECT_FALSE(selector.Pop(refresh).has_value());
+}
+
+TEST(LazySelectorTest, DropsCandidatesRefreshedToNull) {
+  LazySelector selector;
+  selector.Push(MakeBenefitKey(10, 1.0, 0));
+  selector.Push(MakeBenefitKey(5, 1.0, 1));
+  auto refresh = [&](SetId id) -> std::optional<SelectionKey> {
+    if (id == 0) return std::nullopt;  // exhausted
+    return MakeBenefitKey(5, 1.0, id);
+  };
+  auto popped = selector.Pop(refresh);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->id, 1u);
+}
+
+TEST(LazySelectorTest, EmptySelectorPopsNothing) {
+  LazySelector selector;
+  EXPECT_TRUE(selector.empty());
+  auto refresh = [](SetId) -> std::optional<SelectionKey> {
+    return std::nullopt;
+  };
+  EXPECT_FALSE(selector.Pop(refresh).has_value());
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,139 @@
+// Property test lifting the §V-C1 equivalence to hierarchies: on random
+// tables with random per-attribute forests, the lattice-optimized
+// hierarchical CWSC must select exactly the same patterns as Fig. 2 run
+// over the fully enumerated hierarchical pattern system.
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/core/cwsc.h"
+#include "src/hierarchy/hcwsc.h"
+#include "src/hierarchy/henumerate.h"
+#include "src/table/builder.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+using hierarchy::AttributeHierarchy;
+using hierarchy::HPatternSystem;
+using hierarchy::RunHierarchicalCwsc;
+using hierarchy::TableHierarchy;
+using pattern::CostFunction;
+using pattern::CostKind;
+
+struct HGridParam {
+  std::uint64_t seed;
+  std::size_t rows;
+  std::size_t attrs;
+  std::size_t domain;
+  std::size_t k;
+  double fraction;
+};
+
+std::string HParamName(const ::testing::TestParamInfo<HGridParam>& info) {
+  const HGridParam& p = info.param;
+  return "s" + std::to_string(p.seed) + "r" + std::to_string(p.rows) + "a" +
+         std::to_string(p.attrs) + "d" + std::to_string(p.domain) + "k" +
+         std::to_string(p.k) + "f" +
+         std::to_string(static_cast<int>(p.fraction * 100));
+}
+
+/// Random table plus a random 2-level rollup per attribute: values are
+/// grouped into ceil(domain / 2) random groups.
+struct Instance {
+  Table table;
+  TableHierarchy hierarchy;
+};
+
+Instance MakeInstance(const HGridParam& p) {
+  Rng rng(p.seed);
+  std::vector<std::string> names;
+  for (std::size_t a = 0; a < p.attrs; ++a) {
+    names.push_back("D" + std::to_string(a));
+  }
+  TableBuilder builder(names, "m");
+  for (std::size_t r = 0; r < p.rows; ++r) {
+    std::vector<std::string> values;
+    for (std::size_t a = 0; a < p.attrs; ++a) {
+      values.push_back("v" + std::to_string(rng.NextBounded(p.domain)));
+    }
+    std::vector<std::string_view> views(values.begin(), values.end());
+    EXPECT_TRUE(
+        builder.AddRow(views, static_cast<double>(1 + rng.NextBounded(9)))
+            .ok());
+  }
+  Table table = std::move(builder).Build();
+
+  std::vector<std::pair<std::size_t, AttributeHierarchy>> overrides;
+  for (std::size_t a = 0; a < p.attrs; ++a) {
+    std::vector<std::pair<std::string, std::string>> edges;
+    const std::size_t groups = (table.domain_size(a) + 1) / 2;
+    // Leave values unattached (roots) with probability ~1/4 to exercise
+    // mixed-depth forests.
+    for (ValueId v = 0; v < table.domain_size(a); ++v) {
+      if (rng.NextBool(0.25)) continue;
+      edges.emplace_back(table.dictionary(a).Name(v),
+                         StrFormat("g%zu_%llu", a,
+                                   static_cast<unsigned long long>(
+                                       rng.NextBounded(groups))));
+    }
+    if (edges.empty()) continue;
+    auto h = AttributeHierarchy::Build(table.dictionary(a), edges);
+    EXPECT_TRUE(h.ok()) << h.status().ToString();
+    overrides.emplace_back(a, std::move(*h));
+  }
+  auto th = TableHierarchy::Build(table, std::move(overrides));
+  EXPECT_TRUE(th.ok());
+  return Instance{std::move(table), std::move(*th)};
+}
+
+class HierarchyEquivalenceTest : public ::testing::TestWithParam<HGridParam> {
+};
+
+TEST_P(HierarchyEquivalenceTest, OptimizedEqualsEnumerated) {
+  const HGridParam& param = GetParam();
+  Instance instance = MakeInstance(param);
+  const CostFunction cost_fn(CostKind::kMax);
+
+  auto system =
+      HPatternSystem::Build(instance.table, instance.hierarchy, cost_fn);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  CwscOptions opts{param.k, param.fraction};
+  auto unopt = RunCwsc(system->set_system(), opts);
+  auto opt = RunHierarchicalCwsc(instance.table, instance.hierarchy, cost_fn,
+                                 opts);
+  ASSERT_EQ(unopt.ok(), opt.ok())
+      << unopt.status().ToString() << " vs " << opt.status().ToString();
+  if (!unopt.ok()) return;
+
+  ASSERT_EQ(opt->patterns.size(), unopt->sets.size());
+  for (std::size_t i = 0; i < opt->patterns.size(); ++i) {
+    EXPECT_EQ(opt->patterns[i], system->pattern(unopt->sets[i]))
+        << "pick " << i << ": "
+        << opt->patterns[i].ToString(instance.table, instance.hierarchy)
+        << " vs "
+        << system->pattern(unopt->sets[i])
+               .ToString(instance.table, instance.hierarchy);
+  }
+  EXPECT_NEAR(opt->total_cost, unopt->total_cost, 1e-9);
+  EXPECT_EQ(opt->covered, unopt->covered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomHierarchies, HierarchyEquivalenceTest,
+    ::testing::Values(HGridParam{1, 40, 2, 4, 3, 0.5},
+                      HGridParam{2, 40, 2, 4, 3, 0.8},
+                      HGridParam{3, 60, 3, 3, 4, 0.4},
+                      HGridParam{4, 60, 3, 5, 4, 0.6},
+                      HGridParam{5, 80, 2, 6, 5, 0.5},
+                      HGridParam{6, 80, 3, 4, 2, 0.7},
+                      HGridParam{7, 100, 2, 5, 6, 0.3},
+                      HGridParam{8, 100, 3, 3, 3, 1.0},
+                      HGridParam{9, 50, 4, 3, 4, 0.5},
+                      HGridParam{10, 120, 3, 4, 5, 0.45}),
+    HParamName);
+
+}  // namespace
+}  // namespace scwsc

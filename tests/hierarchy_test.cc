@@ -1,0 +1,184 @@
+#include "src/hierarchy/hierarchy.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "src/gen/toy.h"
+#include "src/hierarchy/hpattern.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+using hierarchy::AttributeHierarchy;
+using hierarchy::HPattern;
+using hierarchy::kAllNode;
+using hierarchy::kNoNode;
+using hierarchy::NodeId;
+using hierarchy::TableHierarchy;
+
+/// The paper's Location domain rolled up into compass regions.
+std::vector<std::pair<std::string, std::string>> LocationEdges() {
+  return {
+      {"West", "Western"},      {"Northwest", "Western"},
+      {"Southwest", "Western"}, {"East", "Eastern"},
+      {"Northeast", "Eastern"}, {"North", "Central"},
+      {"South", "Central"},
+  };
+}
+
+TEST(AttributeHierarchyTest, FlatHasEveryLeafAsRoot) {
+  AttributeHierarchy h = AttributeHierarchy::Flat(4);
+  EXPECT_EQ(h.num_leaves(), 4u);
+  EXPECT_EQ(h.num_nodes(), 4u);
+  EXPECT_EQ(h.roots().size(), 4u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(h.parent(v), kNoNode);
+    EXPECT_EQ(h.depth(v), 0u);
+    EXPECT_TRUE(h.children(v).empty());
+    EXPECT_EQ(h.LeafCount(v), 1u);
+    EXPECT_EQ(h.AncestorAtDepth(v, 0), v);
+  }
+}
+
+TEST(AttributeHierarchyTest, BuildRollsUpLocations) {
+  Table table = gen::MakeEntitiesTable();
+  auto h = AttributeHierarchy::Build(table.dictionary(1), LocationEdges());
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(h->num_leaves(), 7u);
+  EXPECT_EQ(h->num_nodes(), 10u);  // 7 leaves + 3 regions
+  EXPECT_EQ(h->roots().size(), 3u);
+
+  const auto west = *table.dictionary(1).Find("West");
+  const auto northeast = *table.dictionary(1).Find("Northeast");
+  const NodeId western = h->parent(west);
+  ASSERT_NE(western, kNoNode);
+  EXPECT_EQ(h->NodeName(table.dictionary(1), western), "Western");
+  EXPECT_EQ(h->depth(west), 1u);
+  EXPECT_EQ(h->depth(western), 0u);
+  EXPECT_EQ(h->LeafCount(western), 3u);
+  EXPECT_TRUE(h->IsAncestorOrSelf(western, west));
+  EXPECT_FALSE(h->IsAncestorOrSelf(western, northeast));
+  EXPECT_TRUE(h->IsAncestorOrSelf(west, west));
+  EXPECT_EQ(h->AncestorAtDepth(west, 0), western);
+  EXPECT_EQ(h->AncestorAtDepth(west, 1), west);
+}
+
+TEST(AttributeHierarchyTest, RejectsParentCollidingWithLeaf) {
+  Table table = gen::MakeEntitiesTable();
+  auto h = AttributeHierarchy::Build(table.dictionary(1),
+                                     {{"West", "East"}});  // East is a leaf
+  EXPECT_TRUE(h.status().IsInvalidArgument());
+}
+
+TEST(AttributeHierarchyTest, RejectsMultipleParents) {
+  Table table = gen::MakeEntitiesTable();
+  auto h = AttributeHierarchy::Build(
+      table.dictionary(1), {{"West", "RegionA"}, {"West", "RegionB"},
+                            {"East", "RegionB"}});
+  EXPECT_TRUE(h.status().IsInvalidArgument());
+}
+
+TEST(AttributeHierarchyTest, RejectsCycles) {
+  Table table = gen::MakeEntitiesTable();
+  auto h = AttributeHierarchy::Build(
+      table.dictionary(1),
+      {{"West", "A"}, {"A", "B"}, {"B", "A"}});
+  EXPECT_TRUE(h.status().IsInvalidArgument());
+}
+
+TEST(AttributeHierarchyTest, RejectsChildlessInternalNode) {
+  Table table = gen::MakeEntitiesTable();
+  // "B" is internal (parent of A) but A has no children pointing... build
+  // an internal node that never receives children by making it a child
+  // only: {"A" -> "B"} gives B children {A}, A children {} but A is
+  // internal (not a dictionary value) and childless.
+  auto h = AttributeHierarchy::Build(table.dictionary(1), {{"A", "B"}});
+  EXPECT_TRUE(h.status().IsInvalidArgument());
+}
+
+TEST(AttributeHierarchyTest, MultiLevelDepthAndChains) {
+  Table table = gen::MakeEntitiesTable();
+  auto edges = LocationEdges();
+  edges.emplace_back("Western", "Anywhere");
+  edges.emplace_back("Eastern", "Anywhere");
+  edges.emplace_back("Central", "Anywhere");
+  auto h = AttributeHierarchy::Build(table.dictionary(1), edges);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(h->roots().size(), 1u);
+  const auto west = *table.dictionary(1).Find("West");
+  EXPECT_EQ(h->depth(west), 2u);
+  const NodeId root = h->roots()[0];
+  EXPECT_EQ(h->NodeName(table.dictionary(1), root), "Anywhere");
+  EXPECT_EQ(h->LeafCount(root), 7u);
+  EXPECT_EQ(h->AncestorAtDepth(west, 0), root);
+  EXPECT_TRUE(h->IsAncestorOrSelf(root, west));
+}
+
+TEST(TableHierarchyTest, FlatCoversEveryAttribute) {
+  Table table = gen::MakeEntitiesTable();
+  TableHierarchy th = TableHierarchy::Flat(table);
+  EXPECT_EQ(th.num_attributes(), 2u);
+  EXPECT_EQ(th.attribute(0).num_leaves(), table.domain_size(0));
+  EXPECT_EQ(th.attribute(1).num_leaves(), table.domain_size(1));
+}
+
+TEST(TableHierarchyTest, BuildValidatesOverrides) {
+  Table table = gen::MakeEntitiesTable();
+  auto wrong = AttributeHierarchy::Flat(99);
+  EXPECT_TRUE(
+      TableHierarchy::Build(table, {{1, wrong}}).status().IsInvalidArgument());
+  EXPECT_TRUE(TableHierarchy::Build(table, {{7, AttributeHierarchy::Flat(2)}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HPatternTest, MatchesThroughHierarchy) {
+  Table table = gen::MakeEntitiesTable();
+  auto loc = AttributeHierarchy::Build(table.dictionary(1), LocationEdges());
+  ASSERT_TRUE(loc.ok());
+  auto th = TableHierarchy::Build(table, {{1, *loc}});
+  ASSERT_TRUE(th.ok());
+
+  // {Type=ALL, Location=Western} covers West, Northwest, Southwest rows:
+  // ids 0, 5, 6, 7, 8, 9 (rows 1, 6, 7, 8, 9, 10 in paper numbering).
+  const NodeId western =
+      th->attribute(1).parent(*table.dictionary(1).Find("West"));
+  HPattern p = HPattern::AllWildcards(2).WithNode(1, western);
+  std::vector<RowId> matched;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (p.Matches(table, *th, r)) matched.push_back(r);
+  }
+  EXPECT_EQ(matched, (std::vector<RowId>{0, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(p.ToString(table, *th), "{Type=ALL, Location=Western}");
+}
+
+TEST(HPatternTest, ParentAtWalksUpAndEndsAtAll) {
+  Table table = gen::MakeEntitiesTable();
+  auto loc = AttributeHierarchy::Build(table.dictionary(1), LocationEdges());
+  ASSERT_TRUE(loc.ok());
+  auto th = TableHierarchy::Build(table, {{1, *loc}});
+  ASSERT_TRUE(th.ok());
+
+  const NodeId west = *table.dictionary(1).Find("West");
+  HPattern leaf = HPattern::AllWildcards(2).WithNode(1, west);
+  HPattern region = leaf.ParentAt(*th, 1);
+  EXPECT_EQ(th->attribute(1).NodeName(table.dictionary(1), region.node(1)),
+            "Western");
+  HPattern all = region.ParentAt(*th, 1);
+  EXPECT_TRUE(all.is_wildcard(1));
+}
+
+TEST(HPatternTest, CanonicalLessIsStrictTotalOrder) {
+  std::vector<HPattern> patterns = {
+      HPattern({0, 1}), HPattern({0, kAllNode}), HPattern({kAllNode, 1}),
+      HPattern({kAllNode, kAllNode}), HPattern({2, 0})};
+  std::sort(patterns.begin(), patterns.end(), hierarchy::CanonicalLess);
+  for (std::size_t i = 0; i + 1 < patterns.size(); ++i) {
+    EXPECT_TRUE(hierarchy::CanonicalLess(patterns[i], patterns[i + 1]));
+    EXPECT_FALSE(hierarchy::CanonicalLess(patterns[i + 1], patterns[i]));
+  }
+}
+
+}  // namespace
+}  // namespace scwsc

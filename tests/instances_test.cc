@@ -1,0 +1,139 @@
+#include "src/core/instances.h"
+
+#include <set>
+
+#include "src/common/bitset.h"
+
+#include "gtest/gtest.h"
+#include "src/core/cwsc.h"
+#include "src/core/solution.h"
+
+namespace scwsc {
+namespace {
+
+TEST(CounterexampleTest, BuildsExpectedStructure) {
+  CounterexampleSpec spec;
+  spec.big_set_size = 20;
+  spec.small_set_multiplier = 2;
+  spec.k = 3;
+  auto system = MakeBudgetedCounterexample(spec);
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(system->num_elements(), 60u);          // C*k
+  EXPECT_EQ(system->num_sets(), 2u * 3u + 3u);     // c*k singletons + k blocks
+  // Singletons have weight 1 and size 1.
+  for (SetId id = 0; id < 6; ++id) {
+    EXPECT_EQ(system->set(id).elements.size(), 1u);
+    EXPECT_DOUBLE_EQ(system->set(id).cost, 1.0);
+  }
+  // Blocks have weight C+1, size C, and partition the universe.
+  DynamicBitset covered(system->num_elements());
+  for (SetId id = 6; id < 9; ++id) {
+    EXPECT_EQ(system->set(id).elements.size(), 20u);
+    EXPECT_DOUBLE_EQ(system->set(id).cost, 21.0);
+    for (ElementId e : system->set(id).elements) {
+      EXPECT_TRUE(covered.set(e)) << "blocks overlap";
+    }
+  }
+  EXPECT_TRUE(covered.all());
+}
+
+TEST(CounterexampleTest, OptionalUniverseSet) {
+  CounterexampleSpec spec;
+  spec.big_set_size = 10;
+  spec.small_set_multiplier = 2;
+  spec.k = 2;
+  spec.add_universe_set = true;
+  spec.universe_cost = 500.0;
+  auto system = MakeBudgetedCounterexample(spec);
+  ASSERT_TRUE(system.ok());
+  EXPECT_TRUE(system->HasUniverseSet());
+}
+
+TEST(CounterexampleTest, ValidatesSpec) {
+  CounterexampleSpec spec;
+  spec.big_set_size = 0;
+  EXPECT_TRUE(MakeBudgetedCounterexample(spec).status().IsInvalidArgument());
+  spec = CounterexampleSpec{};
+  spec.small_set_multiplier = spec.big_set_size;  // needs c < C
+  EXPECT_TRUE(MakeBudgetedCounterexample(spec).status().IsInvalidArgument());
+}
+
+// CWSC sidesteps the §III trap: its qualification threshold forces the
+// blocks, achieving 100% coverage with exactly k sets.
+TEST(CounterexampleTest, CwscSolvesTheCounterexampleInstance) {
+  CounterexampleSpec spec;
+  spec.big_set_size = 50;
+  spec.small_set_multiplier = 3;
+  spec.k = 4;
+  auto system = MakeBudgetedCounterexample(spec);
+  ASSERT_TRUE(system.ok());
+  auto solution = RunCwsc(*system, {spec.k, 1.0});
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_EQ(solution->covered, system->num_elements());
+  EXPECT_EQ(solution->sets.size(), spec.k);
+}
+
+TEST(RandomSetSystemTest, RespectsSpec) {
+  Rng rng(5);
+  RandomSystemSpec spec;
+  spec.num_elements = 40;
+  spec.num_sets = 25;
+  spec.max_set_size = 6;
+  spec.min_cost = 2.0;
+  spec.max_cost = 9.0;
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(system->num_elements(), 40u);
+  EXPECT_EQ(system->num_sets(), 26u);  // +1 universe
+  EXPECT_TRUE(system->HasUniverseSet());
+  for (SetId id = 0; id + 1 < system->num_sets(); ++id) {
+    const auto& s = system->set(id);
+    EXPECT_GE(s.elements.size(), 1u);
+    EXPECT_LE(s.elements.size(), 6u);
+    EXPECT_GE(s.cost, 2.0);
+    EXPECT_LE(s.cost, 9.0);
+  }
+}
+
+TEST(RandomSetSystemTest, DeterministicInSeed) {
+  RandomSystemSpec spec;
+  Rng rng1(11), rng2(11);
+  auto a = RandomSetSystem(spec, rng1);
+  auto b = RandomSetSystem(spec, rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_sets(), b->num_sets());
+  for (SetId id = 0; id < a->num_sets(); ++id) {
+    EXPECT_EQ(a->set(id).elements, b->set(id).elements);
+    EXPECT_DOUBLE_EQ(a->set(id).cost, b->set(id).cost);
+  }
+}
+
+TEST(RandomSetSystemTest, DuplicateCostProbabilityCreatesTies) {
+  Rng rng(13);
+  RandomSystemSpec spec;
+  spec.num_sets = 100;
+  spec.duplicate_cost_probability = 0.8;
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+  std::set<double> distinct;
+  for (const auto& s : system->sets()) distinct.insert(s.cost);
+  EXPECT_LT(distinct.size(), system->num_sets() / 2);
+}
+
+TEST(RandomSetSystemTest, ValidatesSpec) {
+  Rng rng(1);
+  RandomSystemSpec spec;
+  spec.num_elements = 0;
+  EXPECT_TRUE(RandomSetSystem(spec, rng).status().IsInvalidArgument());
+  spec = RandomSystemSpec{};
+  spec.max_set_size = 0;
+  EXPECT_TRUE(RandomSetSystem(spec, rng).status().IsInvalidArgument());
+  spec = RandomSystemSpec{};
+  spec.min_cost = 5;
+  spec.max_cost = 1;
+  EXPECT_TRUE(RandomSetSystem(spec, rng).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scwsc

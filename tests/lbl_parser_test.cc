@@ -1,0 +1,106 @@
+#include "src/gen/lbl_parser.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+using gen::LblParseOptions;
+using gen::LblParseStats;
+using gen::ParseLblConnections;
+
+constexpr const char* kSample =
+    "839414461.52 0.94 telnet 125 208 1 2 SF -\n"
+    "839414462.11 ? ftp 1000 2000 3 4 REJ -\n"
+    "839414463.87 12.5 nntp 99 10 1 5 SF N\n"
+    "\n"
+    "839414464.01 3.25 smtp 10 20 2 2 S0 -\n";
+
+TEST(LblParserTest, ParsesWellFormedRecords) {
+  std::istringstream in(kSample);
+  LblParseStats stats;
+  auto table = ParseLblConnections(in, {}, &stats);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(stats.parsed_rows, 3u);
+  EXPECT_EQ(stats.skipped_unknown, 1u);  // the "?" duration row
+  EXPECT_EQ(table->num_rows(), 3u);
+  EXPECT_EQ(table->num_attributes(), 5u);
+  EXPECT_EQ(table->schema().measure_name(), "session_length");
+  EXPECT_EQ(table->value_name(0, 0), "telnet");
+  EXPECT_EQ(table->value_name(0, 1), "1");
+  EXPECT_EQ(table->value_name(0, 2), "2");
+  EXPECT_EQ(table->value_name(0, 3), "SF");
+  EXPECT_EQ(table->value_name(0, 4), "-");
+  EXPECT_DOUBLE_EQ(table->measure(0), 0.94);
+  EXPECT_DOUBLE_EQ(table->measure(1), 12.5);
+  EXPECT_EQ(table->value_name(2, 0), "smtp");
+}
+
+TEST(LblParserTest, KeepsUnknownDurationsWhenAsked) {
+  std::istringstream in(kSample);
+  LblParseOptions opts;
+  opts.skip_unknown_durations = false;
+  opts.unknown_duration_value = -1.0;
+  auto table = ParseLblConnections(in, opts);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(table->measure(1), -1.0);
+}
+
+TEST(LblParserTest, EightFieldVariantGetsPlaceholderFlags) {
+  std::istringstream in("1.0 2.0 http 1 2 a b SF\n");
+  auto table = ParseLblConnections(in);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->value_name(0, 4), "-");
+}
+
+TEST(LblParserTest, MaxRowsTruncates) {
+  std::istringstream in(kSample);
+  LblParseOptions opts;
+  opts.max_rows = 2;
+  auto table = ParseLblConnections(in, opts);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(LblParserTest, MalformedLineFailsWithLineNumber) {
+  std::istringstream in("only three fields\n");
+  auto table = ParseLblConnections(in);
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsParseError());
+  EXPECT_NE(table.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(LblParserTest, MalformedLinesSkippableOnRequest) {
+  std::istringstream in(
+      "garbage\n1.0 2.0 http 1 2 a b SF -\nmore garbage here too bad\n");
+  LblParseOptions opts;
+  opts.skip_malformed_lines = true;
+  LblParseStats stats;
+  auto table = ParseLblConnections(in, opts, &stats);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(stats.skipped_malformed, 2u);
+}
+
+TEST(LblParserTest, BadDurationIsAParseError) {
+  std::istringstream in("1.0 not-a-number http 1 2 a b SF -\n");
+  EXPECT_TRUE(ParseLblConnections(in).status().IsParseError());
+}
+
+TEST(LblParserTest, EmptyInputFails) {
+  std::istringstream in("");
+  EXPECT_TRUE(ParseLblConnections(in).status().IsParseError());
+}
+
+TEST(LblParserTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(gen::ParseLblConnectionsFile("/no/such/file")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,114 @@
+// Cross-validation of the tuned greedy engines against the literal Fig. 1 /
+// Fig. 2 pseudocode: with identical tie-breaking, selections must be
+// identical on every instance.
+
+#include "src/core/literal.h"
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/instances.h"
+#include "src/gen/toy.h"
+#include "src/pattern/pattern_system.h"
+
+namespace scwsc {
+namespace {
+
+void ExpectSameSolution(const Result<Solution>& a, const Result<Solution>& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.ok(), b.ok()) << context << ": " << a.status().ToString()
+                            << " vs " << b.status().ToString();
+  if (!a.ok()) {
+    EXPECT_EQ(a.status().code(), b.status().code()) << context;
+    return;
+  }
+  EXPECT_EQ(a->sets, b->sets) << context;
+  EXPECT_NEAR(a->total_cost, b->total_cost, 1e-9) << context;
+  EXPECT_EQ(a->covered, b->covered) << context;
+}
+
+TEST(LiteralCwscTest, MatchesTunedEngineOnRandomSystems) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomSystemSpec spec;
+    spec.num_elements = 20 + static_cast<std::size_t>(rng.NextBounded(80));
+    spec.num_sets = 10 + static_cast<std::size_t>(rng.NextBounded(90));
+    spec.max_set_size = 1 + static_cast<std::size_t>(rng.NextBounded(9));
+    spec.duplicate_cost_probability = trial % 2 == 0 ? 0.5 : 0.0;
+    spec.ensure_universe = trial % 3 != 0;
+    auto system = RandomSetSystem(spec, rng);
+    ASSERT_TRUE(system.ok());
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.NextBounded(8));
+    const double fraction = rng.NextDouble(0.0, 1.0);
+    CwscOptions opts{k, fraction};
+    ExpectSameSolution(RunCwscLiteral(*system, opts), RunCwsc(*system, opts),
+                       "trial " + std::to_string(trial));
+  }
+}
+
+TEST(LiteralCmcTest, MatchesTunedEngineOnRandomSystems) {
+  Rng rng(777);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomSystemSpec spec;
+    spec.num_elements = 20 + static_cast<std::size_t>(rng.NextBounded(60));
+    spec.num_sets = 10 + static_cast<std::size_t>(rng.NextBounded(70));
+    spec.max_set_size = 1 + static_cast<std::size_t>(rng.NextBounded(8));
+    spec.duplicate_cost_probability = trial % 2 == 0 ? 0.4 : 0.0;
+    auto system = RandomSetSystem(spec, rng);
+    ASSERT_TRUE(system.ok());
+    CmcOptions opts;
+    opts.k = 1 + static_cast<std::size_t>(rng.NextBounded(6));
+    opts.coverage_fraction = rng.NextDouble(0.1, 1.0);
+    opts.b = trial % 2 == 0 ? 1.0 : 0.5;
+    opts.epsilon = trial % 3 == 0 ? 1.0 : 0.0;
+    opts.relax_coverage = trial % 4 != 0;
+
+    auto literal = RunCmcLiteral(*system, opts);
+    auto tuned = RunCmc(*system, opts);
+    ASSERT_EQ(literal.ok(), tuned.ok())
+        << "trial " << trial << ": " << literal.status().ToString() << " vs "
+        << tuned.status().ToString();
+    if (!literal.ok()) continue;
+    EXPECT_EQ(literal->solution.sets, tuned->solution.sets)
+        << "trial " << trial;
+    EXPECT_NEAR(literal->solution.total_cost, tuned->solution.total_cost,
+                1e-9);
+    EXPECT_EQ(literal->budget_rounds, tuned->budget_rounds);
+    EXPECT_DOUBLE_EQ(literal->final_budget, tuned->final_budget);
+    EXPECT_EQ(literal->sets_considered, tuned->sets_considered);
+  }
+}
+
+TEST(LiteralTest, PaperWalkthroughsAgree) {
+  Table table = gen::MakeEntitiesTable();
+  auto system = pattern::PatternSystem::Build(
+      table, pattern::CostFunction(pattern::CostKind::kMax));
+  ASSERT_TRUE(system.ok());
+
+  CwscOptions cwsc_opts{2, 9.0 / 16.0};
+  ExpectSameSolution(RunCwscLiteral(system->set_system(), cwsc_opts),
+                     RunCwsc(system->set_system(), cwsc_opts), "toy CWSC");
+
+  CmcOptions cmc_opts;
+  cmc_opts.k = 2;
+  cmc_opts.coverage_fraction = 9.0 / 16.0;
+  cmc_opts.relax_coverage = false;
+  auto literal = RunCmcLiteral(system->set_system(), cmc_opts);
+  auto tuned = RunCmc(system->set_system(), cmc_opts);
+  ASSERT_TRUE(literal.ok());
+  ASSERT_TRUE(tuned.ok());
+  EXPECT_EQ(literal->solution.sets, tuned->solution.sets);
+  EXPECT_DOUBLE_EQ(literal->final_budget, 20.0);
+  EXPECT_EQ(literal->budget_rounds, 3u);
+}
+
+TEST(LiteralTest, RejectsBadOptionsLikeTunedEngines) {
+  SetSystem system(4);
+  ASSERT_TRUE(system.AddSet({0, 1, 2, 3}, 1.0).ok());
+  EXPECT_TRUE(RunCwscLiteral(system, {0, 0.5}).status().IsInvalidArgument());
+  CmcOptions opts;
+  opts.b = -1.0;
+  EXPECT_TRUE(RunCmcLiteral(system, opts).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,168 @@
+#include "src/lp/lp_rounding.h"
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/cwsc.h"
+#include "src/core/exact.h"
+#include "src/core/instances.h"
+#include "src/gen/toy.h"
+#include "src/pattern/pattern_system.h"
+
+namespace scwsc {
+namespace {
+
+using lp::LpScwscOptions;
+using lp::SolveByLpRounding;
+using lp::SolveScwscRelaxation;
+
+SetSystem ToySystem() {
+  Table table = gen::MakeEntitiesTable();
+  auto system = pattern::PatternSystem::Build(
+      table, pattern::CostFunction(pattern::CostKind::kMax));
+  EXPECT_TRUE(system.ok());
+  // Copy out the set system (PatternSystem owns it).
+  SetSystem copy(system->set_system().num_elements());
+  for (SetId s = 0; s < system->set_system().num_sets(); ++s) {
+    const auto& set = system->set_system().set(s);
+    EXPECT_TRUE(copy.AddSet(set.elements, set.cost).ok());
+  }
+  return copy;
+}
+
+TEST(LpRelaxationTest, LowerBoundsTheToyOptimum) {
+  SetSystem system = ToySystem();
+  // Known optimum for k=2, s=9/16 is 27 (paper §I).
+  auto relaxation = SolveScwscRelaxation(system, 2, 9.0 / 16.0);
+  ASSERT_TRUE(relaxation.ok()) << relaxation.status().ToString();
+  EXPECT_LE(relaxation->lower_bound, 27.0 + 1e-6);
+  EXPECT_GT(relaxation->lower_bound, 0.0);
+  // Fractional values stay in [0, 1].
+  for (double x : relaxation->x) {
+    EXPECT_GE(x, -1e-9);
+    EXPECT_LE(x, 1.0 + 1e-9);
+  }
+}
+
+TEST(LpRelaxationTest, ZeroTargetIsFree) {
+  SetSystem system = ToySystem();
+  auto relaxation = SolveScwscRelaxation(system, 2, 0.0);
+  ASSERT_TRUE(relaxation.ok());
+  EXPECT_DOUBLE_EQ(relaxation->lower_bound, 0.0);
+}
+
+TEST(LpRelaxationTest, ValidatesArguments) {
+  SetSystem system = ToySystem();
+  EXPECT_TRUE(
+      SolveScwscRelaxation(system, 0, 0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      SolveScwscRelaxation(system, 2, 1.5).status().IsInvalidArgument());
+}
+
+TEST(LpRelaxationTest, LowerBoundsExactOptimumOnRandomInstances) {
+  Rng rng(4321);
+  for (int trial = 0; trial < 12; ++trial) {
+    RandomSystemSpec spec;
+    spec.num_elements = 15;
+    spec.num_sets = 12;
+    spec.max_set_size = 5;
+    auto system = RandomSetSystem(spec, rng);
+    ASSERT_TRUE(system.ok());
+    const std::size_t k = 2 + rng.NextBounded(3);
+    const double fraction = rng.NextDouble(0.2, 0.9);
+
+    ExactOptions exact_opts;
+    exact_opts.k = k;
+    exact_opts.coverage_fraction = fraction;
+    auto optimal = SolveExact(*system, exact_opts);
+    if (!optimal.ok()) continue;  // infeasible instance
+
+    auto relaxation = SolveScwscRelaxation(*system, k, fraction);
+    ASSERT_TRUE(relaxation.ok()) << "trial " << trial << ": "
+                                 << relaxation.status().ToString();
+    EXPECT_LE(relaxation->lower_bound,
+              optimal->solution.total_cost + 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(LpRoundingTest, ProducesCoverageFeasibleSolution) {
+  SetSystem system = ToySystem();
+  LpScwscOptions opts;
+  opts.k = 2;
+  opts.coverage_fraction = 9.0 / 16.0;
+  auto result = SolveByLpRounding(system, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->solution.covered, 9u);
+  EXPECT_GE(result->solution.total_cost, result->lp_lower_bound - 1e-6);
+  auto audit = AuditSolution(system, result->solution);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->bookkeeping_consistent);
+}
+
+TEST(LpRoundingTest, DeterministicInSeed) {
+  SetSystem system = ToySystem();
+  LpScwscOptions opts;
+  opts.k = 3;
+  opts.coverage_fraction = 0.5;
+  opts.seed = 7;
+  auto a = SolveByLpRounding(system, opts);
+  auto b = SolveByLpRounding(system, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->solution.sets, b->solution.sets);
+}
+
+TEST(LpRoundingTest, ReportsCardinalityViolation) {
+  // The §III caveat: rounding can exceed k. Construct many tiny sets so
+  // the fractional solution spreads mass and rounding picks more than k.
+  SetSystem system(40);
+  for (ElementId e = 0; e < 40; ++e) {
+    ASSERT_TRUE(system.AddSet({e}, 1.0).ok());
+  }
+  std::vector<ElementId> all(40);
+  for (ElementId e = 0; e < 40; ++e) all[e] = e;
+  ASSERT_TRUE(system.AddSet(all, 100.0).ok());
+
+  LpScwscOptions opts;
+  opts.k = 20;
+  opts.coverage_fraction = 0.5;  // LP: 20 singletons at x = 1 is optimal
+  opts.trials = 32;
+  auto result = SolveByLpRounding(system, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->solution.covered, 20u);
+  // With alpha = ln(40)+1 ≈ 4.7, every singleton with positive mass rounds
+  // to 1 with high probability -> expect a violation.
+  EXPECT_EQ(result->cardinality_violation,
+            result->solution.sets.size() > opts.k
+                ? result->solution.sets.size() - opts.k
+                : 0u);
+}
+
+TEST(LpRoundingTest, GreedyRepairWhenNoTrialFeasible) {
+  SetSystem system = ToySystem();
+  LpScwscOptions opts;
+  opts.k = 2;
+  opts.coverage_fraction = 9.0 / 16.0;
+  opts.trials = 0;  // force the repair path
+  auto result = SolveByLpRounding(system, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->solution.covered, 9u);
+  EXPECT_EQ(result->feasible_trials, 0u);
+}
+
+TEST(LpRoundingTest, GapCertificateForGreedy) {
+  // LP bound <= OPT <= CWSC: the certified gap CWSC/LP is finite and
+  // small on the toy instance.
+  SetSystem system = ToySystem();
+  auto greedy = RunCwsc(system, {2, 9.0 / 16.0});
+  ASSERT_TRUE(greedy.ok());
+  auto relaxation = SolveScwscRelaxation(system, 2, 9.0 / 16.0);
+  ASSERT_TRUE(relaxation.ok());
+  ASSERT_GT(relaxation->lower_bound, 0.0);
+  const double certified_gap = greedy->total_cost / relaxation->lower_bound;
+  EXPECT_GE(certified_gap, 1.0 - 1e-9);
+  EXPECT_LE(certified_gap, 10.0);  // 28 / bound; sanity ceiling
+}
+
+}  // namespace
+}  // namespace scwsc

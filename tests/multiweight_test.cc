@@ -1,0 +1,180 @@
+#include "src/ext/multiweight.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/core/solution.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+using ext::Dominates;
+using ext::MultiSolution;
+using ext::MultiWeightSetSystem;
+using ext::ParetoFilter;
+using ext::Scalarizer;
+using ext::SweepScalarizations;
+
+MultiWeightSetSystem MakeSystem() {
+  // Two objectives: build cost and staffing cost. Sets trade them off.
+  MultiWeightSetSystem system(8, 2);
+  EXPECT_TRUE(system.AddSet({0, 1, 2, 3}, {10.0, 1.0}, "cheap-staff").ok());
+  EXPECT_TRUE(system.AddSet({0, 1, 2, 3}, {1.0, 10.0}, "cheap-build").ok());
+  EXPECT_TRUE(system.AddSet({4, 5, 6, 7}, {5.0, 5.0}, "balanced").ok());
+  EXPECT_TRUE(
+      system.AddSet({0, 1, 2, 3, 4, 5, 6, 7}, {20.0, 20.0}, "universe").ok());
+  return system;
+}
+
+TEST(MultiWeightSetSystemTest, ValidatesCostVectors) {
+  MultiWeightSetSystem system(4, 2);
+  EXPECT_TRUE(system.AddSet({0}, {1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      system.AddSet({0}, {1.0, -2.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(system.AddSet({9}, {1.0, 1.0}).status().IsInvalidArgument());
+}
+
+TEST(ScalarizerTest, WeightedSumApplies) {
+  auto sc = Scalarizer::WeightedSum({2.0, 3.0});
+  ASSERT_TRUE(sc.ok());
+  EXPECT_DOUBLE_EQ(sc->Apply({1.0, 1.0}), 5.0);
+  EXPECT_DOUBLE_EQ(sc->Apply({0.5, 2.0}), 7.0);
+}
+
+TEST(ScalarizerTest, ChebyshevTakesWeightedMax) {
+  auto sc = Scalarizer::WeightedChebyshev({1.0, 2.0});
+  ASSERT_TRUE(sc.ok());
+  EXPECT_DOUBLE_EQ(sc->Apply({5.0, 1.0}), 5.0);
+  EXPECT_DOUBLE_EQ(sc->Apply({1.0, 5.0}), 10.0);
+}
+
+TEST(ScalarizerTest, ValidatesLambda) {
+  EXPECT_TRUE(Scalarizer::WeightedSum({}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Scalarizer::WeightedSum({-1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(Scalarizer::WeightedChebyshev({std::nan("")})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MultiWeightSetSystemTest, ScalarizePreservesIdsAndElements) {
+  MultiWeightSetSystem system = MakeSystem();
+  auto sc = Scalarizer::WeightedSum({1.0, 1.0});
+  ASSERT_TRUE(sc.ok());
+  auto scalar = system.Scalarize(*sc);
+  ASSERT_TRUE(scalar.ok());
+  ASSERT_EQ(scalar->num_sets(), system.num_sets());
+  EXPECT_DOUBLE_EQ(scalar->set(0).cost, 11.0);
+  EXPECT_DOUBLE_EQ(scalar->set(2).cost, 10.0);
+  EXPECT_EQ(scalar->set(3).elements.size(), 8u);
+}
+
+TEST(MultiWeightSetSystemTest, ScalarizeRejectsArityMismatch) {
+  MultiWeightSetSystem system = MakeSystem();
+  auto sc = Scalarizer::WeightedSum({1.0});
+  ASSERT_TRUE(sc.ok());
+  EXPECT_TRUE(system.Scalarize(*sc).status().IsInvalidArgument());
+}
+
+TEST(DominatesTest, StrictOnAtLeastOneObjective) {
+  MultiSolution a, b;
+  a.objective_costs = {1.0, 2.0};
+  b.objective_costs = {2.0, 2.0};
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+  MultiSolution c;
+  c.objective_costs = {1.0, 2.0};
+  EXPECT_FALSE(Dominates(a, c));  // equal does not dominate
+  MultiSolution d;
+  d.objective_costs = {0.5, 3.0};
+  EXPECT_FALSE(Dominates(a, d));  // incomparable
+  EXPECT_FALSE(Dominates(d, a));
+}
+
+TEST(ParetoFilterTest, RemovesDominatedAndDuplicates) {
+  MultiSolution a;
+  a.solution.sets = {0};
+  a.objective_costs = {1.0, 5.0};
+  MultiSolution b;
+  b.solution.sets = {1};
+  b.objective_costs = {5.0, 1.0};
+  MultiSolution dominated;
+  dominated.solution.sets = {2};
+  dominated.objective_costs = {6.0, 6.0};
+  MultiSolution duplicate = a;
+
+  auto front = ParetoFilter({a, b, dominated, duplicate});
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front[0].solution.sets, a.solution.sets);
+  EXPECT_EQ(front[1].solution.sets, b.solution.sets);
+}
+
+TEST(SweepScalarizationsTest, ProducesAParetoFront) {
+  MultiWeightSetSystem system = MakeSystem();
+  CwscOptions opts;
+  opts.k = 2;
+  opts.coverage_fraction = 0.5;
+  std::vector<Scalarizer> scalarizers = {
+      *Scalarizer::WeightedSum({1.0, 0.0}),
+      *Scalarizer::WeightedSum({0.0, 1.0}),
+      *Scalarizer::WeightedSum({0.5, 0.5}),
+      *Scalarizer::WeightedChebyshev({1.0, 1.0}),
+  };
+  auto front = SweepScalarizations(system, opts, scalarizers);
+  ASSERT_TRUE(front.ok()) << front.status().ToString();
+  ASSERT_FALSE(front->empty());
+  // No member of the front may dominate another.
+  for (std::size_t i = 0; i < front->size(); ++i) {
+    for (std::size_t j = 0; j < front->size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(Dominates((*front)[i], (*front)[j]));
+    }
+  }
+  // Objective totals are exact per-objective sums.
+  for (const auto& ms : *front) {
+    std::vector<double> totals(2, 0.0);
+    for (SetId id : ms.solution.sets) {
+      totals[0] += system.costs(id)[0];
+      totals[1] += system.costs(id)[1];
+    }
+    EXPECT_DOUBLE_EQ(ms.objective_costs[0], totals[0]);
+    EXPECT_DOUBLE_EQ(ms.objective_costs[1], totals[1]);
+  }
+}
+
+TEST(SweepScalarizationsTest, ExtremeLambdasExposeTheTradeoff) {
+  MultiWeightSetSystem system = MakeSystem();
+  CwscOptions opts;
+  opts.k = 1;
+  opts.coverage_fraction = 0.5;
+  // Weighting only objective 0 picks "cheap-build" (cost {1,10}); weighting
+  // only objective 1 picks "cheap-staff" ({10,1}).
+  auto front = SweepScalarizations(
+      system, opts,
+      {*Scalarizer::WeightedSum({1.0, 0.0}),
+       *Scalarizer::WeightedSum({0.0, 1.0})});
+  ASSERT_TRUE(front.ok());
+  ASSERT_EQ(front->size(), 2u);
+}
+
+TEST(SweepScalarizationsTest, AllInfeasibleReturnsInfeasible) {
+  MultiWeightSetSystem system(10, 1);
+  ASSERT_TRUE(system.AddSet({0}, {1.0}).ok());
+  CwscOptions opts;
+  opts.k = 1;
+  opts.coverage_fraction = 1.0;  // impossible: only one singleton set
+  auto front =
+      SweepScalarizations(system, opts, {*Scalarizer::WeightedSum({1.0})});
+  EXPECT_TRUE(front.status().IsInfeasible());
+}
+
+TEST(SweepScalarizationsTest, RequiresScalarizers) {
+  MultiWeightSetSystem system = MakeSystem();
+  EXPECT_TRUE(SweepScalarizations(system, CwscOptions{}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scwsc

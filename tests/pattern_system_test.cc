@@ -1,0 +1,131 @@
+#include "src/pattern/pattern_system.h"
+
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "src/gen/toy.h"
+#include "src/pattern/benefit_index.h"
+#include "src/table/builder.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+using pattern::BenefitIndex;
+using pattern::CanonicalLess;
+using pattern::CostFunction;
+using pattern::CostKind;
+using pattern::Pattern;
+using pattern::PatternSystem;
+using test::MakePattern;
+
+TEST(BenefitIndexTest, PostingsPartitionRows) {
+  Table table = gen::MakeEntitiesTable();
+  BenefitIndex index(table);
+  std::size_t total = 0;
+  for (ValueId v = 0; v < table.domain_size(0); ++v) {
+    total += index.Postings(0, v).size();
+  }
+  EXPECT_EQ(total, table.num_rows());
+}
+
+TEST(BenefitIndexTest, BenMatchesDirectScan) {
+  Table table = gen::MakeEntitiesTable();
+  BenefitIndex index(table);
+  const std::vector<std::vector<std::string>> patterns = {
+      {"*", "*"}, {"A", "*"}, {"*", "South"}, {"B", "South"}, {"A", "East"}};
+  for (const auto& strs : patterns) {
+    Pattern p = MakePattern(table, strs);
+    std::vector<RowId> expected;
+    for (RowId r = 0; r < table.num_rows(); ++r) {
+      if (p.Matches(table, r)) expected.push_back(r);
+    }
+    EXPECT_EQ(index.Ben(p), expected) << p.ToString(table);
+    EXPECT_EQ(index.BenefitCount(p), expected.size());
+  }
+}
+
+TEST(BenefitIndexTest, AllWildcardsBenIsEveryRow) {
+  Table table = gen::MakeEntitiesTable();
+  BenefitIndex index(table);
+  auto ben = index.Ben(Pattern::AllWildcards(2));
+  std::vector<RowId> expected(table.num_rows());
+  std::iota(expected.begin(), expected.end(), RowId{0});
+  EXPECT_EQ(ben, expected);
+}
+
+TEST(PatternSystemTest, BuildsSetSystemAlignedWithPatterns) {
+  Table table = gen::MakeEntitiesTable();
+  CostFunction cost(CostKind::kMax);
+  auto system = PatternSystem::Build(table, cost);
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(system->num_patterns(), 24u);
+  EXPECT_EQ(system->set_system().num_sets(), 24u);
+  EXPECT_EQ(system->set_system().num_elements(), 16u);
+  EXPECT_TRUE(system->set_system().HasUniverseSet());
+  for (SetId id = 0; id < system->num_patterns(); ++id) {
+    const auto& s = system->set_system().set(id);
+    const Pattern& p = system->pattern(id);
+    // Benefit sets agree with matching.
+    for (ElementId e : s.elements) {
+      EXPECT_TRUE(p.Matches(table, static_cast<RowId>(e)));
+    }
+    EXPECT_EQ(s.elements.size(),
+              BenefitIndex(table).BenefitCount(p));
+  }
+}
+
+TEST(PatternSystemTest, SetIdsFollowCanonicalOrder) {
+  Table table = gen::MakeEntitiesTable();
+  CostFunction cost(CostKind::kMax);
+  auto system = PatternSystem::Build(table, cost);
+  ASSERT_TRUE(system.ok());
+  for (SetId id = 0; id + 1 < system->num_patterns(); ++id) {
+    EXPECT_TRUE(
+        CanonicalLess(system->pattern(id), system->pattern(id + 1)));
+  }
+}
+
+TEST(PatternSystemTest, SumCostFunctionChangesWeights) {
+  Table table = gen::MakeEntitiesTable();
+  auto max_system = PatternSystem::Build(table, CostFunction(CostKind::kMax));
+  auto sum_system = PatternSystem::Build(table, CostFunction(CostKind::kSum));
+  ASSERT_TRUE(max_system.ok());
+  ASSERT_TRUE(sum_system.ok());
+  // {B, South} covers measures {2, 1}: max 2, sum 3.
+  const Pattern p = MakePattern(table, {"B", "South"});
+  for (SetId id = 0; id < max_system->num_patterns(); ++id) {
+    if (max_system->pattern(id) == p) {
+      EXPECT_DOUBLE_EQ(max_system->set_system().set(id).cost, 2.0);
+      EXPECT_DOUBLE_EQ(sum_system->set_system().set(id).cost, 3.0);
+    }
+  }
+}
+
+TEST(PatternSystemTest, RequiresMeasure) {
+  TableBuilder builder({"x"});
+  SCWSC_ASSERT_OK(builder.AddRow({"a"}));
+  Table table = std::move(builder).Build();
+  EXPECT_TRUE(PatternSystem::Build(table, CostFunction(CostKind::kMax))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PatternSystemTest, ToPatternSolutionTranslatesIds) {
+  Table table = gen::MakeEntitiesTable();
+  auto system = PatternSystem::Build(table, CostFunction(CostKind::kMax));
+  ASSERT_TRUE(system.ok());
+  Solution solution;
+  solution.sets = {0, 5};
+  solution.total_cost = 12.0;
+  solution.covered = 3;
+  auto ps = system->ToPatternSolution(solution);
+  ASSERT_EQ(ps.patterns.size(), 2u);
+  EXPECT_EQ(ps.patterns[0], system->pattern(0));
+  EXPECT_EQ(ps.patterns[1], system->pattern(5));
+  EXPECT_DOUBLE_EQ(ps.total_cost, 12.0);
+  EXPECT_EQ(ps.covered, 3u);
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,197 @@
+// Robustness smoke tests: random garbage into the parsers and random
+// option combinations into every solver must produce a Status — never a
+// crash, hang, or silent constraint violation. All randomness is seeded,
+// so any failure is exactly reproducible.
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/cmc.h"
+#include "src/core/cwsc.h"
+#include "src/core/instances.h"
+#include "src/core/literal.h"
+#include "src/core/solution.h"
+#include "src/gen/lbl_parser.h"
+#include "src/pattern/opt_cmc.h"
+#include "src/pattern/opt_cwsc.h"
+#include "src/table/builder.h"
+#include "src/table/csv.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+std::string RandomGarbage(Rng& rng, std::size_t max_len) {
+  const std::string alphabet =
+      "abcXYZ0129.,|;\t \"'?-\n\r\\\x01\x7f";
+  std::string s;
+  const std::size_t len = rng.NextBounded(max_len + 1);
+  for (std::size_t i = 0; i < len; ++i) {
+    s += alphabet[rng.NextBounded(alphabet.size())];
+  }
+  return s;
+}
+
+TEST(RobustnessTest, CsvReaderNeverCrashesOnGarbage) {
+  Rng rng(0xC5F);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::istringstream in(RandomGarbage(rng, 200));
+    csv::ReadOptions opts;
+    if (trial % 3 == 0) opts.measure_column = "m";
+    if (trial % 5 == 0) opts.delimiter = ';';
+    auto table = csv::Read(in, opts);
+    if (table.ok()) {
+      // Whatever parsed must be internally consistent.
+      EXPECT_LE(table->num_attributes(), 300u);
+      for (std::size_t a = 0; a < table->num_attributes(); ++a) {
+        EXPECT_GE(table->domain_size(a), table->num_rows() > 0 ? 1u : 0u);
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, LblParserNeverCrashesOnGarbage) {
+  Rng rng(0x1B1);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::istringstream in(RandomGarbage(rng, 200));
+    gen::LblParseOptions opts;
+    opts.skip_malformed_lines = trial % 2 == 0;
+    auto table = gen::ParseLblConnections(in, opts);
+    if (table.ok()) {
+      EXPECT_EQ(table->num_attributes(), 5u);
+      EXPECT_GT(table->num_rows(), 0u);
+    }
+  }
+}
+
+TEST(RobustnessTest, SolversHandleArbitraryOptionCombinations) {
+  Rng rng(0x50F7);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomSystemSpec spec;
+    spec.num_elements = 5 + rng.NextBounded(40);
+    spec.num_sets = rng.NextBounded(40);  // possibly zero sets
+    spec.max_set_size = 1 + rng.NextBounded(6);
+    spec.min_cost = 0.0;  // zero-cost sets allowed
+    spec.max_cost = rng.NextDouble(0.0, 50.0);
+    spec.ensure_universe = trial % 4 != 0;
+    spec.duplicate_cost_probability = 0.3;
+    auto system = RandomSetSystem(spec, rng);
+    ASSERT_TRUE(system.ok());
+
+    const std::size_t k = rng.NextBounded(6);  // possibly zero (invalid)
+    const double fraction = rng.NextDouble(-0.1, 1.1);  // possibly invalid
+
+    CwscOptions cwsc{k, fraction};
+    auto a = RunCwsc(*system, cwsc);
+    auto b = RunCwscLiteral(*system, cwsc);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(a->sets, b->sets);
+      EXPECT_TRUE(SatisfiesConstraints(*system, *a, std::max<std::size_t>(k, 1),
+                                       std::clamp(fraction, 0.0, 1.0)));
+    }
+
+    CmcOptions cmc;
+    cmc.k = k;
+    cmc.coverage_fraction = fraction;
+    cmc.b = rng.NextDouble(-0.5, 3.0);        // possibly invalid
+    cmc.epsilon = rng.NextDouble(-0.5, 3.0);  // possibly invalid
+    cmc.l = static_cast<unsigned>(rng.NextBounded(4));  // possibly zero
+    auto c = RunCmc(*system, cmc);
+    auto d = RunCmcLiteral(*system, cmc);
+    ASSERT_EQ(c.ok(), d.ok()) << c.status().ToString() << " vs "
+                              << d.status().ToString();
+    if (c.ok()) {
+      EXPECT_EQ(c->solution.sets, d->solution.sets);
+      auto audit = AuditSolution(*system, c->solution);
+      ASSERT_TRUE(audit.ok());
+      EXPECT_TRUE(audit->bookkeeping_consistent);
+    }
+  }
+}
+
+TEST(RobustnessTest, PatternSolversHandleDegenerateTables) {
+  const pattern::CostFunction cost(pattern::CostKind::kMax);
+
+  // Single row.
+  {
+    TableBuilder builder({"a", "b"}, "m");
+    SCWSC_ASSERT_OK(builder.AddRow({"x", "y"}, 1.0));
+    Table t = std::move(builder).Build();
+    auto cwsc = pattern::RunOptimizedCwsc(t, cost, {1, 1.0});
+    ASSERT_TRUE(cwsc.ok());
+    EXPECT_EQ(cwsc->covered, 1u);
+    CmcOptions opts;
+    opts.k = 1;
+    opts.coverage_fraction = 1.0;
+    opts.relax_coverage = false;
+    auto cmc = pattern::RunOptimizedCmc(t, cost, opts);
+    ASSERT_TRUE(cmc.ok());
+    EXPECT_EQ(cmc->covered, 1u);
+  }
+
+  // All rows identical (single duplicate group).
+  {
+    TableBuilder builder({"a"}, "m");
+    for (int i = 0; i < 50; ++i) SCWSC_ASSERT_OK(builder.AddRow({"x"}, 2.0));
+    Table t = std::move(builder).Build();
+    auto cwsc = pattern::RunOptimizedCwsc(t, cost, {3, 0.5});
+    ASSERT_TRUE(cwsc.ok());
+    EXPECT_EQ(cwsc->covered, 50u);  // any pattern covers everything
+    EXPECT_EQ(cwsc->patterns.size(), 1u);
+  }
+
+  // Zero and negative measures with max cost.
+  {
+    TableBuilder builder({"a"}, "m");
+    SCWSC_ASSERT_OK(builder.AddRow({"x"}, -3.0));
+    SCWSC_ASSERT_OK(builder.AddRow({"y"}, 0.0));
+    SCWSC_ASSERT_OK(builder.AddRow({"z"}, 5.0));
+    Table t = std::move(builder).Build();
+    auto cwsc = pattern::RunOptimizedCwsc(t, cost, {3, 1.0});
+    ASSERT_TRUE(cwsc.ok()) << cwsc.status().ToString();
+    EXPECT_EQ(cwsc->covered, 3u);
+    CmcOptions opts;
+    opts.k = 3;
+    opts.coverage_fraction = 1.0;
+    opts.relax_coverage = false;
+    auto cmc = pattern::RunOptimizedCmc(t, cost, opts);
+    ASSERT_TRUE(cmc.ok()) << cmc.status().ToString();
+    EXPECT_EQ(cmc->covered, 3u);
+  }
+}
+
+TEST(RobustnessTest, RandomTablesRoundTripThroughCsvForSolvers) {
+  Rng rng(0xABCD);
+  for (int trial = 0; trial < 10; ++trial) {
+    TableBuilder builder({"p", "q"}, "m");
+    const std::size_t rows = 5 + rng.NextBounded(40);
+    for (std::size_t r = 0; r < rows; ++r) {
+      SCWSC_ASSERT_OK(builder.AddRow(
+          {"v" + std::to_string(rng.NextBounded(4)),
+           "w" + std::to_string(rng.NextBounded(3))},
+          rng.NextDouble(0.5, 20.0)));
+    }
+    Table t = std::move(builder).Build();
+    std::ostringstream out;
+    SCWSC_ASSERT_OK(csv::Write(t, out));
+    std::istringstream in(out.str());
+    csv::ReadOptions opts;
+    opts.measure_column = "m";
+    auto restored = csv::Read(in, opts);
+    ASSERT_TRUE(restored.ok());
+    const pattern::CostFunction cost(pattern::CostKind::kMax);
+    auto a = pattern::RunOptimizedCwsc(t, cost, {3, 0.6});
+    auto b = pattern::RunOptimizedCwsc(*restored, cost, {3, 0.6});
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_NEAR(a->total_cost, b->total_cost, 1e-9) << "trial " << trial;
+      EXPECT_EQ(a->covered, b->covered);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scwsc

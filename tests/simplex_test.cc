@@ -1,0 +1,163 @@
+#include "src/lp/simplex.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+
+namespace scwsc {
+namespace {
+
+using lp::Constraint;
+using lp::LpProblem;
+using lp::Relation;
+using lp::SolveLp;
+
+Constraint Row(std::vector<double> coeffs, Relation rel, double rhs) {
+  Constraint c;
+  c.coefficients = std::move(coeffs);
+  c.relation = rel;
+  c.rhs = rhs;
+  return c;
+}
+
+TEST(SimplexTest, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6), value 36.
+  LpProblem p;
+  p.num_variables = 2;
+  p.objective = {-3.0, -5.0};  // minimize the negation
+  p.constraints = {Row({1, 0}, Relation::kLessEqual, 4),
+                   Row({0, 2}, Relation::kLessEqual, 12),
+                   Row({3, 2}, Relation::kLessEqual, 18)};
+  auto sol = SolveLp(p);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -36.0, 1e-7);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol->x[1], 6.0, 1e-7);
+}
+
+TEST(SimplexTest, HandlesGreaterEqualAndEquality) {
+  // min x + 2y s.t. x + y >= 3, x - y = 1, x,y >= 0 => (2, 1), value 4.
+  LpProblem p;
+  p.num_variables = 2;
+  p.objective = {1.0, 2.0};
+  p.constraints = {Row({1, 1}, Relation::kGreaterEqual, 3),
+                   Row({1, -1}, Relation::kEqual, 1)};
+  auto sol = SolveLp(p);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 4.0, 1e-7);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol->x[1], 1.0, 1e-7);
+}
+
+TEST(SimplexTest, NegativeRhsIsNormalized) {
+  // min x s.t. -x <= -5  (i.e. x >= 5) => 5.
+  LpProblem p;
+  p.num_variables = 1;
+  p.objective = {1.0};
+  p.constraints = {Row({-1}, Relation::kLessEqual, -5)};
+  auto sol = SolveLp(p);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->x[0], 5.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  // x <= 1 and x >= 3.
+  LpProblem p;
+  p.num_variables = 1;
+  p.objective = {1.0};
+  p.constraints = {Row({1}, Relation::kLessEqual, 1),
+                   Row({1}, Relation::kGreaterEqual, 3)};
+  EXPECT_TRUE(SolveLp(p).status().IsInfeasible());
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x s.t. x >= 1: unbounded below.
+  LpProblem p;
+  p.num_variables = 1;
+  p.objective = {-1.0};
+  p.constraints = {Row({1}, Relation::kGreaterEqual, 1)};
+  auto sol = SolveLp(p);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsInternal());
+  EXPECT_NE(sol.status().message().find("unbounded"), std::string::npos);
+}
+
+TEST(SimplexTest, DegenerateConstraintsDoNotCycle) {
+  // Classic degenerate corner; Bland's rule must terminate.
+  LpProblem p;
+  p.num_variables = 2;
+  p.objective = {-1.0, -1.0};
+  p.constraints = {Row({1, 0}, Relation::kLessEqual, 1),
+                   Row({0, 1}, Relation::kLessEqual, 1),
+                   Row({1, 1}, Relation::kLessEqual, 1),
+                   Row({1, 1}, Relation::kLessEqual, 1)};
+  auto sol = SolveLp(p);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -1.0, 1e-7);
+}
+
+TEST(SimplexTest, ValidatesInput) {
+  LpProblem p;
+  p.num_variables = 2;
+  p.objective = {1.0};  // wrong arity
+  EXPECT_TRUE(SolveLp(p).status().IsInvalidArgument());
+  p.objective = {1.0, std::nan("")};
+  EXPECT_TRUE(SolveLp(p).status().IsInvalidArgument());
+  p.objective = {1.0, 1.0};
+  p.constraints = {Row({1}, Relation::kLessEqual, 1)};  // wrong arity
+  EXPECT_TRUE(SolveLp(p).status().IsInvalidArgument());
+}
+
+TEST(SimplexTest, ZeroConstraintProblemIsTrivial) {
+  LpProblem p;
+  p.num_variables = 2;
+  p.objective = {1.0, 1.0};
+  auto sol = SolveLp(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 0.0, 1e-9);
+}
+
+TEST(SimplexTest, RandomFeasibleBoundedLpsSatisfyConstraints) {
+  // Random LPs with box constraints are always feasible (x = 0) and
+  // bounded; the returned point must satisfy every constraint and beat the
+  // origin when any objective coefficient is negative.
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t vars = 2 + rng.NextBounded(4);
+    LpProblem p;
+    p.num_variables = vars;
+    for (std::size_t v = 0; v < vars; ++v) {
+      p.objective.push_back(rng.NextDouble(-5.0, 5.0));
+      std::vector<double> box(vars, 0.0);
+      box[v] = 1.0;
+      p.constraints.push_back(
+          Row(std::move(box), Relation::kLessEqual, rng.NextDouble(0.5, 4.0)));
+    }
+    for (int extra = 0; extra < 3; ++extra) {
+      std::vector<double> coeffs;
+      for (std::size_t v = 0; v < vars; ++v) {
+        coeffs.push_back(rng.NextDouble(0.0, 2.0));
+      }
+      p.constraints.push_back(
+          Row(std::move(coeffs), Relation::kLessEqual, rng.NextDouble(1.0, 6.0)));
+    }
+    auto sol = SolveLp(p);
+    ASSERT_TRUE(sol.ok()) << "trial " << trial << ": "
+                          << sol.status().ToString();
+    for (const auto& con : p.constraints) {
+      double lhs = 0.0;
+      for (std::size_t v = 0; v < vars; ++v) {
+        lhs += con.coefficients[v] * sol->x[v];
+      }
+      EXPECT_LE(lhs, con.rhs + 1e-6) << "trial " << trial;
+    }
+    for (std::size_t v = 0; v < vars; ++v) {
+      EXPECT_GE(sol->x[v], -1e-9);
+    }
+    EXPECT_LE(sol->objective, 1e-9);  // origin is feasible with value 0
+  }
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,96 @@
+#include "src/core/solution.h"
+
+#include "gtest/gtest.h"
+
+namespace scwsc {
+namespace {
+
+SetSystem MakeSystem() {
+  SetSystem system(6);
+  EXPECT_TRUE(system.AddSet({0, 1, 2}, 3.0, "P1").ok());
+  EXPECT_TRUE(system.AddSet({2, 3}, 1.5, "P2").ok());
+  EXPECT_TRUE(system.AddSet({4, 5}, 2.0).ok());  // unlabeled
+  return system;
+}
+
+TEST(AuditSolutionTest, RecomputesCoverageAndCost) {
+  SetSystem system = MakeSystem();
+  Solution solution;
+  solution.sets = {0, 1};
+  solution.total_cost = 4.5;
+  solution.covered = 4;  // {0,1,2} ∪ {2,3}
+  auto audit = AuditSolution(system, solution);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->num_sets, 2u);
+  EXPECT_DOUBLE_EQ(audit->total_cost, 4.5);
+  EXPECT_EQ(audit->covered, 4u);
+  EXPECT_TRUE(audit->bookkeeping_consistent);
+}
+
+TEST(AuditSolutionTest, FlagsInconsistentBookkeeping) {
+  SetSystem system = MakeSystem();
+  Solution solution;
+  solution.sets = {0};
+  solution.total_cost = 99.0;  // wrong
+  solution.covered = 3;
+  auto audit = AuditSolution(system, solution);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_FALSE(audit->bookkeeping_consistent);
+}
+
+TEST(AuditSolutionTest, RejectsUnknownSetIds) {
+  SetSystem system = MakeSystem();
+  Solution solution;
+  solution.sets = {7};
+  EXPECT_TRUE(AuditSolution(system, solution).status().IsInvalidArgument());
+}
+
+TEST(AuditSolutionTest, RejectsDuplicateSetIds) {
+  SetSystem system = MakeSystem();
+  Solution solution;
+  solution.sets = {1, 1};
+  EXPECT_TRUE(AuditSolution(system, solution).status().IsInvalidArgument());
+}
+
+TEST(AuditSolutionTest, EmptySolutionIsConsistent) {
+  SetSystem system = MakeSystem();
+  Solution solution;
+  auto audit = AuditSolution(system, solution);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->bookkeeping_consistent);
+  EXPECT_EQ(audit->covered, 0u);
+}
+
+TEST(SatisfiesConstraintsTest, ChecksSizeAndCoverage) {
+  SetSystem system = MakeSystem();
+  Solution solution;
+  solution.sets = {0, 1};
+  solution.total_cost = 4.5;
+  solution.covered = 4;
+  EXPECT_TRUE(SatisfiesConstraints(system, solution, 2, 4.0 / 6.0));
+  EXPECT_FALSE(SatisfiesConstraints(system, solution, 1, 4.0 / 6.0));  // size
+  EXPECT_FALSE(SatisfiesConstraints(system, solution, 2, 0.9));  // coverage
+}
+
+TEST(SatisfiesConstraintsTest, InvalidSolutionNeverSatisfies) {
+  SetSystem system = MakeSystem();
+  Solution solution;
+  solution.sets = {42};
+  EXPECT_FALSE(SatisfiesConstraints(system, solution, 5, 0.0));
+}
+
+TEST(SolutionToStringTest, UsesLabelsWhenPresent) {
+  SetSystem system = MakeSystem();
+  Solution solution;
+  solution.sets = {0, 2};
+  solution.total_cost = 5.0;
+  solution.covered = 5;
+  const std::string str = SolutionToString(system, solution);
+  EXPECT_NE(str.find("P1"), std::string::npos);
+  EXPECT_NE(str.find("S2"), std::string::npos);  // fallback name
+  EXPECT_NE(str.find("cost=5"), std::string::npos);
+  EXPECT_NE(str.find("covered=5/6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,152 @@
+#include "src/table/table.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/table/builder.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+Table MakeSmallTable() {
+  TableBuilder builder({"color", "shape"}, "weight");
+  EXPECT_TRUE(builder.AddRow({"red", "circle"}, 1.0).ok());
+  EXPECT_TRUE(builder.AddRow({"red", "square"}, 2.0).ok());
+  EXPECT_TRUE(builder.AddRow({"blue", "circle"}, 3.0).ok());
+  EXPECT_TRUE(builder.AddRow({"green", "triangle"}, 4.0).ok());
+  EXPECT_TRUE(builder.AddRow({"red", "circle"}, 5.0).ok());
+  return std::move(builder).Build();
+}
+
+TEST(DictionaryTest, AssignsDenseIdsInFirstSeenOrder) {
+  Dictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("a"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("b"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("a"), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(0), "a");
+  EXPECT_EQ(dict.Name(1), "b");
+}
+
+TEST(DictionaryTest, FindReportsMissingValues) {
+  Dictionary dict;
+  dict.GetOrAdd("x");
+  EXPECT_EQ(*dict.Find("x"), 0u);
+  EXPECT_TRUE(dict.Find("y").status().IsNotFound());
+}
+
+TEST(SchemaTest, AttributeIndexLookup) {
+  Schema schema({"a", "b", "c"}, "m");
+  EXPECT_EQ(*schema.AttributeIndex("b"), 1u);
+  EXPECT_TRUE(schema.AttributeIndex("zz").status().IsNotFound());
+  EXPECT_TRUE(schema.has_measure());
+  EXPECT_EQ(schema.measure_name(), "m");
+}
+
+TEST(SchemaTest, NoMeasure) {
+  Schema schema({"a"}, "");
+  EXPECT_FALSE(schema.has_measure());
+}
+
+TEST(TableBuilderTest, RejectsWrongArity) {
+  TableBuilder builder({"a", "b"});
+  EXPECT_TRUE(builder.AddRow({"only-one"}).IsInvalidArgument());
+  SCWSC_EXPECT_OK(builder.AddRow({"x", "y"}));
+  EXPECT_EQ(builder.num_rows(), 1u);
+}
+
+TEST(TableTest, ValuesRoundTripThroughDictionaries) {
+  Table t = MakeSmallTable();
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.num_attributes(), 2u);
+  EXPECT_EQ(t.value_name(0, 0), "red");
+  EXPECT_EQ(t.value_name(2, 0), "blue");
+  EXPECT_EQ(t.value_name(3, 1), "triangle");
+  EXPECT_EQ(t.value(0, 0), t.value(4, 0));  // both "red"
+  EXPECT_EQ(t.domain_size(0), 3u);
+  EXPECT_EQ(t.domain_size(1), 3u);
+  EXPECT_TRUE(t.has_measure());
+  EXPECT_DOUBLE_EQ(t.measure(3), 4.0);
+}
+
+TEST(TableTest, HeadKeepsPrefixAndRedensifiesDomains) {
+  Table t = MakeSmallTable();
+  Table head = t.Head(2);
+  EXPECT_EQ(head.num_rows(), 2u);
+  // Rows 0-1 are red circle / red square: color domain shrinks to 1.
+  EXPECT_EQ(head.domain_size(0), 1u);
+  EXPECT_EQ(head.domain_size(1), 2u);
+  EXPECT_EQ(head.value_name(1, 1), "square");
+  EXPECT_DOUBLE_EQ(head.measure(1), 2.0);
+}
+
+TEST(TableTest, HeadClampsToRowCount) {
+  Table t = MakeSmallTable();
+  EXPECT_EQ(t.Head(99).num_rows(), 5u);
+}
+
+TEST(TableTest, SampleIsDeterministicGivenSeed) {
+  Table t = MakeSmallTable();
+  Rng rng1(5), rng2(5);
+  Table s1 = t.Sample(3, rng1);
+  Table s2 = t.Sample(3, rng2);
+  ASSERT_EQ(s1.num_rows(), 3u);
+  for (RowId r = 0; r < 3; ++r) {
+    EXPECT_EQ(s1.value_name(r, 0), s2.value_name(r, 0));
+    EXPECT_DOUBLE_EQ(s1.measure(r), s2.measure(r));
+  }
+}
+
+TEST(TableTest, SampleWithoutReplacementPreservesMultiset) {
+  Table t = MakeSmallTable();
+  Rng rng(9);
+  Table s = t.Sample(5, rng);  // full sample = permutation restored to order
+  ASSERT_EQ(s.num_rows(), 5u);
+  std::multiset<double> orig, sampled;
+  for (RowId r = 0; r < 5; ++r) {
+    orig.insert(t.measure(r));
+    sampled.insert(s.measure(r));
+  }
+  EXPECT_EQ(orig, sampled);
+}
+
+TEST(TableTest, ProjectAttributesKeepsSelectedColumns) {
+  Table t = MakeSmallTable();
+  auto projected = t.ProjectAttributes({1});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_attributes(), 1u);
+  EXPECT_EQ(projected->schema().attribute_name(0), "shape");
+  EXPECT_EQ(projected->value_name(3, 0), "triangle");
+  EXPECT_TRUE(projected->has_measure());
+  EXPECT_DOUBLE_EQ(projected->measure(4), 5.0);
+}
+
+TEST(TableTest, ProjectAttributesRejectsBadIndex) {
+  Table t = MakeSmallTable();
+  EXPECT_TRUE(t.ProjectAttributes({5}).status().IsInvalidArgument());
+}
+
+TEST(TableTest, WithMeasureReplacesColumn) {
+  Table t = MakeSmallTable();
+  auto replaced = t.WithMeasure({9, 8, 7, 6, 5});
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_DOUBLE_EQ(replaced->measure(0), 9.0);
+  EXPECT_EQ(replaced->value_name(0, 0), "red");
+}
+
+TEST(TableTest, WithMeasureRejectsWrongLength) {
+  Table t = MakeSmallTable();
+  EXPECT_TRUE(t.WithMeasure({1.0}).status().IsInvalidArgument());
+}
+
+TEST(TableTest, TableWithoutMeasure) {
+  TableBuilder builder({"x"});
+  SCWSC_ASSERT_OK(builder.AddRow({"v"}));
+  Table t = std::move(builder).Build();
+  EXPECT_FALSE(t.has_measure());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -1,0 +1,48 @@
+// Shared helpers for the scwsc test suite.
+
+#ifndef SCWSC_TESTS_TEST_UTIL_H_
+#define SCWSC_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/pattern/pattern.h"
+#include "src/table/table.h"
+
+namespace scwsc {
+namespace test {
+
+/// Builds a pattern from decoded value strings; "*" means ALL. Fails the
+/// current test when a value is unknown.
+inline pattern::Pattern MakePattern(const Table& table,
+                                    const std::vector<std::string>& values) {
+  EXPECT_EQ(values.size(), table.num_attributes());
+  std::vector<ValueId> ids(values.size(), pattern::kAll);
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    if (values[a] == "*") continue;
+    auto found = table.dictionary(a).Find(values[a]);
+    EXPECT_TRUE(found.ok()) << "unknown value '" << values[a]
+                            << "' in attribute " << a;
+    if (found.ok()) ids[a] = *found;
+  }
+  return pattern::Pattern(std::move(ids));
+}
+
+/// gtest-friendly assertion that a Status is OK.
+#define SCWSC_ASSERT_OK(expr)                                 \
+  do {                                                        \
+    const ::scwsc::Status _st = (expr);                       \
+    ASSERT_TRUE(_st.ok()) << "status: " << _st.ToString();    \
+  } while (false)
+
+#define SCWSC_EXPECT_OK(expr)                                 \
+  do {                                                        \
+    const ::scwsc::Status _st = (expr);                       \
+    EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();    \
+  } while (false)
+
+}  // namespace test
+}  // namespace scwsc
+
+#endif  // SCWSC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,152 @@
+// Parameterized property tests for the paper's provable guarantees,
+// checked against exact optima on instances small enough to solve exactly:
+//
+//  - Theorem 4: CMC (epsilon = 0) returns at most 5k sets covering at least
+//    (1-1/e)·ŝ·n elements with cost at most (1+b)(2·ceil(log2 k)+1)·OPT.
+//  - Theorem 5: the epsilon variant returns at most (1+eps)k sets with the
+//    same coverage guarantee.
+//  - CWSC: at most k sets meeting the full target whenever it returns OK.
+//
+// OPT is computed by SolveExact on the same instance (which must itself be
+// feasible for the theorem to apply).
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/cmc.h"
+#include "src/core/cwsc.h"
+#include "src/core/exact.h"
+#include "src/core/instances.h"
+#include "src/core/solution.h"
+
+namespace scwsc {
+namespace {
+
+struct BoundParam {
+  std::uint64_t seed;
+  std::size_t elements;
+  std::size_t sets;
+  std::size_t k;
+  double fraction;
+  double b;
+  double epsilon;
+};
+
+std::string BoundName(const ::testing::TestParamInfo<BoundParam>& info) {
+  const BoundParam& p = info.param;
+  return "s" + std::to_string(p.seed) + "n" + std::to_string(p.elements) +
+         "m" + std::to_string(p.sets) + "k" + std::to_string(p.k) + "f" +
+         std::to_string(static_cast<int>(p.fraction * 100)) + "b" +
+         std::to_string(static_cast<int>(p.b * 10)) + "e" +
+         std::to_string(static_cast<int>(p.epsilon * 10));
+}
+
+class TheoremBoundsTest : public ::testing::TestWithParam<BoundParam> {
+ protected:
+  SetSystem MakeInstance() {
+    const BoundParam& p = GetParam();
+    Rng rng(p.seed);
+    RandomSystemSpec spec;
+    spec.num_elements = p.elements;
+    spec.num_sets = p.sets;
+    spec.max_set_size = 6;
+    spec.min_cost = 1.0;
+    spec.max_cost = 30.0;
+    spec.ensure_universe = true;
+    auto system = RandomSetSystem(spec, rng);
+    EXPECT_TRUE(system.ok());
+    return std::move(system).value();
+  }
+};
+
+TEST_P(TheoremBoundsTest, CmcSatisfiesTheorem4CostBound) {
+  const BoundParam& p = GetParam();
+  SetSystem system = MakeInstance();
+
+  ExactOptions exact_opts;
+  exact_opts.k = p.k;
+  exact_opts.coverage_fraction = p.fraction;
+  auto optimal = SolveExact(system, exact_opts);
+  if (!optimal.ok()) {
+    GTEST_SKIP() << "instance infeasible for exact k-set cover: "
+                 << optimal.status().ToString();
+  }
+  const double opt_cost = optimal->solution.total_cost;
+
+  CmcOptions opts;
+  opts.k = p.k;
+  opts.coverage_fraction = p.fraction;
+  opts.b = p.b;
+  auto result = RunCmc(system, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Size bound: at most 5k sets.
+  EXPECT_LE(result->solution.sets.size(), 5 * p.k);
+  // Coverage bound: at least (1-1/e) * ŝ * n.
+  const std::size_t relaxed = SetSystem::CoverageTarget(
+      (1.0 - 1.0 / M_E) * p.fraction, system.num_elements());
+  EXPECT_GE(result->solution.covered, relaxed);
+  // Cost bound: (1+b)(2*ceil(log2 k) + 1) * OPT. (OPT here covers the FULL
+  // target, which upper-bounds the optimum for the relaxed target the
+  // theorem actually compares against, so the check is conservative-valid.)
+  if (opt_cost > 0) {
+    const double log_k = std::ceil(std::log2(static_cast<double>(p.k)));
+    const double factor = (1.0 + p.b) * (2.0 * log_k + 1.0);
+    EXPECT_LE(result->solution.total_cost, factor * opt_cost * (1.0 + 1e-9))
+        << "cmc=" << result->solution.total_cost << " opt=" << opt_cost
+        << " factor=" << factor;
+  }
+}
+
+TEST_P(TheoremBoundsTest, EpsilonVariantSatisfiesTheorem5SizeBound) {
+  const BoundParam& p = GetParam();
+  if (p.epsilon <= 0.0) GTEST_SKIP() << "epsilon variant only";
+  SetSystem system = MakeInstance();
+
+  CmcOptions opts;
+  opts.k = p.k;
+  opts.coverage_fraction = p.fraction;
+  opts.b = p.b;
+  opts.epsilon = p.epsilon;
+  auto result = RunCmc(system, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->solution.sets.size(),
+            static_cast<std::size_t>(
+                std::floor((1.0 + p.epsilon) * static_cast<double>(p.k))));
+  const std::size_t relaxed = SetSystem::CoverageTarget(
+      (1.0 - 1.0 / M_E) * p.fraction, system.num_elements());
+  EXPECT_GE(result->solution.covered, relaxed);
+}
+
+TEST_P(TheoremBoundsTest, CwscMeetsConstraintsAndIsNeverBelowOpt) {
+  const BoundParam& p = GetParam();
+  SetSystem system = MakeInstance();
+  auto greedy = RunCwsc(system, {p.k, p.fraction});
+  if (!greedy.ok()) GTEST_SKIP() << greedy.status().ToString();
+  EXPECT_TRUE(SatisfiesConstraints(system, *greedy, p.k, p.fraction));
+
+  ExactOptions exact_opts;
+  exact_opts.k = p.k;
+  exact_opts.coverage_fraction = p.fraction;
+  auto optimal = SolveExact(system, exact_opts);
+  ASSERT_TRUE(optimal.ok());  // greedy found one, so exact must too
+  EXPECT_GE(greedy->total_cost, optimal->solution.total_cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, TheoremBoundsTest,
+    ::testing::Values(BoundParam{1, 24, 20, 2, 0.5, 1.0, 0.0},
+                      BoundParam{2, 24, 20, 2, 0.5, 1.0, 1.0},
+                      BoundParam{3, 30, 25, 3, 0.4, 0.5, 0.0},
+                      BoundParam{4, 30, 25, 3, 0.6, 2.0, 2.0},
+                      BoundParam{5, 20, 16, 4, 0.7, 1.0, 0.0},
+                      BoundParam{6, 26, 18, 2, 0.8, 1.0, 0.5},
+                      BoundParam{7, 22, 22, 3, 0.3, 0.5, 1.0},
+                      BoundParam{8, 28, 24, 2, 0.9, 1.0, 0.0},
+                      BoundParam{9, 24, 20, 5, 0.5, 2.0, 0.0},
+                      BoundParam{10, 32, 26, 3, 0.45, 1.0, 2.0}),
+    BoundName);
+
+}  // namespace
+}  // namespace scwsc
