@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cmc_params.dir/ablation_cmc_params.cc.o"
+  "CMakeFiles/ablation_cmc_params.dir/ablation_cmc_params.cc.o.d"
+  "ablation_cmc_params"
+  "ablation_cmc_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cmc_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

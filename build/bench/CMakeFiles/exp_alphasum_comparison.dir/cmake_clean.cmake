@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_alphasum_comparison.dir/exp_alphasum_comparison.cc.o"
+  "CMakeFiles/exp_alphasum_comparison.dir/exp_alphasum_comparison.cc.o.d"
+  "exp_alphasum_comparison"
+  "exp_alphasum_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_alphasum_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_iii_counterexample.dir/exp_iii_counterexample.cc.o"
+  "CMakeFiles/exp_iii_counterexample.dir/exp_iii_counterexample.cc.o.d"
+  "exp_iii_counterexample"
+  "exp_iii_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_iii_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_lp_rounding.dir/exp_lp_rounding.cc.o"
+  "CMakeFiles/exp_lp_rounding.dir/exp_lp_rounding.cc.o.d"
+  "exp_lp_rounding"
+  "exp_lp_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_lp_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

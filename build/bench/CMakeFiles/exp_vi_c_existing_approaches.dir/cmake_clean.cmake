@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_vi_c_existing_approaches.dir/exp_vi_c_existing_approaches.cc.o"
+  "CMakeFiles/exp_vi_c_existing_approaches.dir/exp_vi_c_existing_approaches.cc.o.d"
+  "exp_vi_c_existing_approaches"
+  "exp_vi_c_existing_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_vi_c_existing_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

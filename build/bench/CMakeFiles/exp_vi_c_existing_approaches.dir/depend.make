@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_vi_c_existing_approaches.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_vi_d_optimal_comparison.dir/exp_vi_d_optimal_comparison.cc.o"
+  "CMakeFiles/exp_vi_d_optimal_comparison.dir/exp_vi_d_optimal_comparison.cc.o.d"
+  "exp_vi_d_optimal_comparison"
+  "exp_vi_d_optimal_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_vi_d_optimal_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expb_synthetic_robustness.dir/expb_synthetic_robustness.cc.o"
+  "CMakeFiles/expb_synthetic_robustness.dir/expb_synthetic_robustness.cc.o.d"
+  "expb_synthetic_robustness"
+  "expb_synthetic_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expb_synthetic_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_runtime_vs_datasize.dir/fig5_runtime_vs_datasize.cc.o"
+  "CMakeFiles/fig5_runtime_vs_datasize.dir/fig5_runtime_vs_datasize.cc.o.d"
+  "fig5_runtime_vs_datasize"
+  "fig5_runtime_vs_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_runtime_vs_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

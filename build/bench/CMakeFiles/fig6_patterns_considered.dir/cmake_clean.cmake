@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_patterns_considered.dir/fig6_patterns_considered.cc.o"
+  "CMakeFiles/fig6_patterns_considered.dir/fig6_patterns_considered.cc.o.d"
+  "fig6_patterns_considered"
+  "fig6_patterns_considered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_patterns_considered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

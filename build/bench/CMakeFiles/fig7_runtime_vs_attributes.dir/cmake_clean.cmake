@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_runtime_vs_attributes.dir/fig7_runtime_vs_attributes.cc.o"
+  "CMakeFiles/fig7_runtime_vs_attributes.dir/fig7_runtime_vs_attributes.cc.o.d"
+  "fig7_runtime_vs_attributes"
+  "fig7_runtime_vs_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_runtime_vs_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_runtime_vs_k.dir/fig8_runtime_vs_k.cc.o"
+  "CMakeFiles/fig8_runtime_vs_k.dir/fig8_runtime_vs_k.cc.o.d"
+  "fig8_runtime_vs_k"
+  "fig8_runtime_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_runtime_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

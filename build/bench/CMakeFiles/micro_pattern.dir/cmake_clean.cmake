@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pattern.dir/micro_pattern.cc.o"
+  "CMakeFiles/micro_pattern.dir/micro_pattern.cc.o.d"
+  "micro_pattern"
+  "micro_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

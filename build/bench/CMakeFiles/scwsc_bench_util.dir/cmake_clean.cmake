@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwsc_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/scwsc_bench_util.dir/bench_util.cc.o.d"
+  "libscwsc_bench_util.a"
+  "libscwsc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwsc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

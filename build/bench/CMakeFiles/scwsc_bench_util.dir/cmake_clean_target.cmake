@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscwsc_bench_util.a"
+)

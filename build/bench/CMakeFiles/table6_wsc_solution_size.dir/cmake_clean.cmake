@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_wsc_solution_size.dir/table6_wsc_solution_size.cc.o"
+  "CMakeFiles/table6_wsc_solution_size.dir/table6_wsc_solution_size.cc.o.d"
+  "table6_wsc_solution_size"
+  "table6_wsc_solution_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_wsc_solution_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_wsc_solution_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_location.dir/facility_location.cpp.o"
+  "CMakeFiles/facility_location.dir/facility_location.cpp.o.d"
+  "facility_location"
+  "facility_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

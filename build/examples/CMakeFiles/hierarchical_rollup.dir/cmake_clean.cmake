@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_rollup.dir/hierarchical_rollup.cpp.o"
+  "CMakeFiles/hierarchical_rollup.dir/hierarchical_rollup.cpp.o.d"
+  "hierarchical_rollup"
+  "hierarchical_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketing_campaign.dir/marketing_campaign.cpp.o"
+  "CMakeFiles/marketing_campaign.dir/marketing_campaign.cpp.o.d"
+  "marketing_campaign"
+  "marketing_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketing_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

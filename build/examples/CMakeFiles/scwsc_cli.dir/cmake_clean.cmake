@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwsc_cli.dir/scwsc_cli.cpp.o"
+  "CMakeFiles/scwsc_cli.dir/scwsc_cli.cpp.o.d"
+  "scwsc_cli"
+  "scwsc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwsc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

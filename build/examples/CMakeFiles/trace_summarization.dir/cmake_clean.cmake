@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_summarization.dir/trace_summarization.cpp.o"
+  "CMakeFiles/trace_summarization.dir/trace_summarization.cpp.o.d"
+  "trace_summarization"
+  "trace_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitset.cc" "src/CMakeFiles/scwsc.dir/common/bitset.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/common/bitset.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/scwsc.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/scwsc.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/scwsc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/scwsc.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/scwsc.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/scwsc.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/cmc.cc" "src/CMakeFiles/scwsc.dir/core/cmc.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/core/cmc.cc.o.d"
+  "/root/repo/src/core/cwsc.cc" "src/CMakeFiles/scwsc.dir/core/cwsc.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/core/cwsc.cc.o.d"
+  "/root/repo/src/core/exact.cc" "src/CMakeFiles/scwsc.dir/core/exact.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/core/exact.cc.o.d"
+  "/root/repo/src/core/greedy_state.cc" "src/CMakeFiles/scwsc.dir/core/greedy_state.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/core/greedy_state.cc.o.d"
+  "/root/repo/src/core/instances.cc" "src/CMakeFiles/scwsc.dir/core/instances.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/core/instances.cc.o.d"
+  "/root/repo/src/core/literal.cc" "src/CMakeFiles/scwsc.dir/core/literal.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/core/literal.cc.o.d"
+  "/root/repo/src/core/nonoverlap.cc" "src/CMakeFiles/scwsc.dir/core/nonoverlap.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/core/nonoverlap.cc.o.d"
+  "/root/repo/src/core/set_system.cc" "src/CMakeFiles/scwsc.dir/core/set_system.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/core/set_system.cc.o.d"
+  "/root/repo/src/core/solution.cc" "src/CMakeFiles/scwsc.dir/core/solution.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/core/solution.cc.o.d"
+  "/root/repo/src/ext/incremental.cc" "src/CMakeFiles/scwsc.dir/ext/incremental.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/ext/incremental.cc.o.d"
+  "/root/repo/src/ext/multiweight.cc" "src/CMakeFiles/scwsc.dir/ext/multiweight.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/ext/multiweight.cc.o.d"
+  "/root/repo/src/gen/lbl_parser.cc" "src/CMakeFiles/scwsc.dir/gen/lbl_parser.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/gen/lbl_parser.cc.o.d"
+  "/root/repo/src/gen/lbl_synth.cc" "src/CMakeFiles/scwsc.dir/gen/lbl_synth.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/gen/lbl_synth.cc.o.d"
+  "/root/repo/src/gen/perturb.cc" "src/CMakeFiles/scwsc.dir/gen/perturb.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/gen/perturb.cc.o.d"
+  "/root/repo/src/gen/toy.cc" "src/CMakeFiles/scwsc.dir/gen/toy.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/gen/toy.cc.o.d"
+  "/root/repo/src/gen/tripartite.cc" "src/CMakeFiles/scwsc.dir/gen/tripartite.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/gen/tripartite.cc.o.d"
+  "/root/repo/src/hierarchy/bucketize.cc" "src/CMakeFiles/scwsc.dir/hierarchy/bucketize.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/hierarchy/bucketize.cc.o.d"
+  "/root/repo/src/hierarchy/hcmc.cc" "src/CMakeFiles/scwsc.dir/hierarchy/hcmc.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/hierarchy/hcmc.cc.o.d"
+  "/root/repo/src/hierarchy/hcwsc.cc" "src/CMakeFiles/scwsc.dir/hierarchy/hcwsc.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/hierarchy/hcwsc.cc.o.d"
+  "/root/repo/src/hierarchy/henumerate.cc" "src/CMakeFiles/scwsc.dir/hierarchy/henumerate.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/hierarchy/henumerate.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy.cc" "src/CMakeFiles/scwsc.dir/hierarchy/hierarchy.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/hierarchy/hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/hpattern.cc" "src/CMakeFiles/scwsc.dir/hierarchy/hpattern.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/hierarchy/hpattern.cc.o.d"
+  "/root/repo/src/lp/lp_rounding.cc" "src/CMakeFiles/scwsc.dir/lp/lp_rounding.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/lp/lp_rounding.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/CMakeFiles/scwsc.dir/lp/simplex.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/lp/simplex.cc.o.d"
+  "/root/repo/src/pattern/benefit_index.cc" "src/CMakeFiles/scwsc.dir/pattern/benefit_index.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/pattern/benefit_index.cc.o.d"
+  "/root/repo/src/pattern/codec.cc" "src/CMakeFiles/scwsc.dir/pattern/codec.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/pattern/codec.cc.o.d"
+  "/root/repo/src/pattern/cost.cc" "src/CMakeFiles/scwsc.dir/pattern/cost.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/pattern/cost.cc.o.d"
+  "/root/repo/src/pattern/enumerate.cc" "src/CMakeFiles/scwsc.dir/pattern/enumerate.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/pattern/enumerate.cc.o.d"
+  "/root/repo/src/pattern/lattice.cc" "src/CMakeFiles/scwsc.dir/pattern/lattice.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/pattern/lattice.cc.o.d"
+  "/root/repo/src/pattern/opt_cmc.cc" "src/CMakeFiles/scwsc.dir/pattern/opt_cmc.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/pattern/opt_cmc.cc.o.d"
+  "/root/repo/src/pattern/opt_cwsc.cc" "src/CMakeFiles/scwsc.dir/pattern/opt_cwsc.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/pattern/opt_cwsc.cc.o.d"
+  "/root/repo/src/pattern/pattern.cc" "src/CMakeFiles/scwsc.dir/pattern/pattern.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/pattern/pattern.cc.o.d"
+  "/root/repo/src/pattern/pattern_system.cc" "src/CMakeFiles/scwsc.dir/pattern/pattern_system.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/pattern/pattern_system.cc.o.d"
+  "/root/repo/src/table/builder.cc" "src/CMakeFiles/scwsc.dir/table/builder.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/table/builder.cc.o.d"
+  "/root/repo/src/table/csv.cc" "src/CMakeFiles/scwsc.dir/table/csv.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/table/csv.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/CMakeFiles/scwsc.dir/table/schema.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/table/schema.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/scwsc.dir/table/table.cc.o" "gcc" "src/CMakeFiles/scwsc.dir/table/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

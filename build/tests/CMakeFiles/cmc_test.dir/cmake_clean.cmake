@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_test.dir/cmc_test.cc.o"
+  "CMakeFiles/cmc_test.dir/cmc_test.cc.o.d"
+  "cmc_test"
+  "cmc_test.pdb"
+  "cmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsc_test.dir/cwsc_test.cc.o"
+  "CMakeFiles/cwsc_test.dir/cwsc_test.cc.o.d"
+  "cwsc_test"
+  "cwsc_test.pdb"
+  "cwsc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

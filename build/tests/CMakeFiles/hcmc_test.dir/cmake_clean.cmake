@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcmc_test.dir/hcmc_test.cc.o"
+  "CMakeFiles/hcmc_test.dir/hcmc_test.cc.o.d"
+  "hcmc_test"
+  "hcmc_test.pdb"
+  "hcmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcwsc_test.dir/hcwsc_test.cc.o"
+  "CMakeFiles/hcwsc_test.dir/hcwsc_test.cc.o.d"
+  "hcwsc_test"
+  "hcwsc_test.pdb"
+  "hcwsc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcwsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

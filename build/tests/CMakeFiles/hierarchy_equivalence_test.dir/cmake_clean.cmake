@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_equivalence_test.dir/hierarchy_equivalence_test.cc.o"
+  "CMakeFiles/hierarchy_equivalence_test.dir/hierarchy_equivalence_test.cc.o.d"
+  "hierarchy_equivalence_test"
+  "hierarchy_equivalence_test.pdb"
+  "hierarchy_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

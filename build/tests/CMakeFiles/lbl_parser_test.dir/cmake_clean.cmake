@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbl_parser_test.dir/lbl_parser_test.cc.o"
+  "CMakeFiles/lbl_parser_test.dir/lbl_parser_test.cc.o.d"
+  "lbl_parser_test"
+  "lbl_parser_test.pdb"
+  "lbl_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

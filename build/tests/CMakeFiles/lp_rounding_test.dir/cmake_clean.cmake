@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_rounding_test.dir/lp_rounding_test.cc.o"
+  "CMakeFiles/lp_rounding_test.dir/lp_rounding_test.cc.o.d"
+  "lp_rounding_test"
+  "lp_rounding_test.pdb"
+  "lp_rounding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_rounding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

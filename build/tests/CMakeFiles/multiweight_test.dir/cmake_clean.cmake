@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiweight_test.dir/multiweight_test.cc.o"
+  "CMakeFiles/multiweight_test.dir/multiweight_test.cc.o.d"
+  "multiweight_test"
+  "multiweight_test.pdb"
+  "multiweight_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiweight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

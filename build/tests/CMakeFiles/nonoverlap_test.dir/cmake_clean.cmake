@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonoverlap_test.dir/nonoverlap_test.cc.o"
+  "CMakeFiles/nonoverlap_test.dir/nonoverlap_test.cc.o.d"
+  "nonoverlap_test"
+  "nonoverlap_test.pdb"
+  "nonoverlap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonoverlap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

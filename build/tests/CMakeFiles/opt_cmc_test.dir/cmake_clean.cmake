@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_cmc_test.dir/opt_cmc_test.cc.o"
+  "CMakeFiles/opt_cmc_test.dir/opt_cmc_test.cc.o.d"
+  "opt_cmc_test"
+  "opt_cmc_test.pdb"
+  "opt_cmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_cmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_cwsc_test.dir/opt_cwsc_test.cc.o"
+  "CMakeFiles/opt_cwsc_test.dir/opt_cwsc_test.cc.o.d"
+  "opt_cwsc_test"
+  "opt_cwsc_test.pdb"
+  "opt_cwsc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_cwsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

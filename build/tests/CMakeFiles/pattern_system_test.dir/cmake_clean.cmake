@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_system_test.dir/pattern_system_test.cc.o"
+  "CMakeFiles/pattern_system_test.dir/pattern_system_test.cc.o.d"
+  "pattern_system_test"
+  "pattern_system_test.pdb"
+  "pattern_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

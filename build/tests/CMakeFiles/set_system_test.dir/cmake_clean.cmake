@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_system_test.dir/set_system_test.cc.o"
+  "CMakeFiles/set_system_test.dir/set_system_test.cc.o.d"
+  "set_system_test"
+  "set_system_test.pdb"
+  "set_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripartite_test.dir/tripartite_test.cc.o"
+  "CMakeFiles/tripartite_test.dir/tripartite_test.cc.o.d"
+  "tripartite_test"
+  "tripartite_test.pdb"
+  "tripartite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripartite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
