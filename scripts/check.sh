@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then smoke
+# the engine-comparison micro-benchmark (which asserts that the seed and
+# fast engine configurations return identical solutions).
+#
+# Usage: scripts/check.sh [extra cmake args...]
+#   BUILD_DIR  build directory (default: build)
+#   SCWSC_BENCH_SCALE  bench scale for the smoke run (default: 0.02)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j"$JOBS"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")
+
+SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
+  "$BUILD_DIR"/bench/micro_core --engine-compare \
+  --out="$BUILD_DIR"/BENCH_core.json
+
+echo "check.sh: build, tests and engine smoke all green"

@@ -69,6 +69,43 @@ class DynamicBitset {
   /// Grows the universe to n (new bits clear). n must be >= size().
   void Resize(std::size_t n);
 
+  /// Packed-word view, little-endian within each word (bit i lives at
+  /// words()[i >> 6] bit (i & 63)). Trailing bits past size() are zero.
+  const std::uint64_t* words() const { return words_.data(); }
+  std::size_t num_words() const { return words_.size(); }
+
+  /// Number of bits set in `other` but clear here: popcount(other & ~this)
+  /// over `nwords` packed words. `other` must use this bitset's layout with
+  /// nwords <= num_words(); trailing bits of `other` past the universe must
+  /// be zero. This is the marginal-benefit kernel: with `other` a set's
+  /// membership row and `this` the covered state, the result is |MBen|.
+  std::size_t AndNotCount(const std::uint64_t* other,
+                          std::size_t nwords) const {
+    SCWSC_DCHECK(nwords <= words_.size());
+    std::size_t c = 0;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      c += static_cast<std::size_t>(
+          __builtin_popcountll(other[w] & ~words_[w]));
+    }
+    return c;
+  }
+
+  /// ORs `other` into this bitset and returns the number of newly set bits.
+  /// Same layout contract as AndNotCount.
+  std::size_t UnionWith(const std::uint64_t* other, std::size_t nwords) {
+    SCWSC_DCHECK(nwords <= words_.size());
+    std::size_t newly = 0;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::uint64_t add = other[w] & ~words_[w];
+      if (add != 0) {
+        newly += static_cast<std::size_t>(__builtin_popcountll(add));
+        words_[w] |= add;
+      }
+    }
+    count_ += newly;
+    return newly;
+  }
+
   /// Number of ids in `ids` whose bit is clear.
   template <typename Container>
   std::size_t CountClear(const Container& ids) const {

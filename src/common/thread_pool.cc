@@ -1,0 +1,80 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace scwsc {
+
+unsigned ThreadPool::ResolveThreads(unsigned num_threads) {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : size_(ResolveThreads(num_threads)) {
+  if (size_ <= 1) return;
+  workers_.reserve(size_);
+  for (unsigned t = 0; t < size_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping with no work left
+      task = std::move(tasks_.back());
+      tasks_.pop_back();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  min_chunk = std::max<std::size_t>(min_chunk, 1);
+  // Inline when there is nothing to gain: one lane, or too little work to
+  // fill two chunks.
+  if (size_ <= 1 || n < 2 * min_chunk) {
+    fn(0, n);
+    return;
+  }
+  // Aim for a few chunks per lane so uneven chunk costs still balance, but
+  // never below min_chunk indices per chunk.
+  const std::size_t target_chunks =
+      std::min<std::size_t>(static_cast<std::size_t>(size_) * 4,
+                            (n + min_chunk - 1) / min_chunk);
+  const std::size_t chunk = (n + target_chunks - 1) / target_chunks;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, n);
+      tasks_.push_back([&fn, begin, end] { fn(begin, end); });
+      ++pending_;
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace scwsc

@@ -1,0 +1,68 @@
+// ThreadPool: a small fixed-size worker pool for deterministic data-parallel
+// scans.
+//
+// The only parallel primitive the library needs is "evaluate f over the index
+// range [0, n) in chunks, with every chunk writing to its own output slots" —
+// candidate marginal-benefit re-evaluation, posting-list refiltering. That
+// shape is deterministic by construction: chunk boundaries depend only on n
+// and the chunk size, never on scheduling, so a 1-thread and an N-thread run
+// produce byte-identical results.
+//
+// A pool constructed with num_threads <= 1 spawns no threads at all and runs
+// every ParallelFor inline; callers can therefore create one unconditionally
+// and let EngineOptions::num_threads decide whether parallelism happens.
+
+#ifndef SCWSC_COMMON_THREAD_POOL_H_
+#define SCWSC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scwsc {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (itself clamped to at least 1). A pool of size 1 spawns no workers.
+  explicit ThreadPool(unsigned num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Number of execution lanes (workers, or 1 for the inline pool).
+  unsigned size() const { return size_; }
+
+  /// Resolves the num_threads convention (0 = hardware concurrency) without
+  /// constructing a pool.
+  static unsigned ResolveThreads(unsigned num_threads);
+
+  /// Splits [0, n) into contiguous chunks of at least `min_chunk` indices and
+  /// runs fn(chunk_begin, chunk_end) for each, blocking until all chunks are
+  /// done. Chunks must be independent: fn may only write state owned by its
+  /// own index range. Runs inline when the pool has one lane or n is small.
+  void ParallelFor(std::size_t n, std::size_t min_chunk,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  unsigned size_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable done_cv_;   // ParallelFor waits for completion
+  std::vector<std::function<void()>> tasks_;
+  std::size_t pending_ = 0;  // queued + running tasks of the current batch
+  bool stopping_ = false;
+};
+
+}  // namespace scwsc
+
+#endif  // SCWSC_COMMON_THREAD_POOL_H_

@@ -1,5 +1,6 @@
 #include "src/core/baselines.h"
 
+#include "src/core/benefit_engine.h"
 #include "src/core/greedy_state.h"
 
 namespace scwsc {
@@ -15,7 +16,7 @@ Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
   Solution solution;
   if (rem == 0) return solution;
 
-  CoverState state(system);
+  BenefitEngine state(system, options.engine);
   LazySelector selector;
   for (SetId id = 0; id < system.num_sets(); ++id) {
     const std::size_t count = state.MarginalCount(id);
@@ -54,7 +55,7 @@ Result<Solution> RunGreedyMaxCoverage(
       options.stop_coverage_fraction, system.num_elements());
 
   Solution solution;
-  CoverState state(system);
+  BenefitEngine state(system, options.engine);
   LazySelector selector;
   for (SetId id = 0; id < system.num_sets(); ++id) {
     const std::size_t count = state.MarginalCount(id);
@@ -82,7 +83,7 @@ Result<Solution> RunBudgetedMaxCoverage(
     return Status::InvalidArgument("budget must be >= 0");
   }
   Solution solution;
-  CoverState state(system);
+  BenefitEngine state(system, options.engine);
   double remaining = options.budget;
 
   // The greedy of [11] considers, in each step, only sets that still fit in

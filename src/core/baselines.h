@@ -16,6 +16,7 @@
 #include <limits>
 
 #include "src/common/result.h"
+#include "src/core/engine_options.h"
 #include "src/core/solution.h"
 
 namespace scwsc {
@@ -26,6 +27,8 @@ struct GreedyWscOptions {
   /// Optional cap on solution size (defaults to unbounded — the point of
   /// the baseline is that it does not limit the number of sets).
   std::size_t max_sets = std::numeric_limits<std::size_t>::max();
+  /// Marginal-evaluation strategy (identical output for every config).
+  EngineOptions engine;
 };
 
 /// Greedy partial weighted set cover: repeatedly select the set with the
@@ -40,6 +43,8 @@ struct GreedyMaxCoverageOptions {
   /// Optional early stop once this coverage fraction is reached (1.0 means
   /// "pick all k sets or exhaust positive-benefit sets").
   double stop_coverage_fraction = 1.0;
+  /// Marginal-evaluation strategy (identical output for every config).
+  EngineOptions engine;
 };
 
 /// Greedy partial maximum coverage: select up to k sets with the highest
@@ -53,6 +58,8 @@ struct BudgetedMaxCoverageOptions {
   /// Optional cap on the number of selected sets (§III discusses allowing
   /// c·k sets).
   std::size_t max_sets = std::numeric_limits<std::size_t>::max();
+  /// Marginal-evaluation strategy (identical output for every config).
+  EngineOptions engine;
 };
 
 /// Greedy budgeted maximum coverage [11]: select by marginal gain among sets

@@ -1,0 +1,162 @@
+#include "src/core/benefit_engine.h"
+
+#include <algorithm>
+
+namespace scwsc {
+namespace {
+
+/// Density heuristic for kAuto: a packed row costs ~n/64 word ops per
+/// recount, the sorted list costs ~|elements| bit tests, so the row wins
+/// once the set holds at least one element per word of the universe.
+bool DenseEnoughForRow(std::size_t set_size, std::size_t num_elements) {
+  return set_size * 64 >= num_elements;
+}
+
+}  // namespace
+
+BenefitEngine::BenefitEngine(const SetSystem& system,
+                             const EngineOptions& options)
+    : system_(system),
+      options_(options),
+      covered_(system.num_elements()),
+      words_per_row_(covered_.num_words()) {
+  const std::size_t m = system.num_sets();
+  count_.reserve(m);
+  for (const auto& s : system.sets()) count_.push_back(s.elements.size());
+
+  if (options_.marginal_mode == MarginalMode::kEager) {
+    system.InvertedIndex();  // force construction up front
+    return;
+  }
+
+  stamp_.assign(m, 0);
+  row_of_.assign(m, kNoRow);
+  if (options_.membership == MembershipRepr::kList) return;
+
+  // Materialize packed rows for every set the representation picks.
+  std::size_t num_rows = 0;
+  for (SetId id = 0; id < m; ++id) {
+    const std::size_t size = system.set(id).elements.size();
+    if (options_.membership == MembershipRepr::kBitset ||
+        DenseEnoughForRow(size, system.num_elements())) {
+      row_of_[id] = static_cast<std::uint32_t>(num_rows++);
+    }
+  }
+  rows_.assign(num_rows * words_per_row_, 0);
+  for (SetId id = 0; id < m; ++id) {
+    if (row_of_[id] == kNoRow) continue;
+    std::uint64_t* row = rows_.data() + row_of_[id] * words_per_row_;
+    for (ElementId e : system.set(id).elements) {
+      row[e >> 6] |= std::uint64_t{1} << (e & 63);
+    }
+  }
+}
+
+void BenefitEngine::Reset() {
+  covered_.clear();
+  for (SetId id = 0; id < count_.size(); ++id) {
+    count_[id] = system_.set(id).elements.size();
+  }
+  if (!stamp_.empty()) std::fill(stamp_.begin(), stamp_.end(), 0);
+}
+
+std::size_t BenefitEngine::Recount(SetId id) const {
+  if (row_of_.empty() || row_of_[id] == kNoRow) {
+    return covered_.CountClear(system_.set(id).elements);
+  }
+  return covered_.AndNotCount(rows_.data() + row_of_[id] * words_per_row_,
+                              words_per_row_);
+}
+
+std::size_t BenefitEngine::MarginalCount(SetId id) {
+  if (options_.marginal_mode == MarginalMode::kEager) return count_[id];
+  const std::size_t epoch = covered_.count();
+  if (stamp_[id] == epoch || count_[id] == 0) return count_[id];
+  count_[id] = Recount(id);
+  stamp_[id] = epoch;
+  return count_[id];
+}
+
+std::size_t BenefitEngine::Select(SetId id) {
+  if (options_.marginal_mode == MarginalMode::kEager) {
+    const auto& inverted = system_.InvertedIndex();
+    std::size_t newly = 0;
+    for (ElementId e : system_.set(id).elements) {
+      if (covered_.set(e)) {
+        ++newly;
+        for (SetId other : inverted[e]) --count_[other];
+      }
+    }
+    return newly;
+  }
+
+  std::size_t newly;
+  if (!row_of_.empty() && row_of_[id] != kNoRow) {
+    newly = covered_.UnionWith(rows_.data() + row_of_[id] * words_per_row_,
+                               words_per_row_);
+  } else {
+    newly = 0;
+    for (ElementId e : system_.set(id).elements) {
+      if (covered_.set(e)) ++newly;
+    }
+  }
+  // The selected set itself is exhausted; pin its count so zero-count
+  // short-circuits without a recount.
+  count_[id] = 0;
+  stamp_[id] = covered_.count();
+  return newly;
+}
+
+void BenefitEngine::BatchMarginals(const std::vector<SetId>& ids,
+                                   std::vector<std::size_t>& out) {
+  out.resize(ids.size());
+  if (options_.marginal_mode == MarginalMode::kEager) {
+    for (std::size_t i = 0; i < ids.size(); ++i) out[i] = count_[ids[i]];
+    return;
+  }
+  const std::size_t epoch = covered_.count();
+  ThreadPool& p = pool();
+  // Chunks write disjoint out slots; the cache commit below is serial, so
+  // duplicate ids and any thread count yield identical results.
+  p.ParallelFor(ids.size(), options_.min_parallel_batch,
+                [&](std::size_t begin, std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i) {
+                    const SetId id = ids[i];
+                    out[i] = (stamp_[id] == epoch || count_[id] == 0)
+                                 ? count_[id]
+                                 : Recount(id);
+                  }
+                });
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    count_[ids[i]] = out[i];
+    stamp_[ids[i]] = epoch;
+  }
+}
+
+ThreadPool& BenefitEngine::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return *pool_;
+}
+
+void FilterCoveredIds(const DynamicBitset& covered,
+                      const std::vector<std::vector<std::uint32_t>*>& lists,
+                      ThreadPool* pool) {
+  auto filter_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      auto& list = *lists[i];
+      list.erase(std::remove_if(
+                     list.begin(), list.end(),
+                     [&](std::uint32_t id) { return covered.test(id); }),
+                 list.end());
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->ParallelFor(lists.size(), 16, filter_range);
+  } else {
+    filter_range(0, lists.size());
+  }
+}
+
+}  // namespace scwsc

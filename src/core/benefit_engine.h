@@ -1,0 +1,117 @@
+// BenefitEngine: the single marginal-benefit substrate behind every greedy
+// solver (CMC, CWSC, the baselines, LP rounding repair).
+//
+// The engine owns the covered-element state of one greedy run and answers
+// |MBen(s, S)| — the number of elements of s not yet covered by the current
+// selection S — under the strategy chosen by EngineOptions:
+//
+//  * eager mode maintains every count by inverted-index decrements at
+//    selection time (the seed CoverState behaviour);
+//  * lazy mode recomputes a count only when it is read and its cached value
+//    predates the current coverage epoch. Coverage only grows and counts
+//    only shrink (submodularity), so a cached value is always an upper
+//    bound — exactly the invariant CELF/lazy-greedy selection needs.
+//
+// Membership is stored per set either as the SetSystem's sorted element
+// list or as a packed uint64 row (chosen per set by a density heuristic in
+// kAuto mode): a recount is then a word-wise AND-NOT popcount against the
+// covered words instead of an element-by-element bit-test walk, and a
+// selection ORs the row into the covered words.
+//
+// BatchMarginals re-evaluates a candidate vector in parallel chunks on a
+// ThreadPool. Each chunk writes only its own output slots and the cache
+// commit happens serially afterwards, so results are bit-identical for any
+// thread count.
+//
+// Every strategy computes the same exact integer counts; with the shared
+// selection comparators (greedy_state.h) this makes whole solver runs
+// bit-identical across all configurations.
+
+#ifndef SCWSC_CORE_BENEFIT_ENGINE_H_
+#define SCWSC_CORE_BENEFIT_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/common/thread_pool.h"
+#include "src/core/engine_options.h"
+#include "src/core/set_system.h"
+
+namespace scwsc {
+
+class BenefitEngine {
+ public:
+  explicit BenefitEngine(const SetSystem& system,
+                         const EngineOptions& options = EngineOptions());
+
+  /// Resets to the empty selection (all marginals back to |Ben(s)|).
+  void Reset();
+
+  /// Exact |MBen(s, S)| for the current selection S. Lazy mode may recompute
+  /// and cache; eager mode is a read.
+  std::size_t MarginalCount(SetId id);
+
+  /// Marks `id` selected: covers its elements and (eager mode) updates every
+  /// other marginal count. Returns the number of newly covered elements.
+  std::size_t Select(SetId id);
+
+  /// Exact marginal counts for ids[0..n), evaluated in deterministic
+  /// parallel chunks when the engine has threads. out[i] corresponds to
+  /// ids[i]. Duplicate ids are allowed.
+  void BatchMarginals(const std::vector<SetId>& ids,
+                      std::vector<std::size_t>& out);
+
+  std::size_t covered_count() const { return covered_.count(); }
+  bool IsCovered(ElementId e) const { return covered_.test(e); }
+  const DynamicBitset& covered() const { return covered_; }
+
+  const EngineOptions& options() const { return options_; }
+
+  /// True when `id`'s membership is materialized as a packed bitset row
+  /// (introspection for tests and the density-heuristic bench).
+  bool UsesBitsetRow(SetId id) const {
+    return row_of_[id] != kNoRow;
+  }
+
+  /// The pool used for batch evaluation (size 1 when serial); shared with
+  /// callers that have their own independent chunked scans.
+  ThreadPool& pool();
+
+ private:
+  static constexpr std::uint32_t kNoRow = 0xFFFFFFFFu;
+
+  /// Recomputes |MBen(id)| against the covered words (no cache access).
+  std::size_t Recount(SetId id) const;
+
+  const SetSystem& system_;
+  EngineOptions options_;
+  DynamicBitset covered_;
+
+  /// Eager: exact live counts. Lazy: cached counts, valid iff the set's
+  /// stamp equals the current coverage epoch (covered_.count(); a selection
+  /// that covers nothing new changes no marginal, so the epoch is sound).
+  std::vector<std::size_t> count_;
+  std::vector<std::size_t> stamp_;  // lazy only
+
+  /// Packed membership rows for dense sets, kNoRow-indexed via row_of_.
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint32_t> row_of_;
+  std::vector<std::uint64_t> rows_;
+
+  std::unique_ptr<ThreadPool> pool_;  // created on first use
+};
+
+/// Removes every id whose bit is set in `covered` from each list, preserving
+/// relative order — the posting-list form of marginal-benefit revalidation
+/// used by the lattice-optimized algorithms (Fig. 3/4 lines "update MBen").
+/// Lists are filtered independently, chunk-parallel on `pool` when it has
+/// more than one lane, so results are identical for any thread count.
+void FilterCoveredIds(const DynamicBitset& covered,
+                      const std::vector<std::vector<std::uint32_t>*>& lists,
+                      ThreadPool* pool);
+
+}  // namespace scwsc
+
+#endif  // SCWSC_CORE_BENEFIT_ENGINE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/core/benefit_engine.h"
 #include "src/core/greedy_state.h"
 
 namespace scwsc {
@@ -126,7 +127,8 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
   const double total_cost = system.TotalCost();
   double budget = CmcInitialBudget(system, options.k);
 
-  CoverState state(system);
+  BenefitEngine engine(system, options.engine);
+  std::vector<std::size_t> level_counts;
   bool final_round = budget >= total_cost;
   for (std::size_t round = 1; round <= options.max_budget_rounds; ++round) {
     result.budget_rounds = round;
@@ -145,27 +147,32 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
       if (lv >= 0) members[static_cast<std::size_t>(lv)].push_back(id);
     }
 
-    state.Reset();
+    engine.Reset();
     Solution solution;
     std::size_t rem = target;
 
     for (std::size_t li = 0; li < levels.size() && rem > 0; ++li) {
+      // Rebucketing scan: (re-)evaluate every member's marginal in one
+      // deterministic batch (chunk-parallel under the engine's thread
+      // options) instead of one-at-a-time heap seeding.
+      engine.BatchMarginals(members[li], level_counts);
       LazySelector selector;
-      for (SetId id : members[li]) {
-        const std::size_t count = state.MarginalCount(id);
-        if (count > 0) {
-          selector.Push(MakeBenefitKey(count, system.set(id).cost, id));
+      for (std::size_t j = 0; j < members[li].size(); ++j) {
+        if (level_counts[j] > 0) {
+          const SetId id = members[li][j];
+          selector.Push(MakeBenefitKey(level_counts[j], system.set(id).cost,
+                                       id));
         }
       }
       for (std::size_t picks = 0; picks < levels[li].capacity && rem > 0;
            ++picks) {
         auto key = selector.Pop([&](SetId id) -> std::optional<SelectionKey> {
-          const std::size_t count = state.MarginalCount(id);
+          const std::size_t count = engine.MarginalCount(id);
           if (count == 0) return std::nullopt;
           return MakeBenefitKey(count, system.set(id).cost, id);
         });
         if (!key.has_value()) break;  // Fig. 1 line 18
-        const std::size_t newly = state.Select(key->id);
+        const std::size_t newly = engine.Select(key->id);
         solution.sets.push_back(key->id);
         solution.total_cost += system.set(key->id).cost;
         rem = newly >= rem ? 0 : rem - newly;
@@ -173,7 +180,7 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
     }
 
     if (rem == 0) {
-      solution.covered = state.covered_count();
+      solution.covered = engine.covered_count();
       result.solution = std::move(solution);
       result.final_budget = budget;
       return result;

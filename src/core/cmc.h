@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/core/engine_options.h"
 #include "src/core/solution.h"
 
 namespace scwsc {
@@ -40,6 +41,9 @@ struct CmcOptions {
   bool relax_coverage = true;
   /// Safety valve on the number of budget-doubling rounds.
   std::size_t max_budget_rounds = 256;
+  /// Marginal-evaluation strategy (lazy/bitset fast path by default; every
+  /// configuration returns the identical solution).
+  EngineOptions engine;
 };
 
 /// One CMC cost level: sets with Cost in (lo, hi] — except the cheapest

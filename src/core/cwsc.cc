@@ -1,8 +1,112 @@
 #include "src/core/cwsc.h"
 
+#include "src/core/benefit_engine.h"
 #include "src/core/greedy_state.h"
 
 namespace scwsc {
+namespace {
+
+/// Fig. 2 line 06 by exhaustive scan: argmax gain over unselected sets with
+/// |MBen| * i >= rem, under the shared selection order. Used by the eager
+/// engine, whose marginal reads are O(1).
+Result<Solution> RunCwscEager(const SetSystem& system,
+                              const CwscOptions& options, std::size_t rem) {
+  BenefitEngine engine(system, options.engine);
+  DynamicBitset selected(system.num_sets() == 0 ? 1 : system.num_sets());
+  Solution solution;
+
+  for (std::size_t i = options.k; i >= 1; --i) {
+    SetId best = kInvalidSet;
+    std::size_t best_count = 0;
+    for (SetId id = 0; id < system.num_sets(); ++id) {
+      if (selected.test(id)) continue;
+      const std::size_t count = engine.MarginalCount(id);
+      if (count == 0 || count * i < rem) continue;
+      if (best == kInvalidSet ||
+          BetterByGain(count, system.set(id).cost, id, best_count,
+                       system.set(best).cost, best)) {
+        best = id;
+        best_count = count;
+      }
+    }
+    if (best == kInvalidSet) {
+      return Status::Infeasible(
+          "CWSC: no set with marginal benefit >= rem/i (Fig. 2 line 07)");
+    }
+
+    selected.set(best);
+    const std::size_t newly = engine.Select(best);
+    solution.sets.push_back(best);
+    solution.total_cost += system.set(best).cost;
+    solution.covered = engine.covered_count();
+    rem = newly >= rem ? 0 : rem - newly;
+    if (rem == 0) return solution;
+  }
+
+  // The loop ran k iterations without reaching the target: with exact
+  // integer thresholds this cannot happen (each pick covers >= ceil(rem/i)),
+  // so reaching here indicates an internal error.
+  return Status::Internal("CWSC exhausted k picks without meeting coverage");
+}
+
+/// Fig. 2 line 06 by lazy (CELF) selection: one gain-ordered heap across all
+/// iterations. Each iteration pops until the first *fresh* key that meets
+/// the threshold |MBen| * i >= rem — every entry still queued has a current
+/// key no better (heap order plus monotone decay), so that key is the
+/// qualified argmax. Fresh-but-unqualified pops are parked and re-pushed for
+/// later iterations: the threshold rem/i is not monotone across iterations
+/// (a large pick can lower it), so a set rejected now may qualify later.
+/// Zero-marginal sets are dropped permanently (counts never grow).
+Result<Solution> RunCwscLazy(const SetSystem& system,
+                             const CwscOptions& options, std::size_t rem) {
+  BenefitEngine engine(system, options.engine);
+  Solution solution;
+
+  LazySelector selector;
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    const std::size_t count = engine.MarginalCount(id);
+    if (count > 0) selector.Push(MakeGainKey(count, system.set(id).cost, id));
+  }
+
+  std::vector<SelectionKey> parked;
+  auto refresh = [&](SetId id) -> std::optional<SelectionKey> {
+    const std::size_t count = engine.MarginalCount(id);
+    if (count == 0) return std::nullopt;
+    return MakeGainKey(count, system.set(id).cost, id);
+  };
+
+  for (std::size_t i = options.k; i >= 1; --i) {
+    parked.clear();
+    std::optional<SelectionKey> chosen;
+    while (true) {
+      auto key = selector.Pop(refresh);
+      if (!key.has_value()) break;
+      if (key->count * i >= rem) {
+        chosen = key;
+        break;
+      }
+      parked.push_back(*key);  // fresh but below this iteration's threshold
+    }
+    for (const SelectionKey& key : parked) selector.Push(key);
+    if (!chosen.has_value()) {
+      return Status::Infeasible(
+          "CWSC: no set with marginal benefit >= rem/i (Fig. 2 line 07)");
+    }
+
+    // The chosen key was popped and is not re-pushed, so the set leaves the
+    // candidate pool exactly like the eager path's `selected` mask.
+    const std::size_t newly = engine.Select(chosen->id);
+    solution.sets.push_back(chosen->id);
+    solution.total_cost += system.set(chosen->id).cost;
+    solution.covered = engine.covered_count();
+    rem = newly >= rem ? 0 : rem - newly;
+    if (rem == 0) return solution;
+  }
+
+  return Status::Internal("CWSC exhausted k picks without meeting coverage");
+}
+
+}  // namespace
 
 Result<Solution> RunCwsc(const SetSystem& system, const CwscOptions& options) {
   if (options.k == 0) {
@@ -13,59 +117,13 @@ Result<Solution> RunCwsc(const SetSystem& system, const CwscOptions& options) {
   }
 
   const std::size_t n = system.num_elements();
-  std::size_t rem = SetSystem::CoverageTarget(options.coverage_fraction, n);
+  const std::size_t rem = SetSystem::CoverageTarget(options.coverage_fraction, n);
+  if (rem == 0) return Solution{};  // nothing to cover
 
-  Solution solution;
-  if (rem == 0) return solution;  // nothing to cover
-
-  CoverState state(system);
-  DynamicBitset selected(system.num_sets() == 0 ? 1 : system.num_sets());
-
-  for (std::size_t i = options.k; i >= 1; --i) {
-    // Fig. 2 line 06: argmax MGain over sets with |MBen| >= rem / i. The
-    // threshold is evaluated exactly in integers: |MBen| * i >= rem.
-    SetId best = kInvalidSet;
-    std::size_t best_count = 0;
-    for (SetId id = 0; id < system.num_sets(); ++id) {
-      if (selected.test(id)) continue;
-      const std::size_t count = state.MarginalCount(id);
-      if (count == 0 || count * i < rem) continue;
-      const double cost = system.set(id).cost;
-      if (best == kInvalidSet ||
-          BetterGain(count, cost, best_count, system.set(best).cost)) {
-        best = id;
-        best_count = count;
-      } else if (!BetterGain(best_count, system.set(best).cost, count, cost)) {
-        // Equal gain: break ties by higher marginal benefit, then lower
-        // cost, then lower set id (ids are canonical pattern order in the
-        // patterned case, making opt/unopt runs comparable).
-        const double best_cost = system.set(best).cost;
-        if (count > best_count ||
-            (count == best_count && (cost < best_cost || (cost == best_cost &&
-                                                          id < best)))) {
-          best = id;
-          best_count = count;
-        }
-      }
-    }
-    if (best == kInvalidSet) {
-      return Status::Infeasible(
-          "CWSC: no set with marginal benefit >= rem/i (Fig. 2 line 07)");
-    }
-
-    selected.set(best);
-    const std::size_t newly = state.Select(best);
-    solution.sets.push_back(best);
-    solution.total_cost += system.set(best).cost;
-    solution.covered = state.covered_count();
-    rem = newly >= rem ? 0 : rem - newly;
-    if (rem == 0) return solution;
+  if (options.engine.marginal_mode == MarginalMode::kEager) {
+    return RunCwscEager(system, options, rem);
   }
-
-  // The loop ran k iterations without reaching the target: with exact
-  // integer thresholds this cannot happen (each pick covers >= ceil(rem/i)),
-  // so reaching here indicates an internal error.
-  return Status::Internal("CWSC exhausted k picks without meeting coverage");
+  return RunCwscLazy(system, options, rem);
 }
 
 }  // namespace scwsc

@@ -12,15 +12,23 @@
 #define SCWSC_CORE_CWSC_H_
 
 #include "src/common/result.h"
+#include "src/core/engine_options.h"
 #include "src/core/solution.h"
 
 namespace scwsc {
 
 struct CwscOptions {
+  CwscOptions() = default;
+  CwscOptions(std::size_t k_in, double coverage)
+      : k(k_in), coverage_fraction(coverage) {}
+
   /// Maximum number of sets in the solution (k in the paper).
   std::size_t k = 10;
   /// Desired coverage fraction (ŝ in the paper); in [0, 1].
   double coverage_fraction = 0.3;
+  /// Marginal-evaluation strategy (lazy/bitset fast path by default; every
+  /// configuration returns the identical solution).
+  EngineOptions engine;
 };
 
 /// Runs CWSC over an explicit set system. Returns:

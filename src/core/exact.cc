@@ -163,7 +163,9 @@ Result<ExactResult> SolveExact(const SetSystem& system,
 
   // Seed the incumbent with the greedy CWSC solution when one exists; it
   // prunes the search dramatically and the final answer can only improve.
-  CwscOptions greedy_opts{options.k, options.coverage_fraction};
+  CwscOptions greedy_opts;
+  greedy_opts.k = options.k;
+  greedy_opts.coverage_fraction = options.coverage_fraction;
   if (auto greedy = RunCwsc(system, greedy_opts); greedy.ok()) {
     ctx.best_cost = greedy->total_cost;
     ctx.best_sets = greedy->sets;

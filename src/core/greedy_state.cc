@@ -1,50 +1,29 @@
 #include "src/core/greedy_state.h"
 
-#include <limits>
-
 namespace scwsc {
 
-CoverState::CoverState(const SetSystem& system)
-    : system_(system), covered_(system.num_elements()) {
-  marginal_.reserve(system.num_sets());
-  for (const auto& s : system.sets()) marginal_.push_back(s.elements.size());
-  system.InvertedIndex();  // force construction up front
+bool BetterByGain(std::size_t count_a, double cost_a, SetId id_a,
+                  std::size_t count_b, double cost_b, SetId id_b) {
+  if (BetterGain(count_a, cost_a, count_b, cost_b)) return true;
+  if (BetterGain(count_b, cost_b, count_a, cost_a)) return false;
+  if (count_a != count_b) return count_a > count_b;
+  if (cost_a != cost_b) return cost_a < cost_b;
+  return id_a < id_b;
 }
 
-void CoverState::Reset() {
-  covered_.clear();
-  marginal_.clear();
-  for (const auto& s : system_.sets()) marginal_.push_back(s.elements.size());
-}
-
-std::size_t CoverState::Select(SetId id) {
-  const auto& inverted = system_.InvertedIndex();
-  std::size_t newly = 0;
-  for (ElementId e : system_.set(id).elements) {
-    if (covered_.set(e)) {
-      ++newly;
-      for (SetId other : inverted[e]) {
-        --marginal_[other];
-      }
-    }
-  }
-  return newly;
+bool BetterByBenefit(std::size_t count_a, double cost_a, SetId id_a,
+                     std::size_t count_b, double cost_b, SetId id_b) {
+  if (count_a != count_b) return count_a > count_b;
+  if (cost_a != cost_b) return cost_a < cost_b;
+  return id_a < id_b;
 }
 
 SelectionKey MakeBenefitKey(std::size_t count, double cost, SetId id) {
-  return SelectionKey{static_cast<double>(count), count, cost, id};
+  return SelectionKey{SelectionKey::Kind::kBenefit, count, cost, id};
 }
 
 SelectionKey MakeGainKey(std::size_t count, double cost, SetId id) {
-  double gain;
-  if (cost == 0.0) {
-    // Zero-cost sets have unbounded gain; order them among themselves by
-    // count via the key's secondary field.
-    gain = count > 0 ? std::numeric_limits<double>::infinity() : 0.0;
-  } else {
-    gain = static_cast<double>(count) / cost;
-  }
-  return SelectionKey{gain, count, cost, id};
+  return SelectionKey{SelectionKey::Kind::kGain, count, cost, id};
 }
 
 }  // namespace scwsc

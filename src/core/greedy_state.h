@@ -1,18 +1,22 @@
 // Shared machinery for the greedy solvers.
 //
-// CoverState maintains, for one run of a greedy algorithm, the covered-
-// element bitset and the *live marginal benefit count* of every set
-// (|MBen(s, S)| in the paper's notation). Selecting a set marks its newly
-// covered elements and decrements the marginal counts of every other set
-// containing them via the system's inverted index; total update work over a
-// whole run is bounded by Σ_e degree(e) — each element is newly covered at
-// most once.
+// The selection comparators BetterByGain / BetterByBenefit define the one
+// deterministic candidate order used everywhere: by the literal Fig. 1/2
+// reference implementations, by CWSC's qualified-argmax, and by the
+// SelectionKey heap keys of the lazy selectors. Gains are compared exactly
+// (cross-multiplied, via BetterGain), never as rounded doubles, so every
+// engine configuration resolves ties identically.
 //
-// LazySelector implements the classic lazy-greedy trick for argmax selection
-// under keys that only decrease over time (marginal benefit counts and
-// marginal gains are both non-increasing as coverage grows, by
+// LazySelector implements the classic lazy-greedy (CELF) trick for argmax
+// selection under keys that only decrease over time (marginal benefit
+// counts and marginal gains are both non-increasing as coverage grows, by
 // submodularity): keys are heap-ordered as of their push time, and a popped
 // entry is re-pushed when its key has decayed.
+//
+// CoverState is the eager marginal-maintenance facade kept for callers that
+// want the seed semantics unconditionally (literal engines, LP rounding
+// repair); it is a thin wrapper over BenefitEngine in its eager/list
+// reference configuration.
 
 #ifndef SCWSC_CORE_GREEDY_STATE_H_
 #define SCWSC_CORE_GREEDY_STATE_H_
@@ -22,57 +26,50 @@
 #include <vector>
 
 #include "src/common/bitset.h"
+#include "src/core/benefit_engine.h"
 #include "src/core/set_system.h"
 
 namespace scwsc {
 
-class CoverState {
- public:
-  explicit CoverState(const SetSystem& system);
+/// True when candidate a = (count_a, cost_a, id_a) precedes candidate b in
+/// the gain-driven selection order shared by CWSC, the weighted baselines
+/// and the literal Fig. 2 engine: higher marginal gain count/cost (compared
+/// exactly by cross-multiplication; zero cost = infinite gain), then higher
+/// marginal benefit, then lower cost, then lower id.
+bool BetterByGain(std::size_t count_a, double cost_a, SetId id_a,
+                  std::size_t count_b, double cost_b, SetId id_b);
 
-  /// Resets to the empty selection.
-  void Reset();
+/// True when a precedes b in the benefit-driven order used by CMC's
+/// per-level argmax and max coverage: higher marginal benefit, then lower
+/// cost, then lower id.
+bool BetterByBenefit(std::size_t count_a, double cost_a, SetId id_a,
+                     std::size_t count_b, double cost_b, SetId id_b);
 
-  /// |MBen(s, S)| for the current selection S.
-  std::size_t MarginalCount(SetId id) const { return marginal_[id]; }
-
-  /// Number of covered elements.
-  std::size_t covered_count() const { return covered_.count(); }
-
-  bool IsCovered(ElementId e) const { return covered_.test(e); }
-
-  const DynamicBitset& covered() const { return covered_; }
-
-  /// Marks `id` selected: covers its elements and updates every marginal
-  /// count. Returns the number of newly covered elements (the marginal
-  /// benefit the selection realized).
-  std::size_t Select(SetId id);
-
- private:
-  const SetSystem& system_;
-  DynamicBitset covered_;
-  std::vector<std::size_t> marginal_;
-};
-
-/// Priority key for greedy selection with deterministic tie-breaking:
-/// higher `primary` wins, then higher `count`, then lower `cost`, then lower
-/// set id. For benefit-driven selection pass primary = count; for gain-driven
-/// selection the caller encodes gain comparisons via MakeGainKey.
+/// Priority key for greedy selection. A key carries the candidate's current
+/// marginal count, its (fixed) cost and id, and which of the two shared
+/// selection orders applies; operator< delegates to that order, so a heap
+/// of keys pops candidates exactly as the linear-scan argmax would visit
+/// them.
 struct SelectionKey {
-  double primary = 0.0;
+  enum class Kind : unsigned char { kBenefit, kGain };
+
+  Kind kind = Kind::kBenefit;
   std::size_t count = 0;
   double cost = 0.0;
   SetId id = kInvalidSet;
 
   bool operator<(const SelectionKey& other) const {
-    if (primary != other.primary) return primary < other.primary;
-    if (count != other.count) return count < other.count;
-    if (cost != other.cost) return cost > other.cost;
-    return id > other.id;  // lower id preferred => "less" when id greater
+    // a < b iff b is the better candidate; both orders end on the id
+    // tie-break, so this is a strict total order per kind.
+    if (kind == Kind::kGain) {
+      return BetterByGain(other.count, other.cost, other.id, count, cost, id);
+    }
+    return BetterByBenefit(other.count, other.cost, other.id, count, cost,
+                           id);
   }
   bool operator==(const SelectionKey& other) const {
-    return primary == other.primary && count == other.count &&
-           cost == other.cost && id == other.id;
+    return kind == other.kind && count == other.count && cost == other.cost &&
+           id == other.id;
   }
 };
 
@@ -80,9 +77,6 @@ struct SelectionKey {
 SelectionKey MakeBenefitKey(std::size_t count, double cost, SetId id);
 
 /// Key for gain-maximizing selection (weighted set cover, budgeted MC).
-/// Gain = count / cost with cost 0 treated as the strongest possible gain;
-/// the double primary is count/cost which is monotone with the exact
-/// cross-multiplied comparison for the magnitudes arising here.
 SelectionKey MakeGainKey(std::size_t count, double cost, SetId id);
 
 /// Lazy-greedy max selector. Push every candidate once with its initial key;
@@ -116,6 +110,39 @@ class LazySelector {
 
  private:
   std::priority_queue<SelectionKey> heap_;
+};
+
+/// Eager covered-state + live-marginal tracker (the seed reference
+/// behaviour). New code should take a BenefitEngine with explicit
+/// EngineOptions instead; CoverState remains for callers that depend on
+/// eager O(1) marginal reads.
+class CoverState {
+ public:
+  explicit CoverState(const SetSystem& system)
+      : engine_(system, SeedReferenceEngine()) {}
+
+  /// Resets to the empty selection.
+  void Reset() { engine_.Reset(); }
+
+  /// |MBen(s, S)| for the current selection S.
+  std::size_t MarginalCount(SetId id) const {
+    return engine_.MarginalCount(id);
+  }
+
+  /// Number of covered elements.
+  std::size_t covered_count() const { return engine_.covered_count(); }
+
+  bool IsCovered(ElementId e) const { return engine_.IsCovered(e); }
+
+  const DynamicBitset& covered() const { return engine_.covered(); }
+
+  /// Marks `id` selected: covers its elements and updates every marginal
+  /// count. Returns the number of newly covered elements (the marginal
+  /// benefit the selection realized).
+  std::size_t Select(SetId id) { return engine_.Select(id); }
+
+ private:
+  mutable BenefitEngine engine_;
 };
 
 }  // namespace scwsc

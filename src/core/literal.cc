@@ -4,28 +4,10 @@
 #include <cmath>
 
 #include "src/common/bitset.h"
+#include "src/core/greedy_state.h"
 
 namespace scwsc {
 namespace {
-
-/// True when set a (count_a, cost_a, id a) should be preferred over b under
-/// the gain order shared with the tuned engines.
-bool BetterByGain(std::size_t count_a, double cost_a, SetId a,
-                  std::size_t count_b, double cost_b, SetId b) {
-  if (BetterGain(count_a, cost_a, count_b, cost_b)) return true;
-  if (BetterGain(count_b, cost_b, count_a, cost_a)) return false;
-  if (count_a != count_b) return count_a > count_b;
-  if (cost_a != cost_b) return cost_a < cost_b;
-  return a < b;
-}
-
-/// Benefit-first order used by CMC's per-level argmax.
-bool BetterByBenefit(std::size_t count_a, double cost_a, SetId a,
-                     std::size_t count_b, double cost_b, SetId b) {
-  if (count_a != count_b) return count_a > count_b;
-  if (cost_a != cost_b) return cost_a < cost_b;
-  return a < b;
-}
 
 /// Fig. 1 lines 24-27 / Fig. 2 lines 12-15: subtract the selected set's
 /// marginal benefit from every remaining set by an explicit scan, dropping

@@ -98,7 +98,9 @@ std::size_t IncrementalCwsc::ReevaluateSolution() {
 }
 
 Status IncrementalCwsc::FullRecompute() {
-  CwscOptions opts{options_.k, options_.coverage_fraction};
+  CwscOptions opts;
+  opts.k = options_.k;
+  opts.coverage_fraction = options_.coverage_fraction;
   SCWSC_ASSIGN_OR_RETURN(solution_,
                          pattern::RunOptimizedCwsc(*table_, cost_fn_, opts));
   ++stats_.full_recomputes;

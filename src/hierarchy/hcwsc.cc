@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "src/common/bitset.h"
+#include "src/common/thread_pool.h"
+#include "src/core/benefit_engine.h"
 
 namespace scwsc {
 namespace hierarchy {
@@ -117,6 +119,14 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
   CandidateMap candidates;
   std::unordered_set<HPattern, HPatternHash> selected;
 
+  // Candidate-scan pool for the per-iteration MBen refresh; each candidate's
+  // posting list is filtered independently, so any lane count is
+  // bit-identical to serial.
+  std::unique_ptr<ThreadPool> pool;
+  if (ThreadPool::ResolveThreads(options.engine.num_threads) > 1) {
+    pool = std::make_unique<ThreadPool>(options.engine.num_threads);
+  }
+
   {
     Candidate root;
     root.pattern = HPattern::AllWildcards(table.num_attributes());
@@ -215,12 +225,12 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
     solution.covered = covered.count();
     if (rem == 0) return solution;
 
+    std::vector<std::vector<RowId>*> mben_lists;
+    mben_lists.reserve(candidates.size());
+    for (auto& [pat, cand] : candidates) mben_lists.push_back(&cand.mben);
+    FilterCoveredIds(covered, mben_lists, pool.get());
     for (auto it = candidates.begin(); it != candidates.end();) {
-      auto& mben = it->second.mben;
-      mben.erase(std::remove_if(mben.begin(), mben.end(),
-                                [&](RowId r) { return covered.test(r); }),
-                 mben.end());
-      if (mben.empty()) {
+      if (it->second.mben.empty()) {
         it = candidates.erase(it);
       } else {
         ++it;

@@ -96,6 +96,53 @@ TEST(DynamicBitsetTest, EqualityComparesContents) {
   EXPECT_FALSE(a == c);  // different universes
 }
 
+TEST(DynamicBitsetTest, AndNotCountCountsUncoveredWordBits) {
+  DynamicBitset covered(200);
+  covered.set(0);
+  covered.set(64);
+  covered.set(130);
+
+  DynamicBitset row(200);
+  row.set(0);    // covered
+  row.set(1);    // not covered
+  row.set(64);   // covered
+  row.set(65);   // not covered
+  row.set(199);  // not covered
+  EXPECT_EQ(covered.AndNotCount(row.words(), row.num_words()), 3u);
+
+  DynamicBitset empty_row(200);
+  EXPECT_EQ(covered.AndNotCount(empty_row.words(), empty_row.num_words()), 0u);
+}
+
+TEST(DynamicBitsetTest, AndNotCountMatchesCountClear) {
+  DynamicBitset covered(150);
+  for (std::uint32_t i = 0; i < 150; i += 3) covered.set(i);
+  std::vector<std::uint32_t> ids = {0, 1, 2, 63, 64, 65, 99, 149};
+  DynamicBitset row(150);
+  for (std::uint32_t id : ids) row.set(id);
+  EXPECT_EQ(covered.AndNotCount(row.words(), row.num_words()),
+            covered.CountClear(ids));
+}
+
+TEST(DynamicBitsetTest, UnionWithReturnsNewlyCoveredAndMaintainsCount) {
+  DynamicBitset covered(128);
+  covered.set(5);
+  covered.set(70);
+
+  DynamicBitset row(128);
+  row.set(5);    // already covered
+  row.set(6);    // new
+  row.set(127);  // new
+  EXPECT_EQ(covered.UnionWith(row.words(), row.num_words()), 2u);
+  EXPECT_EQ(covered.count(), 4u);
+  EXPECT_TRUE(covered.test(6));
+  EXPECT_TRUE(covered.test(127));
+
+  // Re-unioning the same row covers nothing new.
+  EXPECT_EQ(covered.UnionWith(row.words(), row.num_words()), 0u);
+  EXPECT_EQ(covered.count(), 4u);
+}
+
 TEST(DynamicBitsetTest, ZeroSizedBitsetIsCoherent) {
   DynamicBitset bs(0);
   EXPECT_EQ(bs.size(), 0u);

@@ -55,19 +55,50 @@ TEST(CoverStateTest, ResetRestoresInitialState) {
   EXPECT_EQ(state.MarginalCount(1), 2u);
 }
 
-TEST(SelectionKeyTest, OrdersByPrimaryThenCountThenCostThenId) {
-  SelectionKey a{2.0, 2, 1.0, 5};
-  SelectionKey b{1.0, 9, 0.0, 1};
-  EXPECT_TRUE(b < a);
+// Pins the shared tie-break order used by CWSC's qualified argmax, the
+// literal Fig. 2 engine and the gain-heap keys: higher gain (exact
+// cross-multiplied), then higher marginal benefit, then lower cost, then
+// lower id.
+TEST(SelectionOrderTest, GainOrderPinsTieBreaks) {
+  // Higher gain wins outright: 3/1 > 5/2.
+  EXPECT_TRUE(BetterByGain(3, 1.0, 9, 5, 2.0, 1));
+  EXPECT_FALSE(BetterByGain(5, 2.0, 1, 3, 1.0, 9));
+  // Gains compared exactly by cross-multiplication, not rounded doubles:
+  // 1/3 vs 2/6 is an exact tie, resolved by higher benefit.
+  EXPECT_TRUE(BetterByGain(2, 6.0, 9, 1, 3.0, 1));
+  EXPECT_FALSE(BetterByGain(1, 3.0, 1, 2, 6.0, 9));
+  // Equal gain, equal benefit: lower id wins (equal count and gain force
+  // equal cost).
+  EXPECT_TRUE(BetterByGain(2, 6.0, 1, 2, 6.0, 9));
+  EXPECT_FALSE(BetterByGain(2, 6.0, 9, 2, 6.0, 1));
+  // Two zero-cost sets compare by count, then id.
+  EXPECT_TRUE(BetterByGain(3, 0.0, 9, 2, 0.0, 1));
+  EXPECT_TRUE(BetterByGain(2, 0.0, 1, 2, 0.0, 9));
+}
 
-  SelectionKey c{2.0, 3, 1.0, 5};
+TEST(SelectionOrderTest, BenefitOrderPinsTieBreaks) {
+  // Higher benefit, then lower cost, then lower id.
+  EXPECT_TRUE(BetterByBenefit(3, 9.0, 9, 2, 1.0, 1));
+  EXPECT_TRUE(BetterByBenefit(2, 1.0, 9, 2, 2.0, 1));
+  EXPECT_TRUE(BetterByBenefit(2, 1.0, 1, 2, 1.0, 9));
+  EXPECT_FALSE(BetterByBenefit(2, 1.0, 9, 2, 1.0, 1));
+}
+
+TEST(SelectionKeyTest, HeapOrderMatchesSharedComparators) {
+  // a < b exactly when b is the better candidate under the shared order.
+  SelectionKey a = MakeBenefitKey(2, 1.0, 5);
+  SelectionKey c = MakeBenefitKey(3, 1.0, 5);
   EXPECT_TRUE(a < c);  // higher count wins
 
-  SelectionKey d{2.0, 2, 0.5, 5};
+  SelectionKey d = MakeBenefitKey(2, 0.5, 5);
   EXPECT_TRUE(a < d);  // lower cost wins
 
-  SelectionKey e{2.0, 2, 1.0, 4};
+  SelectionKey e = MakeBenefitKey(2, 1.0, 4);
   EXPECT_TRUE(a < e);  // lower id wins
+
+  // Gain keys: 9/3 beats 2/1; exact tie 1/3 == 2/6 resolved by count.
+  EXPECT_TRUE(MakeGainKey(2, 1.0, 1) < MakeGainKey(9, 3.0, 2));
+  EXPECT_TRUE(MakeGainKey(1, 3.0, 1) < MakeGainKey(2, 6.0, 2));
 }
 
 TEST(MakeGainKeyTest, ZeroCostIsInfiniteGain) {

@@ -1,0 +1,104 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace scwsc {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadsMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(7), 7u);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(hits.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, ChunksCoverRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SmallRangeRunsInlineWithoutChunking) {
+  ThreadPool pool(4);
+  // n < 2 * min_chunk must run as one inline call over [0, n).
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  pool.ParallelFor(10, 100, [&](std::size_t begin, std::size_t end) {
+    calls.emplace_back(begin, end);
+  });
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], (std::pair<std::size_t, std::size_t>{0, 10}));
+}
+
+TEST(ThreadPoolTest, EmptyRangeDoesNothing) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, BackToBackParallelForsReusePool) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(1000, 1, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50'000u);
+}
+
+TEST(ThreadPoolTest, DeterministicChunkBoundaries) {
+  // Chunk boundaries depend only on (n, min_chunk, size) — record and
+  // compare across two identical pools.
+  auto boundaries = [](ThreadPool& pool) {
+    std::vector<std::pair<std::size_t, std::size_t>> calls;
+    std::mutex mu;
+    pool.ParallelFor(5000, 16, [&](std::size_t begin, std::size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      calls.emplace_back(begin, end);
+    });
+    std::sort(calls.begin(), calls.end());
+    return calls;
+  };
+  ThreadPool a(4), b(4);
+  auto ca = boundaries(a);
+  auto cb = boundaries(b);
+  EXPECT_EQ(ca, cb);
+  // And the chunks tile [0, 5000) without gaps or overlap.
+  std::size_t cursor = 0;
+  for (const auto& [begin, end] : ca) {
+    EXPECT_EQ(begin, cursor);
+    EXPECT_LT(begin, end);
+    cursor = end;
+  }
+  EXPECT_EQ(cursor, 5000u);
+}
+
+}  // namespace
+}  // namespace scwsc
