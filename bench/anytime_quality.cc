@@ -1,0 +1,311 @@
+// BENCH_anytime — anytime (best-so-far) solution quality under RunContext
+// deadlines and work budgets.
+//
+// Two tracks, each measured along two axes:
+//
+//  * greedy CWSC on a paper-scale random system: solution coverage as a
+//    function of (a) wall-clock deadlines of 1/5/25/100 ms and (b)
+//    deterministic element-recount budgets. A longer limit executes a
+//    superset of the same deterministic pick sequence, so coverage must be
+//    monotonically non-decreasing along both axes.
+//
+//  * exact branch-and-bound on a small instance: incumbent cost as a
+//    function of the same deadlines and of node-expansion budgets. The
+//    incumbent is only ever replaced by a cheaper feasible solution, so its
+//    cost must be monotonically non-increasing along both axes.
+//
+// The budget axes are bit-deterministic and enforced (exit 1 on violation);
+// the deadline axes depend on wall-clock scheduling and only warn, but in
+// practice show the same shape. Results go to BENCH_anytime.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/run_context.h"
+#include "src/common/stopwatch.h"
+#include "src/core/cwsc.h"
+#include "src/core/exact.h"
+#include "src/core/instances.h"
+
+namespace scwsc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Point {
+  double limit = 0.0;  // deadline in ms, or budget in units
+  bool interrupted = false;
+  bool feasible = false;  // exact track: an incumbent exists
+  std::size_t covered = 0;
+  std::size_t sets = 0;
+  double cost = 0.0;
+  double seconds = 0.0;
+};
+
+/// Runs greedy CWSC under `ctx`; a trip yields the best-so-far payload.
+Point RunGreedyPoint(const SetSystem& system, const CwscOptions& base,
+                     RunContext& ctx) {
+  CwscOptions opts = base;
+  opts.run_context = &ctx;
+  Point pt;
+  Stopwatch watch;
+  auto solution = RunCwsc(system, opts);
+  pt.seconds = watch.ElapsedSeconds();
+  const Solution* s = nullptr;
+  if (solution.ok()) {
+    s = &*solution;
+  } else {
+    SCWSC_CHECK(solution.status().IsInterruption(),
+                "anytime greedy run failed outright");
+    s = solution.status().payload<Solution>();
+    SCWSC_CHECK(s != nullptr, "interruption carried no partial solution");
+    pt.interrupted = true;
+  }
+  pt.covered = s->covered;
+  pt.sets = s->sets.size();
+  pt.cost = s->total_cost;
+  pt.feasible = true;
+  return pt;
+}
+
+/// Runs exact B&B under `ctx`; trips and max_nodes exhaustion both carry the
+/// incumbent found so far (feasible == false when none was found yet).
+Point RunExactPoint(const SetSystem& system, const ExactOptions& base,
+                    RunContext& ctx) {
+  ExactOptions opts = base;
+  opts.run_context = &ctx;
+  Point pt;
+  Stopwatch watch;
+  auto result = SolveExact(system, opts);
+  pt.seconds = watch.ElapsedSeconds();
+  const ExactResult* r = nullptr;
+  if (result.ok()) {
+    r = &*result;
+    pt.feasible = true;
+  } else {
+    SCWSC_CHECK(result.status().IsInterruption(),
+                "anytime exact run failed outright");
+    r = result.status().payload<ExactResult>();
+    SCWSC_CHECK(r != nullptr, "interruption carried no partial result");
+    pt.interrupted = true;
+    pt.feasible = !r->solution.sets.empty();
+  }
+  pt.covered = r->solution.covered;
+  pt.sets = r->solution.sets.size();
+  pt.cost = r->solution.total_cost;
+  return pt;
+}
+
+bool CoverageNonDecreasing(const std::vector<Point>& pts) {
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].covered < pts[i - 1].covered) return false;
+  }
+  return true;
+}
+
+bool CostNonIncreasing(const std::vector<Point>& pts) {
+  double prev = kInf;
+  for (const Point& pt : pts) {
+    const double cost = pt.feasible ? pt.cost : kInf;
+    if (cost > prev) return false;
+    prev = cost;
+  }
+  return true;
+}
+
+void PrintPoints(const char* name, const char* unit,
+                 const std::vector<Point>& pts) {
+  for (const Point& pt : pts) {
+    std::printf("  %-18s %8.0f %-3s covered=%-8zu sets=%-5zu cost=%-12.3f "
+                "%s (%.4fs)\n",
+                name, pt.limit, unit, pt.covered, pt.sets, pt.cost,
+                pt.interrupted ? "interrupted" : "complete   ", pt.seconds);
+  }
+}
+
+void WritePoints(std::FILE* out, const char* key, const char* limit_key,
+                 const std::vector<Point>& pts, bool trailing_comma) {
+  std::fprintf(out, "    \"%s\": [\n", key);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Point& pt = pts[i];
+    std::fprintf(out,
+                 "      {\"%s\": %g, \"interrupted\": %s, \"feasible\": %s, "
+                 "\"covered\": %zu, \"sets\": %zu, \"cost\": %.6f, "
+                 "\"seconds\": %.6f}%s\n",
+                 limit_key, pt.limit, pt.interrupted ? "true" : "false",
+                 pt.feasible ? "true" : "false", pt.covered, pt.sets, pt.cost,
+                 pt.seconds, i + 1 < pts.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]%s\n", trailing_comma ? "," : "");
+}
+
+int RunAnytime(const char* out_path) {
+  bench::PrintBanner("BENCH_anytime",
+                     "anytime quality under deadlines and work budgets");
+
+  const double deadlines_ms[] = {1.0, 5.0, 25.0, 100.0};
+
+  // Greedy track: paper-scale sparse system, coverage high enough that the
+  // unlimited run takes well past the shortest deadlines.
+  const std::size_t n = bench::ScaledRows(700'000);
+  Rng rng(2015);
+  RandomSystemSpec spec;
+  spec.num_elements = n;
+  spec.num_sets = n / 2;
+  spec.max_set_size = 16;
+  // No universe set: a single pick covering everything would collapse the
+  // anytime curve to one point. Small sets force thousands of picks.
+  spec.ensure_universe = false;
+  SetSystem greedy_system = RandomSetSystem(spec, rng).value();
+
+  CwscOptions greedy_base;
+  greedy_base.k = n;  // effectively unbounded picks
+  greedy_base.coverage_fraction = 0.9;
+
+  RunContext unlimited_ctx;
+  const Point greedy_full =
+      RunGreedyPoint(greedy_system, greedy_base, unlimited_ctx);
+  SCWSC_CHECK(!greedy_full.interrupted, "unlimited greedy run tripped");
+
+  std::vector<Point> greedy_deadline;
+  for (const double ms : deadlines_ms) {
+    RunContext ctx;
+    ctx.SetDeadline(std::chrono::duration<double, std::milli>(ms));
+    Point pt = RunGreedyPoint(greedy_system, greedy_base, ctx);
+    pt.limit = ms;
+    greedy_deadline.push_back(pt);
+  }
+
+  const std::uint64_t recount_budgets[] = {10'000, 100'000, 1'000'000,
+                                           10'000'000};
+  std::vector<Point> greedy_budget;
+  for (const std::uint64_t budget : recount_budgets) {
+    RunContext ctx;
+    ctx.SetRecountBudget(budget);
+    Point pt = RunGreedyPoint(greedy_system, greedy_base, ctx);
+    pt.limit = static_cast<double>(budget);
+    greedy_budget.push_back(pt);
+  }
+
+  // Exact track: small instance whose branch-and-bound search outlives the
+  // deadlines; the greedy seed supplies the first incumbent.
+  RandomSystemSpec exact_spec;
+  exact_spec.num_elements = 400;
+  exact_spec.num_sets = 64;
+  exact_spec.max_set_size = 80;
+  Rng exact_rng(7);
+  SetSystem exact_system = RandomSetSystem(exact_spec, exact_rng).value();
+
+  ExactOptions exact_base;
+  exact_base.k = 8;
+  exact_base.coverage_fraction = 0.9;
+
+  std::vector<Point> exact_deadline;
+  for (const double ms : deadlines_ms) {
+    RunContext ctx;
+    ctx.SetDeadline(std::chrono::duration<double, std::milli>(ms));
+    Point pt = RunExactPoint(exact_system, exact_base, ctx);
+    pt.limit = ms;
+    exact_deadline.push_back(pt);
+  }
+
+  const std::uint64_t node_budgets[] = {100, 1'000, 10'000, 100'000};
+  std::vector<Point> exact_budget;
+  for (const std::uint64_t budget : node_budgets) {
+    RunContext ctx;
+    ctx.SetNodeBudget(budget);
+    Point pt = RunExactPoint(exact_system, exact_base, ctx);
+    pt.limit = static_cast<double>(budget);
+    exact_budget.push_back(pt);
+  }
+
+  PrintPoints("greedy/deadline", "ms", greedy_deadline);
+  PrintPoints("greedy/budget", "rc", greedy_budget);
+  std::printf("  %-18s %8s     covered=%-8zu sets=%-5zu cost=%-12.3f "
+              "complete    (%.4fs)\n",
+              "greedy/unlimited", "-", greedy_full.covered, greedy_full.sets,
+              greedy_full.cost, greedy_full.seconds);
+  PrintPoints("exact/deadline", "ms", exact_deadline);
+  PrintPoints("exact/budget", "nd", exact_budget);
+
+  // The budget axes are deterministic: a violation is a solver bug.
+  const bool budget_coverage_ok = CoverageNonDecreasing(greedy_budget);
+  const bool budget_cost_ok = CostNonIncreasing(exact_budget);
+  const bool deadline_coverage_ok = CoverageNonDecreasing(greedy_deadline);
+  const bool deadline_cost_ok = CostNonIncreasing(exact_deadline);
+  if (!budget_coverage_ok || !budget_cost_ok) {
+    std::fprintf(stderr,
+                 "FAIL: deterministic budget axis not monotone "
+                 "(coverage_ok=%d cost_ok=%d)\n",
+                 budget_coverage_ok, budget_cost_ok);
+    return 1;
+  }
+  if (!deadline_coverage_ok || !deadline_cost_ok) {
+    std::fprintf(stderr,
+                 "warning: wall-clock deadline axis not monotone this run "
+                 "(coverage_ok=%d cost_ok=%d)\n",
+                 deadline_coverage_ok, deadline_cost_ok);
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"experiment\": \"BENCH_anytime\",\n"
+               "  \"scale\": %g,\n"
+               "  \"greedy\": {\n"
+               "    \"elements\": %zu,\n"
+               "    \"sets\": %zu,\n"
+               "    \"unlimited\": {\"covered\": %zu, \"sets\": %zu, "
+               "\"cost\": %.6f, \"seconds\": %.6f},\n",
+               bench::ScaleFactor(), n, greedy_system.num_sets(),
+               greedy_full.covered, greedy_full.sets, greedy_full.cost,
+               greedy_full.seconds);
+  WritePoints(out, "deadline_ms", "deadline_ms", greedy_deadline, true);
+  WritePoints(out, "recount_budget", "budget", greedy_budget, true);
+  std::fprintf(out,
+               "    \"coverage_monotone_deadline\": %s,\n"
+               "    \"coverage_monotone_budget\": %s\n"
+               "  },\n"
+               "  \"exact\": {\n"
+               "    \"elements\": %zu,\n"
+               "    \"sets\": %zu,\n",
+               deadline_coverage_ok ? "true" : "false",
+               budget_coverage_ok ? "true" : "false",
+               static_cast<std::size_t>(exact_spec.num_elements),
+               exact_system.num_sets());
+  WritePoints(out, "deadline_ms", "deadline_ms", exact_deadline, true);
+  WritePoints(out, "node_budget", "budget", exact_budget, true);
+  std::fprintf(out,
+               "    \"cost_monotone_deadline\": %s,\n"
+               "    \"cost_monotone_budget\": %s\n"
+               "  }\n"
+               "}\n",
+               deadline_cost_ok ? "true" : "false",
+               budget_cost_ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace scwsc
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_anytime.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+  return scwsc::RunAnytime(out_path);
+}

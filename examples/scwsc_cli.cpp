@@ -15,13 +15,22 @@
 //   --epsilon F         CMC merged-level variant          [default 0]
 //   --strict            CMC: target the full s.n (not (1-1/e)s.n)
 //   --delimiter C       CSV delimiter                     [default ,]
+//   --deadline-ms N     wall-clock budget; 0 = unlimited  [default 0]
+//
+// Ctrl-C requests cooperative cancellation: the solver stops at its next
+// check point and the best-so-far solution is printed.
 //
 // Output: one line per selected pattern, then a summary line. Exit code 0
-// on success, 1 on error or infeasibility.
+// on success, 1 on error or infeasibility, 2 when a deadline or Ctrl-C
+// interrupted the run (a best-so-far partial solution is still printed).
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+
+#include "src/common/run_context.h"
 
 #include "src/scwsc.h"
 
@@ -41,7 +50,14 @@ struct CliArgs {
   double epsilon = 0.0;
   bool strict = false;
   char delimiter = ',';
+  std::uint64_t deadline_ms = 0;  // 0 = unlimited
 };
+
+/// Shared by the solver (deadline) and the SIGINT handler (cancellation).
+/// RequestCancel is async-signal-safe: a relaxed store plus one CAS.
+RunContext g_run_context;
+
+extern "C" void HandleSigint(int) { g_run_context.RequestCancel(); }
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n(run with --help for usage)\n",
@@ -53,7 +69,8 @@ void PrintUsage() {
   std::printf(
       "scwsc_cli --input data.csv --measure COLUMN [--k N] [--coverage F]\n"
       "          [--cost max|sum|lp] [--lp P] [--algorithm cwsc|cmc|exact]\n"
-      "          [--b F] [--epsilon F] [--strict] [--delimiter C]\n");
+      "          [--b F] [--epsilon F] [--strict] [--delimiter C]\n"
+      "          [--deadline-ms N]\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -91,6 +108,8 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       SCWSC_ASSIGN_OR_RETURN(args.b, ParseDouble(value));
     } else if (flag == "--epsilon") {
       SCWSC_ASSIGN_OR_RETURN(args.epsilon, ParseDouble(value));
+    } else if (flag == "--deadline-ms") {
+      SCWSC_ASSIGN_OR_RETURN(args.deadline_ms, ParseU64(value));
     } else if (flag == "--delimiter") {
       if (value.size() != 1) {
         return Status::InvalidArgument("--delimiter takes one character");
@@ -146,12 +165,40 @@ int main(int argc, char** argv) {
   auto cost_fn = MakeCost(*args);
   if (!cost_fn.ok()) return Fail(cost_fn.status().ToString());
 
+  if (args->deadline_ms > 0) {
+    g_run_context.SetDeadline(std::chrono::milliseconds(args->deadline_ms));
+  }
+  std::signal(SIGINT, HandleSigint);
+
+  // Prints the best-so-far solution an interruption Status carries and
+  // reports how the run was cut short. Exit code 2.
+  auto report_interrupted = [&](const Table& t,
+                                const pattern::PatternSolution& partial,
+                                const Status& status) {
+    PrintSolution(t, partial);
+    std::printf("# interrupted (%s): best-so-far solution above, %zu "
+                "patterns chosen, %zu rows covered\n",
+                TripKindToString(partial.provenance.trip),
+                partial.provenance.sets_chosen,
+                partial.provenance.coverage_reached);
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+    return 2;
+  };
+
   Stopwatch sw;
   if (args->algorithm == "cwsc") {
     CwscOptions opts{args->k, args->coverage};
+    opts.run_context = &g_run_context;
     pattern::PatternStats stats;
     auto solution = pattern::RunOptimizedCwsc(*table, *cost_fn, opts, &stats);
-    if (!solution.ok()) return Fail(solution.status().ToString());
+    if (!solution.ok()) {
+      const Status& st = solution.status();
+      if (const auto* partial = st.payload<pattern::PatternSolution>();
+          partial != nullptr && st.IsInterruption()) {
+        return report_interrupted(*table, *partial, st);
+      }
+      return Fail(st.ToString());
+    }
     PrintSolution(*table, *solution);
     std::printf("# cwsc: %.3fs, %zu patterns considered\n",
                 sw.ElapsedSeconds(), stats.patterns_considered);
@@ -164,9 +211,17 @@ int main(int argc, char** argv) {
     opts.b = args->b;
     opts.epsilon = args->epsilon;
     opts.relax_coverage = !args->strict;
+    opts.run_context = &g_run_context;
     pattern::PatternStats stats;
     auto solution = pattern::RunOptimizedCmc(*table, *cost_fn, opts, &stats);
-    if (!solution.ok()) return Fail(solution.status().ToString());
+    if (!solution.ok()) {
+      const Status& st = solution.status();
+      if (const auto* partial = st.payload<pattern::PatternSolution>();
+          partial != nullptr && st.IsInterruption()) {
+        return report_interrupted(*table, *partial, st);
+      }
+      return Fail(st.ToString());
+    }
     PrintSolution(*table, *solution);
     std::printf("# cmc: %.3fs, %zu budget rounds (B = %s), %zu patterns "
                 "considered\n",
@@ -181,8 +236,19 @@ int main(int argc, char** argv) {
     ExactOptions opts;
     opts.k = args->k;
     opts.coverage_fraction = args->coverage;
+    opts.run_context = &g_run_context;
     auto result = SolveExact(system->set_system(), opts);
-    if (!result.ok()) return Fail(result.status().ToString());
+    if (!result.ok()) {
+      const Status& st = result.status();
+      if (const auto* partial = st.payload<ExactResult>();
+          partial != nullptr && st.IsInterruption()) {
+        pattern::PatternSolution ps =
+            system->ToPatternSolution(partial->solution);
+        ps.provenance = partial->solution.provenance;
+        return report_interrupted(*table, ps, st);
+      }
+      return Fail(st.ToString());
+    }
     PrintSolution(*table, system->ToPatternSolution(result->solution));
     std::printf("# exact: %.3fs, %llu branch-and-bound nodes\n",
                 sw.ElapsedSeconds(),

@@ -1,23 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then smoke
 # the engine-comparison micro-benchmark (which asserts that the seed and
-# fast engine configurations return identical solutions).
+# fast engine configurations return identical solutions) and the anytime
+# bench (which asserts the deterministic budget axes yield monotone
+# quality). Fails fast: the first failing stage stops the run with a named
+# error so CI logs point at the broken stage directly.
 #
 # Usage: scripts/check.sh [extra cmake args...]
 #   BUILD_DIR  build directory (default: build)
-#   SCWSC_BENCH_SCALE  bench scale for the smoke run (default: 0.02)
+#   SCWSC_BENCH_SCALE  bench scale for the smoke runs (default: 0.02)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=$(nproc 2>/dev/null || echo 2)
 
-cmake -B "$BUILD_DIR" -S . "$@"
-cmake --build "$BUILD_DIR" -j"$JOBS"
-(cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")
+fail() { echo "check.sh: FAILED at stage: $1" >&2; exit 1; }
+
+cmake -B "$BUILD_DIR" -S . "$@" || fail "configure"
+cmake --build "$BUILD_DIR" -j"$JOBS" || fail "build"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS") || fail "tests"
 
 SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
   "$BUILD_DIR"/bench/micro_core --engine-compare \
-  --out="$BUILD_DIR"/BENCH_core.json
+  --out="$BUILD_DIR"/BENCH_core.json || fail "engine smoke"
 
-echo "check.sh: build, tests and engine smoke all green"
+SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
+  "$BUILD_DIR"/bench/anytime_quality \
+  --out="$BUILD_DIR"/BENCH_anytime.json || fail "anytime smoke"
+
+echo "check.sh: build, tests, engine and anytime smokes all green"

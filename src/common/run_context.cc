@@ -1,0 +1,185 @@
+#include "src/common/run_context.h"
+
+#include <string>
+
+namespace scwsc {
+namespace {
+
+// splitmix64 (Steele et al.): a cheap, well-mixed 64-bit hash used for the
+// probabilistic fault-injection decision. Deterministic in (seed, index).
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* TripKindToString(TripKind kind) {
+  switch (kind) {
+    case TripKind::kNone:
+      return "none";
+    case TripKind::kDeadline:
+      return "deadline";
+    case TripKind::kCancel:
+      return "cancel";
+    case TripKind::kBudget:
+      return "budget";
+  }
+  return "unknown";
+}
+
+Status TripStatus(TripKind kind, const char* what) {
+  std::string msg(what);
+  switch (kind) {
+    case TripKind::kDeadline:
+      return Status::DeadlineExceeded(msg + ": deadline exceeded");
+    case TripKind::kCancel:
+      return Status::Cancelled(msg + ": cancelled");
+    case TripKind::kBudget:
+      return Status::ResourceExhausted(msg + ": work budget exhausted");
+    case TripKind::kNone:
+      break;
+  }
+  return Status::Internal(msg + ": TripStatus called with TripKind::kNone");
+}
+
+const RunContext& RunContext::Unlimited() {
+  static const RunContext* const kUnlimited = new RunContext();
+  return *kUnlimited;
+}
+
+void RunContext::SetDeadlineAt(Clock::time_point when) {
+  deadline_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          when.time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  has_deadline_.store(true, std::memory_order_relaxed);
+  limited_.store(true, std::memory_order_release);
+}
+
+void RunContext::SetRecountBudget(std::uint64_t n) {
+  recounts_left_.store(
+      n >= static_cast<std::uint64_t>(kNoBudget)
+          ? kNoBudget
+          : static_cast<std::int64_t>(n),
+      std::memory_order_relaxed);
+  limited_.store(true, std::memory_order_release);
+}
+
+void RunContext::SetNodeBudget(std::uint64_t n) {
+  nodes_left_.store(n >= static_cast<std::uint64_t>(kNoBudget)
+                        ? kNoBudget
+                        : static_cast<std::int64_t>(n),
+                    std::memory_order_relaxed);
+  limited_.store(true, std::memory_order_release);
+}
+
+void RunContext::FailAfter(std::uint64_t n) {
+  fail_after_.store(n >= static_cast<std::uint64_t>(kNoFail)
+                        ? kNoFail
+                        : static_cast<std::int64_t>(n),
+                    std::memory_order_relaxed);
+  limited_.store(true, std::memory_order_release);
+}
+
+void RunContext::FailWithProbability(double p, std::uint64_t seed) {
+  // Store p as a threshold on a uniform 64-bit hash: trip iff hash < p*2^64.
+  std::uint64_t threshold = 0;
+  if (p >= 1.0) {
+    threshold = std::numeric_limits<std::uint64_t>::max();
+  } else if (p > 0.0) {
+    threshold = static_cast<std::uint64_t>(
+        p * 18446744073709551616.0 /* 2^64 */);
+  }
+  fail_seed_.store(seed, std::memory_order_relaxed);
+  fail_prob_bits_.store(threshold, std::memory_order_relaxed);
+  limited_.store(true, std::memory_order_release);
+}
+
+void RunContext::RequestCancel() {
+  // Plain lock-free stores only: callable from a signal handler.
+  cancel_.store(true, std::memory_order_relaxed);
+  limited_.store(true, std::memory_order_release);
+}
+
+TripKind RunContext::Trip(TripKind kind) const {
+  unsigned char expected = 0;
+  unsigned char desired = static_cast<unsigned char>(kind);
+  if (tripped_.compare_exchange_strong(expected, desired,
+                                       std::memory_order_acq_rel)) {
+    return kind;
+  }
+  return static_cast<TripKind>(expected);  // an earlier trip won the race
+}
+
+TripKind RunContext::Evaluate() const {
+  // Fault injection first so tests can deterministically pre-empt real
+  // sources. Both flavours count Check() calls through checks_.
+  const std::int64_t fail_after = fail_after_.load(std::memory_order_relaxed);
+  const std::uint64_t prob = fail_prob_bits_.load(std::memory_order_relaxed);
+  if (fail_after != kNoFail || prob != 0) {
+    const std::int64_t idx = checks_.fetch_add(1, std::memory_order_relaxed);
+    if (fail_after != kNoFail && idx >= fail_after) {
+      return Trip(TripKind::kCancel);
+    }
+    if (prob != 0) {
+      const std::uint64_t seed = fail_seed_.load(std::memory_order_relaxed);
+      if (SplitMix64(seed ^ static_cast<std::uint64_t>(idx)) < prob) {
+        return Trip(TripKind::kCancel);
+      }
+    }
+  }
+  if (cancel_.load(std::memory_order_relaxed)) {
+    return Trip(TripKind::kCancel);
+  }
+  if (has_deadline_.load(std::memory_order_relaxed)) {
+    const std::int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count();
+    if (now_ns >= deadline_ns_.load(std::memory_order_relaxed)) {
+      return Trip(TripKind::kDeadline);
+    }
+  }
+  return TripKind::kNone;
+}
+
+TripKind RunContext::Check() const {
+  if (!limited()) return TripKind::kNone;
+  const TripKind prior = tripped();
+  if (prior != TripKind::kNone) return prior;
+  return Evaluate();
+}
+
+TripKind RunContext::ChargeRecounts(std::uint64_t n) const {
+  if (!limited()) return TripKind::kNone;
+  const TripKind prior = tripped();
+  if (prior != TripKind::kNone) return prior;
+  if (recounts_left_.load(std::memory_order_relaxed) != kNoBudget) {
+    const std::int64_t left = recounts_left_.fetch_sub(
+        static_cast<std::int64_t>(n), std::memory_order_relaxed);
+    if (left < static_cast<std::int64_t>(n)) {
+      return Trip(TripKind::kBudget);
+    }
+  }
+  return Evaluate();
+}
+
+TripKind RunContext::ChargeNodes(std::uint64_t n) const {
+  if (!limited()) return TripKind::kNone;
+  const TripKind prior = tripped();
+  if (prior != TripKind::kNone) return prior;
+  if (nodes_left_.load(std::memory_order_relaxed) != kNoBudget) {
+    const std::int64_t left = nodes_left_.fetch_sub(
+        static_cast<std::int64_t>(n), std::memory_order_relaxed);
+    if (left < static_cast<std::int64_t>(n)) {
+      return Trip(TripKind::kBudget);
+    }
+  }
+  return Evaluate();
+}
+
+}  // namespace scwsc

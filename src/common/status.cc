@@ -20,13 +20,17 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotSupported";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
 
 Status::Status(StatusCode code, std::string message) {
   if (code != StatusCode::kOk) {
-    rep_ = std::make_shared<const Rep>(Rep{code, std::move(message)});
+    rep_ = std::make_shared<const Rep>(Rep{code, std::move(message), {}});
   }
 }
 

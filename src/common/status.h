@@ -8,6 +8,7 @@
 #ifndef SCWSC_COMMON_STATUS_H_
 #define SCWSC_COMMON_STATUS_H_
 
+#include <any>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -34,6 +35,12 @@ enum class StatusCode : int {
   kNotSupported = 6,
   /// A resource limit was exceeded (e.g. exact solver node budget).
   kResourceExhausted = 7,
+  /// A RunContext deadline expired before the operation completed. The
+  /// Status may carry the best solution found so far as a payload.
+  kDeadlineExceeded = 8,
+  /// The operation was cancelled via RunContext::RequestCancel(). The
+  /// Status may carry the best solution found so far as a payload.
+  kCancelled = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -74,6 +81,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsInvalidArgument() const {
@@ -87,6 +100,16 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  /// True for the codes a tripped RunContext produces: DeadlineExceeded,
+  /// Cancelled, or ResourceExhausted (work-budget trips). Such statuses may
+  /// carry a best-so-far solution payload.
+  bool IsInterruption() const {
+    return IsDeadlineExceeded() || IsCancelled() || IsResourceExhausted();
+  }
 
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
 
@@ -98,6 +121,30 @@ class Status {
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Returns a copy of this Status carrying `value` as its payload.
+  ///
+  /// Interruption statuses (deadline/cancel/budget) use this to hand the
+  /// caller the best solution found before the trip: a `Result<Solution>`
+  /// holding the error can still surrender the partial answer via
+  /// `status.payload<Solution>()`. Must not be called on an OK status —
+  /// success values travel in Result<T>, not here.
+  template <class T>
+  Status WithPayload(T value) const {
+    Status out(code(), std::string(message()));
+    if (out.rep_ != nullptr) {  // OK has no rep; payload is silently dropped
+      const_cast<Rep*>(out.rep_.get())->payload = std::move(value);
+    }
+    return out;
+  }
+
+  /// Returns the payload if one of type T is attached, else nullptr.
+  template <class T>
+  const T* payload() const {
+    return rep_ ? std::any_cast<T>(&rep_->payload) : nullptr;
+  }
+
+  bool has_payload() const { return rep_ && rep_->payload.has_value(); }
+
   friend bool operator==(const Status& a, const Status& b) {
     return a.code() == b.code() && a.message() == b.message();
   }
@@ -106,6 +153,7 @@ class Status {
   struct Rep {
     StatusCode code;
     std::string message;
+    std::any payload;  // best-so-far solution on interruption; usually empty
   };
   // Null iff OK. shared_ptr keeps copies cheap; Status is logically a value.
   std::shared_ptr<const Rep> rep_;

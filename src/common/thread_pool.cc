@@ -46,16 +46,36 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(
+namespace {
+
+/// Runs fn(begin, end), converting any escaping exception into the error
+/// string the batch reports. Returns true on success.
+bool RunChunk(const std::function<void(std::size_t, std::size_t)>& fn,
+              std::size_t begin, std::size_t end, std::string& error) {
+  try {
+    fn(begin, end);
+    return true;
+  } catch (const std::exception& e) {
+    error = std::string("ParallelFor task threw: ") + e.what();
+  } catch (...) {
+    error = "ParallelFor task threw a non-standard exception";
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ThreadPool::ParallelFor(
     std::size_t n, std::size_t min_chunk,
     const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
+  if (n == 0) return Status::OK();
   min_chunk = std::max<std::size_t>(min_chunk, 1);
   // Inline when there is nothing to gain: one lane, or too little work to
   // fill two chunks.
   if (size_ <= 1 || n < 2 * min_chunk) {
-    fn(0, n);
-    return;
+    std::string error;
+    if (!RunChunk(fn, 0, n, error)) return Status::Internal(std::move(error));
+    return Status::OK();
   }
   // Aim for a few chunks per lane so uneven chunk costs still balance, but
   // never below min_chunk indices per chunk.
@@ -64,17 +84,28 @@ void ThreadPool::ParallelFor(
                             (n + min_chunk - 1) / min_chunk);
   const std::size_t chunk = (n + target_chunks - 1) / target_chunks;
 
+  // Shared by the chunk closures; ParallelFor blocks until the whole batch
+  // drains, so these locals outlive every task that references them.
+  std::string first_error;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t begin = 0; begin < n; begin += chunk) {
       const std::size_t end = std::min(begin + chunk, n);
-      tasks_.push_back([&fn, begin, end] { fn(begin, end); });
+      tasks_.push_back([this, &fn, begin, end, &first_error] {
+        std::string error;
+        if (!RunChunk(fn, begin, end, error)) {
+          std::lock_guard<std::mutex> error_lock(mu_);
+          if (first_error.empty()) first_error = std::move(error);
+        }
+      });
       ++pending_;
     }
   }
   work_cv_.notify_all();
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (!first_error.empty()) return Status::Internal(std::move(first_error));
+  return Status::OK();
 }
 
 }  // namespace scwsc

@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace scwsc {
 
 class ThreadPool {
@@ -46,8 +48,13 @@ class ThreadPool {
   /// runs fn(chunk_begin, chunk_end) for each, blocking until all chunks are
   /// done. Chunks must be independent: fn may only write state owned by its
   /// own index range. Runs inline when the pool has one lane or n is small.
-  void ParallelFor(std::size_t n, std::size_t min_chunk,
-                   const std::function<void(std::size_t, std::size_t)>& fn);
+  ///
+  /// An exception escaping fn (on any lane, including the inline path) is
+  /// captured and surfaced as Status::Internal carrying the first exception's
+  /// what(); the remaining chunks of the batch still run to completion, the
+  /// pool stays usable, and no exception ever reaches a worker's top frame.
+  Status ParallelFor(std::size_t n, std::size_t min_chunk,
+                     const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
   void WorkerLoop();

@@ -16,7 +16,9 @@ Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
   Solution solution;
   if (rem == 0) return solution;
 
-  BenefitEngine state(system, options.engine);
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+  BenefitEngine state(system, options.engine, &ctx);
   LazySelector selector;
   for (SetId id = 0; id < system.num_sets(); ++id) {
     const std::size_t count = state.MarginalCount(id);
@@ -24,6 +26,10 @@ Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
   }
 
   while (rem > 0) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      solution.covered = state.covered_count();
+      return InterruptedStatus(trip, "greedy WSC", std::move(solution));
+    }
     if (solution.sets.size() >= options.max_sets) {
       return Status::Infeasible("greedy WSC: max_sets reached before target");
     }
@@ -55,7 +61,9 @@ Result<Solution> RunGreedyMaxCoverage(
       options.stop_coverage_fraction, system.num_elements());
 
   Solution solution;
-  BenefitEngine state(system, options.engine);
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+  BenefitEngine state(system, options.engine, &ctx);
   LazySelector selector;
   for (SetId id = 0; id < system.num_sets(); ++id) {
     const std::size_t count = state.MarginalCount(id);
@@ -63,6 +71,11 @@ Result<Solution> RunGreedyMaxCoverage(
   }
 
   while (solution.sets.size() < options.k && state.covered_count() < stop_at) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      solution.covered = state.covered_count();
+      return InterruptedStatus(trip, "greedy max-coverage",
+                               std::move(solution));
+    }
     auto key = selector.Pop([&](SetId id) -> std::optional<SelectionKey> {
       const std::size_t count = state.MarginalCount(id);
       if (count == 0) return std::nullopt;
@@ -83,7 +96,9 @@ Result<Solution> RunBudgetedMaxCoverage(
     return Status::InvalidArgument("budget must be >= 0");
   }
   Solution solution;
-  BenefitEngine state(system, options.engine);
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+  BenefitEngine state(system, options.engine, &ctx);
   double remaining = options.budget;
 
   // The greedy of [11] considers, in each step, only sets that still fit in
@@ -98,6 +113,11 @@ Result<Solution> RunBudgetedMaxCoverage(
   }
 
   while (solution.sets.size() < options.max_sets) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      solution.covered = state.covered_count();
+      return InterruptedStatus(trip, "budgeted max-coverage",
+                               std::move(solution));
+    }
     auto key = selector.Pop([&](SetId id) -> std::optional<SelectionKey> {
       const std::size_t count = state.MarginalCount(id);
       if (count == 0) return std::nullopt;

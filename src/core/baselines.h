@@ -29,6 +29,9 @@ struct GreedyWscOptions {
   std::size_t max_sets = std::numeric_limits<std::size_t>::max();
   /// Marginal-evaluation strategy (identical output for every config).
   EngineOptions engine;
+  /// Deadline / cancellation / work-budget context; nullptr = unlimited.
+  /// On a trip the partial selection travels as the error Status payload.
+  const RunContext* run_context = nullptr;
 };
 
 /// Greedy partial weighted set cover: repeatedly select the set with the
@@ -45,6 +48,8 @@ struct GreedyMaxCoverageOptions {
   double stop_coverage_fraction = 1.0;
   /// Marginal-evaluation strategy (identical output for every config).
   EngineOptions engine;
+  /// Deadline / cancellation / work-budget context; nullptr = unlimited.
+  const RunContext* run_context = nullptr;
 };
 
 /// Greedy partial maximum coverage: select up to k sets with the highest
@@ -60,6 +65,8 @@ struct BudgetedMaxCoverageOptions {
   std::size_t max_sets = std::numeric_limits<std::size_t>::max();
   /// Marginal-evaluation strategy (identical output for every config).
   EngineOptions engine;
+  /// Deadline / cancellation / work-budget context; nullptr = unlimited.
+  const RunContext* run_context = nullptr;
 };
 
 /// Greedy budgeted maximum coverage [11]: select by marginal gain among sets

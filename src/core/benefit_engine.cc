@@ -1,6 +1,7 @@
 #include "src/core/benefit_engine.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace scwsc {
 namespace {
@@ -15,9 +16,11 @@ bool DenseEnoughForRow(std::size_t set_size, std::size_t num_elements) {
 }  // namespace
 
 BenefitEngine::BenefitEngine(const SetSystem& system,
-                             const EngineOptions& options)
+                             const EngineOptions& options,
+                             const RunContext* run_context)
     : system_(system),
       options_(options),
+      ctx_(run_context != nullptr ? run_context : &RunContext::Unlimited()),
       covered_(system.num_elements()),
       words_per_row_(covered_.num_words()) {
   const std::size_t m = system.num_sets();
@@ -72,6 +75,9 @@ std::size_t BenefitEngine::MarginalCount(SetId id) {
   if (options_.marginal_mode == MarginalMode::kEager) return count_[id];
   const std::size_t epoch = covered_.count();
   if (stamp_[id] == epoch || count_[id] == 0) return count_[id];
+  // The recount itself stays exact; the charge only decrements the budget
+  // and latches a trip for the caller's next Check().
+  ctx_->ChargeRecounts(system_.set(id).elements.size());
   count_[id] = Recount(id);
   stamp_[id] = epoch;
   return count_[id];
@@ -107,30 +113,55 @@ std::size_t BenefitEngine::Select(SetId id) {
   return newly;
 }
 
-void BenefitEngine::BatchMarginals(const std::vector<SetId>& ids,
-                                   std::vector<std::size_t>& out) {
+Status BenefitEngine::BatchMarginals(const std::vector<SetId>& ids,
+                                     std::vector<std::size_t>& out) {
   out.resize(ids.size());
   if (options_.marginal_mode == MarginalMode::kEager) {
     for (std::size_t i = 0; i < ids.size(); ++i) out[i] = count_[ids[i]];
-    return;
+    return Status::OK();
   }
   const std::size_t epoch = covered_.count();
+  if (const TripKind trip = ctx_->Check(); trip != TripKind::kNone) {
+    // Already interrupted: hand back the cached counts (valid CELF upper
+    // bounds) without recounting or committing anything.
+    for (std::size_t i = 0; i < ids.size(); ++i) out[i] = count_[ids[i]];
+    return TripStatus(trip, "BatchMarginals");
+  }
   ThreadPool& p = pool();
   // Chunks write disjoint out slots; the cache commit below is serial, so
-  // duplicate ids and any thread count yield identical results.
-  p.ParallelFor(ids.size(), options_.min_parallel_batch,
-                [&](std::size_t begin, std::size_t end) {
-                  for (std::size_t i = begin; i < end; ++i) {
-                    const SetId id = ids[i];
-                    out[i] = (stamp_[id] == epoch || count_[id] == 0)
-                                 ? count_[id]
-                                 : Recount(id);
-                  }
-                });
+  // duplicate ids and any thread count yield identical results. Once any
+  // chunk observes a trip, later indices fall back to the cached counts.
+  std::atomic<bool> aborted{false};
+  const Status pool_status = p.ParallelFor(
+      ids.size(), options_.min_parallel_batch,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const SetId id = ids[i];
+          if (stamp_[id] == epoch || count_[id] == 0) {
+            out[i] = count_[id];
+            continue;
+          }
+          if (aborted.load(std::memory_order_relaxed) ||
+              ctx_->ChargeRecounts(system_.set(id).elements.size()) !=
+                  TripKind::kNone) {
+            aborted.store(true, std::memory_order_relaxed);
+            out[i] = count_[id];
+            continue;
+          }
+          out[i] = Recount(id);
+        }
+      });
+  SCWSC_RETURN_NOT_OK(pool_status);
+  if (aborted.load(std::memory_order_relaxed)) {
+    // Mixed fresh/stale results: skip the commit entirely so the cache is
+    // never poisoned with a stale count stamped at the current epoch.
+    return TripStatus(ctx_->tripped(), "BatchMarginals");
+  }
   for (std::size_t i = 0; i < ids.size(); ++i) {
     count_[ids[i]] = out[i];
     stamp_[ids[i]] = epoch;
   }
+  return Status::OK();
 }
 
 ThreadPool& BenefitEngine::pool() {
@@ -140,10 +171,20 @@ ThreadPool& BenefitEngine::pool() {
   return *pool_;
 }
 
-void FilterCoveredIds(const DynamicBitset& covered,
-                      const std::vector<std::vector<std::uint32_t>*>& lists,
-                      ThreadPool* pool) {
+Status FilterCoveredIds(const DynamicBitset& covered,
+                        const std::vector<std::vector<std::uint32_t>*>& lists,
+                        ThreadPool* pool, const RunContext* run_context) {
+  const RunContext& ctx =
+      run_context != nullptr ? *run_context : RunContext::Unlimited();
+  std::atomic<bool> aborted{false};
   auto filter_range = [&](std::size_t begin, std::size_t end) {
+    // One trip check per chunk: a skipped list stays a valid superset of
+    // the filtered one, and callers bail out on the returned status.
+    if (aborted.load(std::memory_order_relaxed) ||
+        ctx.Check() != TripKind::kNone) {
+      aborted.store(true, std::memory_order_relaxed);
+      return;
+    }
     for (std::size_t i = begin; i < end; ++i) {
       auto& list = *lists[i];
       list.erase(std::remove_if(
@@ -153,10 +194,14 @@ void FilterCoveredIds(const DynamicBitset& covered,
     }
   };
   if (pool != nullptr && pool->size() > 1) {
-    pool->ParallelFor(lists.size(), 16, filter_range);
+    SCWSC_RETURN_NOT_OK(pool->ParallelFor(lists.size(), 16, filter_range));
   } else {
     filter_range(0, lists.size());
   }
+  if (aborted.load(std::memory_order_relaxed)) {
+    return TripStatus(ctx.tripped(), "FilterCoveredIds");
+  }
+  return Status::OK();
 }
 
 }  // namespace scwsc

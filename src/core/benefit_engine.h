@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/common/bitset.h"
+#include "src/common/run_context.h"
 #include "src/common/thread_pool.h"
 #include "src/core/engine_options.h"
 #include "src/core/set_system.h"
@@ -43,8 +44,13 @@ namespace scwsc {
 
 class BenefitEngine {
  public:
+  /// `run_context` (nullptr = unlimited) meters lazy recounts against the
+  /// element-recount budget and lets BatchMarginals observe deadlines and
+  /// cancellation between parallel chunks. Counts returned while untripped
+  /// are always exact, so an unlimited context changes no behaviour.
   explicit BenefitEngine(const SetSystem& system,
-                         const EngineOptions& options = EngineOptions());
+                         const EngineOptions& options = EngineOptions(),
+                         const RunContext* run_context = nullptr);
 
   /// Resets to the empty selection (all marginals back to |Ben(s)|).
   void Reset();
@@ -60,8 +66,15 @@ class BenefitEngine {
   /// Exact marginal counts for ids[0..n), evaluated in deterministic
   /// parallel chunks when the engine has threads. out[i] corresponds to
   /// ids[i]. Duplicate ids are allowed.
-  void BatchMarginals(const std::vector<SetId>& ids,
-                      std::vector<std::size_t>& out);
+  ///
+  /// On a RunContext trip (before or during the batch) the remaining slots
+  /// are filled from the cached counts — still valid CELF upper bounds —
+  /// the cache commit is skipped so no stale value is stamped fresh, and
+  /// the matching interruption Status is returned; callers should stop
+  /// selecting and surrender their partial solution. Also propagates
+  /// Status::Internal if a pool task throws.
+  Status BatchMarginals(const std::vector<SetId>& ids,
+                        std::vector<std::size_t>& out);
 
   std::size_t covered_count() const { return covered_.count(); }
   bool IsCovered(ElementId e) const { return covered_.test(e); }
@@ -87,6 +100,7 @@ class BenefitEngine {
 
   const SetSystem& system_;
   EngineOptions options_;
+  const RunContext* ctx_;  // never null; defaults to RunContext::Unlimited()
   DynamicBitset covered_;
 
   /// Eager: exact live counts. Lazy: cached counts, valid iff the set's
@@ -108,9 +122,16 @@ class BenefitEngine {
 /// used by the lattice-optimized algorithms (Fig. 3/4 lines "update MBen").
 /// Lists are filtered independently, chunk-parallel on `pool` when it has
 /// more than one lane, so results are identical for any thread count.
-void FilterCoveredIds(const DynamicBitset& covered,
-                      const std::vector<std::vector<std::uint32_t>*>& lists,
-                      ThreadPool* pool);
+///
+/// `run_context` (nullptr = unlimited) is observed between chunks: once
+/// tripped, remaining lists are left unfiltered — an unfiltered list is a
+/// stale-but-valid superset, so callers that bail out on the returned
+/// interruption Status never act on it. Also propagates Status::Internal
+/// from a throwing pool task.
+Status FilterCoveredIds(const DynamicBitset& covered,
+                        const std::vector<std::vector<std::uint32_t>*>& lists,
+                        ThreadPool* pool,
+                        const RunContext* run_context = nullptr);
 
 }  // namespace scwsc
 

@@ -127,10 +127,32 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
   const double total_cost = system.TotalCost();
   double budget = CmcInitialBudget(system, options.k);
 
-  BenefitEngine engine(system, options.engine);
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+  BenefitEngine engine(system, options.engine, &ctx);
+
+  // `partial` must arrive with `covered` already correct (the engine may be
+  // mid-round or reset, so the helper cannot recompute it).
+  auto interrupted = [&](TripKind trip, Solution partial) -> Status {
+    partial.provenance.trip = trip;
+    partial.provenance.sets_chosen = partial.sets.size();
+    partial.provenance.coverage_reached = partial.covered;
+    partial.provenance.budget_level = budget;
+    CmcResult partial_result = result;  // rounds / considered counts so far
+    partial_result.solution = std::move(partial);
+    partial_result.final_budget = budget;
+    return TripStatus(trip, "cmc").WithPayload(std::move(partial_result));
+  };
+
+  // Each round restarts from the empty selection, so the previous round's
+  // (insufficient) cover is the best-so-far for a trip between rounds.
+  Solution last_round;
   std::vector<std::size_t> level_counts;
   bool final_round = budget >= total_cost;
   for (std::size_t round = 1; round <= options.max_budget_rounds; ++round) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return interrupted(trip, std::move(last_round));
+    }
     result.budget_rounds = round;
     // Fig. 1 lines 04-05 recompute the marginal benefit of every set at the
     // start of each round; that is the unoptimized "patterns considered"
@@ -155,7 +177,12 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
       // Rebucketing scan: (re-)evaluate every member's marginal in one
       // deterministic batch (chunk-parallel under the engine's thread
       // options) instead of one-at-a-time heap seeding.
-      engine.BatchMarginals(members[li], level_counts);
+      const Status batch = engine.BatchMarginals(members[li], level_counts);
+      if (!batch.ok()) {
+        if (!batch.IsInterruption()) return batch;  // pool task threw
+        solution.covered = engine.covered_count();
+        return interrupted(ctx.tripped(), std::move(solution));
+      }
       LazySelector selector;
       for (std::size_t j = 0; j < members[li].size(); ++j) {
         if (level_counts[j] > 0) {
@@ -166,6 +193,10 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
       }
       for (std::size_t picks = 0; picks < levels[li].capacity && rem > 0;
            ++picks) {
+        if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+          solution.covered = engine.covered_count();
+          return interrupted(trip, std::move(solution));
+        }
         auto key = selector.Pop([&](SetId id) -> std::optional<SelectionKey> {
           const std::size_t count = engine.MarginalCount(id);
           if (count == 0) return std::nullopt;
@@ -185,6 +216,8 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
       result.final_budget = budget;
       return result;
     }
+    solution.covered = engine.covered_count();
+    last_round = std::move(solution);
 
     if (final_round) {
       return Status::Infeasible(

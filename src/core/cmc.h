@@ -44,6 +44,12 @@ struct CmcOptions {
   /// Marginal-evaluation strategy (lazy/bitset fast path by default; every
   /// configuration returns the identical solution).
   EngineOptions engine;
+  /// Deadline / cancellation / work-budget context; nullptr = unlimited.
+  /// On a trip the solver returns the matching error Status carrying a
+  /// partial CmcResult payload: the in-progress round's solution (or the
+  /// last completed round's, for a trip between rounds) with
+  /// provenance.budget_level = the budget B being explored.
+  const RunContext* run_context = nullptr;
 };
 
 /// One CMC cost level: sets with Cost in (lo, hi] — except the cheapest

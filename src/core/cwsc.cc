@@ -10,12 +10,16 @@ namespace {
 /// |MBen| * i >= rem, under the shared selection order. Used by the eager
 /// engine, whose marginal reads are O(1).
 Result<Solution> RunCwscEager(const SetSystem& system,
-                              const CwscOptions& options, std::size_t rem) {
-  BenefitEngine engine(system, options.engine);
+                              const CwscOptions& options, std::size_t rem,
+                              const RunContext& ctx) {
+  BenefitEngine engine(system, options.engine, &ctx);
   DynamicBitset selected(system.num_sets() == 0 ? 1 : system.num_sets());
   Solution solution;
 
   for (std::size_t i = options.k; i >= 1; --i) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return InterruptedStatus(trip, "cwsc", std::move(solution));
+    }
     SetId best = kInvalidSet;
     std::size_t best_count = 0;
     for (SetId id = 0; id < system.num_sets(); ++id) {
@@ -58,8 +62,9 @@ Result<Solution> RunCwscEager(const SetSystem& system,
 /// (a large pick can lower it), so a set rejected now may qualify later.
 /// Zero-marginal sets are dropped permanently (counts never grow).
 Result<Solution> RunCwscLazy(const SetSystem& system,
-                             const CwscOptions& options, std::size_t rem) {
-  BenefitEngine engine(system, options.engine);
+                             const CwscOptions& options, std::size_t rem,
+                             const RunContext& ctx) {
+  BenefitEngine engine(system, options.engine, &ctx);
   Solution solution;
 
   LazySelector selector;
@@ -76,6 +81,9 @@ Result<Solution> RunCwscLazy(const SetSystem& system,
   };
 
   for (std::size_t i = options.k; i >= 1; --i) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return InterruptedStatus(trip, "cwsc", std::move(solution));
+    }
     parked.clear();
     std::optional<SelectionKey> chosen;
     while (true) {
@@ -120,10 +128,12 @@ Result<Solution> RunCwsc(const SetSystem& system, const CwscOptions& options) {
   const std::size_t rem = SetSystem::CoverageTarget(options.coverage_fraction, n);
   if (rem == 0) return Solution{};  // nothing to cover
 
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
   if (options.engine.marginal_mode == MarginalMode::kEager) {
-    return RunCwscEager(system, options, rem);
+    return RunCwscEager(system, options, rem, ctx);
   }
-  return RunCwscLazy(system, options, rem);
+  return RunCwscLazy(system, options, rem, ctx);
 }
 
 }  // namespace scwsc

@@ -29,6 +29,10 @@ struct CwscOptions {
   /// Marginal-evaluation strategy (lazy/bitset fast path by default; every
   /// configuration returns the identical solution).
   EngineOptions engine;
+  /// Deadline / cancellation / work-budget context; nullptr = unlimited.
+  /// On a trip the solver returns the matching error Status carrying the
+  /// partial solution built so far as a payload (see Provenance).
+  const RunContext* run_context = nullptr;
 };
 
 /// Runs CWSC over an explicit set system. Returns:

@@ -15,6 +15,7 @@ struct SearchContext {
   const std::vector<SetId>& order;        // sets sorted by cost ascending
   const std::vector<std::size_t>& suffix_max_size;
   const ExactOptions& options;
+  const RunContext& run_ctx;
 
   DynamicBitset covered;
   std::vector<SetId> chosen = {};         // original ids, in pick order
@@ -26,13 +27,20 @@ struct SearchContext {
 
   std::uint64_t nodes = 0;
   bool exhausted = false;
+  TripKind trip = TripKind::kNone;
 };
 
 void Dfs(SearchContext& ctx, std::size_t idx, std::size_t picks_left,
          std::size_t rem) {
-  if (ctx.exhausted) return;
+  if (ctx.exhausted || ctx.trip != TripKind::kNone) return;
   if (++ctx.nodes > ctx.options.max_nodes) {
     ctx.exhausted = true;
+    return;
+  }
+  // Charging per node keeps a node budget of 1 exact; unlimited contexts
+  // skip everything after one relaxed load.
+  if (const TripKind t = ctx.run_ctx.ChargeNodes(1); t != TripKind::kNone) {
+    ctx.trip = t;
     return;
   }
   if (rem == 0) {
@@ -155,10 +163,13 @@ Result<ExactResult> SolveExact(const SetSystem& system,
         std::max(suffix_max[i + 1], system.set(order[i]).elements.size());
   }
 
+  const RunContext& run_ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
   SearchContext ctx{.system = system,
                     .order = order,
                     .suffix_max_size = suffix_max,
                     .options = options,
+                    .run_ctx = run_ctx,
                     .covered = DynamicBitset(system.num_elements())};
 
   // Seed the incumbent with the greedy CWSC solution when one exists; it
@@ -166,6 +177,7 @@ Result<ExactResult> SolveExact(const SetSystem& system,
   CwscOptions greedy_opts;
   greedy_opts.k = options.k;
   greedy_opts.coverage_fraction = options.coverage_fraction;
+  greedy_opts.run_context = options.run_context;
   if (auto greedy = RunCwsc(system, greedy_opts); greedy.ok()) {
     ctx.best_cost = greedy->total_cost;
     ctx.best_sets = greedy->sets;
@@ -174,19 +186,38 @@ Result<ExactResult> SolveExact(const SetSystem& system,
 
   Dfs(ctx, 0, options.k, target);
   result.nodes = ctx.nodes;
-  if (ctx.exhausted) {
-    return Status::ResourceExhausted("exact solver exceeded max_nodes");
+
+  auto fill_best = [&](Solution& out) {
+    out.sets = ctx.best_sets;
+    out.total_cost = ctx.best_cost;
+    DynamicBitset covered(system.num_elements());
+    for (SetId id : ctx.best_sets) {
+      for (ElementId e : system.set(id).elements) covered.set(e);
+    }
+    out.covered = covered.count();
+  };
+
+  if (ctx.trip != TripKind::kNone || ctx.exhausted) {
+    // Interrupted (or out of nodes): surrender the incumbent — it is a
+    // feasible solution of the full problem whenever one was found, just
+    // not proven optimal.
+    ExactResult partial;
+    partial.nodes = ctx.nodes;
+    if (ctx.found) fill_best(partial.solution);
+    Provenance& prov = partial.solution.provenance;
+    prov.trip = ctx.trip != TripKind::kNone ? ctx.trip : TripKind::kBudget;
+    prov.sets_chosen = partial.solution.sets.size();
+    prov.coverage_reached = partial.solution.covered;
+    const Status status =
+        ctx.trip != TripKind::kNone
+            ? TripStatus(ctx.trip, "exact")
+            : Status::ResourceExhausted("exact solver exceeded max_nodes");
+    return status.WithPayload(std::move(partial));
   }
   if (!ctx.found) {
     return Status::Infeasible("no feasible solution with at most k sets");
   }
-  result.solution.sets = ctx.best_sets;
-  result.solution.total_cost = ctx.best_cost;
-  DynamicBitset covered(system.num_elements());
-  for (SetId id : ctx.best_sets) {
-    for (ElementId e : system.set(id).elements) covered.set(e);
-  }
-  result.solution.covered = covered.count();
+  fill_best(result.solution);
   return result;
 }
 

@@ -31,6 +31,11 @@ struct ExactOptions {
   double coverage_fraction = 0.5;
   /// Node budget for the branch-and-bound search.
   std::uint64_t max_nodes = 200'000'000;
+  /// Deadline / cancellation / work-budget context; nullptr = unlimited.
+  /// The search charges one node expansion per DFS node. On a trip (and on
+  /// max_nodes exhaustion) the returned error Status carries a partial
+  /// ExactResult payload holding the incumbent found so far, if any.
+  const RunContext* run_context = nullptr;
 };
 
 struct ExactResult {

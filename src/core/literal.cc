@@ -47,7 +47,12 @@ Result<Solution> RunCwscLiteral(const SetSystem& system,
   for (const auto& s : system.sets()) mben.push_back(s.elements);
   std::vector<bool> alive(system.num_sets(), true);
 
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
   for (std::size_t i = options.k; i >= 1; --i) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return InterruptedStatus(trip, "cwsc (literal)", std::move(solution));
+    }
     // Line 06: argmax gain among sets with |MBen| >= rem / i.
     SetId best = kInvalidSet;
     for (SetId s = 0; s < system.num_sets(); ++s) {
@@ -103,7 +108,25 @@ Result<CmcResult> RunCmcLiteral(const SetSystem& system,
   double budget = CmcInitialBudget(system, options.k);
   bool final_round = budget >= total_cost;
 
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+  auto interrupted = [&](TripKind trip, Solution partial) -> Status {
+    partial.provenance.trip = trip;
+    partial.provenance.sets_chosen = partial.sets.size();
+    partial.provenance.coverage_reached = partial.covered;
+    partial.provenance.budget_level = budget;
+    CmcResult partial_result = result;
+    partial_result.solution = std::move(partial);
+    partial_result.final_budget = budget;
+    return TripStatus(trip, "cmc (literal)").WithPayload(
+        std::move(partial_result));
+  };
+  Solution last_round;
+
   for (std::size_t round = 1; round <= options.max_budget_rounds; ++round) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return interrupted(trip, std::move(last_round));
+    }
     result.budget_rounds = round;
     result.sets_considered += system.num_sets();
 
@@ -126,6 +149,9 @@ Result<CmcResult> RunCmcLiteral(const SetSystem& system,
     for (std::size_t li = 0; li < levels.size() && rem > 0; ++li) {
       for (std::size_t picks = 0; picks < levels[li].capacity && rem > 0;
            ++picks) {
+        if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+          return interrupted(trip, std::move(solution));
+        }
         // Line 17: argmax |MBen| within this level.
         SetId best = kInvalidSet;
         for (SetId s = 0; s < system.num_sets(); ++s) {
@@ -157,6 +183,7 @@ Result<CmcResult> RunCmcLiteral(const SetSystem& system,
       result.final_budget = budget;
       return result;
     }
+    last_round = std::move(solution);
     if (final_round) {
       return Status::Infeasible(
           "CMC (literal): coverage target unreachable even with budget = "

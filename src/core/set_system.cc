@@ -14,6 +14,10 @@ Result<SetId> SetSystem::AddSet(std::vector<ElementId> elements, double cost,
   if (!(cost >= 0.0) || !std::isfinite(cost)) {
     return Status::InvalidArgument("set cost must be finite and >= 0");
   }
+  if (!std::isfinite(total_cost_ + cost)) {
+    return Status::InvalidArgument(
+        "set cost overflows the total cost of the system");
+  }
   std::sort(elements.begin(), elements.end());
   elements.erase(std::unique(elements.begin(), elements.end()),
                  elements.end());
@@ -24,15 +28,12 @@ Result<SetId> SetSystem::AddSet(std::vector<ElementId> elements, double cost,
     return Status::ResourceExhausted("too many sets");
   }
   sets_.push_back(WeightedSet{std::move(elements), cost, std::move(label)});
+  total_cost_ += cost;
   inverted_valid_ = false;
   return static_cast<SetId>(sets_.size() - 1);
 }
 
-double SetSystem::TotalCost() const {
-  double total = 0.0;
-  for (const auto& s : sets_) total += s.cost;
-  return total;
-}
+double SetSystem::TotalCost() const { return total_cost_; }
 
 double SetSystem::KCheapestCost(std::size_t k) const {
   std::vector<double> costs;

@@ -37,7 +37,10 @@ class SetSystem {
   explicit SetSystem(std::size_t num_elements);
 
   /// Adds a set; elements are sorted/deduplicated, must be < num_elements(),
-  /// and cost must be non-negative and finite. Returns the new SetId.
+  /// and cost must be non-negative and finite — NaN, negative, and infinite
+  /// costs are rejected with InvalidArgument, as is a (finite) cost that
+  /// would overflow the running Σ-cost to infinity (TotalCost() anchors the
+  /// CMC budget schedule and must stay finite). Returns the new SetId.
   Result<SetId> AddSet(std::vector<ElementId> elements, double cost,
                        std::string label = "");
 
@@ -71,6 +74,7 @@ class SetSystem {
  private:
   std::size_t num_elements_;
   std::vector<WeightedSet> sets_;
+  double total_cost_ = 0.0;  // running Σ-cost, kept finite by AddSet
   mutable std::vector<std::vector<SetId>> inverted_;  // lazy
   mutable bool inverted_valid_ = false;
 };

@@ -58,4 +58,13 @@ std::string SolutionToString(const SetSystem& system,
   return out;
 }
 
+Status InterruptedStatus(TripKind trip, const char* what, Solution partial,
+                         double budget_level) {
+  partial.provenance.trip = trip;
+  partial.provenance.sets_chosen = partial.sets.size();
+  partial.provenance.coverage_reached = partial.covered;
+  partial.provenance.budget_level = budget_level;
+  return TripStatus(trip, what).WithPayload(std::move(partial));
+}
+
 }  // namespace scwsc

@@ -7,9 +7,25 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/run_context.h"
 #include "src/core/set_system.h"
 
 namespace scwsc {
+
+/// Where a solution came from: complete run, or interrupted by a RunContext
+/// trip (deadline / cancellation / work budget). Solvers fill this on every
+/// partial (best-so-far) solution they surrender via a Status payload, so
+/// callers can tell how far the run got before the trip.
+struct Provenance {
+  TripKind trip = TripKind::kNone;  // kNone for a complete, untripped run
+  std::size_t sets_chosen = 0;      // selections committed before the trip
+  std::size_t coverage_reached = 0;  // elements (or rows) covered at the trip
+  /// CMC-family only: the budget level being explored when the trip fired
+  /// (0 when the algorithm has no budget schedule).
+  double budget_level = 0.0;
+
+  bool interrupted() const { return trip != TripKind::kNone; }
+};
 
 /// A sub-collection of sets chosen by a solver, with the solver's own
 /// bookkeeping of cost and coverage (audited independently by AuditSolution).
@@ -17,6 +33,7 @@ struct Solution {
   std::vector<SetId> sets;   // in selection order
   double total_cost = 0.0;   // Σ Cost(s) over the selection
   std::size_t covered = 0;   // |∪ Ben(s)|
+  Provenance provenance;     // interruption record; default = complete run
 };
 
 /// Facts about a Solution recomputed from scratch against the SetSystem;
@@ -44,6 +61,14 @@ bool SatisfiesConstraints(const SetSystem& system, const Solution& solution,
 /// Human-readable one-line summary: "{P6, P16} cost=27 covered=9/16".
 std::string SolutionToString(const SetSystem& system,
                              const Solution& solution);
+
+/// Stamps `partial` with an interruption Provenance record for `trip` and
+/// returns the matching error Status (DeadlineExceeded / Cancelled /
+/// ResourceExhausted, see TripStatus) carrying the stamped solution as its
+/// payload, retrievable via `status.payload<Solution>()`. `budget_level` is
+/// the CMC-family budget being explored at the trip (0 elsewhere).
+Status InterruptedStatus(TripKind trip, const char* what, Solution partial,
+                         double budget_level = 0.0);
 
 }  // namespace scwsc
 

@@ -101,6 +101,7 @@ Status IncrementalCwsc::FullRecompute() {
   CwscOptions opts;
   opts.k = options_.k;
   opts.coverage_fraction = options_.coverage_fraction;
+  opts.run_context = options_.run_context;
   SCWSC_ASSIGN_OR_RETURN(solution_,
                          pattern::RunOptimizedCwsc(*table_, cost_fn_, opts));
   ++stats_.full_recomputes;
@@ -138,8 +139,14 @@ Status IncrementalCwsc::TryRepair() {
   opts.k = budget;
   opts.coverage_fraction = static_cast<double>(needed) /
                            static_cast<double>(residual.num_rows());
+  opts.run_context = options_.run_context;
   auto patch = pattern::RunOptimizedCwsc(residual, cost_fn_, opts);
-  if (!patch.ok()) return FullRecompute();
+  if (!patch.ok()) {
+    // An interruption must surface, not trigger an (equally doomed and more
+    // expensive) full recompute.
+    if (patch.status().IsInterruption()) return patch.status();
+    return FullRecompute();
+  }
 
   for (const pattern::Pattern& p : patch->patterns) {
     SCWSC_ASSIGN_OR_RETURN(pattern::Pattern translated,

@@ -45,6 +45,12 @@ struct IncrementalOptions {
   std::size_t k = 10;
   double coverage_fraction = 0.3;
   RepairPolicy policy = RepairPolicy::kRepair;
+  /// Deadline / cancellation / work-budget context forwarded into every
+  /// embedded optimized-CWSC run (nullptr = unlimited). On a trip Append
+  /// returns the interruption Status; the maintained solution stays the one
+  /// from the last successful Append (possibly infeasible for the enlarged
+  /// table — re-auditable via solution()).
+  const RunContext* run_context = nullptr;
 };
 
 struct IncrementalStats {

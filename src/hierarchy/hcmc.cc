@@ -146,11 +146,28 @@ Result<HSolution> RunHierarchicalCmc(const Table& table,
   DynamicBitset covered(n);
   bool final_round = budget >= root_cost;
 
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+  // `partial` must arrive with `covered` already stamped; each round
+  // restarts from scratch, so the previous (insufficient) round is the
+  // best-so-far for a trip between rounds.
+  auto interrupted = [&](TripKind trip, HSolution partial) -> Status {
+    partial.provenance.trip = trip;
+    partial.provenance.sets_chosen = partial.patterns.size();
+    partial.provenance.coverage_reached = partial.covered;
+    partial.provenance.budget_level = budget;
+    return TripStatus(trip, "hierarchical cmc").WithPayload(std::move(partial));
+  };
+  HSolution last_round;
+
   using CandidateMap = std::unordered_map<HPattern, Candidate, HPatternHash>;
   using KeySet = std::unordered_set<HPattern, HPatternHash>;
   using Heap = std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess>;
 
   for (std::size_t round = 1; round <= options.max_budget_rounds; ++round) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return interrupted(trip, std::move(last_round));
+    }
     st.budget_rounds = round;
     if (coverable_rows(budget) < target) {
       if (final_round) {
@@ -196,6 +213,10 @@ Result<HSolution> RunHierarchicalCmc(const Table& table,
 
     while (!candidates.empty() && total_count <= total_allowance && rem > 0) {
       if (heap.empty()) break;
+      if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+        round_solution.covered = covered.count();
+        return interrupted(trip, std::move(round_solution));
+      }
       HeapEntry top = heap.top();
       heap.pop();
       auto qit = candidates.find(top.key);
@@ -268,6 +289,9 @@ Result<HSolution> RunHierarchicalCmc(const Table& table,
         nodes.reserve(by_node.size());
         for (const auto& [node, rows] : by_node) nodes.push_back(node);
         std::sort(nodes.begin(), nodes.end());
+        // One lattice expansion per prospective child; a trip surfaces at
+        // the next heap-pop Check.
+        ctx.ChargeNodes(nodes.size());
         for (NodeId node : nodes) {
           HPattern child = q_key.WithNode(a, node);
           if (candidates.count(child) || visited.count(child) ||
@@ -299,6 +323,8 @@ Result<HSolution> RunHierarchicalCmc(const Table& table,
       st.final_budget = budget;
       return round_solution;
     }
+    round_solution.covered = covered.count();
+    last_round = std::move(round_solution);
     if (final_round) {
       return Status::Infeasible(
           "hierarchical CMC: coverage unreachable even at the all-wildcards "

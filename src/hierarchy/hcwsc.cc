@@ -116,6 +116,15 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
   if (n == 0) return Status::Infeasible("empty table with positive target");
 
   DynamicBitset covered(n);
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+  auto interrupted = [&](TripKind trip) -> Status {
+    solution.covered = covered.count();
+    solution.provenance.trip = trip;
+    solution.provenance.sets_chosen = solution.patterns.size();
+    solution.provenance.coverage_reached = solution.covered;
+    return TripStatus(trip, "hierarchical cwsc").WithPayload(solution);
+  };
   CandidateMap candidates;
   std::unordered_set<HPattern, HPatternHash> selected;
 
@@ -140,6 +149,9 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
   }
 
   for (std::size_t i = options.k; i >= 1; --i) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return interrupted(trip);
+    }
     for (auto it = candidates.begin(); it != candidates.end();) {
       if (it->second.mben.size() * i < rem) {
         it = candidates.erase(it);
@@ -154,6 +166,9 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
       waitlist.push(WaitEntry{cand.mben.size(), &pat});
     }
     while (!waitlist.empty()) {
+      if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+        return interrupted(trip);
+      }
       const WaitEntry top = waitlist.top();
       waitlist.pop();
       auto qit = candidates.find(*top.pattern);
@@ -162,6 +177,9 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
       q.processed = true;
 
       auto groups = GroupHChildren(table, hierarchy, q.pattern, q.mben);
+      // Each prospective child is one lattice expansion against the
+      // node-expansion budget; a trip surfaces at the next Check above.
+      ctx.ChargeNodes(groups.size());
 
       struct Pending {
         std::size_t group_index;
@@ -228,7 +246,12 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
     std::vector<std::vector<RowId>*> mben_lists;
     mben_lists.reserve(candidates.size());
     for (auto& [pat, cand] : candidates) mben_lists.push_back(&cand.mben);
-    FilterCoveredIds(covered, mben_lists, pool.get());
+    const Status filtered =
+        FilterCoveredIds(covered, mben_lists, pool.get(), &ctx);
+    if (!filtered.ok()) {
+      if (!filtered.IsInterruption()) return filtered;  // pool task threw
+      return interrupted(ctx.tripped());
+    }
     for (auto it = candidates.begin(); it != candidates.end();) {
       if (it->second.mben.empty()) {
         it = candidates.erase(it);

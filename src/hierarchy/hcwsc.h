@@ -26,6 +26,9 @@ struct HSolution {
   std::vector<HPattern> patterns;  // in selection order
   double total_cost = 0.0;
   std::size_t covered = 0;
+  /// How the run ended (trip == kNone for a clean finish). Interrupted runs
+  /// surface the best-so-far HSolution as the interruption Status payload.
+  Provenance provenance;
 };
 
 /// Lattice-optimized CWSC under `hierarchy`. `stats` (optional) receives

@@ -22,9 +22,15 @@ Result<std::vector<EnumeratedHPattern>> EnumerateAllHPatterns(
 
   // Per-row generalization cross product: each attribute contributes the
   // leaf's root chain plus ALL.
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+
   std::vector<std::vector<NodeId>> options_per_attr(j);
   std::vector<std::size_t> cursor(j);
   for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return TripStatus(trip, "hierarchical pattern enumeration");
+    }
     for (std::size_t a = 0; a < j; ++a) {
       const AttributeHierarchy& h = hierarchy.attribute(a);
       const NodeId leaf = table.value(r, a);
@@ -49,6 +55,10 @@ Result<std::vector<EnumeratedHPattern>> EnumerateAllHPatterns(
         if (out.size() >= options.max_patterns) {
           return Status::ResourceExhausted(
               "hierarchical enumeration exceeded max_patterns");
+        }
+        if (ctx.ChargeNodes(1) != TripKind::kNone) {
+          return TripStatus(ctx.tripped(),
+                            "hierarchical pattern enumeration");
         }
         out.push_back(EnumeratedHPattern{it->first, {}});
       }

@@ -27,6 +27,11 @@ struct EnumeratedHPattern {
 
 struct HEnumerateOptions {
   std::size_t max_patterns = 50'000'000;
+  /// Deadline / cancellation / work-budget context; nullptr = unlimited.
+  /// Checked once per row and each newly inserted pattern charges one node
+  /// expansion. A partial enumeration is not a usable solver substrate, so
+  /// trips return the bare interruption Status with no payload.
+  const RunContext* run_context = nullptr;
 };
 
 /// All distinct hierarchical patterns matching at least one record, sorted

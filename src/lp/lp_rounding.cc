@@ -81,10 +81,16 @@ Result<LpRoundingResult> SolveByLpRounding(const SetSystem& system,
   const std::size_t n = system.num_elements();
   const std::size_t target =
       SetSystem::CoverageTarget(options.coverage_fraction, n);
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+  LpOptions lp_options = options.lp;
+  if (lp_options.run_context == nullptr) {
+    lp_options.run_context = options.run_context;
+  }
   SCWSC_ASSIGN_OR_RETURN(
       LpRelaxation relaxation,
       SolveScwscRelaxation(system, options.k, options.coverage_fraction,
-                           options.lp));
+                           lp_options));
   LpRoundingResult result;
   result.lp_lower_bound = relaxation.lower_bound;
   if (target == 0) return result;
@@ -98,6 +104,22 @@ Result<LpRoundingResult> SolveByLpRounding(const SetSystem& system,
   bool have_best = false;
   Solution best;
 
+  // Once the relaxation is solved, every later stage can surrender the best
+  // rounded solution found so far (possibly none) as the Status payload.
+  auto interrupted = [&](TripKind trip) -> Status {
+    LpRoundingResult partial = result;
+    if (have_best) partial.solution = best;
+    Provenance& prov = partial.solution.provenance;
+    prov.trip = trip;
+    prov.sets_chosen = partial.solution.sets.size();
+    prov.coverage_reached = partial.solution.covered;
+    partial.cardinality_violation =
+        partial.solution.sets.size() > options.k
+            ? partial.solution.sets.size() - options.k
+            : 0;
+    return TripStatus(trip, "lp rounding").WithPayload(std::move(partial));
+  };
+
   auto evaluate = [&](const std::vector<SetId>& picked) {
     DynamicBitset covered(n);
     double cost = 0.0;
@@ -109,6 +131,9 @@ Result<LpRoundingResult> SolveByLpRounding(const SetSystem& system,
   };
 
   for (std::size_t t = 0; t < options.trials; ++t) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return interrupted(trip);
+    }
     std::vector<SetId> picked;
     for (SetId s = 0; s < system.num_sets(); ++s) {
       const double p = std::min(1.0, alpha * relaxation.x[s]);
@@ -138,6 +163,12 @@ Result<LpRoundingResult> SolveByLpRounding(const SetSystem& system,
     std::size_t rem = target;
     Solution repaired;
     while (rem > 0) {
+      if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+        repaired.covered = state.covered_count();
+        best = std::move(repaired);
+        have_best = true;
+        return interrupted(trip);
+      }
       auto key = selector.Pop([&](SetId s) -> std::optional<SelectionKey> {
         const std::size_t count = state.MarginalCount(s);
         if (count == 0) return std::nullopt;

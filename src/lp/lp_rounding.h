@@ -37,6 +37,13 @@ struct LpScwscOptions {
   std::size_t trials = 64;
   std::uint64_t seed = 2015;
   LpOptions lp;
+  /// Deadline / cancellation / work-budget context; nullptr = unlimited.
+  /// Propagated into the simplex solve (per-pivot checks) and observed
+  /// between rounding trials and repair picks. On a trip after the
+  /// relaxation solved, the error Status carries the best LpRoundingResult
+  /// so far as payload (its solution may be coverage-infeasible when no
+  /// trial had finished; check provenance.coverage_reached).
+  const RunContext* run_context = nullptr;
 };
 
 /// The LP relaxation's optimal value (a lower bound on OPT), with the

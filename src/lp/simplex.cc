@@ -90,6 +90,10 @@ Result<bool> Iterate(const Phase& ph, const std::vector<bool>& allowed,
     if (++*pivots > options.max_pivots) {
       return Status::ResourceExhausted("simplex exceeded max_pivots");
     }
+    if (options.run_context != nullptr) {
+      const TripKind trip = options.run_context->ChargeNodes(1);
+      if (trip != TripKind::kNone) return TripStatus(trip, "simplex");
+    }
     tab.Pivot(leave, enter);
     // Update the objective row (the value itself is recomputed from the
     // final basis by the caller).

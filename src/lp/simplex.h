@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/run_context.h"
 
 namespace scwsc {
 namespace lp {
@@ -42,6 +43,11 @@ struct LpProblem {
 struct LpOptions {
   std::size_t max_pivots = 100'000;
   double tolerance = 1e-9;
+  /// Deadline / cancellation / work-budget context; nullptr = unlimited.
+  /// Checked once per pivot (one node expansion charged each); a trip
+  /// returns DeadlineExceeded / Cancelled / ResourceExhausted with no
+  /// payload — an interrupted tableau has no meaningful partial solution.
+  const RunContext* run_context = nullptr;
 };
 
 struct LpSolution {
@@ -54,6 +60,7 @@ struct LpSolution {
 ///  - Infeasible when no x >= 0 satisfies the constraints,
 ///  - InvalidArgument for malformed input (arity mismatches, NaNs),
 ///  - ResourceExhausted when max_pivots is hit,
+///  - DeadlineExceeded / Cancelled on a RunContext trip,
 ///  - Internal("unbounded") when the objective is unbounded below.
 Result<LpSolution> SolveLp(const LpProblem& problem,
                            const LpOptions& options = {});

@@ -53,8 +53,13 @@ Result<std::vector<EnumeratedPattern>> EnumeratePacked(
   std::vector<std::uint64_t> keys;
   std::vector<std::vector<RowId>> rows;
 
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
   std::vector<std::uint64_t> encoded(j);
   for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return TripStatus(trip, "pattern enumeration");
+    }
     for (std::size_t a = 0; a < j; ++a) {
       encoded[a] = (static_cast<std::uint64_t>(table.value(r, a)) + 1)
                    << layout.shift[a];
@@ -70,6 +75,9 @@ Result<std::vector<EnumeratedPattern>> EnumeratePacked(
         if (keys.size() >= options.max_patterns) {
           return Status::ResourceExhausted(
               "pattern enumeration exceeded max_patterns");
+        }
+        if (ctx.ChargeNodes(1) != TripKind::kNone) {
+          return TripStatus(ctx.tripped(), "pattern enumeration");
         }
         keys.push_back(key);
         rows.emplace_back();
@@ -99,7 +107,12 @@ Result<std::vector<EnumeratedPattern>> EnumerateGeneric(
   std::unordered_map<Pattern, std::uint32_t, PatternHash> index;
   std::vector<EnumeratedPattern> out;
 
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
   for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return TripStatus(trip, "pattern enumeration");
+    }
     for (std::size_t mask = 0; mask < num_masks; ++mask) {
       std::vector<ValueId> values(j, kAll);
       for (std::size_t a = 0; a < j; ++a) {
@@ -112,6 +125,9 @@ Result<std::vector<EnumeratedPattern>> EnumerateGeneric(
         if (out.size() >= options.max_patterns) {
           return Status::ResourceExhausted(
               "pattern enumeration exceeded max_patterns");
+        }
+        if (ctx.ChargeNodes(1) != TripKind::kNone) {
+          return TripStatus(ctx.tripped(), "pattern enumeration");
         }
         out.push_back(EnumeratedPattern{it->first, {}});
       }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/run_context.h"
 #include "src/pattern/pattern.h"
 #include "src/table/table.h"
 
@@ -34,6 +35,13 @@ struct EnumerateOptions {
   /// (ResourceExhausted) — a guard against accidentally cubing a table with
   /// many attributes.
   std::size_t max_patterns = 200'000'000;
+  /// Deadline / cancellation / work-budget context; nullptr = unlimited.
+  /// Checked once per source row (each row expands up to 2^j
+  /// generalizations, charged as one node expansion per distinct pattern
+  /// inserted). A trip aborts the enumeration with the matching Status —
+  /// a partially enumerated pattern collection is not a usable substrate,
+  /// so no payload is attached.
+  const RunContext* run_context = nullptr;
 };
 
 /// Enumerates all non-empty patterns of `table`, sorted by CanonicalLess.

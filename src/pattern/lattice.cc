@@ -38,7 +38,9 @@ std::vector<ChildGroup> GroupChildren(const Table& table,
   return groups;
 }
 
-ChildGrouper::ChildGrouper(const Table& table) : table_(table) {
+ChildGrouper::ChildGrouper(const Table& table, const RunContext* run_context)
+    : table_(table),
+      ctx_(run_context != nullptr ? *run_context : RunContext::Unlimited()) {
   scratch_.resize(table.num_attributes());
   for (std::size_t a = 0; a < table.num_attributes(); ++a) {
     scratch_[a].assign(table.domain_size(a), 0);
@@ -48,6 +50,9 @@ ChildGrouper::ChildGrouper(const Table& table) : table_(table) {
 std::vector<ChildGroup> ChildGrouper::operator()(
     const Pattern& parent, const std::vector<RowId>& rows) {
   std::vector<ChildGroup> groups;
+  // Tripped contexts get an empty expansion so descent loops unwind right
+  // away; the caller's own Check() distinguishes this from a leaf.
+  if (ctx_.Check() != TripKind::kNone) return groups;
   for (std::size_t a = 0; a < parent.num_attributes(); ++a) {
     if (!parent.is_wildcard(a)) continue;
     auto& slot = scratch_[a];
@@ -70,6 +75,7 @@ std::vector<ChildGroup> ChildGrouper::operator()(
     for (std::size_t g = first; g < groups.size(); ++g) {
       slot[groups[g].value] = 0;
     }
+    ctx_.ChargeNodes(groups.size() - first);
   }
   return groups;
 }

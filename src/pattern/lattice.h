@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "src/common/run_context.h"
 #include "src/pattern/pattern.h"
 
 namespace scwsc {
@@ -49,13 +50,19 @@ std::vector<ChildGroup> GroupChildren(const Table& table,
 /// to the free function. Not thread-safe; one instance per solver run.
 class ChildGrouper {
  public:
-  explicit ChildGrouper(const Table& table);
+  /// `run_context` (nullptr = unlimited): each call charges one node
+  /// expansion per produced group; once tripped, operator() returns an
+  /// empty group vector immediately so descent loops unwind fast (callers
+  /// must consult the context before trusting an empty result).
+  explicit ChildGrouper(const Table& table,
+                        const RunContext* run_context = nullptr);
 
   std::vector<ChildGroup> operator()(const Pattern& parent,
                                      const std::vector<RowId>& rows);
 
  private:
   const Table& table_;
+  const RunContext& ctx_;
   // scratch_[attr][value] = index into the current call's group vector + 1
   // (0 = unassigned); entries touched per call are reset afterwards.
   std::vector<std::vector<std::uint32_t>> scratch_;

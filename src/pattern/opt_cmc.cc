@@ -183,10 +183,23 @@ Result<PatternSolution> RunOptimizedCmcImpl(const Table& table,
   // Ben(p) on first pop instead of by filtering the parent's benefit list
   // at admission time.
   const BenefitIndex index(table);
-  ChildGrouper group_children(table);
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+  ChildGrouper group_children(table, &ctx);
 
   DynamicBitset covered(n);
   bool final_round = budget >= root_cost;
+
+  // Trips surrender the in-progress round's selection (or the previous
+  // round's, between rounds) with the budget level recorded in provenance.
+  PatternSolution last_round;
+  auto interrupted = [&](TripKind trip, PatternSolution partial) -> Status {
+    partial.provenance.trip = trip;
+    partial.provenance.sets_chosen = partial.patterns.size();
+    partial.provenance.coverage_reached = partial.covered;
+    partial.provenance.budget_level = budget;
+    return TripStatus(trip, "optimized cmc").WithPayload(std::move(partial));
+  };
 
   using CandidateMap = std::unordered_map<Key, Candidate<Ops>, Hash>;
   using KeySet = std::unordered_set<Key, Hash>;
@@ -194,6 +207,9 @@ Result<PatternSolution> RunOptimizedCmcImpl(const Table& table,
                                    HeapLess<Ops>>;
 
   for (std::size_t round = 1; round <= options.max_budget_rounds; ++round) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return interrupted(trip, std::move(last_round));
+    }
     st.budget_rounds = round;
     if (coverable_rows(budget) < target) {
       // Provably infeasible budget; skip the descent (see precheck above).
@@ -241,6 +257,10 @@ Result<PatternSolution> RunOptimizedCmcImpl(const Table& table,
 
     // Lines 17-35.
     while (!candidates.empty() && total_count <= total_allowance && rem > 0) {
+      if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+        round_solution.covered = covered.count();
+        return interrupted(trip, std::move(round_solution));
+      }
       // Line 18: argmax marginal benefit, via the lazy heap.
       if (heap.empty()) break;
       HeapEntry<Ops> top = heap.top();
@@ -335,6 +355,8 @@ Result<PatternSolution> RunOptimizedCmcImpl(const Table& table,
       st.final_budget = budget;
       return round_solution;
     }
+    round_solution.covered = covered.count();
+    last_round = std::move(round_solution);
 
     if (final_round) {
       return Status::Infeasible(

@@ -75,7 +75,16 @@ Result<PatternSolution> RunOptimizedCwsc(const Table& table,
   if (n == 0) return Status::Infeasible("empty table with positive target");
 
   DynamicBitset covered(n);
-  ChildGrouper group_children(table);
+  const RunContext& ctx =
+      options.run_context ? *options.run_context : RunContext::Unlimited();
+  auto interrupted = [&](TripKind trip) -> Status {
+    solution.covered = covered.count();
+    solution.provenance.trip = trip;
+    solution.provenance.sets_chosen = solution.patterns.size();
+    solution.provenance.coverage_reached = solution.covered;
+    return TripStatus(trip, "optimized cwsc").WithPayload(solution);
+  };
+  ChildGrouper group_children(table, &ctx);
   CandidateMap candidates;
   std::unordered_set<Pattern, PatternHash> selected;
 
@@ -101,6 +110,9 @@ Result<PatternSolution> RunOptimizedCwsc(const Table& table,
   }
 
   for (std::size_t i = options.k; i >= 1; --i) {
+    if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+      return interrupted(trip);
+    }
     // Lines 08-10: drop candidates below this iteration's threshold
     // (|MBen| * i >= rem, in exact integers).
     for (auto it = candidates.begin(); it != candidates.end();) {
@@ -118,6 +130,9 @@ Result<PatternSolution> RunOptimizedCwsc(const Table& table,
       waitlist.push(WaitEntry{cand.mben.size(), &pat});
     }
     while (!waitlist.empty()) {
+      if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
+        return interrupted(trip);
+      }
       const WaitEntry top = waitlist.top();
       waitlist.pop();
       auto qit = candidates.find(*top.pattern);
@@ -203,7 +218,11 @@ Result<PatternSolution> RunOptimizedCwsc(const Table& table,
     std::vector<std::vector<RowId>*> mben_lists;
     mben_lists.reserve(candidates.size());
     for (auto& [pat, cand] : candidates) mben_lists.push_back(&cand.mben);
-    FilterCoveredIds(covered, mben_lists, pool.get());
+    const Status filtered = FilterCoveredIds(covered, mben_lists, pool.get(), &ctx);
+    if (!filtered.ok()) {
+      if (!filtered.IsInterruption()) return filtered;  // pool task threw
+      return interrupted(ctx.tripped());
+    }
     for (auto it = candidates.begin(); it != candidates.end();) {
       if (it->second.mben.empty()) {
         it = candidates.erase(it);

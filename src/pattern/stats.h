@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/core/solution.h"
 #include "src/pattern/pattern.h"
 
 namespace scwsc {
@@ -17,6 +18,7 @@ struct PatternSolution {
   std::vector<Pattern> patterns;  // in selection order
   double total_cost = 0.0;
   std::size_t covered = 0;
+  Provenance provenance;          // interruption record; default = complete
 };
 
 /// Instrumentation counters; "patterns considered" is the Fig. 6 series:

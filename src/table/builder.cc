@@ -1,5 +1,7 @@
 #include "src/table/builder.h"
 
+#include <cmath>
+
 namespace scwsc {
 
 TableBuilder::TableBuilder(std::vector<std::string> attribute_names,
@@ -14,6 +16,11 @@ Status TableBuilder::AddRow(const std::vector<std::string_view>& values,
     return Status::InvalidArgument(
         "row arity does not match schema (" + std::to_string(values.size()) +
         " vs " + std::to_string(schema_.num_attributes()) + ")");
+  }
+  // Negative measures are legal (and exercised by the cost-function tests);
+  // NaN and ±inf would silently poison every downstream pattern cost.
+  if (schema_.has_measure() && !std::isfinite(measure)) {
+    return Status::InvalidArgument("row measure must be finite");
   }
   for (std::size_t a = 0; a < values.size(); ++a) {
     columns_[a].push_back(dictionaries_[a].GetOrAdd(values[a]));

@@ -20,7 +20,8 @@ class TableBuilder {
                         std::string measure_name = "");
 
   /// Appends a row given decoded string values (one per attribute).
-  /// `measure` is ignored when the schema has no measure.
+  /// `measure` is ignored when the schema has no measure; otherwise it must
+  /// be finite (negative is fine, NaN/±inf are InvalidArgument).
   Status AddRow(const std::vector<std::string_view>& values,
                 double measure = 0.0);
 

@@ -14,9 +14,14 @@
 
 #include "gtest/gtest.h"
 #include "src/common/rng.h"
+#include "src/common/run_context.h"
+#include "src/core/baselines.h"
 #include "src/core/cmc.h"
 #include "src/core/cwsc.h"
+#include "src/core/exact.h"
+#include "src/core/instances.h"
 #include "src/gen/toy.h"
+#include "src/lp/lp_rounding.h"
 #include "src/pattern/opt_cmc.h"
 #include "src/pattern/opt_cwsc.h"
 #include "src/pattern/pattern_system.h"
@@ -131,6 +136,168 @@ TEST_P(EquivalenceTest, CmcVariantsSatisfyTheoremEnvelope) {
   for (std::size_t i = 0; i < optimized->patterns.size(); ++i) {
     for (std::size_t j = i + 1; j < optimized->patterns.size(); ++j) {
       EXPECT_FALSE(optimized->patterns[i] == optimized->patterns[j]);
+    }
+  }
+}
+
+// A RunContext that never trips must be observationally inert: passing an
+// explicit unlimited context produces bit-identical output to passing
+// nullptr, for every solver. Costs are compared with == on purpose — the
+// charging instrumentation must not perturb a single floating-point op.
+TEST_P(EquivalenceTest, UnlimitedRunContextIsObservationallyInert) {
+  const GridParam& param = GetParam();
+  Table table = MakeRandomTable(param);
+  CostFunction cost_fn = param.cost_kind == CostKind::kMax
+                             ? CostFunction(CostKind::kMax)
+                             : CostFunction(CostKind::kSum);
+  auto system = PatternSystem::Build(table, cost_fn);
+  ASSERT_TRUE(system.ok());
+
+  RunContext unlimited;  // no deadline, no budgets, no cancel
+  ASSERT_FALSE(unlimited.limited());
+
+  {
+    CwscOptions plain{param.k, param.fraction};
+    CwscOptions ctxed = plain;
+    ctxed.run_context = &unlimited;
+    auto a = RunCwsc(system->set_system(), plain);
+    auto b = RunCwsc(system->set_system(), ctxed);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(a->sets, b->sets);
+      EXPECT_EQ(a->total_cost, b->total_cost);
+      EXPECT_EQ(a->covered, b->covered);
+      EXPECT_FALSE(b->provenance.interrupted());
+    }
+  }
+  {
+    CmcOptions plain;
+    plain.k = param.k;
+    plain.coverage_fraction = param.fraction;
+    CmcOptions ctxed = plain;
+    ctxed.run_context = &unlimited;
+    auto a = RunCmc(system->set_system(), plain);
+    auto b = RunCmc(system->set_system(), ctxed);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(a->solution.sets, b->solution.sets);
+      EXPECT_EQ(a->solution.total_cost, b->solution.total_cost);
+      EXPECT_EQ(a->solution.covered, b->solution.covered);
+      EXPECT_EQ(a->budget_rounds, b->budget_rounds);
+      EXPECT_EQ(a->final_budget, b->final_budget);
+      EXPECT_EQ(a->sets_considered, b->sets_considered);
+    }
+  }
+  {
+    CwscOptions plain{param.k, param.fraction};
+    CwscOptions ctxed = plain;
+    ctxed.run_context = &unlimited;
+    auto a = pattern::RunOptimizedCwsc(table, cost_fn, plain);
+    auto b = pattern::RunOptimizedCwsc(table, cost_fn, ctxed);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      ASSERT_EQ(a->patterns.size(), b->patterns.size());
+      for (std::size_t i = 0; i < a->patterns.size(); ++i) {
+        EXPECT_EQ(a->patterns[i], b->patterns[i]) << "position " << i;
+      }
+      EXPECT_EQ(a->total_cost, b->total_cost);
+      EXPECT_EQ(a->covered, b->covered);
+    }
+  }
+  {
+    CmcOptions plain;
+    plain.k = param.k;
+    plain.coverage_fraction = param.fraction;
+    CmcOptions ctxed = plain;
+    ctxed.run_context = &unlimited;
+    auto a = pattern::RunOptimizedCmc(table, cost_fn, plain);
+    auto b = pattern::RunOptimizedCmc(table, cost_fn, ctxed);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      ASSERT_EQ(a->patterns.size(), b->patterns.size());
+      for (std::size_t i = 0; i < a->patterns.size(); ++i) {
+        EXPECT_EQ(a->patterns[i], b->patterns[i]) << "position " << i;
+      }
+      EXPECT_EQ(a->total_cost, b->total_cost);
+      EXPECT_EQ(a->covered, b->covered);
+    }
+  }
+}
+
+// Same inertness property for the solvers outside the TEST_P grid:
+// baselines, exact branch-and-bound, and LP rounding.
+TEST(EquivalenceToyTest, UnlimitedRunContextInertForBaselinesExactAndLp) {
+  Rng rng(0x1D3);
+  RandomSystemSpec spec;
+  spec.num_elements = 120;
+  spec.num_sets = 40;
+  spec.max_set_size = 12;
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+
+  RunContext unlimited;
+  auto expect_same = [](const auto& a, const auto& b) {
+    ASSERT_EQ(a.ok(), b.ok());
+    if (!a.ok()) return;
+    EXPECT_EQ(a->sets, b->sets);
+    EXPECT_EQ(a->total_cost, b->total_cost);
+    EXPECT_EQ(a->covered, b->covered);
+  };
+
+  {
+    GreedyWscOptions plain;
+    plain.coverage_fraction = 0.7;
+    GreedyWscOptions ctxed = plain;
+    ctxed.run_context = &unlimited;
+    expect_same(RunGreedyWeightedSetCover(*system, plain),
+                RunGreedyWeightedSetCover(*system, ctxed));
+  }
+  {
+    GreedyMaxCoverageOptions plain;
+    plain.k = 8;
+    GreedyMaxCoverageOptions ctxed = plain;
+    ctxed.run_context = &unlimited;
+    expect_same(RunGreedyMaxCoverage(*system, plain),
+                RunGreedyMaxCoverage(*system, ctxed));
+  }
+  {
+    BudgetedMaxCoverageOptions plain;
+    plain.budget = 30.0;
+    BudgetedMaxCoverageOptions ctxed = plain;
+    ctxed.run_context = &unlimited;
+    expect_same(RunBudgetedMaxCoverage(*system, plain),
+                RunBudgetedMaxCoverage(*system, ctxed));
+  }
+  {
+    ExactOptions plain;
+    plain.k = 4;
+    plain.coverage_fraction = 0.5;
+    ExactOptions ctxed = plain;
+    ctxed.run_context = &unlimited;
+    auto a = SolveExact(*system, plain);
+    auto b = SolveExact(*system, ctxed);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(a->solution.sets, b->solution.sets);
+      EXPECT_EQ(a->solution.total_cost, b->solution.total_cost);
+      EXPECT_EQ(a->nodes, b->nodes);
+    }
+  }
+  {
+    lp::LpScwscOptions plain;
+    plain.k = 6;
+    plain.coverage_fraction = 0.5;
+    plain.trials = 16;
+    lp::LpScwscOptions ctxed = plain;
+    ctxed.run_context = &unlimited;
+    auto a = lp::SolveByLpRounding(*system, plain);
+    auto b = lp::SolveByLpRounding(*system, ctxed);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(a->solution.sets, b->solution.sets);
+      EXPECT_EQ(a->solution.total_cost, b->solution.total_cost);
+      EXPECT_EQ(a->lp_lower_bound, b->lp_lower_bound);
+      EXPECT_EQ(a->feasible_trials, b->feasible_trials);
     }
   }
 }

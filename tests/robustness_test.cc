@@ -3,17 +3,27 @@
 // crash, hang, or silent constraint violation. All randomness is seeded,
 // so any failure is exactly reproducible.
 
+#include <chrono>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "gtest/gtest.h"
 #include "src/common/rng.h"
+#include "src/common/run_context.h"
+#include "src/core/baselines.h"
 #include "src/core/cmc.h"
 #include "src/core/cwsc.h"
+#include "src/core/exact.h"
 #include "src/core/instances.h"
 #include "src/core/literal.h"
 #include "src/core/solution.h"
 #include "src/gen/lbl_parser.h"
+#include "src/hierarchy/hcmc.h"
+#include "src/hierarchy/hcwsc.h"
+#include "src/hierarchy/henumerate.h"
+#include "src/lp/lp_rounding.h"
+#include "src/pattern/enumerate.h"
 #include "src/pattern/opt_cmc.h"
 #include "src/pattern/opt_cwsc.h"
 #include "src/table/builder.h"
@@ -190,6 +200,356 @@ TEST(RobustnessTest, RandomTablesRoundTripThroughCsvForSolvers) {
       EXPECT_NEAR(a->total_cost, b->total_cost, 1e-9) << "trial " << trial;
       EXPECT_EQ(a->covered, b->covered);
     }
+  }
+}
+
+// The ISSUE's trip matrix: zero deadline, one-unit work budgets, and
+// fault-injected cancellation at several depths. Every configuration is
+// deterministic, so a failing (solver, config) pair reproduces exactly.
+constexpr int kTripConfigs = 6;
+
+void ConfigureTrip(RunContext& ctx, int config) {
+  switch (config) {
+    case 0: ctx.SetDeadline(std::chrono::milliseconds(0)); break;
+    case 1: ctx.SetRecountBudget(1); break;
+    case 2: ctx.SetNodeBudget(1); break;
+    case 3: ctx.FailAfter(0); break;      // cancel before the first check
+    case 4: ctx.FailAfter(7); break;      // cancel mid-run
+    default: ctx.FailAfter(40); break;    // cancel deep into the run
+  }
+}
+
+// An interrupted element-based solver must surrender a partial whose own
+// bookkeeping audits exact against the system.
+void ExpectAuditedPartial(const SetSystem& system, const Status& status,
+                          const Solution& partial) {
+  EXPECT_TRUE(status.IsInterruption()) << status.ToString();
+  EXPECT_TRUE(partial.provenance.interrupted());
+  EXPECT_EQ(partial.provenance.sets_chosen, partial.sets.size());
+  EXPECT_EQ(partial.provenance.coverage_reached, partial.covered);
+  auto audit = AuditSolution(system, partial);
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_TRUE(audit->bookkeeping_consistent);
+}
+
+// Runs `solve` under every trip configuration. A run is allowed to finish
+// before its trip fires (node budgets don't bite every solver), but any
+// failure must be an interruption carrying an auditable payload, and the
+// whole matrix must produce at least `min_trips` actual trips.
+template <typename Solve>
+void FuzzElementSolver(const SetSystem& system, int min_trips, Solve solve) {
+  int trips = 0;
+  for (int config = 0; config < kTripConfigs; ++config) {
+    RunContext ctx;
+    ConfigureTrip(ctx, config);
+    const Status status = solve(ctx);
+    if (status.ok()) continue;
+    ASSERT_TRUE(status.IsInterruption())
+        << "config " << config << ": " << status.ToString();
+    ++trips;
+    const Solution* partial = status.payload<Solution>();
+    ASSERT_NE(partial, nullptr) << "config " << config;
+    ExpectAuditedPartial(system, status, *partial);
+  }
+  EXPECT_GE(trips, min_trips);
+}
+
+TEST(RobustnessTest, ElementSolversSurrenderAuditablePartialsOnTrips) {
+  Rng rng(0x7819);
+  RandomSystemSpec spec;
+  spec.num_elements = 300;
+  spec.num_sets = 200;
+  spec.max_set_size = 5;
+  spec.ensure_universe = false;  // many picks needed, so trips land mid-run
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+
+  // The untripped instance must be solvable, so any failure below is a trip.
+  CwscOptions clean{spec.num_sets, 0.5};
+  SCWSC_ASSERT_OK(RunCwsc(*system, clean).status());
+
+  FuzzElementSolver(*system, 3, [&](RunContext& ctx) {
+    CwscOptions opts{spec.num_sets, 0.5};
+    opts.run_context = &ctx;
+    return RunCwsc(*system, opts).status();
+  });
+  FuzzElementSolver(*system, 3, [&](RunContext& ctx) {
+    CwscOptions opts{spec.num_sets, 0.5};
+    opts.run_context = &ctx;
+    return RunCwscLiteral(*system, opts).status();
+  });
+  FuzzElementSolver(*system, 3, [&](RunContext& ctx) {
+    GreedyWscOptions opts;
+    opts.coverage_fraction = 0.5;
+    opts.run_context = &ctx;
+    return RunGreedyWeightedSetCover(*system, opts).status();
+  });
+  FuzzElementSolver(*system, 3, [&](RunContext& ctx) {
+    GreedyMaxCoverageOptions opts;
+    opts.k = 50;
+    opts.run_context = &ctx;
+    return RunGreedyMaxCoverage(*system, opts).status();
+  });
+  FuzzElementSolver(*system, 3, [&](RunContext& ctx) {
+    BudgetedMaxCoverageOptions opts;
+    opts.budget = 1000.0;  // enough for many picks, so late cancels land
+    opts.run_context = &ctx;
+    return RunBudgetedMaxCoverage(*system, opts).status();
+  });
+}
+
+TEST(RobustnessTest, CmcSurrendersAuditablePartialsOnTrips) {
+  Rng rng(0xC3C);
+  RandomSystemSpec spec;
+  spec.num_elements = 200;
+  spec.num_sets = 150;
+  spec.max_set_size = 5;
+  spec.ensure_universe = true;  // CMC's budget schedule always terminates
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+
+  for (bool literal : {false, true}) {
+    int trips = 0;
+    for (int config = 0; config < kTripConfigs; ++config) {
+      RunContext ctx;
+      ConfigureTrip(ctx, config);
+      CmcOptions opts;
+      opts.k = 10;
+      opts.coverage_fraction = 0.8;
+      opts.run_context = &ctx;
+      const Status status = literal ? RunCmcLiteral(*system, opts).status()
+                                    : RunCmc(*system, opts).status();
+      if (status.ok()) continue;
+      ASSERT_TRUE(status.IsInterruption())
+          << "config " << config << ": " << status.ToString();
+      ++trips;
+      const CmcResult* partial = status.payload<CmcResult>();
+      ASSERT_NE(partial, nullptr) << "config " << config;
+      ExpectAuditedPartial(*system, status, partial->solution);
+      // The trip records the budget level B being explored when it fired.
+      EXPECT_GT(partial->solution.provenance.budget_level, 0.0);
+    }
+    EXPECT_GE(trips, 3) << (literal ? "literal" : "engine");
+  }
+}
+
+TEST(RobustnessTest, ExactSolverSurrendersIncumbentOnTrips) {
+  Rng rng(0xE8AC7);
+  RandomSystemSpec spec;
+  spec.num_elements = 60;
+  spec.num_sets = 24;
+  spec.max_set_size = 12;
+  spec.ensure_universe = false;
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+
+  int trips = 0;
+  for (int config = 0; config < kTripConfigs; ++config) {
+    RunContext ctx;
+    ConfigureTrip(ctx, config);
+    ExactOptions opts;
+    opts.k = 6;
+    opts.coverage_fraction = 0.5;
+    opts.run_context = &ctx;
+    const Status status = SolveExact(*system, opts).status();
+    if (status.ok()) continue;
+    ASSERT_TRUE(status.IsInterruption())
+        << "config " << config << ": " << status.ToString();
+    ++trips;
+    const ExactResult* partial = status.payload<ExactResult>();
+    ASSERT_NE(partial, nullptr) << "config " << config;
+    // The incumbent may be empty (trip before any feasible leaf), but its
+    // bookkeeping must still audit exact.
+    ExpectAuditedPartial(*system, status, partial->solution);
+  }
+  EXPECT_GE(trips, 3);
+}
+
+TEST(RobustnessTest, LpRoundingStaysAuditableUnderTrips) {
+  Rng rng(0x19A2);
+  RandomSystemSpec spec;
+  spec.num_elements = 40;
+  spec.num_sets = 20;
+  spec.max_set_size = 8;
+  spec.ensure_universe = true;
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+
+  for (int config = 0; config < kTripConfigs; ++config) {
+    RunContext ctx;
+    ConfigureTrip(ctx, config);
+    lp::LpScwscOptions opts;
+    opts.k = 5;
+    opts.coverage_fraction = 0.6;
+    opts.trials = 8;
+    opts.run_context = &ctx;
+    const Status status = lp::SolveByLpRounding(*system, opts).status();
+    if (status.ok()) continue;
+    ASSERT_TRUE(status.IsInterruption())
+        << "config " << config << ": " << status.ToString();
+    // A trip inside the simplex (before the relaxation solved) carries no
+    // payload; once rounding started, the payload must audit exact.
+    const lp::LpRoundingResult* partial =
+        status.payload<lp::LpRoundingResult>();
+    if (partial != nullptr) {
+      ExpectAuditedPartial(*system, status, partial->solution);
+    }
+  }
+}
+
+// Shared structural checks for table-based (pattern / hierarchy) partials:
+// the payload's provenance must describe the payload itself and its
+// bookkeeping must stay within the table.
+template <typename TableSolution>
+void ExpectTablePartial(const Table& table, const Status& status,
+                        const TableSolution& partial) {
+  EXPECT_TRUE(status.IsInterruption()) << status.ToString();
+  EXPECT_TRUE(partial.provenance.interrupted());
+  EXPECT_EQ(partial.provenance.sets_chosen, partial.patterns.size());
+  EXPECT_EQ(partial.provenance.coverage_reached, partial.covered);
+  EXPECT_LE(partial.covered, table.num_rows());
+  EXPECT_GE(partial.total_cost, 0.0);
+  if (partial.patterns.empty()) {
+    EXPECT_EQ(partial.total_cost, 0.0);
+  }
+}
+
+TEST(RobustnessTest, PatternAndHierarchySolversSurrenderPartialsOnTrips) {
+  Rng rng(0xAB1E);
+  TableBuilder builder({"a", "b", "c"}, "m");
+  for (int r = 0; r < 150; ++r) {
+    SCWSC_ASSERT_OK(builder.AddRow({"a" + std::to_string(rng.NextBounded(6)),
+                                    "b" + std::to_string(rng.NextBounded(5)),
+                                    "c" + std::to_string(rng.NextBounded(4))},
+                                   rng.NextDouble(0.1, 5.0)));
+  }
+  const Table table = std::move(builder).Build();
+  const hierarchy::TableHierarchy flat = hierarchy::TableHierarchy::Flat(table);
+  const pattern::CostFunction cost(pattern::CostKind::kMax);
+
+  int trips = 0;
+  for (int config = 0; config < kTripConfigs; ++config) {
+    CwscOptions cwsc{8, 0.9};
+    CmcOptions cmc;
+    cmc.k = 8;
+    cmc.coverage_fraction = 0.9;
+
+    {
+      RunContext ctx;
+      ConfigureTrip(ctx, config);
+      cwsc.run_context = &ctx;
+      const Status status = pattern::RunOptimizedCwsc(table, cost, cwsc).status();
+      if (!status.ok()) {
+        ASSERT_TRUE(status.IsInterruption()) << status.ToString();
+        ++trips;
+        const pattern::PatternSolution* partial =
+            status.payload<pattern::PatternSolution>();
+        ASSERT_NE(partial, nullptr) << "config " << config;
+        ExpectTablePartial(table, status, *partial);
+      }
+    }
+    {
+      RunContext ctx;
+      ConfigureTrip(ctx, config);
+      cmc.run_context = &ctx;
+      const Status status = pattern::RunOptimizedCmc(table, cost, cmc).status();
+      if (!status.ok()) {
+        ASSERT_TRUE(status.IsInterruption()) << status.ToString();
+        ++trips;
+        const pattern::PatternSolution* partial =
+            status.payload<pattern::PatternSolution>();
+        ASSERT_NE(partial, nullptr) << "config " << config;
+        ExpectTablePartial(table, status, *partial);
+      }
+    }
+    {
+      RunContext ctx;
+      ConfigureTrip(ctx, config);
+      cwsc.run_context = &ctx;
+      const Status status =
+          hierarchy::RunHierarchicalCwsc(table, flat, cost, cwsc).status();
+      if (!status.ok()) {
+        ASSERT_TRUE(status.IsInterruption()) << status.ToString();
+        ++trips;
+        const hierarchy::HSolution* partial =
+            status.payload<hierarchy::HSolution>();
+        ASSERT_NE(partial, nullptr) << "config " << config;
+        ExpectTablePartial(table, status, *partial);
+      }
+    }
+    {
+      RunContext ctx;
+      ConfigureTrip(ctx, config);
+      cmc.run_context = &ctx;
+      const Status status =
+          hierarchy::RunHierarchicalCmc(table, flat, cost, cmc).status();
+      if (!status.ok()) {
+        ASSERT_TRUE(status.IsInterruption()) << status.ToString();
+        ++trips;
+        const hierarchy::HSolution* partial =
+            status.payload<hierarchy::HSolution>();
+        ASSERT_NE(partial, nullptr) << "config " << config;
+        ExpectTablePartial(table, status, *partial);
+      }
+    }
+  }
+  EXPECT_GE(trips, 8);  // the matrix must actually exercise the trip paths
+}
+
+TEST(RobustnessTest, EnumerationsReturnBareInterruptions) {
+  Rng rng(0xE9B);
+  TableBuilder builder({"x", "y"}, "m");
+  for (int r = 0; r < 60; ++r) {
+    SCWSC_ASSERT_OK(builder.AddRow({"x" + std::to_string(rng.NextBounded(5)),
+                                    "y" + std::to_string(rng.NextBounded(5))},
+                                   1.0));
+  }
+  const Table table = std::move(builder).Build();
+  const hierarchy::TableHierarchy flat = hierarchy::TableHierarchy::Flat(table);
+
+  for (int config : {0, 2, 3}) {  // deadline, node budget, instant cancel
+    RunContext ctx;
+    ConfigureTrip(ctx, config);
+    pattern::EnumerateOptions opts;
+    opts.run_context = &ctx;
+    const Status status = pattern::EnumerateAllPatterns(table, opts).status();
+    ASSERT_FALSE(status.ok()) << "config " << config;
+    EXPECT_TRUE(status.IsInterruption()) << status.ToString();
+
+    RunContext hctx;
+    ConfigureTrip(hctx, config);
+    hierarchy::HEnumerateOptions hopts;
+    hopts.run_context = &hctx;
+    const Status hstatus =
+        hierarchy::EnumerateAllHPatterns(table, flat, hopts).status();
+    ASSERT_FALSE(hstatus.ok()) << "config " << config;
+    EXPECT_TRUE(hstatus.IsInterruption()) << hstatus.ToString();
+  }
+}
+
+TEST(RobustnessTest, CancelRequestedConcurrentlyStopsTheRun) {
+  Rng rng(0xCA9CE1);
+  RandomSystemSpec spec;
+  spec.num_elements = 20'000;
+  spec.num_sets = 10'000;
+  spec.max_set_size = 6;
+  spec.ensure_universe = false;
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+
+  RunContext ctx;
+  std::thread canceller([&] { ctx.RequestCancel(); });
+  CwscOptions opts{spec.num_sets, 0.5};
+  opts.run_context = &ctx;
+  auto result = RunCwsc(*system, opts);
+  canceller.join();
+  // Depending on scheduling the run may finish first; a cancelled run must
+  // surrender an auditable partial.
+  if (!result.ok()) {
+    ASSERT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+    const Solution* partial = result.status().payload<Solution>();
+    ASSERT_NE(partial, nullptr);
+    ExpectAuditedPartial(*system, result.status(), *partial);
   }
 }
 

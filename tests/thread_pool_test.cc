@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -71,6 +72,61 @@ TEST(ThreadPoolTest, BackToBackParallelForsReusePool) {
     });
   }
   EXPECT_EQ(total.load(), 50'000u);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskSurfacesInternalStatus) {
+  ThreadPool pool(4);
+  const Status status =
+      pool.ParallelFor(10'000, 8, [&](std::size_t begin, std::size_t) {
+        if (begin == 0) throw std::runtime_error("task exploded");
+      });
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.ToString().find("task exploded"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotAbortOtherChunks) {
+  ThreadPool pool(4);
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  const Status status =
+      pool.ParallelFor(n, 8, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+        if (begin == 0) throw std::runtime_error("late failure");
+      });
+  EXPECT_TRUE(status.IsInternal());
+  // Every chunk still ran exactly once: a failed batch must not leave the
+  // remaining chunks half-scheduled.
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterThrowingBatch) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    const Status failed = pool.ParallelFor(
+        1000, 1, [&](std::size_t, std::size_t) { throw 42; });  // non-std too
+    EXPECT_TRUE(failed.IsInternal());
+    std::atomic<std::size_t> total{0};
+    const Status ok =
+        pool.ParallelFor(1000, 1, [&](std::size_t begin, std::size_t end) {
+          total.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(total.load(), 1000u);
+  }
+}
+
+TEST(ThreadPoolTest, InlinePathCapturesExceptionsToo) {
+  ThreadPool pool(1);
+  const Status status = pool.ParallelFor(
+      100, 1, [&](std::size_t, std::size_t) {
+        throw std::runtime_error("inline failure");
+      });
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.ToString().find("inline failure"), std::string::npos);
 }
 
 TEST(ThreadPoolTest, DeterministicChunkBoundaries) {
