@@ -9,8 +9,6 @@
 
 #include "bench/bench_util.h"
 #include "src/common/strings.h"
-#include "src/core/cmc.h"
-#include "src/pattern/opt_cmc.h"
 
 int main() {
   using namespace scwsc;
@@ -18,33 +16,26 @@ int main() {
 
   PrintBanner("EXP-ABL", "Ablations: CMC budget schedule, epsilon, level base");
 
-  Table base = MakeTrace(ScaledRows(350'000));
-  const pattern::CostFunction cost_fn(pattern::CostKind::kMax);
+  const api::InstancePtr instance =
+      MakeSnapshot(MakeTrace(ScaledRows(350'000)));
 
   auto run = [&](double b, double eps, unsigned l) {
-    CmcOptions opts;
-    opts.k = 10;
-    opts.coverage_fraction = 0.4;
-    opts.b = b;
-    opts.epsilon = eps;
-    opts.l = l;
-    opts.relax_coverage = false;
-    pattern::PatternStats stats;
-    Stopwatch sw;
-    auto solution = pattern::RunOptimizedCmc(base, cost_fn, opts, &stats);
-    const double secs = sw.ElapsedSeconds();
-    SCWSC_CHECK(solution.ok(), "CMC failed");
+    api::SolveResult r = MustSolve(
+        "opt-cmc",
+        MakeRequest(instance, 10, 0.4,
+                    {StrFormat("b=%g", b), StrFormat("epsilon=%g", eps),
+                     StrFormat("l=%u", l), "strict=true"}));
     std::printf("b=%-5g eps=%-4g l=%-2u | sets=%-4zu cost=%-10s rounds=%-3zu "
                 "considered=%-9zu time=%ss\n",
-                b, eps, l, solution->patterns.size(),
-                FormatNumber(solution->total_cost, 6).c_str(),
-                stats.budget_rounds, stats.patterns_considered,
-                Secs(secs).c_str());
+                b, eps, l, r.labels.size(),
+                FormatNumber(r.total_cost, 6).c_str(),
+                r.counters.budget_rounds, r.counters.sets_considered,
+                Secs(r.seconds).c_str());
     PrintCsvRow("ablation",
                 {StrFormat("%g", b), StrFormat("%g", eps), StrFormat("%u", l),
-                 std::to_string(solution->patterns.size()),
-                 FormatNumber(solution->total_cost, 6),
-                 std::to_string(stats.budget_rounds), Secs(secs)});
+                 std::to_string(r.labels.size()),
+                 FormatNumber(r.total_cost, 6),
+                 std::to_string(r.counters.budget_rounds), Secs(r.seconds)});
   };
 
   std::printf("\n-- (a) budget growth b (eps=1, l=1) --\n");

@@ -39,6 +39,38 @@ Table MakeTrace(std::size_t rows, std::uint64_t seed) {
   return std::move(table).value();
 }
 
+api::InstancePtr MakeSnapshot(
+    Table table, pattern::CostKind kind,
+    std::optional<hierarchy::TableHierarchy> hierarchy) {
+  auto snapshot = api::InstanceSnapshot::FromTable(
+      std::move(table), pattern::CostFunction(kind), std::move(hierarchy));
+  SCWSC_CHECK(snapshot.ok(), "snapshot construction failed: %s",
+              snapshot.status().ToString().c_str());
+  return *std::move(snapshot);
+}
+
+api::SolveRequest MakeRequest(api::InstancePtr instance, std::size_t k,
+                              double fraction,
+                              const std::vector<std::string>& options) {
+  api::SolveRequest request;
+  request.instance = std::move(instance);
+  request.k = k;
+  request.coverage_fraction = fraction;
+  auto bag = api::OptionsBag::Parse(options);
+  SCWSC_CHECK(bag.ok(), "bad bench options: %s",
+              bag.status().ToString().c_str());
+  request.options = *std::move(bag);
+  return request;
+}
+
+api::SolveResult MustSolve(const std::string& solver,
+                           const api::SolveRequest& request) {
+  auto result = api::SolverRegistry::Global().Solve(solver, request);
+  SCWSC_CHECK(result.ok(), "%s failed: %s", solver.c_str(),
+              result.status().ToString().c_str());
+  return *std::move(result);
+}
+
 void PrintBanner(const std::string& experiment_id,
                  const std::string& paper_artifact) {
   std::printf("\n=== %s — %s ===\n", experiment_id.c_str(),

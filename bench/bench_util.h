@@ -10,11 +10,15 @@
 #define SCWSC_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/api/instance.h"
+#include "src/api/registry.h"
 #include "src/common/stopwatch.h"
 #include "src/gen/lbl_synth.h"
+#include "src/hierarchy/hierarchy.h"
 #include "src/table/table.h"
 
 namespace scwsc {
@@ -29,6 +33,22 @@ std::size_t ScaledRows(std::size_t paper_rows);
 
 /// The base synthetic LBL-like trace used across benches (deterministic).
 Table MakeTrace(std::size_t rows, std::uint64_t seed = 42);
+
+/// One shared instance snapshot over a patterned table (aborts on failure —
+/// bench inputs are trusted). Every solver arm of a bench point shares this
+/// one snapshot instead of re-enumerating per arm.
+api::InstancePtr MakeSnapshot(
+    Table table, pattern::CostKind kind = pattern::CostKind::kMax,
+    std::optional<hierarchy::TableHierarchy> hierarchy = std::nullopt);
+
+/// A SolveRequest over a shared snapshot with "key=value" options items.
+api::SolveRequest MakeRequest(api::InstancePtr instance, std::size_t k,
+                              double fraction,
+                              const std::vector<std::string>& options = {});
+
+/// Registry dispatch that aborts on any failure (benches never expect one).
+api::SolveResult MustSolve(const std::string& solver,
+                           const api::SolveRequest& request);
 
 /// Prints the experiment banner: id, paper artifact, scale note.
 void PrintBanner(const std::string& experiment_id,

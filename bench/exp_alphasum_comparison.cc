@@ -13,9 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/strings.h"
-#include "src/core/cwsc.h"
-#include "src/core/nonoverlap.h"
-#include "src/pattern/pattern_system.h"
+#include "src/core/set_system.h"
 
 int main() {
   using namespace scwsc;
@@ -24,46 +22,38 @@ int main() {
   PrintBanner("EXP-AS", "§III: non-overlapping (AlphaSum-style) vs SCWSC");
 
   Table base = MakeTrace(ScaledRows(350'000));
-  auto system = pattern::PatternSystem::Build(
-      base, pattern::CostFunction(pattern::CostKind::kMax));
-  SCWSC_CHECK(system.ok(), "enumeration failed");
+  const std::size_t num_rows = base.num_rows();
+  const api::InstancePtr instance = MakeSnapshot(std::move(base));
 
   std::printf("%4s %6s | %12s | %16s | %16s %8s\n", "k", "s", "CWSC cost",
               "gain-rule cov.", "benefit-rule", "ratio");
-  const double n = static_cast<double>(base.num_rows());
+  const double n = static_cast<double>(num_rows);
   for (std::size_t k : {2u, 5u, 10u, 20u}) {
     for (double s : {0.3, 0.5}) {
-      auto cwsc = RunCwsc(system->set_system(), {k, s});
-      SCWSC_CHECK(cwsc.ok(), "CWSC failed");
-
-      NonOverlapOptions opts;
-      opts.k = k;
-      opts.coverage_fraction = s;
-      opts.best_effort = true;
-      opts.rule = NonOverlapOptions::Rule::kGain;
-      auto by_gain = RunNonOverlappingGreedy(system->set_system(), opts);
-      SCWSC_CHECK(by_gain.ok(), "gain run failed");
-      opts.rule = NonOverlapOptions::Rule::kBenefit;
-      auto by_benefit = RunNonOverlappingGreedy(system->set_system(), opts);
-      SCWSC_CHECK(by_benefit.ok(), "benefit run failed");
+      api::SolveResult cwsc = MustSolve("cwsc", MakeRequest(instance, k, s));
+      api::SolveResult by_gain = MustSolve(
+          "nonoverlap",
+          MakeRequest(instance, k, s, {"best-effort=true", "rule=gain"}));
+      api::SolveResult by_benefit = MustSolve(
+          "nonoverlap",
+          MakeRequest(instance, k, s, {"best-effort=true", "rule=benefit"}));
 
       const bool benefit_feasible =
-          by_benefit->covered >= SetSystem::CoverageTarget(s, base.num_rows());
+          by_benefit.covered >= SetSystem::CoverageTarget(s, num_rows);
       std::printf("%4zu %6.1f | %12s | %14.1f%% | %16s %7.1fx\n", k, s,
-                  FormatNumber(cwsc->total_cost, 5).c_str(),
-                  100.0 * static_cast<double>(by_gain->covered) / n,
+                  FormatNumber(cwsc.total_cost, 5).c_str(),
+                  100.0 * static_cast<double>(by_gain.covered) / n,
                   benefit_feasible
-                      ? FormatNumber(by_benefit->total_cost, 5).c_str()
+                      ? FormatNumber(by_benefit.total_cost, 5).c_str()
                       : "stalled",
-                  benefit_feasible
-                      ? by_benefit->total_cost / cwsc->total_cost
-                      : 0.0);
+                  benefit_feasible ? by_benefit.total_cost / cwsc.total_cost
+                                   : 0.0);
       PrintCsvRow("exp_alphasum",
                   {std::to_string(k), StrFormat("%.1f", s),
-                   FormatNumber(cwsc->total_cost, 6),
-                   std::to_string(by_gain->covered),
-                   FormatNumber(by_benefit->total_cost, 6),
-                   std::to_string(by_benefit->covered)});
+                   FormatNumber(cwsc.total_cost, 6),
+                   std::to_string(by_gain.covered),
+                   FormatNumber(by_benefit.total_cost, 6),
+                   std::to_string(by_benefit.covered)});
     }
   }
   return 0;

@@ -13,9 +13,6 @@
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
-#include "src/core/cwsc.h"
-#include "src/lp/lp_rounding.h"
-#include "src/pattern/pattern_system.h"
 
 int main() {
   using namespace scwsc;
@@ -31,37 +28,29 @@ int main() {
   Table sampled = big.Sample(60, rng);
   auto projected = sampled.ProjectAttributes({0, 3, 4});
   SCWSC_CHECK(projected.ok(), "projection failed");
-  auto system = pattern::PatternSystem::Build(
-      *projected, pattern::CostFunction(pattern::CostKind::kMax));
-  SCWSC_CHECK(system.ok(), "enumeration failed");
+  const api::InstancePtr instance = MakeSnapshot(*std::move(projected));
 
   const double fraction = 0.5;
   for (std::size_t k : {2u, 4u, 8u, 16u, 32u}) {
-    auto greedy = RunCwsc(system->set_system(), {k, fraction});
-    SCWSC_CHECK(greedy.ok(), "CWSC failed");
+    api::SolveResult greedy =
+        MustSolve("cwsc", MakeRequest(instance, k, fraction));
+    api::SolveResult rounded = MustSolve(
+        "lp-rounding", MakeRequest(instance, k, fraction, {"trials=64"}));
 
-    lp::LpScwscOptions opts;
-    opts.k = k;
-    opts.coverage_fraction = fraction;
-    opts.trials = 64;
-    auto rounded = lp::SolveByLpRounding(system->set_system(), opts);
-    SCWSC_CHECK(rounded.ok(), "LP rounding failed");
-
-    const double gap = rounded->lp_lower_bound > 0
-                           ? greedy->total_cost / rounded->lp_lower_bound
-                           : 1.0;
+    const double lp_bound = rounded.counters.lp_lower_bound;
+    const double gap = lp_bound > 0 ? greedy.total_cost / lp_bound : 1.0;
     std::printf("%4zu %12s %12s %9.2fx %12s %12zu %10zu\n", k,
-                FormatNumber(rounded->lp_lower_bound, 5).c_str(),
-                FormatNumber(greedy->total_cost, 5).c_str(), gap,
-                FormatNumber(rounded->solution.total_cost, 5).c_str(),
-                rounded->solution.sets.size(),
-                rounded->cardinality_violation);
-    PrintCsvRow("exp_lp", {std::to_string(k),
-                           FormatNumber(rounded->lp_lower_bound, 6),
-                           FormatNumber(greedy->total_cost, 6),
-                           FormatNumber(rounded->solution.total_cost, 6),
-                           std::to_string(rounded->solution.sets.size()),
-                           std::to_string(rounded->cardinality_violation)});
+                FormatNumber(lp_bound, 5).c_str(),
+                FormatNumber(greedy.total_cost, 5).c_str(), gap,
+                FormatNumber(rounded.total_cost, 5).c_str(),
+                rounded.labels.size(),
+                rounded.counters.cardinality_violation);
+    PrintCsvRow("exp_lp",
+                {std::to_string(k), FormatNumber(lp_bound, 6),
+                 FormatNumber(greedy.total_cost, 6),
+                 FormatNumber(rounded.total_cost, 6),
+                 std::to_string(rounded.labels.size()),
+                 std::to_string(rounded.counters.cardinality_violation)});
   }
   std::printf(
       "\nThe LP bound certifies CWSC's optimality gap without exhaustive\n"

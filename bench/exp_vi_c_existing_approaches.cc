@@ -10,9 +10,6 @@
 
 #include "bench/bench_util.h"
 #include "src/common/strings.h"
-#include "src/core/baselines.h"
-#include "src/core/cwsc.h"
-#include "src/pattern/pattern_system.h"
 
 int main() {
   using namespace scwsc;
@@ -26,31 +23,27 @@ int main() {
 
   for (auto kind : {pattern::CostKind::kSum, pattern::CostKind::kMax}) {
     const pattern::CostFunction cost_fn(kind);
-    auto system = pattern::PatternSystem::Build(base, cost_fn);
-    SCWSC_CHECK(system.ok(), "enumeration failed");
+    const api::InstancePtr instance = MakeSnapshot(Table(base), kind);
 
     // Partial max coverage picks its full k = 10 sets by benefit only; its
     // cost is the same whatever ŝ is ("regardless of the coverage
     // fraction").
-    GreedyMaxCoverageOptions mc;
-    mc.k = 10;
-    auto maxcov = RunGreedyMaxCoverage(system->set_system(), mc);
-    SCWSC_CHECK(maxcov.ok(), "max coverage failed");
+    api::SolveResult maxcov =
+        MustSolve("greedy-max-coverage", MakeRequest(instance, 10, 0.0));
 
     std::printf("\ncost function: %s\n", cost_fn.Name().c_str());
     std::printf("%8s %16s %16s %10s\n", "s", "maxcov cost", "CWSC cost",
                 "ratio");
     for (double s : {0.3, 0.4, 0.5, 0.6}) {
-      auto cwsc = RunCwsc(system->set_system(), {10, s});
-      SCWSC_CHECK(cwsc.ok(), "CWSC failed");
-      const double ratio = maxcov->total_cost / cwsc->total_cost;
+      api::SolveResult cwsc = MustSolve("cwsc", MakeRequest(instance, 10, s));
+      const double ratio = maxcov.total_cost / cwsc.total_cost;
       std::printf("%8.1f %16s %16s %9.1fx\n", s,
-                  FormatNumber(maxcov->total_cost, 6).c_str(),
-                  FormatNumber(cwsc->total_cost, 6).c_str(), ratio);
+                  FormatNumber(maxcov.total_cost, 6).c_str(),
+                  FormatNumber(cwsc.total_cost, 6).c_str(), ratio);
       PrintCsvRow("exp_vi_c",
                   {cost_fn.Name(), StrFormat("%.1f", s),
-                   FormatNumber(maxcov->total_cost, 6),
-                   FormatNumber(cwsc->total_cost, 6),
+                   FormatNumber(maxcov.total_cost, 6),
+                   FormatNumber(cwsc.total_cost, 6),
                    StrFormat("%.2f", ratio)});
     }
   }

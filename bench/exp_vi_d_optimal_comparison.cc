@@ -10,10 +10,6 @@
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
-#include "src/core/cmc.h"
-#include "src/core/cwsc.h"
-#include "src/core/exact.h"
-#include "src/pattern/pattern_system.h"
 
 int main() {
   using namespace scwsc;
@@ -35,44 +31,31 @@ int main() {
       Table sampled = big.Sample(sample_rows, rng);
       auto projected = sampled.ProjectAttributes({0, 3, 4});
       SCWSC_CHECK(projected.ok(), "projection failed");
-      auto system = pattern::PatternSystem::Build(
-          *projected, pattern::CostFunction(pattern::CostKind::kMax));
-      SCWSC_CHECK(system.ok(), "enumeration failed");
+      const api::InstancePtr instance = MakeSnapshot(*std::move(projected));
 
       const std::size_t k = 5;
-      ExactOptions exact_opts;
-      exact_opts.k = k;
-      exact_opts.coverage_fraction = s;
-      auto optimal = SolveExact(system->set_system(), exact_opts);
-      SCWSC_CHECK(optimal.ok(), "exact solver failed");
+      api::SolveResult optimal =
+          MustSolve("exact", MakeRequest(instance, k, s));
+      api::SolveResult cwsc = MustSolve("cwsc", MakeRequest(instance, k, s));
+      // Small b/eps per §VI-D; strict so every arm hits the same target.
+      api::SolveResult cmc = MustSolve(
+          "cmc",
+          MakeRequest(instance, k, s, {"b=0.25", "epsilon=0", "strict=true"}));
 
-      auto cwsc = RunCwsc(system->set_system(), {k, s});
-      SCWSC_CHECK(cwsc.ok(), "CWSC failed");
-
-      CmcOptions cmc_opts;
-      cmc_opts.k = k;
-      cmc_opts.coverage_fraction = s;
-      cmc_opts.b = 0.25;  // small b/eps per §VI-D
-      cmc_opts.epsilon = 0.0;
-      cmc_opts.relax_coverage = false;
-      auto cmc = RunCmc(system->set_system(), cmc_opts);
-      SCWSC_CHECK(cmc.ok(), "CMC failed");
-
-      const double opt_cost = optimal->solution.total_cost;
-      const double rc = cwsc->total_cost / opt_cost;
-      const double rm = cmc->solution.total_cost / opt_cost;
+      const double opt_cost = optimal.total_cost;
+      const double rc = cwsc.total_cost / opt_cost;
+      const double rm = cmc.total_cost / opt_cost;
       ++total;
       if (rc <= 1.0 + 1e-9) ++cwsc_optimal;
       if (rm <= 1.0 + 1e-9) ++cmc_optimal;
       std::printf("%8d %4zu %6.1f %12s %12s %12s %9.2fx %9.2fx\n",
                   ++sample_id, k, s, FormatNumber(opt_cost, 6).c_str(),
-                  FormatNumber(cwsc->total_cost, 6).c_str(),
-                  FormatNumber(cmc->solution.total_cost, 6).c_str(), rc, rm);
+                  FormatNumber(cwsc.total_cost, 6).c_str(),
+                  FormatNumber(cmc.total_cost, 6).c_str(), rc, rm);
       PrintCsvRow("exp_vi_d",
                   {std::to_string(sample_id), StrFormat("%.1f", s),
-                   FormatNumber(opt_cost, 6),
-                   FormatNumber(cwsc->total_cost, 6),
-                   FormatNumber(cmc->solution.total_cost, 6)});
+                   FormatNumber(opt_cost, 6), FormatNumber(cwsc.total_cost, 6),
+                   FormatNumber(cmc.total_cost, 6)});
     }
   }
   std::printf("\nCWSC optimal in %zu/%zu samples; CMC optimal in %zu/%zu\n",

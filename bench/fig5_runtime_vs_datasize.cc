@@ -25,13 +25,15 @@ int main() {
   for (int step = 1; step <= 7; ++step) {
     const std::size_t rows = max_rows * static_cast<std::size_t>(step) / 7;
     Table sample = base.Sample(rows, rng);
-    QuadResult q = RunQuad(sample, /*k=*/10, /*fraction=*/0.3, /*b=*/1.0,
-                           /*epsilon=*/1.0);
-    std::printf("%10zu %12s %12s %12s %12s\n", sample.num_rows(),
+    const std::size_t sampled = sample.num_rows();
+    api::InstancePtr instance = MakeSnapshot(std::move(sample));
+    QuadResult q = RunQuad(instance, /*k=*/10, /*fraction=*/0.3, /*b=*/1.0,
+                           /*epsilon=*/1.0, TimeEnumeration(instance));
+    std::printf("%10zu %12s %12s %12s %12s\n", sampled,
                 Secs(q.cwsc_seconds).c_str(), Secs(q.opt_cwsc_seconds).c_str(),
                 Secs(q.cmc_seconds).c_str(), Secs(q.opt_cmc_seconds).c_str());
     PrintCsvRow("fig5",
-                {std::to_string(sample.num_rows()), Secs(q.cwsc_seconds),
+                {std::to_string(sampled), Secs(q.cwsc_seconds),
                  Secs(q.opt_cwsc_seconds), Secs(q.cmc_seconds),
                  Secs(q.opt_cmc_seconds)});
   }

@@ -27,11 +27,14 @@ int main() {
   for (int step = 1; step <= 7; ++step) {
     const std::size_t rows = max_rows * static_cast<std::size_t>(step) / 7;
     Table sample = base.Sample(rows, rng);
-    QuadResult q = RunQuad(sample, 10, 0.3, 1.0, 1.0);
-    std::printf("%10zu %14zu %14zu %14zu %14zu\n", sample.num_rows(),
+    const std::size_t sampled = sample.num_rows();
+    api::InstancePtr instance = MakeSnapshot(std::move(sample));
+    QuadResult q = RunQuad(instance, 10, 0.3, 1.0, 1.0,
+                           TimeEnumeration(instance));
+    std::printf("%10zu %14zu %14zu %14zu %14zu\n", sampled,
                 q.cwsc_considered, q.opt_cwsc_considered, q.cmc_considered,
                 q.opt_cmc_considered);
-    PrintCsvRow("fig6", {std::to_string(sample.num_rows()),
+    PrintCsvRow("fig6", {std::to_string(sampled),
                          std::to_string(q.cwsc_considered),
                          std::to_string(q.opt_cwsc_considered),
                          std::to_string(q.cmc_considered),

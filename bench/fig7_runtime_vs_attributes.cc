@@ -27,7 +27,9 @@ int main() {
     std::iota(keep.begin(), keep.end(), 0u);
     auto projected = base.ProjectAttributes(keep);
     SCWSC_CHECK(projected.ok(), "projection failed");
-    QuadResult q = RunQuad(*projected, 10, 0.3, 1.0, 1.0);
+    api::InstancePtr instance = MakeSnapshot(*std::move(projected));
+    QuadResult q = RunQuad(instance, 10, 0.3, 1.0, 1.0,
+                           TimeEnumeration(instance));
     std::printf("%6zu %12s %12s %12s %12s\n", attrs,
                 Secs(q.cwsc_seconds).c_str(), Secs(q.opt_cwsc_seconds).c_str(),
                 Secs(q.cmc_seconds).c_str(), Secs(q.opt_cmc_seconds).c_str());

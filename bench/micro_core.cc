@@ -147,7 +147,7 @@ CompareTimings TimeEngine(const SetSystem& system, const EngineOptions& engine,
   t.cmc_seconds = 1e300;
   for (int r = 0; r < reps; ++r) {
     {
-      SetSystem fresh = system;  // untimed: drop any cached inverted index
+      SetSystem fresh = system.Clone();  // untimed: drop any cached inverted index
       Stopwatch watch;
       auto cwsc = RunCwsc(fresh, cwsc_options);
       t.cwsc_seconds = std::min(t.cwsc_seconds, watch.ElapsedSeconds());
@@ -155,7 +155,7 @@ CompareTimings TimeEngine(const SetSystem& system, const EngineOptions& engine,
       t.cwsc_solution = *std::move(cwsc);
     }
     {
-      SetSystem fresh = system;
+      SetSystem fresh = system.Clone();
       Stopwatch watch;
       auto cmc = RunCmc(fresh, cmc_options);
       t.cmc_seconds = std::min(t.cmc_seconds, watch.ElapsedSeconds());

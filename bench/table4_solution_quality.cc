@@ -3,18 +3,14 @@
 //
 // Expected shape: CWSC's cost is no greater than CMC's in every column;
 // increasing b tends to increase CMC's cost (coarser budget guesses).
-// CMC runs with relax_coverage = false so every cell reaches the same
-// coverage target and costs are comparable.
+// CMC runs with strict coverage (relax_coverage = false) so every cell
+// reaches the same coverage target and costs are comparable.
 
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/strings.h"
-#include "src/core/cmc.h"
-#include "src/core/cwsc.h"
-#include "src/pattern/opt_cmc.h"
-#include "src/pattern/opt_cwsc.h"
 
 int main() {
   using namespace scwsc;
@@ -23,8 +19,7 @@ int main() {
   PrintBanner("EXP-T4", "Table IV: solution cost, CWSC vs CMC(b, eps)");
 
   const std::size_t rows = ScaledRows(700'000);
-  Table base = MakeTrace(rows);
-  const pattern::CostFunction cost_fn(pattern::CostKind::kMax);
+  const api::InstancePtr instance = MakeSnapshot(MakeTrace(rows));
   const std::vector<double> fractions = {0.3, 0.4, 0.5, 0.6};
 
   std::printf("%-26s", "Algorithm");
@@ -35,11 +30,9 @@ int main() {
     std::printf("%-26s", "CWSC");
     std::vector<std::string> csv = {"CWSC"};
     for (double s : fractions) {
-      auto solution =
-          pattern::RunOptimizedCwsc(base, cost_fn, {10, s});
-      SCWSC_CHECK(solution.ok(), "CWSC failed");
-      std::printf(" %-12s", FormatNumber(solution->total_cost, 4).c_str());
-      csv.push_back(FormatNumber(solution->total_cost, 6));
+      api::SolveResult r = MustSolve("opt-cwsc", MakeRequest(instance, 10, s));
+      std::printf(" %-12s", FormatNumber(r.total_cost, 4).c_str());
+      csv.push_back(FormatNumber(r.total_cost, 6));
     }
     std::printf("\n");
     PrintCsvRow("table4", csv);
@@ -47,21 +40,17 @@ int main() {
 
   for (double b : {0.5, 1.0, 2.0}) {
     for (double eps : {1.0, 2.0}) {
-      const std::string name =
-          StrFormat("CMC (b=%g, eps=%g)", b, eps);
+      const std::string name = StrFormat("CMC (b=%g, eps=%g)", b, eps);
       std::printf("%-26s", name.c_str());
       std::vector<std::string> csv = {name};
       for (double s : fractions) {
-        CmcOptions opts;
-        opts.k = 10;
-        opts.coverage_fraction = s;
-        opts.b = b;
-        opts.epsilon = eps;
-        opts.relax_coverage = false;
-        auto solution = pattern::RunOptimizedCmc(base, cost_fn, opts);
-        SCWSC_CHECK(solution.ok(), "CMC failed");
-        std::printf(" %-12s", FormatNumber(solution->total_cost, 4).c_str());
-        csv.push_back(FormatNumber(solution->total_cost, 6));
+        api::SolveResult r = MustSolve(
+            "opt-cmc",
+            MakeRequest(instance, 10, s,
+                        {StrFormat("b=%g", b), StrFormat("epsilon=%g", eps),
+                         "strict=true"}));
+        std::printf(" %-12s", FormatNumber(r.total_cost, 4).c_str());
+        csv.push_back(FormatNumber(r.total_cost, 6));
       }
       std::printf("\n");
       PrintCsvRow("table4", csv);

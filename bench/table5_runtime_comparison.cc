@@ -10,10 +10,6 @@
 
 #include "bench/bench_util.h"
 #include "src/common/strings.h"
-#include "src/core/cmc.h"
-#include "src/core/cwsc.h"
-#include "src/pattern/opt_cmc.h"
-#include "src/pattern/opt_cwsc.h"
 
 int main() {
   using namespace scwsc;
@@ -22,8 +18,7 @@ int main() {
   PrintBanner("EXP-T5", "Table V: running time (s), CWSC vs CMC(b, eps)");
 
   const std::size_t rows = ScaledRows(700'000);
-  Table base = MakeTrace(rows);
-  const pattern::CostFunction cost_fn(pattern::CostKind::kMax);
+  const api::InstancePtr instance = MakeSnapshot(MakeTrace(rows));
   const std::vector<double> fractions = {0.3, 0.4, 0.5, 0.6};
 
   std::printf("%-26s", "Algorithm");
@@ -34,12 +29,9 @@ int main() {
     std::printf("%-26s", "CWSC");
     std::vector<std::string> csv = {"CWSC"};
     for (double s : fractions) {
-      Stopwatch sw;
-      auto solution = pattern::RunOptimizedCwsc(base, cost_fn, {10, s});
-      const double secs = sw.ElapsedSeconds();
-      SCWSC_CHECK(solution.ok(), "CWSC failed");
-      std::printf(" %-12s", Secs(secs).c_str());
-      csv.push_back(Secs(secs));
+      api::SolveResult r = MustSolve("opt-cwsc", MakeRequest(instance, 10, s));
+      std::printf(" %-12s", Secs(r.seconds).c_str());
+      csv.push_back(Secs(r.seconds));
     }
     std::printf("\n");
     PrintCsvRow("table5", csv);
@@ -51,18 +43,13 @@ int main() {
       std::printf("%-26s", name.c_str());
       std::vector<std::string> csv = {name};
       for (double s : fractions) {
-        CmcOptions opts;
-        opts.k = 10;
-        opts.coverage_fraction = s;
-        opts.b = b;
-        opts.epsilon = eps;
-        opts.relax_coverage = false;
-        Stopwatch sw;
-        auto solution = pattern::RunOptimizedCmc(base, cost_fn, opts);
-        const double secs = sw.ElapsedSeconds();
-        SCWSC_CHECK(solution.ok(), "CMC failed");
-        std::printf(" %-12s", Secs(secs).c_str());
-        csv.push_back(Secs(secs));
+        api::SolveResult r = MustSolve(
+            "opt-cmc",
+            MakeRequest(instance, 10, s,
+                        {StrFormat("b=%g", b), StrFormat("epsilon=%g", eps),
+                         "strict=true"}));
+        std::printf(" %-12s", Secs(r.seconds).c_str());
+        csv.push_back(Secs(r.seconds));
       }
       std::printf("\n");
       PrintCsvRow("table5", csv);

@@ -2,20 +2,26 @@
 //
 // Usage:
 //   scwsc_cli --input data.csv --measure Cost [options]
+//   scwsc_cli --list-solvers
 //
 // Options:
 //   --input PATH        CSV file (header row; one column is the measure)
 //   --measure NAME      numeric measure column used for pattern weights
+//   --solver NAME       any registered solver (see --list-solvers)
+//                                                         [default opt-cwsc]
 //   --k N               maximum number of patterns        [default 10]
 //   --coverage F        coverage fraction in [0,1]        [default 0.3]
 //   --cost max|sum|lp   pattern cost function             [default max]
 //   --lp P              exponent for --cost lp            [default 2]
-//   --algorithm cwsc|cmc|exact                            [default cwsc]
-//   --b F               CMC budget growth                 [default 1]
-//   --epsilon F         CMC merged-level variant          [default 0]
-//   --strict            CMC: target the full s.n (not (1-1/e)s.n)
+//   --opt KEY=VALUE     solver-specific option (repeatable; unknown keys
+//                       are rejected with the accepted list)
+//   --hierarchy flat    attach flat attribute hierarchies, enabling the
+//                       hierarchical solvers (hcwsc, hcmc)
 //   --delimiter C       CSV delimiter                     [default ,]
 //   --deadline-ms N     wall-clock budget; 0 = unlimited  [default 0]
+//
+// Legacy aliases kept for scripts: --algorithm cwsc|cmc|exact maps to
+// opt-cwsc/opt-cmc/exact, and --b/--epsilon/--strict feed the CMC options.
 //
 // Ctrl-C requests cooperative cancellation: the solver stops at its next
 // check point and the best-so-far solution is printed.
@@ -27,8 +33,8 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/common/run_context.h"
 
@@ -41,14 +47,13 @@ namespace {
 struct CliArgs {
   std::string input;
   std::string measure;
+  std::string solver = "opt-cwsc";
   std::size_t k = 10;
   double coverage = 0.3;
   std::string cost = "max";
   double lp = 2.0;
-  std::string algorithm = "cwsc";
-  double b = 1.0;
-  double epsilon = 0.0;
-  bool strict = false;
+  std::vector<std::string> opts;  // raw key=value items
+  bool flat_hierarchy = false;
   char delimiter = ',';
   std::uint64_t deadline_ms = 0;  // 0 = unlimited
 };
@@ -67,22 +72,46 @@ int Fail(const std::string& message) {
 
 void PrintUsage() {
   std::printf(
-      "scwsc_cli --input data.csv --measure COLUMN [--k N] [--coverage F]\n"
-      "          [--cost max|sum|lp] [--lp P] [--algorithm cwsc|cmc|exact]\n"
-      "          [--b F] [--epsilon F] [--strict] [--delimiter C]\n"
-      "          [--deadline-ms N]\n");
+      "scwsc_cli --input data.csv --measure COLUMN [--solver NAME] [--k N]\n"
+      "          [--coverage F] [--cost max|sum|lp] [--lp P]\n"
+      "          [--opt KEY=VALUE]... [--hierarchy flat] [--delimiter C]\n"
+      "          [--deadline-ms N]\n"
+      "scwsc_cli --list-solvers\n");
+}
+
+int ListSolvers() {
+  std::printf("%-22s %-32s %s\n", "NAME", "CAPABILITIES", "SUMMARY");
+  for (const api::SolverInfo& info : api::SolverRegistry::Global().List()) {
+    std::printf("%-22s %-32s %s\n", info.name.c_str(),
+                api::CapabilitiesToString(info.capabilities).c_str(),
+                info.summary.c_str());
+    if (!info.option_keys.empty()) {
+      std::string keys;
+      for (const std::string& key : info.option_keys) {
+        if (!keys.empty()) keys += ", ";
+        keys += key;
+      }
+      std::printf("%-22s   options: %s\n", "", keys.c_str());
+    }
+  }
+  return 0;
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
   CliArgs args;
+  std::string legacy_algorithm;
+  std::vector<std::string> legacy_cmc;  // from --b/--epsilon/--strict
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--help" || flag == "-h") {
       PrintUsage();
       std::exit(0);
     }
+    if (flag == "--list-solvers") {
+      std::exit(ListSolvers());
+    }
     if (flag == "--strict") {
-      args.strict = true;
+      legacy_cmc.push_back("strict=true");
       continue;
     }
     if (i + 1 >= argc) {
@@ -93,6 +122,8 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       args.input = value;
     } else if (flag == "--measure") {
       args.measure = value;
+    } else if (flag == "--solver") {
+      args.solver = value;
     } else if (flag == "--k") {
       SCWSC_ASSIGN_OR_RETURN(auto k, ParseU64(value));
       args.k = static_cast<std::size_t>(k);
@@ -102,12 +133,19 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       args.cost = value;
     } else if (flag == "--lp") {
       SCWSC_ASSIGN_OR_RETURN(args.lp, ParseDouble(value));
+    } else if (flag == "--opt") {
+      args.opts.push_back(value);
+    } else if (flag == "--hierarchy") {
+      if (value != "flat") {
+        return Status::InvalidArgument("--hierarchy only supports 'flat'");
+      }
+      args.flat_hierarchy = true;
     } else if (flag == "--algorithm") {
-      args.algorithm = value;
+      legacy_algorithm = value;
     } else if (flag == "--b") {
-      SCWSC_ASSIGN_OR_RETURN(args.b, ParseDouble(value));
+      legacy_cmc.push_back("b=" + value);
     } else if (flag == "--epsilon") {
-      SCWSC_ASSIGN_OR_RETURN(args.epsilon, ParseDouble(value));
+      legacy_cmc.push_back("epsilon=" + value);
     } else if (flag == "--deadline-ms") {
       SCWSC_ASSIGN_OR_RETURN(args.deadline_ms, ParseU64(value));
     } else if (flag == "--delimiter") {
@@ -117,6 +155,32 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       args.delimiter = value[0];
     } else {
       return Status::InvalidArgument("unknown flag " + flag);
+    }
+  }
+  if (!legacy_algorithm.empty()) {
+    if (legacy_algorithm == "cwsc") {
+      args.solver = "opt-cwsc";
+    } else if (legacy_algorithm == "cmc") {
+      args.solver = "opt-cmc";
+    } else if (legacy_algorithm == "exact") {
+      args.solver = "exact";
+    } else {
+      return Status::InvalidArgument("unknown algorithm '" + legacy_algorithm +
+                                     "'");
+    }
+  }
+  // The legacy CMC flags are forwarded only to solvers that understand
+  // them, matching the old CLI (which silently ignored --b under cwsc).
+  if (const api::SolverInfo* info =
+          api::SolverRegistry::Global().Find(args.solver)) {
+    for (const std::string& item : legacy_cmc) {
+      const std::string key = item.substr(0, item.find('='));
+      for (const std::string& known : info->option_keys) {
+        if (known == key) {
+          args.opts.push_back(item);
+          break;
+        }
+      }
     }
   }
   if (args.input.empty()) return Status::InvalidArgument("--input required");
@@ -137,17 +201,38 @@ Result<pattern::CostFunction> MakeCost(const CliArgs& args) {
   return Status::InvalidArgument("unknown cost function '" + args.cost + "'");
 }
 
-void PrintSolution(const Table& table, const pattern::PatternSolution& s) {
-  for (const auto& p : s.patterns) {
-    std::printf("%s\n", p.ToString(table).c_str());
+void PrintResult(std::size_t num_rows, const api::SolveResult& result) {
+  for (const std::string& label : result.labels) {
+    std::printf("%s\n", label.c_str());
   }
   std::printf("# %zu patterns, total cost %s, covered %zu/%zu (%.2f%%)\n",
-              s.patterns.size(), FormatNumber(s.total_cost).c_str(), s.covered,
-              table.num_rows(),
-              100.0 * static_cast<double>(s.covered) /
-                  static_cast<double>(table.num_rows() == 0
-                                          ? 1
-                                          : table.num_rows()));
+              result.labels.size(), FormatNumber(result.total_cost).c_str(),
+              result.covered, num_rows,
+              100.0 * static_cast<double>(result.covered) /
+                  static_cast<double>(num_rows == 0 ? 1 : num_rows));
+}
+
+void PrintCounters(const std::string& solver, const api::SolveResult& result) {
+  std::string extras;
+  const api::SolveCounters& c = result.counters;
+  if (c.budget_rounds > 0) {
+    extras += StrFormat(", %zu budget rounds (B = %s)", c.budget_rounds,
+                        FormatNumber(c.final_budget).c_str());
+  }
+  if (c.nodes > 0) {
+    extras += StrFormat(", %llu branch-and-bound nodes",
+                        static_cast<unsigned long long>(c.nodes));
+  }
+  if (c.sets_considered > 0) {
+    extras += StrFormat(", %zu candidates considered", c.sets_considered);
+  }
+  if (c.lp_lower_bound > 0.0) {
+    extras += StrFormat(", LP lower bound %s (size excess %zu)",
+                        FormatNumber(c.lp_lower_bound).c_str(),
+                        c.cardinality_violation);
+  }
+  std::printf("# %s: %.3fs%s\n", solver.c_str(), result.seconds,
+              extras.c_str());
 }
 
 }  // namespace
@@ -165,95 +250,45 @@ int main(int argc, char** argv) {
   auto cost_fn = MakeCost(*args);
   if (!cost_fn.ok()) return Fail(cost_fn.status().ToString());
 
+  const std::size_t num_rows = table->num_rows();
+  std::optional<hierarchy::TableHierarchy> hier;
+  if (args->flat_hierarchy) hier = hierarchy::TableHierarchy::Flat(*table);
+  auto instance = api::InstanceSnapshot::FromTable(
+      *std::move(table), *std::move(cost_fn), std::move(hier));
+  if (!instance.ok()) return Fail(instance.status().ToString());
+
+  api::SolveRequest request;
+  request.instance = *instance;
+  request.k = args->k;
+  request.coverage_fraction = args->coverage;
+  auto options = api::OptionsBag::Parse(args->opts);
+  if (!options.ok()) return Fail(options.status().ToString());
+  request.options = *std::move(options);
+
   if (args->deadline_ms > 0) {
     g_run_context.SetDeadline(std::chrono::milliseconds(args->deadline_ms));
   }
   std::signal(SIGINT, HandleSigint);
 
-  // Prints the best-so-far solution an interruption Status carries and
-  // reports how the run was cut short. Exit code 2.
-  auto report_interrupted = [&](const Table& t,
-                                const pattern::PatternSolution& partial,
-                                const Status& status) {
-    PrintSolution(t, partial);
-    std::printf("# interrupted (%s): best-so-far solution above, %zu "
-                "patterns chosen, %zu rows covered\n",
-                TripKindToString(partial.provenance.trip),
-                partial.provenance.sets_chosen,
-                partial.provenance.coverage_reached);
-    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
-    return 2;
-  };
+  auto result = api::SolverRegistry::Global().Solve(args->solver, request,
+                                                    &g_run_context);
+  if (!result.ok()) {
+    const Status& status = result.status();
+    if (const auto* partial = status.payload<api::SolveResult>();
+        partial != nullptr && status.IsInterruption()) {
+      PrintResult(num_rows, *partial);
+      std::printf("# interrupted (%s): best-so-far solution above, %zu "
+                  "patterns chosen, %zu rows covered\n",
+                  TripKindToString(partial->provenance.trip),
+                  partial->provenance.sets_chosen,
+                  partial->provenance.coverage_reached);
+      std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    return Fail(status.ToString());
+  }
 
-  Stopwatch sw;
-  if (args->algorithm == "cwsc") {
-    CwscOptions opts{args->k, args->coverage};
-    opts.run_context = &g_run_context;
-    pattern::PatternStats stats;
-    auto solution = pattern::RunOptimizedCwsc(*table, *cost_fn, opts, &stats);
-    if (!solution.ok()) {
-      const Status& st = solution.status();
-      if (const auto* partial = st.payload<pattern::PatternSolution>();
-          partial != nullptr && st.IsInterruption()) {
-        return report_interrupted(*table, *partial, st);
-      }
-      return Fail(st.ToString());
-    }
-    PrintSolution(*table, *solution);
-    std::printf("# cwsc: %.3fs, %zu patterns considered\n",
-                sw.ElapsedSeconds(), stats.patterns_considered);
-    return 0;
-  }
-  if (args->algorithm == "cmc") {
-    CmcOptions opts;
-    opts.k = args->k;
-    opts.coverage_fraction = args->coverage;
-    opts.b = args->b;
-    opts.epsilon = args->epsilon;
-    opts.relax_coverage = !args->strict;
-    opts.run_context = &g_run_context;
-    pattern::PatternStats stats;
-    auto solution = pattern::RunOptimizedCmc(*table, *cost_fn, opts, &stats);
-    if (!solution.ok()) {
-      const Status& st = solution.status();
-      if (const auto* partial = st.payload<pattern::PatternSolution>();
-          partial != nullptr && st.IsInterruption()) {
-        return report_interrupted(*table, *partial, st);
-      }
-      return Fail(st.ToString());
-    }
-    PrintSolution(*table, *solution);
-    std::printf("# cmc: %.3fs, %zu budget rounds (B = %s), %zu patterns "
-                "considered\n",
-                sw.ElapsedSeconds(), stats.budget_rounds,
-                FormatNumber(stats.final_budget).c_str(),
-                stats.patterns_considered);
-    return 0;
-  }
-  if (args->algorithm == "exact") {
-    auto system = pattern::PatternSystem::Build(*table, *cost_fn);
-    if (!system.ok()) return Fail(system.status().ToString());
-    ExactOptions opts;
-    opts.k = args->k;
-    opts.coverage_fraction = args->coverage;
-    opts.run_context = &g_run_context;
-    auto result = SolveExact(system->set_system(), opts);
-    if (!result.ok()) {
-      const Status& st = result.status();
-      if (const auto* partial = st.payload<ExactResult>();
-          partial != nullptr && st.IsInterruption()) {
-        pattern::PatternSolution ps =
-            system->ToPatternSolution(partial->solution);
-        ps.provenance = partial->solution.provenance;
-        return report_interrupted(*table, ps, st);
-      }
-      return Fail(st.ToString());
-    }
-    PrintSolution(*table, system->ToPatternSolution(result->solution));
-    std::printf("# exact: %.3fs, %llu branch-and-bound nodes\n",
-                sw.ElapsedSeconds(),
-                static_cast<unsigned long long>(result->nodes));
-    return 0;
-  }
-  return Fail("unknown algorithm '" + args->algorithm + "'");
+  PrintResult(num_rows, *result);
+  PrintCounters(args->solver, *result);
+  return 0;
 }

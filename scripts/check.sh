@@ -21,6 +21,33 @@ cmake -B "$BUILD_DIR" -S . "$@" || fail "configure"
 cmake --build "$BUILD_DIR" -j"$JOBS" || fail "build"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS") || fail "tests"
 
+# Registry coverage: every algorithm entry point (Result<T> Run*/Solve*
+# declared in a src header outside src/api) must be called from a registry
+# adapter, so all algorithms stay invocable by name. Internal sub-steps
+# that are deliberately not solvers go on the allowlist.
+REGISTRY_ALLOWLIST="SolveLp SolveScwscRelaxation"
+entry_points=$(grep -rhoE 'Result<[^;]*> (Run|Solve)[A-Za-z0-9]*\(' \
+                 src --include='*.h' --exclude-dir=api \
+               | grep -oE '(Run|Solve)[A-Za-z0-9]*\($' \
+               | tr -d '(' | sort -u)
+[ -n "$entry_points" ] || fail "registry coverage (no entry points found)"
+for fn in $entry_points; do
+  case " $REGISTRY_ALLOWLIST " in *" $fn "*) continue ;; esac
+  grep -q "\b$fn\b" src/api/*.cc \
+    || { echo "check.sh: '$fn' is not reachable through the solver" \
+              "registry (src/api); register it or allowlist it" >&2
+         fail "registry coverage"; }
+done
+
+# CLI smoke: the registry self-registration must survive linking (static
+# registrars are prone to dead stripping).
+list=$("$BUILD_DIR"/examples/scwsc_cli --list-solvers) || fail "cli smoke"
+for name in cwsc opt-cwsc opt-cmc exact hcmc lp-rounding; do
+  echo "$list" | grep -q "^$name " || {
+    echo "check.sh: solver '$name' missing from --list-solvers" >&2
+    fail "cli smoke"; }
+done
+
 SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
   "$BUILD_DIR"/bench/micro_core --engine-compare \
   --out="$BUILD_DIR"/BENCH_core.json || fail "engine smoke"

@@ -1,0 +1,194 @@
+#include "src/api/adapter_util.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/bitset.h"
+#include "src/pattern/pattern_system.h"
+
+namespace scwsc {
+namespace api {
+namespace internal {
+namespace {
+
+/// The shared bookkeeping-consistency rule of AuditSolution: exact coverage
+/// match, cost match up to relative rounding noise.
+bool CostsMatch(double recomputed, double claimed) {
+  return std::abs(recomputed - claimed) <=
+         1e-9 * std::max(1.0, std::abs(recomputed));
+}
+
+}  // namespace
+
+Result<SolveResult> FinishSetBacked(const SolveRequest& request,
+                                    Solution solution, double seconds,
+                                    SolveContract contract,
+                                    SolveCounters counters) {
+  SCWSC_ASSIGN_OR_RETURN(const SetSystem* system,
+                         request.instance->set_system());
+  SolveResult out;
+  out.total_cost = solution.total_cost;
+  out.covered = solution.covered;
+  out.provenance = solution.provenance;
+  SCWSC_ASSIGN_OR_RETURN(out.audit, AuditSolution(*system, solution));
+
+  const pattern::PatternSystem* patterns = nullptr;
+  if (request.instance->has_table()) {
+    SCWSC_ASSIGN_OR_RETURN(patterns, request.instance->pattern_system());
+  }
+  out.labels.reserve(solution.sets.size());
+  for (SetId id : solution.sets) {
+    if (patterns != nullptr) {
+      out.patterns.push_back(patterns->pattern(id));
+      out.labels.push_back(patterns->pattern(id).ToString(patterns->table()));
+    } else {
+      const WeightedSet& s = system->set(id);
+      out.labels.push_back(s.label.empty() ? "S" + std::to_string(id)
+                                           : s.label);
+    }
+  }
+  out.solution = std::move(solution);
+  out.contract = contract;
+  out.counters = counters;
+  out.seconds = seconds;
+  return out;
+}
+
+Result<SolveResult> FinishPatternBacked(const SolveRequest& request,
+                                        pattern::PatternSolution solution,
+                                        double seconds, SolveContract contract,
+                                        SolveCounters counters) {
+  const Table& table = request.instance->table();
+  const pattern::CostFunction& cost_fn = request.instance->cost_fn();
+
+  SolveResult out;
+  out.total_cost = solution.total_cost;
+  out.covered = solution.covered;
+  out.provenance = solution.provenance;
+
+  DynamicBitset covered(table.num_rows());
+  double recomputed_cost = 0.0;
+  std::unordered_set<pattern::Pattern, pattern::PatternHash> seen;
+  out.labels.reserve(solution.patterns.size());
+  for (const pattern::Pattern& p : solution.patterns) {
+    if (!seen.insert(p).second) {
+      return Status::InvalidArgument("solution contains duplicate pattern " +
+                                     p.ToString(table));
+    }
+    std::vector<RowId> rows;
+    for (RowId r = 0; r < table.num_rows(); ++r) {
+      if (p.Matches(table, r)) {
+        rows.push_back(r);
+        covered.set(r);
+      }
+    }
+    recomputed_cost += cost_fn.Compute(table, rows);
+    out.labels.push_back(p.ToString(table));
+  }
+  out.audit.num_sets = solution.patterns.size();
+  out.audit.total_cost = recomputed_cost;
+  out.audit.covered = covered.count();
+  out.audit.bookkeeping_consistent =
+      out.audit.covered == solution.covered &&
+      CostsMatch(recomputed_cost, solution.total_cost);
+
+  // Mirror the bookkeeping into the uniform Solution shell (sets stays
+  // empty: lattice solvers have no SetIds).
+  out.solution.total_cost = solution.total_cost;
+  out.solution.covered = solution.covered;
+  out.solution.provenance = solution.provenance;
+  out.patterns = std::move(solution.patterns);
+  out.contract = contract;
+  out.counters = counters;
+  out.seconds = seconds;
+  return out;
+}
+
+Result<SolveResult> FinishHierarchyBacked(const SolveRequest& request,
+                                          hierarchy::HSolution solution,
+                                          double seconds,
+                                          SolveContract contract,
+                                          SolveCounters counters) {
+  const Table& table = request.instance->table();
+  const hierarchy::TableHierarchy& hier = request.instance->hierarchy();
+  const pattern::CostFunction& cost_fn = request.instance->cost_fn();
+
+  SolveResult out;
+  out.total_cost = solution.total_cost;
+  out.covered = solution.covered;
+  out.provenance = solution.provenance;
+
+  DynamicBitset covered(table.num_rows());
+  double recomputed_cost = 0.0;
+  out.labels.reserve(solution.patterns.size());
+  for (const hierarchy::HPattern& p : solution.patterns) {
+    std::vector<RowId> rows;
+    for (RowId r = 0; r < table.num_rows(); ++r) {
+      if (p.Matches(table, hier, r)) {
+        rows.push_back(r);
+        covered.set(r);
+      }
+    }
+    recomputed_cost += cost_fn.Compute(table, rows);
+    out.labels.push_back(p.ToString(table, hier));
+  }
+  out.audit.num_sets = solution.patterns.size();
+  out.audit.total_cost = recomputed_cost;
+  out.audit.covered = covered.count();
+  out.audit.bookkeeping_consistent =
+      out.audit.covered == solution.covered &&
+      CostsMatch(recomputed_cost, solution.total_cost);
+
+  out.solution.total_cost = solution.total_cost;
+  out.solution.covered = solution.covered;
+  out.solution.provenance = solution.provenance;
+  out.contract = contract;
+  out.counters = counters;
+  out.seconds = seconds;
+  return out;
+}
+
+Status Rewrap(const Status& status, Result<SolveResult> finished) {
+  if (!finished.ok()) return status;
+  return Status(status.code(), std::string(status.message()))
+      .WithPayload(std::move(finished).value());
+}
+
+Result<CmcOptions> CmcOptionsFromRequest(const SolveRequest& request,
+                                         const RunContext* run_context) {
+  CmcOptions options;
+  options.k = request.k;
+  options.coverage_fraction = request.coverage_fraction;
+  SCWSC_ASSIGN_OR_RETURN(options.b, request.options.GetDouble("b", options.b));
+  SCWSC_ASSIGN_OR_RETURN(options.epsilon,
+                         request.options.GetDouble("epsilon", options.epsilon));
+  SCWSC_ASSIGN_OR_RETURN(std::uint64_t l,
+                         request.options.GetU64("l", options.l));
+  options.l = static_cast<unsigned>(l);
+  SCWSC_ASSIGN_OR_RETURN(bool strict,
+                         request.options.GetBool("strict", false));
+  options.relax_coverage = !strict;
+  SCWSC_ASSIGN_OR_RETURN(
+      options.max_budget_rounds,
+      request.options.GetU64("max-budget-rounds", options.max_budget_rounds));
+  options.run_context = run_context;
+  return options;
+}
+
+std::vector<std::string> CmcOptionKeys() {
+  return {"b", "epsilon", "l", "strict", "max-budget-rounds"};
+}
+
+SolveContract CmcContract(const CmcOptions& options,
+                          std::size_t num_elements) {
+  SolveContract contract;
+  contract.max_sets = CmcMaxSelectable(options.k, options.epsilon, options.l);
+  contract.coverage_target = CmcCoverageTarget(
+      options.coverage_fraction, num_elements, options.relax_coverage);
+  return contract;
+}
+
+}  // namespace internal
+}  // namespace api
+}  // namespace scwsc

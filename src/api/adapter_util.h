@@ -1,0 +1,63 @@
+// Shared plumbing of the built-in solver adapters (solvers_*.cc): turning
+// each algorithm's native output (Solution / PatternSolution / HSolution)
+// into the uniform SolveResult, and re-issuing interruption Statuses with a
+// SolveResult payload so every frontend handles best-so-far output through
+// one type.
+
+#ifndef SCWSC_API_ADAPTER_UTIL_H_
+#define SCWSC_API_ADAPTER_UTIL_H_
+
+#include "src/api/solver.h"
+#include "src/core/cmc.h"
+#include "src/hierarchy/hcwsc.h"
+#include "src/pattern/stats.h"
+
+namespace scwsc {
+namespace api {
+namespace internal {
+
+/// Builds the SolveResult for a SetId-backed solution: labels from the set
+/// system (pattern strings when the instance is a patterned table), audit
+/// independently recomputed via AuditSolution.
+Result<SolveResult> FinishSetBacked(const SolveRequest& request,
+                                    Solution solution, double seconds,
+                                    SolveContract contract,
+                                    SolveCounters counters);
+
+/// Builds the SolveResult for a flat-pattern solution (the lattice solvers
+/// never materialize SetIds): audit recomputed by re-matching every pattern
+/// against the table and re-deriving costs from the cost function.
+Result<SolveResult> FinishPatternBacked(const SolveRequest& request,
+                                        pattern::PatternSolution solution,
+                                        double seconds, SolveContract contract,
+                                        SolveCounters counters);
+
+/// Same for a hierarchical-pattern solution.
+Result<SolveResult> FinishHierarchyBacked(const SolveRequest& request,
+                                          hierarchy::HSolution solution,
+                                          double seconds,
+                                          SolveContract contract,
+                                          SolveCounters counters);
+
+/// Re-issues the interruption `status` carrying `finished` (the converted
+/// partial) as a SolveResult payload; falls back to the original status when
+/// the conversion itself failed.
+Status Rewrap(const Status& status, Result<SolveResult> finished);
+
+/// CmcOptions from the request's universal fields plus the shared CMC
+/// option keys: b, epsilon, l, strict, max-budget-rounds.
+Result<CmcOptions> CmcOptionsFromRequest(const SolveRequest& request,
+                                         const RunContext* run_context);
+
+/// The option keys CmcOptionsFromRequest understands, for SolverInfo.
+std::vector<std::string> CmcOptionKeys();
+
+/// The CMC contract: at most CmcMaxSelectable sets covering at least the
+/// (possibly relaxed) CmcCoverageTarget of `num_elements`.
+SolveContract CmcContract(const CmcOptions& options, std::size_t num_elements);
+
+}  // namespace internal
+}  // namespace api
+}  // namespace scwsc
+
+#endif  // SCWSC_API_ADAPTER_UTIL_H_

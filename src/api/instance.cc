@@ -1,0 +1,81 @@
+#include "src/api/instance.h"
+
+#include <utility>
+
+namespace scwsc {
+namespace api {
+
+Result<InstancePtr> InstanceSnapshot::FromSetSystem(SetSystem system) {
+  if (system.num_elements() == 0) {
+    return Status::InvalidArgument("instance snapshot: empty universe");
+  }
+  // Warm the lazy inverted index now, while we are still the only owner:
+  // afterwards every access through the snapshot is a pure read.
+  system.InvertedIndex();
+  auto snapshot = std::shared_ptr<InstanceSnapshot>(new InstanceSnapshot());
+  snapshot->system_.emplace(std::move(system));
+  return InstancePtr(std::move(snapshot));
+}
+
+Result<InstancePtr> InstanceSnapshot::FromTable(
+    Table table, pattern::CostFunction cost_fn,
+    std::optional<hierarchy::TableHierarchy> hierarchy,
+    pattern::EnumerateOptions enumerate_options) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("instance snapshot: empty table");
+  }
+  if (!table.has_measure()) {
+    return Status::InvalidArgument(
+        "instance snapshot: table has no measure column to weight patterns");
+  }
+  auto snapshot = std::shared_ptr<InstanceSnapshot>(new InstanceSnapshot());
+  snapshot->table_.emplace(std::move(table));
+  snapshot->cost_fn_.emplace(std::move(cost_fn));
+  snapshot->hierarchy_ = std::move(hierarchy);
+  snapshot->enumerate_options_ = enumerate_options;
+  return InstancePtr(std::move(snapshot));
+}
+
+std::size_t InstanceSnapshot::num_elements() const {
+  return table_.has_value() ? table_->num_rows() : system_->num_elements();
+}
+
+void InstanceSnapshot::MaterializePatterns() const {
+  std::call_once(once_, [this] {
+    lazy_.emplace(
+        pattern::PatternSystem::Build(*table_, *cost_fn_, enumerate_options_));
+    if (lazy_->ok()) {
+      // Warm every lazy cache inside the once-block so later concurrent
+      // solves never write.
+      lazy_->value().set_system().InvertedIndex();
+    }
+    materialized_.store(true, std::memory_order_release);
+  });
+}
+
+Result<const SetSystem*> InstanceSnapshot::set_system() const {
+  if (system_.has_value()) return &*system_;
+  MaterializePatterns();
+  if (!lazy_->ok()) return lazy_->status();
+  return &lazy_->value().set_system();
+}
+
+Result<const pattern::PatternSystem*> InstanceSnapshot::pattern_system()
+    const {
+  if (!table_.has_value()) {
+    return Status::NotSupported(
+        "instance snapshot: pattern metadata requires a patterned table "
+        "instance (this snapshot wraps an explicit SetSystem)");
+  }
+  MaterializePatterns();
+  if (!lazy_->ok()) return lazy_->status();
+  return &lazy_->value();
+}
+
+bool InstanceSnapshot::set_system_materialized() const {
+  if (system_.has_value()) return true;
+  return materialized_.load(std::memory_order_acquire);
+}
+
+}  // namespace api
+}  // namespace scwsc

@@ -1,0 +1,140 @@
+#include "src/api/registry.h"
+
+#include <utility>
+
+namespace scwsc {
+namespace api {
+namespace internal {
+
+// Defined in the adapter translation units (solvers_*.cc). Referencing
+// them from Global() forces the linker to keep those objects — and
+// therefore their static registrars — even though nothing else references
+// them: the classic static-library dead-stripping hazard of
+// self-registration.
+void LinkCoreSolvers();
+void LinkPatternSolvers();
+void LinkHierarchySolvers();
+void LinkLpSolvers();
+
+}  // namespace internal
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = new SolverRegistry();
+  static std::once_flag link_once;
+  std::call_once(link_once, [] {
+    internal::LinkCoreSolvers();
+    internal::LinkPatternSolvers();
+    internal::LinkHierarchySolvers();
+    internal::LinkLpSolvers();
+  });
+  return *registry;
+}
+
+Status SolverRegistry::Register(SolverInfo info, Factory factory) {
+  if (info.name.empty()) {
+    return Status::InvalidArgument("solver registration: empty name");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("solver registration: null factory for '" +
+                                   info.name + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Take the key first: argument evaluation order is unspecified, so
+  // emplace(info.name, {std::move(info), ...}) may read a moved-from name.
+  std::string name = info.name;
+  auto [it, inserted] = entries_.emplace(
+      std::move(name), Entry{std::move(info), std::move(factory)});
+  if (!inserted) {
+    return Status::InvalidArgument("solver '" + it->first +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+const SolverInfo* SolverRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second.info;
+}
+
+Result<std::unique_ptr<Solver>> SolverRegistry::Create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::string known;
+      for (const auto& [key, entry] : entries_) {
+        if (!known.empty()) known += ", ";
+        known += key;
+      }
+      return Status::NotFound("no solver named '" + name +
+                              "'; registered solvers: " + known);
+    }
+    factory = it->second.factory;
+  }
+  auto solver = factory();
+  if (solver == nullptr) {
+    return Status::Internal("factory for solver '" + name +
+                            "' returned null");
+  }
+  return solver;
+}
+
+std::vector<SolverInfo> SolverRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SolverInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.info);
+  return out;  // std::map iteration order is already sorted by name
+}
+
+Status SolverRegistry::CheckCapabilities(const SolverInfo& info,
+                                         const InstanceSnapshot& instance) {
+  if ((info.capabilities & kNeedsTable) != 0 && !instance.has_table()) {
+    return Status::InvalidArgument(
+        "solver '" + info.name +
+        "' descends the pattern lattice of a table, but this instance wraps "
+        "an explicit SetSystem; build the snapshot with "
+        "InstanceSnapshot::FromTable or use a set-system solver such as "
+        "'cwsc'");
+  }
+  if ((info.capabilities & kNeedsHierarchy) != 0 &&
+      !instance.has_hierarchy()) {
+    return Status::InvalidArgument(
+        "solver '" + info.name +
+        "' needs attribute hierarchies, but this instance has none; pass a "
+        "TableHierarchy to InstanceSnapshot::FromTable (TableHierarchy::Flat "
+        "reproduces the flat solvers) or use '" +
+        (info.name == "hcmc" ? "opt-cmc" : "opt-cwsc") + "'");
+  }
+  return Status::OK();
+}
+
+Result<SolveResult> SolverRegistry::Solve(const std::string& name,
+                                          const SolveRequest& request,
+                                          const RunContext* run_context) const {
+  if (request.instance == nullptr) {
+    return Status::InvalidArgument("SolveRequest has no instance snapshot");
+  }
+  const SolverInfo* info = Find(name);
+  if (info == nullptr) {
+    return Create(name).status();  // NotFound listing the known names
+  }
+  SCWSC_RETURN_NOT_OK(CheckCapabilities(*info, *request.instance));
+  SCWSC_RETURN_NOT_OK(request.options.ExpectKnown(info->option_keys));
+  SCWSC_ASSIGN_OR_RETURN(auto solver, Create(name));
+  return solver->Solve(request, run_context);
+}
+
+SolverRegistrar::SolverRegistrar(SolverInfo info,
+                                 SolverRegistry::Factory factory) {
+  const Status status =
+      SolverRegistry::Global().Register(std::move(info), std::move(factory));
+  SCWSC_CHECK(status.ok(), "solver registration failed: %s",
+              status.ToString().c_str());
+}
+
+}  // namespace api
+}  // namespace scwsc

@@ -1,0 +1,168 @@
+// The one request/response seam of the library: every algorithm — core
+// CWSC/CMC and their literal references, the three baselines, the exact
+// branch-and-bound, LP rounding, the lattice-optimized pattern solvers and
+// the hierarchical variants — is invocable through the polymorphic Solver
+// interface with a typed SolveRequest and SolveResult. Frontends (CLI,
+// bench harness, tests, a future RPC server) talk to this seam only; they
+// never wire up an algorithm by hand.
+//
+// Solvers are looked up by name in the SolverRegistry (registry.h), which
+// also carries capability flags so a frontend can report *why* a solver
+// cannot run on a given instance before calling it.
+
+#ifndef SCWSC_API_SOLVER_H_
+#define SCWSC_API_SOLVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/api/instance.h"
+#include "src/common/result.h"
+#include "src/common/run_context.h"
+#include "src/core/solution.h"
+#include "src/pattern/pattern.h"
+
+namespace scwsc {
+namespace api {
+
+// --- capabilities ---------------------------------------------------------
+
+/// What a solver consumes / guarantees; used for capability-aware errors
+/// ("hcwsc needs a hierarchy the input lacks") and for frontend listings.
+enum SolverCapability : unsigned {
+  /// Consumes the generic SetSystem view. On a table-only instance this
+  /// materializes the full pattern enumeration (once, shared).
+  kNeedsSetSystem = 1u << 0,
+  /// Consumes the patterned Table directly (lattice solvers); cannot run on
+  /// an instance built from an explicit SetSystem.
+  kNeedsTable = 1u << 1,
+  /// Additionally needs attribute hierarchies on the instance.
+  kNeedsHierarchy = 1u << 2,
+  /// Surrenders a best-so-far partial SolveResult as the Status payload
+  /// when a RunContext trips.
+  kSupportsAnytime = 1u << 3,
+  /// Result is provably optimal (not a heuristic).
+  kExact = 1u << 4,
+};
+
+/// "set-system,anytime" — stable comma-separated listing for --list-solvers.
+std::string CapabilitiesToString(unsigned capabilities);
+
+// --- options bag ----------------------------------------------------------
+
+/// Per-algorithm options as string key/value pairs, so one CLI flag
+/// (--opt key=value) and one RPC field can parameterize any solver. Typed
+/// getters parse on access; adapters reject unknown keys via ExpectKnown so
+/// a typo ("espilon=2") is an InvalidArgument, not a silent default.
+class OptionsBag {
+ public:
+  OptionsBag() = default;
+
+  /// Parses "key=value" items (the CLI's repeated --opt flag).
+  static Result<OptionsBag> Parse(const std::vector<std::string>& items);
+
+  OptionsBag& Set(std::string key, std::string value);
+
+  bool Has(const std::string& key) const { return kv_.count(key) != 0; }
+  bool empty() const { return kv_.empty(); }
+
+  /// Typed lookup with a default for missing keys; parse failures are
+  /// InvalidArgument naming the key.
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<std::uint64_t> GetU64(const std::string& key,
+                               std::uint64_t fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+  Result<std::string> GetString(const std::string& key,
+                                std::string fallback) const;
+
+  /// InvalidArgument when the bag contains a key not in `known` (listing
+  /// the accepted keys). Every adapter calls this first.
+  Status ExpectKnown(const std::vector<std::string>& known) const;
+
+  const std::map<std::string, std::string>& items() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+// --- request / response ---------------------------------------------------
+
+/// One solve call. The instance handle is shared, never copied; k and ŝ are
+/// the universal SCWSC constraints; everything algorithm-specific rides in
+/// the options bag (see each adapter's option_keys in the registry).
+struct SolveRequest {
+  InstancePtr instance;
+  std::size_t k = 10;
+  double coverage_fraction = 0.3;
+  OptionsBag options;
+};
+
+/// The constraint envelope this particular run promised: |S| <= max_sets
+/// and covered >= coverage_target. Filled by the adapter from its
+/// algorithm's contract (k for CWSC, CmcMaxSelectable for CMC, the relaxed
+/// (1-1/e)·ŝ·n target when CMC relaxes coverage, 0 for baselines that
+/// guarantee nothing on that axis) so callers and tests can audit any
+/// solver without knowing which algorithm ran.
+struct SolveContract {
+  std::size_t max_sets = 0;
+  std::size_t coverage_target = 0;
+};
+
+/// Algorithm-specific instrumentation, zero where not applicable.
+struct SolveCounters {
+  std::size_t budget_rounds = 0;       // CMC family
+  double final_budget = 0.0;           // CMC family
+  std::uint64_t nodes = 0;             // exact B&B
+  std::size_t sets_considered = 0;     // candidate evaluations / Fig. 6
+  double lp_lower_bound = 0.0;         // LP rounding
+  std::size_t cardinality_violation = 0;  // LP rounding (§III caveat)
+  std::size_t feasible_trials = 0;     // LP rounding
+};
+
+/// The uniform response. `solution.sets` carries SetIds only for solvers
+/// that ran over the SetSystem view; `patterns` only for flat-pattern
+/// solvers; `labels` is always filled (one printable name per selection)
+/// so frontends can render any solver's output identically.
+struct SolveResult {
+  Solution solution;
+  std::vector<std::string> labels;
+  std::vector<pattern::Pattern> patterns;
+
+  double total_cost = 0.0;
+  std::size_t covered = 0;
+  Provenance provenance;
+
+  /// Independently recomputed cost/coverage (against the SetSystem for
+  /// set-backed runs, by re-matching patterns against the table
+  /// otherwise). bookkeeping_consistent is a hard invariant.
+  SolutionAudit audit;
+
+  SolveContract contract;
+  SolveCounters counters;
+
+  /// Wall-clock seconds inside the underlying algorithm (excludes snapshot
+  /// materialization and audit).
+  double seconds = 0.0;
+};
+
+// --- the interface --------------------------------------------------------
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Runs the algorithm on `request.instance`. `run_context` (nullable =
+  /// unlimited) carries deadline/cancellation/work budgets; on a trip,
+  /// anytime solvers return the interruption Status carrying a partial
+  /// SolveResult payload (status.payload<SolveResult>()), so every
+  /// frontend handles best-so-far output uniformly.
+  virtual Result<SolveResult> Solve(const SolveRequest& request,
+                                    const RunContext* run_context) const = 0;
+};
+
+}  // namespace api
+}  // namespace scwsc
+
+#endif  // SCWSC_API_SOLVER_H_

@@ -1,0 +1,110 @@
+// Registry adapters for the hierarchical solvers — Figs. 3-4 generalized to
+// the lattice induced by attribute hierarchies.
+
+#include <utility>
+
+#include "src/api/adapter_util.h"
+#include "src/api/registry.h"
+#include "src/common/stopwatch.h"
+#include "src/hierarchy/hcmc.h"
+#include "src/hierarchy/hcwsc.h"
+
+namespace scwsc {
+namespace api {
+namespace internal {
+
+void LinkHierarchySolvers() {}  // anchor referenced by SolverRegistry::Global()
+
+}  // namespace internal
+
+namespace {
+
+using internal::CmcContract;
+using internal::CmcOptionsFromRequest;
+using internal::FinishHierarchyBacked;
+using internal::Rewrap;
+
+SolveCounters CountersFromStats(const pattern::PatternStats& stats) {
+  SolveCounters counters;
+  counters.sets_considered = stats.patterns_considered;
+  counters.budget_rounds = stats.budget_rounds;
+  counters.final_budget = stats.final_budget;
+  return counters;
+}
+
+class HcwscSolver : public Solver {
+ public:
+  Result<SolveResult> Solve(const SolveRequest& request,
+                            const RunContext* run_context) const override {
+    const Table& table = request.instance->table();
+    CwscOptions options(request.k, request.coverage_fraction);
+    options.run_context = run_context;
+    const SolveContract contract{
+        request.k,
+        SetSystem::CoverageTarget(request.coverage_fraction,
+                                  table.num_rows())};
+
+    pattern::PatternStats stats;
+    Stopwatch timer;
+    Result<hierarchy::HSolution> solution = hierarchy::RunHierarchicalCwsc(
+        table, request.instance->hierarchy(), request.instance->cost_fn(),
+        options, &stats);
+    const double seconds = timer.ElapsedSeconds();
+    if (!solution.ok()) {
+      const Status& status = solution.status();
+      if (const auto* partial = status.payload<hierarchy::HSolution>()) {
+        return Rewrap(status, FinishHierarchyBacked(request, *partial, seconds,
+                                                    contract,
+                                                    CountersFromStats(stats)));
+      }
+      return status;
+    }
+    return FinishHierarchyBacked(request, std::move(*solution), seconds,
+                                 contract, CountersFromStats(stats));
+  }
+};
+SCWSC_REGISTER_SOLVER(
+    HcwscSolver,
+    SolverInfo{"hcwsc",
+               "Hierarchical lattice-optimized CWSC (needs hierarchies)",
+               kNeedsTable | kNeedsHierarchy | kSupportsAnytime,
+               {}});
+
+class HcmcSolver : public Solver {
+ public:
+  Result<SolveResult> Solve(const SolveRequest& request,
+                            const RunContext* run_context) const override {
+    const Table& table = request.instance->table();
+    SCWSC_ASSIGN_OR_RETURN(CmcOptions options,
+                           CmcOptionsFromRequest(request, run_context));
+    const SolveContract contract = CmcContract(options, table.num_rows());
+
+    pattern::PatternStats stats;
+    Stopwatch timer;
+    Result<hierarchy::HSolution> solution = hierarchy::RunHierarchicalCmc(
+        table, request.instance->hierarchy(), request.instance->cost_fn(),
+        options, &stats);
+    const double seconds = timer.ElapsedSeconds();
+    if (!solution.ok()) {
+      const Status& status = solution.status();
+      if (const auto* partial = status.payload<hierarchy::HSolution>()) {
+        return Rewrap(status, FinishHierarchyBacked(request, *partial, seconds,
+                                                    contract,
+                                                    CountersFromStats(stats)));
+      }
+      return status;
+    }
+    return FinishHierarchyBacked(request, std::move(*solution), seconds,
+                                 contract, CountersFromStats(stats));
+  }
+};
+SCWSC_REGISTER_SOLVER(
+    HcmcSolver,
+    SolverInfo{"hcmc",
+               "Hierarchical lattice-optimized CMC (needs hierarchies)",
+               kNeedsTable | kNeedsHierarchy | kSupportsAnytime,
+               internal::CmcOptionKeys()});
+
+}  // namespace
+}  // namespace api
+}  // namespace scwsc

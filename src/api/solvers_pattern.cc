@@ -1,0 +1,109 @@
+// Registry adapters for the lattice-optimized pattern solvers (Figs. 3-4).
+// These run directly over the snapshot's Table and never trigger the full
+// pattern enumeration — that is their reason to exist.
+
+#include <utility>
+
+#include "src/api/adapter_util.h"
+#include "src/api/registry.h"
+#include "src/common/stopwatch.h"
+#include "src/pattern/opt_cmc.h"
+#include "src/pattern/opt_cwsc.h"
+
+namespace scwsc {
+namespace api {
+namespace internal {
+
+void LinkPatternSolvers() {}  // anchor referenced by SolverRegistry::Global()
+
+}  // namespace internal
+
+namespace {
+
+using internal::CmcContract;
+using internal::CmcOptionsFromRequest;
+using internal::FinishPatternBacked;
+using internal::Rewrap;
+
+SolveCounters CountersFromStats(const pattern::PatternStats& stats) {
+  SolveCounters counters;
+  counters.sets_considered = stats.patterns_considered;
+  counters.budget_rounds = stats.budget_rounds;
+  counters.final_budget = stats.final_budget;
+  return counters;
+}
+
+class OptCwscSolver : public Solver {
+ public:
+  Result<SolveResult> Solve(const SolveRequest& request,
+                            const RunContext* run_context) const override {
+    const Table& table = request.instance->table();
+    CwscOptions options(request.k, request.coverage_fraction);
+    options.run_context = run_context;
+    const SolveContract contract{
+        request.k,
+        SetSystem::CoverageTarget(request.coverage_fraction,
+                                  table.num_rows())};
+
+    pattern::PatternStats stats;
+    Stopwatch timer;
+    Result<pattern::PatternSolution> solution = pattern::RunOptimizedCwsc(
+        table, request.instance->cost_fn(), options, &stats);
+    const double seconds = timer.ElapsedSeconds();
+    if (!solution.ok()) {
+      const Status& status = solution.status();
+      if (const auto* partial = status.payload<pattern::PatternSolution>()) {
+        return Rewrap(status,
+                      FinishPatternBacked(request, *partial, seconds, contract,
+                                          CountersFromStats(stats)));
+      }
+      return status;
+    }
+    return FinishPatternBacked(request, std::move(*solution), seconds,
+                               contract, CountersFromStats(stats));
+  }
+};
+SCWSC_REGISTER_SOLVER(
+    OptCwscSolver,
+    SolverInfo{"opt-cwsc",
+               "Lattice-optimized CWSC over a patterned table (Fig. 3)",
+               kNeedsTable | kSupportsAnytime,
+               {}});
+
+class OptCmcSolver : public Solver {
+ public:
+  Result<SolveResult> Solve(const SolveRequest& request,
+                            const RunContext* run_context) const override {
+    const Table& table = request.instance->table();
+    SCWSC_ASSIGN_OR_RETURN(CmcOptions options,
+                           CmcOptionsFromRequest(request, run_context));
+    const SolveContract contract = CmcContract(options, table.num_rows());
+
+    pattern::PatternStats stats;
+    Stopwatch timer;
+    Result<pattern::PatternSolution> solution = pattern::RunOptimizedCmc(
+        table, request.instance->cost_fn(), options, &stats);
+    const double seconds = timer.ElapsedSeconds();
+    if (!solution.ok()) {
+      const Status& status = solution.status();
+      if (const auto* partial = status.payload<pattern::PatternSolution>()) {
+        return Rewrap(status,
+                      FinishPatternBacked(request, *partial, seconds, contract,
+                                          CountersFromStats(stats)));
+      }
+      return status;
+    }
+    return FinishPatternBacked(request, std::move(*solution), seconds,
+                               contract, CountersFromStats(stats));
+  }
+};
+SCWSC_REGISTER_SOLVER(
+    OptCmcSolver,
+    SolverInfo{"opt-cmc",
+               "Lattice-optimized CMC over a patterned table (Fig. 4)",
+               kNeedsTable | kSupportsAnytime,
+               internal::CmcOptionKeys()});
+
+}  // namespace
+}  // namespace api
+}  // namespace scwsc

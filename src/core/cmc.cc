@@ -8,16 +8,11 @@
 #include "src/core/greedy_state.h"
 
 namespace scwsc {
-namespace {
 
-/// Relaxed coverage target of Fig. 1 line 06: (1 - 1/e)·ŝ·n, as the least
-/// integer reaching it.
-std::size_t RelaxedTarget(double fraction, std::size_t n, bool relax) {
+std::size_t CmcCoverageTarget(double fraction, std::size_t n, bool relax) {
   const double eff = relax ? (1.0 - 1.0 / M_E) * fraction : fraction;
   return SetSystem::CoverageTarget(eff, n);
 }
-
-}  // namespace
 
 double CmcInitialBudget(const SetSystem& system, std::size_t k) {
   double budget = system.KCheapestCost(k);
@@ -112,7 +107,7 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
     return Status::InvalidArgument("epsilon must be >= 0");
   }
 
-  const std::size_t target = RelaxedTarget(
+  const std::size_t target = CmcCoverageTarget(
       options.coverage_fraction, system.num_elements(), options.relax_coverage);
 
   CmcResult result;

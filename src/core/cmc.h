@@ -77,6 +77,12 @@ int LevelOf(const std::vector<CostLevel>& levels, double cost);
 /// otherwise.
 std::size_t CmcMaxSelectable(std::size_t k, double epsilon, unsigned l);
 
+/// The coverage target a CMC-family run aims for: the least integer
+/// reaching (1 - 1/e)·fraction·n when `relax` is set (Fig. 1 line 06),
+/// fraction·n otherwise. Shared by every CMC variant (generic, literal,
+/// lattice-optimized, hierarchical) so they chase the same bar.
+std::size_t CmcCoverageTarget(double fraction, std::size_t n, bool relax);
+
 /// The initial budget of the Fig. 1 schedule: the cost of the k cheapest
 /// sets, bumped to the smallest positive cost when that sum is zero (so a
 /// geometric schedule can grow). Shared by RunCmc and RunCmcLiteral so the

@@ -92,11 +92,8 @@ Result<CmcResult> RunCmcLiteral(const SetSystem& system,
     return Status::InvalidArgument("epsilon must be >= 0");
   }
 
-  const double eff = options.relax_coverage
-                         ? (1.0 - 1.0 / M_E) * options.coverage_fraction
-                         : options.coverage_fraction;
-  const std::size_t target =
-      SetSystem::CoverageTarget(eff, system.num_elements());
+  const std::size_t target = CmcCoverageTarget(
+      options.coverage_fraction, system.num_elements(), options.relax_coverage);
 
   CmcResult result;
   if (target == 0) return result;

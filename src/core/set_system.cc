@@ -9,6 +9,14 @@ namespace scwsc {
 
 SetSystem::SetSystem(std::size_t num_elements) : num_elements_(num_elements) {}
 
+SetSystem SetSystem::Clone() const {
+  SetSystem copy(num_elements_);
+  copy.sets_ = sets_;
+  copy.total_cost_ = total_cost_;
+  // The lazy inverted index is rebuilt on demand; no need to copy it.
+  return copy;
+}
+
 Result<SetId> SetSystem::AddSet(std::vector<ElementId> elements, double cost,
                                 std::string label) {
   if (!(cost >= 0.0) || !std::isfinite(cost)) {

@@ -36,6 +36,19 @@ class SetSystem {
   /// Creates a system over universe {0, ..., num_elements-1}.
   explicit SetSystem(std::size_t num_elements);
 
+  // Move-only: a SetSystem can hold millions of element ids plus the lazy
+  // inverted index, and every accidental copy of one used to be a silent
+  // multi-megabyte clone. Share one instance via api::InstanceSnapshot, or
+  // Clone() explicitly in the rare place that really wants a duplicate.
+  SetSystem(const SetSystem&) = delete;
+  SetSystem& operator=(const SetSystem&) = delete;
+  SetSystem(SetSystem&&) = default;
+  SetSystem& operator=(SetSystem&&) = default;
+
+  /// An explicit deep copy, for the call sites (mutation experiments,
+  /// perturbation harnesses) that genuinely need their own instance.
+  SetSystem Clone() const;
+
   /// Adds a set; elements are sorted/deduplicated, must be < num_elements(),
   /// and cost must be non-negative and finite — NaN, negative, and infinite
   /// costs are rejected with InvalidArgument, as is a (finite) cost that

@@ -73,10 +73,8 @@ Result<HSolution> RunHierarchicalCmc(const Table& table,
 
   const std::size_t n = table.num_rows();
   const std::size_t j = table.num_attributes();
-  const double eff = options.relax_coverage
-                         ? (1.0 - 1.0 / M_E) * options.coverage_fraction
-                         : options.coverage_fraction;
-  const std::size_t target = SetSystem::CoverageTarget(eff, n);
+  const std::size_t target =
+      CmcCoverageTarget(options.coverage_fraction, n, options.relax_coverage);
 
   HSolution solution;
   if (target == 0) return solution;

@@ -15,11 +15,6 @@ namespace scwsc {
 namespace pattern {
 namespace {
 
-std::size_t RelaxedTarget(double fraction, std::size_t n, bool relax) {
-  const double eff = relax ? (1.0 - 1.0 / M_E) * fraction : fraction;
-  return SetSystem::CoverageTarget(eff, n);
-}
-
 /// Key operations for tables whose patterns pack into 64 bits: candidate
 /// maps, visited/selected sets and heap entries are all plain integers.
 struct PackedOps {
@@ -101,7 +96,7 @@ Result<PatternSolution> RunOptimizedCmcImpl(const Table& table,
   const std::size_t n = table.num_rows();
   const std::size_t j = table.num_attributes();
   const std::size_t target =
-      RelaxedTarget(options.coverage_fraction, n, options.relax_coverage);
+      CmcCoverageTarget(options.coverage_fraction, n, options.relax_coverage);
 
   PatternSolution solution;
   if (target == 0) return solution;

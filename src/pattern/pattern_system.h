@@ -32,6 +32,14 @@ class PatternSystem {
                                      const CostFunction& cost_fn,
                                      const EnumerateOptions& options = {});
 
+  // Move-only, like the SetSystem it embeds: enumerations routinely hold
+  // hundreds of thousands of patterns. Share one materialization via
+  // api::InstanceSnapshot instead of copying.
+  PatternSystem(const PatternSystem&) = delete;
+  PatternSystem& operator=(const PatternSystem&) = delete;
+  PatternSystem(PatternSystem&&) = default;
+  PatternSystem& operator=(PatternSystem&&) = default;
+
   const SetSystem& set_system() const { return system_; }
   const Table& table() const { return *table_; }
 

@@ -17,6 +17,9 @@
 #ifndef SCWSC_SCWSC_H_
 #define SCWSC_SCWSC_H_
 
+#include "src/api/instance.h"
+#include "src/api/registry.h"
+#include "src/api/solver.h"
 #include "src/common/bitset.h"
 #include "src/common/logging.h"
 #include "src/common/result.h"

@@ -1,0 +1,313 @@
+// The registry-backed Solver API: every registered solver satisfies the
+// uniform request/response contract on a golden instance, dispatching
+// through the registry is bit-identical to calling the algorithm directly,
+// interruption surrenders a typed partial result, and concurrent solves
+// share one immutable snapshot without copying it.
+
+#include "src/api/registry.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/api/instance.h"
+#include "src/api/solver.h"
+#include "src/core/cmc.h"
+#include "src/core/cwsc.h"
+#include "src/core/exact.h"
+#include "src/gen/lbl_synth.h"
+#include "src/gen/toy.h"
+#include "src/hierarchy/hierarchy.h"
+#include "src/pattern/opt_cwsc.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+using api::InstancePtr;
+using api::SolveRequest;
+using api::SolveResult;
+using api::SolverRegistry;
+
+/// The paper's 16-entity toy table, with flat hierarchies so every solver
+/// family (set-system, lattice, hierarchical) can run on it.
+InstancePtr GoldenInstance() {
+  Table table = gen::MakeEntitiesTable();
+  auto hier = hierarchy::TableHierarchy::Flat(table);
+  auto instance = api::InstanceSnapshot::FromTable(
+      std::move(table), pattern::CostFunction(pattern::CostKind::kMax),
+      std::move(hier));
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return *instance;
+}
+
+SolveRequest MakeRequest(InstancePtr instance, std::size_t k, double fraction,
+                         const std::vector<std::string>& options = {}) {
+  SolveRequest request;
+  request.instance = std::move(instance);
+  request.k = k;
+  request.coverage_fraction = fraction;
+  auto bag = api::OptionsBag::Parse(options);
+  EXPECT_TRUE(bag.ok()) << bag.status().ToString();
+  request.options = *std::move(bag);
+  return request;
+}
+
+TEST(SolverRegistryTest, EverySolverSatisfiesContractOnGoldenInstance) {
+  const InstancePtr instance = GoldenInstance();
+  const auto infos = SolverRegistry::Global().List();
+  ASSERT_GE(infos.size(), 14u) << "built-in solvers missing from registry";
+
+  for (const api::SolverInfo& info : infos) {
+    // Stubs registered by this test binary don't model real algorithms.
+    if (info.name.rfind("test-", 0) == 0) continue;
+    SCOPED_TRACE("solver: " + info.name);
+    std::vector<std::string> options;
+    if (info.name == "budgeted-max-coverage") options = {"budget=100"};
+    if (info.name == "nonoverlap") options = {"best-effort=true"};
+    auto result = SolverRegistry::Global().Solve(
+        info.name, MakeRequest(instance, 3, 0.5, options));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    // The audit recomputes cost and coverage independently of the
+    // algorithm's own bookkeeping; it must agree for every solver.
+    EXPECT_TRUE(result->audit.bookkeeping_consistent);
+    EXPECT_FALSE(result->labels.empty());
+    EXPECT_EQ(result->audit.covered, result->covered);
+    EXPECT_NEAR(result->audit.total_cost, result->total_cost, 1e-9);
+
+    // The contract the adapter reported must hold for the result it
+    // returned (0 on an axis = no promise there).
+    if (result->contract.max_sets > 0) {
+      EXPECT_LE(result->labels.size(), result->contract.max_sets);
+    }
+    if (result->contract.coverage_target > 0) {
+      EXPECT_GE(result->covered, result->contract.coverage_target);
+    }
+  }
+}
+
+TEST(SolverRegistryTest, RegistryDispatchIsBitIdenticalToDirectCalls) {
+  gen::LblSynthSpec spec;
+  spec.num_rows = 500;
+  spec.seed = 7;
+  auto table = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(table.ok());
+  const pattern::CostFunction cost_fn(pattern::CostKind::kMax);
+  auto instance =
+      api::InstanceSnapshot::FromTable(Table(*table), cost_fn);
+  ASSERT_TRUE(instance.ok());
+  const std::size_t k = 5;
+  const double fraction = 0.4;
+
+  auto system = (*instance)->set_system();
+  ASSERT_TRUE(system.ok());
+
+  {  // cwsc == RunCwsc on the same set system.
+    auto via_registry = SolverRegistry::Global().Solve(
+        "cwsc", MakeRequest(*instance, k, fraction));
+    ASSERT_TRUE(via_registry.ok()) << via_registry.status().ToString();
+    auto direct = RunCwsc(**system, {k, fraction});
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(via_registry->solution.sets, direct->sets);
+    EXPECT_EQ(via_registry->total_cost, direct->total_cost);  // bit-identical
+  }
+  {  // cmc == RunCmc with default knobs.
+    auto via_registry = SolverRegistry::Global().Solve(
+        "cmc", MakeRequest(*instance, k, fraction));
+    ASSERT_TRUE(via_registry.ok()) << via_registry.status().ToString();
+    CmcOptions opts;
+    opts.k = k;
+    opts.coverage_fraction = fraction;
+    auto direct = RunCmc(**system, opts);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(via_registry->solution.sets, direct->solution.sets);
+    EXPECT_EQ(via_registry->total_cost, direct->solution.total_cost);
+  }
+  {  // opt-cwsc == RunOptimizedCwsc on the same table (no enumeration).
+    auto via_registry = SolverRegistry::Global().Solve(
+        "opt-cwsc", MakeRequest(*instance, k, fraction));
+    ASSERT_TRUE(via_registry.ok()) << via_registry.status().ToString();
+    auto direct = pattern::RunOptimizedCwsc(*table, cost_fn, {k, fraction});
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(via_registry->patterns, direct->patterns);
+    EXPECT_EQ(via_registry->total_cost, direct->total_cost);
+  }
+  {  // exact == SolveExact.
+    auto small = gen::MakeEntitiesTable();
+    auto toy = api::InstanceSnapshot::FromTable(Table(small), cost_fn);
+    ASSERT_TRUE(toy.ok());
+    auto via_registry = SolverRegistry::Global().Solve(
+        "exact", MakeRequest(*toy, 2, 9.0 / 16.0));
+    ASSERT_TRUE(via_registry.ok()) << via_registry.status().ToString();
+    auto toy_system = (*toy)->set_system();
+    ASSERT_TRUE(toy_system.ok());
+    ExactOptions opts;
+    opts.k = 2;
+    opts.coverage_fraction = 9.0 / 16.0;
+    auto direct = SolveExact(**toy_system, opts);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(via_registry->solution.sets, direct->solution.sets);
+    EXPECT_EQ(via_registry->total_cost, direct->solution.total_cost);
+  }
+}
+
+TEST(SolverRegistryTest, InterruptionReturnsPartialResultPayload) {
+  const InstancePtr instance = GoldenInstance();
+  RunContext ctx;
+  ctx.FailAfter(0);  // cancel at the very first check point
+  auto result = SolverRegistry::Global().Solve(
+      "cwsc", MakeRequest(instance, 3, 0.5), &ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInterruption())
+      << result.status().ToString();
+  const auto* partial = result.status().payload<SolveResult>();
+  ASSERT_NE(partial, nullptr);
+  // The partial result obeys the same envelope as a finished one.
+  EXPECT_LE(partial->labels.size(), 3u);
+  EXPECT_EQ(partial->labels.size(), partial->provenance.sets_chosen);
+}
+
+TEST(SolverRegistryTest, ConcurrentSolvesShareOneSnapshotWithoutCopying) {
+  const InstancePtr instance = GoldenInstance();
+  // Materialize the set-system view up front and pin its address: if any
+  // solve copied the snapshot (or rebuilt the view), the pointer would
+  // differ afterwards.
+  auto before = instance->set_system();
+  ASSERT_TRUE(before.ok());
+  const SetSystem* view = *before;
+  const long baseline_use_count = instance.use_count();
+
+  constexpr int kThreads = 8;
+  std::vector<double> costs(kThreads, -1.0);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const char* solver = (t % 2 == 0) ? "cwsc" : "opt-cwsc";
+        auto result = SolverRegistry::Global().Solve(
+            solver, MakeRequest(instance, 3, 0.5));
+        if (!result.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        costs[static_cast<std::size_t>(t)] = result->total_cost;
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  // Deterministic algorithms over one immutable snapshot: same answer on
+  // every thread, per solver family.
+  for (int t = 2; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(costs[static_cast<std::size_t>(t)],
+                     costs[static_cast<std::size_t>(t % 2)]);
+  }
+  auto after = instance->set_system();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, view);  // the shared view was never rebuilt or copied
+  EXPECT_EQ(instance.use_count(), baseline_use_count);  // no handle leaked
+}
+
+// A complete out-of-tree solver: one class + one macro line, as
+// docs/api.md promises.
+class FixedAnswerSolver : public api::Solver {
+ public:
+  Result<SolveResult> Solve(const SolveRequest& request,
+                            const RunContext*) const override {
+    SolveResult result;
+    result.labels = {"the-answer"};
+    result.covered = request.instance->num_elements();
+    result.audit.bookkeeping_consistent = true;
+    result.seconds = 42.0;
+    return result;
+  }
+};
+SCWSC_REGISTER_SOLVER(FixedAnswerSolver,
+                      api::SolverInfo{"test-fixed-answer",
+                                      "registration test stub",
+                                      0,
+                                      {"knob"}});
+
+TEST(SolverRegistryTest, CustomSolverRegistersThroughMacro) {
+  const api::SolverInfo* info =
+      SolverRegistry::Global().Find("test-fixed-answer");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->summary, "registration test stub");
+
+  const InstancePtr instance = GoldenInstance();
+  auto result = SolverRegistry::Global().Solve(
+      "test-fixed-answer", MakeRequest(instance, 1, 0.1, {"knob=7"}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->labels, std::vector<std::string>{"the-answer"});
+  EXPECT_EQ(result->seconds, 42.0);
+}
+
+TEST(SolverRegistryTest, DuplicateAndEmptyRegistrationsAreRejected) {
+  auto& registry = SolverRegistry::Global();
+  auto factory = []() -> std::unique_ptr<api::Solver> {
+    return std::make_unique<FixedAnswerSolver>();
+  };
+  EXPECT_TRUE(registry
+                  .Register(api::SolverInfo{"test-fixed-answer", "dup", 0, {}},
+                            factory)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.Register(api::SolverInfo{"", "anon", 0, {}}, factory)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      registry.Register(api::SolverInfo{"test-null", "null", 0, {}}, nullptr)
+          .IsInvalidArgument());
+}
+
+TEST(SolverRegistryTest, UnknownSolverListsRegisteredNames) {
+  const InstancePtr instance = GoldenInstance();
+  auto result = SolverRegistry::Global().Solve(
+      "no-such-solver", MakeRequest(instance, 3, 0.5));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_NE(std::string(result.status().message()).find("opt-cwsc"),
+            std::string::npos);
+}
+
+TEST(SolverRegistryTest, UnknownOptionIsRejectedBeforeSolving) {
+  const InstancePtr instance = GoldenInstance();
+  auto result = SolverRegistry::Global().Solve(
+      "cmc", MakeRequest(instance, 3, 0.5, {"espilon=2"}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  // The error names the typo and the accepted keys.
+  const std::string message(result.status().message());
+  EXPECT_NE(message.find("espilon"), std::string::npos);
+  EXPECT_NE(message.find("epsilon"), std::string::npos);
+}
+
+TEST(SolverRegistryTest, CapabilityMismatchIsATypedError) {
+  // A lattice solver cannot run on an explicit set system...
+  SetSystem system(4);
+  ASSERT_TRUE(system.AddSet({0, 1}, 1.0, "a").ok());
+  ASSERT_TRUE(system.AddSet({2, 3}, 1.0, "b").ok());
+  auto raw = api::InstanceSnapshot::FromSetSystem(std::move(system));
+  ASSERT_TRUE(raw.ok());
+  auto result = SolverRegistry::Global().Solve(
+      "opt-cwsc", MakeRequest(*raw, 2, 0.5));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+
+  // ...and a hierarchical solver cannot run without hierarchies.
+  auto flat = api::InstanceSnapshot::FromTable(
+      gen::MakeEntitiesTable(),
+      pattern::CostFunction(pattern::CostKind::kMax));
+  ASSERT_TRUE(flat.ok());
+  auto hresult = SolverRegistry::Global().Solve(
+      "hcwsc", MakeRequest(*flat, 2, 0.5));
+  ASSERT_FALSE(hresult.ok());
+  EXPECT_TRUE(hresult.status().IsInvalidArgument());
+  EXPECT_NE(std::string(hresult.status().message()).find("hierarch"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace scwsc
