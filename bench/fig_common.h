@@ -21,8 +21,8 @@
 
 #include "bench/bench_util.h"
 #include "src/common/logging.h"
-#include "src/common/stopwatch.h"
 #include "src/common/strings.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
 namespace bench {
@@ -49,18 +49,27 @@ struct QuadResult {
   double cmc_cost = 0.0;
   double opt_cwsc_cost = 0.0;
   double opt_cmc_cost = 0.0;
+
+  /// (span name, total seconds) per-phase breakdown of the whole quad from
+  /// the shared TraceSession — root dispatch spans plus the algorithm-level
+  /// phases (cmc.round, opt_cwsc.descend, ...) they contain.
+  std::vector<std::pair<std::string, double>> phases;
 };
 
 /// Materializes the snapshot's set-system view (full pattern enumeration)
-/// and returns the wall-clock seconds it took. Call once per snapshot and
-/// pass the figure to every RunQuad sharing it; a second call returns ~0
-/// because the view is cached.
+/// under a "materialize" trace span and returns its duration. Call once per
+/// snapshot and pass the figure to every RunQuad sharing it; a second call
+/// returns ~0 because the view is cached. Using span timing here keeps the
+/// enumeration and solve figures of fig8/fig9 on one clock source (spans
+/// and Stopwatch both read std::chrono::steady_clock).
 inline double TimeEnumeration(const api::InstancePtr& instance) {
-  Stopwatch sw;
-  auto system = instance->set_system();
-  const double seconds = sw.ElapsedSeconds();
-  SCWSC_CHECK(system.ok(), "enumeration failed");
-  return seconds;
+  obs::TraceSession session;
+  {
+    obs::Span span(&session, "materialize");
+    auto system = instance->set_system();
+    SCWSC_CHECK(system.ok(), "enumeration failed");
+  }
+  return session.SpanSeconds("materialize");
 }
 
 /// Runs all four variants with the given parameters (paper defaults: k=10,
@@ -74,6 +83,16 @@ inline QuadResult RunQuad(const api::InstancePtr& instance, std::size_t k,
   const std::vector<std::string> cmc_options = {
       StrFormat("b=%g", b), StrFormat("epsilon=%g", epsilon)};
 
+  // One TraceSession across all four arms: per-arm seconds come from the
+  // "solve/<name>" dispatch spans (the same steady clock as enumeration),
+  // and PhaseTotals() gives the per-phase breakdown for the JSON rows.
+  obs::TraceSession session;
+  const auto traced_solve = [&](const char* solver,
+                                api::SolveRequest request) {
+    request.trace = &session;
+    return MustSolve(solver, request);
+  };
+
   {
     auto system = instance->set_system();
     SCWSC_CHECK(system.ok(), "enumeration failed");
@@ -81,33 +100,36 @@ inline QuadResult RunQuad(const api::InstancePtr& instance, std::size_t k,
   }
   {  // Unoptimized CWSC: enumeration + Fig. 2 verbatim.
     api::SolveResult r =
-        MustSolve("cwsc-literal", MakeRequest(instance, k, fraction));
-    out.cwsc_seconds = enumeration_seconds + r.seconds;
+        traced_solve("cwsc-literal", MakeRequest(instance, k, fraction));
+    out.cwsc_seconds =
+        enumeration_seconds + session.SpanSeconds("solve/cwsc-literal");
     out.cwsc_cost = r.total_cost;
   }
   {  // Unoptimized CMC: enumeration + Fig. 1 verbatim.
-    api::SolveResult r = MustSolve(
+    api::SolveResult r = traced_solve(
         "cmc-literal", MakeRequest(instance, k, fraction, cmc_options));
-    out.cmc_seconds = enumeration_seconds + r.seconds;
+    out.cmc_seconds =
+        enumeration_seconds + session.SpanSeconds("solve/cmc-literal");
     out.cmc_cost = r.total_cost;
     out.cmc_considered = r.counters.sets_considered;
     out.cmc_rounds = r.counters.budget_rounds;
   }
   {  // Optimized CWSC (Fig. 3).
     api::SolveResult r =
-        MustSolve("opt-cwsc", MakeRequest(instance, k, fraction));
-    out.opt_cwsc_seconds = r.seconds;
+        traced_solve("opt-cwsc", MakeRequest(instance, k, fraction));
+    out.opt_cwsc_seconds = session.SpanSeconds("solve/opt-cwsc");
     out.opt_cwsc_cost = r.total_cost;
     out.opt_cwsc_considered = r.counters.sets_considered;
   }
   {  // Optimized CMC (Fig. 4).
-    api::SolveResult r =
-        MustSolve("opt-cmc", MakeRequest(instance, k, fraction, cmc_options));
-    out.opt_cmc_seconds = r.seconds;
+    api::SolveResult r = traced_solve(
+        "opt-cmc", MakeRequest(instance, k, fraction, cmc_options));
+    out.opt_cmc_seconds = session.SpanSeconds("solve/opt-cmc");
     out.opt_cmc_cost = r.total_cost;
     out.opt_cmc_considered = r.counters.sets_considered;
     out.opt_cmc_rounds = r.counters.budget_rounds;
   }
+  out.phases = session.PhaseTotals();
   return out;
 }
 

@@ -20,12 +20,14 @@
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/common/stopwatch.h"
+#include "src/common/strings.h"
 #include "src/core/baselines.h"
 #include "src/core/benefit_engine.h"
 #include "src/core/cmc.h"
 #include "src/core/cwsc.h"
 #include "src/core/greedy_state.h"
 #include "src/core/instances.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
 namespace {
@@ -134,14 +136,16 @@ struct CompareTimings {
 /// storm — the two costs the lazy engine replaces with one flat row build
 /// and O(n/64)-word recounts.
 CompareTimings TimeEngine(const SetSystem& system, const EngineOptions& engine,
-                          int reps) {
+                          int reps, obs::TraceSession* trace = nullptr) {
   CompareTimings t;
   CwscOptions cwsc_options(10, 0.9);
   cwsc_options.engine = engine;
+  cwsc_options.trace = trace;
   CmcOptions cmc_options;
   cmc_options.k = 10;
   cmc_options.coverage_fraction = 0.9;
   cmc_options.engine = engine;
+  cmc_options.trace = trace;
 
   t.cwsc_seconds = 1e300;
   t.cmc_seconds = 1e300;
@@ -190,10 +194,19 @@ int RunEngineCompare(const char* out_path) {
   const EngineOptions seed_engine = SeedReferenceEngine();
   const EngineOptions fast_engine;  // default: lazy + auto rows
   CompareTimings seed = TimeEngine(system, seed_engine, reps);
+  // Tracing disabled (trace = nullptr): the instrumented hot loops cost one
+  // pointer branch per would-be record. These timings are the <2%-regression
+  // guard figure recorded below.
   CompareTimings fast = TimeEngine(system, fast_engine, reps);
+  // The same fast path with a live TraceSession: spans, events and counters
+  // all recording. The ratio against `fast` is the enabled-tracing price.
+  obs::TraceSession session;
+  CompareTimings traced = TimeEngine(system, fast_engine, reps, &session);
 
   if (!SameSolution(seed.cwsc_solution, fast.cwsc_solution) ||
-      !SameSolution(seed.cmc_solution, fast.cmc_solution)) {
+      !SameSolution(seed.cmc_solution, fast.cmc_solution) ||
+      !SameSolution(fast.cwsc_solution, traced.cwsc_solution) ||
+      !SameSolution(fast.cmc_solution, traced.cmc_solution)) {
     std::fprintf(stderr,
                  "FAIL: engine configurations returned different solutions\n");
     return 1;
@@ -201,13 +214,28 @@ int RunEngineCompare(const char* out_path) {
 
   const double cwsc_speedup = seed.cwsc_seconds / fast.cwsc_seconds;
   const double cmc_speedup = seed.cmc_seconds / fast.cmc_seconds;
+  const double cwsc_trace_overhead =
+      traced.cwsc_seconds / fast.cwsc_seconds - 1.0;
+  const double cmc_trace_overhead =
+      traced.cmc_seconds / fast.cmc_seconds - 1.0;
   bench::PrintCsvRow("BENCH_core",
                      {"cwsc_eager_s=" + bench::Secs(seed.cwsc_seconds),
                       "cwsc_lazy_s=" + bench::Secs(fast.cwsc_seconds),
                       "cmc_eager_s=" + bench::Secs(seed.cmc_seconds),
-                      "cmc_lazy_s=" + bench::Secs(fast.cmc_seconds)});
+                      "cmc_lazy_s=" + bench::Secs(fast.cmc_seconds),
+                      "cwsc_traced_s=" + bench::Secs(traced.cwsc_seconds),
+                      "cmc_traced_s=" + bench::Secs(traced.cmc_seconds)});
   std::printf("engine-compare: solutions identical; CWSC %.2fx, CMC %.2fx\n",
               cwsc_speedup, cmc_speedup);
+  std::printf("tracing enabled overhead: CWSC %+.1f%%, CMC %+.1f%%\n",
+              100.0 * cwsc_trace_overhead, 100.0 * cmc_trace_overhead);
+
+  // Per-phase breakdown of the traced reps, for the JSON row.
+  std::string phases_json;
+  for (const auto& [name, seconds] : session.PhaseTotals()) {
+    if (!phases_json.empty()) phases_json += ", ";
+    phases_json += StrFormat("\"%s\": %.6f", name.c_str(), seconds);
+  }
 
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
@@ -226,13 +254,19 @@ int RunEngineCompare(const char* out_path) {
                "    {\"name\": \"eager/list\", \"cwsc_seconds\": %.6f, "
                "\"cmc_seconds\": %.6f},\n"
                "    {\"name\": \"lazy/auto\", \"cwsc_seconds\": %.6f, "
+               "\"cmc_seconds\": %.6f},\n"
+               "    {\"name\": \"lazy/auto+trace\", \"cwsc_seconds\": %.6f, "
                "\"cmc_seconds\": %.6f}\n"
                "  ],\n"
-               "  \"speedup\": {\"cwsc\": %.3f, \"cmc\": %.3f}\n"
+               "  \"speedup\": {\"cwsc\": %.3f, \"cmc\": %.3f},\n"
+               "  \"trace_overhead\": {\"cwsc\": %.4f, \"cmc\": %.4f},\n"
+               "  \"phases\": {%s}\n"
                "}\n",
                bench::ScaleFactor(), n, system.num_sets(), reps,
                seed.cwsc_seconds, seed.cmc_seconds, fast.cwsc_seconds,
-               fast.cmc_seconds, cwsc_speedup, cmc_speedup);
+               fast.cmc_seconds, traced.cwsc_seconds, traced.cmc_seconds,
+               cwsc_speedup, cmc_speedup, cwsc_trace_overhead,
+               cmc_trace_overhead, phases_json.c_str());
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
   return 0;

@@ -19,6 +19,10 @@
 //                       hierarchical solvers (hcwsc, hcmc)
 //   --delimiter C       CSV delimiter                     [default ,]
 //   --deadline-ms N     wall-clock budget; 0 = unlimited  [default 0]
+//   --trace-out PATH    write a Chrome trace-event JSON of the solve
+//                       (load in Perfetto or chrome://tracing)
+//   --metrics-out PATH  write solver metrics as JSON (or CSV when PATH
+//                       ends in .csv)
 //
 // Legacy aliases kept for scripts: --algorithm cwsc|cmc|exact maps to
 // opt-cwsc/opt-cmc/exact, and --b/--epsilon/--strict feed the CMC options.
@@ -56,6 +60,8 @@ struct CliArgs {
   bool flat_hierarchy = false;
   char delimiter = ',';
   std::uint64_t deadline_ms = 0;  // 0 = unlimited
+  std::string trace_out;    // empty = tracing off
+  std::string metrics_out;  // empty = no metrics dump
 };
 
 /// Shared by the solver (deadline) and the SIGINT handler (cancellation).
@@ -75,7 +81,7 @@ void PrintUsage() {
       "scwsc_cli --input data.csv --measure COLUMN [--solver NAME] [--k N]\n"
       "          [--coverage F] [--cost max|sum|lp] [--lp P]\n"
       "          [--opt KEY=VALUE]... [--hierarchy flat] [--delimiter C]\n"
-      "          [--deadline-ms N]\n"
+      "          [--deadline-ms N] [--trace-out PATH] [--metrics-out PATH]\n"
       "scwsc_cli --list-solvers\n");
 }
 
@@ -148,6 +154,10 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       legacy_cmc.push_back("epsilon=" + value);
     } else if (flag == "--deadline-ms") {
       SCWSC_ASSIGN_OR_RETURN(args.deadline_ms, ParseU64(value));
+    } else if (flag == "--trace-out") {
+      args.trace_out = value;
+    } else if (flag == "--metrics-out") {
+      args.metrics_out = value;
     } else if (flag == "--delimiter") {
       if (value.size() != 1) {
         return Status::InvalidArgument("--delimiter takes one character");
@@ -270,8 +280,35 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, HandleSigint);
 
+  // One trace session per solve; written out on success AND on interruption
+  // so a deadline-trimmed run still leaves its profile behind.
+  std::optional<obs::TraceSession> trace;
+  if (!args->trace_out.empty() || !args->metrics_out.empty()) {
+    trace.emplace();
+    request.trace = &*trace;
+  }
+  auto write_observability = [&] {
+    if (!trace.has_value()) return;
+    if (!args->trace_out.empty()) {
+      if (Status s = obs::WriteChromeTraceJson(*trace, args->trace_out);
+          !s.ok()) {
+        std::fprintf(stderr, "warning: --trace-out: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+    if (!args->metrics_out.empty()) {
+      if (Status s = obs::WriteMetricsFile(trace->metrics(),
+                                           args->metrics_out);
+          !s.ok()) {
+        std::fprintf(stderr, "warning: --metrics-out: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+  };
+
   auto result = api::SolverRegistry::Global().Solve(args->solver, request,
                                                     &g_run_context);
+  write_observability();
   if (!result.ok()) {
     const Status& status = result.status();
     if (const auto* partial = status.payload<api::SolveResult>();

@@ -48,6 +48,19 @@ for name in cwsc opt-cwsc opt-cmc exact hcmc lp-rounding; do
     fail "cli smoke"; }
 done
 
+# Observability smoke: a real solve with tracing + metrics enabled must
+# produce well-formed JSON (the trace loads in Perfetto / chrome://tracing).
+printf 'Region,Product,Cost\nEast,Widget,3\nEast,Gadget,5\nWest,Widget,2\nWest,Gadget,4\nNorth,Widget,1\nNorth,Gadget,6\nSouth,Widget,2\nSouth,Gadget,3\n' \
+  > "$BUILD_DIR"/obs_smoke.csv
+"$BUILD_DIR"/examples/scwsc_cli --input "$BUILD_DIR"/obs_smoke.csv \
+  --measure Cost --solver opt-cwsc --k 4 --coverage 0.5 \
+  --trace-out "$BUILD_DIR"/trace.json \
+  --metrics-out "$BUILD_DIR"/metrics.json || fail "observability smoke (solve)"
+python3 -m json.tool "$BUILD_DIR"/trace.json > /dev/null \
+  || fail "observability smoke (trace JSON)"
+python3 -m json.tool "$BUILD_DIR"/metrics.json > /dev/null \
+  || fail "observability smoke (metrics JSON)"
+
 SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
   "$BUILD_DIR"/bench/micro_core --engine-compare \
   --out="$BUILD_DIR"/BENCH_core.json || fail "engine smoke"
@@ -56,4 +69,4 @@ SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
   "$BUILD_DIR"/bench/anytime_quality \
   --out="$BUILD_DIR"/BENCH_anytime.json || fail "anytime smoke"
 
-echo "check.sh: build, tests, engine and anytime smokes all green"
+echo "check.sh: build, tests, observability, engine and anytime smokes all green"

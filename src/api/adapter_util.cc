@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/bitset.h"
+#include "src/obs/trace.h"
 #include "src/pattern/pattern_system.h"
 
 namespace scwsc {
@@ -25,6 +26,7 @@ Result<SolveResult> FinishSetBacked(const SolveRequest& request,
                                     Solution solution, double seconds,
                                     SolveContract contract,
                                     SolveCounters counters) {
+  obs::Span finish_span(request.trace, "finish");
   SCWSC_ASSIGN_OR_RETURN(const SetSystem* system,
                          request.instance->set_system());
   SolveResult out;
@@ -59,6 +61,7 @@ Result<SolveResult> FinishPatternBacked(const SolveRequest& request,
                                         pattern::PatternSolution solution,
                                         double seconds, SolveContract contract,
                                         SolveCounters counters) {
+  obs::Span finish_span(request.trace, "finish");
   const Table& table = request.instance->table();
   const pattern::CostFunction& cost_fn = request.instance->cost_fn();
 
@@ -110,6 +113,7 @@ Result<SolveResult> FinishHierarchyBacked(const SolveRequest& request,
                                           double seconds,
                                           SolveContract contract,
                                           SolveCounters counters) {
+  obs::Span finish_span(request.trace, "finish");
   const Table& table = request.instance->table();
   const hierarchy::TableHierarchy& hier = request.instance->hierarchy();
   const pattern::CostFunction& cost_fn = request.instance->cost_fn();

@@ -2,8 +2,41 @@
 
 #include <utility>
 
+#include "src/common/run_context.h"
+#include "src/obs/trace.h"
+
 namespace scwsc {
 namespace api {
+namespace {
+
+/// Folds the per-solve SolveCounters snapshot (and the headline outcome)
+/// into the session's metric registry under "solve.<name>.*", so the fixed
+/// struct stays the typed API view while the registry generalizes it.
+void RecordSolveMetrics(obs::MetricRegistry& metrics, const std::string& name,
+                        const SolveResult& result) {
+  const std::string p = "solve." + name + ".";
+  metrics.counter(p + "solves").Increment();
+  metrics.counter(p + "budget_rounds")
+      .Increment(result.counters.budget_rounds);
+  metrics.counter(p + "nodes").Increment(result.counters.nodes);
+  metrics.counter(p + "sets_considered")
+      .Increment(result.counters.sets_considered);
+  metrics.counter(p + "cardinality_violation")
+      .Increment(result.counters.cardinality_violation);
+  metrics.counter(p + "feasible_trials")
+      .Increment(result.counters.feasible_trials);
+  metrics.gauge(p + "final_budget").Set(result.counters.final_budget);
+  metrics.gauge(p + "lp_lower_bound").Set(result.counters.lp_lower_bound);
+  metrics.gauge(p + "total_cost").Set(result.total_cost);
+  metrics.gauge(p + "covered").Set(static_cast<double>(result.covered));
+  metrics.gauge(p + "seconds").Set(result.seconds);
+  metrics
+      .histogram("solve.seconds",
+                 {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0})
+      .Observe(result.seconds);
+}
+
+}  // namespace
 namespace internal {
 
 // Defined in the adapter translation units (solvers_*.cc). Referencing
@@ -125,7 +158,32 @@ Result<SolveResult> SolverRegistry::Solve(const std::string& name,
   SCWSC_RETURN_NOT_OK(CheckCapabilities(*info, *request.instance));
   SCWSC_RETURN_NOT_OK(request.options.ExpectKnown(info->option_keys));
   SCWSC_ASSIGN_OR_RETURN(auto solver, Create(name));
-  return solver->Solve(request, run_context);
+  if (request.trace == nullptr) return solver->Solve(request, run_context);
+
+  // Tracing on: one root span per dispatch; enumeration (lazy set-system
+  // materialization) gets its own phase span so "enumerate vs. solve" in
+  // the figures comes from a single clock source.
+  obs::Span root(request.trace, "solve/" + name);
+  if ((info->capabilities & kNeedsSetSystem) != 0 &&
+      !request.instance->set_system_materialized()) {
+    obs::Span materialize(request.trace, "materialize");
+    (void)request.instance->set_system();  // errors resurface in the solver
+  }
+  Result<SolveResult> result = solver->Solve(request, run_context);
+  const SolveResult* outcome = nullptr;
+  if (result.ok()) {
+    outcome = &*result;
+  } else if (const auto* partial = result.status().payload<SolveResult>()) {
+    outcome = partial;
+    // A RunContext trip surrendered a partial: make the anytime staircase
+    // visible in the trace.
+    root.Event(std::string("trip/") +
+               TripKindToString(partial->provenance.trip));
+  }
+  if (outcome != nullptr) {
+    RecordSolveMetrics(request.trace->metrics(), name, *outcome);
+  }
+  return result;
 }
 
 SolverRegistrar::SolverRegistrar(SolverInfo info,

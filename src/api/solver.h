@@ -25,6 +25,9 @@
 #include "src/pattern/pattern.h"
 
 namespace scwsc {
+namespace obs {
+class TraceSession;
+}  // namespace obs
 namespace api {
 
 // --- capabilities ---------------------------------------------------------
@@ -97,6 +100,12 @@ struct SolveRequest {
   std::size_t k = 10;
   double coverage_fraction = 0.3;
   OptionsBag options;
+
+  /// Optional tracing/metrics sink (src/obs). nullptr = observability off;
+  /// every instrumentation point then costs one pointer branch. When set,
+  /// the registry opens a root span "solve/<name>" and each adapter and
+  /// algorithm records phase child spans and metrics into the session.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// The constraint envelope this particular run promised: |S| <= max_sets

@@ -47,22 +47,26 @@ Result<SolveResult> SolveCwscLike(const SolveRequest& request,
                          request.instance->set_system());
   CwscOptions options(request.k, request.coverage_fraction);
   options.run_context = run_context;
+  options.trace = request.trace;
   const SolveContract contract =
       CwscContract(request, system->num_elements());
 
   Stopwatch timer;
-  Result<Solution> solution = runner(*system, options);
+  ScanStats stats;
+  Result<Solution> solution = runner(*system, options, &stats);
   const double seconds = timer.ElapsedSeconds();
+  SolveCounters counters;
+  counters.sets_considered = stats.sets_considered;
   if (!solution.ok()) {
     const Status& status = solution.status();
     if (const Solution* partial = status.payload<Solution>()) {
       return Rewrap(status, FinishSetBacked(request, *partial, seconds,
-                                            contract, SolveCounters{}));
+                                            contract, counters));
     }
     return status;
   }
   return FinishSetBacked(request, std::move(*solution), seconds, contract,
-                         SolveCounters{});
+                         counters);
 }
 
 class CwscSolver : public Solver {
@@ -103,6 +107,7 @@ Result<SolveResult> SolveCmcLike(const SolveRequest& request,
                          request.instance->set_system());
   SCWSC_ASSIGN_OR_RETURN(CmcOptions options,
                          CmcOptionsFromRequest(request, run_context));
+  options.trace = request.trace;
   const SolveContract contract =
       CmcContract(options, system->num_elements());
 
@@ -158,23 +163,27 @@ SCWSC_REGISTER_SOLVER(
 
 // --- prior-work baselines (§III, §VI-C) -----------------------------------
 
-/// Shared tail of the three baselines: time, rewrap, finish.
+/// Shared tail of the three baselines: time, rewrap, finish. The runner
+/// receives a ScanStats sink whose tally lands in counters.sets_considered.
 template <typename Runner>
 Result<SolveResult> SolveBaseline(const SolveRequest& request,
                                   SolveContract contract, Runner runner) {
   Stopwatch timer;
-  Result<Solution> solution = runner();
+  ScanStats stats;
+  Result<Solution> solution = runner(&stats);
   const double seconds = timer.ElapsedSeconds();
+  SolveCounters counters;
+  counters.sets_considered = stats.sets_considered;
   if (!solution.ok()) {
     const Status& status = solution.status();
     if (const Solution* partial = status.payload<Solution>()) {
       return Rewrap(status, FinishSetBacked(request, *partial, seconds,
-                                            contract, SolveCounters{}));
+                                            contract, counters));
     }
     return status;
   }
   return FinishSetBacked(request, std::move(*solution), seconds, contract,
-                         SolveCounters{});
+                         counters);
 }
 
 class GreedyWscSolver : public Solver {
@@ -191,6 +200,7 @@ class GreedyWscSolver : public Solver {
                            request.options.GetU64("max-sets",
                                                   options.max_sets));
     options.run_context = run_context;
+    options.trace = request.trace;
     SolveContract contract;
     contract.max_sets =
         options.max_sets == std::numeric_limits<std::size_t>::max()
@@ -198,8 +208,8 @@ class GreedyWscSolver : public Solver {
             : options.max_sets;
     contract.coverage_target = SetSystem::CoverageTarget(
         request.coverage_fraction, system->num_elements());
-    return SolveBaseline(request, contract, [&] {
-      return RunGreedyWeightedSetCover(*system, options);
+    return SolveBaseline(request, contract, [&](ScanStats* stats) {
+      return RunGreedyWeightedSetCover(*system, options, stats);
     });
   }
 };
@@ -223,11 +233,12 @@ class GreedyMaxCoverageSolver : public Solver {
         request.options.GetDouble("stop-coverage",
                                   options.stop_coverage_fraction));
     options.run_context = run_context;
+    options.trace = request.trace;
     // Bounded size, no coverage promise: that cost/coverage blow-up is the
     // §VI-C comparison.
     SolveContract contract{request.k, 0};
-    return SolveBaseline(request, contract, [&] {
-      return RunGreedyMaxCoverage(*system, options);
+    return SolveBaseline(request, contract, [&](ScanStats* stats) {
+      return RunGreedyMaxCoverage(*system, options, stats);
     });
   }
 };
@@ -256,13 +267,14 @@ class BudgetedMaxCoverageSolver : public Solver {
                            request.options.GetU64("max-sets",
                                                   options.max_sets));
     options.run_context = run_context;
+    options.trace = request.trace;
     SolveContract contract;
     contract.max_sets =
         options.max_sets == std::numeric_limits<std::size_t>::max()
             ? 0
             : options.max_sets;
-    return SolveBaseline(request, contract, [&] {
-      return RunBudgetedMaxCoverage(*system, options);
+    return SolveBaseline(request, contract, [&](ScanStats* stats) {
+      return RunBudgetedMaxCoverage(*system, options, stats);
     });
   }
 };
@@ -288,6 +300,7 @@ class ExactSolver : public Solver {
                            request.options.GetU64("max-nodes",
                                                   options.max_nodes));
     options.run_context = run_context;
+    options.trace = request.trace;
     const SolveContract contract =
         CwscContract(request, system->num_elements());
 
@@ -299,6 +312,9 @@ class ExactSolver : public Solver {
       if (const ExactResult* partial = status.payload<ExactResult>()) {
         SolveCounters counters;
         counters.nodes = partial->nodes;
+        // Each expanded node weighs exactly one candidate set.
+        counters.sets_considered =
+            static_cast<std::size_t>(partial->nodes);
         return Rewrap(status, FinishSetBacked(request, partial->solution,
                                               seconds, contract, counters));
       }
@@ -306,6 +322,7 @@ class ExactSolver : public Solver {
     }
     SolveCounters counters;
     counters.nodes = result->nodes;
+    counters.sets_considered = static_cast<std::size_t>(result->nodes);
     return FinishSetBacked(request, std::move(result->solution), seconds,
                            contract, counters);
   }
@@ -342,6 +359,7 @@ class NonOverlapSolver : public Solver {
       return Status::InvalidArgument("option rule='" + rule +
                                      "' is neither 'gain' nor 'benefit'");
     }
+    options.trace = request.trace;
     SolveContract contract;
     contract.max_sets = request.k;
     contract.coverage_target =
@@ -351,11 +369,15 @@ class NonOverlapSolver : public Solver {
                                   system->num_elements());
 
     Stopwatch timer;
-    Result<Solution> solution = RunNonOverlappingGreedy(*system, options);
+    ScanStats stats;
+    Result<Solution> solution =
+        RunNonOverlappingGreedy(*system, options, &stats);
     const double seconds = timer.ElapsedSeconds();
     if (!solution.ok()) return solution.status();
+    SolveCounters counters;
+    counters.sets_considered = stats.sets_considered;
     return FinishSetBacked(request, std::move(*solution), seconds, contract,
-                           SolveCounters{});
+                           counters);
   }
 };
 SCWSC_REGISTER_SOLVER(

@@ -39,6 +39,7 @@ class HcwscSolver : public Solver {
     const Table& table = request.instance->table();
     CwscOptions options(request.k, request.coverage_fraction);
     options.run_context = run_context;
+    options.trace = request.trace;
     const SolveContract contract{
         request.k,
         SetSystem::CoverageTarget(request.coverage_fraction,
@@ -77,6 +78,7 @@ class HcmcSolver : public Solver {
     const Table& table = request.instance->table();
     SCWSC_ASSIGN_OR_RETURN(CmcOptions options,
                            CmcOptionsFromRequest(request, run_context));
+    options.trace = request.trace;
     const SolveContract contract = CmcContract(options, table.num_rows());
 
     pattern::PatternStats stats;

@@ -27,6 +27,7 @@ SolveCounters CountersFromLp(const lp::LpRoundingResult& result) {
   counters.lp_lower_bound = result.lp_lower_bound;
   counters.cardinality_violation = result.cardinality_violation;
   counters.feasible_trials = result.feasible_trials;
+  counters.sets_considered = result.sets_considered;
   return counters;
 }
 
@@ -46,6 +47,7 @@ class LpRoundingSolver : public Solver {
     SCWSC_ASSIGN_OR_RETURN(options.seed,
                            request.options.GetU64("seed", options.seed));
     options.run_context = run_context;
+    options.trace = request.trace;
     // Coverage is guaranteed (greedy repair); the size bound is soft — the
     // §III caveat this solver exists to measure — so max_sets stays 0.
     SolveContract contract;

@@ -4,11 +4,30 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <functional>
+#include <thread>
 
 namespace scwsc {
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+/// Parses SCWSC_LOG_LEVEL (debug/info/warn/error, case-sensitive lowercase,
+/// or a bare digit 0-3). Unset or unparsable keeps the kInfo default;
+/// SetLogLevel still overrides at runtime.
+int InitialLevel() {
+  const char* env = std::getenv("SCWSC_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (env[0] >= '0' && env[0] <= '3' && env[1] == '\0') return env[0] - '0';
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,9 +48,31 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+/// Formats the current wall clock as ISO-8601 UTC with millisecond
+/// precision, e.g. "2015-04-13T09:26:53.123Z". `out` must hold >= 25 bytes.
+void FormatTimestamp(char* out, std::size_t size) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  char date[20];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm);
+  const int millis = static_cast<int>(ts.tv_nsec / 1'000'000) % 1000;
+  std::snprintf(out, size, "%s.%03dZ", date, millis);
+}
+
+/// A short stable id for the calling thread (hash of std::thread::id).
+unsigned long ThreadTag() {
+  return static_cast<unsigned long>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000);
+}
+
 void VLog(LogLevel level, const char* file, int line, const char* fmt,
           va_list args) {
-  std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), Basename(file), line);
+  char stamp[32];
+  FormatTimestamp(stamp, sizeof(stamp));
+  std::fprintf(stderr, "[%s %s t%05lu %s:%d] ", stamp, LevelName(level),
+               ThreadTag(), Basename(file), line);
   std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);
 }
@@ -61,7 +102,10 @@ void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
 void LogFatal(const char* file, int line, const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);
-  std::fprintf(stderr, "[FATAL %s:%d] ", Basename(file), line);
+  char stamp[32];
+  FormatTimestamp(stamp, sizeof(stamp));
+  std::fprintf(stderr, "[%s FATAL t%05lu %s:%d] ", stamp, ThreadTag(),
+               Basename(file), line);
   std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);
   va_end(args);

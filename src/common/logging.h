@@ -14,7 +14,10 @@ namespace scwsc {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted (default kInfo).
+/// Sets the minimum level that is emitted. The default is kInfo, or the
+/// SCWSC_LOG_LEVEL environment variable (debug|info|warn|error or 0-3) when
+/// set; this call overrides either. Every line carries an ISO-8601 UTC
+/// timestamp and a short thread tag.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

@@ -2,11 +2,25 @@
 
 #include "src/core/benefit_engine.h"
 #include "src/core/greedy_state.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
+namespace {
+
+/// The engine inherits the baseline's trace session unless the caller wired
+/// its own.
+template <typename Options>
+EngineOptions EngineWithTrace(const Options& options) {
+  EngineOptions engine = options.engine;
+  if (engine.trace == nullptr) engine.trace = options.trace;
+  return engine;
+}
+
+}  // namespace
 
 Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
-                                           const GreedyWscOptions& options) {
+                                           const GreedyWscOptions& options,
+                                           ScanStats* stats) {
   if (options.coverage_fraction < 0.0 || options.coverage_fraction > 1.0) {
     return Status::InvalidArgument("coverage_fraction must be in [0, 1]");
   }
@@ -16,11 +30,15 @@ Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
   Solution solution;
   if (rem == 0) return solution;
 
+  ScanStats local_stats;
+  ScanStats& tally = stats != nullptr ? *stats : local_stats;
   const RunContext& ctx =
       options.run_context ? *options.run_context : RunContext::Unlimited();
-  BenefitEngine state(system, options.engine, &ctx);
+  BenefitEngine state(system, EngineWithTrace(options), &ctx);
+  obs::Span span(options.trace, "greedy_wsc");
   LazySelector selector;
   for (SetId id = 0; id < system.num_sets(); ++id) {
+    ++tally.sets_considered;
     const std::size_t count = state.MarginalCount(id);
     if (count > 0) selector.Push(MakeGainKey(count, system.set(id).cost, id));
   }
@@ -34,6 +52,7 @@ Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
       return Status::Infeasible("greedy WSC: max_sets reached before target");
     }
     auto key = selector.Pop([&](SetId id) -> std::optional<SelectionKey> {
+      ++tally.sets_considered;
       const std::size_t count = state.MarginalCount(id);
       if (count == 0) return std::nullopt;
       return MakeGainKey(count, system.set(id).cost, id);
@@ -51,7 +70,8 @@ Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
 }
 
 Result<Solution> RunGreedyMaxCoverage(
-    const SetSystem& system, const GreedyMaxCoverageOptions& options) {
+    const SetSystem& system, const GreedyMaxCoverageOptions& options,
+    ScanStats* stats) {
   if (options.k == 0) return Status::InvalidArgument("k must be positive");
   if (options.stop_coverage_fraction < 0.0 ||
       options.stop_coverage_fraction > 1.0) {
@@ -61,11 +81,15 @@ Result<Solution> RunGreedyMaxCoverage(
       options.stop_coverage_fraction, system.num_elements());
 
   Solution solution;
+  ScanStats local_stats;
+  ScanStats& tally = stats != nullptr ? *stats : local_stats;
   const RunContext& ctx =
       options.run_context ? *options.run_context : RunContext::Unlimited();
-  BenefitEngine state(system, options.engine, &ctx);
+  BenefitEngine state(system, EngineWithTrace(options), &ctx);
+  obs::Span span(options.trace, "greedy_max_coverage");
   LazySelector selector;
   for (SetId id = 0; id < system.num_sets(); ++id) {
+    ++tally.sets_considered;
     const std::size_t count = state.MarginalCount(id);
     if (count > 0) selector.Push(MakeBenefitKey(count, system.set(id).cost, id));
   }
@@ -77,6 +101,7 @@ Result<Solution> RunGreedyMaxCoverage(
                                std::move(solution));
     }
     auto key = selector.Pop([&](SetId id) -> std::optional<SelectionKey> {
+      ++tally.sets_considered;
       const std::size_t count = state.MarginalCount(id);
       if (count == 0) return std::nullopt;
       return MakeBenefitKey(count, system.set(id).cost, id);
@@ -91,14 +116,18 @@ Result<Solution> RunGreedyMaxCoverage(
 }
 
 Result<Solution> RunBudgetedMaxCoverage(
-    const SetSystem& system, const BudgetedMaxCoverageOptions& options) {
+    const SetSystem& system, const BudgetedMaxCoverageOptions& options,
+    ScanStats* stats) {
   if (options.budget < 0.0) {
     return Status::InvalidArgument("budget must be >= 0");
   }
   Solution solution;
+  ScanStats local_stats;
+  ScanStats& tally = stats != nullptr ? *stats : local_stats;
   const RunContext& ctx =
       options.run_context ? *options.run_context : RunContext::Unlimited();
-  BenefitEngine state(system, options.engine, &ctx);
+  BenefitEngine state(system, EngineWithTrace(options), &ctx);
+  obs::Span span(options.trace, "budgeted_max_coverage");
   double remaining = options.budget;
 
   // The greedy of [11] considers, in each step, only sets that still fit in
@@ -108,6 +137,7 @@ Result<Solution> RunBudgetedMaxCoverage(
   // selector sound.
   LazySelector selector;
   for (SetId id = 0; id < system.num_sets(); ++id) {
+    ++tally.sets_considered;
     const std::size_t count = state.MarginalCount(id);
     if (count > 0) selector.Push(MakeGainKey(count, system.set(id).cost, id));
   }
@@ -119,6 +149,7 @@ Result<Solution> RunBudgetedMaxCoverage(
                                std::move(solution));
     }
     auto key = selector.Pop([&](SetId id) -> std::optional<SelectionKey> {
+      ++tally.sets_considered;
       const std::size_t count = state.MarginalCount(id);
       if (count == 0) return std::nullopt;
       if (system.set(id).cost > remaining) return std::nullopt;  // never fits again

@@ -32,13 +32,18 @@ struct GreedyWscOptions {
   /// Deadline / cancellation / work-budget context; nullptr = unlimited.
   /// On a trip the partial selection travels as the error Status payload.
   const RunContext* run_context = nullptr;
+  /// Optional trace/metrics session (src/obs); nullptr = observability off.
+  /// Propagated into the engine (options.engine.trace) when that is unset.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Greedy partial weighted set cover: repeatedly select the set with the
 /// highest marginal gain |MBen(s)|/Cost(s) until the coverage target is met.
 /// Infeasible when the target cannot be met within max_sets (or at all).
+/// `stats` (optional) receives the candidate-evaluation tally.
 Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
-                                           const GreedyWscOptions& options);
+                                           const GreedyWscOptions& options,
+                                           ScanStats* stats = nullptr);
 
 struct GreedyMaxCoverageOptions {
   /// Number of sets to select.
@@ -50,12 +55,16 @@ struct GreedyMaxCoverageOptions {
   EngineOptions engine;
   /// Deadline / cancellation / work-budget context; nullptr = unlimited.
   const RunContext* run_context = nullptr;
+  /// Optional trace/metrics session (src/obs); nullptr = observability off.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Greedy partial maximum coverage: select up to k sets with the highest
 /// marginal benefit, ignoring cost entirely.
+/// `stats` (optional) receives the candidate-evaluation tally.
 Result<Solution> RunGreedyMaxCoverage(const SetSystem& system,
-                                      const GreedyMaxCoverageOptions& options);
+                                      const GreedyMaxCoverageOptions& options,
+                                      ScanStats* stats = nullptr);
 
 struct BudgetedMaxCoverageOptions {
   /// Total cost budget W.
@@ -67,13 +76,17 @@ struct BudgetedMaxCoverageOptions {
   EngineOptions engine;
   /// Deadline / cancellation / work-budget context; nullptr = unlimited.
   const RunContext* run_context = nullptr;
+  /// Optional trace/metrics session (src/obs); nullptr = observability off.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Greedy budgeted maximum coverage [11]: select by marginal gain among sets
 /// whose cost still fits in the remaining budget. Never fails; returns the
 /// (possibly low-coverage) selection, which is exactly the §III critique.
+/// `stats` (optional) receives the candidate-evaluation tally.
 Result<Solution> RunBudgetedMaxCoverage(
-    const SetSystem& system, const BudgetedMaxCoverageOptions& options);
+    const SetSystem& system, const BudgetedMaxCoverageOptions& options,
+    ScanStats* stats = nullptr);
 
 }  // namespace scwsc
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/obs/trace.h"
+
 namespace scwsc {
 namespace {
 
@@ -23,6 +25,13 @@ BenefitEngine::BenefitEngine(const SetSystem& system,
       ctx_(run_context != nullptr ? run_context : &RunContext::Unlimited()),
       covered_(system.num_elements()),
       words_per_row_(covered_.num_words()) {
+  if (options_.trace != nullptr) {
+    obs::MetricRegistry& metrics = options_.trace->metrics();
+    celf_hits_ = &metrics.counter("engine.celf_hits");
+    celf_misses_ = &metrics.counter("engine.celf_misses");
+    batch_scans_ = &metrics.counter("engine.batch_scans");
+    batch_shards_ = &metrics.counter("engine.batch_shards");
+  }
   const std::size_t m = system.num_sets();
   count_.reserve(m);
   for (const auto& s : system.sets()) count_.push_back(s.elements.size());
@@ -74,7 +83,11 @@ std::size_t BenefitEngine::Recount(SetId id) const {
 std::size_t BenefitEngine::MarginalCount(SetId id) {
   if (options_.marginal_mode == MarginalMode::kEager) return count_[id];
   const std::size_t epoch = covered_.count();
-  if (stamp_[id] == epoch || count_[id] == 0) return count_[id];
+  if (stamp_[id] == epoch || count_[id] == 0) {
+    if (celf_hits_ != nullptr) celf_hits_->Increment();
+    return count_[id];
+  }
+  if (celf_misses_ != nullptr) celf_misses_->Increment();
   // The recount itself stays exact; the charge only decrements the budget
   // and latches a trip for the caller's next Check().
   ctx_->ChargeRecounts(system_.set(id).elements.size());
@@ -128,6 +141,14 @@ Status BenefitEngine::BatchMarginals(const std::vector<SetId>& ids,
     return TripStatus(trip, "BatchMarginals");
   }
   ThreadPool& p = pool();
+  if (batch_scans_ != nullptr) batch_scans_->Increment();
+  // Parallel batches are the engine's only multi-threaded phase; give them
+  // a span so the shard fan-out is visible in the trace.
+  obs::Span batch_span;
+  if (options_.trace != nullptr && p.size() > 1 &&
+      ids.size() >= options_.min_parallel_batch) {
+    batch_span = obs::Span(options_.trace, "engine.batch");
+  }
   // Chunks write disjoint out slots; the cache commit below is serial, so
   // duplicate ids and any thread count yield identical results. Once any
   // chunk observes a trip, later indices fall back to the cached counts.
@@ -135,6 +156,7 @@ Status BenefitEngine::BatchMarginals(const std::vector<SetId>& ids,
   const Status pool_status = p.ParallelFor(
       ids.size(), options_.min_parallel_batch,
       [&](std::size_t begin, std::size_t end) {
+        if (batch_shards_ != nullptr) batch_shards_->Increment();
         for (std::size_t i = begin; i < end; ++i) {
           const SetId id = ids[i];
           if (stamp_[id] == epoch || count_[id] == 0) {

@@ -42,6 +42,10 @@
 
 namespace scwsc {
 
+namespace obs {
+class MetricCounter;
+}  // namespace obs
+
 class BenefitEngine {
  public:
   /// `run_context` (nullptr = unlimited) meters lazy recounts against the
@@ -115,6 +119,14 @@ class BenefitEngine {
   std::vector<std::uint64_t> rows_;
 
   std::unique_ptr<ThreadPool> pool_;  // created on first use
+
+  /// Metric instruments resolved once at construction when
+  /// options.trace != nullptr; hot paths then update lock-free atomics
+  /// behind one pointer branch.
+  obs::MetricCounter* celf_hits_ = nullptr;
+  obs::MetricCounter* celf_misses_ = nullptr;
+  obs::MetricCounter* batch_scans_ = nullptr;
+  obs::MetricCounter* batch_shards_ = nullptr;
 };
 
 /// Removes every id whose bit is set in `covered` from each list, preserving

@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/core/benefit_engine.h"
 #include "src/core/greedy_state.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
 
@@ -124,7 +125,17 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
 
   const RunContext& ctx =
       options.run_context ? *options.run_context : RunContext::Unlimited();
-  BenefitEngine engine(system, options.engine, &ctx);
+  EngineOptions engine_options = options.engine;
+  if (engine_options.trace == nullptr) engine_options.trace = options.trace;
+  BenefitEngine engine(system, engine_options, &ctx);
+
+  obs::Span cmc_span(options.trace, "cmc");
+  obs::MetricCounter* picks_metric = nullptr;
+  obs::MetricCounter* levels_metric = nullptr;
+  if (options.trace != nullptr) {
+    picks_metric = &options.trace->metrics().counter("cmc.picks");
+    levels_metric = &options.trace->metrics().counter("cmc.levels");
+  }
 
   // `partial` must arrive with `covered` already correct (the engine may be
   // mid-round or reset, so the helper cannot recompute it).
@@ -153,9 +164,11 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
     // start of each round; that is the unoptimized "patterns considered"
     // accounting of Fig. 6.
     result.sets_considered += system.num_sets();
+    obs::Span round_span(options.trace, "cmc.round");
 
     const auto levels =
         BuildCmcLevels(budget, options.k, options.epsilon, options.l);
+    if (levels_metric != nullptr) levels_metric->Increment(levels.size());
 
     // Bucket the sets at or below budget into their levels.
     std::vector<std::vector<SetId>> members(levels.size());
@@ -199,6 +212,7 @@ Result<CmcResult> RunCmc(const SetSystem& system, const CmcOptions& options) {
         });
         if (!key.has_value()) break;  // Fig. 1 line 18
         const std::size_t newly = engine.Select(key->id);
+        if (picks_metric != nullptr) picks_metric->Increment();
         solution.sets.push_back(key->id);
         solution.total_cost += system.set(key->id).cost;
         rem = newly >= rem ? 0 : rem - newly;

@@ -50,6 +50,9 @@ struct CmcOptions {
   /// last completed round's, for a trip between rounds) with
   /// provenance.budget_level = the budget B being explored.
   const RunContext* run_context = nullptr;
+  /// Optional trace/metrics session (src/obs); nullptr = observability off.
+  /// Propagated into the engine (options.engine.trace) when that is unset.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// One CMC cost level: sets with Cost in (lo, hi] — except the cheapest

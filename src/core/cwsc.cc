@@ -2,20 +2,30 @@
 
 #include "src/core/benefit_engine.h"
 #include "src/core/greedy_state.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
 namespace {
+
+/// The engine inherits the solver's trace session unless the caller wired
+/// its own.
+EngineOptions EngineWithTrace(const CwscOptions& options) {
+  EngineOptions engine = options.engine;
+  if (engine.trace == nullptr) engine.trace = options.trace;
+  return engine;
+}
 
 /// Fig. 2 line 06 by exhaustive scan: argmax gain over unselected sets with
 /// |MBen| * i >= rem, under the shared selection order. Used by the eager
 /// engine, whose marginal reads are O(1).
 Result<Solution> RunCwscEager(const SetSystem& system,
                               const CwscOptions& options, std::size_t rem,
-                              const RunContext& ctx) {
-  BenefitEngine engine(system, options.engine, &ctx);
+                              const RunContext& ctx, ScanStats& stats) {
+  BenefitEngine engine(system, EngineWithTrace(options), &ctx);
   DynamicBitset selected(system.num_sets() == 0 ? 1 : system.num_sets());
   Solution solution;
 
+  obs::Span select_span(options.trace, "cwsc.select");
   for (std::size_t i = options.k; i >= 1; --i) {
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
       return InterruptedStatus(trip, "cwsc", std::move(solution));
@@ -24,6 +34,7 @@ Result<Solution> RunCwscEager(const SetSystem& system,
     std::size_t best_count = 0;
     for (SetId id = 0; id < system.num_sets(); ++id) {
       if (selected.test(id)) continue;
+      ++stats.sets_considered;
       const std::size_t count = engine.MarginalCount(id);
       if (count == 0 || count * i < rem) continue;
       if (best == kInvalidSet ||
@@ -40,6 +51,7 @@ Result<Solution> RunCwscEager(const SetSystem& system,
 
     selected.set(best);
     const std::size_t newly = engine.Select(best);
+    select_span.Event("pick");
     solution.sets.push_back(best);
     solution.total_cost += system.set(best).cost;
     solution.covered = engine.covered_count();
@@ -63,23 +75,31 @@ Result<Solution> RunCwscEager(const SetSystem& system,
 /// Zero-marginal sets are dropped permanently (counts never grow).
 Result<Solution> RunCwscLazy(const SetSystem& system,
                              const CwscOptions& options, std::size_t rem,
-                             const RunContext& ctx) {
-  BenefitEngine engine(system, options.engine, &ctx);
+                             const RunContext& ctx, ScanStats& stats) {
+  BenefitEngine engine(system, EngineWithTrace(options), &ctx);
   Solution solution;
 
   LazySelector selector;
-  for (SetId id = 0; id < system.num_sets(); ++id) {
-    const std::size_t count = engine.MarginalCount(id);
-    if (count > 0) selector.Push(MakeGainKey(count, system.set(id).cost, id));
+  {
+    obs::Span seed_span(options.trace, "cwsc.seed");
+    for (SetId id = 0; id < system.num_sets(); ++id) {
+      ++stats.sets_considered;
+      const std::size_t count = engine.MarginalCount(id);
+      if (count > 0) {
+        selector.Push(MakeGainKey(count, system.set(id).cost, id));
+      }
+    }
   }
 
   std::vector<SelectionKey> parked;
   auto refresh = [&](SetId id) -> std::optional<SelectionKey> {
+    ++stats.sets_considered;
     const std::size_t count = engine.MarginalCount(id);
     if (count == 0) return std::nullopt;
     return MakeGainKey(count, system.set(id).cost, id);
   };
 
+  obs::Span select_span(options.trace, "cwsc.select");
   for (std::size_t i = options.k; i >= 1; --i) {
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
       return InterruptedStatus(trip, "cwsc", std::move(solution));
@@ -104,6 +124,7 @@ Result<Solution> RunCwscLazy(const SetSystem& system,
     // The chosen key was popped and is not re-pushed, so the set leaves the
     // candidate pool exactly like the eager path's `selected` mask.
     const std::size_t newly = engine.Select(chosen->id);
+    select_span.Event("pick");
     solution.sets.push_back(chosen->id);
     solution.total_cost += system.set(chosen->id).cost;
     solution.covered = engine.covered_count();
@@ -116,7 +137,8 @@ Result<Solution> RunCwscLazy(const SetSystem& system,
 
 }  // namespace
 
-Result<Solution> RunCwsc(const SetSystem& system, const CwscOptions& options) {
+Result<Solution> RunCwsc(const SetSystem& system, const CwscOptions& options,
+                         ScanStats* stats) {
   if (options.k == 0) {
     return Status::InvalidArgument("k must be positive");
   }
@@ -128,12 +150,21 @@ Result<Solution> RunCwsc(const SetSystem& system, const CwscOptions& options) {
   const std::size_t rem = SetSystem::CoverageTarget(options.coverage_fraction, n);
   if (rem == 0) return Solution{};  // nothing to cover
 
+  ScanStats local_stats;
+  ScanStats& tally = stats != nullptr ? *stats : local_stats;
   const RunContext& ctx =
       options.run_context ? *options.run_context : RunContext::Unlimited();
-  if (options.engine.marginal_mode == MarginalMode::kEager) {
-    return RunCwscEager(system, options, rem, ctx);
+  obs::Span span(options.trace, "cwsc");
+  Result<Solution> solution =
+      options.engine.marginal_mode == MarginalMode::kEager
+          ? RunCwscEager(system, options, rem, ctx, tally)
+          : RunCwscLazy(system, options, rem, ctx, tally);
+  if (options.trace != nullptr) {
+    options.trace->metrics()
+        .counter("cwsc.sets_considered")
+        .Increment(tally.sets_considered);
   }
-  return RunCwscLazy(system, options, rem, ctx);
+  return solution;
 }
 
 }  // namespace scwsc

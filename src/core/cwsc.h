@@ -33,6 +33,9 @@ struct CwscOptions {
   /// On a trip the solver returns the matching error Status carrying the
   /// partial solution built so far as a payload (see Provenance).
   const RunContext* run_context = nullptr;
+  /// Optional trace/metrics session (src/obs); nullptr = observability off.
+  /// Propagated into the engine (options.engine.trace) when that is unset.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Runs CWSC over an explicit set system. Returns:
@@ -40,7 +43,9 @@ struct CwscOptions {
 ///  - Status::Infeasible when no qualified set exists in some iteration
 ///    (Fig. 2 line 07, "No solution"), or
 ///  - Status::InvalidArgument for out-of-domain options.
-Result<Solution> RunCwsc(const SetSystem& system, const CwscOptions& options);
+/// `stats` (optional) receives the candidate-evaluation tally.
+Result<Solution> RunCwsc(const SetSystem& system, const CwscOptions& options,
+                         ScanStats* stats = nullptr);
 
 }  // namespace scwsc
 

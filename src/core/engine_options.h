@@ -14,6 +14,10 @@
 
 namespace scwsc {
 
+namespace obs {
+class TraceSession;
+}  // namespace obs
+
 /// When marginal counts are brought up to date.
 enum class MarginalMode : unsigned char {
   /// Selecting a set immediately decrements the marginal count of every
@@ -48,6 +52,11 @@ struct EngineOptions {
   unsigned num_threads = 1;
   /// Batches below this size are evaluated serially even with threads.
   std::size_t min_parallel_batch = 2048;
+  /// Optional observability sink (src/obs): the engine publishes CELF cache
+  /// hit/miss and batch-shard metrics into it. nullptr = off; every
+  /// instrumentation point then costs a single pointer branch. Solvers
+  /// propagate their own trace pointer here, so frontends set it once.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// The seed implementation's configuration: eager inverted-index decrements

@@ -6,6 +6,8 @@
 
 #include "src/common/bitset.h"
 #include "src/core/cwsc.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
 namespace {
@@ -28,6 +30,9 @@ struct SearchContext {
   std::uint64_t nodes = 0;
   bool exhausted = false;
   TripKind trip = TripKind::kNone;
+
+  obs::Span* span = nullptr;                     // "exact.search" when tracing
+  obs::MetricCounter* incumbents_metric = nullptr;
 };
 
 void Dfs(SearchContext& ctx, std::size_t idx, std::size_t picks_left,
@@ -50,6 +55,8 @@ void Dfs(SearchContext& ctx, std::size_t idx, std::size_t picks_left,
       ctx.best_cost = ctx.cost;
       ctx.best_sets = ctx.chosen;
       ctx.found = true;
+      if (ctx.span != nullptr) ctx.span->Event("incumbent");
+      if (ctx.incumbents_metric != nullptr) ctx.incumbents_metric->Increment();
     }
     return;
   }
@@ -174,18 +181,31 @@ Result<ExactResult> SolveExact(const SetSystem& system,
 
   // Seed the incumbent with the greedy CWSC solution when one exists; it
   // prunes the search dramatically and the final answer can only improve.
-  CwscOptions greedy_opts;
-  greedy_opts.k = options.k;
-  greedy_opts.coverage_fraction = options.coverage_fraction;
-  greedy_opts.run_context = options.run_context;
-  if (auto greedy = RunCwsc(system, greedy_opts); greedy.ok()) {
-    ctx.best_cost = greedy->total_cost;
-    ctx.best_sets = greedy->sets;
-    ctx.found = true;
+  {
+    obs::Span seed_span(options.trace, "exact.seed");
+    CwscOptions greedy_opts;
+    greedy_opts.k = options.k;
+    greedy_opts.coverage_fraction = options.coverage_fraction;
+    greedy_opts.run_context = options.run_context;
+    greedy_opts.trace = options.trace;
+    if (auto greedy = RunCwsc(system, greedy_opts); greedy.ok()) {
+      ctx.best_cost = greedy->total_cost;
+      ctx.best_sets = greedy->sets;
+      ctx.found = true;
+    }
   }
 
+  obs::Span search_span(options.trace, "exact.search");
+  if (options.trace != nullptr) {
+    ctx.span = &search_span;
+    ctx.incumbents_metric = &options.trace->metrics().counter("exact.incumbents");
+  }
   Dfs(ctx, 0, options.k, target);
+  search_span.End();
   result.nodes = ctx.nodes;
+  if (options.trace != nullptr) {
+    options.trace->metrics().counter("exact.nodes").Increment(ctx.nodes);
+  }
 
   auto fill_best = [&](Solution& out) {
     out.sets = ctx.best_sets;

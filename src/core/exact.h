@@ -26,6 +26,10 @@
 
 namespace scwsc {
 
+namespace obs {
+class TraceSession;
+}  // namespace obs
+
 struct ExactOptions {
   std::size_t k = 5;
   double coverage_fraction = 0.5;
@@ -36,6 +40,10 @@ struct ExactOptions {
   /// max_nodes exhaustion) the returned error Status carries a partial
   /// ExactResult payload holding the incumbent found so far, if any.
   const RunContext* run_context = nullptr;
+  /// Optional trace/metrics session (src/obs): the search publishes node and
+  /// incumbent counters and marks each incumbent improvement with a span
+  /// event. nullptr = observability off.
+  obs::TraceSession* trace = nullptr;
 };
 
 struct ExactResult {

@@ -5,6 +5,7 @@
 
 #include "src/common/bitset.h"
 #include "src/core/greedy_state.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
 namespace {
@@ -31,7 +32,7 @@ void SubtractEverywhere(const std::vector<ElementId>& chosen_mben,
 }  // namespace
 
 Result<Solution> RunCwscLiteral(const SetSystem& system,
-                                const CwscOptions& options) {
+                                const CwscOptions& options, ScanStats* stats) {
   if (options.k == 0) return Status::InvalidArgument("k must be positive");
   if (options.coverage_fraction < 0.0 || options.coverage_fraction > 1.0) {
     return Status::InvalidArgument("coverage_fraction must be in [0, 1]");
@@ -47,8 +48,11 @@ Result<Solution> RunCwscLiteral(const SetSystem& system,
   for (const auto& s : system.sets()) mben.push_back(s.elements);
   std::vector<bool> alive(system.num_sets(), true);
 
+  ScanStats local_stats;
+  ScanStats& tally = stats != nullptr ? *stats : local_stats;
   const RunContext& ctx =
       options.run_context ? *options.run_context : RunContext::Unlimited();
+  obs::Span span(options.trace, "cwsc.literal");
   for (std::size_t i = options.k; i >= 1; --i) {
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
       return InterruptedStatus(trip, "cwsc (literal)", std::move(solution));
@@ -56,7 +60,9 @@ Result<Solution> RunCwscLiteral(const SetSystem& system,
     // Line 06: argmax gain among sets with |MBen| >= rem / i.
     SetId best = kInvalidSet;
     for (SetId s = 0; s < system.num_sets(); ++s) {
-      if (!alive[s] || mben[s].size() * i < rem) continue;
+      if (!alive[s]) continue;
+      ++tally.sets_considered;
+      if (mben[s].size() * i < rem) continue;
       if (best == kInvalidSet ||
           BetterByGain(mben[s].size(), system.set(s).cost, s,
                        mben[best].size(), system.set(best).cost, best)) {
@@ -120,6 +126,7 @@ Result<CmcResult> RunCmcLiteral(const SetSystem& system,
   };
   Solution last_round;
 
+  obs::Span span(options.trace, "cmc.literal");
   for (std::size_t round = 1; round <= options.max_budget_rounds; ++round) {
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
       return interrupted(trip, std::move(last_round));

@@ -23,8 +23,10 @@
 namespace scwsc {
 
 /// Fig. 2 verbatim. Produces exactly the same Solution as RunCwsc.
+/// `stats` (optional) receives the candidate-evaluation tally.
 Result<Solution> RunCwscLiteral(const SetSystem& system,
-                                const CwscOptions& options);
+                                const CwscOptions& options,
+                                ScanStats* stats = nullptr);
 
 /// Fig. 1 verbatim (plus the shared epsilon/l level generalizations).
 /// Produces exactly the same CmcResult as RunCmc.

@@ -2,11 +2,13 @@
 
 #include "src/common/bitset.h"
 #include "src/core/greedy_state.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
 
 Result<Solution> RunNonOverlappingGreedy(const SetSystem& system,
-                                         const NonOverlapOptions& options) {
+                                         const NonOverlapOptions& options,
+                                         ScanStats* stats) {
   if (options.k == 0) return Status::InvalidArgument("k must be positive");
   if (options.coverage_fraction < 0.0 || options.coverage_fraction > 1.0) {
     return Status::InvalidArgument("coverage_fraction must be in [0, 1]");
@@ -16,9 +18,12 @@ Result<Solution> RunNonOverlappingGreedy(const SetSystem& system,
   Solution solution;
   if (rem == 0) return solution;
 
+  ScanStats local_stats;
+  ScanStats& tally = stats != nullptr ? *stats : local_stats;
   DynamicBitset covered(system.num_elements());
   std::vector<bool> alive(system.num_sets(), true);
 
+  obs::Span span(options.trace, "nonoverlap");
   while (solution.sets.size() < options.k) {
     // Argmax gain among sets fully disjoint from the current coverage.
     // Disjointness is not monotone-decaying in a heap-friendly way (a set
@@ -29,6 +34,7 @@ Result<Solution> RunNonOverlappingGreedy(const SetSystem& system,
     std::size_t best_count = 0;
     for (SetId id = 0; id < system.num_sets(); ++id) {
       if (!alive[id]) continue;
+      ++tally.sets_considered;
       const WeightedSet& s = system.set(id);
       if (s.elements.empty()) {
         alive[id] = false;

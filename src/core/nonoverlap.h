@@ -18,6 +18,10 @@
 
 namespace scwsc {
 
+namespace obs {
+class TraceSession;
+}  // namespace obs
+
 struct NonOverlapOptions {
   std::size_t k = 10;
   double coverage_fraction = 1.0;  // AlphaSum covers the entire data set
@@ -31,14 +35,17 @@ struct NonOverlapOptions {
   /// specks that fragment the remaining space).
   enum class Rule { kGain, kBenefit };
   Rule rule = Rule::kGain;
+  /// Optional trace/metrics session (src/obs); nullptr = observability off.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Greedy gain-driven selection of pairwise-disjoint sets. Returns
 /// Infeasible when no disjoint set can extend the selection before the
 /// coverage target is met (a frequent outcome — that is the point of the
-/// comparison).
+/// comparison). `stats` (optional) receives the candidate-evaluation tally.
 Result<Solution> RunNonOverlappingGreedy(const SetSystem& system,
-                                         const NonOverlapOptions& options);
+                                         const NonOverlapOptions& options,
+                                         ScanStats* stats = nullptr);
 
 }  // namespace scwsc
 

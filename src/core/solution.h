@@ -36,6 +36,15 @@ struct Solution {
   Provenance provenance;     // interruption record; default = complete run
 };
 
+/// Candidate-evaluation tally of one greedy run (the "sets/patterns
+/// considered" series of Fig. 6). Solvers that return a bare Solution take
+/// an optional `ScanStats*` out-parameter so the registry adapters can fill
+/// SolveCounters::sets_considered; solvers with a richer result struct
+/// (CmcResult, PatternStats) carry the tally there instead.
+struct ScanStats {
+  std::size_t sets_considered = 0;
+};
+
 /// Facts about a Solution recomputed from scratch against the SetSystem;
 /// used by tests and by the benchmark harness to guard against solver
 /// bookkeeping bugs.

@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "src/common/bitset.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pattern/pattern.h"
 
 namespace scwsc {
@@ -162,6 +164,14 @@ Result<HSolution> RunHierarchicalCmc(const Table& table,
   using KeySet = std::unordered_set<HPattern, HPatternHash>;
   using Heap = std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess>;
 
+  obs::Span cmc_span(options.trace, "hcmc");
+  obs::MetricCounter* considered_metric = nullptr;
+  obs::MetricCounter* admitted_metric = nullptr;
+  if (options.trace != nullptr) {
+    considered_metric = &options.trace->metrics().counter("pattern.considered");
+    admitted_metric = &options.trace->metrics().counter("pattern.admitted");
+  }
+
   for (std::size_t round = 1; round <= options.max_budget_rounds; ++round) {
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
       return interrupted(trip, std::move(last_round));
@@ -181,6 +191,7 @@ Result<HSolution> RunHierarchicalCmc(const Table& table,
       continue;
     }
 
+    obs::Span round_span(options.trace, "hcmc.round");
     const auto levels =
         BuildCmcLevels(budget, options.k, options.epsilon, options.l);
     std::size_t total_allowance = 0;
@@ -204,6 +215,8 @@ Result<HSolution> RunHierarchicalCmc(const Table& table,
       root.cost_known = true;
       ++st.patterns_considered;
       ++st.candidates_admitted;
+      if (considered_metric != nullptr) considered_metric->Increment();
+      if (admitted_metric != nullptr) admitted_metric->Increment();
       candidates.emplace(HPattern::AllWildcards(j), std::move(root));
     }
     Heap heap;
@@ -256,6 +269,7 @@ Result<HSolution> RunHierarchicalCmc(const Table& table,
       }
 
       if (selected_now) {
+        round_span.Event("pick");
         round_solution.patterns.push_back(q_key);
         round_solution.total_cost += q.cost;
         selected.insert(q_key);
@@ -309,6 +323,8 @@ Result<HSolution> RunHierarchicalCmc(const Table& table,
           cand.epoch = epoch;
           ++st.patterns_considered;
           ++st.candidates_admitted;
+          if (considered_metric != nullptr) considered_metric->Increment();
+          if (admitted_metric != nullptr) admitted_metric->Increment();
           const std::size_t count = cand.mben.size();
           candidates.emplace(child, std::move(cand));
           heap.push(HeapEntry{count, std::move(child)});

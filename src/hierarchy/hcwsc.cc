@@ -8,6 +8,8 @@
 #include "src/common/bitset.h"
 #include "src/common/thread_pool.h"
 #include "src/core/benefit_engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
 namespace hierarchy {
@@ -116,6 +118,13 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
   if (n == 0) return Status::Infeasible("empty table with positive target");
 
   DynamicBitset covered(n);
+  obs::Span span(options.trace, "hcwsc");
+  obs::MetricCounter* considered_metric = nullptr;
+  obs::MetricCounter* admitted_metric = nullptr;
+  if (options.trace != nullptr) {
+    considered_metric = &options.trace->metrics().counter("pattern.considered");
+    admitted_metric = &options.trace->metrics().counter("pattern.admitted");
+  }
   const RunContext& ctx =
       options.run_context ? *options.run_context : RunContext::Unlimited();
   auto interrupted = [&](TripKind trip) -> Status {
@@ -145,6 +154,8 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
     root.cost = cost_fn.Compute(table, root.ben);
     ++st.patterns_considered;
     ++st.candidates_admitted;
+    if (considered_metric != nullptr) considered_metric->Increment();
+    if (admitted_metric != nullptr) admitted_metric->Increment();
     candidates.emplace(root.pattern, std::move(root));
   }
 
@@ -152,6 +163,7 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
       return interrupted(trip);
     }
+    obs::Span descend_span(options.trace, "hcwsc.descend");
     for (auto it = candidates.begin(); it != candidates.end();) {
       if (it->second.mben.size() * i < rem) {
         it = candidates.erase(it);
@@ -215,8 +227,10 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
         cand.mben = group.marginal_rows;
         cand.cost = cost_fn.Compute(table, cand.ben);
         ++st.patterns_considered;
+        if (considered_metric != nullptr) considered_metric->Increment();
         if (cand.mben.size() * i >= rem) {
           ++st.candidates_admitted;
+          if (admitted_metric != nullptr) admitted_metric->Increment();
           auto [it, inserted] =
               candidates.emplace(cand.pattern, std::move(cand));
           SCWSC_CHECK(inserted, "candidate admitted twice");
@@ -233,6 +247,7 @@ Result<HSolution> RunHierarchicalCwsc(const Table& table,
       return Status::Infeasible("hierarchical CWSC: no qualified candidate");
     }
 
+    descend_span.Event("pick");
     solution.patterns.push_back(best->pattern);
     solution.total_cost += best->cost;
     const std::size_t newly = best->mben.size();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/obs/trace.h"
+
 namespace scwsc {
 namespace hierarchy {
 
@@ -17,6 +19,7 @@ Result<std::vector<EnumeratedHPattern>> EnumerateAllHPatterns(
     return Status::InvalidArgument("hierarchy arity does not match table");
   }
 
+  obs::Span span(options.trace, "henumerate");
   std::unordered_map<HPattern, std::uint32_t, HPatternHash> index;
   std::vector<EnumeratedHPattern> out;
 
@@ -77,6 +80,10 @@ Result<std::vector<EnumeratedHPattern>> EnumerateAllHPatterns(
             [](const EnumeratedHPattern& a, const EnumeratedHPattern& b) {
               return CanonicalLess(a.pattern, b.pattern);
             });
+  if (options.trace != nullptr) {
+    options.trace->metrics().counter("henumerate.patterns")
+        .Increment(out.size());
+  }
   return out;
 }
 

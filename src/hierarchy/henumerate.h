@@ -18,6 +18,11 @@
 #include "src/pattern/cost.h"
 
 namespace scwsc {
+
+namespace obs {
+class TraceSession;
+}  // namespace obs
+
 namespace hierarchy {
 
 struct EnumeratedHPattern {
@@ -32,6 +37,9 @@ struct HEnumerateOptions {
   /// expansion. A partial enumeration is not a usable solver substrate, so
   /// trips return the bare interruption Status with no payload.
   const RunContext* run_context = nullptr;
+  /// Optional trace/metrics session (src/obs): the walk runs under an
+  /// "henumerate" span and publishes the distinct-pattern count.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// All distinct hierarchical patterns matching at least one record, sorted

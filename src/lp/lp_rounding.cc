@@ -6,6 +6,7 @@
 #include "src/common/bitset.h"
 #include "src/common/rng.h"
 #include "src/core/greedy_state.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
 namespace lp {
@@ -87,10 +88,15 @@ Result<LpRoundingResult> SolveByLpRounding(const SetSystem& system,
   if (lp_options.run_context == nullptr) {
     lp_options.run_context = options.run_context;
   }
-  SCWSC_ASSIGN_OR_RETURN(
-      LpRelaxation relaxation,
-      SolveScwscRelaxation(system, options.k, options.coverage_fraction,
-                           lp_options));
+  if (lp_options.trace == nullptr) lp_options.trace = options.trace;
+  LpRelaxation relaxation;
+  {
+    obs::Span relax_span(options.trace, "lp.relax");
+    SCWSC_ASSIGN_OR_RETURN(
+        relaxation,
+        SolveScwscRelaxation(system, options.k, options.coverage_fraction,
+                             lp_options));
+  }
   LpRoundingResult result;
   result.lp_lower_bound = relaxation.lower_bound;
   if (target == 0) return result;
@@ -130,6 +136,7 @@ Result<LpRoundingResult> SolveByLpRounding(const SetSystem& system,
     return std::make_pair(covered.count(), cost);
   };
 
+  obs::Span round_span(options.trace, "lp.round");
   for (std::size_t t = 0; t < options.trials; ++t) {
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
       return interrupted(trip);
@@ -139,6 +146,7 @@ Result<LpRoundingResult> SolveByLpRounding(const SetSystem& system,
       const double p = std::min(1.0, alpha * relaxation.x[s]);
       if (p > 0.0 && rng.NextBool(p)) picked.push_back(s);
     }
+    result.sets_considered += system.num_sets();
     auto [covered, cost] = evaluate(picked);
     if (covered < target) continue;
     ++result.feasible_trials;
@@ -150,16 +158,26 @@ Result<LpRoundingResult> SolveByLpRounding(const SetSystem& system,
     }
   }
 
+  round_span.End();
+  if (options.trace != nullptr) {
+    options.trace->metrics().counter("lp.trials").Increment(options.trials);
+    options.trace->metrics()
+        .counter("lp.feasible_trials")
+        .Increment(result.feasible_trials);
+  }
+
   if (!have_best) {
     // Greedy repair: densify the best fractional support by gain until the
     // target is met (falls back to the whole system if the support is too
     // thin).
+    obs::Span repair_span(options.trace, "lp.repair");
     CoverState state(system);
     LazySelector selector;
     for (SetId s = 0; s < system.num_sets(); ++s) {
       const std::size_t count = state.MarginalCount(s);
       if (count > 0) selector.Push(MakeGainKey(count, system.set(s).cost, s));
     }
+    result.sets_considered += system.num_sets();
     std::size_t rem = target;
     Solution repaired;
     while (rem > 0) {

@@ -44,6 +44,10 @@ struct LpScwscOptions {
   /// so far as payload (its solution may be coverage-infeasible when no
   /// trial had finished; check provenance.coverage_reached).
   const RunContext* run_context = nullptr;
+  /// Optional trace/metrics session (src/obs): the relax / round / repair
+  /// phases run under spans and trial counters are published. Propagated
+  /// into the simplex solve (options.lp.trace) when that is unset.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// The LP relaxation's optimal value (a lower bound on OPT), with the
@@ -66,6 +70,8 @@ struct LpRoundingResult {
   std::size_t cardinality_violation = 0;
   /// Trials that met coverage without repair.
   std::size_t feasible_trials = 0;
+  /// Full-system set scans across rounding trials and greedy repair.
+  std::size_t sets_considered = 0;
 };
 
 /// Rounds the relaxation. Always returns a coverage-feasible solution when

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace scwsc {
 namespace lp {
 namespace {
@@ -54,7 +57,8 @@ struct Phase {
 /// marks columns eligible to enter (used to lock out artificials in
 /// phase 2).
 Result<bool> Iterate(const Phase& ph, const std::vector<bool>& allowed,
-                     const LpOptions& options, std::size_t* pivots) {
+                     const LpOptions& options, std::size_t* pivots,
+                     obs::MetricCounter* pivots_metric) {
   Tableau& tab = *ph.tab;
   std::vector<double>& reduced = *ph.reduced;
   for (;;) {
@@ -90,6 +94,7 @@ Result<bool> Iterate(const Phase& ph, const std::vector<bool>& allowed,
     if (++*pivots > options.max_pivots) {
       return Status::ResourceExhausted("simplex exceeded max_pivots");
     }
+    if (pivots_metric != nullptr) pivots_metric->Increment();
     if (options.run_context != nullptr) {
       const TripKind trip = options.run_context->ChargeNodes(1);
       if (trip != TripKind::kNone) return TripStatus(trip, "simplex");
@@ -189,11 +194,15 @@ Result<LpSolution> SolveLp(const LpProblem& problem, const LpOptions& options) {
   }
 
   std::size_t pivots = 0;
+  obs::MetricCounter* pivots_metric =
+      options.trace != nullptr ? &options.trace->metrics().counter("lp.pivots")
+                               : nullptr;
 
   // Phase 1: minimize the sum of artificials.
   bool has_artificials = false;
   for (std::size_t i = 0; i < m; ++i) has_artificials |= artificial_col[i] >= 0;
   if (has_artificials) {
+    obs::Span phase1_span(options.trace, "simplex.phase1");
     std::vector<double> reduced(cols, 0.0);
     // Objective = sum of artificial columns; express in terms of the
     // current (artificial) basis: reduced = c - sum over basic rows.
@@ -208,7 +217,8 @@ Result<LpSolution> SolveLp(const LpProblem& problem, const LpOptions& options) {
     }
     std::vector<bool> allowed(cols, true);
     Phase phase{&tab, &reduced, &basis};
-    SCWSC_ASSIGN_OR_RETURN(bool ok, Iterate(phase, allowed, options, &pivots));
+    SCWSC_ASSIGN_OR_RETURN(
+        bool ok, Iterate(phase, allowed, options, &pivots, pivots_metric));
     (void)ok;
     // Phase-1 value: total artificial mass still in the basis.
     double infeasibility = 0.0;
@@ -255,6 +265,7 @@ Result<LpSolution> SolveLp(const LpProblem& problem, const LpOptions& options) {
 
   // Phase 2: the real objective, artificials locked out.
   {
+    obs::Span phase2_span(options.trace, "simplex.phase2");
     std::vector<double> reduced(cols, 0.0);
     for (std::size_t j = 0; j < n; ++j) reduced[j] = problem.objective[j];
     // Express in terms of the current basis.
@@ -273,7 +284,8 @@ Result<LpSolution> SolveLp(const LpProblem& problem, const LpOptions& options) {
       }
     }
     Phase phase{&tab, &reduced, &basis};
-    SCWSC_ASSIGN_OR_RETURN(bool ok, Iterate(phase, allowed, options, &pivots));
+    SCWSC_ASSIGN_OR_RETURN(
+        bool ok, Iterate(phase, allowed, options, &pivots, pivots_metric));
     (void)ok;
 
     LpSolution solution;

@@ -23,6 +23,11 @@
 #include "src/common/run_context.h"
 
 namespace scwsc {
+
+namespace obs {
+class TraceSession;
+}  // namespace obs
+
 namespace lp {
 
 enum class Relation { kLessEqual, kGreaterEqual, kEqual };
@@ -48,6 +53,10 @@ struct LpOptions {
   /// returns DeadlineExceeded / Cancelled / ResourceExhausted with no
   /// payload — an interrupted tableau has no meaningful partial solution.
   const RunContext* run_context = nullptr;
+  /// Optional trace/metrics session (src/obs): phases run under
+  /// "simplex.phase1"/"simplex.phase2" spans and every pivot bumps the
+  /// "lp.pivots" counter. nullptr = observability off.
+  obs::TraceSession* trace = nullptr;
 };
 
 struct LpSolution {

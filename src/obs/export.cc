@@ -1,0 +1,209 @@
+#include "src/obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "src/common/strings.h"
+
+namespace scwsc {
+namespace obs {
+namespace {
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// A JSON number literal: finite doubles round-trip via %.17g, non-finite
+/// values (not representable in JSON) degrade to null.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.17g", v);
+}
+
+/// Nanoseconds to the trace-event format's microsecond unit.
+std::string TraceTs(std::int64_t ns) {
+  return StrFormat("%.3f", static_cast<double>(ns) * 1e-3);
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const TraceSession& session) {
+  const std::vector<SpanRecord> spans = session.spans();
+  const std::vector<EventRecord> events = session.events();
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+
+  std::uint32_t max_thread = 0;
+  for (const SpanRecord& s : spans) max_thread = std::max(max_thread, s.thread);
+  for (const EventRecord& e : events) {
+    max_thread = std::max(max_thread, e.thread);
+  }
+  if (!spans.empty() || !events.empty()) {
+    for (std::uint32_t t = 0; t <= max_thread; ++t) {
+      comma();
+      out += StrFormat(
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+          "\"args\":{\"name\":\"scwsc-%u\"}}",
+          t, t);
+    }
+  }
+
+  for (const SpanRecord& s : spans) {
+    comma();
+    out += "{\"name\":\"";
+    AppendJsonEscaped(s.name, &out);
+    out += "\",\"cat\":\"scwsc\"";
+    if (s.closed()) {
+      out += StrFormat(",\"ph\":\"X\",\"ts\":%s,\"dur\":%s",
+                       TraceTs(s.start_ns).c_str(),
+                       TraceTs(s.end_ns - s.start_ns).c_str());
+    } else {
+      out += StrFormat(",\"ph\":\"B\",\"ts\":%s", TraceTs(s.start_ns).c_str());
+    }
+    out += StrFormat(",\"pid\":1,\"tid\":%u}", s.thread);
+  }
+
+  for (const EventRecord& e : events) {
+    comma();
+    out += "{\"name\":\"";
+    AppendJsonEscaped(e.name, &out);
+    out += StrFormat(
+        "\",\"cat\":\"scwsc\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,"
+        "\"pid\":1,\"tid\":%u}",
+        TraceTs(e.ts_ns).c_str(), e.thread);
+  }
+
+  out += "]}";
+  return out;
+}
+
+std::string ToMetricsJson(const MetricRegistry& registry) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += StrFormat("\":%llu", static_cast<unsigned long long>(value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += "\":" + JsonNumber(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : registry.HistogramValues()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += JsonNumber(snap.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += StrFormat("%llu", static_cast<unsigned long long>(snap.counts[i]));
+    }
+    out += StrFormat("],\"total\":%llu,\"sum\":%s}",
+                     static_cast<unsigned long long>(snap.total),
+                     JsonNumber(snap.sum).c_str());
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ToMetricsCsv(const MetricRegistry& registry) {
+  std::string out = "kind,name,value\n";
+  for (const auto& [name, value] : registry.CounterValues()) {
+    out += StrFormat("counter,%s,%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    out += StrFormat("gauge,%s,%.17g\n", name.c_str(), value);
+  }
+  for (const auto& [name, snap] : registry.HistogramValues()) {
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      const std::string bucket =
+          i < snap.bounds.size() ? StrFormat("le_%.17g", snap.bounds[i])
+                                 : std::string("le_inf");
+      out += StrFormat("histogram,%s.%s,%llu\n", name.c_str(), bucket.c_str(),
+                       static_cast<unsigned long long>(snap.counts[i]));
+    }
+    out += StrFormat("histogram,%s.sum,%.17g\n", name.c_str(), snap.sum);
+    out += StrFormat("histogram,%s.total,%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(snap.total));
+  }
+  return out;
+}
+
+namespace {
+
+Status WriteFileOrStatus(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != body.size() || !close_ok) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteChromeTraceJson(const TraceSession& session,
+                            const std::string& path) {
+  return WriteFileOrStatus(path, ToChromeTraceJson(session));
+}
+
+Status WriteMetricsFile(const MetricRegistry& registry,
+                        const std::string& path) {
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  return WriteFileOrStatus(path,
+                           csv ? ToMetricsCsv(registry) : ToMetricsJson(registry));
+}
+
+}  // namespace obs
+}  // namespace scwsc

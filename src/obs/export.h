@@ -1,0 +1,43 @@
+// Exporters for a TraceSession: Chrome trace-event JSON (loads directly in
+// Perfetto or chrome://tracing) and a flat metrics dump as JSON or CSV.
+// Rendering is plain string building — the repo has no JSON dependency and
+// the trace-event format only needs objects, arrays, numbers and escaped
+// strings.
+
+#ifndef SCWSC_OBS_EXPORT_H_
+#define SCWSC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace scwsc {
+namespace obs {
+
+/// The session's spans and events in Chrome trace-event format: closed
+/// spans as complete ("X") events, still-open spans as begin ("B") events,
+/// span events as thread-scoped instants ("i"), plus thread-name metadata.
+std::string ToChromeTraceJson(const TraceSession& session);
+
+/// The registry's counters, gauges and histograms as one JSON object.
+std::string ToMetricsJson(const MetricRegistry& registry);
+
+/// The same dump as `kind,name,value` CSV rows (histogram buckets flattened
+/// to one row per bound).
+std::string ToMetricsCsv(const MetricRegistry& registry);
+
+/// Writes ToChromeTraceJson(session) to `path`.
+Status WriteChromeTraceJson(const TraceSession& session,
+                            const std::string& path);
+
+/// Writes the metrics dump to `path`; a ".csv" extension selects the CSV
+/// form, anything else gets JSON.
+Status WriteMetricsFile(const MetricRegistry& registry,
+                        const std::string& path);
+
+}  // namespace obs
+}  // namespace scwsc
+
+#endif  // SCWSC_OBS_EXPORT_H_

@@ -1,0 +1,139 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace scwsc {
+namespace obs {
+namespace {
+
+/// One open span on the calling thread. The stack is thread-local and keyed
+/// by session, so concurrent sessions and pool threads never contend on it.
+struct OpenFrame {
+  const TraceSession* session;
+  SpanId id;
+};
+
+thread_local std::vector<OpenFrame> t_open_spans;
+
+std::int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Innermost open span of `session` on this thread, or kNoSpan.
+SpanId CurrentSpanOf(const TraceSession* session) {
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->session == session) return it->id;
+  }
+  return kNoSpan;
+}
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_ns_(SteadyNowNs()) {}
+
+std::uint32_t TraceSession::ThreadIndexLocked() {
+  const auto id = std::this_thread::get_id();
+  auto it = thread_index_.find(id);
+  if (it == thread_index_.end()) {
+    it = thread_index_
+             .emplace(id, static_cast<std::uint32_t>(thread_index_.size()))
+             .first;
+  }
+  return it->second;
+}
+
+SpanId TraceSession::BeginSpan(std::string_view name) {
+  const SpanId parent = CurrentSpanOf(this);
+  const std::int64_t now = SteadyNowNs() - epoch_ns_;
+  SpanId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = static_cast<SpanId>(spans_.size()) + 1;
+    SpanRecord record;
+    record.id = id;
+    record.parent = parent;
+    record.name.assign(name.data(), name.size());
+    record.thread = ThreadIndexLocked();
+    record.start_ns = now;
+    spans_.push_back(std::move(record));
+  }
+  t_open_spans.push_back(OpenFrame{this, id});
+  return id;
+}
+
+void TraceSession::EndSpan(SpanId id) {
+  if (id == kNoSpan) return;
+  const std::int64_t now = SteadyNowNs() - epoch_ns_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id <= spans_.size()) spans_[id - 1].end_ns = now;
+  }
+  // Pop this span's frame; tolerate out-of-order ends (a moved Span closed
+  // on another thread simply leaves no frame here).
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->session == this && it->id == id) {
+      t_open_spans.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+void TraceSession::AddEvent(std::string_view name) {
+  AddEventOn(CurrentSpanOf(this), name);
+}
+
+void TraceSession::AddEventOn(SpanId span, std::string_view name) {
+  const std::int64_t now = SteadyNowNs() - epoch_ns_;
+  std::lock_guard<std::mutex> lock(mu_);
+  EventRecord record;
+  record.span = span;
+  record.name.assign(name.data(), name.size());
+  record.thread = ThreadIndexLocked();
+  record.ts_ns = now;
+  events_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TraceSession::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<EventRecord> TraceSession::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+double TraceSession::SpanSeconds(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const SpanRecord& s : spans_) {
+    if (s.name == name) total += s.seconds();
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, double>> TraceSession::PhaseTotals() const {
+  std::vector<std::pair<std::string, double>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const SpanRecord& s : spans_) {
+      if (!s.closed()) continue;
+      auto it = std::find_if(out.begin(), out.end(), [&](const auto& kv) {
+        return kv.first == s.name;
+      });
+      if (it == out.end()) {
+        out.emplace_back(s.name, s.seconds());
+      } else {
+        it->second += s.seconds();
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace obs
+}  // namespace scwsc

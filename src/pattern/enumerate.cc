@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace scwsc {
 namespace pattern {
@@ -154,8 +155,15 @@ Result<std::vector<EnumeratedPattern>> EnumerateAllPatterns(
         "generalizations per record; use the optimized algorithms instead");
   }
   const PackLayout layout = ComputeLayout(table);
-  if (layout.fits) return EnumeratePacked(table, layout, options);
-  return EnumerateGeneric(table, options);
+  obs::Span span(options.trace, "enumerate");
+  Result<std::vector<EnumeratedPattern>> out =
+      layout.fits ? EnumeratePacked(table, layout, options)
+                  : EnumerateGeneric(table, options);
+  if (options.trace != nullptr && out.ok()) {
+    options.trace->metrics().counter("enumerate.patterns")
+        .Increment(out->size());
+  }
+  return out;
 }
 
 }  // namespace pattern

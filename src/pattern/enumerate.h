@@ -23,6 +23,11 @@
 #include "src/table/table.h"
 
 namespace scwsc {
+
+namespace obs {
+class TraceSession;
+}  // namespace obs
+
 namespace pattern {
 
 struct EnumeratedPattern {
@@ -42,6 +47,9 @@ struct EnumerateOptions {
   /// a partially enumerated pattern collection is not a usable substrate,
   /// so no payload is attached.
   const RunContext* run_context = nullptr;
+  /// Optional trace/metrics session (src/obs): the walk runs under an
+  /// "enumerate" span and publishes the distinct-pattern count.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Enumerates all non-empty patterns of `table`, sorted by CanonicalLess.

@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "src/common/bitset.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pattern/benefit_index.h"
 #include "src/pattern/codec.h"
 #include "src/pattern/lattice.h"
@@ -201,6 +203,14 @@ Result<PatternSolution> RunOptimizedCmcImpl(const Table& table,
   using Heap = std::priority_queue<HeapEntry<Ops>, std::vector<HeapEntry<Ops>>,
                                    HeapLess<Ops>>;
 
+  obs::Span cmc_span(options.trace, "opt_cmc");
+  obs::MetricCounter* considered_metric = nullptr;
+  obs::MetricCounter* admitted_metric = nullptr;
+  if (options.trace != nullptr) {
+    considered_metric = &options.trace->metrics().counter("pattern.considered");
+    admitted_metric = &options.trace->metrics().counter("pattern.admitted");
+  }
+
   for (std::size_t round = 1; round <= options.max_budget_rounds; ++round) {
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
       return interrupted(trip, std::move(last_round));
@@ -221,6 +231,7 @@ Result<PatternSolution> RunOptimizedCmcImpl(const Table& table,
       continue;
     }
 
+    obs::Span round_span(options.trace, "opt_cmc.round");
     const auto levels =
         BuildCmcLevels(budget, options.k, options.epsilon, options.l);
     std::size_t total_allowance = 0;
@@ -245,6 +256,8 @@ Result<PatternSolution> RunOptimizedCmcImpl(const Table& table,
       root.cost_known = true;
       ++st.patterns_considered;
       ++st.candidates_admitted;
+      if (considered_metric != nullptr) considered_metric->Increment();
+      if (admitted_metric != nullptr) admitted_metric->Increment();
       candidates.emplace(ops.Root(), std::move(root));
     }
     Heap heap;
@@ -305,6 +318,7 @@ Result<PatternSolution> RunOptimizedCmcImpl(const Table& table,
 
       if (selected_now) {
         // Lines 22-29 (candidate refresh happens lazily at pop).
+        round_span.Event("pick");
         round_solution.patterns.push_back(q_pattern);
         round_solution.total_cost += q.cost;
         selected.insert(q_key);
@@ -339,6 +353,8 @@ Result<PatternSolution> RunOptimizedCmcImpl(const Table& table,
         cand.epoch = epoch;
         ++st.patterns_considered;
         ++st.candidates_admitted;
+        if (considered_metric != nullptr) considered_metric->Increment();
+        if (admitted_metric != nullptr) admitted_metric->Increment();
         const std::size_t count = cand.mben.size();
         candidates.emplace(child, std::move(cand));
         heap.push(HeapEntry<Ops>{count, std::move(child)});

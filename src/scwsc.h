@@ -51,6 +51,9 @@
 #include "src/gen/tripartite.h"
 #include "src/lp/lp_rounding.h"
 #include "src/lp/simplex.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pattern/benefit_index.h"
 #include "src/pattern/cost.h"
 #include "src/pattern/enumerate.h"

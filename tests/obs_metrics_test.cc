@@ -1,0 +1,138 @@
+// Tests for the metric registry (counters, gauges, histograms, concurrent
+// recording) and the metrics JSON/CSV exporters.
+
+#include "src/obs/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/export.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace obs {
+namespace {
+
+TEST(MetricRegistryTest, CounterGetOrCreateIsStable) {
+  MetricRegistry registry;
+  MetricCounter& a = registry.counter("solve.picks");
+  a.Increment();
+  MetricCounter& b = registry.counter("solve.picks");
+  b.Increment(4);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(registry.CounterValue("solve.picks"), 5u);
+  EXPECT_EQ(registry.CounterValue("never.created"), 0u);
+}
+
+TEST(MetricRegistryTest, GaugeIsLastWriteWins) {
+  MetricRegistry registry;
+  registry.gauge("budget").Set(8.0);
+  registry.gauge("budget").Set(16.0);
+  EXPECT_EQ(registry.GaugeValue("budget"), 16.0);
+  EXPECT_EQ(registry.GaugeValue("missing"), 0.0);
+}
+
+TEST(MetricRegistryTest, HistogramBucketsAreInclusiveUpperBounds) {
+  MetricRegistry registry;
+  MetricHistogram& h = registry.histogram("seconds", {0.1, 1.0, 10.0});
+  h.Observe(0.05);   // bucket 0 (<= 0.1)
+  h.Observe(0.1);    // bucket 0 (inclusive)
+  h.Observe(0.5);    // bucket 1
+  h.Observe(100.0);  // overflow bucket
+  const MetricHistogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.total, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.05 + 0.1 + 0.5 + 100.0);
+}
+
+TEST(MetricRegistryTest, HistogramBoundsFixedOnFirstCreation) {
+  MetricRegistry registry;
+  MetricHistogram& h = registry.histogram("h", {1.0, 2.0});
+  MetricHistogram& again = registry.histogram("h", {42.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.snapshot().bounds.size(), 2u);
+}
+
+TEST(MetricRegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Resolve-once-then-update, the pattern the hot loops use.
+      MetricCounter& counter = registry.counter("shared");
+      MetricHistogram& hist = registry.histogram("lat", {0.5});
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.Increment();
+        hist.Observe(0.25);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.CounterValue("shared"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  const auto snap = registry.histogram("lat", {}).snapshot();
+  EXPECT_EQ(snap.total, static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_NEAR(snap.sum, 0.25 * kThreads * kIncrements, 1e-6);
+}
+
+TEST(MetricRegistryTest, SnapshotsAreSortedByName) {
+  MetricRegistry registry;
+  registry.counter("zeta").Increment();
+  registry.counter("alpha").Increment();
+  registry.counter("mid").Increment();
+  const auto values = registry.CounterValues();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].first, "alpha");
+  EXPECT_EQ(values[1].first, "mid");
+  EXPECT_EQ(values[2].first, "zeta");
+}
+
+TEST(MetricsExportTest, JsonIsWellFormedAndCarriesEveryInstrument) {
+  MetricRegistry registry;
+  registry.counter("engine.celf_hits").Increment(7);
+  registry.gauge("solve.cwsc.final_budget").Set(32.0);
+  registry.histogram("solve.seconds", {0.001, 0.1}).Observe(0.02);
+
+  const std::string json = ToMetricsJson(registry);
+  EXPECT_TRUE(test::JsonChecker::IsValid(json)) << json;
+  EXPECT_NE(json.find("\"engine.celf_hits\":7"), std::string::npos);
+  EXPECT_NE(json.find("solve.cwsc.final_budget"), std::string::npos);
+  EXPECT_NE(json.find("\"solve.seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"counts\""), std::string::npos);
+}
+
+TEST(MetricsExportTest, EmptyRegistryStillParses) {
+  MetricRegistry registry;
+  EXPECT_TRUE(test::JsonChecker::IsValid(ToMetricsJson(registry)));
+}
+
+TEST(MetricsExportTest, CsvFlattensHistogramBuckets) {
+  MetricRegistry registry;
+  registry.counter("picks").Increment(3);
+  registry.gauge("budget").Set(8.0);
+  registry.histogram("lat", {1.0}).Observe(0.5);
+
+  const std::string csv = ToMetricsCsv(registry);
+  EXPECT_EQ(csv.rfind("kind,name,value\n", 0), 0u);  // header first
+  EXPECT_NE(csv.find("counter,picks,3\n"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,budget,8\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat.le_1,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat.le_inf,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat.total,1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace scwsc

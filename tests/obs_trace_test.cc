@@ -1,0 +1,215 @@
+// Tests for the trace-span system: nesting/parenting, ordering, thread
+// tagging, events, the disabled-session no-op contract, and the Chrome
+// trace-event exporter (structure + JSON well-formedness).
+
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/export.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace obs {
+namespace {
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           const std::string& name) {
+  for (const SpanRecord& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TraceSessionTest, NestedSpansParentToInnermostOpen) {
+  TraceSession session;
+  {
+    Span outer(&session, "outer");
+    {
+      Span inner(&session, "inner");
+      Span deepest(&session, "deepest");
+    }
+    Span sibling(&session, "sibling");
+  }
+  const std::vector<SpanRecord> spans = session.spans();
+  ASSERT_EQ(spans.size(), 4u);
+
+  const SpanRecord* outer = FindSpan(spans, "outer");
+  const SpanRecord* inner = FindSpan(spans, "inner");
+  const SpanRecord* deepest = FindSpan(spans, "deepest");
+  const SpanRecord* sibling = FindSpan(spans, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(deepest, nullptr);
+  ASSERT_NE(sibling, nullptr);
+
+  EXPECT_EQ(outer->parent, kNoSpan);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_EQ(deepest->parent, inner->id);
+  // `inner` had closed by the time `sibling` opened.
+  EXPECT_EQ(sibling->parent, outer->id);
+
+  for (const SpanRecord& s : spans) {
+    EXPECT_TRUE(s.closed()) << s.name;
+    EXPECT_LE(s.start_ns, s.end_ns) << s.name;
+  }
+  // Children start no earlier than their parent.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_GE(deepest->start_ns, inner->start_ns);
+  EXPECT_LE(deepest->end_ns, outer->end_ns);
+}
+
+TEST(TraceSessionTest, SecondRootIsUnparented) {
+  TraceSession session;
+  { Span a(&session, "a"); }
+  { Span b(&session, "b"); }
+  const std::vector<SpanRecord> spans = session.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].parent, kNoSpan);
+  EXPECT_EQ(spans[1].parent, kNoSpan);
+  // Recorded in open order: a before b.
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[1].name, "b");
+  EXPECT_LE(spans[0].end_ns, spans[1].start_ns);
+}
+
+TEST(TraceSessionTest, EventsAttachToTheRecordingSpan) {
+  TraceSession session;
+  {
+    Span outer(&session, "outer");
+    session.AddEvent("on-outer");  // innermost open span on this thread
+    Span inner(&session, "inner");
+    session.AddEvent("on-inner");
+    outer.Event("explicit-on-outer");  // explicit span, not the innermost
+  }
+  const std::vector<SpanRecord> spans = session.spans();
+  const std::vector<EventRecord> events = session.events();
+  const SpanRecord* outer = FindSpan(spans, "outer");
+  const SpanRecord* inner = FindSpan(spans, "inner");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "on-outer");
+  EXPECT_EQ(events[0].span, outer->id);
+  EXPECT_EQ(events[1].name, "on-inner");
+  EXPECT_EQ(events[1].span, inner->id);
+  EXPECT_EQ(events[2].name, "explicit-on-outer");
+  EXPECT_EQ(events[2].span, outer->id);
+}
+
+TEST(TraceSessionTest, NullSessionIsANoOp) {
+  // The disabled path must be safe everywhere instrumentation lives.
+  Span span(nullptr, "never-recorded");
+  span.Event("nothing");
+  span.End();
+  span.End();  // idempotent
+
+  Span defaulted;
+  defaulted.Event("nothing");
+
+  Span moved = std::move(span);
+  moved.End();
+  SUCCEED();
+}
+
+TEST(TraceSessionTest, EndIsIdempotentAndEarly) {
+  TraceSession session;
+  Span span(&session, "once");
+  span.End();
+  span.End();
+  span.Event("after-end");  // dropped: the handle is detached
+  const std::vector<SpanRecord> spans = session.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].closed());
+  EXPECT_TRUE(session.events().empty());
+}
+
+TEST(TraceSessionTest, ConcurrentRecordingKeepsPerThreadNesting) {
+  TraceSession session;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&session, t] {
+      Span root(&session, "thread-root-" + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span child(&session, "child");
+        child.Event("tick");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::vector<SpanRecord> spans = session.spans();
+  ASSERT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads * (kSpansPerThread + 1)));
+  EXPECT_EQ(session.events().size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+
+  // Each child parents to its own thread's root, never across threads.
+  for (const SpanRecord& s : spans) {
+    if (s.name != "child") continue;
+    const auto parent = std::find_if(
+        spans.begin(), spans.end(),
+        [&s](const SpanRecord& p) { return p.id == s.parent; });
+    ASSERT_NE(parent, spans.end());
+    EXPECT_EQ(parent->thread, s.thread);
+  }
+}
+
+TEST(TraceSessionTest, SpanSecondsAndPhaseTotalsAggregateByName) {
+  TraceSession session;
+  { Span a(&session, "phase"); }
+  { Span b(&session, "phase"); }
+  { Span c(&session, "other"); }
+  Span open(&session, "open");  // never closed: excluded from totals
+
+  EXPECT_GE(session.SpanSeconds("phase"), 0.0);
+  EXPECT_EQ(session.SpanSeconds("missing"), 0.0);
+
+  const auto totals = session.PhaseTotals();
+  ASSERT_EQ(totals.size(), 2u);  // "open" is still open
+  EXPECT_EQ(totals[0].first, "other");
+  EXPECT_EQ(totals[1].first, "phase");
+  EXPECT_EQ(session.SpanSeconds("phase"), totals[1].second);
+}
+
+TEST(ChromeExportTest, EmitsWellFormedTraceEventJson) {
+  TraceSession session;
+  {
+    Span outer(&session, "outer \"quoted\"\n");
+    outer.Event("trip/deadline");
+    Span inner(&session, "inner");
+  }
+  Span open(&session, "still-open");
+
+  const std::string json = ToChromeTraceJson(session);
+  EXPECT_TRUE(test::JsonChecker::IsValid(json)) << json;
+
+  // Chrome trace-event structure: a traceEvents array with complete ("X"),
+  // begin ("B") and instant ("i") phases.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);   // still-open
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);   // the event
+  EXPECT_NE(json.find("trip/deadline"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);   // thread names
+  // The quote and newline in the span name were escaped.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(json.find("outer \"quoted\"\n"), std::string::npos);
+}
+
+TEST(ChromeExportTest, EmptySessionStillParses) {
+  TraceSession session;
+  const std::string json = ToChromeTraceJson(session);
+  EXPECT_TRUE(test::JsonChecker::IsValid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace scwsc

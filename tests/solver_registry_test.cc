@@ -19,6 +19,7 @@
 #include "src/gen/lbl_synth.h"
 #include "src/gen/toy.h"
 #include "src/hierarchy/hierarchy.h"
+#include "src/obs/trace.h"
 #include "src/pattern/opt_cwsc.h"
 #include "tests/test_util.h"
 
@@ -86,6 +87,72 @@ TEST(SolverRegistryTest, EverySolverSatisfiesContractOnGoldenInstance) {
       EXPECT_GE(result->covered, result->contract.coverage_target);
     }
   }
+}
+
+TEST(SolverRegistryTest, EverySolverEmitsRootSpanWithPhaseChildAndCounters) {
+  const InstancePtr instance = GoldenInstance();
+  for (const api::SolverInfo& info : SolverRegistry::Global().List()) {
+    if (info.name.rfind("test-", 0) == 0) continue;
+    SCOPED_TRACE("solver: " + info.name);
+    std::vector<std::string> options;
+    if (info.name == "budgeted-max-coverage") options = {"budget=100"};
+    if (info.name == "nonoverlap") options = {"best-effort=true"};
+
+    obs::TraceSession trace;
+    SolveRequest request = MakeRequest(instance, 3, 0.5, options);
+    request.trace = &trace;
+    auto result = SolverRegistry::Global().Solve(info.name, request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    // One closed root span per dispatch, named after the solver...
+    const std::vector<obs::SpanRecord> spans = trace.spans();
+    const obs::SpanRecord* root = nullptr;
+    for (const obs::SpanRecord& s : spans) {
+      if (s.name == "solve/" + info.name) root = &s;
+    }
+    ASSERT_NE(root, nullptr) << "no root span among " << spans.size();
+    EXPECT_TRUE(root->closed());
+    EXPECT_EQ(root->parent, obs::kNoSpan);
+
+    // ...with at least one phase span nested beneath it.
+    bool has_phase_child = false;
+    for (const obs::SpanRecord& s : spans) {
+      if (s.parent == root->id) has_phase_child = true;
+    }
+    EXPECT_TRUE(has_phase_child) << "root span has no phase children";
+
+    // Every adapter accounts for its candidate scans (satellite contract:
+    // sets_considered must not silently stay zero)...
+    EXPECT_GT(result->counters.sets_considered, 0u);
+    // ...and the dispatch folded the snapshot into the session's registry.
+    EXPECT_EQ(trace.metrics().CounterValue("solve." + info.name + ".solves"),
+              1u);
+    EXPECT_EQ(
+        trace.metrics().CounterValue("solve." + info.name +
+                                     ".sets_considered"),
+        result->counters.sets_considered);
+  }
+}
+
+TEST(SolverRegistryTest, GeneralizedCmcReportsBudgetRounds) {
+  const InstancePtr instance = GoldenInstance();
+  for (const char* name : {"cmc", "cmc-literal", "opt-cmc", "hcmc"}) {
+    SCOPED_TRACE(name);
+    auto result =
+        SolverRegistry::Global().Solve(name, MakeRequest(instance, 3, 0.5));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->counters.budget_rounds, 0u);
+    EXPECT_GT(result->counters.final_budget, 0.0);
+  }
+}
+
+TEST(SolverRegistryTest, UntracedRequestRecordsNothing) {
+  const InstancePtr instance = GoldenInstance();
+  auto result =
+      SolverRegistry::Global().Solve("cwsc", MakeRequest(instance, 3, 0.5));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // No session attached: the solve still fills the typed counters.
+  EXPECT_GT(result->counters.sets_considered, 0u);
 }
 
 TEST(SolverRegistryTest, RegistryDispatchIsBitIdenticalToDirectCalls) {

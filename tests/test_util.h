@@ -3,6 +3,8 @@
 #ifndef SCWSC_TESTS_TEST_UTIL_H_
 #define SCWSC_TESTS_TEST_UTIL_H_
 
+#include <cctype>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,151 @@ inline pattern::Pattern MakePattern(const Table& table,
   }
   return pattern::Pattern(std::move(ids));
 }
+
+/// Minimal recursive-descent JSON well-formedness checker for the obs
+/// exporter tests (the repo has no JSON dependency; CI re-validates the
+/// same files with `python -m json.tool`). Accepts exactly one top-level
+/// value and rejects trailing garbage.
+class JsonChecker {
+ public:
+  static bool IsValid(const std::string& text) {
+    JsonChecker c(text);
+    c.SkipWs();
+    if (!c.Value()) return false;
+    c.SkipWs();
+    return c.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') return ++pos_, true;
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') return ++pos_, true;
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') return ++pos_, true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", esc) == nullptr) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  static bool IsDigit(char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (IsDigit(Peek())) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    return pos_ > start && IsDigit(text_[pos_ - 1]);
+  }
+
+  bool Literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
 
 /// gtest-friendly assertion that a Status is OK.
 #define SCWSC_ASSERT_OK(expr)                                 \
