@@ -52,15 +52,14 @@ api::InstancePtr MakeSnapshot(
 api::SolveRequest MakeRequest(api::InstancePtr instance, std::size_t k,
                               double fraction,
                               const std::vector<std::string>& options) {
-  api::SolveRequest request;
-  request.instance = std::move(instance);
-  request.k = k;
-  request.coverage_fraction = fraction;
-  auto bag = api::OptionsBag::Parse(options);
-  SCWSC_CHECK(bag.ok(), "bad bench options: %s",
-              bag.status().ToString().c_str());
-  request.options = *std::move(bag);
-  return request;
+  auto request = api::SolveRequest::Builder(std::move(instance))
+                     .WithK(k)
+                     .WithCoverage(fraction)
+                     .WithOptions(options)
+                     .Build();
+  SCWSC_CHECK(request.ok(), "bad bench request: %s",
+              request.status().ToString().c_str());
+  return *std::move(request);
 }
 
 api::SolveResult MustSolve(const std::string& solver,

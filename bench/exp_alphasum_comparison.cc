@@ -33,10 +33,10 @@ int main() {
       api::SolveResult cwsc = MustSolve("cwsc", MakeRequest(instance, k, s));
       api::SolveResult by_gain = MustSolve(
           "nonoverlap",
-          MakeRequest(instance, k, s, {"best-effort=true", "rule=gain"}));
+          MakeRequest(instance, k, s, {"best_effort=true", "rule=gain"}));
       api::SolveResult by_benefit = MustSolve(
           "nonoverlap",
-          MakeRequest(instance, k, s, {"best-effort=true", "rule=benefit"}));
+          MakeRequest(instance, k, s, {"best_effort=true", "rule=benefit"}));
 
       const bool benefit_feasible =
           by_benefit.covered >= SetSystem::CoverageTarget(s, num_rows);

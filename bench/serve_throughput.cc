@@ -1,0 +1,273 @@
+// BENCH_serve — SolveScheduler throughput vs a serial registry loop.
+//
+// One synthetic trace, one shared snapshot, and a mixed workload of
+// deterministic jobs (several solvers × several (k, ŝ) points, each repeated
+// so the result cache has something to do). Three arms over the identical
+// job list:
+//
+//  * serial: a plain loop of SolverRegistry::Solve calls — the baseline a
+//    frontend without the serve layer would run.
+//  * scheduler-cold: a fresh SolveScheduler on a hardware-sized ThreadPool;
+//    every distinct job misses the result cache, so the speedup here is
+//    parallelism alone.
+//  * scheduler-warm: the same scheduler again after its caches are
+//    populated; repeats and re-runs are served from the result cache. The
+//    acceptance bar (>= 3x jobs/sec over serial) applies to this arm.
+//
+// Every job is deadline-free and therefore deterministic, so the bench also
+// asserts that scheduler outcomes are identical (selection, cost, coverage)
+// to the serial loop's — exit 1 on any divergence or on a missed speedup
+// bar. Results go to BENCH_serve.json (or argv[1]): jobs/sec per arm,
+// speedups, result/snapshot cache hit counters and p50/p99 job latency.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
+#include "src/serve/batch.h"
+#include "src/serve/cache.h"
+#include "src/serve/scheduler.h"
+
+namespace scwsc {
+namespace {
+
+struct Combo {
+  std::string solver;
+  std::size_t k = 0;
+  double coverage = 0.0;
+};
+
+constexpr std::size_t kRepeats = 10;  // jobs per combo, feeds the cache
+
+std::vector<Combo> Workload() {
+  return {
+      {"cwsc", 6, 0.5},
+      {"cwsc", 8, 0.7},
+      {"cmc", 6, 0.5},
+      {"opt-cwsc", 6, 0.5},
+      {"opt-cmc", 6, 0.6},
+      {"greedy-max-coverage", 8, 0.8},
+  };
+}
+
+/// The facts two runs of a deterministic job must agree on.
+struct Fingerprint {
+  std::vector<std::string> labels;
+  double total_cost = 0.0;
+  std::size_t covered = 0;
+
+  bool operator==(const Fingerprint& other) const {
+    return labels == other.labels && total_cost == other.total_cost &&
+           covered == other.covered;
+  }
+};
+
+Fingerprint FingerprintOf(const api::SolveResult& result) {
+  return {result.labels, result.total_cost, result.covered};
+}
+
+serve::SolveJob MakeJob(const api::InstancePtr& instance, const Combo& combo,
+                        std::size_t repeat) {
+  serve::SolveJob job;
+  job.solver = combo.solver;
+  auto request = api::SolveRequest::Builder(instance)
+                     .WithK(combo.k)
+                     .WithCoverage(combo.coverage)
+                     .WithLabel(combo.solver + "-rep" + std::to_string(repeat))
+                     .Build();
+  SCWSC_CHECK(request.ok(), "bad bench request: %s",
+              request.status().ToString().c_str());
+  job.request = *std::move(request);
+  return job;
+}
+
+struct ArmStats {
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  std::vector<double> latencies;  // per-job seconds, sorted
+  std::vector<Fingerprint> fingerprints;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// The serial baseline: one registry call per job, in order.
+ArmStats RunSerial(const api::InstancePtr& instance,
+                   const std::vector<Combo>& combos) {
+  ArmStats stats;
+  Stopwatch wall;
+  for (const Combo& combo : combos) {
+    for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+      serve::SolveJob job = MakeJob(instance, combo, rep);
+      Stopwatch timer;
+      auto result =
+          api::SolverRegistry::Global().Solve(job.solver, job.request);
+      SCWSC_CHECK(result.ok(), "serial %s failed: %s", combo.solver.c_str(),
+                  result.status().ToString().c_str());
+      stats.latencies.push_back(timer.ElapsedSeconds());
+      stats.fingerprints.push_back(FingerprintOf(*result));
+    }
+  }
+  stats.wall_seconds = wall.ElapsedSeconds();
+  stats.jobs_per_second =
+      static_cast<double>(stats.fingerprints.size()) / stats.wall_seconds;
+  std::sort(stats.latencies.begin(), stats.latencies.end());
+  return stats;
+}
+
+/// One timed pass of the full job list through `scheduler`.
+ArmStats RunScheduled(const api::InstancePtr& instance,
+                      const std::vector<Combo>& combos,
+                      serve::SolveScheduler& scheduler) {
+  std::vector<std::future<serve::JobOutcome>> futures;
+  ArmStats stats;
+  Stopwatch wall;
+  for (const Combo& combo : combos) {
+    for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+      auto future = scheduler.Enqueue(MakeJob(instance, combo, rep));
+      SCWSC_CHECK(future.ok(), "enqueue rejected: %s",
+                  future.status().ToString().c_str());
+      futures.push_back(std::move(*future));
+    }
+  }
+  for (auto& future : futures) {
+    serve::JobOutcome outcome = future.get();
+    SCWSC_CHECK(outcome.result.ok(), "scheduled job %s failed: %s",
+                outcome.label.c_str(),
+                outcome.result.status().ToString().c_str());
+    stats.latencies.push_back(outcome.queue_seconds + outcome.run_seconds);
+    stats.fingerprints.push_back(FingerprintOf(*outcome.result));
+  }
+  stats.wall_seconds = wall.ElapsedSeconds();
+  stats.jobs_per_second =
+      static_cast<double>(stats.fingerprints.size()) / stats.wall_seconds;
+  std::sort(stats.latencies.begin(), stats.latencies.end());
+  return stats;
+}
+
+/// Scheduler arms enqueue combos in the same (combo, repeat) order as the
+/// serial loop and futures are collected in enqueue order, so fingerprints
+/// align index-by-index.
+std::size_t CountDivergences(const ArmStats& serial, const ArmStats& arm) {
+  std::size_t divergences = 0;
+  for (std::size_t i = 0; i < serial.fingerprints.size(); ++i) {
+    if (!(serial.fingerprints[i] == arm.fingerprints[i])) ++divergences;
+  }
+  return divergences;
+}
+
+serve::JsonValue ArmJson(const ArmStats& stats) {
+  serve::JsonObject arm;
+  arm["jobs"] = stats.fingerprints.size();
+  arm["wall_seconds"] = stats.wall_seconds;
+  arm["jobs_per_second"] = stats.jobs_per_second;
+  arm["p50_latency_seconds"] = Percentile(stats.latencies, 0.50);
+  arm["p99_latency_seconds"] = Percentile(stats.latencies, 0.99);
+  return serve::JsonValue(std::move(arm));
+}
+
+}  // namespace
+}  // namespace scwsc
+
+int main(int argc, char** argv) {
+  using namespace scwsc;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+
+  bench::PrintBanner("serve_throughput",
+                     "serve layer: scheduler vs serial registry loop");
+
+  const std::size_t rows = bench::ScaledRows(50000);
+  api::InstancePtr instance = bench::MakeSnapshot(bench::MakeTrace(rows));
+  const std::vector<Combo> combos = Workload();
+
+  // Force the lazy pattern enumeration before timing so every arm measures
+  // solving, not a first-touch build raced by whichever arm goes first.
+  {
+    serve::SolveJob warm = MakeJob(instance, combos.front(), 0);
+    auto primed = api::SolverRegistry::Global().Solve(warm.solver,
+                                                      warm.request);
+    SCWSC_CHECK(primed.ok(), "priming solve failed: %s",
+                primed.status().ToString().c_str());
+  }
+
+  const ArmStats serial = RunSerial(instance, combos);
+
+  ThreadPool pool(0);  // hardware concurrency
+  serve::SolveScheduler scheduler(&pool);
+  // The batch frontend's snapshot path: key the instance by content so the
+  // snapshot counters in the report are live.
+  const std::uint64_t hash = serve::ContentHash(*instance);
+  if (scheduler.snapshot_cache().Lookup(hash) == nullptr) {
+    scheduler.snapshot_cache().Insert(hash, instance);
+  }
+
+  const ArmStats cold = RunScheduled(instance, combos, scheduler);
+  const ArmStats warm = RunScheduled(instance, combos, scheduler);
+
+  const double cold_speedup = cold.jobs_per_second / serial.jobs_per_second;
+  const double warm_speedup = warm.jobs_per_second / serial.jobs_per_second;
+  const std::size_t divergences =
+      CountDivergences(serial, cold) + CountDivergences(serial, warm);
+
+  obs::MetricRegistry& metrics = scheduler.metrics();
+  const std::uint64_t result_hits =
+      metrics.CounterValue("serve.result_cache.hits");
+  const std::uint64_t result_misses =
+      metrics.CounterValue("serve.result_cache.misses");
+
+  serve::JsonObject report;
+  report["rows"] = rows;
+  report["threads"] = static_cast<std::size_t>(pool.size());
+  report["serial"] = ArmJson(serial);
+  report["scheduler_cold"] = ArmJson(cold);
+  report["scheduler_warm"] = ArmJson(warm);
+  report["cold_speedup"] = cold_speedup;
+  report["warm_speedup"] = warm_speedup;
+  report["result_cache_hits"] = result_hits;
+  report["result_cache_misses"] = result_misses;
+  report["snapshot_cache_hits"] =
+      metrics.CounterValue("serve.snapshot_cache.hits");
+  report["snapshot_cache_misses"] =
+      metrics.CounterValue("serve.snapshot_cache.misses");
+  report["solutions_identical"] = divergences == 0;
+  Status written =
+      serve::WriteJsonFile(serve::JsonValue(std::move(report)), out_path);
+  SCWSC_CHECK(written.ok(), "writing %s: %s", out_path.c_str(),
+              written.ToString().c_str());
+
+  bench::PrintCsvRow(
+      "serve_throughput",
+      {"serial_jps=" + std::to_string(serial.jobs_per_second),
+       "cold_jps=" + std::to_string(cold.jobs_per_second),
+       "warm_jps=" + std::to_string(warm.jobs_per_second),
+       "warm_speedup=" + std::to_string(warm_speedup),
+       "result_cache_hits=" + std::to_string(result_hits)});
+  std::printf("# report -> %s\n", out_path.c_str());
+
+  if (divergences > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu scheduled jobs diverged from the serial loop\n",
+                 divergences);
+    return 1;
+  }
+  if (warm_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: warm scheduler speedup %.2fx is below the 3x bar\n",
+                 warm_speedup);
+    return 1;
+  }
+  std::printf("# OK: warm %.1fx, cold %.1fx over serial; solutions match\n",
+              warm_speedup, cold_speedup);
+  return 0;
+}

@@ -23,6 +23,11 @@
 //                       (load in Perfetto or chrome://tracing)
 //   --metrics-out PATH  write solver metrics as JSON (or CSV when PATH
 //                       ends in .csv)
+//   --batch PATH        run a jobs.json file through the SolveScheduler
+//                       instead of a single solve (see docs/serving.md)
+//   --batch-out PATH    where --batch writes its JSON report
+//                                               [default batch_results.json]
+//   --threads N         scheduler worker threads for --batch; 0 = all cores
 //
 // Legacy aliases kept for scripts: --algorithm cwsc|cmc|exact maps to
 // opt-cwsc/opt-cmc/exact, and --b/--epsilon/--strict feed the CMC options.
@@ -41,6 +46,8 @@
 #include <vector>
 
 #include "src/common/run_context.h"
+#include "src/common/thread_pool.h"
+#include "src/serve/batch.h"
 
 #include "src/scwsc.h"
 
@@ -62,6 +69,9 @@ struct CliArgs {
   std::uint64_t deadline_ms = 0;  // 0 = unlimited
   std::string trace_out;    // empty = tracing off
   std::string metrics_out;  // empty = no metrics dump
+  std::string batch;        // jobs.json path; empty = single-solve mode
+  std::string batch_out = "batch_results.json";
+  unsigned threads = 0;     // 0 = hardware concurrency
 };
 
 /// Shared by the solver (deadline) and the SIGINT handler (cancellation).
@@ -82,6 +92,7 @@ void PrintUsage() {
       "          [--coverage F] [--cost max|sum|lp] [--lp P]\n"
       "          [--opt KEY=VALUE]... [--hierarchy flat] [--delimiter C]\n"
       "          [--deadline-ms N] [--trace-out PATH] [--metrics-out PATH]\n"
+      "          [--batch jobs.json [--batch-out PATH] [--threads N]]\n"
       "scwsc_cli --list-solvers\n");
 }
 
@@ -91,13 +102,19 @@ int ListSolvers() {
     std::printf("%-22s %-32s %s\n", info.name.c_str(),
                 api::CapabilitiesToString(info.capabilities).c_str(),
                 info.summary.c_str());
-    if (!info.option_keys.empty()) {
-      std::string keys;
-      for (const std::string& key : info.option_keys) {
-        if (!keys.empty()) keys += ", ";
-        keys += key;
+    // One line per option, straight from the registered OptionsSpec.
+    for (const api::OptionSpec& opt : info.options) {
+      std::string meta(api::OptionTypeToString(opt.type));
+      if (opt.required) {
+        meta += ", required";
+      } else {
+        meta += ", default " + opt.default_value;
       }
-      std::printf("%-22s   options: %s\n", "", keys.c_str());
+      if (!opt.deprecated_alias.empty()) {
+        meta += ", alias " + opt.deprecated_alias;
+      }
+      std::printf("%-22s   --opt %s=<%s>  %s\n", "", opt.name.c_str(),
+                  meta.c_str(), opt.help.c_str());
     }
   }
   return 0;
@@ -158,6 +175,13 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       args.trace_out = value;
     } else if (flag == "--metrics-out") {
       args.metrics_out = value;
+    } else if (flag == "--batch") {
+      args.batch = value;
+    } else if (flag == "--batch-out") {
+      args.batch_out = value;
+    } else if (flag == "--threads") {
+      SCWSC_ASSIGN_OR_RETURN(auto threads, ParseU64(value));
+      args.threads = static_cast<unsigned>(threads);
     } else if (flag == "--delimiter") {
       if (value.size() != 1) {
         return Status::InvalidArgument("--delimiter takes one character");
@@ -185,11 +209,8 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
           api::SolverRegistry::Global().Find(args.solver)) {
     for (const std::string& item : legacy_cmc) {
       const std::string key = item.substr(0, item.find('='));
-      for (const std::string& known : info->option_keys) {
-        if (known == key) {
-          args.opts.push_back(item);
-          break;
-        }
+      if (api::FindOption(info->options, key) != nullptr) {
+        args.opts.push_back(item);
       }
     }
   }
@@ -245,6 +266,71 @@ void PrintCounters(const std::string& solver, const api::SolveResult& result) {
               extras.c_str());
 }
 
+/// --batch mode: run every job in a jobs.json file through a SolveScheduler
+/// over the already-loaded instance, write the JSON report, and print a
+/// one-line aggregate summary. Exit code 0 when every job succeeded.
+int RunBatchMode(const CliArgs& args, api::InstancePtr instance) {
+  std::optional<obs::TraceSession> trace;
+  if (!args.trace_out.empty() || !args.metrics_out.empty()) trace.emplace();
+
+  ThreadPool pool(args.threads);  // 0 = hardware concurrency
+  serve::SchedulerOptions scheduler_options;
+  scheduler_options.trace = trace.has_value() ? &*trace : nullptr;
+  serve::SolveScheduler scheduler(&pool, scheduler_options);
+
+  // Key the loaded table by content in the scheduler's snapshot cache: a
+  // frontend reloading the same CSV reuses the cached snapshot (and its
+  // lazily built pattern enumeration) instead of the fresh copy.
+  const std::uint64_t hash = serve::ContentHash(*instance);
+  if (api::InstancePtr cached = scheduler.snapshot_cache().Lookup(hash)) {
+    instance = std::move(cached);
+  } else {
+    scheduler.snapshot_cache().Insert(hash, instance);
+  }
+
+  auto jobs = serve::ParseBatchFile(args.batch, instance);
+  if (!jobs.ok()) return Fail(jobs.status().ToString());
+  const std::size_t num_jobs = jobs->size();
+
+  auto report = serve::RunBatch(*std::move(jobs), scheduler);
+  if (!report.ok()) return Fail(report.status().ToString());
+  if (Status s = serve::WriteJsonFile(*report, args.batch_out); !s.ok()) {
+    return Fail(s.ToString());
+  }
+
+  if (trace.has_value() && !args.trace_out.empty()) {
+    if (Status s = obs::WriteChromeTraceJson(*trace, args.trace_out);
+        !s.ok()) {
+      std::fprintf(stderr, "warning: --trace-out: %s\n", s.ToString().c_str());
+    }
+  }
+  if (trace.has_value() && !args.metrics_out.empty()) {
+    if (Status s = obs::WriteMetricsFile(trace->metrics(), args.metrics_out);
+        !s.ok()) {
+      std::fprintf(stderr, "warning: --metrics-out: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+
+  const serve::JsonValue* aggregate = report->Find("aggregate");
+  double failed = 0.0, jobs_per_second = 0.0, result_hits = 0.0;
+  if (aggregate != nullptr) {
+    if (const auto* v = aggregate->Find("failed")) failed = v->as_number();
+    if (const auto* v = aggregate->Find("jobs_per_second")) {
+      jobs_per_second = v->as_number();
+    }
+    if (const auto* v = aggregate->Find("result_cache_hits")) {
+      result_hits = v->as_number();
+    }
+  }
+  std::printf(
+      "# batch: %zu jobs on %u threads, %.1f jobs/s, %.0f result-cache hits, "
+      "%.0f failed -> %s\n",
+      num_jobs, pool.size(), jobs_per_second, result_hits, failed,
+      args.batch_out.c_str());
+  return failed > 0.0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -267,13 +353,16 @@ int main(int argc, char** argv) {
       *std::move(table), *std::move(cost_fn), std::move(hier));
   if (!instance.ok()) return Fail(instance.status().ToString());
 
-  api::SolveRequest request;
-  request.instance = *instance;
-  request.k = args->k;
-  request.coverage_fraction = args->coverage;
-  auto options = api::OptionsBag::Parse(args->opts);
-  if (!options.ok()) return Fail(options.status().ToString());
-  request.options = *std::move(options);
+  if (!args->batch.empty()) return RunBatchMode(*args, *instance);
+
+  auto built = api::SolveRequest::Builder(*instance)
+                   .WithK(args->k)
+                   .WithCoverage(args->coverage)
+                   .WithOptions(args->opts)
+                   .WithLabel("cli")
+                   .Build();
+  if (!built.ok()) return Fail(built.status().ToString());
+  api::SolveRequest request = *std::move(built);
 
   if (args->deadline_ms > 0) {
     g_run_context.SetDeadline(std::chrono::milliseconds(args->deadline_ms));

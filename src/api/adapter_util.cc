@@ -175,13 +175,26 @@ Result<CmcOptions> CmcOptionsFromRequest(const SolveRequest& request,
   options.relax_coverage = !strict;
   SCWSC_ASSIGN_OR_RETURN(
       options.max_budget_rounds,
-      request.options.GetU64("max-budget-rounds", options.max_budget_rounds));
+      request.options.GetU64("max_budget_rounds", options.max_budget_rounds));
   options.run_context = run_context;
   return options;
 }
 
-std::vector<std::string> CmcOptionKeys() {
-  return {"b", "epsilon", "l", "strict", "max-budget-rounds"};
+OptionsSpec CmcOptionsSpec() {
+  return {
+      {"b", OptionType::kDouble, "1", "initial budget multiplier", "", false},
+      {"epsilon", OptionType::kDouble, "0",
+       "budget relaxation epsilon (>=0 widens the selectable-set bound)", "",
+       false},
+      {"l", OptionType::kU64, "1", "budget doubling exponent base", "",
+       false},
+      {"strict", OptionType::kBool, "false",
+       "require the unrelaxed coverage target (no (1-1/e) relaxation)", "",
+       false},
+      {"max_budget_rounds", OptionType::kU64, "256",
+       "cap on budget-doubling rounds before giving up",
+       "max-budget-rounds", false},
+  };
 }
 
 SolveContract CmcContract(const CmcOptions& options,

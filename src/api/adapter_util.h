@@ -45,12 +45,13 @@ Result<SolveResult> FinishHierarchyBacked(const SolveRequest& request,
 Status Rewrap(const Status& status, Result<SolveResult> finished);
 
 /// CmcOptions from the request's universal fields plus the shared CMC
-/// option keys: b, epsilon, l, strict, max-budget-rounds.
+/// option keys: b, epsilon, l, strict, max_budget_rounds.
 Result<CmcOptions> CmcOptionsFromRequest(const SolveRequest& request,
                                          const RunContext* run_context);
 
-/// The option keys CmcOptionsFromRequest understands, for SolverInfo.
-std::vector<std::string> CmcOptionKeys();
+/// The shared CMC options table (b, epsilon, l, strict, max_budget_rounds
+/// with the old hyphenated spelling as a deprecated alias), for SolverInfo.
+OptionsSpec CmcOptionsSpec();
 
 /// The CMC contract: at most CmcMaxSelectable sets covering at least the
 /// (possibly relaxed) CmcCoverageTarget of `num_elements`.

@@ -1,5 +1,6 @@
 #include "src/api/registry.h"
 
+#include <cctype>
 #include <utility>
 
 #include "src/common/run_context.h"
@@ -8,6 +9,17 @@
 namespace scwsc {
 namespace api {
 namespace {
+
+/// Registered names are canonical lowercase; lookups fold the query so
+/// "CWSC" and "Opt-CWSC" resolve, with the canonical spelling echoed in
+/// errors and results.
+std::string CanonicalName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
 
 /// Folds the per-solve SolveCounters snapshot (and the headline outcome)
 /// into the session's metric registry under "solve.<name>.*", so the fixed
@@ -72,6 +84,9 @@ Status SolverRegistry::Register(SolverInfo info, Factory factory) {
                                    info.name + "'");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  // Registered names are the canonical lowercase spelling; lookups fold
+  // queries to the same form.
+  info.name = CanonicalName(info.name);
   // Take the key first: argument evaluation order is unspecified, so
   // emplace(info.name, {std::move(info), ...}) may read a moved-from name.
   std::string name = info.name;
@@ -86,7 +101,7 @@ Status SolverRegistry::Register(SolverInfo info, Factory factory) {
 
 const SolverInfo* SolverRegistry::Find(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(name);
+  auto it = entries_.find(CanonicalName(name));
   return it == entries_.end() ? nullptr : &it->second.info;
 }
 
@@ -95,7 +110,7 @@ Result<std::unique_ptr<Solver>> SolverRegistry::Create(
   Factory factory;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(name);
+    auto it = entries_.find(CanonicalName(name));
     if (it == entries_.end()) {
       std::string known;
       for (const auto& [key, entry] : entries_) {
@@ -156,20 +171,43 @@ Result<SolveResult> SolverRegistry::Solve(const std::string& name,
     return Create(name).status();  // NotFound listing the known names
   }
   SCWSC_RETURN_NOT_OK(CheckCapabilities(*info, *request.instance));
-  SCWSC_RETURN_NOT_OK(request.options.ExpectKnown(info->option_keys));
-  SCWSC_ASSIGN_OR_RETURN(auto solver, Create(name));
-  if (request.trace == nullptr) return solver->Solve(request, run_context);
+  // Rewrite the bag onto canonical snake_case keys (deprecated aliases warn
+  // once, unknown keys are InvalidArgument naming the accepted spellings),
+  // so adapters only ever read canonical keys.
+  SCWSC_ASSIGN_OR_RETURN(
+      auto canonical_options,
+      request.options.Canonicalize(info->options, info->name));
+  SolveRequest canonical = request;  // shares the snapshot, copies the bag
+  canonical.options = std::move(canonical_options);
+
+  // A request-carried deadline becomes an internal RunContext. Both a
+  // deadline and an explicit context would mean two racing deadline
+  // authorities, so that combination is rejected rather than guessed at.
+  RunContext deadline_context;
+  if (request.deadline.count() > 0) {
+    if (run_context != nullptr) {
+      return Status::InvalidArgument(
+          "SolveRequest.deadline and an explicit RunContext were both "
+          "supplied; set the deadline on the RunContext instead");
+    }
+    deadline_context.SetDeadline(request.deadline);
+    run_context = &deadline_context;
+  }
+  canonical.deadline = std::chrono::milliseconds{0};
+
+  SCWSC_ASSIGN_OR_RETURN(auto solver, Create(info->name));
+  if (canonical.trace == nullptr) return solver->Solve(canonical, run_context);
 
   // Tracing on: one root span per dispatch; enumeration (lazy set-system
   // materialization) gets its own phase span so "enumerate vs. solve" in
   // the figures comes from a single clock source.
-  obs::Span root(request.trace, "solve/" + name);
+  obs::Span root(canonical.trace, "solve/" + info->name);
   if ((info->capabilities & kNeedsSetSystem) != 0 &&
-      !request.instance->set_system_materialized()) {
-    obs::Span materialize(request.trace, "materialize");
-    (void)request.instance->set_system();  // errors resurface in the solver
+      !canonical.instance->set_system_materialized()) {
+    obs::Span materialize(canonical.trace, "materialize");
+    (void)canonical.instance->set_system();  // errors resurface in the solver
   }
-  Result<SolveResult> result = solver->Solve(request, run_context);
+  Result<SolveResult> result = solver->Solve(canonical, run_context);
   const SolveResult* outcome = nullptr;
   if (result.ok()) {
     outcome = &*result;
@@ -181,7 +219,7 @@ Result<SolveResult> SolverRegistry::Solve(const std::string& name,
                TripKindToString(partial->provenance.trip));
   }
   if (outcome != nullptr) {
-    RecordSolveMetrics(request.trace->metrics(), name, *outcome);
+    RecordSolveMetrics(canonical.trace->metrics(), info->name, *outcome);
   }
   return result;
 }

@@ -32,10 +32,14 @@ namespace api {
 /// Everything a frontend needs to list or validate a solver without
 /// instantiating it.
 struct SolverInfo {
-  std::string name;       // registry key, e.g. "opt-cwsc"
+  std::string name;       // registry key, canonical lowercase, e.g. "opt-cwsc"
   std::string summary;    // one line for --list-solvers
   unsigned capabilities = 0;  // SolverCapability bits
-  std::vector<std::string> option_keys;  // accepted OptionsBag keys
+  /// Accepted options: canonical snake_case key, type, default, help and
+  /// (optionally) a deprecated alias per entry. Registry::Solve
+  /// canonicalizes every request's bag against this table, --list-solvers
+  /// renders it, and the round-trip property test re-parses its defaults.
+  OptionsSpec options;
 };
 
 class SolverRegistry {
@@ -48,12 +52,13 @@ class SolverRegistry {
   /// Registers a solver. InvalidArgument on an empty or duplicate name.
   Status Register(SolverInfo info, Factory factory);
 
-  /// Info for `name`, or nullptr. The pointer stays valid for the
+  /// Info for `name` (matched ASCII-case-insensitively; registered names
+  /// are canonical lowercase), or nullptr. The pointer stays valid for the
   /// registry's lifetime (registrations never remove entries).
   const SolverInfo* Find(const std::string& name) const;
 
-  /// Instantiates the named solver; NotFound (listing known names) when it
-  /// is not registered.
+  /// Instantiates the named solver (case-insensitive); NotFound listing the
+  /// known canonical names when it is not registered.
   Result<std::unique_ptr<Solver>> Create(const std::string& name) const;
 
   /// All registered solvers, sorted by name.
@@ -64,8 +69,12 @@ class SolverRegistry {
   static Status CheckCapabilities(const SolverInfo& info,
                                   const InstanceSnapshot& instance);
 
-  /// Lookup + capability check + Solve, in one call. This is the seam the
-  /// CLI, the bench harness and the tests all go through.
+  /// Lookup (case-insensitive) + capability check + options
+  /// canonicalization + Solve, in one call. This is the seam the CLI, the
+  /// bench harness, the serve scheduler and the tests all go through. A
+  /// non-zero request.deadline is applied through an internal RunContext;
+  /// combining it with an explicit `run_context` is an InvalidArgument
+  /// (two deadline authorities would race).
   Result<SolveResult> Solve(const std::string& name,
                             const SolveRequest& request,
                             const RunContext* run_context = nullptr) const;

@@ -1,7 +1,11 @@
 #include "src/api/solver.h"
 
+#include <cctype>
+#include <mutex>
+#include <set>
 #include <utility>
 
+#include "src/common/logging.h"
 #include "src/common/strings.h"
 
 namespace scwsc {
@@ -21,6 +25,108 @@ std::string CapabilitiesToString(unsigned capabilities) {
     if ((capabilities & entry.bit) == 0) continue;
     if (!out.empty()) out += ',';
     out += entry.name;
+  }
+  return out;
+}
+
+std::string_view OptionTypeToString(OptionType type) {
+  switch (type) {
+    case OptionType::kDouble:
+      return "double";
+    case OptionType::kU64:
+      return "u64";
+    case OptionType::kBool:
+      return "bool";
+    case OptionType::kString:
+      return "string";
+  }
+  return "string";
+}
+
+namespace {
+
+std::string AsciiLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Once-per-process guard for deprecated-alias warnings, keyed by
+/// "<solver>/<alias>" so each old spelling warns exactly once no matter how
+/// many requests use it.
+bool ShouldWarnDeprecated(const std::string& key) {
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  return warned->insert(key).second;
+}
+
+std::string AcceptedKeysList(const OptionsSpec& spec) {
+  std::string accepted;
+  for (const OptionSpec& opt : spec) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += opt.name;
+  }
+  return accepted;
+}
+
+}  // namespace
+
+const OptionSpec* FindOption(const OptionsSpec& spec, const std::string& key) {
+  const std::string lower = AsciiLower(key);
+  for (const OptionSpec& opt : spec) {
+    if (lower == opt.name) return &opt;
+    if (!opt.deprecated_alias.empty() && lower == opt.deprecated_alias) {
+      return &opt;
+    }
+  }
+  return nullptr;
+}
+
+Result<OptionsBag> OptionsBag::Canonicalize(
+    const OptionsSpec& spec, const std::string& solver_name) const {
+  OptionsBag canonical;
+  for (const auto& [key, value] : kv_) {
+    const OptionSpec* opt = FindOption(spec, key);
+    if (opt == nullptr) {
+      const std::string accepted = AcceptedKeysList(spec);
+      return Status::InvalidArgument(
+          "unknown option '" + key + "' for solver '" + solver_name + "'" +
+          (accepted.empty() ? " (this solver takes no options)"
+                            : "; accepted options: " + accepted));
+    }
+    const std::string lower = AsciiLower(key);
+    if (lower != opt->name &&
+        ShouldWarnDeprecated(solver_name + "/" + lower)) {
+      SCWSC_LOG_WARN("option key '%s' of solver '%s' is deprecated; use '%s'",
+                     lower.c_str(), solver_name.c_str(), opt->name.c_str());
+    }
+    if (canonical.Has(opt->name)) {
+      return Status::InvalidArgument(
+          "option '" + opt->name + "' of solver '" + solver_name +
+          "' given more than once (canonical key and alias together)");
+    }
+    canonical.Set(opt->name, value);
+  }
+  for (const OptionSpec& opt : spec) {
+    if (opt.required && !canonical.Has(opt.name)) {
+      return Status::InvalidArgument("solver '" + solver_name +
+                                     "' requires option '" + opt.name + "'");
+    }
+  }
+  return canonical;
+}
+
+std::string OptionsBag::CanonicalString() const {
+  std::string out;  // kv_ is a std::map: already sorted by key
+  for (const auto& [key, value] : kv_) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
   }
   return out;
 }
@@ -105,6 +211,24 @@ Status OptionsBag::ExpectKnown(const std::vector<std::string>& known) const {
     }
   }
   return Status::OK();
+}
+
+SolveRequest::Builder& SolveRequest::Builder::WithOptions(
+    const std::vector<std::string>& items) {
+  auto parsed = OptionsBag::Parse(items);
+  if (!parsed.ok()) {
+    if (deferred_.ok()) deferred_ = parsed.status();
+    return *this;
+  }
+  for (const auto& [key, value] : parsed->items()) {
+    request_.options.Set(key, value);
+  }
+  return *this;
+}
+
+Result<SolveRequest> SolveRequest::Builder::Build() const {
+  SCWSC_RETURN_NOT_OK(deferred_);
+  return request_;
 }
 
 }  // namespace api

@@ -13,9 +13,11 @@
 #ifndef SCWSC_API_SOLVER_H_
 #define SCWSC_API_SOLVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/api/instance.h"
@@ -53,12 +55,48 @@ enum SolverCapability : unsigned {
 /// "set-system,anytime" — stable comma-separated listing for --list-solvers.
 std::string CapabilitiesToString(unsigned capabilities);
 
+// --- options spec ---------------------------------------------------------
+
+/// Value type of one solver option; used to render defaults in
+/// --list-solvers and to round-trip them through the CLI parsing path.
+enum class OptionType { kDouble, kU64, kBool, kString };
+
+/// "double" / "u64" / "bool" / "string".
+std::string_view OptionTypeToString(OptionType type);
+
+/// One accepted option of a solver: the canonical snake_case key, its type,
+/// the rendered default, a one-line help string, and (optionally) the old
+/// spelling kept as a deprecated alias. Every solver registers exactly one
+/// OptionsSpec; the registry canonicalizes incoming bags against it, the CLI
+/// prints it, and the round-trip property test re-parses its defaults.
+struct OptionSpec {
+  std::string name;  // canonical snake_case key, e.g. "max_budget_rounds"
+  OptionType type = OptionType::kString;
+  /// Rendered default, bit-identical under the matching OptionsBag getter
+  /// ("256", "false", "gain"). Empty for required options.
+  std::string default_value;
+  std::string help;  // one line for --list-solvers
+  /// Old spelling ("max-budget-rounds") accepted with a once-per-process
+  /// deprecation warning; empty = no alias.
+  std::string deprecated_alias;
+  /// True when the option must be supplied (no usable default); the
+  /// registry rejects a request missing it before instantiating the solver.
+  bool required = false;
+};
+
+using OptionsSpec = std::vector<OptionSpec>;
+
+/// The spec entry whose canonical name or deprecated alias matches `key`,
+/// ASCII-case-insensitively; nullptr when none does.
+const OptionSpec* FindOption(const OptionsSpec& spec, const std::string& key);
+
 // --- options bag ----------------------------------------------------------
 
 /// Per-algorithm options as string key/value pairs, so one CLI flag
 /// (--opt key=value) and one RPC field can parameterize any solver. Typed
-/// getters parse on access; adapters reject unknown keys via ExpectKnown so
-/// a typo ("espilon=2") is an InvalidArgument, not a silent default.
+/// getters parse on access; the registry canonicalizes every bag against
+/// the solver's OptionsSpec first, so a typo ("espilon=2") is an
+/// InvalidArgument naming the accepted keys, not a silent default.
 class OptionsBag {
  public:
   OptionsBag() = default;
@@ -81,8 +119,22 @@ class OptionsBag {
                                 std::string fallback) const;
 
   /// InvalidArgument when the bag contains a key not in `known` (listing
-  /// the accepted keys). Every adapter calls this first.
+  /// the accepted keys). Kept for direct adapter use; registry dispatch
+  /// goes through Canonicalize instead.
   Status ExpectKnown(const std::vector<std::string>& known) const;
+
+  /// Maps every key onto its canonical spelling per `spec`: exact names
+  /// pass through, case variants and deprecated aliases are rewritten (with
+  /// a once-per-process deprecation warning naming old and new key), and a
+  /// key matching no spec entry is an InvalidArgument listing the accepted
+  /// canonical keys. Also rejects a missing `required` option.
+  /// `solver_name` is the canonical solver spelling echoed in errors.
+  Result<OptionsBag> Canonicalize(const OptionsSpec& spec,
+                                  const std::string& solver_name) const;
+
+  /// "k1=v1,k2=v2" over the (sorted) items — the canonical serialization
+  /// the serve layer's ResultCache keys memoized solves by.
+  std::string CanonicalString() const;
 
   const std::map<std::string, std::string>& items() const { return kv_; }
 
@@ -94,7 +146,7 @@ class OptionsBag {
 
 /// One solve call. The instance handle is shared, never copied; k and ŝ are
 /// the universal SCWSC constraints; everything algorithm-specific rides in
-/// the options bag (see each adapter's option_keys in the registry).
+/// the options bag (see each solver's OptionsSpec in the registry).
 struct SolveRequest {
   InstancePtr instance;
   std::size_t k = 10;
@@ -106,6 +158,72 @@ struct SolveRequest {
   /// the registry opens a root span "solve/<name>" and each adapter and
   /// algorithm records phase child spans and metrics into the session.
   obs::TraceSession* trace = nullptr;
+
+  /// Wall-clock budget for this solve; zero = unlimited. The registry
+  /// applies it through an internal RunContext when the caller passes no
+  /// explicit context, and rejects the ambiguous combination (non-zero
+  /// deadline AND an explicit RunContext) as InvalidArgument. The serve
+  /// scheduler instead moves it onto its own per-job context.
+  std::chrono::milliseconds deadline{0};
+
+  /// Frontend tag (batch job name, bench arm) carried into scheduler
+  /// output and batch reports; never interpreted by solvers.
+  std::string label;
+
+  class Builder;
+};
+
+/// Fluent construction of a SolveRequest, replacing the hand-rolled
+/// field-by-field setup the CLI, bench harness and tests used to duplicate:
+///
+///   SCWSC_ASSIGN_OR_RETURN(
+///       auto request, api::SolveRequest::Builder(instance)
+///                         .WithK(10).WithCoverage(0.3)
+///                         .WithOption("b", "2")
+///                         .WithDeadline(std::chrono::milliseconds(50))
+///                         .Build());
+///
+/// Build() surfaces the first recorded error (malformed "key=value" item).
+class SolveRequest::Builder {
+ public:
+  explicit Builder(InstancePtr instance) {
+    request_.instance = std::move(instance);
+  }
+
+  Builder& WithK(std::size_t k) {
+    request_.k = k;
+    return *this;
+  }
+  Builder& WithCoverage(double fraction) {
+    request_.coverage_fraction = fraction;
+    return *this;
+  }
+  Builder& WithOption(std::string key, std::string value) {
+    request_.options.Set(std::move(key), std::move(value));
+    return *this;
+  }
+  /// Adds parsed "key=value" items (the CLI's repeated --opt flag); a
+  /// malformed item is reported by Build().
+  Builder& WithOptions(const std::vector<std::string>& items);
+  Builder& WithDeadline(std::chrono::milliseconds deadline) {
+    request_.deadline = deadline;
+    return *this;
+  }
+  Builder& WithTrace(obs::TraceSession* trace) {
+    request_.trace = trace;
+    return *this;
+  }
+  Builder& WithLabel(std::string label) {
+    request_.label = std::move(label);
+    return *this;
+  }
+
+  /// The assembled request, or the first error recorded by a With* call.
+  Result<SolveRequest> Build() const;
+
+ private:
+  SolveRequest request_;
+  Status deferred_;  // first WithOptions parse error; OK when clean
 };
 
 /// The constraint envelope this particular run promised: |S| <= max_sets

@@ -26,8 +26,8 @@ void LinkCoreSolvers() {}  // anchor referenced by SolverRegistry::Global()
 namespace {
 
 using internal::CmcContract;
-using internal::CmcOptionKeys;
 using internal::CmcOptionsFromRequest;
+using internal::CmcOptionsSpec;
 using internal::FinishSetBacked;
 using internal::Rewrap;
 
@@ -145,7 +145,7 @@ SCWSC_REGISTER_SOLVER(CmcSolver,
                       SolverInfo{"cmc",
                                  "Cheap Max Coverage (Fig. 1), tuned engine",
                                  kNeedsSetSystem | kSupportsAnytime,
-                                 internal::CmcOptionKeys()});
+                                 CmcOptionsSpec()});
 
 class CmcLiteralSolver : public Solver {
  public:
@@ -159,7 +159,7 @@ SCWSC_REGISTER_SOLVER(
     SolverInfo{"cmc-literal",
                "CMC, paper-verbatim reference (Fig. 1 line by line)",
                kNeedsSetSystem | kSupportsAnytime,
-               internal::CmcOptionKeys()});
+               CmcOptionsSpec()});
 
 // --- prior-work baselines (§III, §VI-C) -----------------------------------
 
@@ -197,7 +197,7 @@ class GreedyWscSolver : public Solver {
     // Deliberately ignores request.k: the baseline's point is that it does
     // not bound the solution size (Table VI). An explicit cap is opt-in.
     SCWSC_ASSIGN_OR_RETURN(options.max_sets,
-                           request.options.GetU64("max-sets",
+                           request.options.GetU64("max_sets",
                                                   options.max_sets));
     options.run_context = run_context;
     options.trace = request.trace;
@@ -218,7 +218,9 @@ SCWSC_REGISTER_SOLVER(
     SolverInfo{"greedy-wsc",
                "Greedy partial weighted set cover baseline (unbounded size)",
                kNeedsSetSystem | kSupportsAnytime,
-               {"max-sets"}});
+               {{"max_sets", OptionType::kU64, "18446744073709551615",
+                 "opt-in cap on selected sets (default: unbounded)",
+                 "max-sets", false}}});
 
 class GreedyMaxCoverageSolver : public Solver {
  public:
@@ -230,7 +232,7 @@ class GreedyMaxCoverageSolver : public Solver {
     options.k = request.k;
     SCWSC_ASSIGN_OR_RETURN(
         options.stop_coverage_fraction,
-        request.options.GetDouble("stop-coverage",
+        request.options.GetDouble("stop_coverage",
                                   options.stop_coverage_fraction));
     options.run_context = run_context;
     options.trace = request.trace;
@@ -247,7 +249,9 @@ SCWSC_REGISTER_SOLVER(
     SolverInfo{"greedy-max-coverage",
                "Greedy partial maximum coverage baseline (cost-blind)",
                kNeedsSetSystem | kSupportsAnytime,
-               {"stop-coverage"}});
+               {{"stop_coverage", OptionType::kDouble, "1",
+                 "coverage fraction at which to stop early",
+                 "stop-coverage", false}}});
 
 class BudgetedMaxCoverageSolver : public Solver {
  public:
@@ -264,7 +268,7 @@ class BudgetedMaxCoverageSolver : public Solver {
     SCWSC_ASSIGN_OR_RETURN(options.budget,
                            request.options.GetDouble("budget", 0.0));
     SCWSC_ASSIGN_OR_RETURN(options.max_sets,
-                           request.options.GetU64("max-sets",
+                           request.options.GetU64("max_sets",
                                                   options.max_sets));
     options.run_context = run_context;
     options.trace = request.trace;
@@ -283,7 +287,11 @@ SCWSC_REGISTER_SOLVER(
     SolverInfo{"budgeted-max-coverage",
                "Greedy budgeted maximum coverage baseline (needs budget=W)",
                kNeedsSetSystem | kSupportsAnytime,
-               {"budget", "max-sets"}});
+               {{"budget", OptionType::kDouble, "",
+                 "total cost budget W (required)", "", true},
+                {"max_sets", OptionType::kU64, "18446744073709551615",
+                 "opt-in cap on selected sets (default: unbounded)",
+                 "max-sets", false}}});
 
 // --- exact branch-and-bound (§VI-D) ---------------------------------------
 
@@ -297,7 +305,7 @@ class ExactSolver : public Solver {
     options.k = request.k;
     options.coverage_fraction = request.coverage_fraction;
     SCWSC_ASSIGN_OR_RETURN(options.max_nodes,
-                           request.options.GetU64("max-nodes",
+                           request.options.GetU64("max_nodes",
                                                   options.max_nodes));
     options.run_context = run_context;
     options.trace = request.trace;
@@ -332,7 +340,9 @@ SCWSC_REGISTER_SOLVER(
     SolverInfo{"exact",
                "Exact branch-and-bound (optimal; small instances only)",
                kNeedsSetSystem | kSupportsAnytime | kExact,
-               {"max-nodes"}});
+               {{"max_nodes", OptionType::kU64, "200000000",
+                 "node budget for the branch-and-bound search",
+                 "max-nodes", false}}});
 
 // --- non-overlapping greedy (§III, AlphaSum constraint) -------------------
 
@@ -347,7 +357,7 @@ class NonOverlapSolver : public Solver {
     options.k = request.k;
     options.coverage_fraction = request.coverage_fraction;
     SCWSC_ASSIGN_OR_RETURN(options.best_effort,
-                           request.options.GetBool("best-effort",
+                           request.options.GetBool("best_effort",
                                                    options.best_effort));
     SCWSC_ASSIGN_OR_RETURN(std::string rule,
                            request.options.GetString("rule", "gain"));
@@ -385,7 +395,11 @@ SCWSC_REGISTER_SOLVER(
     SolverInfo{"nonoverlap",
                "Greedy under the AlphaSum disjointness constraint (§III)",
                kNeedsSetSystem,
-               {"best-effort", "rule"}});
+               {{"best_effort", OptionType::kBool, "false",
+                 "return the best disjoint cover found even if infeasible",
+                 "best-effort", false},
+                {"rule", OptionType::kString, "gain",
+                 "selection rule: 'gain' or 'benefit'", "", false}}});
 
 }  // namespace
 }  // namespace api

@@ -105,7 +105,7 @@ SCWSC_REGISTER_SOLVER(
     SolverInfo{"hcmc",
                "Hierarchical lattice-optimized CMC (needs hierarchies)",
                kNeedsTable | kNeedsHierarchy | kSupportsAnytime,
-               internal::CmcOptionKeys()});
+               internal::CmcOptionsSpec()});
 
 }  // namespace
 }  // namespace api

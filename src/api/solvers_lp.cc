@@ -77,7 +77,12 @@ SCWSC_REGISTER_SOLVER(
     SolverInfo{"lp-rounding",
                "LP relaxation + randomized rounding with certified bound",
                kNeedsSetSystem | kSupportsAnytime,
-               {"alpha", "trials", "seed"}});
+               {{"alpha", OptionType::kDouble, "0",
+                 "overlap penalty weight in the LP objective", "", false},
+                {"trials", OptionType::kU64, "64",
+                 "independent randomized rounding trials", "", false},
+                {"seed", OptionType::kU64, "2015",
+                 "PRNG seed for the rounding trials", "", false}}});
 
 }  // namespace
 }  // namespace api

@@ -104,7 +104,7 @@ SCWSC_REGISTER_SOLVER(
     SolverInfo{"opt-cmc",
                "Lattice-optimized CMC over a patterned table (Fig. 4)",
                kNeedsTable | kSupportsAnytime,
-               internal::CmcOptionKeys()});
+               internal::CmcOptionsSpec()});
 
 }  // namespace
 }  // namespace api

@@ -1,6 +1,8 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 namespace scwsc {
 
@@ -35,15 +37,23 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping with no work left
-      task = std::move(tasks_.back());
-      tasks_.pop_back();
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
     }
     task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_cv_.notify_all();
-    }
   }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {  // inline pool: run now, deterministically
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
 }
 
 namespace {
@@ -84,27 +94,37 @@ Status ThreadPool::ParallelFor(
                             (n + min_chunk - 1) / min_chunk);
   const std::size_t chunk = (n + target_chunks - 1) / target_chunks;
 
-  // Shared by the chunk closures; ParallelFor blocks until the whole batch
-  // drains, so these locals outlive every task that references them.
-  std::string first_error;
+  // Per-call batch bookkeeping: ParallelFor blocks until its own chunks
+  // drain, so these locals outlive every task referencing them — and a
+  // concurrent Submit task or second ParallelFor never perturbs the wait.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t remaining = 0;
+    std::string first_error;
+  } batch;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t begin = 0; begin < n; begin += chunk) {
       const std::size_t end = std::min(begin + chunk, n);
-      tasks_.push_back([this, &fn, begin, end, &first_error] {
+      tasks_.push_back([&fn, begin, end, &batch] {
         std::string error;
-        if (!RunChunk(fn, begin, end, error)) {
-          std::lock_guard<std::mutex> error_lock(mu_);
-          if (first_error.empty()) first_error = std::move(error);
+        const bool ok = RunChunk(fn, begin, end, error);
+        std::lock_guard<std::mutex> batch_lock(batch.mu);
+        if (!ok && batch.first_error.empty()) {
+          batch.first_error = std::move(error);
         }
+        if (--batch.remaining == 0) batch.done_cv.notify_all();
       });
-      ++pending_;
+      ++batch.remaining;
     }
   }
   work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
-  if (!first_error.empty()) return Status::Internal(std::move(first_error));
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done_cv.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (!batch.first_error.empty()) {
+    return Status::Internal(std::move(batch.first_error));
+  }
   return Status::OK();
 }
 

@@ -1,22 +1,32 @@
 // ThreadPool: a small fixed-size worker pool for deterministic data-parallel
-// scans.
+// scans and asynchronous task submission.
 //
-// The only parallel primitive the library needs is "evaluate f over the index
-// range [0, n) in chunks, with every chunk writing to its own output slots" —
-// candidate marginal-benefit re-evaluation, posting-list refiltering. That
-// shape is deterministic by construction: chunk boundaries depend only on n
-// and the chunk size, never on scheduling, so a 1-thread and an N-thread run
-// produce byte-identical results.
+// Two primitives share one FIFO queue of workers:
+//
+//   - ParallelFor: "evaluate f over the index range [0, n) in chunks, with
+//     every chunk writing to its own output slots" — candidate
+//     marginal-benefit re-evaluation, posting-list refiltering. That shape is
+//     deterministic by construction: chunk boundaries depend only on n and
+//     the chunk size, never on scheduling, so a 1-thread and an N-thread run
+//     produce byte-identical results. Each call tracks its own batch, so
+//     concurrent ParallelFor calls (and Submit tasks) never wait on each
+//     other's work.
+//
+//   - Submit: fire-and-forget asynchronous tasks, the primitive the serve
+//     layer's SolveScheduler dispatches whole solve jobs through. Completion
+//     is the caller's business (the scheduler uses promises/futures).
 //
 // A pool constructed with num_threads <= 1 spawns no threads at all and runs
-// every ParallelFor inline; callers can therefore create one unconditionally
-// and let EngineOptions::num_threads decide whether parallelism happens.
+// every ParallelFor — and every Submit — inline on the calling thread;
+// callers can therefore create one unconditionally and let configuration
+// decide whether parallelism happens.
 
 #ifndef SCWSC_COMMON_THREAD_POOL_H_
 #define SCWSC_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,6 +45,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Drains every queued task (Submit and in-flight ParallelFor chunks
+  /// alike), then joins the workers.
   ~ThreadPool();
 
   /// Number of execution lanes (workers, or 1 for the inline pool).
@@ -56,6 +68,13 @@ class ThreadPool {
   Status ParallelFor(std::size_t n, std::size_t min_chunk,
                      const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Enqueues one asynchronous task; workers pick tasks up in FIFO order.
+  /// On a pool with no workers (size() <= 1) the task runs inline before
+  /// Submit returns, so serial configurations stay deterministic. The task
+  /// must not throw — wrap fallible work in its own Status plumbing (the
+  /// scheduler routes errors through per-job promises).
+  void Submit(std::function<void()> task);
+
  private:
   void WorkerLoop();
 
@@ -63,10 +82,8 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for tasks
-  std::condition_variable done_cv_;   // ParallelFor waits for completion
-  std::vector<std::function<void()>> tasks_;
-  std::size_t pending_ = 0;  // queued + running tasks of the current batch
+  std::condition_variable work_cv_;  // workers wait for tasks
+  std::deque<std::function<void()>> tasks_;
   bool stopping_ = false;
 };
 

@@ -1,0 +1,230 @@
+#include "src/serve/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/stopwatch.h"
+
+namespace scwsc {
+namespace serve {
+namespace {
+
+/// Renders a JSON option value the way OptionsBag expects it spelled:
+/// numbers lose a redundant ".0", bools become "true"/"false".
+Result<std::string> OptionValueToString(const std::string& key,
+                                        const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kString:
+      return value.as_string();
+    case JsonValue::Kind::kBool:
+      return std::string(value.as_bool() ? "true" : "false");
+    case JsonValue::Kind::kNumber: {
+      const double n = value.as_number();
+      JsonValue rendered(n);
+      return rendered.Dump();  // integral doubles print without a fraction
+    }
+    default:
+      return Status::InvalidArgument("batch option '" + key +
+                                     "' must be a string, number or bool");
+  }
+}
+
+Result<double> RequireNumber(const JsonValue& v, const std::string& what) {
+  if (!v.is_number()) {
+    return Status::InvalidArgument("batch field '" + what +
+                                   "' must be a number");
+  }
+  return v.as_number();
+}
+
+/// Latency percentile over a sorted sample (nearest-rank).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(std::lround(rank))];
+}
+
+}  // namespace
+
+Result<std::vector<SolveJob>> ParseBatchFile(const std::string& path,
+                                             api::InstancePtr instance) {
+  SCWSC_ASSIGN_OR_RETURN(JsonValue root, ReadJsonFile(path));
+  const JsonValue* jobs_value = root.Find("jobs");
+  if (jobs_value == nullptr || !jobs_value->is_array()) {
+    return Status::InvalidArgument(
+        "batch file '" + path + "' must be an object with a \"jobs\" array");
+  }
+  std::vector<SolveJob> jobs;
+  std::size_t index = 0;
+  for (const JsonValue& entry : jobs_value->as_array()) {
+    const std::string at = "jobs[" + std::to_string(index) + "]";
+    if (!entry.is_object()) {
+      return Status::InvalidArgument(at + " is not an object");
+    }
+    const JsonValue* solver = entry.Find("solver");
+    if (solver == nullptr || !solver->is_string()) {
+      return Status::InvalidArgument(at + " needs a string \"solver\"");
+    }
+
+    api::SolveRequest::Builder builder(instance);
+    if (const JsonValue* k = entry.Find("k")) {
+      SCWSC_ASSIGN_OR_RETURN(double n, RequireNumber(*k, at + ".k"));
+      builder.WithK(static_cast<std::size_t>(n));
+    }
+    if (const JsonValue* coverage = entry.Find("coverage")) {
+      SCWSC_ASSIGN_OR_RETURN(double f,
+                             RequireNumber(*coverage, at + ".coverage"));
+      builder.WithCoverage(f);
+    }
+    if (const JsonValue* options = entry.Find("options")) {
+      if (!options->is_object()) {
+        return Status::InvalidArgument(at + ".options must be an object");
+      }
+      for (const auto& [key, value] : options->as_object()) {
+        SCWSC_ASSIGN_OR_RETURN(std::string rendered,
+                               OptionValueToString(key, value));
+        builder.WithOption(key, std::move(rendered));
+      }
+    }
+    if (const JsonValue* deadline = entry.Find("deadline_ms")) {
+      SCWSC_ASSIGN_OR_RETURN(double ms,
+                             RequireNumber(*deadline, at + ".deadline_ms"));
+      builder.WithDeadline(
+          std::chrono::milliseconds(static_cast<std::int64_t>(ms)));
+    }
+    std::string label = "job-" + std::to_string(index);
+    if (const JsonValue* l = entry.Find("label")) {
+      if (!l->is_string()) {
+        return Status::InvalidArgument(at + ".label must be a string");
+      }
+      label = l->as_string();
+    }
+    builder.WithLabel(label);
+    SCWSC_ASSIGN_OR_RETURN(api::SolveRequest request, builder.Build());
+
+    SolveJob job;
+    job.solver = solver->as_string();
+    job.request = std::move(request);
+    if (const JsonValue* priority = entry.Find("priority")) {
+      SCWSC_ASSIGN_OR_RETURN(double p,
+                             RequireNumber(*priority, at + ".priority"));
+      job.priority = static_cast<int>(p);
+    }
+
+    std::size_t repeat = 1;
+    if (const JsonValue* r = entry.Find("repeat")) {
+      SCWSC_ASSIGN_OR_RETURN(double n, RequireNumber(*r, at + ".repeat"));
+      if (n < 1) {
+        return Status::InvalidArgument(at + ".repeat must be >= 1");
+      }
+      repeat = static_cast<std::size_t>(n);
+    }
+    for (std::size_t i = 0; i < repeat; ++i) jobs.push_back(job);
+    ++index;
+  }
+  return jobs;
+}
+
+Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
+                           SolveScheduler& scheduler) {
+  struct Slot {
+    std::string label;
+    std::string solver;
+    std::future<JobOutcome> future;
+    Status rejected = Status::OK();  // admission failure, if any
+  };
+  std::vector<Slot> slots;
+  slots.reserve(jobs.size());
+
+  Stopwatch wall;
+  for (SolveJob& job : jobs) {
+    Slot slot;
+    slot.label = job.request.label;
+    slot.solver = job.solver;
+    auto future = scheduler.Enqueue(std::move(job));
+    if (future.ok()) {
+      slot.future = std::move(*future);
+    } else {
+      slot.rejected = future.status();
+    }
+    slots.push_back(std::move(slot));
+  }
+
+  JsonArray job_reports;
+  std::vector<double> latencies;
+  std::size_t succeeded = 0, failed = 0, cache_hits = 0;
+  for (Slot& slot : slots) {
+    JsonObject report;
+    report["label"] = slot.label;
+    report["solver"] = slot.solver;
+    if (!slot.rejected.ok()) {
+      report["ok"] = false;
+      report["status"] = slot.rejected.ToString();
+      ++failed;
+      job_reports.push_back(JsonValue(std::move(report)));
+      continue;
+    }
+    JobOutcome outcome = slot.future.get();
+    const double latency = outcome.queue_seconds + outcome.run_seconds;
+    latencies.push_back(latency);
+    report["from_result_cache"] = outcome.from_result_cache;
+    report["queue_seconds"] = outcome.queue_seconds;
+    report["run_seconds"] = outcome.run_seconds;
+    if (outcome.from_result_cache) ++cache_hits;
+    const api::SolveResult* result = nullptr;
+    if (outcome.result.ok()) {
+      report["ok"] = true;
+      result = &*outcome.result;
+      ++succeeded;
+    } else {
+      report["ok"] = false;
+      report["status"] = outcome.result.status().ToString();
+      // An interruption still surfaces its best-so-far partial.
+      result = outcome.result.status().payload<api::SolveResult>();
+      ++failed;
+    }
+    if (result != nullptr) {
+      report["total_cost"] = result->total_cost;
+      report["covered"] = result->covered;
+      report["num_sets"] = result->labels.size();
+      JsonArray labels;
+      for (const std::string& label : result->labels) {
+        labels.push_back(JsonValue(label));
+      }
+      report["selection"] = JsonValue(std::move(labels));
+    }
+    job_reports.push_back(JsonValue(std::move(report)));
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  std::sort(latencies.begin(), latencies.end());
+  obs::MetricRegistry& metrics = scheduler.metrics();
+  JsonObject aggregate;
+  aggregate["total_jobs"] = slots.size();
+  aggregate["succeeded"] = succeeded;
+  aggregate["failed"] = failed;
+  aggregate["wall_seconds"] = wall_seconds;
+  aggregate["jobs_per_second"] =
+      wall_seconds > 0.0 ? static_cast<double>(slots.size()) / wall_seconds
+                         : 0.0;
+  aggregate["result_cache_hits"] =
+      metrics.CounterValue("serve.result_cache.hits");
+  aggregate["result_cache_misses"] =
+      metrics.CounterValue("serve.result_cache.misses");
+  aggregate["snapshot_cache_hits"] =
+      metrics.CounterValue("serve.snapshot_cache.hits");
+  aggregate["snapshot_cache_misses"] =
+      metrics.CounterValue("serve.snapshot_cache.misses");
+  aggregate["batch_result_cache_hits"] = cache_hits;
+  aggregate["p50_latency_seconds"] = Percentile(latencies, 0.50);
+  aggregate["p99_latency_seconds"] = Percentile(latencies, 0.99);
+
+  JsonObject root;
+  root["jobs"] = JsonValue(std::move(job_reports));
+  root["aggregate"] = JsonValue(std::move(aggregate));
+  return JsonValue(std::move(root));
+}
+
+}  // namespace serve
+}  // namespace scwsc

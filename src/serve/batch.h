@@ -1,0 +1,50 @@
+// Batch front end over the SolveScheduler: parse a jobs.json file into
+// SolveJobs, run them all through a scheduler, and render a report with
+// per-job results plus aggregate throughput, latency percentiles and cache
+// hit rates. The CLI's --batch flag and the serve smoke in check.sh are the
+// two callers.
+//
+// Batch file format (docs/serving.md documents it in full):
+//
+//   {"jobs": [
+//      {"solver": "cwsc",            // required; case-insensitive
+//       "k": 3,                      // default 10
+//       "coverage": 0.5,             // default 0.3
+//       "options": {"b": "2"},       // values: string, number or bool
+//       "deadline_ms": 0,            // default 0 = unlimited
+//       "priority": 0,               // default 0; larger = more urgent
+//       "label": "warmup",           // default "job-<index>"
+//       "repeat": 1}                 // duplicates this job N times
+//   ]}
+//
+// Repeated deterministic jobs are the point: they exercise the result
+// cache, which the report's aggregate section makes visible.
+
+#ifndef SCWSC_SERVE_BATCH_H_
+#define SCWSC_SERVE_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/serve/json.h"
+#include "src/serve/scheduler.h"
+
+namespace scwsc {
+namespace serve {
+
+/// Parses a batch file into jobs over `instance` (every job in one batch
+/// shares the snapshot the frontend loaded). "repeat" expands here, so the
+/// scheduler sees plain jobs.
+Result<std::vector<SolveJob>> ParseBatchFile(const std::string& path,
+                                             api::InstancePtr instance);
+
+/// Enqueues every job, waits for all futures, and renders the report. Jobs
+/// rejected by admission control (queue full) are reported as failed with
+/// their Status rather than aborting the batch.
+Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
+                           SolveScheduler& scheduler);
+
+}  // namespace serve
+}  // namespace scwsc
+
+#endif  // SCWSC_SERVE_BATCH_H_

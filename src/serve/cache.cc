@@ -1,0 +1,226 @@
+#include "src/serve/cache.h"
+
+#include <cstring>
+#include <tuple>
+#include <utility>
+
+namespace scwsc {
+namespace serve {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(const void* data, std::size_t len, std::uint64_t& h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void HashU64(std::uint64_t v, std::uint64_t& h) { HashBytes(&v, sizeof(v), h); }
+
+void HashDouble(double v, std::uint64_t& h) {
+  std::uint64_t bits;  // bit pattern, so the hash is exact, not rounded
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashU64(bits, h);
+}
+
+void HashString(const std::string& s, std::uint64_t& h) {
+  HashU64(s.size(), h);
+  HashBytes(s.data(), s.size(), h);
+}
+
+void HashTable(const Table& table, std::uint64_t& h) {
+  HashU64(table.num_rows(), h);
+  HashU64(table.num_attributes(), h);
+  for (std::size_t attr = 0; attr < table.num_attributes(); ++attr) {
+    HashString(table.schema().attribute_name(attr), h);
+    const Dictionary& dict = table.dictionary(attr);
+    HashU64(dict.size(), h);
+    for (ValueId v = 0; v < dict.size(); ++v) HashString(dict.Name(v), h);
+    const std::vector<ValueId>& column = table.column(attr);
+    HashBytes(column.data(), column.size() * sizeof(ValueId), h);
+  }
+  if (table.has_measure()) {
+    const std::vector<double>& m = table.measures();
+    HashBytes(m.data(), m.size() * sizeof(double), h);
+  }
+}
+
+void HashSetSystem(const SetSystem& system, std::uint64_t& h) {
+  HashU64(system.num_elements(), h);
+  HashU64(system.num_sets(), h);
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    const WeightedSet& s = system.set(id);
+    HashU64(s.elements.size(), h);
+    HashBytes(s.elements.data(), s.elements.size() * sizeof(ElementId), h);
+    HashDouble(s.cost, h);
+    HashString(s.label, h);
+  }
+}
+
+}  // namespace
+
+std::uint64_t ContentHash(const api::InstanceSnapshot& instance) {
+  std::uint64_t h = kFnvOffset;
+  if (instance.has_table()) {
+    HashU64(1, h);  // domain-separate the two snapshot shapes
+    HashTable(instance.table(), h);
+    HashU64(static_cast<std::uint64_t>(instance.cost_fn().kind()), h);
+    HashDouble(instance.cost_fn().p(), h);
+    HashU64(instance.has_hierarchy() ? 1 : 0, h);
+  } else {
+    HashU64(2, h);
+    // FromSetSystem snapshots always have their view materialized.
+    auto system = instance.set_system();
+    if (system.ok()) HashSetSystem(**system, h);
+  }
+  return h;
+}
+
+std::size_t ApproxSnapshotBytes(const api::InstanceSnapshot& instance) {
+  std::size_t bytes = sizeof(api::InstanceSnapshot);
+  if (instance.has_table()) {
+    const Table& table = instance.table();
+    bytes += table.num_rows() * table.num_attributes() * sizeof(ValueId);
+    if (table.has_measure()) bytes += table.num_rows() * sizeof(double);
+    return bytes;
+  }
+  auto system = instance.set_system();
+  if (!system.ok()) return bytes;
+  for (SetId id = 0; id < (*system)->num_sets(); ++id) {
+    bytes += sizeof(WeightedSet) +
+             (*system)->set(id).elements.size() * sizeof(ElementId);
+  }
+  return bytes;
+}
+
+// --- SnapshotCache ---------------------------------------------------------
+
+SnapshotCache::SnapshotCache(std::size_t capacity_bytes,
+                             obs::MetricRegistry* metrics)
+    : capacity_bytes_(capacity_bytes), metrics_(metrics) {}
+
+api::InstancePtr SnapshotCache::Lookup(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(hash);
+  if (it == index_.end()) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.snapshot_cache.misses").Increment();
+    }
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  if (metrics_ != nullptr) {
+    metrics_->counter("serve.snapshot_cache.hits").Increment();
+  }
+  return it->second->instance;
+}
+
+void SnapshotCache::Insert(std::uint64_t hash, api::InstancePtr instance) {
+  if (instance == nullptr) return;
+  const std::size_t bytes = ApproxSnapshotBytes(*instance);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(hash);
+  if (it != index_.end()) {
+    resident_bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{hash, std::move(instance), bytes});
+  index_[hash] = lru_.begin();
+  resident_bytes_ += bytes;
+  EvictOverBudgetLocked();
+}
+
+void SnapshotCache::EvictOverBudgetLocked() {
+  // Never evict the entry just inserted, even when it alone exceeds the
+  // budget: a cache that cannot hold its newest snapshot degrades to a
+  // rebuild-per-job serve loop.
+  while (resident_bytes_ > capacity_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    index_.erase(victim.hash);
+    lru_.pop_back();
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.snapshot_cache.evictions").Increment();
+    }
+  }
+}
+
+std::size_t SnapshotCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::size_t SnapshotCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+// --- ResultCache -----------------------------------------------------------
+
+bool ResultKey::operator<(const ResultKey& other) const {
+  return std::tie(snapshot_hash, solver, k, coverage_fraction, options) <
+         std::tie(other.snapshot_hash, other.solver, other.k,
+                  other.coverage_fraction, other.options);
+}
+
+ResultKey MakeResultKey(std::uint64_t snapshot_hash, const std::string& solver,
+                        const api::SolveRequest& request) {
+  ResultKey key;
+  key.snapshot_hash = snapshot_hash;
+  key.solver = solver;
+  key.k = request.k;
+  key.coverage_fraction = request.coverage_fraction;
+  key.options = request.options.CanonicalString();
+  return key;
+}
+
+ResultCache::ResultCache(std::size_t capacity_entries,
+                         obs::MetricRegistry* metrics)
+    : capacity_entries_(capacity_entries), metrics_(metrics) {}
+
+std::optional<api::SolveResult> ResultCache::Lookup(const ResultKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.result_cache.misses").Increment();
+    }
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (metrics_ != nullptr) {
+    metrics_->counter("serve.result_cache.hits").Increment();
+  }
+  return it->second->result;
+}
+
+void ResultCache::Insert(const ResultKey& key, api::SolveResult result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_entries_ && lru_.size() > 1) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.result_cache.evictions").Increment();
+    }
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace serve
+}  // namespace scwsc

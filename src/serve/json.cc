@@ -1,0 +1,330 @@
+#include "src/serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace scwsc {
+namespace serve {
+namespace {
+
+void AppendEscaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(double n, std::string& out) {
+  if (std::isfinite(n) && n == std::floor(n) && std::abs(n) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    out += buf;
+    return;
+  }
+  if (!std::isfinite(n)) {  // JSON has no inf/nan; null is the lossless-ish out
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", n);
+  out += buf;
+}
+
+void DumpTo(const JsonValue& v, std::string& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      AppendNumber(v.as_number(), out);
+      return;
+    case JsonValue::Kind::kString:
+      AppendEscaped(v.as_string(), out);
+      return;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        DumpTo(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, item] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        AppendEscaped(key, out);
+        out += ':';
+        DumpTo(item, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SCWSC_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  bool ConsumeWord(const char* word) {
+    std::size_t len = 0;
+    while (word[len] != '\0') ++len;
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      SCWSC_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeWord("null")) return JsonValue();
+    if (ConsumeWord("true")) return JsonValue(true);
+    if (ConsumeWord("false")) return JsonValue(false);
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    SCWSC_RETURN_NOT_OK(Expect('{'));
+    JsonObject object;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue(std::move(object));
+    for (;;) {
+      SkipWhitespace();
+      SCWSC_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      SCWSC_RETURN_NOT_OK(Expect(':'));
+      SCWSC_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      object[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      SCWSC_RETURN_NOT_OK(Expect('}'));
+      return JsonValue(std::move(object));
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    SCWSC_RETURN_NOT_OK(Expect('['));
+    JsonArray array;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue(std::move(array));
+    for (;;) {
+      SCWSC_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      SCWSC_RETURN_NOT_OK(Expect(']'));
+      return JsonValue(std::move(array));
+    }
+  }
+
+  Result<std::string> ParseString() {
+    SCWSC_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          if (code > 0x7F) {
+            return Error("non-ASCII \\u escape unsupported (use raw UTF-8)");
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(*this, out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+Result<JsonValue> ReadJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseJson(buffer.str());
+}
+
+Status WriteJsonFile(const JsonValue& value, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out << value.Dump() << '\n';
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace scwsc

@@ -1,0 +1,91 @@
+// Minimal JSON for the serve layer: a tagged value type, a strict
+// recursive-descent parser, and a writer with string escaping. Exists so
+// the batch front end (--batch jobs.json) and the serve bench can read and
+// write structured files without adding a dependency — the rest of the
+// repo only ever *writes* JSON by hand (obs/export.cc), but batch input
+// needs parsing.
+//
+// Deliberately small: UTF-8 pass-through (no \uXXXX decoding beyond ASCII),
+// numbers parsed as double, no comments, no trailing commas. That is
+// exactly the subset the batch format and BENCH_serve.json use.
+
+#ifndef SCWSC_SERVE_JSON_H_
+#define SCWSC_SERVE_JSON_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace scwsc {
+namespace serve {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps object keys sorted, making every write deterministic.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  JsonValue(int n) : kind_(Kind::kNumber), number_(n) {}
+  JsonValue(std::size_t n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(JsonArray a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  JsonValue(JsonObject o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const JsonArray& as_array() const { return array_; }
+  const JsonObject& as_object() const { return object_; }
+  JsonArray& mutable_array() { return array_; }
+  JsonObject& mutable_object() { return object_; }
+
+  /// Object member by key, or nullptr (also for non-objects).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Serializes compactly ("{"a":1}"); deterministic (sorted object keys,
+  /// shortest-round-trip doubles, integers without a fraction part).
+  std::string Dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected). InvalidArgument with byte offset on malformed input.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Reads and parses a JSON file.
+Result<JsonValue> ReadJsonFile(const std::string& path);
+
+/// Writes `value.Dump()` plus a trailing newline to `path`.
+Status WriteJsonFile(const JsonValue& value, const std::string& path);
+
+}  // namespace serve
+}  // namespace scwsc
+
+#endif  // SCWSC_SERVE_JSON_H_

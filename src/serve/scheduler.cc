@@ -1,0 +1,185 @@
+#include "src/serve/scheduler.h"
+
+#include <utility>
+
+#include "src/common/run_context.h"
+#include "src/common/stopwatch.h"
+
+namespace scwsc {
+namespace serve {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double>(now - start).count();
+}
+
+}  // namespace
+
+SolveScheduler::SolveScheduler(ThreadPool* pool, SchedulerOptions options)
+    : pool_(pool), options_(options) {
+  if (options_.trace != nullptr) {
+    metrics_ = &options_.trace->metrics();
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  snapshot_cache_ =
+      std::make_unique<SnapshotCache>(options_.snapshot_cache_bytes, metrics_);
+  result_cache_ = std::make_unique<ResultCache>(
+      options_.result_cache_entries == 0 ? 1 : options_.result_cache_entries,
+      metrics_);
+}
+
+SolveScheduler::~SolveScheduler() { Drain(); }
+
+Result<std::future<JobOutcome>> SolveScheduler::Enqueue(SolveJob job) {
+  obs::Span enqueue_span(options_.trace, "serve.enqueue");
+  if (job.request.instance == nullptr) {
+    return Status::InvalidArgument("SolveJob has no instance snapshot");
+  }
+  std::future<JobOutcome> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      metrics_->counter("serve.jobs.rejected").Increment();
+      return Status::Cancelled(
+          "scheduler is draining; new jobs are not admitted");
+    }
+    if (options_.max_queue_depth > 0 &&
+        in_flight_ >= options_.max_queue_depth) {
+      metrics_->counter("serve.jobs.rejected").Increment();
+      return Status::ResourceExhausted(
+          "scheduler queue is full (" +
+          std::to_string(options_.max_queue_depth) +
+          " jobs in flight); retry after completions drain the queue");
+    }
+    PendingJob pending;
+    pending.job = std::move(job);
+    pending.enqueued_at = std::chrono::steady_clock::now();
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    ++in_flight_;
+    metrics_->counter("serve.jobs.accepted").Increment();
+  }
+  // One pool task per admitted job; the task picks the most urgent waiting
+  // job at pop time, which is how priority aging takes effect.
+  pool_->Submit([this] { RunOneJob(); });
+  return future;
+}
+
+void SolveScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t SolveScheduler::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+std::uint64_t SolveScheduler::SnapshotHashFor(
+    const api::InstancePtr& instance) {
+  {
+    std::lock_guard<std::mutex> lock(hash_mu_);
+    auto it = hash_memo_.find(instance.get());
+    if (it != hash_memo_.end()) return it->second;
+  }
+  const std::uint64_t hash = ContentHash(*instance);  // O(data), outside locks
+  std::lock_guard<std::mutex> lock(hash_mu_);
+  hash_memo_[instance.get()] = hash;
+  return hash;
+}
+
+void SolveScheduler::RunOneJob() {
+  PendingJob pending;
+  double queue_seconds = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return;  // defensive: one task per queued job
+    // Scan-on-pop for the highest effective priority: static priority plus
+    // one level per aging interval waited. O(depth) per pop is fine at the
+    // depths admission control allows.
+    const auto now = std::chrono::steady_clock::now();
+    auto best = queue_.begin();
+    double best_effective = 0.0;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      const double waited = SecondsSince(it->enqueued_at, now);
+      const double effective =
+          static_cast<double>(it->job.priority) +
+          (options_.aging_interval_seconds > 0.0
+               ? waited / options_.aging_interval_seconds
+               : 0.0);
+      if (it == queue_.begin() || effective > best_effective) {
+        best = it;
+        best_effective = effective;
+      }
+    }
+    pending = std::move(*best);
+    queue_.erase(best);
+    queue_seconds = SecondsSince(pending.enqueued_at, now);
+  }
+
+  obs::Span run_span(options_.trace, "serve.run");
+  JobOutcome outcome;
+  outcome.queue_seconds = queue_seconds;
+  outcome.label = pending.job.request.label;
+
+  api::SolveRequest& request = pending.job.request;
+  const api::SolverInfo* info =
+      api::SolverRegistry::Global().Find(pending.job.solver);
+  // Deadline-free solves are deterministic: memoizable. Keys use the
+  // canonical solver spelling so "CWSC" and "cwsc" share one entry.
+  const bool cacheable = info != nullptr && request.deadline.count() == 0 &&
+                         options_.result_cache_entries > 0;
+  ResultKey key;
+  if (cacheable) {
+    key = MakeResultKey(SnapshotHashFor(request.instance), info->name,
+                        request);
+    if (std::optional<api::SolveResult> cached = result_cache_->Lookup(key)) {
+      run_span.Event("cache.hit");
+      outcome.result = *std::move(cached);
+      outcome.from_result_cache = true;
+      metrics_->counter("serve.jobs.completed").Increment();
+      pending.promise.set_value(std::move(outcome));
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) drained_cv_.notify_all();
+      return;
+    }
+    run_span.Event("cache.miss");
+  }
+
+  // The job deadline becomes this job's RunContext; the registry would
+  // reject a request carrying both.
+  RunContext deadline_context;
+  const RunContext* run_context = nullptr;
+  if (request.deadline.count() > 0) {
+    deadline_context.SetDeadline(request.deadline);
+    request.deadline = std::chrono::milliseconds{0};
+    run_context = &deadline_context;
+  }
+  if (request.trace == nullptr) {
+    request.trace = options_.trace;  // jobs trace into the serve session
+  }
+
+  Stopwatch timer;
+  outcome.result = api::SolverRegistry::Global().Solve(pending.job.solver,
+                                                       request, run_context);
+  outcome.run_seconds = timer.ElapsedSeconds();
+
+  if (cacheable && outcome.result.ok()) {
+    result_cache_->Insert(key, *outcome.result);
+  }
+  metrics_
+      ->counter(outcome.result.ok() || outcome.result.status().IsInterruption()
+                    ? "serve.jobs.completed"
+                    : "serve.jobs.failed")
+      .Increment();
+  pending.promise.set_value(std::move(outcome));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--in_flight_ == 0) drained_cv_.notify_all();
+}
+
+}  // namespace serve
+}  // namespace scwsc

@@ -1,0 +1,162 @@
+// SolveScheduler: the serving seam of the library. Frontends hand it typed
+// SolveJobs (solver name + SolveRequest + priority); it admits or rejects
+// them against a bounded queue, runs them concurrently on a shared
+// ThreadPool against cached snapshots, memoizes deterministic solves, and
+// returns futures.
+//
+// Admission control:
+//   - Bounded queue depth: Enqueue returns ResourceExhausted (typed
+//     backpressure, never blocking) when queue + running reaches
+//     max_queue_depth.
+//   - Deadlines: a job's request.deadline is moved onto the scheduler's
+//     per-job RunContext, so deadline trips surface exactly like direct
+//     registry calls — an interruption Status carrying the partial
+//     SolveResult payload.
+//   - Priority aging: workers pop the job with the highest *effective*
+//     priority (static priority + seconds-waited / aging_interval), so a
+//     flood of high-priority interactive jobs cannot starve batch jobs —
+//     every waiting job eventually outranks fresh arrivals.
+//   - Graceful drain: Drain() (and the destructor) stops admission and
+//     waits for every accepted job to finish; submitted futures always
+//     complete.
+//
+// Caching: the scheduler content-hashes each job's snapshot (memoized per
+// snapshot pointer) and consults its ResultCache before dispatch.
+// Deadline-free jobs are deterministic — every registered algorithm is,
+// given its options (LP rounding is seeded) — so they are served from cache
+// when the (snapshot, solver, k, ŝ, canonical options) key matches;
+// deadline-bearing jobs bypass the cache both ways since their partials
+// depend on timing. A SnapshotCache is owned alongside for frontends to
+// dedupe instance construction (the batch front end keys table loads by
+// content).
+//
+// Observability: spans serve.enqueue / serve.run per job and counters
+// serve.jobs.{accepted,rejected,completed,failed}, serve.result_cache.*,
+// serve.snapshot_cache.* through the session's MetricRegistry.
+
+#ifndef SCWSC_SERVE_SCHEDULER_H_
+#define SCWSC_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/api/registry.h"
+#include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/serve/cache.h"
+
+namespace scwsc {
+namespace serve {
+
+/// One unit of work for the scheduler.
+struct SolveJob {
+  std::string solver;         // registry name (case-insensitive)
+  api::SolveRequest request;  // deadline and label ride inside
+  /// Larger = more urgent. Interactive frontends use higher priorities;
+  /// aging guarantees lower-priority batch jobs still run.
+  int priority = 0;
+};
+
+/// What a job's future resolves to.
+struct JobOutcome {
+  /// The solve outcome — including interruption Statuses carrying partial
+  /// SolveResult payloads, exactly as the registry returns them.
+  Result<api::SolveResult> result = Status::Internal("job never ran");
+  bool from_result_cache = false;
+  double queue_seconds = 0.0;  // admission -> dispatch
+  double run_seconds = 0.0;    // dispatch -> completion (0 on cache hit)
+  std::string label;           // echoed from the request
+};
+
+struct SchedulerOptions {
+  /// Jobs admitted but not yet finished; Enqueue beyond this is
+  /// ResourceExhausted. 0 = unbounded.
+  std::size_t max_queue_depth = 256;
+  /// Seconds of waiting that add one effective priority level.
+  double aging_interval_seconds = 0.25;
+  /// Result-cache entries (deterministic solves memoized). 0 disables.
+  std::size_t result_cache_entries = 512;
+  /// Snapshot-cache byte budget for the cache owned by the scheduler.
+  std::size_t snapshot_cache_bytes = 256ull << 20;
+  /// Optional trace session: serve.enqueue/serve.run spans and all serve.*
+  /// counters go here. The scheduler keeps its own MetricRegistry when
+  /// null, so counters are always available via metrics().
+  obs::TraceSession* trace = nullptr;
+};
+
+class SolveScheduler {
+ public:
+  /// `pool` must outlive the scheduler. Jobs run as pool tasks; solvers
+  /// that parallelize internally create their own pools, so scheduler
+  /// concurrency and solver concurrency never deadlock each other.
+  SolveScheduler(ThreadPool* pool, SchedulerOptions options = {});
+
+  SolveScheduler(const SolveScheduler&) = delete;
+  SolveScheduler& operator=(const SolveScheduler&) = delete;
+
+  /// Drains: stops admission and waits for accepted jobs to finish.
+  ~SolveScheduler();
+
+  /// Admits a job, returning the future its outcome will resolve on.
+  /// ResourceExhausted when the queue is full (typed backpressure),
+  /// Cancelled after Drain(). Never blocks on queue space.
+  Result<std::future<JobOutcome>> Enqueue(SolveJob job);
+
+  /// Stops admission, waits until every accepted job has completed.
+  /// Idempotent.
+  void Drain();
+
+  /// Counters: serve.jobs.*, serve.result_cache.*, serve.snapshot_cache.*.
+  /// The session's registry when options.trace was set, else internal.
+  obs::MetricRegistry& metrics() { return *metrics_; }
+
+  SnapshotCache& snapshot_cache() { return *snapshot_cache_; }
+  ResultCache& result_cache() { return *result_cache_; }
+
+  /// Jobs admitted but not yet completed (queued + running).
+  std::size_t in_flight() const;
+
+ private:
+  struct PendingJob {
+    SolveJob job;
+    std::promise<JobOutcome> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  /// Worker-side: pops the job with the highest effective priority and
+  /// runs it to completion (cache lookup, registry solve, cache fill).
+  void RunOneJob();
+
+  /// Content hash of the job's snapshot, memoized by snapshot address so a
+  /// shared instance is scanned once, not once per job.
+  std::uint64_t SnapshotHashFor(const api::InstancePtr& instance);
+
+  ThreadPool* const pool_;
+  const SchedulerOptions options_;
+  obs::MetricRegistry* metrics_;  // session registry or owned_metrics_
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;
+  std::unique_ptr<SnapshotCache> snapshot_cache_;
+  std::unique_ptr<ResultCache> result_cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;  // fires when in_flight_ hits 0
+  std::list<PendingJob> queue_;
+  std::size_t in_flight_ = 0;  // queued + running
+  bool draining_ = false;
+
+  std::mutex hash_mu_;
+  std::map<const api::InstanceSnapshot*, std::uint64_t> hash_memo_;
+};
+
+}  // namespace serve
+}  // namespace scwsc
+
+#endif  // SCWSC_SERVE_SCHEDULER_H_

@@ -1,0 +1,490 @@
+// The serve layer: JSON round-trips, content-hash stability, cache LRU
+// behavior, and the SolveScheduler's contract — deterministic result-cache
+// hits, deadline trips surfacing partial payloads, typed backpressure,
+// priority aging (no starvation), graceful drain — plus the batch front end
+// end to end.
+
+#include "src/serve/scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/api/instance.h"
+#include "src/api/registry.h"
+#include "src/common/run_context.h"
+#include "src/common/thread_pool.h"
+#include "src/gen/toy.h"
+#include "src/serve/batch.h"
+#include "src/serve/cache.h"
+#include "src/serve/json.h"
+
+namespace scwsc {
+namespace {
+
+using api::InstancePtr;
+using api::SolveRequest;
+using api::SolveResult;
+using serve::JobOutcome;
+using serve::SolveJob;
+using serve::SolveScheduler;
+
+InstancePtr ToyInstance() {
+  auto instance = api::InstanceSnapshot::FromTable(
+      gen::MakeEntitiesTable(),
+      pattern::CostFunction(pattern::CostKind::kMax));
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return *instance;
+}
+
+SolveJob MakeJob(InstancePtr instance, const std::string& solver,
+                 std::size_t k = 3, double fraction = 0.5,
+                 const std::vector<std::string>& options = {}) {
+  auto request = SolveRequest::Builder(std::move(instance))
+                     .WithK(k)
+                     .WithCoverage(fraction)
+                     .WithOptions(options)
+                     .Build();
+  EXPECT_TRUE(request.ok()) << request.status().ToString();
+  SolveJob job;
+  job.solver = solver;
+  job.request = *std::move(request);
+  return job;
+}
+
+/// Shared state for the two test stubs: a gate the GatedSolver blocks on
+/// (opened for everyone, or one release token at a time) and the execution
+/// order both stubs record.
+struct GateState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  int tokens = 0;  // one blocked GatedSolver proceeds per token
+  std::vector<std::string> ran;  // labels, in execution order
+};
+
+GateState& Gate() {
+  static GateState* state = new GateState();
+  return *state;
+}
+
+void OpenGate() {
+  std::lock_guard<std::mutex> lock(Gate().mu);
+  Gate().open = true;
+  Gate().cv.notify_all();
+}
+
+/// Lets exactly one blocked GatedSolver finish.
+void ReleaseOne() {
+  std::lock_guard<std::mutex> lock(Gate().mu);
+  ++Gate().tokens;
+  Gate().cv.notify_all();
+}
+
+void ResetGate() {
+  std::lock_guard<std::mutex> lock(Gate().mu);
+  Gate().open = false;
+  Gate().tokens = 0;
+  Gate().ran.clear();
+}
+
+/// Blocks until the gate opens (or a release token arrives), then records
+/// its label. Trips cooperatively while waiting, surfacing a partial
+/// payload like real solvers do.
+class GatedSolver : public api::Solver {
+ public:
+  Result<SolveResult> Solve(const SolveRequest& request,
+                            const RunContext* run_context) const override {
+    GateState& gate = Gate();
+    {
+      std::unique_lock<std::mutex> lock(gate.mu);
+      // Wait in slices so a deadline on the run context still trips while
+      // the gate stays shut.
+      while (!gate.open && gate.tokens == 0) {
+        if (run_context != nullptr &&
+            run_context->Check() != TripKind::kNone) {
+          SolveResult partial;
+          partial.labels = {"partial-" + request.label};
+          partial.audit.bookkeeping_consistent = true;
+          return TripStatus(run_context->tripped(), "gated solve")
+              .WithPayload(std::move(partial));
+        }
+        gate.cv.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      if (!gate.open && gate.tokens > 0) --gate.tokens;
+      gate.ran.push_back(request.label);
+    }
+    SolveResult result;
+    result.labels = {"ran-" + request.label};
+    result.covered = request.instance->num_elements();
+    result.audit.bookkeeping_consistent = true;
+    return result;
+  }
+};
+
+SCWSC_REGISTER_SOLVER(GatedSolver,
+                      api::SolverInfo{"test-gated", "serve test stub", 0, {}});
+
+/// Records its label and returns immediately — never blocks.
+class RecorderSolver : public api::Solver {
+ public:
+  Result<SolveResult> Solve(const SolveRequest& request,
+                            const RunContext*) const override {
+    {
+      std::lock_guard<std::mutex> lock(Gate().mu);
+      Gate().ran.push_back(request.label);
+    }
+    SolveResult result;
+    result.labels = {"ran-" + request.label};
+    result.covered = request.instance->num_elements();
+    result.audit.bookkeeping_consistent = true;
+    return result;
+  }
+};
+
+SCWSC_REGISTER_SOLVER(
+    RecorderSolver,
+    api::SolverInfo{"test-recorder", "serve test stub", 0, {}});
+
+// ---------------------------------------------------------------- JSON ----
+
+TEST(ServeJsonTest, RoundTripsThroughDumpAndParse) {
+  serve::JsonObject object;
+  object["name"] = std::string("serve");
+  object["count"] = std::size_t{42};
+  object["ratio"] = 0.5;
+  object["on"] = true;
+  serve::JsonArray array;
+  array.push_back(serve::JsonValue(1.0));
+  array.push_back(serve::JsonValue(std::string("two")));
+  object["items"] = serve::JsonValue(std::move(array));
+
+  const std::string dumped = serve::JsonValue(std::move(object)).Dump();
+  auto parsed = serve::ParseJson(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), dumped);  // canonical form is a fixed point
+
+  EXPECT_EQ(parsed->Find("name")->as_string(), "serve");
+  EXPECT_EQ(parsed->Find("count")->as_number(), 42.0);
+  EXPECT_TRUE(parsed->Find("on")->as_bool());
+  EXPECT_EQ(parsed->Find("items")->as_array().size(), 2u);
+  EXPECT_EQ(parsed->Find("missing"), nullptr);
+}
+
+TEST(ServeJsonTest, IntegralNumbersDumpWithoutFraction) {
+  EXPECT_EQ(serve::JsonValue(3.0).Dump(), "3");
+  EXPECT_EQ(serve::JsonValue(3.5).Dump(), "3.5");
+}
+
+TEST(ServeJsonTest, MalformedInputsAreTypedErrors) {
+  EXPECT_FALSE(serve::ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(serve::ParseJson("[1, 2").ok());
+  EXPECT_FALSE(serve::ParseJson("{} trailing").ok());
+  EXPECT_FALSE(serve::ParseJson("nul").ok());
+  auto status = serve::ParseJson("{\"a\": }").status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+// -------------------------------------------------------------- caches ----
+
+TEST(ServeCacheTest, ContentHashIsStableAndContentSensitive) {
+  InstancePtr a = ToyInstance();
+  InstancePtr b = ToyInstance();
+  // Two snapshots of identical data hash identically...
+  EXPECT_EQ(serve::ContentHash(*a), serve::ContentHash(*b));
+
+  // ...while different data hashes differently.
+  SetSystem system(4);
+  ASSERT_TRUE(system.AddSet({0, 1}, 1.0, "s0").ok());
+  auto other = api::InstanceSnapshot::FromSetSystem(std::move(system));
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(serve::ContentHash(*a), serve::ContentHash(**other));
+  EXPECT_GT(serve::ApproxSnapshotBytes(*a), 0u);
+}
+
+TEST(ServeCacheTest, SnapshotCacheEvictsLeastRecentlyUsedByBytes) {
+  InstancePtr instance = ToyInstance();
+  const std::size_t bytes = serve::ApproxSnapshotBytes(*instance);
+  obs::MetricRegistry metrics;
+  // Room for roughly one snapshot: inserting a second evicts the first.
+  serve::SnapshotCache cache(bytes + bytes / 2, &metrics);
+  cache.Insert(1, instance);
+  cache.Insert(2, ToyInstance());
+  EXPECT_EQ(cache.Lookup(1), nullptr);   // evicted
+  EXPECT_NE(cache.Lookup(2), nullptr);   // the newest entry survives
+  EXPECT_EQ(metrics.CounterValue("serve.snapshot_cache.evictions"), 1u);
+  EXPECT_EQ(metrics.CounterValue("serve.snapshot_cache.hits"), 1u);
+  EXPECT_EQ(metrics.CounterValue("serve.snapshot_cache.misses"), 1u);
+}
+
+TEST(ServeCacheTest, ResultCacheKeySeparatesOptionSpellingsByCanonicalForm) {
+  InstancePtr instance = ToyInstance();
+  SolveJob canonical =
+      MakeJob(instance, "cmc", 3, 0.5, {"max_budget_rounds=64"});
+  SolveJob alias = MakeJob(instance, "cmc", 3, 0.5, {"max-budget-rounds=64"});
+  // The registry canonicalizes before the scheduler builds keys; here the
+  // raw bags differ, so the keys differ — MakeResultKey is spelling-exact.
+  auto key_canonical = serve::MakeResultKey(7, "cmc", canonical.request);
+  auto key_alias = serve::MakeResultKey(7, "cmc", alias.request);
+  EXPECT_TRUE(key_canonical < key_alias || key_alias < key_canonical);
+
+  serve::ResultCache cache(2);
+  SolveResult result;
+  result.total_cost = 5.0;
+  cache.Insert(key_canonical, result);
+  ASSERT_TRUE(cache.Lookup(key_canonical).has_value());
+  EXPECT_EQ(cache.Lookup(key_canonical)->total_cost, 5.0);
+  EXPECT_FALSE(cache.Lookup(key_alias).has_value());
+}
+
+// ----------------------------------------------------------- scheduler ----
+
+TEST(SolveSchedulerTest, DeterministicSolvesHitTheResultCache) {
+  ThreadPool pool(2);
+  SolveScheduler scheduler(&pool);
+  InstancePtr instance = ToyInstance();
+
+  auto first = scheduler.Enqueue(MakeJob(instance, "cwsc"));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  JobOutcome cold = first->get();
+  ASSERT_TRUE(cold.result.ok()) << cold.result.status().ToString();
+  EXPECT_FALSE(cold.from_result_cache);
+
+  // Same job again — and once under a different case spelling; both must be
+  // served from cache with bit-identical results.
+  for (const char* spelling : {"cwsc", "CWSC"}) {
+    auto again = scheduler.Enqueue(MakeJob(instance, spelling));
+    ASSERT_TRUE(again.ok());
+    JobOutcome warm = again->get();
+    ASSERT_TRUE(warm.result.ok());
+    EXPECT_TRUE(warm.from_result_cache) << spelling;
+    EXPECT_EQ(warm.result->labels, cold.result->labels);
+    EXPECT_EQ(warm.result->total_cost, cold.result->total_cost);
+  }
+  EXPECT_GE(scheduler.metrics().CounterValue("serve.result_cache.hits"), 2u);
+
+  // A different k is a different key: no false sharing.
+  auto other = scheduler.Enqueue(MakeJob(instance, "cwsc", 2));
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->get().from_result_cache);
+}
+
+TEST(SolveSchedulerTest, DeadlineTripSurfacesPartialPayload) {
+  ResetGate();
+  ThreadPool pool(2);
+  SolveScheduler scheduler(&pool);
+  SolveJob job = MakeJob(ToyInstance(), "test-gated");
+  job.request.deadline = std::chrono::milliseconds(20);
+  job.request.label = "deadline";
+
+  auto future = scheduler.Enqueue(std::move(job));
+  ASSERT_TRUE(future.ok()) << future.status().ToString();
+  JobOutcome outcome = future->get();  // gate never opens; deadline trips
+
+  ASSERT_FALSE(outcome.result.ok());
+  EXPECT_TRUE(outcome.result.status().IsInterruption())
+      << outcome.result.status().ToString();
+  const auto* partial = outcome.result.status().payload<SolveResult>();
+  ASSERT_NE(partial, nullptr);
+  EXPECT_EQ(partial->labels, std::vector<std::string>{"partial-deadline"});
+  EXPECT_FALSE(outcome.from_result_cache);
+
+  // Deadline-bearing jobs must not poison the cache: a deadline-free rerun
+  // actually runs (gate open) instead of replaying the partial.
+  OpenGate();
+  auto rerun = scheduler.Enqueue(MakeJob(ToyInstance(), "test-gated"));
+  ASSERT_TRUE(rerun.ok());
+  JobOutcome full = rerun->get();
+  ASSERT_TRUE(full.result.ok()) << full.result.status().ToString();
+  EXPECT_FALSE(full.from_result_cache);
+}
+
+TEST(SolveSchedulerTest, BackpressureRejectsWithResourceExhausted) {
+  ResetGate();
+  ThreadPool pool(2);
+  serve::SchedulerOptions options;
+  options.max_queue_depth = 1;
+  SolveScheduler scheduler(&pool, options);
+
+  SolveJob blocked = MakeJob(ToyInstance(), "test-gated");
+  blocked.request.label = "holds-the-queue";
+  auto admitted = scheduler.Enqueue(std::move(blocked));
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+
+  // The queue is now at depth: the next job is refused, typed, non-blocking.
+  auto rejected = scheduler.Enqueue(MakeJob(ToyInstance(), "cwsc"));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  EXPECT_GE(scheduler.metrics().CounterValue("serve.jobs.rejected"), 1u);
+
+  OpenGate();
+  EXPECT_TRUE(admitted->get().result.ok());
+  // Capacity freed: admission works again.
+  auto after = scheduler.Enqueue(MakeJob(ToyInstance(), "cwsc"));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after->get().result.ok());
+}
+
+TEST(SolveSchedulerTest, AgedLowPriorityJobOutranksFreshHighPriority) {
+  ResetGate();
+  // Both workers are held at the gate while two contenders queue up; then
+  // ReleaseOne frees exactly one worker, which therefore runs both
+  // contenders sequentially — the pop order IS the recorded order, no race.
+  ThreadPool pool(2);
+  serve::SchedulerOptions options;
+  options.aging_interval_seconds = 0.01;  // 10 ms of waiting = +1 level
+  SolveScheduler scheduler(&pool, options);
+
+  InstancePtr instance = ToyInstance();
+  std::vector<std::future<JobOutcome>> holders;
+  for (std::size_t i = 0; i < 2; ++i) {  // occupy both workers
+    // Distinct k per job: result-cache keys must not collide, or the second
+    // contender would be served from cache without ever "running".
+    SolveJob hold = MakeJob(instance, "test-gated", /*k=*/1 + i);
+    hold.request.label = "hold-" + std::to_string(i);
+    auto f = scheduler.Enqueue(std::move(hold));
+    ASSERT_TRUE(f.ok());
+    holders.push_back(std::move(*f));
+  }
+
+  SolveJob batch_job = MakeJob(instance, "test-recorder", /*k=*/5);
+  batch_job.request.label = "batch";
+  batch_job.priority = 0;
+  auto batch_future = scheduler.Enqueue(std::move(batch_job));
+  ASSERT_TRUE(batch_future.ok());
+
+  // Let the batch job age well past the interactive job's static edge.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  SolveJob interactive = MakeJob(instance, "test-recorder", /*k=*/6);
+  interactive.request.label = "interactive";
+  interactive.priority = 3;  // fresh: effective 3; batch: 0 + ~10 levels
+  auto interactive_future = scheduler.Enqueue(std::move(interactive));
+  ASSERT_TRUE(interactive_future.ok());
+
+  ReleaseOne();  // one worker frees and drains both contenders in pop order
+  batch_future->get();
+  interactive_future->get();
+  OpenGate();  // now let the remaining holder finish
+  for (auto& f : holders) f.get();
+
+  // Execution order: the aged batch job ran before the fresh interactive
+  // one — a flood of high priorities cannot starve waiting work.
+  std::vector<std::string> ran;
+  {
+    std::lock_guard<std::mutex> lock(Gate().mu);
+    ran = Gate().ran;
+  }
+  auto pos = [&](const std::string& label) {
+    for (std::size_t i = 0; i < ran.size(); ++i) {
+      if (ran[i] == label) return i;
+    }
+    return ran.size();
+  };
+  ASSERT_LT(pos("batch"), ran.size());
+  ASSERT_LT(pos("interactive"), ran.size());
+  EXPECT_LT(pos("batch"), pos("interactive"));
+}
+
+TEST(SolveSchedulerTest, DrainStopsAdmissionAndCompletesAcceptedJobs) {
+  ResetGate();
+  OpenGate();  // gated jobs run through immediately
+  ThreadPool pool(2);
+  auto scheduler = std::make_unique<SolveScheduler>(&pool);
+  InstancePtr instance = ToyInstance();
+
+  std::vector<std::future<JobOutcome>> futures;
+  for (int i = 0; i < 8; ++i) {
+    auto f = scheduler->Enqueue(MakeJob(instance, "cwsc", 3, 0.5));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  scheduler->Drain();
+  EXPECT_EQ(scheduler->in_flight(), 0u);
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().result.ok());  // every accepted future completed
+  }
+  auto late = scheduler->Enqueue(MakeJob(instance, "cwsc"));
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsCancelled()) << late.status().ToString();
+  scheduler.reset();  // destructor drains again: idempotent
+}
+
+TEST(SolveSchedulerTest, UnknownSolverFailsTheJobNotTheScheduler) {
+  ThreadPool pool(2);
+  SolveScheduler scheduler(&pool);
+  auto future = scheduler.Enqueue(MakeJob(ToyInstance(), "no-such-solver"));
+  ASSERT_TRUE(future.ok());  // admission succeeds; the job itself fails
+  JobOutcome outcome = future->get();
+  EXPECT_TRUE(outcome.result.status().IsNotFound());
+  EXPECT_GE(scheduler.metrics().CounterValue("serve.jobs.failed"), 1u);
+}
+
+// ---------------------------------------------------------------- batch ----
+
+TEST(ServeBatchTest, ParsesRunsAndReportsCacheHits) {
+  const std::string path = ::testing::TempDir() + "/serve_batch_jobs.json";
+  {
+    std::ofstream out(path);
+    out << R"({"jobs": [
+      {"solver": "cwsc", "k": 3, "coverage": 0.5, "label": "a", "repeat": 3},
+      {"solver": "cmc", "k": 3, "coverage": 0.5,
+       "options": {"b": 2, "strict": false}, "priority": 1}
+    ]})";
+  }
+  InstancePtr instance = ToyInstance();
+  auto jobs = serve::ParseBatchFile(path, instance);
+  ASSERT_TRUE(jobs.ok()) << jobs.status().ToString();
+  ASSERT_EQ(jobs->size(), 4u);  // 3 repeats + 1
+  EXPECT_EQ((*jobs)[0].request.label, "a");
+  EXPECT_EQ((*jobs)[3].priority, 1);
+  EXPECT_EQ((*jobs)[3].request.options.items().at("b"), "2");
+
+  ThreadPool pool(2);
+  SolveScheduler scheduler(&pool);
+  auto report = serve::RunBatch(*std::move(jobs), scheduler);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const serve::JsonValue* aggregate = report->Find("aggregate");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->Find("total_jobs")->as_number(), 4.0);
+  EXPECT_EQ(aggregate->Find("failed")->as_number(), 0.0);
+  // The "a" repeats dedupe through the result cache (the first run fills
+  // it; concurrent racers may miss, so >= 1 hit, not == 2).
+  EXPECT_GE(aggregate->Find("result_cache_hits")->as_number(), 1.0);
+  ASSERT_NE(report->Find("jobs"), nullptr);
+  EXPECT_EQ(report->Find("jobs")->as_array().size(), 4u);
+
+  // All four jobs agree on the report being serializable and reparseable.
+  auto reparsed = serve::ParseJson(report->Dump());
+  ASSERT_TRUE(reparsed.ok());
+}
+
+TEST(ServeBatchTest, MalformedBatchFilesAreTypedErrors) {
+  const std::string path = ::testing::TempDir() + "/serve_batch_bad.json";
+  InstancePtr instance = ToyInstance();
+  {
+    std::ofstream out(path);
+    out << R"({"jobs": [{"k": 3}]})";  // no solver
+  }
+  auto missing_solver = serve::ParseBatchFile(path, instance);
+  EXPECT_TRUE(missing_solver.status().IsInvalidArgument());
+  {
+    std::ofstream out(path);
+    out << R"({"work": []})";  // wrong top-level key
+  }
+  EXPECT_TRUE(serve::ParseBatchFile(path, instance)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_FALSE(serve::ParseBatchFile("/nonexistent.json", instance).ok());
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -45,14 +45,13 @@ InstancePtr GoldenInstance() {
 
 SolveRequest MakeRequest(InstancePtr instance, std::size_t k, double fraction,
                          const std::vector<std::string>& options = {}) {
-  SolveRequest request;
-  request.instance = std::move(instance);
-  request.k = k;
-  request.coverage_fraction = fraction;
-  auto bag = api::OptionsBag::Parse(options);
-  EXPECT_TRUE(bag.ok()) << bag.status().ToString();
-  request.options = *std::move(bag);
-  return request;
+  auto request = SolveRequest::Builder(std::move(instance))
+                     .WithK(k)
+                     .WithCoverage(fraction)
+                     .WithOptions(options)
+                     .Build();
+  EXPECT_TRUE(request.ok()) << request.status().ToString();
+  return *std::move(request);
 }
 
 TEST(SolverRegistryTest, EverySolverSatisfiesContractOnGoldenInstance) {
@@ -66,7 +65,7 @@ TEST(SolverRegistryTest, EverySolverSatisfiesContractOnGoldenInstance) {
     SCOPED_TRACE("solver: " + info.name);
     std::vector<std::string> options;
     if (info.name == "budgeted-max-coverage") options = {"budget=100"};
-    if (info.name == "nonoverlap") options = {"best-effort=true"};
+    if (info.name == "nonoverlap") options = {"best_effort=true"};
     auto result = SolverRegistry::Global().Solve(
         info.name, MakeRequest(instance, 3, 0.5, options));
     ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -96,7 +95,7 @@ TEST(SolverRegistryTest, EverySolverEmitsRootSpanWithPhaseChildAndCounters) {
     SCOPED_TRACE("solver: " + info.name);
     std::vector<std::string> options;
     if (info.name == "budgeted-max-coverage") options = {"budget=100"};
-    if (info.name == "nonoverlap") options = {"best-effort=true"};
+    if (info.name == "nonoverlap") options = {"best_effort=true"};
 
     obs::TraceSession trace;
     SolveRequest request = MakeRequest(instance, 3, 0.5, options);
@@ -293,11 +292,13 @@ class FixedAnswerSolver : public api::Solver {
     return result;
   }
 };
-SCWSC_REGISTER_SOLVER(FixedAnswerSolver,
-                      api::SolverInfo{"test-fixed-answer",
-                                      "registration test stub",
-                                      0,
-                                      {"knob"}});
+SCWSC_REGISTER_SOLVER(
+    FixedAnswerSolver,
+    api::SolverInfo{"test-fixed-answer",
+                    "registration test stub",
+                    0,
+                    {{"knob", api::OptionType::kU64, "0", "test knob", "",
+                      false}}});
 
 TEST(SolverRegistryTest, CustomSolverRegistersThroughMacro) {
   const api::SolverInfo* info =
@@ -349,6 +350,115 @@ TEST(SolverRegistryTest, UnknownOptionIsRejectedBeforeSolving) {
   const std::string message(result.status().message());
   EXPECT_NE(message.find("espilon"), std::string::npos);
   EXPECT_NE(message.find("epsilon"), std::string::npos);
+}
+
+TEST(SolverRegistryTest, LookupIsCaseInsensitive) {
+  const api::SolverInfo* upper = SolverRegistry::Global().Find("CWSC");
+  ASSERT_NE(upper, nullptr);
+  EXPECT_EQ(upper->name, "cwsc");  // canonical spelling, not the query's
+
+  const InstancePtr instance = GoldenInstance();
+  auto mixed =
+      SolverRegistry::Global().Solve("CwSc", MakeRequest(instance, 3, 0.5));
+  auto lower =
+      SolverRegistry::Global().Solve("cwsc", MakeRequest(instance, 3, 0.5));
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  ASSERT_TRUE(lower.ok());
+  EXPECT_EQ(mixed->labels, lower->labels);
+  EXPECT_EQ(mixed->total_cost, lower->total_cost);
+}
+
+TEST(SolverRegistryTest, DeprecatedAliasMapsToCanonicalKey) {
+  const InstancePtr instance = GoldenInstance();
+  auto via_alias = SolverRegistry::Global().Solve(
+      "cmc", MakeRequest(instance, 3, 0.5, {"max-budget-rounds=64"}));
+  auto via_canonical = SolverRegistry::Global().Solve(
+      "cmc", MakeRequest(instance, 3, 0.5, {"max_budget_rounds=64"}));
+  ASSERT_TRUE(via_alias.ok()) << via_alias.status().ToString();
+  ASSERT_TRUE(via_canonical.ok());
+  EXPECT_EQ(via_alias->labels, via_canonical->labels);
+  EXPECT_EQ(via_alias->total_cost, via_canonical->total_cost);
+
+  // Spelling both the alias and the canonical key is ambiguous, not merged.
+  auto both = SolverRegistry::Global().Solve(
+      "cmc", MakeRequest(instance, 3, 0.5,
+                         {"max-budget-rounds=64", "max_budget_rounds=32"}));
+  ASSERT_FALSE(both.ok());
+  EXPECT_TRUE(both.status().IsInvalidArgument());
+}
+
+// The options round-trip property: for every registered solver, spelling
+// out each option's spec default as an "--opt key=value" string must yield
+// a SolveResult bit-identical to the request that says nothing at all —
+// i.e. the parse path (CLI strings -> OptionsBag -> Canonicalize -> typed
+// reads) agrees with the defaults compiled into the adapters.
+TEST(SolverRegistryTest, SpecDefaultsRoundTripBitIdentically) {
+  const InstancePtr instance = GoldenInstance();
+  for (const api::SolverInfo& info : SolverRegistry::Global().List()) {
+    if (info.name.rfind("test-", 0) == 0) continue;
+    SCOPED_TRACE("solver: " + info.name);
+
+    // Required options have no default; both arms carry the same value.
+    std::vector<std::string> baseline;
+    std::vector<std::string> explicit_defaults;
+    for (const api::OptionSpec& opt : info.options) {
+      if (opt.required) {
+        baseline.push_back(opt.name + "=100");
+        explicit_defaults.push_back(opt.name + "=100");
+      } else {
+        explicit_defaults.push_back(opt.name + "=" + opt.default_value);
+      }
+    }
+
+    auto implicit = SolverRegistry::Global().Solve(
+        info.name, MakeRequest(instance, 3, 0.5, baseline));
+    auto spelled = SolverRegistry::Global().Solve(
+        info.name, MakeRequest(instance, 3, 0.5, explicit_defaults));
+    ASSERT_EQ(implicit.ok(), spelled.ok())
+        << implicit.status().ToString() << " vs "
+        << spelled.status().ToString();
+    if (!implicit.ok()) {
+      // Some solvers are legitimately infeasible here (e.g. nonoverlap
+      // without best_effort); both arms must then fail identically.
+      EXPECT_EQ(implicit.status().code(), spelled.status().code());
+      continue;
+    }
+    EXPECT_EQ(implicit->labels, spelled->labels);
+    EXPECT_EQ(implicit->total_cost, spelled->total_cost);  // bit-identical
+    EXPECT_EQ(implicit->covered, spelled->covered);
+  }
+}
+
+TEST(SolverRegistryTest, BuilderDefersParseErrorsToBuild) {
+  const InstancePtr instance = GoldenInstance();
+  auto bad = SolveRequest::Builder(instance)
+                 .WithK(3)
+                 .WithOptions({"not-an-assignment"})
+                 .WithCoverage(0.5)  // chaining continues past the error
+                 .Build();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(SolverRegistryTest, RequestDeadlineConflictsWithExplicitRunContext) {
+  const InstancePtr instance = GoldenInstance();
+  auto request = SolveRequest::Builder(instance)
+                     .WithK(3)
+                     .WithCoverage(0.5)
+                     .WithDeadline(std::chrono::milliseconds(5000))
+                     .Build();
+  ASSERT_TRUE(request.ok());
+
+  // Deadline alone: applied via an internal context; a generous budget
+  // leaves the solve untouched.
+  auto result = SolverRegistry::Global().Solve("cwsc", *request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Deadline plus an explicit context: ambiguous authority, rejected.
+  RunContext ctx;
+  auto conflict = SolverRegistry::Global().Solve("cwsc", *request, &ctx);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_TRUE(conflict.status().IsInvalidArgument());
 }
 
 TEST(SolverRegistryTest, CapabilityMismatchIsATypedError) {
