@@ -1,0 +1,423 @@
+// BENCH_chaos — an open-loop chaos soak of the serve path.
+//
+// One synthetic trace, one shared snapshot, and a mixed deterministic
+// workload pushed through a SolveScheduler three times:
+//
+//  * serial: a plain registry loop computing the legitimate fingerprint of
+//    every (solver, k, ŝ) the workload — or any degradation of it — can
+//    produce. No faults, no scheduler.
+//  * fault-free: a scheduler with the full resilience stack configured
+//    (retries, breakers, ladder, watchdog) but NO FaultPlan installed. This
+//    arm must be bit-identical to serial: resilience machinery at rest
+//    changes nothing.
+//  * chaos: the same workload under an installed, seeded FaultPlan arming
+//    every injection point at once (solver errors/throws/delays, snapshot
+//    materialization failures, result-cache corruption, pool task loss)
+//    while the scheduler retries, breaks, degrades and watchdogs its way
+//    through.
+//
+// Gates (exit 1 on any failure), written to BENCH_chaos.json:
+//   g1 every chaos future completes (no deadlock, no lost promise);
+//   g2 failure rate <= injected per-attempt error rate x a bounded
+//      amplification factor — recovery must shrink the blast radius, not
+//      grow it;
+//   g3 zero corrupt results served: every successful outcome fingerprints
+//      identically to a legitimate serial solve of that request (its own
+//      solver or a ladder fallback);
+//   g4 p99 latency of unaffected chaos jobs (first-attempt successes, no
+//      degradation) within 2x the fault-free arm's p99 (plus a floor for
+//      timer noise);
+//   g5 the fault-free arm is bit-identical to serial.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/fault.h"
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
+#include "src/serve/cache.h"
+#include "src/serve/json.h"
+#include "src/serve/resilience.h"
+#include "src/serve/scheduler.h"
+
+namespace scwsc {
+namespace {
+
+struct Combo {
+  std::string solver;
+  std::size_t k = 0;
+  double coverage = 0.0;
+};
+
+constexpr std::size_t kRepeats = 6;       // jittered requests per base combo
+constexpr std::size_t kChaosPasses = 3;   // the soak re-enqueues the list
+constexpr std::uint64_t kDefaultSeed = 20260808;
+
+// Per-attempt probabilities for the storm. The per-attempt injected error
+// rate (error + throw + materialize; delay and cache corruption do not fail
+// an attempt, task loss is healed by the watchdog) anchors gate g2.
+constexpr double kPErr = 0.10, kPThrow = 0.02, kPDelay = 0.05;
+constexpr double kPMaterialize = 0.02, kPCorrupt = 0.10, kPTaskLoss = 0.05;
+constexpr double kInjectedRate = kPErr + kPThrow + kPMaterialize;
+constexpr double kAmplificationBound = 2.0;
+constexpr double kLatencyFloorSeconds = 0.05;
+
+/// The base combos, expanded so every repeat is a distinct request (a small
+/// coverage jitter). Pass 1 of the soak therefore runs real solves through
+/// the injection points; later passes repeat the same requests and exercise
+/// the result cache (and its corruption point) instead.
+std::vector<Combo> Workload() {
+  const std::vector<Combo> base = {
+      {"cwsc", 6, 0.5},
+      {"cwsc", 8, 0.7},
+      {"cmc", 6, 0.5},
+      {"greedy-wsc", 6, 0.5},
+      {"greedy-max-coverage", 8, 0.8},
+  };
+  std::vector<Combo> expanded;
+  for (const Combo& combo : base) {
+    for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+      Combo jittered = combo;
+      jittered.coverage += 0.002 * static_cast<double>(rep);
+      expanded.push_back(jittered);
+    }
+  }
+  return expanded;
+}
+
+struct Fingerprint {
+  std::vector<std::string> labels;
+  double total_cost = 0.0;
+  std::size_t covered = 0;
+
+  bool operator==(const Fingerprint& other) const {
+    return labels == other.labels && total_cost == other.total_cost &&
+           covered == other.covered;
+  }
+};
+
+Fingerprint FingerprintOf(const api::SolveResult& result) {
+  return {result.labels, result.total_cost, result.covered};
+}
+
+serve::SolveJob MakeJob(const api::InstancePtr& instance, const Combo& combo,
+                        std::size_t pass, std::size_t repeat) {
+  serve::SolveJob job;
+  job.solver = combo.solver;
+  auto request = api::SolveRequest::Builder(instance)
+                     .WithK(combo.k)
+                     .WithCoverage(combo.coverage)
+                     .WithLabel(combo.solver + "-p" + std::to_string(pass) +
+                                "-r" + std::to_string(repeat))
+                     .Build();
+  SCWSC_CHECK(request.ok(), "bad bench request: %s",
+              request.status().ToString().c_str());
+  job.request = *std::move(request);
+  return job;
+}
+
+serve::SchedulerOptions ResilientOptions() {
+  serve::SchedulerOptions options;
+  serve::ResilienceOptions& res = options.resilience;
+  res.retry.max_attempts = 5;
+  res.retry.initial_backoff_ms = 0.2;
+  res.retry.max_backoff_ms = 5.0;
+  res.retry_budget.tokens_per_second = 500.0;
+  res.retry_budget.burst = 500.0;
+  res.breaker.enabled = true;
+  res.breaker.failure_threshold = 8;
+  res.breaker.open_seconds = 0.05;
+  res.breaker.half_open_successes = 1;
+  res.ladder = serve::DegradationLadder::Default();
+  res.watchdog = true;
+  res.watchdog_interval_seconds = 0.02;
+  res.watchdog_stale_seconds = 0.25;
+  return options;
+}
+
+/// Serial fingerprints of every solve the chaos arm could legitimately
+/// serve: each workload combo under its requested solver and every solver
+/// reachable from it down the degradation ladder.
+std::map<std::string, Fingerprint> LegitimateFingerprints(
+    const api::InstancePtr& instance, const std::vector<Combo>& combos) {
+  const serve::DegradationLadder ladder = serve::DegradationLadder::Default();
+  std::map<std::string, Fingerprint> legit;  // "solver/k/coverage" -> print
+  for (const Combo& combo : combos) {
+    std::string solver = combo.solver;
+    for (;;) {
+      const std::string key = solver + "/" + std::to_string(combo.k) + "/" +
+                              std::to_string(combo.coverage);
+      if (legit.find(key) == legit.end()) {
+        Combo shifted = combo;
+        shifted.solver = solver;
+        serve::SolveJob job = MakeJob(instance, shifted, 0, 0);
+        auto result =
+            api::SolverRegistry::Global().Solve(job.solver, job.request);
+        SCWSC_CHECK(result.ok(), "serial %s failed: %s", solver.c_str(),
+                    result.status().ToString().c_str());
+        legit[key] = FingerprintOf(*result);
+      }
+      const std::string* fallback = ladder.FallbackFor(solver);
+      if (fallback == nullptr) break;
+      solver = *fallback;
+    }
+  }
+  return legit;
+}
+
+struct ArmStats {
+  std::size_t jobs = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t degraded = 0;
+  std::size_t incomplete = 0;      // futures that never resolved (gate g1)
+  std::size_t corrupt_served = 0;  // ok results with no legitimate print
+  std::size_t retried_jobs = 0;    // attempts > 1
+  double wall_seconds = 0.0;
+  std::vector<double> unaffected_latencies;  // sorted run_seconds
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// Pushes `passes` copies of the workload through `scheduler` open-loop
+/// (every job enqueued before any future is waited on) and audits the
+/// outcomes against the legitimate fingerprint set.
+ArmStats RunArm(const api::InstancePtr& instance,
+                const std::vector<Combo>& combos, std::size_t passes,
+                serve::SolveScheduler& scheduler,
+                const std::map<std::string, Fingerprint>& legit) {
+  const serve::DegradationLadder ladder = serve::DegradationLadder::Default();
+  struct Pending {
+    Combo combo;
+    std::future<serve::JobOutcome> future;
+  };
+  std::vector<Pending> pending;
+  ArmStats stats;
+  Stopwatch wall;
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+      auto future = scheduler.Enqueue(MakeJob(instance, combos[i], pass, i));
+      SCWSC_CHECK(future.ok(), "enqueue rejected: %s",
+                  future.status().ToString().c_str());
+      pending.push_back(Pending{combos[i], std::move(*future)});
+    }
+  }
+  stats.jobs = pending.size();
+
+  for (Pending& p : pending) {
+    // Gate g1: the future must complete. 120s is far beyond any legitimate
+    // solve here; a miss means a lost promise or a deadlock.
+    if (p.future.wait_for(std::chrono::seconds(120)) !=
+        std::future_status::ready) {
+      ++stats.incomplete;
+      continue;
+    }
+    serve::JobOutcome outcome = p.future.get();
+    if (!outcome.result.ok()) {
+      ++stats.failed;
+      continue;
+    }
+    ++stats.ok;
+    if (outcome.attempts > 1) ++stats.retried_jobs;
+    if (!outcome.result->degraded_from.empty()) ++stats.degraded;
+
+    // Gate g3: the served result must match a legitimate serial solve —
+    // the requested solver's own fingerprint or one of its ladder
+    // fallbacks'. Anything else is a corrupt result escaping the caches.
+    bool legitimate = false;
+    std::string solver = p.combo.solver;
+    const Fingerprint served = FingerprintOf(*outcome.result);
+    for (;;) {
+      const std::string key = solver + "/" + std::to_string(p.combo.k) +
+                              "/" + std::to_string(p.combo.coverage);
+      auto it = legit.find(key);
+      if (it != legit.end() && it->second == served) {
+        legitimate = true;
+        break;
+      }
+      const std::string* fallback = ladder.FallbackFor(solver);
+      if (fallback == nullptr) break;
+      solver = *fallback;
+    }
+    if (!legitimate) ++stats.corrupt_served;
+
+    // Gate g4 sample: jobs the faults did not touch at all.
+    if (outcome.attempts <= 1 && outcome.result->degraded_from.empty()) {
+      stats.unaffected_latencies.push_back(outcome.run_seconds);
+    }
+  }
+  stats.wall_seconds = wall.ElapsedSeconds();
+  std::sort(stats.unaffected_latencies.begin(),
+            stats.unaffected_latencies.end());
+  return stats;
+}
+
+serve::JsonValue ArmJson(const ArmStats& stats) {
+  serve::JsonObject arm;
+  arm["jobs"] = stats.jobs;
+  arm["ok"] = stats.ok;
+  arm["failed"] = stats.failed;
+  arm["degraded"] = stats.degraded;
+  arm["incomplete"] = stats.incomplete;
+  arm["corrupt_served"] = stats.corrupt_served;
+  arm["retried_jobs"] = stats.retried_jobs;
+  arm["wall_seconds"] = stats.wall_seconds;
+  arm["p99_unaffected_seconds"] =
+      Percentile(stats.unaffected_latencies, 0.99);
+  return serve::JsonValue(std::move(arm));
+}
+
+}  // namespace
+}  // namespace scwsc
+
+int main(int argc, char** argv) {
+  using namespace scwsc;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_chaos.json";
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : kDefaultSeed;
+
+  bench::PrintBanner("serve_chaos",
+                     "serve layer under a seeded fault storm");
+
+  const std::size_t rows = bench::ScaledRows(20000);
+  api::InstancePtr instance = bench::MakeSnapshot(bench::MakeTrace(rows));
+  const std::vector<Combo> combos = Workload();
+
+  // Legitimate fingerprints first, while no plan is installed.
+  const std::map<std::string, Fingerprint> legit =
+      LegitimateFingerprints(instance, combos);
+
+  // Arm 1 — fault-free: resilience configured, no plan installed.
+  ThreadPool pool(0);  // hardware concurrency
+  ArmStats faultfree;
+  {
+    serve::SolveScheduler scheduler(&pool, ResilientOptions());
+    faultfree = RunArm(instance, combos, 1, scheduler, legit);
+  }
+
+  // Arm 2 — chaos: same workload, every injection point armed.
+  ArmStats chaos_stats;
+  serve::JsonObject fired;
+  std::uint64_t breaker_opened = 0, watchdog_redispatched = 0,
+                results_quarantined = 0, retries_attempted = 0;
+  {
+    ScopedFaultPlan chaos(seed);
+    chaos.plan().Arm(FaultPoint::kSolverError, kPErr);
+    chaos.plan().Arm(FaultPoint::kSolverThrow, kPThrow);
+    chaos.plan().Arm(FaultPoint::kSolverDelay, kPDelay);
+    chaos.plan().set_solver_delay_ms(1);
+    chaos.plan().Arm(FaultPoint::kSnapshotMaterialize, kPMaterialize);
+    chaos.plan().Arm(FaultPoint::kResultCacheCorrupt, kPCorrupt);
+    chaos.plan().Arm(FaultPoint::kPoolTaskLoss, kPTaskLoss);
+
+    serve::SolveScheduler scheduler(&pool, ResilientOptions());
+    chaos_stats = RunArm(instance, combos, kChaosPasses, scheduler, legit);
+
+    obs::MetricRegistry& metrics = scheduler.metrics();
+    breaker_opened = metrics.CounterValue("serve.breaker.opened");
+    watchdog_redispatched =
+        metrics.CounterValue("serve.watchdog.redispatched");
+    results_quarantined =
+        metrics.CounterValue("serve.result_cache.quarantined");
+    retries_attempted = metrics.CounterValue("serve.retries.attempted");
+    for (int p = 0; p < kNumFaultPoints; ++p) {
+      const FaultPoint point = static_cast<FaultPoint>(p);
+      serve::JsonObject entry;
+      entry["draws"] = chaos.plan().draws(point);
+      entry["fires"] = chaos.plan().fires(point);
+      fired[FaultPointToString(point)] = serve::JsonValue(std::move(entry));
+    }
+  }
+
+  // --- gates ---------------------------------------------------------------
+  const bool g1_complete = chaos_stats.incomplete == 0;
+
+  const double failure_rate =
+      chaos_stats.jobs > 0
+          ? static_cast<double>(chaos_stats.failed) /
+                static_cast<double>(chaos_stats.jobs)
+          : 0.0;
+  const double failure_bound = kInjectedRate * kAmplificationBound;
+  const bool g2_error_rate = failure_rate <= failure_bound;
+
+  const bool g3_no_corruption = chaos_stats.corrupt_served == 0;
+
+  const double baseline_p99 =
+      Percentile(faultfree.unaffected_latencies, 0.99);
+  const double chaos_p99 = Percentile(chaos_stats.unaffected_latencies, 0.99);
+  const double latency_bound =
+      std::max(2.0 * baseline_p99, kLatencyFloorSeconds);
+  const bool g4_latency = chaos_p99 <= latency_bound;
+
+  const bool g5_faultfree_clean =
+      faultfree.incomplete == 0 && faultfree.failed == 0 &&
+      faultfree.corrupt_served == 0 && faultfree.degraded == 0 &&
+      faultfree.retried_jobs == 0;
+
+  serve::JsonObject report;
+  report["rows"] = rows;
+  report["seed"] = static_cast<std::size_t>(seed);
+  report["threads"] = static_cast<std::size_t>(pool.size());
+  report["injected_rate"] = kInjectedRate;
+  report["amplification_bound"] = kAmplificationBound;
+  report["fault_free"] = ArmJson(faultfree);
+  report["chaos"] = ArmJson(chaos_stats);
+  report["failure_rate"] = failure_rate;
+  report["failure_bound"] = failure_bound;
+  report["baseline_p99_seconds"] = baseline_p99;
+  report["chaos_p99_seconds"] = chaos_p99;
+  report["latency_bound_seconds"] = latency_bound;
+  report["faults"] = serve::JsonValue(std::move(fired));
+  report["breaker_opened"] = breaker_opened;
+  report["watchdog_redispatched"] = watchdog_redispatched;
+  report["results_quarantined"] = results_quarantined;
+  report["retries_attempted"] = retries_attempted;
+  serve::JsonObject gates;
+  gates["all_futures_completed"] = g1_complete;
+  gates["error_rate_bounded"] = g2_error_rate;
+  gates["zero_corrupt_served"] = g3_no_corruption;
+  gates["unaffected_p99_bounded"] = g4_latency;
+  gates["fault_free_arm_clean"] = g5_faultfree_clean;
+  report["gates"] = serve::JsonValue(std::move(gates));
+  const bool pass = g1_complete && g2_error_rate && g3_no_corruption &&
+                    g4_latency && g5_faultfree_clean;
+  report["pass"] = pass;
+
+  Status written =
+      serve::WriteJsonFile(serve::JsonValue(std::move(report)), out_path);
+  SCWSC_CHECK(written.ok(), "writing %s: %s", out_path.c_str(),
+              written.ToString().c_str());
+
+  bench::PrintCsvRow(
+      "serve_chaos",
+      {"jobs=" + std::to_string(chaos_stats.jobs),
+       "failed=" + std::to_string(chaos_stats.failed),
+       "degraded=" + std::to_string(chaos_stats.degraded),
+       "retried=" + std::to_string(chaos_stats.retried_jobs),
+       "quarantined=" + std::to_string(results_quarantined),
+       "pass=" + std::string(pass ? "1" : "0")});
+  std::printf("# report -> %s\n", out_path.c_str());
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: chaos gates: complete=%d error_rate=%d corruption=%d "
+                 "latency=%d fault_free=%d\n",
+                 g1_complete, g2_error_rate, g3_no_corruption, g4_latency,
+                 g5_faultfree_clean);
+    return 1;
+  }
+  return 0;
+}

@@ -24,7 +24,10 @@
 //   --metrics-out PATH  write solver metrics as JSON (or CSV when PATH
 //                       ends in .csv)
 //   --batch PATH        run a jobs.json file through the SolveScheduler
-//                       instead of a single solve (see docs/serving.md)
+//                       instead of a single solve (see docs/serving.md).
+//                       A top-level "faults" object installs a seeded
+//                       FaultPlan for the run and arms the scheduler's
+//                       retry / breaker / watchdog machinery.
 //   --batch-out PATH    where --batch writes its JSON report
 //                                               [default batch_results.json]
 //   --threads N         scheduler worker threads for --batch; 0 = all cores
@@ -42,9 +45,11 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/common/run_context.h"
 #include "src/common/thread_pool.h"
 #include "src/serve/batch.h"
@@ -270,12 +275,25 @@ void PrintCounters(const std::string& solver, const api::SolveResult& result) {
 /// over the already-loaded instance, write the JSON report, and print a
 /// one-line aggregate summary. Exit code 0 when every job succeeded.
 int RunBatchMode(const CliArgs& args, api::InstancePtr instance) {
+  auto spec = serve::ParseBatchSpec(args.batch, instance);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  const std::size_t num_jobs = spec->jobs.size();
+
   std::optional<obs::TraceSession> trace;
   if (!args.trace_out.empty() || !args.metrics_out.empty()) trace.emplace();
 
   ThreadPool pool(args.threads);  // 0 = hardware concurrency
   serve::SchedulerOptions scheduler_options;
   scheduler_options.trace = trace.has_value() ? &*trace : nullptr;
+  if (spec->faults.configured) {
+    // A chaos run arms the recovery machinery alongside the faults; a
+    // fault-free batch keeps the inert defaults (bit-identical serve path).
+    serve::ResilienceOptions& res = scheduler_options.resilience;
+    res.retry.max_attempts = 3;
+    res.breaker.enabled = true;
+    res.ladder = serve::DegradationLadder::Default();
+    res.watchdog = true;
+  }
   serve::SolveScheduler scheduler(&pool, scheduler_options);
 
   // Key the loaded table by content in the scheduler's snapshot cache: a
@@ -288,11 +306,14 @@ int RunBatchMode(const CliArgs& args, api::InstancePtr instance) {
     scheduler.snapshot_cache().Insert(hash, instance);
   }
 
-  auto jobs = serve::ParseBatchFile(args.batch, instance);
-  if (!jobs.ok()) return Fail(jobs.status().ToString());
-  const std::size_t num_jobs = jobs->size();
+  // The fault plan stays installed for exactly the span of the batch run.
+  std::optional<ScopedFaultPlan> chaos;
+  if (spec->faults.configured) {
+    chaos.emplace(spec->faults.seed);
+    spec->faults.ApplyTo(chaos->plan());
+  }
 
-  auto report = serve::RunBatch(*std::move(jobs), scheduler);
+  auto report = serve::RunBatch(std::move(spec->jobs), scheduler);
   if (!report.ok()) return Fail(report.status().ToString());
   if (Status s = serve::WriteJsonFile(*report, args.batch_out); !s.ok()) {
     return Fail(s.ToString());

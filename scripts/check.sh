@@ -89,6 +89,47 @@ assert agg["failed"] == 0, agg
 assert agg["result_cache_hits"] > 0, agg
 EOF
 
+# Batch negative smoke: a missing jobs file must surface as a typed error
+# on stderr and a non-zero exit — not a crash, not a silent empty report.
+if "$BUILD_DIR"/examples/scwsc_cli --input "$BUILD_DIR"/obs_smoke.csv \
+     --measure Cost --batch "$BUILD_DIR"/no_such_jobs.json \
+     --batch-out "$BUILD_DIR"/unused.json 2> "$BUILD_DIR"/batch_err.txt; then
+  fail "batch negative smoke (missing jobs file exited 0)"
+fi
+grep -q "cannot open" "$BUILD_DIR"/batch_err.txt \
+  || fail "batch negative smoke (expected a typed NotFound message)"
+
+# Chaos smoke: the same batch under a seeded fault storm. The scheduler
+# arms retries/breakers/degradation when a "faults" object is present, so
+# the report must stay well-formed and account for every job even though
+# solver attempts are being killed underneath it.
+cat > "$BUILD_DIR"/serve_chaos_jobs.json <<'EOF'
+{"faults": {"seed": 7, "solver_delay_ms": 1,
+            "points": {"solver_error": 0.3, "solver_throw": 0.1,
+                       "solver_delay": 0.2, "result_cache_corrupt": 0.5}},
+ "jobs": [
+  {"solver": "cwsc", "k": 3, "coverage": 0.5, "label": "storm", "repeat": 8},
+  {"solver": "CMC", "k": 3, "coverage": 0.5, "options": {"b": 2}, "repeat": 4},
+  {"solver": "greedy-wsc", "k": 4, "coverage": 0.6, "repeat": 4}
+]}
+EOF
+# Retries may still exhaust under the storm, so tolerate a non-zero exit;
+# the gate is the report's integrity, asserted below.
+"$BUILD_DIR"/examples/scwsc_cli --input "$BUILD_DIR"/obs_smoke.csv \
+  --measure Cost --batch "$BUILD_DIR"/serve_chaos_jobs.json \
+  --batch-out "$BUILD_DIR"/chaos_results.json \
+  || true
+python3 - "$BUILD_DIR"/chaos_results.json <<'EOF' || fail "chaos smoke (report contents)"
+import json, sys
+report = json.load(open(sys.argv[1]))
+agg = report["aggregate"]
+assert agg["total_jobs"] == 16, agg
+assert agg["succeeded"] + agg["failed"] == agg["total_jobs"], agg
+assert len(report["jobs"]) == agg["total_jobs"], len(report["jobs"])
+for job in report["jobs"]:
+    assert "attempts" in job, job
+EOF
+
 SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
   "$BUILD_DIR"/bench/micro_core --engine-compare \
   --out="$BUILD_DIR"/BENCH_core.json || fail "engine smoke"
@@ -103,4 +144,17 @@ SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
   "$BUILD_DIR"/bench/serve_throughput "$BUILD_DIR"/BENCH_serve.json \
   || fail "serve throughput smoke"
 
-echo "check.sh: build, tests, observability, serve, engine and anytime smokes all green"
+# Serve chaos soak: open-loop fault storm through the scheduler. The bench
+# itself gates on completion, bounded error amplification, zero corrupt
+# results served and unaffected-job p99; re-validate the report JSON here.
+SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
+  "$BUILD_DIR"/bench/serve_chaos "$BUILD_DIR"/BENCH_chaos.json \
+  || fail "serve chaos smoke"
+python3 - "$BUILD_DIR"/BENCH_chaos.json <<'EOF' || fail "serve chaos smoke (report)"
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["pass"] is True, report["gates"]
+assert all(report["gates"].values()), report["gates"]
+EOF
+
+echo "check.sh: build, tests, observability, serve, chaos, engine and anytime smokes all green"

@@ -272,6 +272,14 @@ struct SolveResult {
   /// Wall-clock seconds inside the underlying algorithm (excludes snapshot
   /// materialization and audit).
   double seconds = 0.0;
+
+  /// Serving provenance: when the serve layer degraded the job onto a
+  /// cheaper solver (queue pressure, open circuit breaker), this is the
+  /// canonical name of the solver *originally requested*; empty whenever
+  /// the requested solver itself produced the result. Never set by solvers
+  /// or the registry — only the scheduler stamps it, and never on the copy
+  /// it memoizes in the result cache.
+  std::string degraded_from;
 };
 
 // --- the interface --------------------------------------------------------

@@ -41,6 +41,10 @@ enum class StatusCode : int {
   /// The operation was cancelled via RunContext::RequestCancel(). The
   /// Status may carry the best solution found so far as a payload.
   kCancelled = 9,
+  /// The serving target is temporarily refusing work (an open circuit
+  /// breaker, a draining backend). Unlike kResourceExhausted this is a
+  /// health signal, not a capacity one; the message names a retry-after.
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -87,6 +91,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsInvalidArgument() const {
@@ -104,6 +111,7 @@ class Status {
     return code() == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   /// True for the codes a tripped RunContext produces: DeadlineExceeded,
   /// Cancelled, or ResourceExhausted (work-budget trips). Such statuses may
   /// carry a best-so-far solution payload.

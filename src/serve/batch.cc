@@ -47,9 +47,62 @@ double Percentile(const std::vector<double>& sorted, double p) {
 
 }  // namespace
 
-Result<std::vector<SolveJob>> ParseBatchFile(const std::string& path,
-                                             api::InstancePtr instance) {
+void FaultSpec::ApplyTo(FaultPlan& plan) const {
+  for (int i = 0; i < kNumFaultPoints; ++i) {
+    const double p = probabilities[static_cast<std::size_t>(i)];
+    if (p > 0.0) plan.Arm(static_cast<FaultPoint>(i), p);
+  }
+  plan.set_solver_delay_ms(solver_delay_ms);
+}
+
+namespace {
+
+Result<FaultSpec> ParseFaultSpec(const JsonValue& value) {
+  FaultSpec spec;
+  spec.configured = true;
+  if (!value.is_object()) {
+    return Status::InvalidArgument("batch \"faults\" must be an object");
+  }
+  for (const auto& [key, item] : value.as_object()) {
+    if (key == "seed") {
+      SCWSC_ASSIGN_OR_RETURN(double n, RequireNumber(item, "faults.seed"));
+      spec.seed = static_cast<std::uint64_t>(n);
+    } else if (key == "solver_delay_ms") {
+      SCWSC_ASSIGN_OR_RETURN(double n,
+                             RequireNumber(item, "faults.solver_delay_ms"));
+      spec.solver_delay_ms = static_cast<std::uint64_t>(n);
+    } else if (key == "points") {
+      if (!item.is_object()) {
+        return Status::InvalidArgument("faults.points must be an object");
+      }
+      for (const auto& [name, prob] : item.as_object()) {
+        SCWSC_ASSIGN_OR_RETURN(FaultPoint point, FaultPointFromString(name));
+        SCWSC_ASSIGN_OR_RETURN(double p,
+                               RequireNumber(prob, "faults.points." + name));
+        if (p < 0.0 || p > 1.0) {
+          return Status::InvalidArgument("faults.points." + name +
+                                         " must be in [0, 1]");
+        }
+        spec.probabilities[static_cast<std::size_t>(point)] = p;
+      }
+    } else {
+      return Status::InvalidArgument(
+          "unknown batch \"faults\" key '" + key +
+          "'; accepted: seed, solver_delay_ms, points");
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<BatchSpec> ParseBatchSpec(const std::string& path,
+                                 api::InstancePtr instance) {
+  BatchSpec spec;
   SCWSC_ASSIGN_OR_RETURN(JsonValue root, ReadJsonFile(path));
+  if (const JsonValue* faults = root.Find("faults")) {
+    SCWSC_ASSIGN_OR_RETURN(spec.faults, ParseFaultSpec(*faults));
+  }
   const JsonValue* jobs_value = root.Find("jobs");
   if (jobs_value == nullptr || !jobs_value->is_array()) {
     return Status::InvalidArgument(
@@ -123,7 +176,20 @@ Result<std::vector<SolveJob>> ParseBatchFile(const std::string& path,
     for (std::size_t i = 0; i < repeat; ++i) jobs.push_back(job);
     ++index;
   }
-  return jobs;
+  spec.jobs = std::move(jobs);
+  return spec;
+}
+
+Result<std::vector<SolveJob>> ParseBatchFile(const std::string& path,
+                                             api::InstancePtr instance) {
+  SCWSC_ASSIGN_OR_RETURN(BatchSpec spec, ParseBatchSpec(path, instance));
+  if (spec.faults.configured) {
+    return Status::InvalidArgument(
+        "batch file '" + path +
+        "' carries a \"faults\" object, but this caller does not support "
+        "fault injection; use ParseBatchSpec");
+  }
+  return std::move(spec.jobs);
 }
 
 Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
@@ -171,6 +237,10 @@ Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
     report["from_result_cache"] = outcome.from_result_cache;
     report["queue_seconds"] = outcome.queue_seconds;
     report["run_seconds"] = outcome.run_seconds;
+    report["attempts"] = outcome.attempts;
+    if (!outcome.degraded_from.empty()) {
+      report["degraded_from"] = outcome.degraded_from;
+    }
     if (outcome.from_result_cache) ++cache_hits;
     const api::SolveResult* result = nullptr;
     if (outcome.result.ok()) {
@@ -219,6 +289,20 @@ Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
   aggregate["batch_result_cache_hits"] = cache_hits;
   aggregate["p50_latency_seconds"] = Percentile(latencies, 0.50);
   aggregate["p99_latency_seconds"] = Percentile(latencies, 0.99);
+  aggregate["retries_attempted"] =
+      metrics.CounterValue("serve.retries.attempted");
+  aggregate["retries_exhausted"] =
+      metrics.CounterValue("serve.retries.exhausted");
+  aggregate["breaker_opened"] = metrics.CounterValue("serve.breaker.opened");
+  aggregate["breaker_rejected"] =
+      metrics.CounterValue("serve.breaker.rejected");
+  aggregate["degraded_jobs"] = metrics.CounterValue("serve.degraded.jobs");
+  aggregate["results_quarantined"] =
+      metrics.CounterValue("serve.result_cache.quarantined");
+  aggregate["watchdog_tripped"] =
+      metrics.CounterValue("serve.watchdog.tripped");
+  aggregate["watchdog_redispatched"] =
+      metrics.CounterValue("serve.watchdog.redispatched");
 
   JsonObject root;
   root["jobs"] = JsonValue(std::move(job_reports));

@@ -15,26 +15,62 @@
 //       "priority": 0,               // default 0; larger = more urgent
 //       "label": "warmup",           // default "job-<index>"
 //       "repeat": 1}                 // duplicates this job N times
-//   ]}
+//   ],
+//    "faults": {                     // optional: scripted chaos (fault.h)
+//      "seed": 42,                   // default 0; deterministic replay
+//      "solver_delay_ms": 5,         // default 5; fired solver_delay stall
+//      "points": {"solver_error": 0.1, "pool_task_loss": 0.02}}}
 //
 // Repeated deterministic jobs are the point: they exercise the result
-// cache, which the report's aggregate section makes visible.
+// cache, which the report's aggregate section makes visible. A "faults"
+// object arms a FaultPlan the CLI installs (scoped) around the batch run,
+// so chaos storms are scriptable from the same file as the workload.
 
 #ifndef SCWSC_SERVE_BATCH_H_
 #define SCWSC_SERVE_BATCH_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/serve/json.h"
 #include "src/serve/scheduler.h"
 
 namespace scwsc {
 namespace serve {
 
+/// Parsed "faults" object: which points to arm and with what probability.
+/// Data-only so a spec can be parsed, inspected and applied separately
+/// (the CLI applies it to a ScopedFaultPlan around the batch run).
+struct FaultSpec {
+  /// True when the batch file carried a "faults" object at all.
+  bool configured = false;
+  std::uint64_t seed = 0;
+  std::uint64_t solver_delay_ms = 5;
+  /// Per-point fire probability, indexed by FaultPoint; 0 = disarmed.
+  std::array<double, kNumFaultPoints> probabilities{};
+
+  /// Arms `plan` with this spec's probabilities and delay.
+  void ApplyTo(FaultPlan& plan) const;
+};
+
+/// Everything a batch file describes: the jobs plus the optional fault
+/// plan to run them under.
+struct BatchSpec {
+  std::vector<SolveJob> jobs;
+  FaultSpec faults;
+};
+
 /// Parses a batch file into jobs over `instance` (every job in one batch
-/// shares the snapshot the frontend loaded). "repeat" expands here, so the
-/// scheduler sees plain jobs.
+/// shares the snapshot the frontend loaded) plus the optional fault spec.
+/// "repeat" expands here, so the scheduler sees plain jobs.
+Result<BatchSpec> ParseBatchSpec(const std::string& path,
+                                 api::InstancePtr instance);
+
+/// Jobs-only convenience over ParseBatchSpec for callers that ignore (and
+/// reject) fault scripting.
 Result<std::vector<SolveJob>> ParseBatchFile(const std::string& path,
                                              api::InstancePtr instance);
 

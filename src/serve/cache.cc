@@ -4,6 +4,8 @@
 #include <tuple>
 #include <utility>
 
+#include "src/common/fault.h"
+
 namespace scwsc {
 namespace serve {
 namespace {
@@ -119,10 +121,24 @@ api::InstancePtr SnapshotCache::Lookup(std::uint64_t hash) {
   return it->second->instance;
 }
 
-void SnapshotCache::Insert(std::uint64_t hash, api::InstancePtr instance) {
-  if (instance == nullptr) return;
+Status SnapshotCache::Insert(std::uint64_t hash, api::InstancePtr instance) {
+  if (instance == nullptr) {
+    return Status::InvalidArgument("snapshot cache: null instance");
+  }
   const std::size_t bytes = ApproxSnapshotBytes(*instance);
   std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_bytes_ > 0 && bytes > capacity_bytes_) {
+    // Admitting this entry could only end with every other resident entry
+    // evicted and the cache still over budget — reject it instead; the
+    // caller's InstancePtr keeps working uncached.
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.snapshot_cache.oversized").Increment();
+    }
+    return Status::ResourceExhausted(
+        "snapshot cache: entry of " + std::to_string(bytes) +
+        " bytes exceeds the whole cache budget of " +
+        std::to_string(capacity_bytes_) + " bytes; not cached");
+  }
   auto it = index_.find(hash);
   if (it != index_.end()) {
     resident_bytes_ -= it->second->bytes;
@@ -133,6 +149,7 @@ void SnapshotCache::Insert(std::uint64_t hash, api::InstancePtr instance) {
   index_[hash] = lru_.begin();
   resident_bytes_ += bytes;
   EvictOverBudgetLocked();
+  return Status::OK();
 }
 
 void SnapshotCache::EvictOverBudgetLocked() {
@@ -179,6 +196,28 @@ ResultKey MakeResultKey(std::uint64_t snapshot_hash, const std::string& solver,
   return key;
 }
 
+std::uint64_t ResultChecksum(const api::SolveResult& result) {
+  std::uint64_t h = kFnvOffset;
+  HashU64(result.solution.sets.size(), h);
+  HashBytes(result.solution.sets.data(),
+            result.solution.sets.size() * sizeof(SetId), h);
+  HashDouble(result.solution.total_cost, h);
+  HashU64(result.solution.covered, h);
+  HashU64(result.labels.size(), h);
+  for (const std::string& label : result.labels) HashString(label, h);
+  HashU64(result.patterns.size(), h);
+  HashDouble(result.total_cost, h);
+  HashU64(result.covered, h);
+  HashU64(result.audit.num_sets, h);
+  HashDouble(result.audit.total_cost, h);
+  HashU64(result.audit.covered, h);
+  HashU64(result.audit.bookkeeping_consistent ? 1 : 0, h);
+  HashU64(result.contract.max_sets, h);
+  HashU64(result.contract.coverage_target, h);
+  HashDouble(result.seconds, h);
+  return h;
+}
+
 ResultCache::ResultCache(std::size_t capacity_entries,
                          obs::MetricRegistry* metrics)
     : capacity_entries_(capacity_entries), metrics_(metrics) {}
@@ -192,6 +231,16 @@ std::optional<api::SolveResult> ResultCache::Lookup(const ResultKey& key) {
     }
     return std::nullopt;
   }
+  if (ResultChecksum(it->second->result) != it->second->checksum) {
+    // Quarantine: never serve a result whose bytes changed since insert.
+    lru_.erase(it->second);
+    index_.erase(it);
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.result_cache.quarantined").Increment();
+      metrics_->counter("serve.result_cache.misses").Increment();
+    }
+    return std::nullopt;
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
   if (metrics_ != nullptr) {
     metrics_->counter("serve.result_cache.hits").Increment();
@@ -200,13 +249,26 @@ std::optional<api::SolveResult> ResultCache::Lookup(const ResultKey& key) {
 }
 
 void ResultCache::Insert(const ResultKey& key, api::SolveResult result) {
+  // Checksum the clean result first; an injected corruption below then
+  // guarantees a mismatch the next Lookup quarantines.
+  const std::uint64_t checksum = ResultChecksum(result);
+  if (FaultFires(FaultPoint::kResultCacheCorrupt)) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &result.total_cost, sizeof(bits));
+    bits ^= 0x0008000000000001ULL;  // flip mantissa bits: silent data damage
+    std::memcpy(&result.total_cost, &bits, sizeof(bits));
+    result.covered += 1;
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.result_cache.corrupted").Increment();
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.erase(it->second);
     index_.erase(it);
   }
-  lru_.push_front(Entry{key, std::move(result)});
+  lru_.push_front(Entry{key, std::move(result), checksum});
   index_[key] = lru_.begin();
   while (lru_.size() > capacity_entries_ && lru_.size() > 1) {
     index_.erase(lru_.back().key);

@@ -14,6 +14,17 @@
 // memoize are deadline-bearing ones, whose partial results depend on
 // timing. LRU by entry count.
 //
+// Integrity: every ResultCache entry stores a content checksum computed at
+// insert time and re-verified on every hit. An entry whose bytes no longer
+// match (injected corruption, a future serialization bug) is quarantined —
+// erased and counted under serve.result_cache.quarantined — and reported as
+// a miss, so a corrupt result is never served.
+//
+// Sizing: a snapshot larger than the SnapshotCache's entire byte budget is
+// rejected with a typed ResourceExhausted (and counted under
+// serve.snapshot_cache.oversized) instead of evicting every other resident
+// entry on the way to an over-budget cache of one.
+//
 // Both caches are thread-safe and count hits/misses into an
 // obs::MetricRegistry when one is attached ("serve.snapshot_cache.hits",
 // "serve.result_cache.misses", ...).
@@ -59,8 +70,12 @@ class SnapshotCache {
   api::InstancePtr Lookup(std::uint64_t hash);
 
   /// Caches `instance` under `hash` (replacing any previous entry), then
-  /// evicts LRU entries until the byte budget holds again.
-  void Insert(std::uint64_t hash, api::InstancePtr instance);
+  /// evicts LRU entries until the byte budget holds again. A snapshot
+  /// larger than the whole budget is rejected with ResourceExhausted
+  /// (counted under serve.snapshot_cache.oversized) rather than admitted
+  /// at the cost of evicting everything else; the caller keeps using its
+  /// InstancePtr uncached.
+  Status Insert(std::uint64_t hash, api::InstancePtr instance);
 
   std::size_t size() const;
   std::size_t resident_bytes() const;
@@ -99,15 +114,27 @@ ResultKey MakeResultKey(std::uint64_t snapshot_hash,
                         const std::string& solver,
                         const api::SolveRequest& request);
 
+/// Content checksum of the fields a cached SolveResult serves back
+/// (selection, labels, cost/coverage bookkeeping, audit). Computed at
+/// insert and re-verified on every hit so a corrupted entry is detected
+/// before anyone consumes it.
+std::uint64_t ResultChecksum(const api::SolveResult& result);
+
 class ResultCache {
  public:
   explicit ResultCache(std::size_t capacity_entries,
                        obs::MetricRegistry* metrics = nullptr);
 
   /// The memoized result, refreshing recency; nullopt on miss. Counts
-  /// serve.result_cache.{hits,misses}.
+  /// serve.result_cache.{hits,misses}. A hit whose stored bytes fail the
+  /// checksum is quarantined: the entry is erased, counted under
+  /// serve.result_cache.quarantined, and reported as a miss.
   std::optional<api::SolveResult> Lookup(const ResultKey& key);
 
+  /// Memoizes `result` under `key` with its content checksum. An installed
+  /// FaultPlan arming result_cache_corrupt flips bits in the stored copy
+  /// (counted under serve.result_cache.corrupted) so the quarantine path
+  /// is exercisable.
   void Insert(const ResultKey& key, api::SolveResult result);
 
   std::size_t size() const;
@@ -116,6 +143,7 @@ class ResultCache {
   struct Entry {
     ResultKey key;
     api::SolveResult result;
+    std::uint64_t checksum = 0;
   };
 
   const std::size_t capacity_entries_;

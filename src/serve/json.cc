@@ -104,9 +104,16 @@ void DumpTo(const JsonValue& v, std::string& out) {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const JsonParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Result<JsonValue> Parse() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes) {
+      return Status::InvalidArgument(
+          "JSON input of " + std::to_string(text_.size()) +
+          " bytes exceeds the limit of " + std::to_string(limits_.max_bytes) +
+          " bytes");
+    }
     SCWSC_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
     SkipWhitespace();
     if (pos_ != text_.size()) {
@@ -168,36 +175,60 @@ class Parser {
     return ParseNumber();
   }
 
+  /// One recursion level per open container; bounded so "[[[[..." is a
+  /// typed error instead of a stack overflow.
+  Status EnterContainer() {
+    if (++depth_ > limits_.max_depth) {
+      return Error("nesting deeper than " + std::to_string(limits_.max_depth) +
+                   " levels");
+    }
+    return Status::OK();
+  }
+
   Result<JsonValue> ParseObject() {
     SCWSC_RETURN_NOT_OK(Expect('{'));
+    SCWSC_RETURN_NOT_OK(EnterContainer());
     JsonObject object;
     SkipWhitespace();
-    if (Consume('}')) return JsonValue(std::move(object));
+    if (Consume('}')) {
+      --depth_;
+      return JsonValue(std::move(object));
+    }
     for (;;) {
       SkipWhitespace();
       SCWSC_ASSIGN_OR_RETURN(std::string key, ParseString());
       SkipWhitespace();
       SCWSC_RETURN_NOT_OK(Expect(':'));
       SCWSC_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
-      object[std::move(key)] = std::move(value);
+      // Duplicate keys are ambiguous — last-wins would silently drop half
+      // of a batch spec — so they are rejected outright.
+      if (!object.emplace(std::move(key), std::move(value)).second) {
+        return Error("duplicate object key");
+      }
       SkipWhitespace();
       if (Consume(',')) continue;
       SCWSC_RETURN_NOT_OK(Expect('}'));
+      --depth_;
       return JsonValue(std::move(object));
     }
   }
 
   Result<JsonValue> ParseArray() {
     SCWSC_RETURN_NOT_OK(Expect('['));
+    SCWSC_RETURN_NOT_OK(EnterContainer());
     JsonArray array;
     SkipWhitespace();
-    if (Consume(']')) return JsonValue(std::move(array));
+    if (Consume(']')) {
+      --depth_;
+      return JsonValue(std::move(array));
+    }
     for (;;) {
       SCWSC_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
       array.push_back(std::move(value));
       SkipWhitespace();
       if (Consume(',')) continue;
       SCWSC_RETURN_NOT_OK(Expect(']'));
+      --depth_;
       return JsonValue(std::move(array));
     }
   }
@@ -285,11 +316,16 @@ class Parser {
     if (end == token.c_str() || *end != '\0') {
       return Error("malformed number '" + token + "'");
     }
+    if (!std::isfinite(value)) {  // "1e999" overflows to inf; JSON has no inf
+      return Error("number '" + token + "' is not finite");
+    }
     return JsonValue(value);
   }
 
   const std::string& text_;
+  const JsonParseLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
@@ -306,16 +342,18 @@ std::string JsonValue::Dump() const {
   return out;
 }
 
-Result<JsonValue> ParseJson(const std::string& text) {
-  return Parser(text).Parse();
+Result<JsonValue> ParseJson(const std::string& text,
+                            const JsonParseLimits& limits) {
+  return Parser(text, limits).Parse();
 }
 
-Result<JsonValue> ReadJsonFile(const std::string& path) {
+Result<JsonValue> ReadJsonFile(const std::string& path,
+                               const JsonParseLimits& limits) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseJson(buffer.str());
+  return ParseJson(buffer.str(), limits);
 }
 
 Status WriteJsonFile(const JsonValue& value, const std::string& path) {

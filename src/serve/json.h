@@ -8,6 +8,11 @@
 // Deliberately small: UTF-8 pass-through (no \uXXXX decoding beyond ASCII),
 // numbers parsed as double, no comments, no trailing commas. That is
 // exactly the subset the batch format and BENCH_serve.json use.
+//
+// Hardened against untrusted input (batch files arrive from users): bounded
+// nesting depth and total size (JsonParseLimits), duplicate object keys and
+// numbers that overflow to infinity are typed errors, never silent
+// acceptance or a stack overflow.
 
 #ifndef SCWSC_SERVE_JSON_H_
 #define SCWSC_SERVE_JSON_H_
@@ -75,12 +80,29 @@ class JsonValue {
   JsonObject object_;
 };
 
-/// Parses one JSON document (surrounding whitespace allowed, trailing
-/// garbage rejected). InvalidArgument with byte offset on malformed input.
-Result<JsonValue> ParseJson(const std::string& text);
+/// Bounds the parser enforces on untrusted input. Defaults are far above
+/// anything the batch format needs while keeping a hostile document (a
+/// megabyte of '[', a gigabyte file) from exhausting the stack or memory.
+struct JsonParseLimits {
+  /// Maximum container nesting depth; exceeding it is InvalidArgument, not
+  /// a stack overflow (the parser recurses once per level).
+  std::size_t max_depth = 64;
+  /// Maximum input size in bytes; 0 = unlimited.
+  std::size_t max_bytes = 16ull << 20;
+};
 
-/// Reads and parses a JSON file.
-Result<JsonValue> ReadJsonFile(const std::string& path);
+/// Parses one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected). InvalidArgument with byte offset on malformed input —
+/// including nesting beyond limits.max_depth, input beyond
+/// limits.max_bytes, duplicate object keys, and numbers that overflow to
+/// infinity ("1e999"): silently keeping the last duplicate or a non-finite
+/// number would corrupt batch semantics downstream.
+Result<JsonValue> ParseJson(const std::string& text,
+                            const JsonParseLimits& limits = {});
+
+/// Reads and parses a JSON file. NotFound when the file cannot be opened.
+Result<JsonValue> ReadJsonFile(const std::string& path,
+                               const JsonParseLimits& limits = {});
 
 /// Writes `value.Dump()` plus a trailing newline to `path`.
 Status WriteJsonFile(const JsonValue& value, const std::string& path);

@@ -1,8 +1,13 @@
 #include "src/serve/scheduler.h"
 
+#include <algorithm>
+#include <functional>
+#include <iterator>
+#include <stdexcept>
+#include <thread>
 #include <utility>
 
-#include "src/common/run_context.h"
+#include "src/common/fault.h"
 #include "src/common/stopwatch.h"
 
 namespace scwsc {
@@ -17,7 +22,9 @@ double SecondsSince(std::chrono::steady_clock::time_point start,
 }  // namespace
 
 SolveScheduler::SolveScheduler(ThreadPool* pool, SchedulerOptions options)
-    : pool_(pool), options_(options) {
+    : pool_(pool),
+      options_(std::move(options)),
+      retry_budget_(options_.resilience.retry_budget) {
   if (options_.trace != nullptr) {
     metrics_ = &options_.trace->metrics();
   } else {
@@ -29,9 +36,24 @@ SolveScheduler::SolveScheduler(ThreadPool* pool, SchedulerOptions options)
   result_cache_ = std::make_unique<ResultCache>(
       options_.result_cache_entries == 0 ? 1 : options_.result_cache_entries,
       metrics_);
+  breakers_ =
+      std::make_unique<BreakerBank>(options_.resilience.breaker, metrics_);
+  if (options_.resilience.watchdog) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
-SolveScheduler::~SolveScheduler() { Drain(); }
+SolveScheduler::~SolveScheduler() {
+  Drain();
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+}
 
 Result<std::future<JobOutcome>> SolveScheduler::Enqueue(SolveJob job) {
   obs::Span enqueue_span(options_.trace, "serve.enqueue");
@@ -63,7 +85,9 @@ Result<std::future<JobOutcome>> SolveScheduler::Enqueue(SolveJob job) {
     metrics_->counter("serve.jobs.accepted").Increment();
   }
   // One pool task per admitted job; the task picks the most urgent waiting
-  // job at pop time, which is how priority aging takes effect.
+  // job at pop time, which is how priority aging takes effect. Under an
+  // armed pool_task_loss fault this Submit may silently drop the task —
+  // the watchdog's stale-queue sweep re-dispatches.
   pool_->Submit([this] { RunOneJob(); });
   return future;
 }
@@ -120,31 +144,104 @@ void SolveScheduler::RunOneJob() {
     queue_.erase(best);
     queue_seconds = SecondsSince(pending.enqueued_at, now);
   }
+  ExecuteJob(std::move(pending), queue_seconds);
+}
 
+void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
   obs::Span run_span(options_.trace, "serve.run");
   JobOutcome outcome;
   outcome.queue_seconds = queue_seconds;
   outcome.label = pending.job.request.label;
 
   api::SolveRequest& request = pending.job.request;
-  const api::SolverInfo* info =
-      api::SolverRegistry::Global().Find(pending.job.solver);
+  const ResilienceOptions& res = options_.resilience;
+  api::SolverRegistry& registry = api::SolverRegistry::Global();
+
+  auto complete = [&](JobOutcome finished) {
+    metrics_
+        ->counter(finished.result.ok() ||
+                          finished.result.status().IsInterruption()
+                      ? "serve.jobs.completed"
+                      : "serve.jobs.failed")
+        .Increment();
+    pending.promise.set_value(std::move(finished));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--in_flight_ == 0) drained_cv_.notify_all();
+  };
+
+  std::string solver_to_run = pending.job.solver;
+  const api::SolverInfo* info = registry.Find(solver_to_run);
+  const std::string requested_canonical =
+      info != nullptr ? info->name : std::string();
+
+  auto degrade_to = [&](const api::SolverInfo* fallback, const char* why) {
+    if (outcome.degraded_from.empty()) {
+      outcome.degraded_from = requested_canonical;
+    }
+    info = fallback;
+    solver_to_run = fallback->name;
+    metrics_->counter(std::string("serve.degraded.") + why).Increment();
+    metrics_->counter("serve.degraded.jobs").Increment();
+    run_span.Event(std::string("degrade/") + why);
+  };
+
+  // Queue-pressure degradation, decided before any cache interaction so the
+  // memo key always names the solver that actually runs.
+  if (info != nullptr && res.degrade_on_pressure && !res.ladder.empty() &&
+      options_.max_queue_depth > 0) {
+    const double pressure =
+        static_cast<double>(in_flight()) /
+        static_cast<double>(options_.max_queue_depth);
+    if (pressure >= res.pressure_fraction) {
+      if (const std::string* fb = res.ladder.FallbackFor(info->name)) {
+        if (const api::SolverInfo* fb_info = registry.Find(*fb)) {
+          degrade_to(fb_info, "pressure");
+        }
+      }
+    }
+  }
+
+  // Breaker admission. An open breaker walks the ladder looking for a rung
+  // whose breaker admits; when none does, the job carries the typed
+  // Unavailable into the attempt loop (retryable, so a configured retry
+  // policy backs off and probes again).
+  Status admit = Status::OK();
+  if (res.breaker.enabled && info != nullptr) {
+    admit = breakers_->ForSolver(info->name).Admit();
+    const api::SolverInfo* walk = info;
+    while (!admit.ok()) {
+      const std::string* fb = res.ladder.FallbackFor(walk->name);
+      if (fb == nullptr) break;
+      const api::SolverInfo* fb_info = registry.Find(*fb);
+      if (fb_info == nullptr) break;
+      const Status fb_admit = breakers_->ForSolver(fb_info->name).Admit();
+      walk = fb_info;
+      if (fb_admit.ok()) {
+        degrade_to(fb_info, "breaker");
+        admit = Status::OK();
+      }
+    }
+  }
+
   // Deadline-free solves are deterministic: memoizable. Keys use the
-  // canonical solver spelling so "CWSC" and "cwsc" share one entry.
+  // canonical spelling of the *executing* solver so "CWSC" and "cwsc"
+  // share one entry and degraded runs memoize under the fallback's name.
   const bool cacheable = info != nullptr && request.deadline.count() == 0 &&
                          options_.result_cache_entries > 0;
   ResultKey key;
   if (cacheable) {
     key = MakeResultKey(SnapshotHashFor(request.instance), info->name,
                         request);
+    // A cache hit bypasses breakers and faults entirely — serving memoized
+    // results is the cheapest form of graceful degradation.
     if (std::optional<api::SolveResult> cached = result_cache_->Lookup(key)) {
       run_span.Event("cache.hit");
+      if (!outcome.degraded_from.empty()) {
+        cached->degraded_from = outcome.degraded_from;
+      }
       outcome.result = *std::move(cached);
       outcome.from_result_cache = true;
-      metrics_->counter("serve.jobs.completed").Increment();
-      pending.promise.set_value(std::move(outcome));
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) drained_cv_.notify_all();
+      complete(std::move(outcome));
       return;
     }
     run_span.Event("cache.miss");
@@ -152,33 +249,173 @@ void SolveScheduler::RunOneJob() {
 
   // The job deadline becomes this job's RunContext; the registry would
   // reject a request carrying both.
-  RunContext deadline_context;
-  const RunContext* run_context = nullptr;
-  if (request.deadline.count() > 0) {
-    deadline_context.SetDeadline(request.deadline);
-    request.deadline = std::chrono::milliseconds{0};
-    run_context = &deadline_context;
-  }
+  const std::chrono::milliseconds deadline = request.deadline;
+  request.deadline = std::chrono::milliseconds{0};
   if (request.trace == nullptr) {
     request.trace = options_.trace;  // jobs trace into the serve session
   }
 
+  const int max_attempts = std::max(1, res.retry.max_attempts);
+  double backoff_ms = 0.0;
   Stopwatch timer;
-  outcome.result = api::SolverRegistry::Global().Solve(pending.job.solver,
-                                                       request, run_context);
+  for (;;) {
+    ++outcome.attempts;
+    if (!admit.ok()) {
+      outcome.result = admit;  // typed Unavailable from the open breaker
+    } else {
+      RunContext context;
+      RunContext* run_context = nullptr;
+      if (deadline.count() > 0) {
+        context.SetDeadline(deadline);
+        run_context = &context;
+      }
+      // Register the in-flight context so the watchdog can trip a job
+      // stuck past its deadline + grace (a solver that stops checking its
+      // context, an injected stall).
+      std::list<RunningJob>::iterator running_it;
+      bool registered = false;
+      if (run_context != nullptr) {
+        std::lock_guard<std::mutex> lock(mu_);
+        running_.push_back(RunningJob{
+            run_context, std::chrono::steady_clock::now() + deadline, true});
+        running_it = std::prev(running_.end());
+        registered = true;
+      }
+
+      if (FaultPlan* plan = FaultPlan::Active();
+          plan != nullptr && plan->ShouldFire(FaultPoint::kSolverDelay)) {
+        metrics_->counter("serve.faults.solver_delay").Increment();
+        run_span.Event("fault/solver_delay");
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(plan->solver_delay_ms()));
+      }
+      // The solver call site is exception-contained: a throwing solver (or
+      // an injected throw) becomes Status::Internal, never a lost future.
+      try {
+        if (FaultFires(FaultPoint::kSolverError)) {
+          metrics_->counter("serve.faults.solver_error").Increment();
+          run_span.Event("fault/solver_error");
+          outcome.result = Status::Internal(
+              "injected fault: solver failure (FaultPoint solver_error)");
+        } else if (FaultFires(FaultPoint::kSolverThrow)) {
+          metrics_->counter("serve.faults.solver_throw").Increment();
+          run_span.Event("fault/solver_throw");
+          throw std::runtime_error(
+              "injected fault: solver exception (FaultPoint solver_throw)");
+        } else {
+          outcome.result = registry.Solve(solver_to_run, request, run_context);
+        }
+      } catch (const std::exception& e) {
+        outcome.result =
+            Status::Internal(std::string("solver threw: ") + e.what());
+      } catch (...) {
+        outcome.result =
+            Status::Internal("solver threw a non-standard exception");
+      }
+      if (registered) {
+        std::lock_guard<std::mutex> lock(mu_);
+        running_.erase(running_it);
+      }
+
+      // Breaker accounting: success heals, Internal and deadline trips are
+      // failures; cancel / budget trips say nothing about solver health.
+      if (res.breaker.enabled && info != nullptr) {
+        CircuitBreaker& breaker = breakers_->ForSolver(info->name);
+        if (outcome.result.ok()) {
+          breaker.RecordSuccess();
+        } else {
+          const StatusCode code = outcome.result.status().code();
+          if (code == StatusCode::kInternal ||
+              code == StatusCode::kDeadlineExceeded) {
+            breaker.RecordFailure();
+          }
+        }
+      }
+    }
+
+    if (outcome.result.ok()) break;
+    const Status& status = outcome.result.status();
+    if (status.IsInterruption()) break;  // typed partials are never retried
+    if (!IsRetryableFailure(status)) break;
+    if (outcome.attempts >= max_attempts) {
+      if (res.retry.enabled()) {
+        metrics_->counter("serve.retries.exhausted").Increment();
+      }
+      break;
+    }
+    if (!retry_budget_.TryAcquire(outcome.label)) {
+      metrics_->counter("serve.retries.budget_denied").Increment();
+      break;
+    }
+    // Decorrelated jitter; the draw mixes the label so concurrent retrying
+    // jobs spread out instead of thundering in lockstep.
+    backoff_ms = NextBackoffMs(
+        res.retry, backoff_ms,
+        std::hash<std::string>{}(outcome.label) ^
+            static_cast<std::uint64_t>(outcome.attempts));
+    metrics_->counter("serve.retries.attempted").Increment();
+    run_span.Event("retry/backoff");
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    if (res.breaker.enabled && info != nullptr) {
+      admit = breakers_->ForSolver(info->name).Admit();
+    }
+  }
   outcome.run_seconds = timer.ElapsedSeconds();
 
+  // Memoize the *clean* result under the executing solver's key before
+  // stamping serve-layer provenance: a later non-degraded request for the
+  // fallback solver must not inherit this job's degraded_from.
   if (cacheable && outcome.result.ok()) {
     result_cache_->Insert(key, *outcome.result);
   }
-  metrics_
-      ->counter(outcome.result.ok() || outcome.result.status().IsInterruption()
-                    ? "serve.jobs.completed"
-                    : "serve.jobs.failed")
-      .Increment();
-  pending.promise.set_value(std::move(outcome));
-  std::lock_guard<std::mutex> lock(mu_);
-  if (--in_flight_ == 0) drained_cv_.notify_all();
+  if (!outcome.degraded_from.empty() && outcome.result.ok()) {
+    outcome.result->degraded_from = outcome.degraded_from;
+  }
+  complete(std::move(outcome));
+}
+
+void SolveScheduler::WatchdogLoop() {
+  const auto interval = std::chrono::duration<double>(
+      std::max(options_.resilience.watchdog_interval_seconds, 0.001));
+  const auto grace =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              std::max(options_.resilience.watchdog_grace_seconds, 0.0)));
+  const double stale_seconds =
+      std::max(options_.resilience.watchdog_stale_seconds, 0.0);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, interval, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    // Deadline enforcement from outside the job: a solver wedged past
+    // deadline + grace gets its context cancelled, so the registry call
+    // returns an interruption Status and the future completes.
+    for (const RunningJob& running : running_) {
+      if (running.has_deadline && now > running.deadline_at + grace &&
+          running.context->tripped() == TripKind::kNone) {
+        running.context->RequestCancel();
+        metrics_->counter("serve.watchdog.tripped").Increment();
+      }
+    }
+    // Liveness: a queue entry older than the stale bound means its
+    // dispatch task never ran (injected pool task loss, or a flood);
+    // submit a replacement per stale entry. Extra tasks are harmless —
+    // RunOneJob returns when the queue is empty.
+    std::size_t stale = 0;
+    for (const PendingJob& pending : queue_) {
+      if (SecondsSince(pending.enqueued_at, now) > stale_seconds) ++stale;
+    }
+    if (stale > 0) {
+      metrics_->counter("serve.watchdog.redispatched").Increment(stale);
+      lock.unlock();  // Submit runs inline on a 1-lane pool; never hold mu_
+      for (std::size_t i = 0; i < stale; ++i) {
+        pool_->Submit([this] { RunOneJob(); });
+      }
+      lock.lock();
+    }
+  }
 }
 
 }  // namespace serve

@@ -30,9 +30,36 @@
 // dedupe instance construction (the batch front end keys table loads by
 // content).
 //
+// Resilience (opt-in; defaults are inert and bit-identical to a scheduler
+// without them — see serve/resilience.h):
+//   - Retries: per-job attempt loop re-running retryable failures
+//     (Internal / Unavailable) up to RetryPolicy::max_attempts with
+//     decorrelated-jitter backoff, gated by a per-label token-bucket
+//     RetryBudget so one tenant's failures cannot storm the pool.
+//   - Circuit breakers: one breaker per canonical solver name; consecutive
+//     Internal/deadline failures open it, open-state jobs get a typed
+//     Unavailable with retry-after (or degrade, below), probes half-open it
+//     back.
+//   - Degradation: a DegradationLadder substitutes the next-cheaper
+//     registered solver under queue pressure or an open breaker; the
+//     substitution is stamped into SolveResult::degraded_from and the
+//     outcome, never into the memoized cache entry.
+//   - Watchdog: a background thread trips RunContexts of jobs stuck past
+//     deadline + grace and re-submits pool tasks for queue entries no
+//     worker claimed (the recovery path for injected ThreadPool task
+//     loss), so every admitted future completes even under chaos.
+//
+// Fault injection (src/common/fault.h): with an installed FaultPlan the
+// scheduler's solve call site can be told to fail (solver_error), throw
+// (solver_throw — contained and converted to Status::Internal) or stall
+// (solver_delay); the caches and the pool carry their own points.
+//
 // Observability: spans serve.enqueue / serve.run per job and counters
 // serve.jobs.{accepted,rejected,completed,failed}, serve.result_cache.*,
-// serve.snapshot_cache.* through the session's MetricRegistry.
+// serve.snapshot_cache.*, serve.retries.*, serve.breaker.*,
+// serve.degraded.*, serve.watchdog.*, serve.faults.* through the session's
+// MetricRegistry; retry/degrade/fault moments appear as span events
+// ("retry/backoff", "degrade/breaker", "fault/solver_error").
 
 #ifndef SCWSC_SERVE_SCHEDULER_H_
 #define SCWSC_SERVE_SCHEDULER_H_
@@ -46,12 +73,15 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "src/api/registry.h"
+#include "src/common/run_context.h"
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/serve/cache.h"
+#include "src/serve/resilience.h"
 
 namespace scwsc {
 namespace serve {
@@ -74,6 +104,13 @@ struct JobOutcome {
   double queue_seconds = 0.0;  // admission -> dispatch
   double run_seconds = 0.0;    // dispatch -> completion (0 on cache hit)
   std::string label;           // echoed from the request
+  /// Solve attempts executed (0 on a cache hit, 1 for a plain run, more
+  /// when the retry policy re-ran a retryable failure).
+  int attempts = 0;
+  /// Canonical name of the originally requested solver when degradation
+  /// substituted a cheaper one; empty otherwise (mirrors
+  /// SolveResult::degraded_from so error outcomes carry it too).
+  std::string degraded_from;
 };
 
 struct SchedulerOptions {
@@ -90,6 +127,9 @@ struct SchedulerOptions {
   /// counters go here. The scheduler keeps its own MetricRegistry when
   /// null, so counters are always available via metrics().
   obs::TraceSession* trace = nullptr;
+  /// Recovery policies (retries, breakers, degradation, watchdog). The
+  /// default is inert — see serve/resilience.h.
+  ResilienceOptions resilience;
 };
 
 class SolveScheduler {
@@ -124,6 +164,11 @@ class SolveScheduler {
   /// Jobs admitted but not yet completed (queued + running).
   std::size_t in_flight() const;
 
+  /// The per-solver circuit breakers (visible for tests and frontends that
+  /// report breaker state). Always constructed; inert unless
+  /// options.resilience.breaker.enabled.
+  BreakerBank& breakers() { return *breakers_; }
+
  private:
   struct PendingJob {
     SolveJob job;
@@ -131,9 +176,27 @@ class SolveScheduler {
     std::chrono::steady_clock::time_point enqueued_at;
   };
 
+  /// One running job's interruption handle, registered while the registry
+  /// call is in flight so the watchdog can trip it (RequestCancel needs
+  /// the non-const context).
+  struct RunningJob {
+    RunContext* context = nullptr;
+    std::chrono::steady_clock::time_point deadline_at;
+    bool has_deadline = false;
+  };
+
   /// Worker-side: pops the job with the highest effective priority and
-  /// runs it to completion (cache lookup, registry solve, cache fill).
+  /// runs it to completion (cache lookup, attempt loop with retries /
+  /// breaker / degradation, cache fill).
   void RunOneJob();
+
+  /// Completes one popped job: resolves degradation, consults the result
+  /// cache, runs the attempt loop, fills the outcome and the promise.
+  void ExecuteJob(PendingJob pending, double queue_seconds);
+
+  /// Background thread body: trips overdue running jobs and re-dispatches
+  /// stale queue entries (see ResilienceOptions::watchdog).
+  void WatchdogLoop();
 
   /// Content hash of the job's snapshot, memoized by snapshot address so a
   /// shared instance is scanned once, not once per job.
@@ -145,15 +208,23 @@ class SolveScheduler {
   std::unique_ptr<obs::MetricRegistry> owned_metrics_;
   std::unique_ptr<SnapshotCache> snapshot_cache_;
   std::unique_ptr<ResultCache> result_cache_;
+  std::unique_ptr<BreakerBank> breakers_;
+  RetryBudget retry_budget_;
 
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;  // fires when in_flight_ hits 0
   std::list<PendingJob> queue_;
-  std::size_t in_flight_ = 0;  // queued + running
+  std::list<RunningJob> running_;  // registry calls currently in flight
+  std::size_t in_flight_ = 0;      // queued + running
   bool draining_ = false;
 
   std::mutex hash_mu_;
   std::map<const api::InstanceSnapshot*, std::uint64_t> hash_memo_;
+
+  // Watchdog thread state (only started when options.resilience.watchdog).
+  std::condition_variable watchdog_cv_;  // waits on mu_
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 };
 
 }  // namespace serve

@@ -22,6 +22,16 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(StatusTest, UnavailableIsNotAnInterruption) {
+  // Unavailable (open circuit breaker) is a retryable condition, not a
+  // cooperative interruption carrying a partial result.
+  Status st = Status::Unavailable("breaker open; retry after 0.5s");
+  EXPECT_FALSE(st.IsInterruption());
+  EXPECT_EQ(StatusCodeToString(st.code()), "Unavailable");
+  EXPECT_EQ(st.ToString(), "Unavailable: breaker open; retry after 0.5s");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {

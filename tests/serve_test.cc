@@ -13,17 +13,20 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "src/api/instance.h"
 #include "src/api/registry.h"
+#include "src/common/fault.h"
 #include "src/common/run_context.h"
 #include "src/common/thread_pool.h"
 #include "src/gen/toy.h"
 #include "src/serve/batch.h"
 #include "src/serve/cache.h"
 #include "src/serve/json.h"
+#include "src/serve/resilience.h"
 
 namespace scwsc {
 namespace {
@@ -191,6 +194,67 @@ TEST(ServeJsonTest, MalformedInputsAreTypedErrors) {
   EXPECT_TRUE(status.IsInvalidArgument());
 }
 
+TEST(ServeJsonTest, TruncatedInputsAreTypedErrors) {
+  for (const char* text :
+       {"", "{", "{\"a\"", "{\"a\":", "{\"a\":1,", "[", "[1,", "\"unterminat",
+        "tru", "-"}) {
+    auto parsed = serve::ParseJson(text);
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << "input: " << text;
+  }
+}
+
+TEST(ServeJsonTest, NestingBeyondTheDepthLimitIsRejected) {
+  serve::JsonParseLimits limits;
+  limits.max_depth = 8;
+  const std::string fits(8, '[');
+  EXPECT_TRUE(serve::ParseJson(fits + std::string(8, ']'), limits).ok());
+  const std::string too_deep(9, '[');
+  auto rejected = serve::ParseJson(too_deep + std::string(9, ']'), limits);
+  ASSERT_TRUE(rejected.status().IsInvalidArgument());
+  EXPECT_NE(rejected.status().message().find("nesting"), std::string::npos);
+
+  // A hostile megabyte of '[' with the default limits errors instead of
+  // overflowing the parser's stack.
+  EXPECT_FALSE(serve::ParseJson(std::string(1 << 20, '[')).ok());
+
+  // Mixed object/array nesting counts every level.
+  limits.max_depth = 3;
+  EXPECT_TRUE(serve::ParseJson(R"({"a": [{"b": 1}]})", limits).ok());
+  EXPECT_FALSE(serve::ParseJson(R"({"a": [{"b": []}]})", limits).ok());
+}
+
+TEST(ServeJsonTest, InputBeyondTheSizeLimitIsRejected) {
+  serve::JsonParseLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_TRUE(serve::ParseJson("[1, 2, 3]", limits).ok());
+  auto rejected = serve::ParseJson("[1, 2, 3, 4, 5, 6]", limits);
+  ASSERT_TRUE(rejected.status().IsInvalidArgument());
+  EXPECT_NE(rejected.status().message().find("exceeds"), std::string::npos);
+  limits.max_bytes = 0;  // 0 = unlimited
+  EXPECT_TRUE(serve::ParseJson("[1, 2, 3, 4, 5, 6]", limits).ok());
+}
+
+TEST(ServeJsonTest, NonFiniteNumbersAreRejected) {
+  // JSON has no NaN/Infinity literals, and "1e999" overflows double to
+  // infinity: both must be typed errors, not silent poison values.
+  EXPECT_FALSE(serve::ParseJson("NaN").ok());
+  EXPECT_FALSE(serve::ParseJson("Infinity").ok());
+  auto overflow = serve::ParseJson("1e999");
+  ASSERT_TRUE(overflow.status().IsInvalidArgument());
+  EXPECT_NE(overflow.status().message().find("not finite"), std::string::npos);
+  EXPECT_FALSE(serve::ParseJson("-1e999").ok());
+  EXPECT_FALSE(serve::ParseJson("[1, 1e999]").ok());
+  EXPECT_TRUE(serve::ParseJson("1e308").ok());  // near the edge but finite
+}
+
+TEST(ServeJsonTest, DuplicateObjectKeysAreRejected) {
+  auto dup = serve::ParseJson(R"({"a": 1, "a": 2})");
+  ASSERT_TRUE(dup.status().IsInvalidArgument());
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+  EXPECT_FALSE(serve::ParseJson(R"({"x": {"a": 1, "b": 2, "a": 3}})").ok());
+  EXPECT_TRUE(serve::ParseJson(R"({"a": 1, "b": {"a": 2}})").ok());
+}
+
 // -------------------------------------------------------------- caches ----
 
 TEST(ServeCacheTest, ContentHashIsStableAndContentSensitive) {
@@ -241,6 +305,104 @@ TEST(ServeCacheTest, ResultCacheKeySeparatesOptionSpellingsByCanonicalForm) {
   ASSERT_TRUE(cache.Lookup(key_canonical).has_value());
   EXPECT_EQ(cache.Lookup(key_canonical)->total_cost, 5.0);
   EXPECT_FALSE(cache.Lookup(key_alias).has_value());
+}
+
+TEST(ServeCacheTest, OversizedSnapshotIsRejectedWithoutEvictingTheCache) {
+  InstancePtr small = ToyInstance();
+  const std::size_t small_bytes = serve::ApproxSnapshotBytes(*small);
+
+  // A set system an order of magnitude bigger than the budget.
+  SetSystem big_system(512);
+  for (int s = 0; s < 64; ++s) {
+    std::vector<ElementId> elements;
+    for (ElementId e = 0; e < 512; ++e) elements.push_back(e);
+    ASSERT_TRUE(
+        big_system.AddSet(elements, 1.0, "big-" + std::to_string(s)).ok());
+  }
+  auto big = api::InstanceSnapshot::FromSetSystem(std::move(big_system));
+  ASSERT_TRUE(big.ok());
+  const std::size_t big_bytes = serve::ApproxSnapshotBytes(**big);
+  ASSERT_GT(big_bytes, 2 * small_bytes);
+
+  obs::MetricRegistry metrics;
+  serve::SnapshotCache cache(big_bytes / 2, &metrics);
+  ASSERT_TRUE(cache.Insert(1, small).ok());
+
+  // The oversized entry is refused with a typed error and a counter —
+  // the resident entry is NOT sacrificed for an instance that can never fit.
+  Status rejected = cache.Insert(2, *big);
+  EXPECT_TRUE(rejected.IsResourceExhausted());
+  EXPECT_NE(rejected.message().find("exceeds"), std::string::npos);
+  EXPECT_EQ(metrics.CounterValue("serve.snapshot_cache.oversized"), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Lookup(1), nullptr);  // survivor intact
+  EXPECT_EQ(cache.Lookup(2), nullptr);
+
+  // Null inserts are typed errors too, not crashes.
+  EXPECT_TRUE(cache.Insert(3, nullptr).IsInvalidArgument());
+}
+
+TEST(ServeCacheTest, ResultCacheLruHoldsExactlyCapacityEntries) {
+  serve::ResultCache cache(2);
+  SolveResult result;
+  serve::ResultKey a, b, c;
+  a.snapshot_hash = 1;
+  b.snapshot_hash = 2;
+  c.snapshot_hash = 3;
+  cache.Insert(a, result);
+  cache.Insert(b, result);
+  ASSERT_EQ(cache.size(), 2u);
+
+  // Touch `a` so `b` is the LRU victim when `c` arrives.
+  ASSERT_TRUE(cache.Lookup(a).has_value());
+  cache.Insert(c, result);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(a).has_value());
+  EXPECT_FALSE(cache.Lookup(b).has_value());
+  EXPECT_TRUE(cache.Lookup(c).has_value());
+
+  // Re-inserting an existing key replaces in place — no growth, no evict.
+  cache.Insert(a, result);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(c).has_value());
+}
+
+TEST(ServeCacheTest, CorruptedResultEntriesAreQuarantinedNotServed) {
+  obs::MetricRegistry metrics;
+  serve::ResultCache cache(4, &metrics);
+  SolveResult result;
+  result.total_cost = 12.5;
+  result.covered = 9;
+  result.labels = {"p1", "p2"};
+  serve::ResultKey key;
+  key.snapshot_hash = 99;
+
+  // Checksums are content-sensitive: any served-back field matters.
+  SolveResult tweaked = result;
+  tweaked.covered = 10;
+  EXPECT_NE(serve::ResultChecksum(result), serve::ResultChecksum(tweaked));
+
+  {
+    // Insert under an armed corruption fault: the stored bits are flipped
+    // after the (clean) checksum was recorded.
+    ScopedFaultPlan chaos(/*seed=*/3);
+    chaos.plan().Arm(FaultPoint::kResultCacheCorrupt, 1.0);
+    cache.Insert(key, result);
+  }
+  ASSERT_EQ(cache.size(), 1u);
+
+  // The poisoned entry is never served: lookup detects the mismatch,
+  // quarantines (erases) it and reports a miss.
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(metrics.CounterValue("serve.result_cache.quarantined"), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A clean re-insert serves normally again.
+  cache.Insert(key, result);
+  auto served = cache.Lookup(key);
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(served->total_cost, 12.5);
+  EXPECT_EQ(metrics.CounterValue("serve.result_cache.quarantined"), 1u);
 }
 
 // ----------------------------------------------------------- scheduler ----
@@ -427,6 +589,296 @@ TEST(SolveSchedulerTest, UnknownSolverFailsTheJobNotTheScheduler) {
   EXPECT_GE(scheduler.metrics().CounterValue("serve.jobs.failed"), 1u);
 }
 
+// ------------------------------------------------------------ resilience ----
+
+TEST(SolveSchedulerTest, ExhaustedRetriesSurfaceTheInjectedError) {
+  ScopedFaultPlan chaos(/*seed=*/11);
+  chaos.plan().Arm(FaultPoint::kSolverError, 1.0);  // every attempt fails
+
+  ThreadPool pool(2);
+  serve::SchedulerOptions options;
+  options.resilience.retry.max_attempts = 3;
+  options.resilience.retry.initial_backoff_ms = 0.1;
+  options.resilience.retry.max_backoff_ms = 1.0;
+  SolveScheduler scheduler(&pool, options);
+
+  auto future = scheduler.Enqueue(MakeJob(ToyInstance(), "cwsc"));
+  ASSERT_TRUE(future.ok());
+  JobOutcome outcome = future->get();
+  ASSERT_FALSE(outcome.result.ok());
+  EXPECT_TRUE(outcome.result.status().IsInternal());
+  EXPECT_NE(outcome.result.status().message().find("injected fault"),
+            std::string::npos);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(scheduler.metrics().CounterValue("serve.retries.attempted"), 2u);
+  EXPECT_EQ(scheduler.metrics().CounterValue("serve.retries.exhausted"), 1u);
+  EXPECT_EQ(scheduler.metrics().CounterValue("serve.faults.solver_error"), 3u);
+  EXPECT_GE(scheduler.metrics().CounterValue("serve.jobs.failed"), 1u);
+}
+
+TEST(SolveSchedulerTest, RetriesRecoverFromTransientInjectedErrors) {
+  ScopedFaultPlan chaos(/*seed=*/20240808);
+  chaos.plan().Arm(FaultPoint::kSolverError, 0.5);
+
+  ThreadPool pool(2);
+  serve::SchedulerOptions options;
+  options.resilience.retry.max_attempts = 30;
+  options.resilience.retry.initial_backoff_ms = 0.1;
+  options.resilience.retry.max_backoff_ms = 1.0;
+  options.resilience.retry_budget.burst = 100.0;
+  SolveScheduler scheduler(&pool, options);
+
+  // One job at a time: the fault draw sequence is consumed sequentially, so
+  // with p = 0.5 and 30 attempts the job recovers (0.5^30 failure odds,
+  // deterministic for a fixed seed anyway).
+  auto future = scheduler.Enqueue(MakeJob(ToyInstance(), "cwsc"));
+  ASSERT_TRUE(future.ok());
+  JobOutcome outcome = future->get();
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.status().ToString();
+  EXPECT_GE(outcome.attempts, 1);
+  EXPECT_TRUE(outcome.result->audit.bookkeeping_consistent);
+  // Provenance: a retried success is NOT a degraded result.
+  EXPECT_TRUE(outcome.degraded_from.empty());
+}
+
+TEST(SolveSchedulerTest, InjectedThrowsBecomeTypedInternalErrors) {
+  ScopedFaultPlan chaos(/*seed=*/4);
+  chaos.plan().Arm(FaultPoint::kSolverThrow, 1.0);
+
+  ThreadPool pool(2);
+  SolveScheduler scheduler(&pool);  // no retries: the throw surfaces once
+  auto future = scheduler.Enqueue(MakeJob(ToyInstance(), "cwsc"));
+  ASSERT_TRUE(future.ok());
+  JobOutcome outcome = future->get();
+  ASSERT_FALSE(outcome.result.ok());
+  EXPECT_TRUE(outcome.result.status().IsInternal());
+  EXPECT_NE(outcome.result.status().message().find("solver threw"),
+            std::string::npos);
+  EXPECT_EQ(scheduler.metrics().CounterValue("serve.faults.solver_throw"), 1u);
+}
+
+TEST(SolveSchedulerTest, OpenBreakerDegradesOntoTheLadder) {
+  ThreadPool pool(2);
+  serve::SchedulerOptions options;
+  options.resilience.breaker.enabled = true;
+  options.resilience.breaker.failure_threshold = 1;
+  options.resilience.breaker.open_seconds = 60.0;  // stays open for the test
+  options.resilience.ladder = serve::DegradationLadder::Default();
+  SolveScheduler scheduler(&pool, options);
+  InstancePtr instance = ToyInstance();
+
+  {
+    // One injected failure opens exact's breaker (threshold 1).
+    ScopedFaultPlan chaos(/*seed=*/8);
+    chaos.plan().Arm(FaultPoint::kSolverError, 1.0);
+    auto failing = scheduler.Enqueue(MakeJob(instance, "exact"));
+    ASSERT_TRUE(failing.ok());
+    EXPECT_TRUE(failing->get().result.status().IsInternal());
+  }
+  EXPECT_EQ(scheduler.breakers().ForSolver("exact").state(),
+            serve::CircuitBreaker::State::kOpen);
+  EXPECT_GE(scheduler.metrics().CounterValue("serve.breaker.opened"), 1u);
+
+  // With the fault gone, the next "exact" job degrades onto cwsc (the
+  // ladder rung whose breaker is closed) and succeeds, stamped with
+  // provenance naming the solver originally asked for.
+  auto degraded = scheduler.Enqueue(MakeJob(instance, "exact"));
+  ASSERT_TRUE(degraded.ok());
+  JobOutcome outcome = degraded->get();
+  ASSERT_TRUE(outcome.result.ok()) << outcome.result.status().ToString();
+  EXPECT_EQ(outcome.degraded_from, "exact");
+  EXPECT_EQ(outcome.result->degraded_from, "exact");
+  EXPECT_GE(scheduler.metrics().CounterValue("serve.degraded.breaker"), 1u);
+  EXPECT_GE(scheduler.metrics().CounterValue("serve.degraded.jobs"), 1u);
+
+  // The degraded run memoized a CLEAN result under cwsc's own key: asking
+  // for cwsc directly now hits the cache with no degradation provenance.
+  auto direct = scheduler.Enqueue(MakeJob(instance, "cwsc"));
+  ASSERT_TRUE(direct.ok());
+  JobOutcome cached = direct->get();
+  ASSERT_TRUE(cached.result.ok());
+  EXPECT_TRUE(cached.from_result_cache);
+  EXPECT_TRUE(cached.result->degraded_from.empty());
+}
+
+TEST(SolveSchedulerTest, OpenBreakerWithNoLadderRejectsWithUnavailable) {
+  ThreadPool pool(2);
+  serve::SchedulerOptions options;
+  options.resilience.breaker.enabled = true;
+  options.resilience.breaker.failure_threshold = 1;
+  options.resilience.breaker.open_seconds = 60.0;
+  options.result_cache_entries = 0;  // no memoized copies to serve
+  SolveScheduler scheduler(&pool, options);
+  InstancePtr instance = ToyInstance();
+
+  {
+    ScopedFaultPlan chaos(/*seed=*/8);
+    chaos.plan().Arm(FaultPoint::kSolverError, 1.0);
+    auto failing = scheduler.Enqueue(MakeJob(instance, "cwsc"));
+    ASSERT_TRUE(failing.ok());
+    failing->get();
+  }
+
+  auto rejected = scheduler.Enqueue(MakeJob(instance, "cwsc"));
+  ASSERT_TRUE(rejected.ok());  // admission is fine; the job itself bounces
+  JobOutcome outcome = rejected->get();
+  ASSERT_FALSE(outcome.result.ok());
+  EXPECT_TRUE(outcome.result.status().IsUnavailable());
+  EXPECT_NE(outcome.result.status().message().find("retry after"),
+            std::string::npos);
+  EXPECT_GE(scheduler.metrics().CounterValue("serve.breaker.rejected"), 1u);
+}
+
+TEST(SolveSchedulerTest, WatchdogRedispatchesLostPoolTasks) {
+  ScopedFaultPlan chaos(/*seed=*/17);
+  chaos.plan().Arm(FaultPoint::kPoolTaskLoss, 1.0);  // drop every dispatch
+
+  ThreadPool pool(2);
+  serve::SchedulerOptions options;
+  options.resilience.watchdog = true;
+  options.resilience.watchdog_interval_seconds = 0.01;
+  options.resilience.watchdog_stale_seconds = 0.05;
+  SolveScheduler scheduler(&pool, options);
+
+  auto future = scheduler.Enqueue(MakeJob(ToyInstance(), "cwsc"));
+  ASSERT_TRUE(future.ok());
+  // The dispatch task was swallowed; heal the pool and let the watchdog's
+  // stale-queue sweep submit a replacement.
+  chaos.plan().Arm(FaultPoint::kPoolTaskLoss, 0.0);
+  ASSERT_EQ(future->wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "lost pool task was never redispatched";
+  JobOutcome outcome = future->get();
+  EXPECT_TRUE(outcome.result.ok()) << outcome.result.status().ToString();
+  EXPECT_GE(scheduler.metrics().CounterValue("serve.watchdog.redispatched"),
+            1u);
+}
+
+TEST(SolveSchedulerTest, ChaosReplayWithTheSameSeedFiresIdentically) {
+  // Two fresh scheduler runs over the same single-threaded job sequence and
+  // the same plan seed must consume and fire identical fault draws.
+  auto run = [](std::uint64_t seed) {
+    ScopedFaultPlan chaos(seed);
+    chaos.plan().Arm(FaultPoint::kSolverError, 0.4);
+    chaos.plan().Arm(FaultPoint::kResultCacheCorrupt, 0.3);
+
+    ThreadPool pool(1);  // inline execution: a deterministic draw sequence
+    serve::SchedulerOptions options;
+    options.resilience.retry.max_attempts = 4;
+    options.resilience.retry.initial_backoff_ms = 0.1;
+    options.resilience.retry.max_backoff_ms = 0.5;
+    SolveScheduler scheduler(&pool, options);
+    InstancePtr instance = ToyInstance();
+    std::vector<std::future<JobOutcome>> futures;
+    for (int i = 0; i < 6; ++i) {
+      auto future = scheduler.Enqueue(
+          MakeJob(instance, i % 2 == 0 ? "cwsc" : "greedy-wsc"));
+      EXPECT_TRUE(future.ok());
+      futures.push_back(std::move(*future));
+    }
+    std::vector<bool> outcomes;
+    for (auto& f : futures) outcomes.push_back(f.get().result.ok());
+    return std::tuple(outcomes,
+                      chaos.plan().draws(FaultPoint::kSolverError),
+                      chaos.plan().fires(FaultPoint::kSolverError),
+                      chaos.plan().fires(FaultPoint::kResultCacheCorrupt));
+  };
+
+  const auto first = run(77);
+  const auto second = run(77);
+  EXPECT_EQ(first, second);
+  const auto other = run(78);
+  // Different seed, same draw structure: counts may coincide but the
+  // decision stream is independent — just sanity-check draws happened.
+  EXPECT_GT(std::get<1>(other), 0u);
+}
+
+TEST(SolveSchedulerTest, ConcurrentChaosCompletesEveryFuture) {
+  ScopedFaultPlan chaos(/*seed=*/20260808);
+  chaos.plan().Arm(FaultPoint::kSolverError, 0.3);
+  chaos.plan().Arm(FaultPoint::kSolverThrow, 0.1);
+  chaos.plan().Arm(FaultPoint::kSolverDelay, 0.2);
+  chaos.plan().set_solver_delay_ms(1);
+  chaos.plan().Arm(FaultPoint::kSnapshotMaterialize, 0.05);
+  chaos.plan().Arm(FaultPoint::kResultCacheCorrupt, 0.2);
+
+  ThreadPool pool(4);
+  serve::SchedulerOptions options;
+  options.resilience.retry.max_attempts = 4;
+  options.resilience.retry.initial_backoff_ms = 0.1;
+  options.resilience.retry.max_backoff_ms = 2.0;
+  options.resilience.retry_budget.burst = 1000.0;
+  options.resilience.retry_budget.tokens_per_second = 1000.0;
+  options.resilience.breaker.enabled = true;
+  options.resilience.breaker.failure_threshold = 5;
+  options.resilience.breaker.open_seconds = 0.05;
+  options.resilience.ladder = serve::DegradationLadder::Default();
+  options.resilience.watchdog = true;
+  options.resilience.watchdog_interval_seconds = 0.01;
+  options.resilience.watchdog_stale_seconds = 0.25;
+  SolveScheduler scheduler(&pool, options);
+  InstancePtr instance = ToyInstance();
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 8;
+  const char* const solvers[] = {"cwsc", "cmc", "greedy-wsc"};
+  std::mutex futures_mu;
+  std::vector<std::future<JobOutcome>> futures;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        SolveJob job = MakeJob(instance, solvers[(t + i) % 3]);
+        job.request.label = "chaos-" + std::to_string(t);
+        auto future = scheduler.Enqueue(std::move(job));
+        ASSERT_TRUE(future.ok()) << future.status().ToString();
+        std::lock_guard<std::mutex> lock(futures_mu);
+        futures.push_back(std::move(*future));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(futures.size(),
+            static_cast<std::size_t>(kThreads * kJobsPerThread));
+
+  // The core chaos gate: every admitted future completes — no deadlock, no
+  // lost promise — and failures are typed, never hung.
+  int ok = 0, failed = 0;
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(60)),
+              std::future_status::ready)
+        << "a future never completed under chaos";
+    JobOutcome outcome = future.get();
+    if (outcome.result.ok()) {
+      ++ok;
+      EXPECT_TRUE(outcome.result->audit.bookkeeping_consistent);
+    } else {
+      ++failed;
+      EXPECT_FALSE(outcome.result.status().message().empty());
+    }
+    EXPECT_GE(outcome.attempts, 0);
+  }
+
+  // Bookkeeping stays consistent under concurrency: accepted == resolved,
+  // completed + failed == accepted (no double counts, no losses — counters
+  // are unsigned, so any underflow would explode these equalities).
+  obs::MetricRegistry& metrics = scheduler.metrics();
+  const std::uint64_t accepted = metrics.CounterValue("serve.jobs.accepted");
+  EXPECT_EQ(accepted, static_cast<std::uint64_t>(kThreads * kJobsPerThread));
+  EXPECT_EQ(metrics.CounterValue("serve.jobs.completed") +
+                metrics.CounterValue("serve.jobs.failed"),
+            accepted);
+  EXPECT_EQ(ok + failed, kThreads * kJobsPerThread);
+
+  // Fault accounting is internally consistent.
+  for (int p = 0; p < kNumFaultPoints; ++p) {
+    const FaultPoint point = static_cast<FaultPoint>(p);
+    EXPECT_LE(chaos.plan().fires(point), chaos.plan().draws(point));
+  }
+  // Injected errors were actually exercised and either retried or surfaced.
+  EXPECT_GT(chaos.plan().draws(FaultPoint::kSolverError), 0u);
+}
+
 // ---------------------------------------------------------------- batch ----
 
 TEST(ServeBatchTest, ParsesRunsAndReportsCacheHits) {
@@ -484,6 +936,93 @@ TEST(ServeBatchTest, MalformedBatchFilesAreTypedErrors) {
                   .status()
                   .IsInvalidArgument());
   EXPECT_FALSE(serve::ParseBatchFile("/nonexistent.json", instance).ok());
+}
+
+TEST(ServeBatchTest, MissingBatchFileIsATypedNotFound) {
+  auto missing =
+      serve::ParseBatchSpec("/no/such/dir/jobs.json", ToyInstance());
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_NE(missing.status().message().find("cannot open"),
+            std::string::npos);
+}
+
+TEST(ServeBatchTest, FaultSpecParsesAndArmsAPlan) {
+  const std::string path = ::testing::TempDir() + "/serve_batch_faults.json";
+  {
+    std::ofstream out(path);
+    out << R"({"faults": {"seed": 42, "solver_delay_ms": 2,
+                "points": {"solver_error": 0.25, "pool_task_loss": 0.5}},
+               "jobs": [{"solver": "cwsc"}]})";
+  }
+  InstancePtr instance = ToyInstance();
+  auto spec = serve::ParseBatchSpec(path, instance);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->jobs.size(), 1u);
+  ASSERT_TRUE(spec->faults.configured);
+  EXPECT_EQ(spec->faults.seed, 42u);
+  EXPECT_EQ(spec->faults.solver_delay_ms, 2u);
+
+  FaultPlan plan(spec->faults.seed);
+  spec->faults.ApplyTo(plan);
+  EXPECT_DOUBLE_EQ(plan.probability(FaultPoint::kSolverError), 0.25);
+  EXPECT_DOUBLE_EQ(plan.probability(FaultPoint::kPoolTaskLoss), 0.5);
+  EXPECT_DOUBLE_EQ(plan.probability(FaultPoint::kSolverThrow), 0.0);
+  EXPECT_EQ(plan.solver_delay_ms(), 2u);
+
+  // The jobs-only wrapper refuses fault scripting rather than ignoring it.
+  auto jobs_only = serve::ParseBatchFile(path, instance);
+  EXPECT_TRUE(jobs_only.status().IsInvalidArgument());
+
+  // Unknown fault points and out-of-range probabilities are typed errors.
+  {
+    std::ofstream out(path);
+    out << R"({"faults": {"points": {"bogus_point": 0.5}}, "jobs": []})";
+  }
+  EXPECT_TRUE(
+      serve::ParseBatchSpec(path, instance).status().IsInvalidArgument());
+  {
+    std::ofstream out(path);
+    out << R"({"faults": {"points": {"solver_error": 1.5}}, "jobs": []})";
+  }
+  EXPECT_TRUE(
+      serve::ParseBatchSpec(path, instance).status().IsInvalidArgument());
+}
+
+TEST(ServeBatchTest, ChaosBatchReportCountsResilienceEvents) {
+  const std::string path = ::testing::TempDir() + "/serve_batch_chaos.json";
+  {
+    std::ofstream out(path);
+    out << R"({"faults": {"seed": 7, "points": {"solver_error": 1.0}},
+               "jobs": [{"solver": "cwsc", "label": "doomed"}]})";
+  }
+  InstancePtr instance = ToyInstance();
+  auto spec = serve::ParseBatchSpec(path, instance);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  ThreadPool pool(2);
+  serve::SchedulerOptions options;
+  options.resilience.retry.max_attempts = 2;
+  options.resilience.retry.initial_backoff_ms = 0.1;
+  SolveScheduler scheduler(&pool, options);
+
+  ScopedFaultPlan chaos(spec->faults.seed);
+  spec->faults.ApplyTo(chaos.plan());
+  auto report = serve::RunBatch(std::move(spec->jobs), scheduler);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const serve::JsonValue* aggregate = report->Find("aggregate");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->Find("failed")->as_number(), 1.0);
+  ASSERT_NE(aggregate->Find("retries_attempted"), nullptr);
+  EXPECT_EQ(aggregate->Find("retries_attempted")->as_number(), 1.0);
+  EXPECT_EQ(aggregate->Find("retries_exhausted")->as_number(), 1.0);
+
+  const serve::JsonValue* jobs = report->Find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  const serve::JsonValue& job = jobs->as_array().at(0);
+  EXPECT_EQ(job.Find("attempts")->as_number(), 2.0);
+  EXPECT_EQ(job.Find("ok")->as_bool(), false);
 }
 
 }  // namespace
