@@ -17,7 +17,7 @@ int main() {
   PrintBanner("EXP-ABL", "Ablations: CMC budget schedule, epsilon, level base");
 
   const api::InstancePtr instance =
-      MakeSnapshot(MakeTrace(ScaledRows(350'000)));
+      MakeTraceSnapshot(350'000);
 
   auto run = [&](double b, double eps, unsigned l) {
     api::SolveResult r = MustSolve(

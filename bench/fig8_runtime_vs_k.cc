@@ -19,10 +19,9 @@ int main() {
   std::printf("%6s %12s %12s %12s %12s %10s\n", "k", "CWSC(s)",
               "optCWSC(s)", "CMC(s)", "optCMC(s)", "CMCrounds");
 
-  const std::size_t rows = ScaledRows(700'000);
-  // One snapshot (and one timed enumeration) serves the whole k-sweep:
+    // One snapshot (and one timed enumeration) serves the whole k-sweep:
   // the instance does not change with k.
-  api::InstancePtr instance = MakeSnapshot(MakeTrace(rows));
+  api::InstancePtr instance = MakeTraceSnapshot(700'000);
   const double enumeration_seconds = TimeEnumeration(instance);
 
   for (std::size_t k : {2u, 5u, 10u, 15u, 20u, 25u}) {

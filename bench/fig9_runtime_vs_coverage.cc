@@ -16,9 +16,8 @@ int main() {
   std::printf("%6s %12s %12s %12s %12s\n", "s", "CWSC(s)", "optCWSC(s)",
               "CMC(s)", "optCMC(s)");
 
-  const std::size_t rows = ScaledRows(700'000);
-  // One snapshot (and one timed enumeration) serves the whole ŝ-sweep.
-  api::InstancePtr instance = MakeSnapshot(MakeTrace(rows));
+    // One snapshot (and one timed enumeration) serves the whole ŝ-sweep.
+  api::InstancePtr instance = MakeTraceSnapshot(700'000);
   const double enumeration_seconds = TimeEnumeration(instance);
 
   for (double s : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {

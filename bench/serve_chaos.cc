@@ -293,7 +293,7 @@ int main(int argc, char** argv) {
                      "serve layer under a seeded fault storm");
 
   const std::size_t rows = bench::ScaledRows(20000);
-  api::InstancePtr instance = bench::MakeSnapshot(bench::MakeTrace(rows));
+  api::InstancePtr instance = bench::MakeTraceSnapshot(20000);
   const std::vector<Combo> combos = Workload();
 
   // Legitimate fingerprints first, while no plan is installed.

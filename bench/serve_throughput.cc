@@ -188,7 +188,7 @@ int main(int argc, char** argv) {
                      "serve layer: scheduler vs serial registry loop");
 
   const std::size_t rows = bench::ScaledRows(50000);
-  api::InstancePtr instance = bench::MakeSnapshot(bench::MakeTrace(rows));
+  api::InstancePtr instance = bench::MakeTraceSnapshot(50000);
   const std::vector<Combo> combos = Workload();
 
   // Force the lazy pattern enumeration before timing so every arm measures

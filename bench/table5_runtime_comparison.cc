@@ -17,8 +17,7 @@ int main() {
 
   PrintBanner("EXP-T5", "Table V: running time (s), CWSC vs CMC(b, eps)");
 
-  const std::size_t rows = ScaledRows(700'000);
-  const api::InstancePtr instance = MakeSnapshot(MakeTrace(rows));
+    const api::InstancePtr instance = MakeTraceSnapshot(700'000);
   const std::vector<double> fractions = {0.3, 0.4, 0.5, 0.6};
 
   std::printf("%-26s", "Algorithm");

@@ -16,8 +16,7 @@ int main() {
   PrintBanner("EXP-T6",
               "Table VI: patterns used by plain weighted set cover");
 
-  const std::size_t rows = ScaledRows(700'000);
-  const api::InstancePtr instance = MakeSnapshot(MakeTrace(rows));
+    const api::InstancePtr instance = MakeTraceSnapshot(700'000);
 
   std::printf("%-20s", "coverage fraction");
   for (double s : {0.5, 0.6, 0.7, 0.8, 0.9}) std::printf(" %8.1f", s);

@@ -77,6 +77,7 @@ struct CliArgs {
   std::string batch;        // jobs.json path; empty = single-solve mode
   std::string batch_out = "batch_results.json";
   unsigned threads = 0;     // 0 = hardware concurrency
+  std::size_t shards = 1;   // element-range shards for the snapshot
 };
 
 /// Shared by the solver (deadline) and the SIGINT handler (cancellation).
@@ -97,6 +98,7 @@ void PrintUsage() {
       "          [--coverage F] [--cost max|sum|lp] [--lp P]\n"
       "          [--opt KEY=VALUE]... [--hierarchy flat] [--delimiter C]\n"
       "          [--deadline-ms N] [--trace-out PATH] [--metrics-out PATH]\n"
+      "          [--shards N]\n"
       "          [--batch jobs.json [--batch-out PATH] [--threads N]]\n"
       "scwsc_cli --list-solvers\n");
 }
@@ -187,6 +189,12 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
     } else if (flag == "--threads") {
       SCWSC_ASSIGN_OR_RETURN(auto threads, ParseU64(value));
       args.threads = static_cast<unsigned>(threads);
+    } else if (flag == "--shards") {
+      SCWSC_ASSIGN_OR_RETURN(auto shards, ParseU64(value));
+      if (shards == 0) {
+        return Status::InvalidArgument("--shards must be >= 1");
+      }
+      args.shards = static_cast<std::size_t>(shards);
     } else if (flag == "--delimiter") {
       if (value.size() != 1) {
         return Status::InvalidArgument("--delimiter takes one character");
@@ -370,8 +378,10 @@ int main(int argc, char** argv) {
   const std::size_t num_rows = table->num_rows();
   std::optional<hierarchy::TableHierarchy> hier;
   if (args->flat_hierarchy) hier = hierarchy::TableHierarchy::Flat(*table);
+  ShardingOptions sharding;
+  sharding.num_shards = args->shards;
   auto instance = api::InstanceSnapshot::FromTable(
-      *std::move(table), *std::move(cost_fn), std::move(hier));
+      *std::move(table), *std::move(cost_fn), std::move(hier), {}, sharding);
   if (!instance.ok()) return Fail(instance.status().ToString());
 
   if (!args->batch.empty()) return RunBatchMode(*args, *instance);

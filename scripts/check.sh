@@ -157,4 +157,17 @@ assert report["pass"] is True, report["gates"]
 assert all(report["gates"].values()), report["gates"]
 EOF
 
-echo "check.sh: build, tests, observability, serve, chaos, engine and anytime smokes all green"
+# Shard scaling: sharded snapshots must be bit-identical to the flat path
+# at every shard count (the speedup bar only arms at SCWSC_BENCH_SCALE >=
+# 1.0, so the small-scale smoke here checks correctness, not timing).
+SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
+  "$BUILD_DIR"/bench/shard_scaling "$BUILD_DIR"/BENCH_shard.json \
+  || fail "shard scaling smoke"
+python3 - "$BUILD_DIR"/BENCH_shard.json <<'EOF' || fail "shard scaling smoke (report)"
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["pass"] is True, report["gates"]
+assert report["gates"]["bit_identical_all_arms"] is True, report["gates"]
+EOF
+
+echo "check.sh: build, tests, observability, serve, chaos, shard, engine and anytime smokes all green"

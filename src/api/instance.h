@@ -19,12 +19,15 @@
 #define SCWSC_API_INSTANCE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/core/set_system.h"
+#include "src/core/shard.h"
 #include "src/hierarchy/hierarchy.h"
 #include "src/pattern/cost.h"
 #include "src/pattern/enumerate.h"
@@ -44,17 +47,23 @@ class InstanceSnapshot {
  public:
   /// Wraps an explicit weighted set system (the generic, non-patterned
   /// input). The inverted index is pre-built so concurrent solves only
-  /// read.
-  static Result<InstancePtr> FromSetSystem(SetSystem system);
+  /// read. `sharding` partitions the element universe (ShardBounds); the
+  /// effective plan is stamped into the snapshot together with per-shard
+  /// content hashes, and solvers run their benefit engines per-shard. The
+  /// default (1 shard) is the flat path.
+  static Result<InstancePtr> FromSetSystem(SetSystem system,
+                                           ShardingOptions sharding = {});
 
   /// Wraps a patterned table instance. The snapshot owns the table; the
   /// generic SetSystem view (full pattern enumeration) is materialized
   /// lazily on first use and then shared. `hierarchy`, when present,
-  /// additionally enables the hierarchical solvers.
+  /// additionally enables the hierarchical solvers. `sharding` partitions
+  /// the row universe, exactly as in FromSetSystem.
   static Result<InstancePtr> FromTable(
       Table table, pattern::CostFunction cost_fn,
       std::optional<hierarchy::TableHierarchy> hierarchy = std::nullopt,
-      pattern::EnumerateOptions enumerate_options = {});
+      pattern::EnumerateOptions enumerate_options = {},
+      ShardingOptions sharding = {});
 
   // Not copyable or movable: a snapshot's address is its identity (solvers
   // and caches hold pointers into it); sharing goes through InstancePtr.
@@ -89,10 +98,45 @@ class InstanceSnapshot {
   /// separately from solving.
   bool set_system_materialized() const;
 
+  // --- sharding -------------------------------------------------------------
+
+  /// The sharding options the snapshot was built with (as requested).
+  const ShardingOptions& sharding() const { return sharding_; }
+
+  /// Effective shard count after clamping (1 = flat). Solver adapters copy
+  /// this into EngineOptions::num_shards so every engine over this snapshot
+  /// uses the snapshot's plan.
+  std::size_t num_shards() const { return shard_bounds_.size() - 1; }
+
+  /// Word-aligned element bounds of the shard plan (ShardBounds), size
+  /// num_shards() + 1.
+  const std::vector<std::size_t>& shard_bounds() const {
+    return shard_bounds_;
+  }
+
+  /// FNV-1a hash of each shard's slice of the underlying data (table rows
+  /// or per-set element slices), size num_shards(). Two snapshots sharing a
+  /// shard's data produce equal hashes for it, which is what lets the serve
+  /// cache detect unchanged shards across snapshot versions.
+  const std::vector<std::uint64_t>& shard_hashes() const {
+    return shard_hashes_;
+  }
+
+  /// Whole-content hash: global metadata (schema, dictionaries, cost
+  /// function, hierarchy presence / set costs and labels) chained with the
+  /// shard plan and every per-shard hash. Computed once at construction;
+  /// serve::ContentHash returns this.
+  std::uint64_t content_hash() const { return content_hash_; }
+
  private:
   InstanceSnapshot() = default;
 
   void MaterializePatterns() const;
+
+  /// Stamps the effective shard plan, the per-shard data hashes and the
+  /// whole-content hash. Called once by each builder after the data is in
+  /// place.
+  void ComputeShardPlan(ShardingOptions sharding);
 
   // Exactly one of system_ (FromSetSystem) or table_ (FromTable) is set.
   std::optional<SetSystem> system_;
@@ -100,6 +144,12 @@ class InstanceSnapshot {
   std::optional<pattern::CostFunction> cost_fn_;
   std::optional<hierarchy::TableHierarchy> hierarchy_;
   pattern::EnumerateOptions enumerate_options_;
+
+  // The effective shard plan and content hashes, immutable after build.
+  ShardingOptions sharding_;
+  std::vector<std::size_t> shard_bounds_;
+  std::vector<std::uint64_t> shard_hashes_;
+  std::uint64_t content_hash_ = 0;
 
   // Lazily materialized pattern view of a table instance. Guarded by
   // once_: after the call_once returns, lazy_ is immutable.

@@ -48,6 +48,7 @@ Result<SolveResult> SolveCwscLike(const SolveRequest& request,
   CwscOptions options(request.k, request.coverage_fraction);
   options.run_context = run_context;
   options.trace = request.trace;
+  internal::ApplyInstanceSharding(request, options.engine);
   const SolveContract contract =
       CwscContract(request, system->num_elements());
 
@@ -201,6 +202,7 @@ class GreedyWscSolver : public Solver {
                                                   options.max_sets));
     options.run_context = run_context;
     options.trace = request.trace;
+    internal::ApplyInstanceSharding(request, options.engine);
     SolveContract contract;
     contract.max_sets =
         options.max_sets == std::numeric_limits<std::size_t>::max()
@@ -236,6 +238,7 @@ class GreedyMaxCoverageSolver : public Solver {
                                   options.stop_coverage_fraction));
     options.run_context = run_context;
     options.trace = request.trace;
+    internal::ApplyInstanceSharding(request, options.engine);
     // Bounded size, no coverage promise: that cost/coverage blow-up is the
     // §VI-C comparison.
     SolveContract contract{request.k, 0};
@@ -272,6 +275,7 @@ class BudgetedMaxCoverageSolver : public Solver {
                                                   options.max_sets));
     options.run_context = run_context;
     options.trace = request.trace;
+    internal::ApplyInstanceSharding(request, options.engine);
     SolveContract contract;
     contract.max_sets =
         options.max_sets == std::numeric_limits<std::size_t>::max()

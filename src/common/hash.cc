@@ -1,0 +1,11 @@
+#include "src/common/hash.h"
+
+namespace scwsc {
+
+std::uint64_t Fnv1a64(const void* data, std::size_t len) {
+  std::uint64_t h = kFnv64Offset;
+  HashBytes(data, len, h);
+  return h;
+}
+
+}  // namespace scwsc

@@ -16,6 +16,30 @@ EngineOptions EngineWithTrace(const Options& options) {
   return engine;
 }
 
+/// Seeds `selector` with every set's epoch-zero marginal in one
+/// deterministic batch (chunk- or shard-parallel under the engine's
+/// options). An interruption from the batch only means the context was
+/// tripped before the run began — the cached counts are still exact at
+/// epoch zero — so seeding proceeds and the caller's next Check() surfaces
+/// the trip; any other error is returned.
+template <typename KeyMaker>
+Status SeedSelector(const SetSystem& system, BenefitEngine& state,
+                    LazySelector& selector, ScanStats& tally,
+                    KeyMaker&& make_key) {
+  std::vector<SetId> all_ids(system.num_sets());
+  for (SetId id = 0; id < system.num_sets(); ++id) all_ids[id] = id;
+  std::vector<std::size_t> counts;
+  const Status batch = state.BatchMarginals(all_ids, counts);
+  if (!batch.ok() && !batch.IsInterruption()) return batch;
+  tally.sets_considered += system.num_sets();
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    if (counts[id] > 0) {
+      selector.Push(make_key(counts[id], system.set(id).cost, id));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
@@ -37,11 +61,8 @@ Result<Solution> RunGreedyWeightedSetCover(const SetSystem& system,
   BenefitEngine state(system, EngineWithTrace(options), &ctx);
   obs::Span span(options.trace, "greedy_wsc");
   LazySelector selector;
-  for (SetId id = 0; id < system.num_sets(); ++id) {
-    ++tally.sets_considered;
-    const std::size_t count = state.MarginalCount(id);
-    if (count > 0) selector.Push(MakeGainKey(count, system.set(id).cost, id));
-  }
+  SCWSC_RETURN_NOT_OK(
+      SeedSelector(system, state, selector, tally, MakeGainKey));
 
   while (rem > 0) {
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
@@ -88,11 +109,8 @@ Result<Solution> RunGreedyMaxCoverage(
   BenefitEngine state(system, EngineWithTrace(options), &ctx);
   obs::Span span(options.trace, "greedy_max_coverage");
   LazySelector selector;
-  for (SetId id = 0; id < system.num_sets(); ++id) {
-    ++tally.sets_considered;
-    const std::size_t count = state.MarginalCount(id);
-    if (count > 0) selector.Push(MakeBenefitKey(count, system.set(id).cost, id));
-  }
+  SCWSC_RETURN_NOT_OK(
+      SeedSelector(system, state, selector, tally, MakeBenefitKey));
 
   while (solution.sets.size() < options.k && state.covered_count() < stop_at) {
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {
@@ -136,11 +154,8 @@ Result<Solution> RunBudgetedMaxCoverage(
   // longer fits can be discarded permanently — which keeps the lazy
   // selector sound.
   LazySelector selector;
-  for (SetId id = 0; id < system.num_sets(); ++id) {
-    ++tally.sets_considered;
-    const std::size_t count = state.MarginalCount(id);
-    if (count > 0) selector.Push(MakeGainKey(count, system.set(id).cost, id));
-  }
+  SCWSC_RETURN_NOT_OK(
+      SeedSelector(system, state, selector, tally, MakeGainKey));
 
   while (solution.sets.size() < options.max_sets) {
     if (const TripKind trip = ctx.Check(); trip != TripKind::kNone) {

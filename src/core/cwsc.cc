@@ -81,12 +81,21 @@ Result<Solution> RunCwscLazy(const SetSystem& system,
 
   LazySelector selector;
   {
+    // Seed in one deterministic batch (chunk- or shard-parallel under the
+    // engine's options) instead of one-at-a-time reads. At epoch zero every
+    // count is the cached set size, so an interruption here only means the
+    // context was tripped before we started: seed anyway with the exact
+    // cached counts and let the selection loop's Check() surface the trip.
     obs::Span seed_span(options.trace, "cwsc.seed");
+    std::vector<SetId> all_ids(system.num_sets());
+    for (SetId id = 0; id < system.num_sets(); ++id) all_ids[id] = id;
+    std::vector<std::size_t> seed_counts;
+    const Status batch = engine.BatchMarginals(all_ids, seed_counts);
+    if (!batch.ok() && !batch.IsInterruption()) return batch;
+    stats.sets_considered += system.num_sets();
     for (SetId id = 0; id < system.num_sets(); ++id) {
-      ++stats.sets_considered;
-      const std::size_t count = engine.MarginalCount(id);
-      if (count > 0) {
-        selector.Push(MakeGainKey(count, system.set(id).cost, id));
+      if (seed_counts[id] > 0) {
+        selector.Push(MakeGainKey(seed_counts[id], system.set(id).cost, id));
       }
     }
   }

@@ -1,0 +1,34 @@
+#include "src/core/shard.h"
+
+#include <algorithm>
+
+namespace scwsc {
+
+std::size_t EffectiveShards(std::size_t n, std::size_t requested,
+                            std::size_t min_elements) {
+  if (requested <= 1 || n == 0) return 1;
+  const std::size_t words = (n + 63) / 64;
+  std::size_t max_shards = std::min(requested, words);
+  if (min_elements > 0) {
+    max_shards = std::min(max_shards, std::max<std::size_t>(1, n / min_elements));
+  }
+  return std::max<std::size_t>(1, max_shards);
+}
+
+std::vector<std::size_t> ShardBounds(std::size_t n, std::size_t num_shards) {
+  const std::size_t shards = EffectiveShards(n, num_shards);
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::size_t> bounds;
+  bounds.reserve(shards + 1);
+  bounds.push_back(0);
+  for (std::size_t s = 1; s < shards; ++s) {
+    // Even split in words, rounded so the remainder spreads over the front
+    // shards; interior boundaries land on word edges by construction.
+    const std::size_t word_boundary = (words * s) / shards;
+    bounds.push_back(word_boundary * 64);
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
+}  // namespace scwsc

@@ -1,0 +1,55 @@
+// Element-range sharding of a set-cover universe.
+//
+// A shard plan cuts the universe {0, ..., n-1} into contiguous element
+// ranges. Boundaries are aligned to 64-element words so that a packed
+// bitset row splits into per-shard word ranges with no partial words: a
+// shard's recount is then a word-subrange AND-NOT popcount and a shard's
+// covered-epoch is exactly the popcount of its own words.
+//
+// The same plan function is used by api::InstanceSnapshot (which stamps the
+// plan and the per-shard content hashes into the snapshot) and by the
+// BenefitEngine (which keys its per-shard marginal caches on it), so the two
+// layers can never disagree about where a shard begins.
+//
+// Sharding is a work-partitioning choice, not a semantic one: every shard
+// count yields bit-identical marginal counts and therefore bit-identical
+// solver outputs (tests/sharded_snapshot_test.cc holds this over every
+// registered solver).
+
+#ifndef SCWSC_CORE_SHARD_H_
+#define SCWSC_CORE_SHARD_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace scwsc {
+
+/// How an instance's universe is partitioned. Passed to
+/// api::InstanceSnapshot::FromTable / FromSetSystem; the effective shard
+/// count (after clamping) propagates into EngineOptions::num_shards.
+struct ShardingOptions {
+  /// Requested number of element-range shards. 1 (the default) is the flat
+  /// path: no per-shard state, no behaviour change anywhere.
+  std::size_t num_shards = 1;
+  /// Floor on elements per shard: the effective shard count is reduced so
+  /// no shard is smaller than this (tiny shards cost per-shard bookkeeping
+  /// without amortizing it). The universe itself may be smaller.
+  std::size_t min_shard_elements = 4096;
+};
+
+/// The effective shard count for a universe of n elements: `requested`
+/// clamped so every shard spans at least one 64-element word and at least
+/// `min_elements` elements. Always >= 1.
+std::size_t EffectiveShards(std::size_t n, std::size_t requested,
+                            std::size_t min_elements = 1);
+
+/// Word-aligned shard boundaries for `num_shards` shards over n elements:
+/// bounds[s] .. bounds[s+1] is shard s's element range, bounds.front() == 0,
+/// bounds.back() == n, and every interior boundary is a multiple of 64.
+/// `num_shards` is re-clamped via EffectiveShards, so the result always has
+/// between 2 and num_shards+1 entries.
+std::vector<std::size_t> ShardBounds(std::size_t n, std::size_t num_shards);
+
+}  // namespace scwsc
+
+#endif  // SCWSC_CORE_SHARD_H_

@@ -5,81 +5,16 @@
 #include <utility>
 
 #include "src/common/fault.h"
+#include "src/common/hash.h"
 
 namespace scwsc {
 namespace serve {
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-void HashBytes(const void* data, std::size_t len, std::uint64_t& h) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-}
-
-void HashU64(std::uint64_t v, std::uint64_t& h) { HashBytes(&v, sizeof(v), h); }
-
-void HashDouble(double v, std::uint64_t& h) {
-  std::uint64_t bits;  // bit pattern, so the hash is exact, not rounded
-  std::memcpy(&bits, &v, sizeof(bits));
-  HashU64(bits, h);
-}
-
-void HashString(const std::string& s, std::uint64_t& h) {
-  HashU64(s.size(), h);
-  HashBytes(s.data(), s.size(), h);
-}
-
-void HashTable(const Table& table, std::uint64_t& h) {
-  HashU64(table.num_rows(), h);
-  HashU64(table.num_attributes(), h);
-  for (std::size_t attr = 0; attr < table.num_attributes(); ++attr) {
-    HashString(table.schema().attribute_name(attr), h);
-    const Dictionary& dict = table.dictionary(attr);
-    HashU64(dict.size(), h);
-    for (ValueId v = 0; v < dict.size(); ++v) HashString(dict.Name(v), h);
-    const std::vector<ValueId>& column = table.column(attr);
-    HashBytes(column.data(), column.size() * sizeof(ValueId), h);
-  }
-  if (table.has_measure()) {
-    const std::vector<double>& m = table.measures();
-    HashBytes(m.data(), m.size() * sizeof(double), h);
-  }
-}
-
-void HashSetSystem(const SetSystem& system, std::uint64_t& h) {
-  HashU64(system.num_elements(), h);
-  HashU64(system.num_sets(), h);
-  for (SetId id = 0; id < system.num_sets(); ++id) {
-    const WeightedSet& s = system.set(id);
-    HashU64(s.elements.size(), h);
-    HashBytes(s.elements.data(), s.elements.size() * sizeof(ElementId), h);
-    HashDouble(s.cost, h);
-    HashString(s.label, h);
-  }
-}
-
-}  // namespace
 
 std::uint64_t ContentHash(const api::InstanceSnapshot& instance) {
-  std::uint64_t h = kFnvOffset;
-  if (instance.has_table()) {
-    HashU64(1, h);  // domain-separate the two snapshot shapes
-    HashTable(instance.table(), h);
-    HashU64(static_cast<std::uint64_t>(instance.cost_fn().kind()), h);
-    HashDouble(instance.cost_fn().p(), h);
-    HashU64(instance.has_hierarchy() ? 1 : 0, h);
-  } else {
-    HashU64(2, h);
-    // FromSetSystem snapshots always have their view materialized.
-    auto system = instance.set_system();
-    if (system.ok()) HashSetSystem(**system, h);
-  }
-  return h;
+  // Snapshots stamp their content hash (global metadata chained with the
+  // shard plan and per-shard data hashes) at construction; the serve layer
+  // just reads it.
+  return instance.content_hash();
 }
 
 std::size_t ApproxSnapshotBytes(const api::InstanceSnapshot& instance) {
@@ -142,10 +77,27 @@ Status SnapshotCache::Insert(std::uint64_t hash, api::InstancePtr instance) {
   auto it = index_.find(hash);
   if (it != index_.end()) {
     resident_bytes_ -= it->second->bytes;
+    RemoveShardRefsLocked(it->second->shard_hashes);
     lru_.erase(it->second);
     index_.erase(it);
   }
-  lru_.push_front(Entry{hash, std::move(instance), bytes});
+  std::vector<std::uint64_t> shard_hashes = instance->shard_hashes();
+  if (metrics_ != nullptr) {
+    // Shards whose data is already resident through other snapshots (the
+    // replaced same-hash entry, if any, was unreferenced above): how much
+    // of this snapshot the cache effectively already held.
+    std::size_t overlap = 0;
+    for (const std::uint64_t sh : shard_hashes) {
+      if (shard_refs_.count(sh) != 0) ++overlap;
+    }
+    if (overlap != 0) {
+      metrics_->counter("serve.snapshot_cache.shard_shared")
+          .Increment(overlap);
+    }
+  }
+  AddShardRefsLocked(shard_hashes);
+  lru_.push_front(
+      Entry{hash, std::move(instance), bytes, std::move(shard_hashes)});
   index_[hash] = lru_.begin();
   resident_bytes_ += bytes;
   EvictOverBudgetLocked();
@@ -159,12 +111,37 @@ void SnapshotCache::EvictOverBudgetLocked() {
   while (resident_bytes_ > capacity_bytes_ && lru_.size() > 1) {
     const Entry& victim = lru_.back();
     resident_bytes_ -= victim.bytes;
+    RemoveShardRefsLocked(victim.shard_hashes);
     index_.erase(victim.hash);
     lru_.pop_back();
     if (metrics_ != nullptr) {
       metrics_->counter("serve.snapshot_cache.evictions").Increment();
     }
   }
+}
+
+void SnapshotCache::AddShardRefsLocked(
+    const std::vector<std::uint64_t>& hashes) {
+  for (const std::uint64_t h : hashes) ++shard_refs_[h];
+}
+
+void SnapshotCache::RemoveShardRefsLocked(
+    const std::vector<std::uint64_t>& hashes) {
+  for (const std::uint64_t h : hashes) {
+    auto it = shard_refs_.find(h);
+    if (it == shard_refs_.end()) continue;
+    if (--it->second == 0) shard_refs_.erase(it);
+  }
+}
+
+std::size_t SnapshotCache::ResidentShardOverlap(
+    const api::InstanceSnapshot& instance) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t overlap = 0;
+  for (const std::uint64_t h : instance.shard_hashes()) {
+    if (shard_refs_.count(h) != 0) ++overlap;
+  }
+  return overlap;
 }
 
 std::size_t SnapshotCache::size() const {
@@ -197,7 +174,7 @@ ResultKey MakeResultKey(std::uint64_t snapshot_hash, const std::string& solver,
 }
 
 std::uint64_t ResultChecksum(const api::SolveResult& result) {
-  std::uint64_t h = kFnvOffset;
+  std::uint64_t h = kFnv64Offset;
   HashU64(result.solution.sets.size(), h);
   HashBytes(result.solution.sets.data(),
             result.solution.sets.size() * sizeof(SetId), h);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/common/fault.h"
 #include "src/common/rng.h"
 #include "src/core/baselines.h"
 #include "src/core/cmc.h"
@@ -48,6 +49,21 @@ std::vector<NamedEngine> AllEngines() {
   lazy_auto_mt.num_threads = 4;
   lazy_auto_mt.min_parallel_batch = 1;  // force the chunked parallel path
   engines.push_back({"lazy/auto/4t", lazy_auto_mt});
+
+  // Sharded lazy engines: per-shard epochs and slice caches must agree
+  // with the flat reference bit for bit (ShardBounds clamps the requested
+  // count on tiny universes, which is itself part of the contract).
+  EngineOptions sharded2 = lazy_auto;
+  sharded2.num_shards = 2;
+  engines.push_back({"lazy/auto/2shard", sharded2});
+
+  EngineOptions sharded7 = lazy_list;
+  sharded7.num_shards = 7;
+  engines.push_back({"lazy/list/7shard", sharded7});
+
+  EngineOptions sharded_mt = lazy_auto_mt;  // per-shard batch fan-out
+  sharded_mt.num_shards = 5;
+  engines.push_back({"lazy/auto/5shard/4t", sharded_mt});
   return engines;
 }
 
@@ -275,6 +291,40 @@ TEST(BenefitEngineTest, ResetRestoresAllMarginals) {
     EXPECT_EQ(engine.MarginalCount(0), 80u) << e.name;
     EXPECT_EQ(engine.MarginalCount(1), 3u) << e.name;
   }
+}
+
+// A shard batch worker dying mid-scan (FaultPoint::kShardWorkerLoss) must
+// cost latency only: the lost shards' stripes are recomputed inline, so
+// BatchMarginals still returns exactly the flat engine's counts.
+TEST(BenefitEngineTest, ShardWorkerLossRecoversExactCounts) {
+  RandomSystemSpec spec;
+  spec.num_elements = 640;
+  spec.num_sets = 120;
+  spec.max_set_size = 60;
+  Rng rng(424242);
+  Result<SetSystem> system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+  const std::size_t m = system->num_sets();
+  std::vector<SetId> batch;
+  for (SetId id = 0; id < m; ++id) batch.push_back(id);
+
+  BenefitEngine flat(*system);
+  EngineOptions sharded_options;
+  sharded_options.num_shards = 8;
+  sharded_options.num_threads = 4;
+  sharded_options.min_parallel_batch = 1;
+  BenefitEngine sharded(*system, sharded_options);
+
+  ScopedFaultPlan plan(7);
+  plan.plan().Arm(FaultPoint::kShardWorkerLoss, 1.0);  // every worker dies
+  for (SetId pick : {SetId{3}, SetId{41}, SetId{77}}) {
+    EXPECT_EQ(sharded.Select(pick), flat.Select(pick));
+    std::vector<std::size_t> expected, got;
+    ASSERT_TRUE(flat.BatchMarginals(batch, expected).ok());
+    ASSERT_TRUE(sharded.BatchMarginals(batch, got).ok());
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_GT(plan.plan().fires(FaultPoint::kShardWorkerLoss), 0u);
 }
 
 TEST(FilterCoveredIdsTest, FiltersEachListIndependently) {

@@ -20,8 +20,10 @@
 #include "src/api/instance.h"
 #include "src/api/registry.h"
 #include "src/common/fault.h"
+#include "src/common/rng.h"
 #include "src/common/run_context.h"
 #include "src/common/thread_pool.h"
+#include "src/core/instances.h"
 #include "src/gen/toy.h"
 #include "src/serve/batch.h"
 #include "src/serve/cache.h"
@@ -270,6 +272,49 @@ TEST(ServeCacheTest, ContentHashIsStableAndContentSensitive) {
   ASSERT_TRUE(other.ok());
   EXPECT_NE(serve::ContentHash(*a), serve::ContentHash(**other));
   EXPECT_GT(serve::ApproxSnapshotBytes(*a), 0u);
+}
+
+// Per-shard hashes chain into the content hash, and the snapshot cache
+// tracks which shard hashes are resident so unchanged shards are detected
+// when a new snapshot version arrives.
+TEST(ServeCacheTest, ShardHashesChainIntoContentHashAndDetectSharing) {
+  auto build = [](ElementId perturbed) {
+    SetSystem system(512);
+    for (int s = 0; s < 8; ++s) {
+      std::vector<ElementId> elements;
+      for (ElementId e = static_cast<ElementId>(s * 64);
+           e < static_cast<ElementId>(s * 64 + 40); ++e) {
+        elements.push_back(e);
+      }
+      if (s == 7 && perturbed != 0) elements[0] = perturbed;
+      EXPECT_TRUE(
+          system.AddSet(elements, 2.0 + s, "s" + std::to_string(s)).ok());
+    }
+    ShardingOptions sharding;
+    sharding.num_shards = 4;
+    sharding.min_shard_elements = 1;
+    auto instance =
+        api::InstanceSnapshot::FromSetSystem(std::move(system), sharding);
+    EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+    return *instance;
+  };
+  // v2 rewrites one element inside the last shard ([384, 512)) only.
+  InstancePtr v1 = build(0);
+  InstancePtr v2 = build(500);
+  ASSERT_EQ(v1->num_shards(), 4u);
+  EXPECT_NE(serve::ContentHash(*v1), serve::ContentHash(*v2));
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(v1->shard_hashes()[s], v2->shard_hashes()[s]) << "shard " << s;
+  }
+  EXPECT_NE(v1->shard_hashes()[3], v2->shard_hashes()[3]);
+
+  obs::MetricRegistry metrics;
+  serve::SnapshotCache cache(1 << 20, &metrics);
+  ASSERT_TRUE(cache.Insert(serve::ContentHash(*v1), v1).ok());
+  // Three of v2's four shards are byte-identical to resident data.
+  EXPECT_EQ(cache.ResidentShardOverlap(*v2), 3u);
+  ASSERT_TRUE(cache.Insert(serve::ContentHash(*v2), v2).ok());
+  EXPECT_EQ(metrics.CounterValue("serve.snapshot_cache.shard_shared"), 3u);
 }
 
 TEST(ServeCacheTest, SnapshotCacheEvictsLeastRecentlyUsedByBytes) {
@@ -877,6 +922,86 @@ TEST(SolveSchedulerTest, ConcurrentChaosCompletesEveryFuture) {
   }
   // Injected errors were actually exercised and either retried or surfaced.
   EXPECT_GT(chaos.plan().draws(FaultPoint::kSolverError), 0u);
+}
+
+// A storm of shard-worker losses must cost latency only: every future
+// completes, every result is bit-identical to a fault-free solve of the
+// same request, and the scheduler's job accounting balances.
+TEST(SolveSchedulerTest, ShardWorkerLossStormIsBitIdentical) {
+  RandomSystemSpec spec;
+  spec.num_elements = 512;
+  spec.num_sets = 60;
+  spec.max_set_size = 128;
+  Rng rng(77);
+  auto system = RandomSetSystem(spec, rng);
+  ASSERT_TRUE(system.ok());
+  ShardingOptions sharding;
+  sharding.num_shards = 6;
+  sharding.min_shard_elements = 1;
+  auto built =
+      api::InstanceSnapshot::FromSetSystem(std::move(*system), sharding);
+  ASSERT_TRUE(built.ok());
+  InstancePtr instance = *built;
+  ASSERT_EQ(instance->num_shards(), 6u);
+
+  const char* const solvers[] = {"cwsc", "cmc", "greedy-wsc"};
+  struct Probe {
+    const char* solver;
+    std::size_t k;
+    double fraction;
+    std::string expected;
+  };
+  auto fingerprint = [](const Result<SolveResult>& result) {
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return std::string("error");
+    std::string out;
+    for (SetId id : result->solution.sets) out += std::to_string(id) + ",";
+    return out + "|" + std::to_string(result->total_cost) + "|" +
+           std::to_string(result->covered);
+  };
+
+  // Fault-free references first, before any plan is installed.
+  std::vector<Probe> probes;
+  for (const char* solver : solvers) {
+    for (std::size_t k : {3u, 4u, 5u, 6u}) {
+      for (double fraction : {0.4, 0.6}) {
+        SolveJob job = MakeJob(instance, solver, k, fraction);
+        Probe probe{solver, k, fraction, ""};
+        probe.expected = fingerprint(
+            api::SolverRegistry::Global().Solve(solver, job.request));
+        probes.push_back(std::move(probe));
+      }
+    }
+  }
+
+  ScopedFaultPlan storm(/*seed=*/4242);
+  storm.plan().Arm(FaultPoint::kShardWorkerLoss, 0.75);
+  ThreadPool pool(4);
+  SolveScheduler scheduler(&pool);
+  std::vector<std::future<JobOutcome>> futures;
+  for (const Probe& probe : probes) {
+    auto future = scheduler.Enqueue(
+        MakeJob(instance, probe.solver, probe.k, probe.fraction));
+    ASSERT_TRUE(future.ok()) << future.status().ToString();
+    futures.push_back(std::move(*future));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(60)),
+              std::future_status::ready)
+        << "future " << i << " never completed under the storm";
+    JobOutcome outcome = futures[i].get();
+    ASSERT_TRUE(outcome.result.ok()) << outcome.result.status().ToString();
+    EXPECT_TRUE(outcome.result->audit.bookkeeping_consistent);
+    EXPECT_EQ(fingerprint(outcome.result), probes[i].expected)
+        << probes[i].solver << " k=" << probes[i].k;
+  }
+
+  // The storm actually fired, and recovery never surfaced as a failure.
+  EXPECT_GT(storm.plan().fires(FaultPoint::kShardWorkerLoss), 0u);
+  obs::MetricRegistry& metrics = scheduler.metrics();
+  EXPECT_EQ(metrics.CounterValue("serve.jobs.completed"),
+            static_cast<std::uint64_t>(probes.size()));
+  EXPECT_EQ(metrics.CounterValue("serve.jobs.failed"), 0u);
 }
 
 // ---------------------------------------------------------------- batch ----

@@ -1,0 +1,217 @@
+// Sharded snapshots: the shard plan is an execution detail of a snapshot,
+// never a semantics change. FromSetSystem/FromTable at any shard count must
+// expose the identical set-system view, the plan must be word-aligned and
+// deterministic, per-shard content hashes must localize data changes to
+// the shards that own them, and — the contract the whole refactor hangs on
+// — every registered solver must return bit-identical results on sharded
+// and flat snapshots of the same data.
+
+#include "src/api/instance.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/api/registry.h"
+#include "src/common/rng.h"
+#include "src/core/instances.h"
+#include "src/core/shard.h"
+#include "src/gen/lbl_synth.h"
+#include "src/hierarchy/hierarchy.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace {
+
+using api::InstancePtr;
+using api::SolveRequest;
+using api::SolveResult;
+using api::SolverRegistry;
+
+ShardingOptions Shards(std::size_t count) {
+  ShardingOptions sharding;
+  sharding.num_shards = count;
+  sharding.min_shard_elements = 1;  // let tiny test universes still split
+  return sharding;
+}
+
+SetSystem TestSystem(std::size_t num_elements = 512, std::uint64_t seed = 9) {
+  RandomSystemSpec spec;
+  spec.num_elements = num_elements;
+  spec.num_sets = 60;
+  spec.max_set_size = num_elements / 4;
+  spec.duplicate_cost_probability = 0.25;
+  Rng rng(seed);
+  auto system = RandomSetSystem(spec, rng);
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  return std::move(*system);
+}
+
+InstancePtr SetBacked(const SetSystem& system, ShardingOptions sharding) {
+  auto instance =
+      api::InstanceSnapshot::FromSetSystem(system.Clone(), sharding);
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return *instance;
+}
+
+SolveRequest MakeRequest(InstancePtr instance, std::size_t k, double fraction,
+                         const std::vector<std::string>& options = {}) {
+  auto request = SolveRequest::Builder(std::move(instance))
+                     .WithK(k)
+                     .WithCoverage(fraction)
+                     .WithOptions(options)
+                     .Build();
+  EXPECT_TRUE(request.ok()) << request.status().ToString();
+  return *std::move(request);
+}
+
+/// Ok results compare by the full solution surface; failures by code.
+std::string Outcome(const Result<SolveResult>& result) {
+  if (!result.ok()) {
+    return std::string("status:") +
+           std::string(StatusCodeToString(result.status().code()));
+  }
+  std::string out = "sets:";
+  for (SetId id : result->solution.sets) out += std::to_string(id) + ",";
+  out += " cost:" + std::to_string(result->total_cost);
+  out += " covered:" + std::to_string(result->covered);
+  for (const std::string& label : result->labels) out += " " + label;
+  return out;
+}
+
+TEST(ShardedSnapshotTest, ShardCountsYieldIdenticalSetSystemViews) {
+  const SetSystem system = TestSystem();
+  const InstancePtr flat = SetBacked(system, Shards(1));
+  for (std::size_t count : {2u, 7u}) {
+    const InstancePtr sharded = SetBacked(system, Shards(count));
+    SCOPED_TRACE("shards=" + std::to_string(count));
+    EXPECT_EQ(sharded->num_shards(), count);
+    EXPECT_EQ(sharded->num_elements(), flat->num_elements());
+
+    auto flat_view = flat->set_system();
+    auto sharded_view = sharded->set_system();
+    ASSERT_TRUE(flat_view.ok());
+    ASSERT_TRUE(sharded_view.ok());
+    ASSERT_EQ((*sharded_view)->num_sets(), (*flat_view)->num_sets());
+    for (SetId id = 0; id < (*flat_view)->num_sets(); ++id) {
+      EXPECT_EQ((*sharded_view)->set(id).elements,
+                (*flat_view)->set(id).elements);
+      EXPECT_EQ((*sharded_view)->set(id).cost, (*flat_view)->set(id).cost);
+    }
+  }
+}
+
+TEST(ShardedSnapshotTest, ShardPlanIsWordAlignedAndCoversTheUniverse) {
+  const SetSystem system = TestSystem(640);
+  const InstancePtr instance = SetBacked(system, Shards(4));
+  const std::vector<std::size_t>& bounds = instance->shard_bounds();
+  ASSERT_EQ(bounds.size(), instance->num_shards() + 1);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), system.num_elements());
+  for (std::size_t s = 1; s < bounds.size(); ++s) {
+    EXPECT_LT(bounds[s - 1], bounds[s]);
+    if (s + 1 < bounds.size()) {
+      EXPECT_EQ(bounds[s] % 64, 0u) << "interior bound not word-aligned";
+    }
+  }
+  EXPECT_EQ(instance->shard_hashes().size(), instance->num_shards());
+}
+
+TEST(ShardedSnapshotTest, ContentHashAtOneShardMatchesTheDefaultPlan) {
+  const SetSystem system = TestSystem();
+  const InstancePtr implicit = SetBacked(system, ShardingOptions{});
+  const InstancePtr explicit1 = SetBacked(system, Shards(1));
+  // Identical effective plans must key identically in the snapshot cache.
+  EXPECT_EQ(implicit->content_hash(), explicit1->content_hash());
+  EXPECT_EQ(implicit->shard_hashes(), explicit1->shard_hashes());
+
+  // A different plan over the same data is a different cache identity
+  // (engines over it run differently), but the data hashes per shard.
+  const InstancePtr sharded = SetBacked(system, Shards(4));
+  EXPECT_NE(sharded->content_hash(), implicit->content_hash());
+}
+
+TEST(ShardedSnapshotTest, DataChangesLocalizeToTheOwningShardHash) {
+  // 512 elements over 4 shards: [0,128) [128,256) [256,384) [384,512).
+  SetSystem a(512), b(512);
+  for (int s = 0; s < 8; ++s) {
+    std::vector<ElementId> elements;
+    for (ElementId e = static_cast<ElementId>(s * 64);
+         e < static_cast<ElementId>(s * 64 + 48); ++e) {
+      elements.push_back(e);
+    }
+    ASSERT_TRUE(a.AddSet(elements, 1.0 + s, "s" + std::to_string(s)).ok());
+    if (s == 6) elements[0] = 400;  // perturb one element in shard 3
+    ASSERT_TRUE(b.AddSet(elements, 1.0 + s, "s" + std::to_string(s)).ok());
+  }
+  auto ia = api::InstanceSnapshot::FromSetSystem(std::move(a), Shards(4));
+  auto ib = api::InstanceSnapshot::FromSetSystem(std::move(b), Shards(4));
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(ib.ok());
+  ASSERT_EQ((*ia)->num_shards(), 4u);
+  EXPECT_NE((*ia)->content_hash(), (*ib)->content_hash());
+  const auto& ha = (*ia)->shard_hashes();
+  const auto& hb = (*ib)->shard_hashes();
+  EXPECT_EQ(ha[0], hb[0]);
+  EXPECT_EQ(ha[1], hb[1]);
+  EXPECT_EQ(ha[2], hb[2]);
+  EXPECT_NE(ha[3], hb[3]) << "perturbed shard must change its hash";
+}
+
+// The registry-wide sharding contract: every registered solver — set-backed
+// greedy family, exact, baselines, and the capability-gated lattice and
+// hierarchy solvers (whose typed refusals must also match) — produces the
+// identical outcome on flat and sharded snapshots of the same system.
+TEST(ShardedSnapshotTest, EveryRegisteredSolverIsBitIdenticalUnderSharding) {
+  const SetSystem system = TestSystem();
+  const InstancePtr flat = SetBacked(system, Shards(1));
+  const InstancePtr sharded = SetBacked(system, Shards(5));
+  ASSERT_EQ(sharded->num_shards(), 5u);
+
+  for (const api::SolverInfo& info : SolverRegistry::Global().List()) {
+    if (info.name.rfind("test-", 0) == 0) continue;  // stubs from other tests
+    SCOPED_TRACE("solver: " + info.name);
+    std::vector<std::string> options;
+    if (info.name == "budgeted-max-coverage") options = {"budget=100"};
+    if (info.name == "nonoverlap") options = {"best_effort=true"};
+    auto expected = SolverRegistry::Global().Solve(
+        info.name, MakeRequest(flat, 3, 0.5, options));
+    auto got = SolverRegistry::Global().Solve(
+        info.name, MakeRequest(sharded, 3, 0.5, options));
+    EXPECT_EQ(Outcome(got), Outcome(expected));
+  }
+}
+
+TEST(ShardedSnapshotTest, TableBackedShardingIsTransparentToSolvers) {
+  gen::LblSynthSpec spec;
+  spec.num_rows = 1280;
+  spec.seed = 11;
+  auto table = gen::MakeLblSynth(spec);
+  ASSERT_TRUE(table.ok());
+  auto make = [&](ShardingOptions sharding) {
+    auto instance = api::InstanceSnapshot::FromTable(
+        Table(*table), pattern::CostFunction(pattern::CostKind::kMax),
+        std::nullopt, {}, sharding);
+    EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+    return *instance;
+  };
+  const InstancePtr flat = make(Shards(1));
+  const InstancePtr sharded = make(Shards(4));
+  ASSERT_EQ(sharded->num_shards(), 4u);
+  EXPECT_NE(flat->content_hash(), sharded->content_hash());
+
+  // opt-cwsc never materializes the set system; cwsc enumerates it. Both
+  // must be oblivious to the shard plan.
+  for (const char* solver : {"opt-cwsc", "cwsc", "greedy-wsc"}) {
+    SCOPED_TRACE(solver);
+    auto expected =
+        SolverRegistry::Global().Solve(solver, MakeRequest(flat, 4, 0.6));
+    auto got =
+        SolverRegistry::Global().Solve(solver, MakeRequest(sharded, 4, 0.6));
+    EXPECT_EQ(Outcome(got), Outcome(expected));
+  }
+}
+
+}  // namespace
+}  // namespace scwsc
