@@ -27,10 +27,18 @@
 //   g4 p99 latency of unaffected chaos jobs (first-attempt successes, no
 //      degradation) within 2x the fault-free arm's p99 (plus a floor for
 //      timer noise);
-//   g5 the fault-free arm is bit-identical to serial.
+//   g5 the fault-free arm is bit-identical to serial;
+//   g6 the chaos arm runs under a telemetry pump with a deliberately
+//      untenable latency SLO: the storm must produce at least one recorded
+//      violation whose auto-dumped flight-recorder trace is valid
+//      Chrome-trace JSON;
+//   g7 the per-solver latency sketches merged across the chaos arm agree
+//      with the exact nearest-rank p99 of the same samples within the
+//      sketch's stated relative-error bound.
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -43,10 +51,13 @@
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sketch.h"
 #include "src/serve/cache.h"
 #include "src/serve/json.h"
 #include "src/serve/resilience.h"
 #include "src/serve/scheduler.h"
+#include "src/serve/slo.h"
 
 namespace scwsc {
 namespace {
@@ -183,6 +194,10 @@ struct ArmStats {
   std::size_t retried_jobs = 0;    // attempts > 1
   double wall_seconds = 0.0;
   std::vector<double> unaffected_latencies;  // sorted run_seconds
+  // Sorted queue+run seconds of EVERY resolved future — the same values the
+  // scheduler feeds its serve.latency_seconds sketches, so the sketch
+  // accuracy gate (g7) compares like with like.
+  std::vector<double> all_latencies;
 };
 
 double Percentile(const std::vector<double>& sorted, double p) {
@@ -226,6 +241,8 @@ ArmStats RunArm(const api::InstancePtr& instance,
       continue;
     }
     serve::JobOutcome outcome = p.future.get();
+    stats.all_latencies.push_back(outcome.queue_seconds +
+                                  outcome.run_seconds);
     if (!outcome.result.ok()) {
       ++stats.failed;
       continue;
@@ -262,6 +279,7 @@ ArmStats RunArm(const api::InstancePtr& instance,
   stats.wall_seconds = wall.ElapsedSeconds();
   std::sort(stats.unaffected_latencies.begin(),
             stats.unaffected_latencies.end());
+  std::sort(stats.all_latencies.begin(), stats.all_latencies.end());
   return stats;
 }
 
@@ -308,11 +326,20 @@ int main(int argc, char** argv) {
     faultfree = RunArm(instance, combos, 1, scheduler, legit);
   }
 
-  // Arm 2 — chaos: same workload, every injection point armed.
+  // Arm 2 — chaos: same workload, every injection point armed, and the
+  // telemetry pump running with an untenable latency SLO (1 microsecond
+  // p99) so the storm is guaranteed to trip at least one violation and
+  // auto-dump a flight-recorder trace (gate g6).
   ArmStats chaos_stats;
   serve::JsonObject fired;
   std::uint64_t breaker_opened = 0, watchdog_redispatched = 0,
                 results_quarantined = 0, retries_attempted = 0;
+  std::uint64_t slo_violations = 0;
+  std::vector<std::string> slo_dumps;
+  obs::QuantileSketch merged_latency;
+  bool have_latency_sketch = false;
+  const std::string telemetry_jsonl = out_path + ".telemetry.jsonl";
+  const std::string slo_dump_path = out_path + ".slo_trace.json";
   {
     ScopedFaultPlan chaos(seed);
     chaos.plan().Arm(FaultPoint::kSolverError, kPErr);
@@ -323,10 +350,38 @@ int main(int argc, char** argv) {
     chaos.plan().Arm(FaultPoint::kResultCacheCorrupt, kPCorrupt);
     chaos.plan().Arm(FaultPoint::kPoolTaskLoss, kPTaskLoss);
 
-    serve::SolveScheduler scheduler(&pool, ResilientOptions());
+    serve::SchedulerOptions chaos_options = ResilientOptions();
+    serve::TelemetryOptions& tel = chaos_options.telemetry;
+    tel.interval_seconds = 0.05;
+    tel.jsonl_path = telemetry_jsonl;
+    tel.slo_dump_path = slo_dump_path;
+    auto rule = serve::ParseSloRule("p99_latency_ms<=0.001");
+    SCWSC_CHECK(rule.ok(), "slo rule: %s",
+                rule.status().ToString().c_str());
+    tel.slo_rules.push_back(std::move(rule).value());
+
+    serve::SolveScheduler scheduler(&pool, chaos_options);
     chaos_stats = RunArm(instance, combos, kChaosPasses, scheduler, legit);
+    scheduler.FlushTelemetry();
 
     obs::MetricRegistry& metrics = scheduler.metrics();
+    slo_violations = metrics.CounterValue("serve.slo.violations");
+    if (scheduler.telemetry() != nullptr) {
+      slo_dumps = scheduler.telemetry()->dump_paths();
+    }
+    // Merge every per-solver latency sketch member for gate g7; the merged
+    // view is exactly what the pump's SLO evaluation sees.
+    for (const auto& [name, sketch] : metrics.SketchValues()) {
+      if (name.rfind("serve.latency_seconds#", 0) != 0) continue;
+      if (!have_latency_sketch) {
+        merged_latency = sketch;
+        have_latency_sketch = true;
+      } else {
+        const Status merged = merged_latency.Merge(sketch);
+        SCWSC_CHECK(merged.ok(), "sketch merge: %s",
+                    merged.ToString().c_str());
+      }
+    }
     breaker_opened = metrics.CounterValue("serve.breaker.opened");
     watchdog_redispatched =
         metrics.CounterValue("serve.watchdog.redispatched");
@@ -367,6 +422,31 @@ int main(int argc, char** argv) {
       faultfree.corrupt_served == 0 && faultfree.degraded == 0 &&
       faultfree.retried_jobs == 0;
 
+  // Gate g6: the untenable SLO tripped, and the auto-dumped trace is valid
+  // Chrome-trace JSON (an object carrying traceEvents).
+  bool g6_slo_dump = slo_violations >= 1 && !slo_dumps.empty();
+  if (g6_slo_dump) {
+    auto dump = serve::ReadJsonFile(slo_dumps.front());
+    g6_slo_dump = dump.ok() && dump->is_object() &&
+                  dump->Find("traceEvents") != nullptr;
+  }
+
+  // Gate g7: the merged latency sketch's p99 agrees with the exact
+  // nearest-rank p99 of the identical sample set within the sketch's
+  // stated relative error (plus an absolute epsilon for sub-trackable
+  // values).
+  const double exact_p99 = Percentile(chaos_stats.all_latencies, 0.99);
+  const double sketch_p99 =
+      have_latency_sketch ? merged_latency.Quantile(0.99) : -1.0;
+  const double sketch_alpha =
+      have_latency_sketch ? merged_latency.relative_error()
+                          : obs::QuantileSketch::kDefaultRelativeError;
+  const double sketch_bound = sketch_alpha * exact_p99 + 1e-9;
+  const bool g7_sketch_accurate =
+      have_latency_sketch &&
+      merged_latency.count() == chaos_stats.all_latencies.size() &&
+      std::abs(sketch_p99 - exact_p99) <= sketch_bound;
+
   serve::JsonObject report;
   report["rows"] = rows;
   report["seed"] = static_cast<std::size_t>(seed);
@@ -385,15 +465,24 @@ int main(int argc, char** argv) {
   report["watchdog_redispatched"] = watchdog_redispatched;
   report["results_quarantined"] = results_quarantined;
   report["retries_attempted"] = retries_attempted;
+  report["slo_violations"] = slo_violations;
+  report["slo_dump"] = slo_dumps.empty() ? std::string() : slo_dumps.front();
+  report["telemetry_jsonl"] = telemetry_jsonl;
+  report["exact_p99_seconds"] = exact_p99;
+  report["sketch_p99_seconds"] = sketch_p99;
+  report["sketch_p99_bound_seconds"] = sketch_bound;
   serve::JsonObject gates;
   gates["all_futures_completed"] = g1_complete;
   gates["error_rate_bounded"] = g2_error_rate;
   gates["zero_corrupt_served"] = g3_no_corruption;
   gates["unaffected_p99_bounded"] = g4_latency;
   gates["fault_free_arm_clean"] = g5_faultfree_clean;
+  gates["slo_violation_dumped"] = g6_slo_dump;
+  gates["sketch_p99_within_bound"] = g7_sketch_accurate;
   report["gates"] = serve::JsonValue(std::move(gates));
   const bool pass = g1_complete && g2_error_rate && g3_no_corruption &&
-                    g4_latency && g5_faultfree_clean;
+                    g4_latency && g5_faultfree_clean && g6_slo_dump &&
+                    g7_sketch_accurate;
   report["pass"] = pass;
 
   Status written =
@@ -408,15 +497,19 @@ int main(int argc, char** argv) {
        "degraded=" + std::to_string(chaos_stats.degraded),
        "retried=" + std::to_string(chaos_stats.retried_jobs),
        "quarantined=" + std::to_string(results_quarantined),
+       "slo_violations=" + std::to_string(slo_violations),
        "pass=" + std::string(pass ? "1" : "0")});
   std::printf("# report -> %s\n", out_path.c_str());
+  if (!slo_dumps.empty()) {
+    std::printf("# slo trace -> %s\n", slo_dumps.front().c_str());
+  }
 
   if (!pass) {
     std::fprintf(stderr,
                  "FAIL: chaos gates: complete=%d error_rate=%d corruption=%d "
-                 "latency=%d fault_free=%d\n",
+                 "latency=%d fault_free=%d slo_dump=%d sketch_p99=%d\n",
                  g1_complete, g2_error_rate, g3_no_corruption, g4_latency,
-                 g5_faultfree_clean);
+                 g5_faultfree_clean, g6_slo_dump, g7_sketch_accurate);
     return 1;
   }
   return 0;

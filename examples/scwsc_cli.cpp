@@ -31,6 +31,15 @@
 //   --batch-out PATH    where --batch writes its JSON report
 //                                               [default batch_results.json]
 //   --threads N         scheduler worker threads for --batch; 0 = all cores
+//   --telemetry-out P   continuous telemetry for --batch: a JSONL time
+//                       series appended at P plus a Prometheus text
+//                       exposition rewritten at P.prom each tick
+//   --slo RULE          SLO rule evaluated each telemetry tick
+//                       (repeatable; e.g. "p99_latency_ms<=250",
+//                       "error_rate<=0.01" — see docs/observability.md).
+//                       Violations bump serve.slo.violations and dump the
+//                       flight recorder as Chrome-trace JSON. Combines
+//                       with a batch file's "slo" object.
 //
 // Legacy aliases kept for scripts: --algorithm cwsc|cmc|exact maps to
 // opt-cwsc/opt-cmc/exact, and --b/--epsilon/--strict feed the CMC options.
@@ -76,6 +85,8 @@ struct CliArgs {
   std::string metrics_out;  // empty = no metrics dump
   std::string batch;        // jobs.json path; empty = single-solve mode
   std::string batch_out = "batch_results.json";
+  std::string telemetry_out;            // JSONL path; empty = no telemetry
+  std::vector<std::string> slo_rules;   // raw --slo values, parsed later
   unsigned threads = 0;     // 0 = hardware concurrency
   std::size_t shards = 1;   // element-range shards for the snapshot
 };
@@ -99,7 +110,8 @@ void PrintUsage() {
       "          [--opt KEY=VALUE]... [--hierarchy flat] [--delimiter C]\n"
       "          [--deadline-ms N] [--trace-out PATH] [--metrics-out PATH]\n"
       "          [--shards N]\n"
-      "          [--batch jobs.json [--batch-out PATH] [--threads N]]\n"
+      "          [--batch jobs.json [--batch-out PATH] [--threads N]\n"
+      "           [--telemetry-out PATH] [--slo RULE]...]\n"
       "scwsc_cli --list-solvers\n");
 }
 
@@ -186,6 +198,13 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       args.batch = value;
     } else if (flag == "--batch-out") {
       args.batch_out = value;
+    } else if (flag == "--telemetry-out") {
+      args.telemetry_out = value;
+    } else if (flag == "--slo") {
+      // Parse eagerly so a typo fails at the command line, not mid-batch.
+      SCWSC_ASSIGN_OR_RETURN(serve::SloRule parsed, serve::ParseSloRule(value));
+      (void)parsed;
+      args.slo_rules.push_back(value);
     } else if (flag == "--threads") {
       SCWSC_ASSIGN_OR_RETURN(auto threads, ParseU64(value));
       args.threads = static_cast<unsigned>(threads);
@@ -302,6 +321,27 @@ int RunBatchMode(const CliArgs& args, api::InstancePtr instance) {
     res.ladder = serve::DegradationLadder::Default();
     res.watchdog = true;
   }
+
+  // Telemetry: the batch file's "slo" object and the --telemetry-out /
+  // --slo flags merge into one pump configuration.
+  const bool want_telemetry = spec->slo.configured ||
+                              !args.telemetry_out.empty() ||
+                              !args.slo_rules.empty();
+  if (want_telemetry) {
+    serve::TelemetryOptions& tel = scheduler_options.telemetry;
+    tel.jsonl_path = args.telemetry_out;
+    if (!args.telemetry_out.empty()) {
+      tel.prom_path = args.telemetry_out + ".prom";
+    }
+    tel.interval_seconds =
+        (spec->slo.configured ? spec->slo.interval_ms : 250.0) / 1000.0;
+    tel.slo_rules = spec->slo.rules;
+    for (const std::string& raw : args.slo_rules) {
+      auto rule = serve::ParseSloRule(raw);  // validated at parse time
+      if (rule.ok()) tel.slo_rules.push_back(*std::move(rule));
+    }
+    tel.slo_dump_path = spec->slo.dump_path;
+  }
   serve::SolveScheduler scheduler(&pool, scheduler_options);
 
   // Key the loaded table by content in the scheduler's snapshot cache: a
@@ -357,6 +397,15 @@ int RunBatchMode(const CliArgs& args, api::InstancePtr instance) {
       "%.0f failed -> %s\n",
       num_jobs, pool.size(), jobs_per_second, result_hits, failed,
       args.batch_out.c_str());
+  if (want_telemetry && aggregate != nullptr) {
+    double violations = 0.0;
+    if (const auto* v = aggregate->Find("slo_violations")) {
+      violations = v->as_number();
+    }
+    std::printf("# telemetry: %.0f SLO violation(s)%s%s\n", violations,
+                args.telemetry_out.empty() ? "" : " -> ",
+                args.telemetry_out.c_str());
+  }
   return failed > 0.0 ? 1 : 0;
 }
 

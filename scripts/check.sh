@@ -130,6 +130,43 @@ for job in report["jobs"]:
     assert "attempts" in job, job
 EOF
 
+# Telemetry smoke: the same batch with the continuous-telemetry pump on —
+# an "slo" object with a deliberately untenable latency rule plus CLI
+# --telemetry-out/--slo flags. Every JSONL line must parse, the Prometheus
+# exposition must exist, the violation must auto-dump a flight-recorder
+# trace that chrome://tracing would load, and the aggregate must count the
+# violations.
+cat > "$BUILD_DIR"/serve_slo_jobs.json <<'EOF'
+{"slo": {"rules": ["p99_latency_ms<=0.001"], "interval_ms": 25},
+ "jobs": [
+  {"solver": "cwsc", "k": 3, "coverage": 0.5, "label": "slo", "repeat": 8},
+  {"solver": "opt-cwsc", "k": 3, "coverage": 0.5, "repeat": 6},
+  {"solver": "CMC", "k": 3, "coverage": 0.5, "options": {"b": 2}, "repeat": 4}
+]}
+EOF
+"$BUILD_DIR"/examples/scwsc_cli --input "$BUILD_DIR"/obs_smoke.csv \
+  --measure Cost --batch "$BUILD_DIR"/serve_slo_jobs.json \
+  --batch-out "$BUILD_DIR"/slo_results.json \
+  --telemetry-out "$BUILD_DIR"/telemetry.jsonl \
+  --slo "error_rate<=0.5" || fail "telemetry smoke (batch)"
+python3 - "$BUILD_DIR"/telemetry.jsonl <<'EOF' || fail "telemetry smoke (JSONL)"
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert lines, "telemetry JSONL is empty"
+for line in lines:
+    for key in ("tick", "counters", "gauges", "quantiles", "slo"):
+        assert key in line, (key, line)
+assert lines[-1]["slo"]["violations_total"] >= 1, lines[-1]["slo"]
+EOF
+[ -s "$BUILD_DIR"/telemetry.jsonl.prom ] || fail "telemetry smoke (prom)"
+python3 -m json.tool "$BUILD_DIR"/telemetry.jsonl.slo_trace.json > /dev/null \
+  || fail "telemetry smoke (SLO trace dump)"
+python3 - "$BUILD_DIR"/slo_results.json <<'EOF' || fail "telemetry smoke (aggregate)"
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["aggregate"]["slo_violations"] >= 1, report["aggregate"]
+EOF
+
 SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
   "$BUILD_DIR"/bench/micro_core --engine-compare \
   --out="$BUILD_DIR"/BENCH_core.json || fail "engine smoke"
@@ -170,4 +207,4 @@ assert report["pass"] is True, report["gates"]
 assert report["gates"]["bit_identical_all_arms"] is True, report["gates"]
 EOF
 
-echo "check.sh: build, tests, observability, serve, chaos, shard, engine and anytime smokes all green"
+echo "check.sh: build, tests, observability, serve, chaos, telemetry, shard, engine and anytime smokes all green"

@@ -42,10 +42,16 @@ void RecordSolveMetrics(obs::MetricRegistry& metrics, const std::string& name,
   metrics.gauge(p + "total_cost").Set(result.total_cost);
   metrics.gauge(p + "covered").Set(static_cast<double>(result.covered));
   metrics.gauge(p + "seconds").Set(result.seconds);
-  metrics
-      .histogram("solve.seconds",
-                 {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0})
-      .Observe(result.seconds);
+  if (result.accuracy_ratio > 0.0) {
+    // The Prolubnikov instance-specific certificate: solution cost is
+    // within this factor of OPT on this very instance (core/accuracy.h).
+    metrics.gauge(p + "accuracy_ratio").Set(result.accuracy_ratio);
+  }
+  // Latency distribution as a mergeable per-solver sketch (obs/sketch.h);
+  // the '#'-family convention lets the telemetry pump aggregate an overall
+  // "solve.seconds" quantile across solvers, which fixed-bucket histograms
+  // could not offer.
+  metrics.sketch("solve.seconds#" + name).Observe(result.seconds);
 }
 
 }  // namespace

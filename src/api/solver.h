@@ -273,6 +273,14 @@ struct SolveResult {
   /// materialization and audit).
   double seconds = 0.0;
 
+  /// Instance-specific approximation-ratio certificate (Prolubnikov, arXiv
+  /// 1811.04037) computed by dual fitting over the selection order: the
+  /// solution's cost is at most this factor times the optimum covering the
+  /// same elements. >= 1 when estimable (set-backed solves with positive
+  /// set costs); 0 when no estimate applies (pattern-backed payloads,
+  /// empty selections). See core/accuracy.h.
+  double accuracy_ratio = 0.0;
+
   /// Serving provenance: when the serve layer degraded the job onto a
   /// cheaper solver (queue pressure, open circuit breaker), this is the
   /// canonical name of the solver *originally requested*; empty whenever

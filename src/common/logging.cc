@@ -1,12 +1,17 @@
 #include "src/common/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 namespace scwsc {
 namespace {
@@ -77,6 +82,57 @@ void VLog(LogLevel level, const char* file, int line, const char* fmt,
   std::fputc('\n', stderr);
 }
 
+// --- Warn rate limiting ----------------------------------------------------
+// One token bucket per warn call site (file pointer + line; __FILE__
+// literals are stable addresses). The warn path is not hot — a global mutex
+// around the site map is fine, and a chaos storm hammering one site pays
+// one short critical section per suppressed message instead of a stderr
+// write.
+
+constexpr double kWarnBurst = 10.0;
+constexpr double kWarnTokensPerSecond = 5.0;
+
+struct WarnSite {
+  double tokens = kWarnBurst;
+  std::chrono::steady_clock::time_point last_refill;
+  std::uint64_t suppressed_since_emit = 0;
+};
+
+std::mutex g_warn_sites_mu;
+std::map<std::pair<const char*, int>, WarnSite>& WarnSites() {
+  static auto* sites = new std::map<std::pair<const char*, int>, WarnSite>();
+  return *sites;
+}
+std::atomic<std::uint64_t> g_suppressed_total{0};
+
+/// Returns whether the warning at (file, line) may be emitted now; when it
+/// may and earlier messages from the site were suppressed, their count is
+/// returned via `suppressed_before` (and reset) so the caller can say so.
+bool AdmitWarn(const char* file, int line, std::uint64_t* suppressed_before) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(g_warn_sites_mu);
+  auto [it, inserted] = WarnSites().try_emplace(std::make_pair(file, line));
+  WarnSite& site = it->second;
+  if (inserted) {
+    site.last_refill = now;
+  } else {
+    const double elapsed =
+        std::chrono::duration<double>(now - site.last_refill).count();
+    site.tokens = std::min(kWarnBurst,
+                           site.tokens + elapsed * kWarnTokensPerSecond);
+    site.last_refill = now;
+  }
+  if (site.tokens < 1.0) {
+    ++site.suppressed_since_emit;
+    g_suppressed_total.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  site.tokens -= 1.0;
+  *suppressed_before = site.suppressed_since_emit;
+  site.suppressed_since_emit = 0;
+  return true;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -93,10 +149,28 @@ void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
+  std::uint64_t suppressed_before = 0;
+  if (level == LogLevel::kWarn &&
+      !AdmitWarn(file, line, &suppressed_before)) {
+    return;
+  }
   va_list args;
   va_start(args, fmt);
   VLog(level, file, line, fmt, args);
   va_end(args);
+  if (suppressed_before > 0) {
+    char stamp[32];
+    FormatTimestamp(stamp, sizeof(stamp));
+    std::fprintf(stderr,
+                 "[%s WARN t%05lu %s:%d] (rate limit: %llu similar warnings"
+                 " suppressed)\n",
+                 stamp, ThreadTag(), Basename(file), line,
+                 static_cast<unsigned long long>(suppressed_before));
+  }
+}
+
+std::uint64_t LogSuppressedCount() {
+  return g_suppressed_total.load(std::memory_order_relaxed);
 }
 
 void LogFatal(const char* file, int line, const char* fmt, ...) {

@@ -9,6 +9,7 @@
 #define SCWSC_COMMON_LOGGING_H_
 
 #include <cstdarg>
+#include <cstdint>
 
 namespace scwsc {
 
@@ -28,6 +29,14 @@ void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
 /// Logs and aborts. Used by SCWSC_LOG_FATAL / SCWSC_CHECK.
 [[noreturn]] void LogFatal(const char* file, int line, const char* fmt, ...)
     __attribute__((format(printf, 3, 4)));
+
+/// Warn-level messages are rate limited per call site (a token bucket of 10
+/// with 5 tokens/second refill), so a chaos storm repeating one warning
+/// cannot flood stderr; suppressed messages are counted here and surfaced
+/// by the telemetry pump as the `log.suppressed` gauge. When a site
+/// recovers a token after suppressing, the next emitted line is followed by
+/// a note with the suppressed count.
+std::uint64_t LogSuppressedCount();
 
 }  // namespace scwsc
 

@@ -1,0 +1,51 @@
+#include "src/core/accuracy.h"
+
+#include <algorithm>
+
+namespace scwsc {
+
+double EstimateAccuracyRatio(const SetSystem& system,
+                             const std::vector<SetId>& selection_order) {
+  if (selection_order.empty()) return 0.0;
+  const std::size_t n = system.num_elements();
+  std::vector<double> price(n, 0.0);
+  std::vector<char> covered(n, 0);
+
+  // Dual-fitting prices: each element is charged when first covered, at the
+  // covering set's cost split across everything it newly covers.
+  for (const SetId id : selection_order) {
+    if (id >= system.num_sets()) continue;  // defensive: foreign id
+    const WeightedSet& s = system.set(id);
+    std::size_t newly = 0;
+    for (const ElementId e : s.elements) {
+      if (e < n && covered[e] == 0) ++newly;
+    }
+    if (newly == 0) continue;
+    const double per_element = s.cost / static_cast<double>(newly);
+    for (const ElementId e : s.elements) {
+      if (e < n && covered[e] == 0) {
+        covered[e] = 1;
+        price[e] = per_element;
+      }
+    }
+  }
+
+  // gamma = the largest factor by which any positive-cost set's price mass
+  // overshoots its cost; scaling prices down by gamma is dual feasible.
+  double gamma = 0.0;
+  bool any_priced = false;
+  for (SetId id = 0; id < system.num_sets(); ++id) {
+    const WeightedSet& s = system.set(id);
+    if (!(s.cost > 0.0)) continue;
+    double mass = 0.0;
+    for (const ElementId e : s.elements) {
+      if (e < n) mass += price[e];
+    }
+    if (mass > 0.0) any_priced = true;
+    gamma = std::max(gamma, mass / s.cost);
+  }
+  if (!any_priced) return 0.0;
+  return std::max(gamma, 1.0);
+}
+
+}  // namespace scwsc

@@ -1,0 +1,41 @@
+// Instance-specific accuracy estimate for set covers, after Prolubnikov
+// (arXiv 1811.04037): instead of quoting the worst-case H_n bound, certify
+// the solution actually produced on the instance actually solved.
+//
+// Replay the selection order and price each newly covered element at
+// cost(S_t) / |newly covered by S_t| — the classic dual-fitting prices.
+// The selection's total cost equals the sum of all prices. For any set S,
+// gamma(S) = (sum of prices of S's elements) / cost(S) measures how far the
+// prices overshoot the dual constraint sum_{e in S} y_e <= cost(S);
+// dividing every price by gamma = max_S gamma(S) makes them dual feasible,
+// so by LP weak duality
+//
+//   cost(selection) = sum of prices <= gamma * OPT
+//
+// where OPT is the cheapest cover of the same elements. The argument only
+// needs the selection order, not greediness, so the estimate is valid for
+// every set-backed solver in the registry. gamma is often far below the
+// worst-case logarithmic bound — that gap is the point of exporting it as
+// telemetry next to latency.
+
+#ifndef SCWSC_CORE_ACCURACY_H_
+#define SCWSC_CORE_ACCURACY_H_
+
+#include <vector>
+
+#include "src/core/set_system.h"
+
+namespace scwsc {
+
+/// The certified approximation ratio gamma (>= 1) for covering the elements
+/// the selection covers, or 0.0 when no estimate applies (empty selection,
+/// or no priced element touches a positive-cost set). Sets with cost <= 0
+/// are skipped in the maximization: a zero-cost set admits no finite price
+/// scaling, and charging OPT for free sets would be meaningless anyway.
+/// O(total set sizes) time, O(num_elements) space.
+double EstimateAccuracyRatio(const SetSystem& system,
+                             const std::vector<SetId>& selection_order);
+
+}  // namespace scwsc
+
+#endif  // SCWSC_CORE_ACCURACY_H_

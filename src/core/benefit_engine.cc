@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "src/common/fault.h"
+#include "src/obs/recorder.h"
 #include "src/obs/trace.h"
 
 namespace scwsc {
@@ -313,6 +314,22 @@ Status BenefitEngine::BatchMarginals(const std::vector<SetId>& ids,
     if (options_.trace != nullptr && p.size() > 1) {
       batch_span = obs::Span(options_.trace, "engine.batch");
     }
+    // Per-stripe wall time goes two places: the always-on flight recorder
+    // (as engine.stripe/<s> complete events, for post-hoc skew forensics)
+    // and — when a trace session is attached — a per-shard quantile sketch
+    // the telemetry pump merges into an engine.stripe_seconds aggregate.
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    auto timed_stripe = [&](std::size_t s) {
+      const std::int64_t t0 = recorder.NowNs();
+      ComputeShardStripe(s, ids, stripe_scratch_.data() + s * n, aborted);
+      const std::int64_t t1 = recorder.NowNs();
+      recorder.RecordComplete("engine.stripe/" + std::to_string(s), t0, t1);
+      if (options_.trace != nullptr) {
+        options_.trace->metrics()
+            .sketch("engine.stripe_seconds#" + std::to_string(s))
+            .Observe(static_cast<double>(t1 - t0) * 1e-9);
+      }
+    };
     const Status pool_status =
         p.ParallelFor(S, 1, [&](std::size_t begin, std::size_t end) {
           for (std::size_t s = begin; s < end; ++s) {
@@ -321,8 +338,7 @@ Status BenefitEngine::BatchMarginals(const std::vector<SetId>& ids,
               lost[s] = 1;  // dropped before scanning anything
               continue;
             }
-            ComputeShardStripe(s, ids, stripe_scratch_.data() + s * n,
-                               aborted);
+            timed_stripe(s);
           }
         });
     SCWSC_RETURN_NOT_OK(pool_status);
@@ -332,7 +348,7 @@ Status BenefitEngine::BatchMarginals(const std::vector<SetId>& ids,
     for (std::size_t s = 0; s < S; ++s) {
       if (!lost[s]) continue;
       if (shard_recoveries_ != nullptr) shard_recoveries_->Increment();
-      ComputeShardStripe(s, ids, stripe_scratch_.data() + s * n, aborted);
+      timed_stripe(s);
     }
     for (std::size_t i = 0; i < n; ++i) {
       std::size_t total = 0;

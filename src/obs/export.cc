@@ -1,56 +1,20 @@
 #include "src/obs/export.h"
 
-#include <cmath>
-#include <cstdio>
+#include <cstddef>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/common/strings.h"
+#include "src/obs/json_util.h"
 
 namespace scwsc {
 namespace obs {
-namespace {
 
-void AppendJsonEscaped(std::string_view s, std::string* out) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          *out += StrFormat("\\u%04x", c);
-        } else {
-          *out += c;
-        }
-    }
-  }
-}
-
-/// A JSON number literal: finite doubles round-trip via %.17g, non-finite
-/// values (not representable in JSON) degrade to null.
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "null";
-  return StrFormat("%.17g", v);
-}
-
-/// Nanoseconds to the trace-event format's microsecond unit.
-std::string TraceTs(std::int64_t ns) {
-  return StrFormat("%.3f", static_cast<double>(ns) * 1e-3);
-}
-
-}  // namespace
+using internal::AppendJsonEscaped;
+using internal::JsonNumber;
+using internal::TraceTs;
+using internal::WriteFileOrStatus;
 
 std::string ToChromeTraceJson(const TraceSession& session) {
   const std::vector<SpanRecord> spans = session.spans();
@@ -107,6 +71,21 @@ std::string ToChromeTraceJson(const TraceSession& session) {
   return out;
 }
 
+namespace {
+
+// The quantiles every sketch export reports, matching the telemetry JSONL
+// schema in docs/observability.md.
+constexpr struct {
+  double q;
+  const char* label;  // JSONL/CSV key
+  const char* prom;   // Prometheus quantile label value
+} kSketchQuantiles[] = {{0.5, "p50", "0.5"},
+                        {0.9, "p90", "0.9"},
+                        {0.99, "p99", "0.99"},
+                        {0.999, "p999", "0.999"}};
+
+}  // namespace
+
 std::string ToMetricsJson(const MetricRegistry& registry) {
   std::string out = "{\"counters\":{";
   bool first = true;
@@ -147,6 +126,24 @@ std::string ToMetricsJson(const MetricRegistry& registry) {
                      static_cast<unsigned long long>(snap.total),
                      JsonNumber(snap.sum).c_str());
   }
+  out += "},\"sketches\":{";
+  first = true;
+  for (const auto& [name, sketch] : registry.SketchValues()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += StrFormat("\":{\"count\":%llu,\"sum\":%s,\"min\":%s,\"max\":%s",
+                     static_cast<unsigned long long>(sketch.count()),
+                     JsonNumber(sketch.sum()).c_str(),
+                     JsonNumber(sketch.min()).c_str(),
+                     JsonNumber(sketch.max()).c_str());
+    for (const auto& sq : kSketchQuantiles) {
+      out += StrFormat(",\"%s\":%s", sq.label,
+                       JsonNumber(sketch.Quantile(sq.q)).c_str());
+    }
+    out += '}';
+  }
   out += "}}";
   return out;
 }
@@ -172,25 +169,95 @@ std::string ToMetricsCsv(const MetricRegistry& registry) {
     out += StrFormat("histogram,%s.total,%llu\n", name.c_str(),
                      static_cast<unsigned long long>(snap.total));
   }
+  for (const auto& [name, sketch] : registry.SketchValues()) {
+    for (const auto& sq : kSketchQuantiles) {
+      out += StrFormat("sketch,%s.%s,%.17g\n", name.c_str(), sq.label,
+                       sketch.Quantile(sq.q));
+    }
+    out += StrFormat("sketch,%s.sum,%.17g\n", name.c_str(), sketch.sum());
+    out += StrFormat("sketch,%s.count,%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(sketch.count()));
+  }
   return out;
 }
 
 namespace {
 
-Status WriteFileOrStatus(const std::string& path, const std::string& body) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+/// Metric names are dotted paths; Prometheus names allow [a-zA-Z0-9_:].
+/// Everything else becomes '_', and every name gets a "scwsc_" prefix.
+std::string PrometheusName(std::string_view name) {
+  std::string out = "scwsc_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
   }
-  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
-  const bool close_ok = std::fclose(f) == 0;
-  if (written != body.size() || !close_ok) {
-    return Status::Internal("short write to '" + path + "'");
-  }
-  return Status::OK();
+  return out;
+}
+
+/// Splits "family#member" sketch names; member is empty for plain names.
+std::pair<std::string, std::string> SplitSketchFamily(const std::string& name) {
+  const std::size_t hash = name.find('#');
+  if (hash == std::string::npos) return {name, std::string()};
+  return {name.substr(0, hash), name.substr(hash + 1)};
 }
 
 }  // namespace
+
+std::string ToPrometheusText(const MetricRegistry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    const std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", prom.c_str(), prom.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    const std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s gauge\n%s %s\n", prom.c_str(), prom.c_str(),
+                     JsonNumber(value).c_str());
+  }
+  for (const auto& [name, snap] : registry.HistogramValues()) {
+    const std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s histogram\n", prom.c_str());
+    std::uint64_t cum = 0;  // Prometheus buckets are cumulative
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      cum += snap.counts[i];
+      const std::string le = i < snap.bounds.size()
+                                 ? StrFormat("%.17g", snap.bounds[i])
+                                 : std::string("+Inf");
+      out += StrFormat("%s_bucket{le=\"%s\"} %llu\n", prom.c_str(), le.c_str(),
+                       static_cast<unsigned long long>(cum));
+    }
+    out += StrFormat("%s_sum %s\n%s_count %llu\n", prom.c_str(),
+                     JsonNumber(snap.sum).c_str(), prom.c_str(),
+                     static_cast<unsigned long long>(snap.total));
+  }
+  std::string last_family;
+  for (const auto& [name, sketch] : registry.SketchValues()) {
+    const auto [family, member] = SplitSketchFamily(name);
+    const std::string prom = PrometheusName(family);
+    if (family != last_family) {
+      out += StrFormat("# TYPE %s summary\n", prom.c_str());
+      last_family = family;
+    }
+    const std::string member_label =
+        member.empty() ? std::string()
+                       : StrFormat("member=\"%s\",", member.c_str());
+    for (const auto& sq : kSketchQuantiles) {
+      out += StrFormat("%s{%squantile=\"%s\"} %s\n", prom.c_str(),
+                       member_label.c_str(), sq.prom,
+                       JsonNumber(sketch.Quantile(sq.q)).c_str());
+    }
+    const std::string suffix_labels =
+        member.empty() ? std::string()
+                       : StrFormat("{member=\"%s\"}", member.c_str());
+    out += StrFormat("%s_sum%s %s\n%s_count%s %llu\n", prom.c_str(),
+                     suffix_labels.c_str(), JsonNumber(sketch.sum()).c_str(),
+                     prom.c_str(), suffix_labels.c_str(),
+                     static_cast<unsigned long long>(sketch.count()));
+  }
+  return out;
+}
 
 Status WriteChromeTraceJson(const TraceSession& session,
                             const std::string& path) {

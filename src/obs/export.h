@@ -28,6 +28,13 @@ std::string ToMetricsJson(const MetricRegistry& registry);
 /// to one row per bound).
 std::string ToMetricsCsv(const MetricRegistry& registry);
 
+/// The registry in the Prometheus text exposition format: counters and
+/// gauges as plain samples, histograms with cumulative `_bucket{le=...}`
+/// rows, sketches as summaries with quantile labels. Sketch family members
+/// ("serve.latency_seconds#cwsc") become a `member` label on the family
+/// metric. All names are prefixed "scwsc_" with dots mapped to underscores.
+std::string ToPrometheusText(const MetricRegistry& registry);
+
 /// Writes ToChromeTraceJson(session) to `path`.
 Status WriteChromeTraceJson(const TraceSession& session,
                             const std::string& path);

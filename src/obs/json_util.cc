@@ -1,0 +1,64 @@
+#include "src/obs/json_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/strings.h"
+
+namespace scwsc {
+namespace obs {
+namespace internal {
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.17g", v);
+}
+
+std::string TraceTs(std::int64_t ns) {
+  return StrFormat("%.3f", static_cast<double>(ns) * 1e-3);
+}
+
+Status WriteFileOrStatus(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != body.size() || !close_ok) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace obs
+}  // namespace scwsc

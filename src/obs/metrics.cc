@@ -58,6 +58,14 @@ MetricHistogram& MetricRegistry::histogram(const std::string& name,
   return *slot;
 }
 
+MetricSketch& MetricRegistry::sketch(const std::string& name,
+                                     double relative_error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sketches_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricSketch>(relative_error);
+  return *slot;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>>
 MetricRegistry::CounterValues() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -84,6 +92,15 @@ MetricRegistry::HistogramValues() const {
   for (const auto& [name, h] : histograms_) {
     out.emplace_back(name, h->snapshot());
   }
+  return out;
+}
+
+std::vector<std::pair<std::string, QuantileSketch>>
+MetricRegistry::SketchValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, QuantileSketch>> out;
+  out.reserve(sketches_.size());
+  for (const auto& [name, s] : sketches_) out.emplace_back(name, s->snapshot());
   return out;
 }
 

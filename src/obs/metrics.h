@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/sketch.h"
+
 namespace scwsc {
 namespace obs {
 
@@ -84,6 +86,13 @@ class MetricRegistry {
   /// existing histogram unchanged.
   MetricHistogram& histogram(const std::string& name,
                              const std::vector<double>& bounds);
+  /// Mergeable quantile sketch (see obs/sketch.h). `relative_error` is used
+  /// only on first creation. A '#' in the name marks a family member
+  /// ("serve.latency_seconds#cwsc"): the telemetry pump merges all members
+  /// of a family into one aggregate distribution.
+  MetricSketch& sketch(
+      const std::string& name,
+      double relative_error = QuantileSketch::kDefaultRelativeError);
 
   /// Snapshot accessors, sorted by name. Values read with relaxed atomics —
   /// call after the recording threads have quiesced for exact totals.
@@ -91,6 +100,7 @@ class MetricRegistry {
   std::vector<std::pair<std::string, double>> GaugeValues() const;
   std::vector<std::pair<std::string, MetricHistogram::Snapshot>>
   HistogramValues() const;
+  std::vector<std::pair<std::string, QuantileSketch>> SketchValues() const;
 
   /// Convenience for tests: the counter's value, or 0 when absent.
   std::uint64_t CounterValue(const std::string& name) const;
@@ -102,6 +112,7 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
   std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
   std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<MetricSketch>> sketches_;
 };
 
 }  // namespace obs

@@ -1,0 +1,282 @@
+#include "src/obs/recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/obs/json_util.h"
+
+namespace scwsc {
+namespace obs {
+
+namespace {
+
+// 64 bytes: one cache line per entry, so a ring of the default 4096 entries
+// costs 256 KiB per thread and a record touches exactly one line.
+struct Entry {
+  std::int64_t ts_ns;
+  std::int64_t dur_ns;  // -1 marks an instant
+  double value;
+  char name[40];  // NUL-terminated, truncating
+};
+static_assert(sizeof(Entry) == 64, "recorder entries must stay one cache line");
+
+std::atomic<std::uint64_t> g_next_instance_id{1};
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+RecorderOptions Normalized(RecorderOptions options) {
+  SCWSC_CHECK(options.ring_capacity > 0,
+              "recorder ring capacity must be > 0");
+  options.ring_capacity = RoundUpPow2(options.ring_capacity);
+  return options;
+}
+
+}  // namespace
+
+struct FlightRecorder::Ring {
+  Ring(std::size_t capacity, std::uint32_t index)
+      : slots(capacity), mask(capacity - 1), thread_index(index) {}
+  std::vector<Entry> slots;
+  const std::uint64_t mask;  // capacity - 1; capacity is a power of two
+  std::uint64_t head = 0;  // next write position (monotonic), guarded by mu
+  const std::uint32_t thread_index;
+  std::mutex mu;
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+FlightRecorder::FlightRecorder(RecorderOptions options)
+    : options_(Normalized(options)),
+      instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked: recording threads may outlive main()'s static destructors, and
+  // the thread_local ring cache in RingForThisThread guards against any
+  // other recorder instance, never against this one disappearing.
+  static FlightRecorder* g = new FlightRecorder();
+  return *g;
+}
+
+std::int64_t FlightRecorder::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
+  // The cache is keyed by the recorder's unique instance id: a stale entry
+  // from a destroyed recorder can never match a live one, so the dangling
+  // pointer is never dereferenced.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local Ring* cached_ring = nullptr;
+  if (cached_id == instance_id_) return cached_ring;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto& slot = rings_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    slot = std::make_unique<Ring>(options_.ring_capacity,
+                                  static_cast<std::uint32_t>(rings_.size() - 1));
+  }
+  cached_id = instance_id_;
+  cached_ring = slot.get();
+  return cached_ring;
+}
+
+void FlightRecorder::RecordInstant(std::string_view name, double value) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const std::int64_t now = NowNs();
+  Ring* ring = RingForThisThread();
+  std::unique_lock<std::mutex> lock(ring->mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // A dump holds this ring; dropping beats blocking the serve path.
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Entry& e = ring->slots[ring->head & ring->mask];
+  e.ts_ns = now;
+  e.dur_ns = -1;
+  e.value = value;
+  const std::size_t n = std::min(name.size(), sizeof(e.name) - 1);
+  std::memcpy(e.name, name.data(), n);
+  e.name[n] = '\0';
+  ++ring->head;
+}
+
+void FlightRecorder::RecordComplete(std::string_view name, std::int64_t start_ns,
+                                    std::int64_t end_ns, double value) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring* ring = RingForThisThread();
+  std::unique_lock<std::mutex> lock(ring->mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Entry& e = ring->slots[ring->head & ring->mask];
+  e.ts_ns = start_ns;
+  e.dur_ns = std::max<std::int64_t>(end_ns - start_ns, 0);
+  e.value = value;
+  const std::size_t n = std::min(name.size(), sizeof(e.name) - 1);
+  std::memcpy(e.name, name.data(), n);
+  e.name[n] = '\0';
+  ++ring->head;
+}
+
+std::string FlightRecorder::DumpChromeTraceJson(double last_seconds) const {
+  const double window =
+      last_seconds > 0.0 ? last_seconds : options_.retention_seconds;
+  const std::int64_t cutoff =
+      NowNs() - static_cast<std::int64_t>(window * 1e9);
+
+  struct ThreadEntries {
+    std::uint32_t thread_index;
+    std::vector<Entry> entries;
+  };
+  std::vector<ThreadEntries> copies;
+  {
+    std::lock_guard<std::mutex> reg(registry_mu_);
+    copies.reserve(rings_.size());
+    for (const auto& [tid, ring] : rings_) {
+      std::lock_guard<std::mutex> lock(ring->mu);
+      const std::uint64_t cap = ring->slots.size();
+      const std::uint64_t n = std::min<std::uint64_t>(ring->head, cap);
+      ThreadEntries te;
+      te.thread_index = ring->thread_index;
+      te.entries.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = ring->head - n; i < ring->head; ++i) {
+        te.entries.push_back(ring->slots[i % cap]);  // oldest first
+      }
+      copies.push_back(std::move(te));
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const ThreadEntries& te : copies) {
+    comma();
+    out += StrFormat(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+        "\"args\":{\"name\":\"scwsc-flight-%u\"}}",
+        te.thread_index, te.thread_index);
+  }
+  for (const ThreadEntries& te : copies) {
+    for (const Entry& e : te.entries) {
+      const bool instant = e.dur_ns < 0;
+      const std::int64_t end_ns = instant ? e.ts_ns : e.ts_ns + e.dur_ns;
+      if (end_ns < cutoff) continue;
+      comma();
+      out += "{\"name\":\"";
+      internal::AppendJsonEscaped(e.name, &out);
+      out += "\",\"cat\":\"scwsc\"";
+      if (instant) {
+        out += StrFormat(",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s",
+                         internal::TraceTs(e.ts_ns).c_str());
+        out += ",\"args\":{\"v\":" + internal::JsonNumber(e.value) + "}";
+      } else {
+        out += StrFormat(",\"ph\":\"X\",\"ts\":%s,\"dur\":%s",
+                         internal::TraceTs(e.ts_ns).c_str(),
+                         internal::TraceTs(e.dur_ns).c_str());
+        if (e.value != 0.0) {
+          out += ",\"args\":{\"v\":" + internal::JsonNumber(e.value) + "}";
+        }
+      }
+      out += StrFormat(",\"pid\":1,\"tid\":%u}", te.thread_index);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+Status FlightRecorder::DumpToFile(const std::string& path,
+                                  double last_seconds) const {
+  return internal::WriteFileOrStatus(path, DumpChromeTraceJson(last_seconds));
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> reg(registry_mu_);
+  std::uint64_t total = 0;
+  for (const auto& [tid, ring] : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->head;
+  }
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> reg(registry_mu_);
+  std::uint64_t total = 0;
+  for (const auto& [tid, ring] : rings_) {
+    total += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t FlightRecorder::num_threads() const {
+  std::lock_guard<std::mutex> reg(registry_mu_);
+  return rings_.size();
+}
+
+RecorderScope::RecorderScope(std::string_view name, FlightRecorder* recorder)
+    : recorder_(recorder != nullptr ? recorder : &FlightRecorder::Global()),
+      start_ns_(recorder_->NowNs()) {
+  SetName(name, {});
+}
+
+RecorderScope::RecorderScope(std::string_view prefix, std::string_view suffix,
+                             FlightRecorder* recorder)
+    : recorder_(recorder != nullptr ? recorder : &FlightRecorder::Global()),
+      start_ns_(recorder_->NowNs()) {
+  SetName(prefix, suffix);
+}
+
+RecorderScope::~RecorderScope() { Finish(); }
+
+RecorderScope::RecorderScope(RecorderScope&& other) noexcept
+    : recorder_(other.recorder_),
+      start_ns_(other.start_ns_),
+      value_(other.value_),
+      name_len_(other.name_len_) {
+  std::memcpy(name_, other.name_, name_len_);
+  other.recorder_ = nullptr;
+}
+
+RecorderScope& RecorderScope::operator=(RecorderScope&& other) noexcept {
+  if (this != &other) {
+    Finish();
+    recorder_ = other.recorder_;
+    start_ns_ = other.start_ns_;
+    value_ = other.value_;
+    name_len_ = other.name_len_;
+    std::memcpy(name_, other.name_, name_len_);
+    other.recorder_ = nullptr;
+  }
+  return *this;
+}
+
+void RecorderScope::SetName(std::string_view prefix, std::string_view suffix) {
+  const std::size_t n = std::min(prefix.size(), sizeof(name_));
+  if (n > 0) std::memcpy(name_, prefix.data(), n);
+  const std::size_t m = std::min(suffix.size(), sizeof(name_) - n);
+  if (m > 0) std::memcpy(name_ + n, suffix.data(), m);
+  name_len_ = static_cast<std::uint8_t>(n + m);
+}
+
+void RecorderScope::Finish() {
+  if (recorder_ == nullptr) return;
+  recorder_->RecordComplete(std::string_view(name_, name_len_), start_ns_,
+                            recorder_->NowNs(), value_);
+  recorder_ = nullptr;
+}
+
+}  // namespace obs
+}  // namespace scwsc

@@ -1,0 +1,109 @@
+#include "src/obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace scwsc {
+namespace obs {
+
+namespace {
+// Safety valve: a sketch never holds more than this many log buckets. With
+// the default alpha = 0.01 the buckets span gamma^4096 — far beyond any
+// double a latency could take — so collapsing only ever fires for sketches
+// fed adversarial exponent sweeps. Collapsing folds the lowest bucket into
+// its neighbor, which biases only the lowest quantiles.
+constexpr std::size_t kMaxBuckets = 4096;
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relative_error)
+    : relative_error_(relative_error),
+      gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+      inv_log_gamma_(1.0 / std::log(gamma_)) {
+  SCWSC_CHECK(relative_error > 0.0 && relative_error < 1.0,
+              "sketch relative error must lie in (0, 1)");
+}
+
+int QuantileSketch::BucketKey(double v) const {
+  return static_cast<int>(std::ceil(std::log(v) * inv_log_gamma_));
+}
+
+double QuantileSketch::BucketValue(int key) const {
+  // Midpoint (in the multiplicative sense) of (gamma^(key-1), gamma^key]:
+  // 2 * gamma^key / (gamma + 1), which is within relative_error_ of every
+  // value in the bucket.
+  return 2.0 * std::pow(gamma_, key) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::Observe(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (!(v > kMinTrackable)) {  // non-positive and NaN values fold to zero
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[BucketKey(v)];
+  if (buckets_.size() > kMaxBuckets) {
+    auto lowest = buckets_.begin();
+    auto next = std::next(lowest);
+    next->second += lowest->second;
+    buckets_.erase(lowest);
+  }
+}
+
+Status QuantileSketch::Merge(const QuantileSketch& other) {
+  if (std::abs(relative_error_ - other.relative_error_) > 1e-12) {
+    return Status::InvalidArgument(
+        "sketch merge: relative errors differ (" +
+        std::to_string(relative_error_) + " vs " +
+        std::to_string(other.relative_error_) + ")");
+  }
+  if (other.count_ == 0) return Status::OK();
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [key, n] : other.buckets_) buckets_[key] += n;
+  while (buckets_.size() > kMaxBuckets) {
+    auto lowest = buckets_.begin();
+    auto next = std::next(lowest);
+    next->second += lowest->second;
+    buckets_.erase(lowest);
+  }
+  return Status::OK();
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::llround(q * static_cast<double>(count_ - 1)));
+  if (rank < zero_count_) return 0.0;
+  std::uint64_t cum = zero_count_;
+  for (const auto& [key, n] : buckets_) {
+    cum += n;
+    if (rank < cum) {
+      // min_/max_ are exact, so clamping the bucket midpoint into their
+      // range can only move the estimate toward the true sample value.
+      return std::clamp(BucketValue(key), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace obs
+}  // namespace scwsc

@@ -94,6 +94,48 @@ Result<FaultSpec> ParseFaultSpec(const JsonValue& value) {
   return spec;
 }
 
+Result<SloSpec> ParseSloSpec(const JsonValue& value) {
+  SloSpec spec;
+  spec.configured = true;
+  if (!value.is_object()) {
+    return Status::InvalidArgument("batch \"slo\" must be an object");
+  }
+  for (const auto& [key, item] : value.as_object()) {
+    if (key == "rules") {
+      if (!item.is_array()) {
+        return Status::InvalidArgument("slo.rules must be an array");
+      }
+      for (const JsonValue& rule_value : item.as_array()) {
+        if (!rule_value.is_string()) {
+          return Status::InvalidArgument(
+              "slo.rules entries must be strings like "
+              "\"p99_latency_ms<=250\"");
+        }
+        SCWSC_ASSIGN_OR_RETURN(SloRule rule,
+                               ParseSloRule(rule_value.as_string()));
+        spec.rules.push_back(std::move(rule));
+      }
+    } else if (key == "interval_ms") {
+      SCWSC_ASSIGN_OR_RETURN(double ms,
+                             RequireNumber(item, "slo.interval_ms"));
+      if (!(ms > 0.0)) {
+        return Status::InvalidArgument("slo.interval_ms must be > 0");
+      }
+      spec.interval_ms = ms;
+    } else if (key == "dump_path") {
+      if (!item.is_string()) {
+        return Status::InvalidArgument("slo.dump_path must be a string");
+      }
+      spec.dump_path = item.as_string();
+    } else {
+      return Status::InvalidArgument(
+          "unknown batch \"slo\" key '" + key +
+          "'; accepted: rules, interval_ms, dump_path");
+    }
+  }
+  return spec;
+}
+
 }  // namespace
 
 Result<BatchSpec> ParseBatchSpec(const std::string& path,
@@ -102,6 +144,9 @@ Result<BatchSpec> ParseBatchSpec(const std::string& path,
   SCWSC_ASSIGN_OR_RETURN(JsonValue root, ReadJsonFile(path));
   if (const JsonValue* faults = root.Find("faults")) {
     SCWSC_ASSIGN_OR_RETURN(spec.faults, ParseFaultSpec(*faults));
+  }
+  if (const JsonValue* slo = root.Find("slo")) {
+    SCWSC_ASSIGN_OR_RETURN(spec.slo, ParseSloSpec(*slo));
   }
   const JsonValue* jobs_value = root.Find("jobs");
   if (jobs_value == nullptr || !jobs_value->is_array()) {
@@ -189,6 +234,12 @@ Result<std::vector<SolveJob>> ParseBatchFile(const std::string& path,
         "' carries a \"faults\" object, but this caller does not support "
         "fault injection; use ParseBatchSpec");
   }
+  if (spec.slo.configured) {
+    return Status::InvalidArgument(
+        "batch file '" + path +
+        "' carries an \"slo\" object, but this caller does not support "
+        "telemetry; use ParseBatchSpec");
+  }
   return std::move(spec.jobs);
 }
 
@@ -258,6 +309,9 @@ Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
       report["total_cost"] = result->total_cost;
       report["covered"] = result->covered;
       report["num_sets"] = result->labels.size();
+      if (result->accuracy_ratio > 0.0) {
+        report["accuracy_ratio"] = result->accuracy_ratio;
+      }
       JsonArray labels;
       for (const std::string& label : result->labels) {
         labels.push_back(JsonValue(label));
@@ -267,6 +321,9 @@ Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
     job_reports.push_back(JsonValue(std::move(report)));
   }
   const double wall_seconds = wall.ElapsedSeconds();
+  // One forced telemetry tick so the aggregate reads final counters and the
+  // last interval's SLO evaluations (no-op without a pump).
+  scheduler.FlushTelemetry();
 
   std::sort(latencies.begin(), latencies.end());
   obs::MetricRegistry& metrics = scheduler.metrics();
@@ -303,6 +360,8 @@ Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
       metrics.CounterValue("serve.watchdog.tripped");
   aggregate["watchdog_redispatched"] =
       metrics.CounterValue("serve.watchdog.redispatched");
+  aggregate["slo_violations"] =
+      metrics.CounterValue("serve.slo.violations");
 
   JsonObject root;
   root["jobs"] = JsonValue(std::move(job_reports));

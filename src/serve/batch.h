@@ -19,12 +19,19 @@
 //    "faults": {                     // optional: scripted chaos (fault.h)
 //      "seed": 42,                   // default 0; deterministic replay
 //      "solver_delay_ms": 5,         // default 5; fired solver_delay stall
-//      "points": {"solver_error": 0.1, "pool_task_loss": 0.02}}}
+//      "points": {"solver_error": 0.1, "pool_task_loss": 0.02}},
+//    "slo": {                        // optional: telemetry + SLO rules
+//      "rules": ["p99_latency_ms<=250", "error_rate<=0.01"],  // slo.h
+//      "interval_ms": 250,           // telemetry tick period
+//      "dump_path": "trace.json"}}   // flight-recorder dump on violation
 //
 // Repeated deterministic jobs are the point: they exercise the result
 // cache, which the report's aggregate section makes visible. A "faults"
 // object arms a FaultPlan the CLI installs (scoped) around the batch run,
-// so chaos storms are scriptable from the same file as the workload.
+// so chaos storms are scriptable from the same file as the workload. An
+// "slo" object turns on the scheduler's TelemetryPump for the run (the CLI
+// combines it with --telemetry-out / --slo flags); the report's aggregate
+// then carries "slo_violations".
 
 #ifndef SCWSC_SERVE_BATCH_H_
 #define SCWSC_SERVE_BATCH_H_
@@ -37,6 +44,7 @@
 #include "src/common/fault.h"
 #include "src/serve/json.h"
 #include "src/serve/scheduler.h"
+#include "src/serve/slo.h"
 
 namespace scwsc {
 namespace serve {
@@ -56,11 +64,25 @@ struct FaultSpec {
   void ApplyTo(FaultPlan& plan) const;
 };
 
+/// Parsed "slo" object: telemetry settings for the run. Data-only like
+/// FaultSpec — the CLI merges it with its --telemetry-out / --slo flags
+/// into the scheduler's TelemetryOptions.
+struct SloSpec {
+  /// True when the batch file carried an "slo" object at all.
+  bool configured = false;
+  std::vector<SloRule> rules;
+  double interval_ms = 250.0;
+  /// Flight-recorder dump destination on violation; empty = derive from
+  /// the JSONL path (see TelemetryOptions::slo_dump_path).
+  std::string dump_path;
+};
+
 /// Everything a batch file describes: the jobs plus the optional fault
-/// plan to run them under.
+/// plan and telemetry/SLO settings to run them under.
 struct BatchSpec {
   std::vector<SolveJob> jobs;
   FaultSpec faults;
+  SloSpec slo;
 };
 
 /// Parses a batch file into jobs over `instance` (every job in one batch

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "src/obs/recorder.h"
+
 namespace scwsc {
 namespace serve {
 namespace {
@@ -93,17 +95,33 @@ const char* CircuitBreaker::StateToString(State state) {
 }
 
 CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options,
-                               obs::MetricRegistry* metrics)
-    : options_(options), metrics_(metrics) {}
+                               obs::MetricRegistry* metrics,
+                               std::atomic<long>* shared_open_count)
+    : options_(options),
+      metrics_(metrics),
+      open_count_(shared_open_count != nullptr ? shared_open_count
+                                               : &own_open_count_) {}
+
+void CircuitBreaker::SetOpenCountedLocked(bool open) {
+  if (open == counted_open_) return;
+  counted_open_ = open;
+  const long count = open ? open_count_->fetch_add(1) + 1
+                          : open_count_->fetch_sub(1) - 1;
+  if (metrics_ != nullptr) {
+    metrics_->gauge("serve.breaker.open").Set(static_cast<double>(count));
+  }
+}
 
 void CircuitBreaker::OpenLocked(std::chrono::steady_clock::time_point now) {
   state_ = State::kOpen;
   opened_at_ = now;
   consecutive_failures_ = 0;
   half_open_successes_ = 0;
+  SetOpenCountedLocked(true);
   if (metrics_ != nullptr) {
     metrics_->counter("serve.breaker.opened").Increment();
   }
+  obs::FlightRecorder::Global().RecordInstant("breaker/opened");
 }
 
 Status CircuitBreaker::Admit(std::chrono::steady_clock::time_point now) {
@@ -124,9 +142,11 @@ Status CircuitBreaker::Admit(std::chrono::steady_clock::time_point now) {
   }
   state_ = State::kHalfOpen;
   half_open_successes_ = 0;
+  SetOpenCountedLocked(false);
   if (metrics_ != nullptr) {
     metrics_->counter("serve.breaker.half_opened").Increment();
   }
+  obs::FlightRecorder::Global().RecordInstant("breaker/half_open");
   return Status::OK();
 }
 
@@ -141,6 +161,7 @@ void CircuitBreaker::RecordSuccess() {
       if (metrics_ != nullptr) {
         metrics_->counter("serve.breaker.closed").Increment();
       }
+      obs::FlightRecorder::Global().RecordInstant("breaker/closed");
     }
   }
 }
@@ -173,7 +194,8 @@ CircuitBreaker& BreakerBank::ForSolver(const std::string& canonical_name) {
   if (it == breakers_.end()) {
     it = breakers_
              .emplace(canonical_name,
-                      std::make_unique<CircuitBreaker>(options_, metrics_))
+                      std::make_unique<CircuitBreaker>(options_, metrics_,
+                                                       &open_count_))
              .first;
   }
   return *it->second;

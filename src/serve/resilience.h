@@ -17,6 +17,7 @@
 #ifndef SCWSC_SERVE_RESILIENCE_H_
 #define SCWSC_SERVE_RESILIENCE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -125,14 +126,18 @@ struct CircuitBreakerOptions {
 ///
 /// Transitions count into serve.breaker.{opened,half_opened,closed} and
 /// open-state rejections into serve.breaker.rejected when a registry is
-/// attached.
+/// attached. The gauge serve.breaker.open tracks how many breakers sharing
+/// `shared_open_count` (the bank's counter; the breaker's own when
+/// standalone) are currently open — the SLO rule `breaker_open==0` reads
+/// it. Transitions also land on the flight recorder as breaker/* instants.
 class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
   static const char* StateToString(State state);
 
   explicit CircuitBreaker(CircuitBreakerOptions options,
-                          obs::MetricRegistry* metrics = nullptr);
+                          obs::MetricRegistry* metrics = nullptr,
+                          std::atomic<long>* shared_open_count = nullptr);
 
   /// OK to run now, or Unavailable ("retry after N.NNNs") while open.
   Status Admit(std::chrono::steady_clock::time_point now =
@@ -146,12 +151,18 @@ class CircuitBreaker {
 
  private:
   void OpenLocked(std::chrono::steady_clock::time_point now);
+  /// Flip this breaker's membership in the shared open count and republish
+  /// the serve.breaker.open gauge. Callers hold mu_.
+  void SetOpenCountedLocked(bool open);
 
   const CircuitBreakerOptions options_;
   obs::MetricRegistry* const metrics_;
+  std::atomic<long> own_open_count_{0};  // used when no shared counter
+  std::atomic<long>* const open_count_;
 
   mutable std::mutex mu_;
   State state_ = State::kClosed;
+  bool counted_open_ = false;  // this breaker's +1 in *open_count_
   int consecutive_failures_ = 0;
   int half_open_successes_ = 0;
   std::chrono::steady_clock::time_point opened_at_{};
@@ -170,6 +181,7 @@ class BreakerBank {
  private:
   const CircuitBreakerOptions options_;
   obs::MetricRegistry* const metrics_;
+  std::atomic<long> open_count_{0};  // shared by every breaker in the bank
   std::mutex mu_;
   std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
 };

@@ -9,6 +9,7 @@
 
 #include "src/common/fault.h"
 #include "src/common/stopwatch.h"
+#include "src/obs/recorder.h"
 
 namespace scwsc {
 namespace serve {
@@ -41,6 +42,10 @@ SolveScheduler::SolveScheduler(ThreadPool* pool, SchedulerOptions options)
   if (options_.resilience.watchdog) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
+  if (options_.telemetry.configured()) {
+    pump_ = std::make_unique<TelemetryPump>(metrics_, options_.telemetry);
+    pump_->SetTickSampler([this] { SampleQueueGauges(); });
+  }
 }
 
 SolveScheduler::~SolveScheduler() {
@@ -65,12 +70,15 @@ Result<std::future<JobOutcome>> SolveScheduler::Enqueue(SolveJob job) {
     std::lock_guard<std::mutex> lock(mu_);
     if (draining_) {
       metrics_->counter("serve.jobs.rejected").Increment();
+      obs::FlightRecorder::Global().RecordInstant("serve.reject/draining");
       return Status::Cancelled(
           "scheduler is draining; new jobs are not admitted");
     }
     if (options_.max_queue_depth > 0 &&
         in_flight_ >= options_.max_queue_depth) {
       metrics_->counter("serve.jobs.rejected").Increment();
+      obs::FlightRecorder::Global().RecordInstant(
+          "serve.reject/queue_full", static_cast<double>(in_flight_));
       return Status::ResourceExhausted(
           "scheduler queue is full (" +
           std::to_string(options_.max_queue_depth) +
@@ -83,6 +91,10 @@ Result<std::future<JobOutcome>> SolveScheduler::Enqueue(SolveJob job) {
     queue_.push_back(std::move(pending));
     ++in_flight_;
     metrics_->counter("serve.jobs.accepted").Increment();
+    metrics_->gauge("serve.queue.depth")
+        .Set(static_cast<double>(queue_.size()));
+    obs::FlightRecorder::Global().RecordInstant(
+        "serve.enqueue", static_cast<double>(queue_.size()));
   }
   // One pool task per admitted job; the task picks the most urgent waiting
   // job at pop time, which is how priority aging takes effect. Under an
@@ -143,8 +155,42 @@ void SolveScheduler::RunOneJob() {
     pending = std::move(*best);
     queue_.erase(best);
     queue_seconds = SecondsSince(pending.enqueued_at, now);
+    metrics_->gauge("serve.queue.depth")
+        .Set(static_cast<double>(queue_.size()));
   }
   ExecuteJob(std::move(pending), queue_seconds);
+}
+
+void SolveScheduler::SampleQueueGauges() {
+  // Tick-time refresh: depth plus, per static priority, the longest wait
+  // currently in the queue. Priorities that emptied since the last tick
+  // are zeroed (gauges are last-write-wins, so a vanished priority would
+  // otherwise freeze at its final wait forever).
+  static constexpr const char* kWaitPrefix = "serve.queue.wait_seconds.p";
+  for (const auto& [name, value] : metrics_->GaugeValues()) {
+    if (value != 0.0 && name.rfind(kWaitPrefix, 0) == 0) {
+      metrics_->gauge(name).Set(0.0);
+    }
+  }
+  const auto now = std::chrono::steady_clock::now();
+  std::map<int, double> max_wait;
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth = queue_.size();
+    for (const PendingJob& pending : queue_) {
+      double& wait = max_wait[pending.job.priority];
+      wait = std::max(wait, SecondsSince(pending.enqueued_at, now));
+    }
+  }
+  metrics_->gauge("serve.queue.depth").Set(static_cast<double>(depth));
+  for (const auto& [priority, wait] : max_wait) {
+    metrics_->gauge(kWaitPrefix + std::to_string(priority)).Set(wait);
+  }
+}
+
+void SolveScheduler::FlushTelemetry() {
+  if (pump_ != nullptr) pump_->TickNow();
 }
 
 void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
@@ -157,6 +203,22 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
   const ResilienceOptions& res = options_.resilience;
   api::SolverRegistry& registry = api::SolverRegistry::Global();
 
+  std::string solver_to_run = pending.job.solver;
+  const api::SolverInfo* info = registry.Find(solver_to_run);
+  const std::string requested_canonical =
+      info != nullptr ? info->name : std::string();
+
+  // Always-on flight-recorder span for this job, named after the solver
+  // that was requested (degradation shows up as degrade/* instants inside).
+  // Queue wait rides as the span's value, so the dispatch needs no separate
+  // instant — the warm path records exactly one span plus the enqueue
+  // instant per job, which is what keeps the recorder inside its 3%
+  // throughput budget (bench/serve_throughput gates this).
+  obs::RecorderScope recorder_scope(
+      "serve.run/",
+      requested_canonical.empty() ? solver_to_run : requested_canonical);
+  recorder_scope.set_value(queue_seconds);
+
   auto complete = [&](JobOutcome finished) {
     metrics_
         ->counter(finished.result.ok() ||
@@ -164,15 +226,16 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
                       ? "serve.jobs.completed"
                       : "serve.jobs.failed")
         .Increment();
+    // Per-solver latency sketch member; the telemetry pump merges the
+    // family into the aggregate the latency SLO rules evaluate.
+    metrics_
+        ->sketch("serve.latency_seconds#" +
+                 (info != nullptr ? info->name : std::string("unknown")))
+        .Observe(finished.queue_seconds + finished.run_seconds);
     pending.promise.set_value(std::move(finished));
     std::lock_guard<std::mutex> lock(mu_);
     if (--in_flight_ == 0) drained_cv_.notify_all();
   };
-
-  std::string solver_to_run = pending.job.solver;
-  const api::SolverInfo* info = registry.Find(solver_to_run);
-  const std::string requested_canonical =
-      info != nullptr ? info->name : std::string();
 
   auto degrade_to = [&](const api::SolverInfo* fallback, const char* why) {
     if (outcome.degraded_from.empty()) {
@@ -183,6 +246,7 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
     metrics_->counter(std::string("serve.degraded.") + why).Increment();
     metrics_->counter("serve.degraded.jobs").Increment();
     run_span.Event(std::string("degrade/") + why);
+    obs::FlightRecorder::Global().RecordInstant(std::string("degrade/") + why);
   };
 
   // Queue-pressure degradation, decided before any cache interaction so the
@@ -235,6 +299,8 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
     // A cache hit bypasses breakers and faults entirely — serving memoized
     // results is the cheapest form of graceful degradation.
     if (std::optional<api::SolveResult> cached = result_cache_->Lookup(key)) {
+      // No recorder instant here: a hit is the common, boring case on the
+      // warm path, and it is already visible as a near-zero serve.run span.
       run_span.Event("cache.hit");
       if (!outcome.degraded_from.empty()) {
         cached->degraded_from = outcome.degraded_from;
@@ -245,6 +311,7 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
       return;
     }
     run_span.Event("cache.miss");
+    obs::FlightRecorder::Global().RecordInstant("serve.cache.miss");
   }
 
   // The job deadline becomes this job's RunContext; the registry would
@@ -286,6 +353,7 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
           plan != nullptr && plan->ShouldFire(FaultPoint::kSolverDelay)) {
         metrics_->counter("serve.faults.solver_delay").Increment();
         run_span.Event("fault/solver_delay");
+        obs::FlightRecorder::Global().RecordInstant("fault/solver_delay");
         std::this_thread::sleep_for(
             std::chrono::milliseconds(plan->solver_delay_ms()));
       }
@@ -295,11 +363,13 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
         if (FaultFires(FaultPoint::kSolverError)) {
           metrics_->counter("serve.faults.solver_error").Increment();
           run_span.Event("fault/solver_error");
+          obs::FlightRecorder::Global().RecordInstant("fault/solver_error");
           outcome.result = Status::Internal(
               "injected fault: solver failure (FaultPoint solver_error)");
         } else if (FaultFires(FaultPoint::kSolverThrow)) {
           metrics_->counter("serve.faults.solver_throw").Increment();
           run_span.Event("fault/solver_throw");
+          obs::FlightRecorder::Global().RecordInstant("fault/solver_throw");
           throw std::runtime_error(
               "injected fault: solver exception (FaultPoint solver_throw)");
         } else {
@@ -355,6 +425,7 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
             static_cast<std::uint64_t>(outcome.attempts));
     metrics_->counter("serve.retries.attempted").Increment();
     run_span.Event("retry/backoff");
+    obs::FlightRecorder::Global().RecordInstant("retry/backoff", backoff_ms);
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(backoff_ms));
     if (res.breaker.enabled && info != nullptr) {
@@ -397,6 +468,7 @@ void SolveScheduler::WatchdogLoop() {
           running.context->tripped() == TripKind::kNone) {
         running.context->RequestCancel();
         metrics_->counter("serve.watchdog.tripped").Increment();
+        obs::FlightRecorder::Global().RecordInstant("watchdog/trip");
       }
     }
     // Liveness: a queue entry older than the stale bound means its
@@ -409,6 +481,8 @@ void SolveScheduler::WatchdogLoop() {
     }
     if (stale > 0) {
       metrics_->counter("serve.watchdog.redispatched").Increment(stale);
+      obs::FlightRecorder::Global().RecordInstant(
+          "watchdog/redispatch", static_cast<double>(stale));
       lock.unlock();  // Submit runs inline on a 1-lane pool; never hold mu_
       for (std::size_t i = 0; i < stale; ++i) {
         pool_->Submit([this] { RunOneJob(); });

@@ -82,6 +82,7 @@
 #include "src/obs/trace.h"
 #include "src/serve/cache.h"
 #include "src/serve/resilience.h"
+#include "src/serve/telemetry.h"
 
 namespace scwsc {
 namespace serve {
@@ -130,6 +131,11 @@ struct SchedulerOptions {
   /// Recovery policies (retries, breakers, degradation, watchdog). The
   /// default is inert — see serve/resilience.h.
   ResilienceOptions resilience;
+  /// Continuous telemetry (JSONL time series, Prometheus exposition, SLO
+  /// rules). Inert unless configured() — see serve/telemetry.h. The pump's
+  /// tick sampler refreshes serve.queue.depth and the per-priority
+  /// serve.queue.wait_seconds.p<N> gauges.
+  TelemetryOptions telemetry;
 };
 
 class SolveScheduler {
@@ -169,6 +175,13 @@ class SolveScheduler {
   /// options.resilience.breaker.enabled.
   BreakerBank& breakers() { return *breakers_; }
 
+  /// The telemetry pump, or nullptr when options.telemetry is inert.
+  TelemetryPump* telemetry() { return pump_.get(); }
+
+  /// Forces one telemetry tick so reports read final counters (including
+  /// last-interval SLO evaluations). No-op without a pump.
+  void FlushTelemetry();
+
  private:
   struct PendingJob {
     SolveJob job;
@@ -202,6 +215,10 @@ class SolveScheduler {
   /// shared instance is scanned once, not once per job.
   std::uint64_t SnapshotHashFor(const api::InstancePtr& instance);
 
+  /// Telemetry tick sampler: refreshes serve.queue.depth and the
+  /// per-priority wait gauges from the live queue.
+  void SampleQueueGauges();
+
   ThreadPool* const pool_;
   const SchedulerOptions options_;
   obs::MetricRegistry* metrics_;  // session registry or owned_metrics_
@@ -225,6 +242,11 @@ class SolveScheduler {
   std::condition_variable watchdog_cv_;  // waits on mu_
   bool watchdog_stop_ = false;
   std::thread watchdog_;
+
+  // Declared last: the pump's destructor stops its tick thread (which
+  // touches metrics_ and the queue via the sampler) before anything above
+  // is torn down.
+  std::unique_ptr<TelemetryPump> pump_;
 };
 
 }  // namespace serve

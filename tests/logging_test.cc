@@ -1,0 +1,49 @@
+// Tests for the warn-storm rate limiter in common/logging: repeated warns
+// from one call site are suppressed past the burst and counted in
+// LogSuppressedCount().
+
+#include "src/common/logging.h"
+
+#include <cstdint>
+
+#include "gtest/gtest.h"
+
+namespace scwsc {
+namespace {
+
+TEST(LoggingRateLimitTest, WarnStormFromOneSiteIsSuppressed) {
+  const std::uint64_t before = LogSuppressedCount();
+  // One call site (this macro expansion) hammered far past the burst of
+  // 10: the bucket admits roughly the burst (plus a token or two of
+  // refill) and suppresses the rest.
+  for (int i = 0; i < 200; ++i) {
+    SCWSC_LOG_WARN("storm %d", i);
+  }
+  const std::uint64_t suppressed = LogSuppressedCount() - before;
+  EXPECT_GE(suppressed, 150u);
+  EXPECT_LT(suppressed, 200u);  // the burst did get through
+}
+
+TEST(LoggingRateLimitTest, DistinctSitesHaveIndependentBudgets) {
+  const std::uint64_t before = LogSuppressedCount();
+  SCWSC_LOG_WARN("site a");
+  SCWSC_LOG_WARN("site b");
+  SCWSC_LOG_WARN("site c");
+  // Three fresh sites, one message each: every bucket starts full, so
+  // nothing is suppressed.
+  EXPECT_EQ(LogSuppressedCount(), before);
+}
+
+TEST(LoggingRateLimitTest, OtherLevelsAreNeverRateLimited) {
+  const std::uint64_t before = LogSuppressedCount();
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // keep the loop quiet on stderr
+  for (int i = 0; i < 100; ++i) {
+    SCWSC_LOG_INFO("info %d", i);
+  }
+  SetLogLevel(saved);
+  EXPECT_EQ(LogSuppressedCount(), before);
+}
+
+}  // namespace
+}  // namespace scwsc

@@ -118,6 +118,76 @@ TEST(MetricsExportTest, EmptyRegistryStillParses) {
   EXPECT_TRUE(test::JsonChecker::IsValid(ToMetricsJson(registry)));
 }
 
+TEST(MetricsExportTest, JsonCarriesSketchQuantiles) {
+  MetricRegistry registry;
+  registry.sketch("serve.latency_seconds#cwsc").Observe(0.25);
+  const std::string json = ToMetricsJson(registry);
+  EXPECT_TRUE(test::JsonChecker::IsValid(json)) << json;
+  EXPECT_NE(json.find("\"sketches\""), std::string::npos);
+  EXPECT_NE(json.find("serve.latency_seconds#cwsc"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsExportTest, PrometheusTextRendersEveryInstrument) {
+  MetricRegistry registry;
+  registry.counter("serve.jobs.completed").Increment(3);
+  registry.gauge("serve.queue.depth").Set(4.0);
+  registry.histogram("lat", {0.1, 1.0}).Observe(0.5);
+  registry.sketch("serve.latency_seconds#cwsc").Observe(0.02);
+
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE scwsc_serve_jobs_completed counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("scwsc_serve_jobs_completed 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE scwsc_serve_queue_depth gauge"),
+            std::string::npos);
+  // Histograms render cumulative le buckets ending at +Inf.
+  EXPECT_NE(text.find("scwsc_lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  // Sketch members become labelled summary quantiles on the family name.
+  EXPECT_NE(text.find("scwsc_serve_latency_seconds{member=\"cwsc\","),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("_count"), std::string::npos);
+}
+
+// The satellite for continuous telemetry: exporters render while writer
+// threads are mid-update, so a reader must never see torn state or crash
+// (the TSan CI job runs this test under ThreadSanitizer).
+TEST(MetricsExportTest, ConcurrentWritersAndExportersStayWellFormed) {
+  MetricRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr int kUpdates = 3000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&registry, t] {
+      const std::string suffix = std::to_string(t);
+      for (int i = 0; i < kUpdates; ++i) {
+        registry.counter("w.count." + suffix).Increment();
+        registry.gauge("w.gauge." + suffix).Set(static_cast<double>(i));
+        registry.histogram("w.hist", {0.5, 5.0}).Observe(1.0);
+        registry.sketch("w.lat#" + suffix).Observe(0.001 * (i + 1));
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_TRUE(test::JsonChecker::IsValid(ToMetricsJson(registry)));
+    const std::string csv = ToMetricsCsv(registry);
+    EXPECT_EQ(csv.rfind("kind,name,value\n", 0), 0u);
+    // Exercised for data races only: the registry may legitimately still
+    // be empty if this round outruns every writer's first update.
+    (void)ToPrometheusText(registry);
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_FALSE(ToPrometheusText(registry).empty());
+  for (int t = 0; t < kWriters; ++t) {
+    EXPECT_EQ(registry.CounterValue("w.count." + std::to_string(t)),
+              static_cast<std::uint64_t>(kUpdates));
+  }
+  const std::string json = ToMetricsJson(registry);
+  EXPECT_TRUE(test::JsonChecker::IsValid(json)) << json;
+}
+
 TEST(MetricsExportTest, CsvFlattensHistogramBuckets) {
   MetricRegistry registry;
   registry.counter("picks").Increment(3);

@@ -1,0 +1,176 @@
+// Tests for the mergeable log-bucketed quantile sketch: the relative-error
+// contract against exact nearest-rank quantiles, merge = concatenation, the
+// zero bucket, and the MetricSketch registry instrument.
+
+#include "src/obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/metrics.h"
+#include "tests/test_util.h"
+
+namespace scwsc {
+namespace obs {
+namespace {
+
+/// Deterministic pseudo-random stream (SplitMix64) so the sample sets are
+/// identical on every platform without <random> distribution differences.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Latency-shaped samples spanning several orders of magnitude
+/// (microseconds to tens of seconds), the regime the sketch serves.
+std::vector<double> LatencySamples(std::size_t n, std::uint64_t seed) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double unit =
+        static_cast<double>(Mix(seed + i) >> 11) * (1.0 / 9007199254740992.0);
+    out.push_back(std::pow(10.0, -6.0 + 7.0 * unit));  // 1e-6 .. 1e1
+  }
+  return out;
+}
+
+/// The exact quantile under the sketch's stated convention:
+/// rank = round(q * (n - 1)) over the sorted sample.
+double ExactQuantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::llround(q * static_cast<double>(sorted.size() - 1)));
+  return sorted[rank];
+}
+
+TEST(QuantileSketchTest, QuantilesSatisfyRelativeErrorBound) {
+  const double alpha = 0.01;
+  QuantileSketch sketch(alpha);
+  const std::vector<double> samples = LatencySamples(5000, 42);
+  for (double v : samples) sketch.Observe(v);
+  ASSERT_EQ(sketch.count(), samples.size());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double exact = ExactQuantile(samples, q);
+    const double est = sketch.Quantile(q);
+    EXPECT_NEAR(est, exact, alpha * exact + 1e-15)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(QuantileSketchTest, CoarseAlphaStillBoundsError) {
+  const double alpha = 0.1;
+  QuantileSketch sketch(alpha);
+  const std::vector<double> samples = LatencySamples(2000, 7);
+  for (double v : samples) sketch.Observe(v);
+  for (double q : {0.25, 0.5, 0.75, 0.95}) {
+    const double exact = ExactQuantile(samples, q);
+    EXPECT_NEAR(sketch.Quantile(q), exact, alpha * exact + 1e-15);
+  }
+}
+
+TEST(QuantileSketchTest, MergeEqualsSketchOfConcatenation) {
+  QuantileSketch a, b, whole;
+  const std::vector<double> first = LatencySamples(1000, 1);
+  const std::vector<double> second = LatencySamples(1500, 2);
+  for (double v : first) {
+    a.Observe(v);
+    whole.Observe(v);
+  }
+  for (double v : second) {
+    b.Observe(v);
+    whole.Observe(v);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), whole.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, MergeRejectsMismatchedRelativeError) {
+  QuantileSketch fine(0.01), coarse(0.05);
+  fine.Observe(1.0);
+  coarse.Observe(2.0);
+  const Status status = fine.Merge(coarse);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(fine.count(), 1u);  // failed merge leaves the target untouched
+}
+
+TEST(QuantileSketchTest, NonPositiveValuesLandInZeroBucket) {
+  QuantileSketch sketch;
+  sketch.Observe(0.0);
+  sketch.Observe(-3.0);
+  sketch.Observe(1e-15);  // below kMinTrackable
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_EQ(sketch.zero_count(), 3u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  // Zeros sort below every positive sample.
+  sketch.Observe(5.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 0.0);
+  EXPECT_NEAR(sketch.Quantile(1.0), 5.0, 0.01 * 5.0);
+}
+
+TEST(QuantileSketchTest, EmptySketchReturnsZeroEverywhere) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 0.0);
+}
+
+TEST(QuantileSketchTest, SingleSampleIsReturnedExactly) {
+  QuantileSketch sketch;
+  sketch.Observe(0.125);
+  // Bucket midpoints are clamped to [min, max], so one sample round-trips.
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(sketch.Quantile(q), 0.125);
+  }
+}
+
+TEST(QuantileSketchTest, QuantileArgumentIsClamped) {
+  QuantileSketch sketch;
+  sketch.Observe(1.0);
+  sketch.Observe(2.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(-0.5), sketch.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.5), sketch.Quantile(1.0));
+}
+
+TEST(MetricSketchTest, RegistryGetOrCreateIsStableAndConcurrent) {
+  MetricRegistry registry;
+  MetricSketch& a = registry.sketch("serve.latency_seconds#cwsc");
+  MetricSketch& b = registry.sketch("serve.latency_seconds#cwsc");
+  EXPECT_EQ(&a, &b);
+
+  constexpr int kThreads = 8;
+  constexpr int kObs = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      MetricSketch& s = registry.sketch("serve.latency_seconds#cwsc");
+      for (int i = 0; i < kObs; ++i) {
+        s.Observe(0.001 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const QuantileSketch snap = a.snapshot();
+  EXPECT_EQ(snap.count(), static_cast<std::uint64_t>(kThreads) * kObs);
+  const auto values = registry.SketchValues();
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0].first, "serve.latency_seconds#cwsc");
+  EXPECT_EQ(values[0].second.count(), snap.count());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace scwsc
