@@ -39,7 +39,19 @@
 //                       "error_rate<=0.01" — see docs/observability.md).
 //                       Violations bump serve.slo.violations and dump the
 //                       flight recorder as Chrome-trace JSON. Combines
-//                       with a batch file's "slo" object.
+//                       with a batch file's "slo" object. A "tenant=NAME:"
+//                       prefix scopes the rule to that tenant's metrics.
+//   --serve PORT        run the socket front end (docs/serving.md) over the
+//                       loaded instance, published as snapshot "live";
+//                       0 picks an ephemeral port (printed). Ctrl-C stops.
+//   --tenant NAME       tenant id stamped on the single-solve request
+//   --tenant-quota NAME=RATE[:BURST[:WEIGHT]]
+//                       per-tenant admission quota (requests/second) and
+//                       fair-share weight for --batch / --serve; any use
+//                       enables tenant-aware scheduling (repeatable)
+//   --json              with --list-solvers: machine-readable OptionsSpec
+//                       tables (the same schema the socket server's
+//                       list_solvers request returns)
 //
 // Legacy aliases kept for scripts: --algorithm cwsc|cmc|exact maps to
 // opt-cwsc/opt-cmc/exact, and --b/--epsilon/--strict feed the CMC options.
@@ -56,12 +68,15 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/fault.h"
 #include "src/common/run_context.h"
 #include "src/common/thread_pool.h"
 #include "src/serve/batch.h"
+#include "src/serve/server.h"
+#include "src/serve/wire.h"
 
 #include "src/scwsc.h"
 
@@ -72,6 +87,8 @@ namespace {
 struct CliArgs {
   std::string input;
   std::string measure;
+  bool list_solvers = false;
+  bool json = false;        // --list-solvers --json: machine-readable form
   std::string solver = "opt-cwsc";
   std::size_t k = 10;
   double coverage = 0.3;
@@ -89,6 +106,11 @@ struct CliArgs {
   std::vector<std::string> slo_rules;   // raw --slo values, parsed later
   unsigned threads = 0;     // 0 = hardware concurrency
   std::size_t shards = 1;   // element-range shards for the snapshot
+  std::string tenant;       // single-solve tenant id (wire "tenant" field)
+  /// Raw --tenant-quota NAME=RATE[:BURST[:WEIGHT]] items; any present
+  /// enables the scheduler's tenant policy for --batch / --serve.
+  std::vector<std::string> tenant_quotas;
+  int serve_port = -1;  // --serve PORT; -1 = not serving, 0 = ephemeral
 };
 
 /// Shared by the solver (deadline) and the SIGINT handler (cancellation).
@@ -112,10 +134,19 @@ void PrintUsage() {
       "          [--shards N]\n"
       "          [--batch jobs.json [--batch-out PATH] [--threads N]\n"
       "           [--telemetry-out PATH] [--slo RULE]...]\n"
-      "scwsc_cli --list-solvers\n");
+      "          [--serve PORT [--tenant-quota NAME=RATE[:BURST[:WEIGHT]]]...]\n"
+      "          [--tenant NAME]\n"
+      "scwsc_cli --list-solvers [--json]\n");
 }
 
-int ListSolvers() {
+int ListSolvers(bool as_json) {
+  if (as_json) {
+    // Machine-readable form: the same OptionsSpec tables the socket
+    // server's list_solvers request returns (serve::SolverListToJson), so
+    // scripts and socket clients read one schema.
+    std::printf("%s\n", serve::SolverListToJson().Dump().c_str());
+    return 0;
+  }
   std::printf("%-22s %-32s %s\n", "NAME", "CAPABILITIES", "SUMMARY");
   for (const api::SolverInfo& info : api::SolverRegistry::Global().List()) {
     std::printf("%-22s %-32s %s\n", info.name.c_str(),
@@ -150,7 +181,12 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       std::exit(0);
     }
     if (flag == "--list-solvers") {
-      std::exit(ListSolvers());
+      args.list_solvers = true;
+      continue;
+    }
+    if (flag == "--json") {
+      args.json = true;
+      continue;
     }
     if (flag == "--strict") {
       legacy_cmc.push_back("strict=true");
@@ -208,6 +244,16 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
     } else if (flag == "--threads") {
       SCWSC_ASSIGN_OR_RETURN(auto threads, ParseU64(value));
       args.threads = static_cast<unsigned>(threads);
+    } else if (flag == "--tenant") {
+      args.tenant = value;
+    } else if (flag == "--tenant-quota") {
+      args.tenant_quotas.push_back(value);
+    } else if (flag == "--serve") {
+      SCWSC_ASSIGN_OR_RETURN(auto port, ParseU64(value));
+      if (port > 65535) {
+        return Status::InvalidArgument("--serve port must be <= 65535");
+      }
+      args.serve_port = static_cast<int>(port);
     } else if (flag == "--shards") {
       SCWSC_ASSIGN_OR_RETURN(auto shards, ParseU64(value));
       if (shards == 0) {
@@ -246,11 +292,49 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       }
     }
   }
+  if (args.list_solvers) return args;  // no input needed
   if (args.input.empty()) return Status::InvalidArgument("--input required");
   if (args.measure.empty()) {
     return Status::InvalidArgument("--measure required");
   }
   return args;
+}
+
+/// Parses --tenant-quota NAME=RATE[:BURST[:WEIGHT]] items into a policy;
+/// any item enables tenancy for the scheduler modes (--batch, --serve).
+Result<serve::TenantPolicy> MakeTenantPolicy(const CliArgs& args) {
+  serve::TenantPolicy policy;
+  for (const std::string& raw : args.tenant_quotas) {
+    const std::size_t eq = raw.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "--tenant-quota expects NAME=RATE[:BURST[:WEIGHT]], got '" + raw +
+          "'");
+    }
+    const std::string name = raw.substr(0, eq);
+    serve::TenantQuota quota;
+    std::vector<double> parts;
+    std::size_t begin = eq + 1;
+    while (begin <= raw.size()) {
+      const std::size_t colon = raw.find(':', begin);
+      const std::string piece =
+          raw.substr(begin, colon == std::string::npos ? colon : colon - begin);
+      SCWSC_ASSIGN_OR_RETURN(double parsed, ParseDouble(piece));
+      parts.push_back(parsed);
+      if (colon == std::string::npos) break;
+      begin = colon + 1;
+    }
+    if (parts.empty() || parts.size() > 3) {
+      return Status::InvalidArgument(
+          "--tenant-quota takes 1-3 ':'-separated numbers after '='");
+    }
+    quota.rate_per_second = parts[0];
+    if (parts.size() > 1) quota.burst = parts[1];
+    if (parts.size() > 2) quota.weight = parts[2];
+    policy.quotas[name] = quota;
+    policy.enabled = true;
+  }
+  return policy;
 }
 
 Result<pattern::CostFunction> MakeCost(const CliArgs& args) {
@@ -312,6 +396,11 @@ int RunBatchMode(const CliArgs& args, api::InstancePtr instance) {
   ThreadPool pool(args.threads);  // 0 = hardware concurrency
   serve::SchedulerOptions scheduler_options;
   scheduler_options.trace = trace.has_value() ? &*trace : nullptr;
+  {
+    auto tenant_policy = MakeTenantPolicy(args);
+    if (!tenant_policy.ok()) return Fail(tenant_policy.status().ToString());
+    scheduler_options.tenant = *std::move(tenant_policy);
+  }
   if (spec->faults.configured) {
     // A chaos run arms the recovery machinery alongside the faults; a
     // fault-free batch keeps the inert defaults (bit-identical serve path).
@@ -409,11 +498,62 @@ int RunBatchMode(const CliArgs& args, api::InstancePtr instance) {
   return failed > 0.0 ? 1 : 0;
 }
 
+/// --serve mode: publish the loaded instance as snapshot "live" and run the
+/// socket front end (docs/serving.md) until SIGINT. Solve and delta
+/// requests name it with "snapshot": "live"; deltas advance the head
+/// in-place while in-flight solves keep the version they resolved.
+int RunServeMode(const CliArgs& args, api::InstancePtr instance) {
+  ThreadPool pool(args.threads);  // 0 = hardware concurrency
+  serve::SchedulerOptions scheduler_options;
+  {
+    auto tenant_policy = MakeTenantPolicy(args);
+    if (!tenant_policy.ok()) return Fail(tenant_policy.status().ToString());
+    scheduler_options.tenant = *std::move(tenant_policy);
+  }
+  const bool want_telemetry =
+      !args.telemetry_out.empty() || !args.slo_rules.empty();
+  if (want_telemetry) {
+    serve::TelemetryOptions& tel = scheduler_options.telemetry;
+    tel.jsonl_path = args.telemetry_out;
+    if (!args.telemetry_out.empty()) {
+      tel.prom_path = args.telemetry_out + ".prom";
+    }
+    tel.interval_seconds = 0.25;
+    for (const std::string& raw : args.slo_rules) {
+      auto rule = serve::ParseSloRule(raw);  // validated at parse time
+      if (rule.ok()) tel.slo_rules.push_back(*std::move(rule));
+    }
+  }
+  serve::SolveScheduler scheduler(&pool, scheduler_options);
+  serve::SnapshotStore store(&scheduler.snapshot_cache());
+  if (Status s = store.Put("live", std::move(instance)); !s.ok()) {
+    return Fail(s.ToString());
+  }
+
+  serve::ServerOptions server_options;
+  server_options.port = args.serve_port;
+  serve::SolveServer server(&scheduler, &store, server_options);
+  if (Status s = server.Start(); !s.ok()) return Fail(s.ToString());
+  std::printf("# serving snapshot \"live\" on 127.0.0.1:%d (Ctrl-C stops)\n",
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSigint);
+  while (g_run_context.Check() == TripKind::kNone) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  scheduler.Drain();
+  std::printf("# serve: stopped\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = ParseArgs(argc, argv);
   if (!args.ok()) return Fail(args.status().ToString());
+  if (args->list_solvers) return ListSolvers(args->json);
 
   csv::ReadOptions read_opts;
   read_opts.measure_column = args->measure;
@@ -433,6 +573,7 @@ int main(int argc, char** argv) {
       *std::move(table), *std::move(cost_fn), std::move(hier), {}, sharding);
   if (!instance.ok()) return Fail(instance.status().ToString());
 
+  if (args->serve_port >= 0) return RunServeMode(*args, *instance);
   if (!args->batch.empty()) return RunBatchMode(*args, *instance);
 
   auto built = api::SolveRequest::Builder(*instance)
@@ -440,6 +581,7 @@ int main(int argc, char** argv) {
                    .WithCoverage(args->coverage)
                    .WithOptions(args->opts)
                    .WithLabel("cli")
+                   .WithTenant(args->tenant)
                    .Build();
   if (!built.ok()) return Fail(built.status().ToString());
   api::SolveRequest request = *std::move(built);

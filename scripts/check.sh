@@ -50,6 +50,23 @@ for name in cwsc opt-cwsc opt-cmc exact hcmc lp-rounding; do
     fail "cli smoke"; }
 done
 
+# Machine-readable solver list: --list-solvers --json emits the OptionsSpec
+# tables as one JSON document (the same serve::SolverListToJson the socket
+# server's list_solvers answers with), so tooling never scrapes the text.
+"$BUILD_DIR"/examples/scwsc_cli --list-solvers --json \
+  > "$BUILD_DIR"/solvers.json || fail "cli smoke (--json)"
+python3 -m json.tool "$BUILD_DIR"/solvers.json > /dev/null \
+  || fail "cli smoke (--json well-formed)"
+python3 - "$BUILD_DIR"/solvers.json <<'EOF' || fail "cli smoke (--json contents)"
+import json, sys
+solvers = json.load(open(sys.argv[1]))["solvers"]
+names = {s["name"] for s in solvers}
+assert {"cwsc", "opt-cwsc", "exact"} <= names, names
+for s in solvers:
+    for option in s["options"]:
+        assert {"name", "type", "required"} <= option.keys(), option
+EOF
+
 # Observability smoke: a real solve with tracing + metrics enabled must
 # produce well-formed JSON (the trace loads in Perfetto / chrome://tracing).
 printf 'Region,Product,Cost\nEast,Widget,3\nEast,Gadget,5\nWest,Widget,2\nWest,Gadget,4\nNorth,Widget,1\nNorth,Gadget,6\nSouth,Widget,2\nSouth,Gadget,3\n' \
@@ -194,6 +211,23 @@ assert report["pass"] is True, report["gates"]
 assert all(report["gates"].values()), report["gates"]
 EOF
 
+# Serve soak: open-loop Poisson arrivals from three weighted tenants with
+# live snapshot deltas. The bench itself gates on bit-identity of every
+# delta-applied version vs a from-scratch rebuild, per-delta shard chaining
+# plus cross-version shard sharing, zero tenant starvation and p99;
+# re-validate the report JSON here.
+SCWSC_BENCH_SCALE=${SCWSC_BENCH_SCALE:-0.02} \
+  "$BUILD_DIR"/bench/serve_soak "$BUILD_DIR"/BENCH_serve_soak.json \
+  || fail "serve soak smoke"
+python3 - "$BUILD_DIR"/BENCH_serve_soak.json <<'EOF' || fail "serve soak smoke (report)"
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert all(report["gates"].values()), report["gates"]
+assert report["snapshot_cache_shard_shared"] > 0, report
+for tenant in report["tenants"].values():
+    assert tenant["succeeded"] > 0, report["tenants"]
+EOF
+
 # Shard scaling: sharded snapshots must be bit-identical to the flat path
 # at every shard count (the speedup bar only arms at SCWSC_BENCH_SCALE >=
 # 1.0, so the small-scale smoke here checks correctness, not timing).
@@ -207,4 +241,4 @@ assert report["pass"] is True, report["gates"]
 assert report["gates"]["bit_identical_all_arms"] is True, report["gates"]
 EOF
 
-echo "check.sh: build, tests, observability, serve, chaos, telemetry, shard, engine and anytime smokes all green"
+echo "check.sh: build, tests, observability, serve, chaos, telemetry, soak, shard, engine and anytime smokes all green"

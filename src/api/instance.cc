@@ -38,8 +38,11 @@ std::uint64_t HashTableShard(const Table& table, std::size_t begin,
 }
 
 /// Hash of elements [begin, end) of a set system: every set's sorted
-/// element slice that falls in the range. Costs, labels and sizes are
-/// global metadata.
+/// element slice that falls in the range, tagged with its SetId. Costs,
+/// labels and sizes are global metadata. Sets with no elements in the range
+/// contribute nothing, so a delta that only adds sets confined to one shard
+/// changes exactly that shard's hash — the localization property the serve
+/// cache's cross-version shard sharing relies on (api/delta.h).
 std::uint64_t HashSetSystemShard(const SetSystem& system, std::size_t begin,
                                  std::size_t end) {
   std::uint64_t h = kFnv64Offset;
@@ -51,6 +54,11 @@ std::uint64_t HashSetSystemShard(const SetSystem& system, std::size_t begin,
                                      static_cast<ElementId>(begin));
     const auto hi = std::lower_bound(lo, elems.end(),
                                      static_cast<ElementId>(end));
+    if (lo == hi) continue;
+    // The id disambiguates *which* set covers the slice: without it two
+    // systems differing only in set membership of identical slices would
+    // collide shard-wise.
+    HashU64(id, h);
     HashU64(static_cast<std::uint64_t>(hi - lo), h);
     HashBytes(elems.data() + (lo - elems.begin()),
               static_cast<std::size_t>(hi - lo) * sizeof(ElementId), h);
@@ -96,7 +104,8 @@ Result<InstancePtr> InstanceSnapshot::FromTable(
   return InstancePtr(std::move(snapshot));
 }
 
-void InstanceSnapshot::ComputeShardPlan(ShardingOptions sharding) {
+void InstanceSnapshot::ComputeShardPlan(ShardingOptions sharding,
+                                        const ShardHashHint* hint) {
   sharding_ = sharding;
   const std::size_t n = num_elements();
   const std::size_t effective =
@@ -105,6 +114,17 @@ void InstanceSnapshot::ComputeShardPlan(ShardingOptions sharding) {
   const std::size_t S = shard_bounds_.size() - 1;
   shard_hashes_.reserve(S);
   for (std::size_t s = 0; s < S; ++s) {
+    // Chain from the delta parent when this shard's bounds match and the
+    // delta left its data untouched: the slice bytes are identical, so the
+    // copied hash equals what rehashing would produce.
+    if (hint != nullptr && s + 1 < hint->bounds.size() &&
+        s < hint->dirty.size() && !hint->dirty[s] &&
+        hint->bounds[s] == shard_bounds_[s] &&
+        hint->bounds[s + 1] == shard_bounds_[s + 1]) {
+      shard_hashes_.push_back(hint->hashes[s]);
+      ++hint->chained;
+      continue;
+    }
     shard_hashes_.push_back(
         table_.has_value()
             ? HashTableShard(*table_, shard_bounds_[s], shard_bounds_[s + 1])

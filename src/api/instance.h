@@ -43,6 +43,23 @@ class InstanceSnapshot;
 /// snapshot; the underlying data is never copied.
 using InstancePtr = std::shared_ptr<const InstanceSnapshot>;
 
+/// Parent-chaining information for an incremental snapshot build (see
+/// api/delta.h). When a delta leaves a shard's data untouched, the child
+/// snapshot copies that shard's hash from the parent instead of rehashing
+/// the slice — provably equal to recomputation, so the child's content hash
+/// is bit-identical to a from-scratch build over the same data. `dirty[s]`
+/// marks parent shards the delta touched; chaining only applies while the
+/// child's shard bounds match the parent's (same universe size and
+/// ShardingOptions), which ApplyDelta verifies per shard.
+struct ShardHashHint {
+  std::vector<std::size_t> bounds;    // parent shard bounds
+  std::vector<std::uint64_t> hashes;  // parent per-shard hashes
+  std::vector<bool> dirty;            // parent shards the delta touched
+  std::size_t parent_version = 0;     // parent's delta_version()
+  /// Out-parameter: shards whose hash was reused from the parent.
+  mutable std::size_t chained = 0;
+};
+
 class InstanceSnapshot {
  public:
   /// Wraps an explicit weighted set system (the generic, non-patterned
@@ -128,15 +145,24 @@ class InstanceSnapshot {
   /// serve::ContentHash returns this.
   std::uint64_t content_hash() const { return content_hash_; }
 
+  /// How many deltas separate this snapshot from its from-scratch root:
+  /// 0 for snapshots built by FromSetSystem/FromTable, parent + 1 for
+  /// snapshots produced by ApplyDelta (api/delta.h).
+  std::size_t delta_version() const { return delta_version_; }
+
  private:
+  friend struct DeltaBuilderAccess;  // api/delta.cc: chained child builds
+
   InstanceSnapshot() = default;
 
   void MaterializePatterns() const;
 
   /// Stamps the effective shard plan, the per-shard data hashes and the
   /// whole-content hash. Called once by each builder after the data is in
-  /// place.
-  void ComputeShardPlan(ShardingOptions sharding);
+  /// place. `hint` (nullable) chains untouched shard hashes from a delta
+  /// parent instead of rehashing them.
+  void ComputeShardPlan(ShardingOptions sharding,
+                        const ShardHashHint* hint = nullptr);
 
   // Exactly one of system_ (FromSetSystem) or table_ (FromTable) is set.
   std::optional<SetSystem> system_;
@@ -150,6 +176,7 @@ class InstanceSnapshot {
   std::vector<std::size_t> shard_bounds_;
   std::vector<std::uint64_t> shard_hashes_;
   std::uint64_t content_hash_ = 0;
+  std::size_t delta_version_ = 0;  // set by DeltaBuilderAccess only
 
   // Lazily materialized pattern view of a table instance. Guarded by
   // once_: after the call_once returns, lazy_ is immutable.

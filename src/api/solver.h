@@ -170,6 +170,14 @@ struct SolveRequest {
   /// output and batch reports; never interpreted by solvers.
   std::string label;
 
+  /// Multi-tenant serving identity: which tenant this request is billed to.
+  /// Empty means the anonymous "default" tenant. The serve scheduler uses it
+  /// for admission quotas and weighted-fair dequeue, and stamps it into the
+  /// per-tenant serve.tenant.* counters, the serve.tenant.latency_seconds
+  /// sketch family, trace span events and flight-recorder entries. Never
+  /// interpreted by solvers.
+  std::string tenant;
+
   class Builder;
 };
 
@@ -215,6 +223,10 @@ class SolveRequest::Builder {
   }
   Builder& WithLabel(std::string label) {
     request_.label = std::move(label);
+    return *this;
+  }
+  Builder& WithTenant(std::string tenant) {
+    request_.tenant = std::move(tenant);
     return *this;
   }
 

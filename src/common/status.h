@@ -50,6 +50,14 @@ enum class StatusCode : int {
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
 std::string_view StatusCodeToString(StatusCode code);
 
+/// Machine-readable retry-after carried as a Status payload by throttling
+/// rejections (open circuit breakers, tenant quota denials, a full serve
+/// queue). Frontends map it into the wire error envelope's retry_after_ms
+/// field instead of parsing it out of the message text.
+struct RetryAfterHint {
+  double ms = 0.0;
+};
+
 /// Result of a fallible operation: a code plus an optional message.
 ///
 /// The OK state is represented by a null payload, so `Status::OK()` never

@@ -5,30 +5,11 @@
 #include <utility>
 
 #include "src/common/stopwatch.h"
+#include "src/serve/wire.h"
 
 namespace scwsc {
 namespace serve {
 namespace {
-
-/// Renders a JSON option value the way OptionsBag expects it spelled:
-/// numbers lose a redundant ".0", bools become "true"/"false".
-Result<std::string> OptionValueToString(const std::string& key,
-                                        const JsonValue& value) {
-  switch (value.kind()) {
-    case JsonValue::Kind::kString:
-      return value.as_string();
-    case JsonValue::Kind::kBool:
-      return std::string(value.as_bool() ? "true" : "false");
-    case JsonValue::Kind::kNumber: {
-      const double n = value.as_number();
-      JsonValue rendered(n);
-      return rendered.Dump();  // integral doubles print without a fraction
-    }
-    default:
-      return Status::InvalidArgument("batch option '" + key +
-                                     "' must be a string, number or bool");
-  }
-}
 
 Result<double> RequireNumber(const JsonValue& v, const std::string& what) {
   if (!v.is_number()) {
@@ -142,6 +123,8 @@ Result<BatchSpec> ParseBatchSpec(const std::string& path,
                                  api::InstancePtr instance) {
   BatchSpec spec;
   SCWSC_ASSIGN_OR_RETURN(JsonValue root, ReadJsonFile(path));
+  SCWSC_ASSIGN_OR_RETURN(spec.version,
+                         CheckWireVersion(root, "batch-file " + path));
   if (const JsonValue* faults = root.Find("faults")) {
     SCWSC_ASSIGN_OR_RETURN(spec.faults, ParseFaultSpec(*faults));
   }
@@ -153,72 +136,30 @@ Result<BatchSpec> ParseBatchSpec(const std::string& path,
     return Status::InvalidArgument(
         "batch file '" + path + "' must be an object with a \"jobs\" array");
   }
+  if (spec.version >= kWireVersion && root.is_object()) {
+    for (const auto& [key, value] : root.as_object()) {
+      if (key != "version" && key != "jobs" && key != "faults" &&
+          key != "slo") {
+        spec.forward[key] = value;
+      }
+    }
+  }
   std::vector<SolveJob> jobs;
   std::size_t index = 0;
   for (const JsonValue& entry : jobs_value->as_array()) {
     const std::string at = "jobs[" + std::to_string(index) + "]";
-    if (!entry.is_object()) {
-      return Status::InvalidArgument(at + " is not an object");
+    SCWSC_ASSIGN_OR_RETURN(
+        ParsedJob parsed,
+        ParseJobObject(entry, instance, at, spec.version));
+    if (parsed.job.request.label.empty()) {
+      parsed.job.request.label = "job-" + std::to_string(index);
     }
-    const JsonValue* solver = entry.Find("solver");
-    if (solver == nullptr || !solver->is_string()) {
-      return Status::InvalidArgument(at + " needs a string \"solver\"");
+    for (const auto& [key, value] : parsed.forward) {
+      spec.forward[at + "." + key] = value;
     }
-
-    api::SolveRequest::Builder builder(instance);
-    if (const JsonValue* k = entry.Find("k")) {
-      SCWSC_ASSIGN_OR_RETURN(double n, RequireNumber(*k, at + ".k"));
-      builder.WithK(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < parsed.repeat; ++i) {
+      jobs.push_back(parsed.job);
     }
-    if (const JsonValue* coverage = entry.Find("coverage")) {
-      SCWSC_ASSIGN_OR_RETURN(double f,
-                             RequireNumber(*coverage, at + ".coverage"));
-      builder.WithCoverage(f);
-    }
-    if (const JsonValue* options = entry.Find("options")) {
-      if (!options->is_object()) {
-        return Status::InvalidArgument(at + ".options must be an object");
-      }
-      for (const auto& [key, value] : options->as_object()) {
-        SCWSC_ASSIGN_OR_RETURN(std::string rendered,
-                               OptionValueToString(key, value));
-        builder.WithOption(key, std::move(rendered));
-      }
-    }
-    if (const JsonValue* deadline = entry.Find("deadline_ms")) {
-      SCWSC_ASSIGN_OR_RETURN(double ms,
-                             RequireNumber(*deadline, at + ".deadline_ms"));
-      builder.WithDeadline(
-          std::chrono::milliseconds(static_cast<std::int64_t>(ms)));
-    }
-    std::string label = "job-" + std::to_string(index);
-    if (const JsonValue* l = entry.Find("label")) {
-      if (!l->is_string()) {
-        return Status::InvalidArgument(at + ".label must be a string");
-      }
-      label = l->as_string();
-    }
-    builder.WithLabel(label);
-    SCWSC_ASSIGN_OR_RETURN(api::SolveRequest request, builder.Build());
-
-    SolveJob job;
-    job.solver = solver->as_string();
-    job.request = std::move(request);
-    if (const JsonValue* priority = entry.Find("priority")) {
-      SCWSC_ASSIGN_OR_RETURN(double p,
-                             RequireNumber(*priority, at + ".priority"));
-      job.priority = static_cast<int>(p);
-    }
-
-    std::size_t repeat = 1;
-    if (const JsonValue* r = entry.Find("repeat")) {
-      SCWSC_ASSIGN_OR_RETURN(double n, RequireNumber(*r, at + ".repeat"));
-      if (n < 1) {
-        return Status::InvalidArgument(at + ".repeat must be >= 1");
-      }
-      repeat = static_cast<std::size_t>(n);
-    }
-    for (std::size_t i = 0; i < repeat; ++i) jobs.push_back(job);
     ++index;
   }
   spec.jobs = std::move(jobs);
@@ -277,7 +218,7 @@ Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
     report["solver"] = slot.solver;
     if (!slot.rejected.ok()) {
       report["ok"] = false;
-      report["status"] = slot.rejected.ToString();
+      report["error"] = ErrorToJson(ErrorInfoFromStatus(slot.rejected));
       ++failed;
       job_reports.push_back(JsonValue(std::move(report)));
       continue;
@@ -300,7 +241,8 @@ Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
       ++succeeded;
     } else {
       report["ok"] = false;
-      report["status"] = outcome.result.status().ToString();
+      report["error"] =
+          ErrorToJson(ErrorInfoFromStatus(outcome.result.status()));
       // An interruption still surfaces its best-so-far partial.
       result = outcome.result.status().payload<api::SolveResult>();
       ++failed;
@@ -364,9 +306,21 @@ Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
       metrics.CounterValue("serve.slo.violations");
 
   JsonObject root;
+  root["version"] = JsonValue(static_cast<std::size_t>(kWireVersion));
   root["jobs"] = JsonValue(std::move(job_reports));
   root["aggregate"] = JsonValue(std::move(aggregate));
   return JsonValue(std::move(root));
+}
+
+Result<JsonValue> RunBatch(BatchSpec spec, SolveScheduler& scheduler) {
+  SCWSC_ASSIGN_OR_RETURN(JsonValue report,
+                         RunBatch(std::move(spec.jobs), scheduler));
+  if (!spec.forward.empty()) {
+    JsonObject root = report.as_object();
+    root["forward"] = JsonValue(std::move(spec.forward));
+    return JsonValue(std::move(root));
+  }
+  return report;
 }
 
 }  // namespace serve

@@ -83,6 +83,14 @@ struct BatchSpec {
   std::vector<SolveJob> jobs;
   FaultSpec faults;
   SloSpec slo;
+  /// Wire version of the file: absent/1 = legacy (accepted with a
+  /// once-per-process deprecation warning), 2 = current. See serve/wire.h.
+  int version = 1;
+  /// Unknown keys collected under version >= 2 ("jobs[3].hint", "notes"),
+  /// echoed under "forward" in the report so newer clients' fields
+  /// round-trip instead of vanishing. Always empty for v1 files, whose
+  /// unknown keys keep the legacy ignore/reject behaviour.
+  JsonObject forward;
 };
 
 /// Parses a batch file into jobs over `instance` (every job in one batch
@@ -96,11 +104,17 @@ Result<BatchSpec> ParseBatchSpec(const std::string& path,
 Result<std::vector<SolveJob>> ParseBatchFile(const std::string& path,
                                              api::InstancePtr instance);
 
-/// Enqueues every job, waits for all futures, and renders the report. Jobs
-/// rejected by admission control (queue full) are reported as failed with
-/// their Status rather than aborting the batch.
+/// Enqueues every job, waits for all futures, and renders the report
+/// (root "version" = 2; failed jobs carry the typed "error" envelope of
+/// serve/wire.h, never a free-text status). Jobs rejected by admission
+/// control (queue full, tenant quota) are reported as failed with their
+/// typed error rather than aborting the batch.
 Result<JsonValue> RunBatch(std::vector<SolveJob> jobs,
                            SolveScheduler& scheduler);
+
+/// Same, from a parsed spec: additionally echoes the spec's forwarded
+/// unknown keys under "forward" (the v2 round-trip contract).
+Result<JsonValue> RunBatch(BatchSpec spec, SolveScheduler& scheduler);
 
 }  // namespace serve
 }  // namespace scwsc

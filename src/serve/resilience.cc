@@ -136,9 +136,12 @@ Status CircuitBreaker::Admit(std::chrono::steady_clock::time_point now) {
     const double retry_after = options_.open_seconds - waited;
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.3f", retry_after);
-    return Status::Unavailable(
-        "circuit breaker is open; retry after " + std::string(buffer) +
-        "s");
+    // The hint carries the same retry-after in machine-readable form, so
+    // wire frontends fill the error envelope's retry_after_ms without
+    // parsing the message.
+    return Status::Unavailable("circuit breaker is open; retry after " +
+                               std::string(buffer) + "s")
+        .WithPayload(RetryAfterHint{retry_after * 1000.0});
   }
   state_ = State::kHalfOpen;
   half_open_successes_ = 0;

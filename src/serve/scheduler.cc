@@ -39,6 +39,7 @@ SolveScheduler::SolveScheduler(ThreadPool* pool, SchedulerOptions options)
       metrics_);
   breakers_ =
       std::make_unique<BreakerBank>(options_.resilience.breaker, metrics_);
+  tenants_ = std::make_unique<TenantAdmission>(options_.tenant);
   if (options_.resilience.watchdog) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
@@ -65,6 +66,20 @@ Result<std::future<JobOutcome>> SolveScheduler::Enqueue(SolveJob job) {
   if (job.request.instance == nullptr) {
     return Status::InvalidArgument("SolveJob has no instance snapshot");
   }
+  // Tenant quota, before the queue lock: the bucket has its own mutex, and
+  // a quota rejection must not consume queue bookkeeping. A quota-admitted
+  // job can still bounce off a full queue below (it spent a token; the
+  // queue-full retry hint covers that window).
+  if (tenants_->enabled()) {
+    const std::string& tenant = EffectiveTenant(job.request.tenant);
+    Status admitted = tenants_->Admit(tenant);
+    if (!admitted.ok()) {
+      metrics_->counter("serve.jobs.rejected").Increment();
+      metrics_->counter("serve.tenant." + tenant + ".rejected").Increment();
+      obs::FlightRecorder::Global().RecordInstant("serve.reject/tenant_quota");
+      return admitted;
+    }
+  }
   std::future<JobOutcome> future;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -79,10 +94,15 @@ Result<std::future<JobOutcome>> SolveScheduler::Enqueue(SolveJob job) {
       metrics_->counter("serve.jobs.rejected").Increment();
       obs::FlightRecorder::Global().RecordInstant(
           "serve.reject/queue_full", static_cast<double>(in_flight_));
+      // The hint approximates one aging interval — long enough for a worker
+      // to pop at least one job, short enough that clients keep the queue
+      // warm. Machine-readable so wire frontends emit retry_after_ms.
       return Status::ResourceExhausted(
-          "scheduler queue is full (" +
-          std::to_string(options_.max_queue_depth) +
-          " jobs in flight); retry after completions drain the queue");
+                 "scheduler queue is full (" +
+                 std::to_string(options_.max_queue_depth) +
+                 " jobs in flight); retry after completions drain the queue")
+          .WithPayload(RetryAfterHint{
+              std::max(options_.aging_interval_seconds, 0.05) * 1000.0});
     }
     PendingJob pending;
     pending.job = std::move(job);
@@ -134,20 +154,43 @@ void SolveScheduler::RunOneJob() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) return;  // defensive: one task per queued job
+    // Weighted-fair tenant selection (when enabled): dispatch from the
+    // tenant with the smallest served / weight among tenants with waiting
+    // jobs. Fairness picks the tenant; priority aging (below) orders that
+    // tenant's own jobs, so the two mechanisms compose instead of compete.
+    std::string fair_tenant;
+    if (tenants_->enabled()) {
+      bool have = false;
+      double best_norm = 0.0;
+      for (const PendingJob& waiting : queue_) {
+        const std::string& t = EffectiveTenant(waiting.job.request.tenant);
+        const double norm = tenant_served_[t] / tenants_->WeightOf(t);
+        if (!have || norm < best_norm) {
+          have = true;
+          best_norm = norm;
+          fair_tenant = t;
+        }
+      }
+      tenant_served_[fair_tenant] += 1.0;
+    }
     // Scan-on-pop for the highest effective priority: static priority plus
     // one level per aging interval waited. O(depth) per pop is fine at the
     // depths admission control allows.
     const auto now = std::chrono::steady_clock::now();
-    auto best = queue_.begin();
+    auto best = queue_.end();
     double best_effective = 0.0;
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!fair_tenant.empty() &&
+          EffectiveTenant(it->job.request.tenant) != fair_tenant) {
+        continue;
+      }
       const double waited = SecondsSince(it->enqueued_at, now);
       const double effective =
           static_cast<double>(it->job.priority) +
           (options_.aging_interval_seconds > 0.0
                ? waited / options_.aging_interval_seconds
                : 0.0);
-      if (it == queue_.begin() || effective > best_effective) {
+      if (best == queue_.end() || effective > best_effective) {
         best = it;
         best_effective = effective;
       }
@@ -199,6 +242,13 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
   outcome.queue_seconds = queue_seconds;
   outcome.label = pending.job.request.label;
 
+  // Tenant identity for accounting. Scoped metrics are stamped whenever the
+  // request names a tenant or the policy is on; a tenant-less job under the
+  // default policy keeps the legacy metric surface untouched.
+  const std::string tenant = EffectiveTenant(pending.job.request.tenant);
+  const bool tenant_scoped =
+      tenants_->enabled() || !pending.job.request.tenant.empty();
+
   api::SolveRequest& request = pending.job.request;
   const ResilienceOptions& res = options_.resilience;
   api::SolverRegistry& registry = api::SolverRegistry::Global();
@@ -214,17 +264,19 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
   // instant — the warm path records exactly one span plus the enqueue
   // instant per job, which is what keeps the recorder inside its 3%
   // throughput budget (bench/serve_throughput gates this).
+  // Tenant-scoped jobs append "@tenant" to the member, so the recorder's
+  // dump groups one tenant's serving history without a separate entry.
   obs::RecorderScope recorder_scope(
       "serve.run/",
-      requested_canonical.empty() ? solver_to_run : requested_canonical);
+      (requested_canonical.empty() ? solver_to_run : requested_canonical) +
+          (tenant_scoped ? "@" + tenant : std::string()));
   recorder_scope.set_value(queue_seconds);
+  if (tenant_scoped) run_span.Event("tenant/" + tenant);
 
   auto complete = [&](JobOutcome finished) {
-    metrics_
-        ->counter(finished.result.ok() ||
-                          finished.result.status().IsInterruption()
-                      ? "serve.jobs.completed"
-                      : "serve.jobs.failed")
+    const bool succeeded =
+        finished.result.ok() || finished.result.status().IsInterruption();
+    metrics_->counter(succeeded ? "serve.jobs.completed" : "serve.jobs.failed")
         .Increment();
     // Per-solver latency sketch member; the telemetry pump merges the
     // family into the aggregate the latency SLO rules evaluate.
@@ -232,6 +284,17 @@ void SolveScheduler::ExecuteJob(PendingJob pending, double queue_seconds) {
         ->sketch("serve.latency_seconds#" +
                  (info != nullptr ? info->name : std::string("unknown")))
         .Observe(finished.queue_seconds + finished.run_seconds);
+    if (tenant_scoped) {
+      // The same family#member naming as the solver sketch, so tenant-scoped
+      // SLO rules read serve.tenant.latency_seconds#<tenant> and the pump's
+      // per-tenant error rate reads the counter deltas.
+      metrics_
+          ->counter("serve.tenant." + tenant +
+                    (succeeded ? ".completed" : ".failed"))
+          .Increment();
+      metrics_->sketch("serve.tenant.latency_seconds#" + tenant)
+          .Observe(finished.queue_seconds + finished.run_seconds);
+    }
     pending.promise.set_value(std::move(finished));
     std::lock_guard<std::mutex> lock(mu_);
     if (--in_flight_ == 0) drained_cv_.notify_all();

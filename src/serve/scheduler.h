@@ -83,6 +83,7 @@
 #include "src/serve/cache.h"
 #include "src/serve/resilience.h"
 #include "src/serve/telemetry.h"
+#include "src/serve/tenant.h"
 
 namespace scwsc {
 namespace serve {
@@ -136,6 +137,10 @@ struct SchedulerOptions {
   /// tick sampler refreshes serve.queue.depth and the per-priority
   /// serve.queue.wait_seconds.p<N> gauges.
   TelemetryOptions telemetry;
+  /// Multi-tenant admission quotas and weighted-fair dequeue (see
+  /// serve/tenant.h). The default is inert: dequeue order and admission are
+  /// bit-identical to a scheduler without tenancy.
+  TenantPolicy tenant;
 };
 
 class SolveScheduler {
@@ -227,6 +232,7 @@ class SolveScheduler {
   std::unique_ptr<ResultCache> result_cache_;
   std::unique_ptr<BreakerBank> breakers_;
   RetryBudget retry_budget_;
+  std::unique_ptr<TenantAdmission> tenants_;
 
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;  // fires when in_flight_ hits 0
@@ -234,6 +240,9 @@ class SolveScheduler {
   std::list<RunningJob> running_;  // registry calls currently in flight
   std::size_t in_flight_ = 0;      // queued + running
   bool draining_ = false;
+  /// Weighted-fair accounting: jobs dispatched per tenant. Only written
+  /// when the tenant policy is enabled; guarded by mu_.
+  std::map<std::string, double> tenant_served_;
 
   std::mutex hash_mu_;
   std::map<const api::InstanceSnapshot*, std::uint64_t> hash_memo_;

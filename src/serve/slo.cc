@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <utility>
 
 namespace scwsc {
 namespace serve {
@@ -45,7 +46,25 @@ std::string AcceptedMetrics() {
 }  // namespace
 
 Result<SloRule> ParseSloRule(const std::string& text) {
-  const std::string s = StripWhitespace(text);
+  std::string s = StripWhitespace(text);
+  std::string tenant;
+  static constexpr const char kTenantPrefix[] = "tenant=";
+  if (s.rfind(kTenantPrefix, 0) == 0) {
+    const std::size_t colon = s.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "slo rule '" + text +
+          "': tenant scope needs a ':' before the rule, e.g. "
+          "\"tenant=acme:p99_latency_ms<=50\"");
+    }
+    tenant = s.substr(sizeof(kTenantPrefix) - 1,
+                      colon - (sizeof(kTenantPrefix) - 1));
+    if (tenant.empty()) {
+      return Status::InvalidArgument("slo rule '" + text +
+                                     "': empty tenant name");
+    }
+    s.erase(0, colon + 1);
+  }
   std::size_t op_pos = std::string::npos;
   std::size_t op_len = 0;
   SloOp op = SloOp::kAtMost;
@@ -66,6 +85,7 @@ Result<SloRule> ParseSloRule(const std::string& text) {
   SloRule rule;
   rule.op = op;
   rule.text = text;
+  rule.tenant = std::move(tenant);
   bool found = false;
   for (const MetricSpec& m : kMetrics) {
     if (metric_name == m.name) {

@@ -39,11 +39,18 @@ struct SloRule {
   double quantile = 0.99;   // only for kLatencyQuantile
   double threshold = 0.0;   // milliseconds for latency rules
   std::string text;         // original spelling, echoed in logs and reports
+  /// Tenant scope: empty = the aggregate sample; otherwise the pump
+  /// evaluates this rule against that tenant's own latency sketch
+  /// (serve.tenant.latency_seconds#<tenant>) and completion deltas
+  /// (serve.tenant.<tenant>.completed/.failed). Spelled "tenant=NAME:rule".
+  std::string tenant;
 };
 
 /// Parses one rule. Accepted metrics: p50_latency_ms, p90_latency_ms,
 /// p99_latency_ms, p999_latency_ms, error_rate, queue_depth, breaker_open;
 /// operators: "<=", "<" (both at-most) and "==". Whitespace is ignored.
+/// A "tenant=NAME:" prefix scopes the rule to one tenant's metrics, e.g.
+/// "tenant=acme:p99_latency_ms<=50".
 Result<SloRule> ParseSloRule(const std::string& text);
 
 /// ParseSloRule over a list; fails on the first bad rule.

@@ -173,8 +173,43 @@ void TelemetryPump::Tick() {
   prev_failed_ = failed;
   sample.queue_depth = registry_->GaugeValue("serve.queue.depth");
   sample.breaker_open = registry_->GaugeValue("serve.breaker.open");
-  const std::vector<SloViolation> violated =
-      EvaluateSlos(options_.slo_rules, sample);
+
+  // Tenant-scoped rules read that tenant's own sketch member and completion
+  // deltas; queue depth and breaker state stay global (they are shared
+  // resources, not per-tenant ones). Aggregate rules see the merged sample.
+  std::vector<SloRule> aggregate_rules;
+  std::map<std::string, std::vector<SloRule>> tenant_rules;
+  for (const SloRule& rule : options_.slo_rules) {
+    if (rule.tenant.empty()) {
+      aggregate_rules.push_back(rule);
+    } else {
+      tenant_rules[rule.tenant].push_back(rule);
+    }
+  }
+  std::vector<SloViolation> violated = EvaluateSlos(aggregate_rules, sample);
+  for (const auto& [tenant, rules] : tenant_rules) {
+    SloSample tenant_sample;
+    const std::string member = "serve.tenant.latency_seconds#" + tenant;
+    for (const auto& [name, sketch] : sketches) {
+      if (name == member) {
+        tenant_sample.latency = &sketch;
+        break;
+      }
+    }
+    const auto delta_of = [&deltas](const std::string& name) {
+      const auto it = deltas.find(name);
+      return it == deltas.end() ? std::uint64_t{0} : it->second;
+    };
+    tenant_sample.completed_delta =
+        delta_of("serve.tenant." + tenant + ".completed");
+    tenant_sample.failed_delta =
+        delta_of("serve.tenant." + tenant + ".failed");
+    tenant_sample.queue_depth = sample.queue_depth;
+    tenant_sample.breaker_open = sample.breaker_open;
+    for (SloViolation& v : EvaluateSlos(rules, tenant_sample)) {
+      violated.push_back(std::move(v));
+    }
+  }
 
   if (!violated.empty()) {
     registry_->counter("serve.slo.violations").Increment(violated.size());

@@ -1,0 +1,53 @@
+#include "src/serve/tenant.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace scwsc {
+namespace serve {
+
+TenantAdmission::TenantAdmission(TenantPolicy policy)
+    : policy_(std::move(policy)) {}
+
+Status TenantAdmission::Admit(const std::string& tenant) {
+  if (!policy_.enabled) return Status::OK();
+  const TenantQuota& quota = policy_.QuotaFor(tenant);
+  if (quota.rate_per_second <= 0.0) return Status::OK();
+  const double capacity = quota.burst > 0.0
+                              ? quota.burst
+                              : std::max(quota.rate_per_second, 1.0);
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = buckets_[tenant];
+  if (!bucket.initialized) {
+    bucket.tokens = capacity;  // a fresh tenant starts with a full burst
+    bucket.refilled_at = now;
+    bucket.initialized = true;
+  } else {
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket.refilled_at).count();
+    bucket.tokens = std::min(capacity,
+                             bucket.tokens + elapsed * quota.rate_per_second);
+    bucket.refilled_at = now;
+  }
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return Status::OK();
+  }
+  const double deficit = 1.0 - bucket.tokens;
+  const double retry_after_ms = deficit / quota.rate_per_second * 1000.0;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.0f", retry_after_ms);
+  return Status::ResourceExhausted("tenant \"" + tenant +
+                                   "\" is over its admission quota; retry "
+                                   "after " +
+                                   std::string(buffer) + "ms")
+      .WithPayload(RetryAfterHint{retry_after_ms});
+}
+
+double TenantAdmission::WeightOf(const std::string& tenant) const {
+  return std::max(policy_.QuotaFor(tenant).weight, 1e-6);
+}
+
+}  // namespace serve
+}  // namespace scwsc

@@ -1,0 +1,331 @@
+#include "src/serve/wire.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "src/api/registry.h"
+#include "src/common/logging.h"
+
+namespace scwsc {
+namespace serve {
+namespace {
+
+/// Renders a JSON option value the way OptionsBag expects it spelled:
+/// numbers lose a redundant ".0", bools become "true"/"false".
+Result<std::string> OptionValueToString(const std::string& key,
+                                        const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kString:
+      return value.as_string();
+    case JsonValue::Kind::kBool:
+      return std::string(value.as_bool() ? "true" : "false");
+    case JsonValue::Kind::kNumber: {
+      const double n = value.as_number();
+      JsonValue rendered(n);
+      return rendered.Dump();  // integral doubles print without a fraction
+    }
+    default:
+      return Status::InvalidArgument("option '" + key +
+                                     "' must be a string, number or bool");
+  }
+}
+
+Result<double> RequireNumber(const JsonValue& v, const std::string& what) {
+  if (!v.is_number()) {
+    return Status::InvalidArgument("field '" + what + "' must be a number");
+  }
+  return v.as_number();
+}
+
+}  // namespace
+
+ErrorInfo ErrorInfoFromStatus(const Status& status) {
+  ErrorInfo error;
+  error.code = std::string(StatusCodeToString(status.code()));
+  error.message = std::string(status.message());
+  const StatusCode code = status.code();
+  error.retryable = code == StatusCode::kInternal ||
+                    code == StatusCode::kUnavailable ||
+                    code == StatusCode::kResourceExhausted;
+  if (const RetryAfterHint* hint = status.payload<RetryAfterHint>()) {
+    error.retry_after_ms = hint->ms;
+  }
+  return error;
+}
+
+JsonValue ErrorToJson(const ErrorInfo& error) {
+  JsonObject o;
+  o["code"] = JsonValue(error.code);
+  o["message"] = JsonValue(error.message);
+  o["retryable"] = JsonValue(error.retryable);
+  if (error.retry_after_ms > 0.0) {
+    o["retry_after_ms"] = JsonValue(error.retry_after_ms);
+  }
+  return JsonValue(std::move(o));
+}
+
+bool WarnDeprecatedWireV1(const std::string& where) {
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  bool first;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    first = warned->insert(where).second;
+  }
+  if (first) {
+    SCWSC_LOG_WARN(
+        "wire protocol v1 payload (%s): versionless requests are "
+        "deprecated; add \"version\": %d (see docs/serving.md for the "
+        "migration table)",
+        where.c_str(), kWireVersion);
+  }
+  return first;
+}
+
+Result<int> CheckWireVersion(const JsonValue& root, const std::string& where) {
+  const JsonValue* version = root.is_object() ? root.Find("version") : nullptr;
+  if (version == nullptr) {
+    WarnDeprecatedWireV1(where);
+    return 1;
+  }
+  if (!version->is_number()) {
+    return Status::InvalidArgument("\"version\" must be a number (" + where +
+                                   ")");
+  }
+  const int v = static_cast<int>(version->as_number());
+  if (v == 1) {
+    WarnDeprecatedWireV1(where);
+    return 1;
+  }
+  if (v == kWireVersion) return v;
+  return Status::InvalidArgument(
+      "unsupported wire version " + std::to_string(v) + " (" + where +
+      "); this build speaks versions 1 (deprecated) and " +
+      std::to_string(kWireVersion));
+}
+
+Result<ParsedJob> ParseJobObject(const JsonValue& entry,
+                                 const api::InstancePtr& instance,
+                                 const std::string& at, int version) {
+  if (!entry.is_object()) {
+    return Status::InvalidArgument(at + " is not an object");
+  }
+  const JsonValue* solver = entry.Find("solver");
+  if (solver == nullptr || !solver->is_string()) {
+    return Status::InvalidArgument(at + " needs a string \"solver\"");
+  }
+
+  ParsedJob parsed;
+  api::SolveRequest::Builder builder(instance);
+  std::string label;
+  bool have_label = false;
+  for (const auto& [key, value] : entry.as_object()) {
+    if (key == "solver") {
+      // handled above
+    } else if (key == "k") {
+      SCWSC_ASSIGN_OR_RETURN(double n, RequireNumber(value, at + ".k"));
+      builder.WithK(static_cast<std::size_t>(n));
+    } else if (key == "coverage") {
+      SCWSC_ASSIGN_OR_RETURN(double f, RequireNumber(value, at + ".coverage"));
+      builder.WithCoverage(f);
+    } else if (key == "options") {
+      if (!value.is_object()) {
+        return Status::InvalidArgument(at + ".options must be an object");
+      }
+      for (const auto& [opt_key, opt_value] : value.as_object()) {
+        SCWSC_ASSIGN_OR_RETURN(std::string rendered,
+                               OptionValueToString(opt_key, opt_value));
+        builder.WithOption(opt_key, std::move(rendered));
+      }
+    } else if (key == "deadline_ms") {
+      SCWSC_ASSIGN_OR_RETURN(double ms,
+                             RequireNumber(value, at + ".deadline_ms"));
+      builder.WithDeadline(
+          std::chrono::milliseconds(static_cast<std::int64_t>(ms)));
+    } else if (key == "label") {
+      if (!value.is_string()) {
+        return Status::InvalidArgument(at + ".label must be a string");
+      }
+      label = value.as_string();
+      have_label = true;
+    } else if (key == "tenant") {
+      if (!value.is_string()) {
+        return Status::InvalidArgument(at + ".tenant must be a string");
+      }
+      builder.WithTenant(value.as_string());
+    } else if (key == "priority") {
+      SCWSC_ASSIGN_OR_RETURN(double p, RequireNumber(value, at + ".priority"));
+      parsed.job.priority = static_cast<int>(p);
+    } else if (key == "repeat") {
+      SCWSC_ASSIGN_OR_RETURN(double n, RequireNumber(value, at + ".repeat"));
+      if (n < 1) {
+        return Status::InvalidArgument(at + ".repeat must be >= 1");
+      }
+      parsed.repeat = static_cast<std::size_t>(n);
+    } else if (key == "version" || key == "id" || key == "type" ||
+               key == "snapshot") {
+      // Envelope keys on the socket path; never job data, never forwarded.
+    } else if (version >= kWireVersion) {
+      // Forward compatibility: a newer client's keys round-trip through the
+      // report/response instead of failing or silently vanishing.
+      parsed.forward[key] = value;
+    }
+    // v1: unknown keys are ignored, the legacy behaviour.
+  }
+  if (have_label) builder.WithLabel(std::move(label));
+  SCWSC_ASSIGN_OR_RETURN(parsed.job.request, builder.Build());
+  parsed.job.solver = solver->as_string();
+  return parsed;
+}
+
+Result<api::SnapshotDelta> ParseDeltaObject(const JsonValue& entry,
+                                            const std::string& at) {
+  if (!entry.is_object()) {
+    return Status::InvalidArgument(at + " is not an object");
+  }
+  api::SnapshotDelta delta;
+  if (const JsonValue* rows = entry.Find("append_rows")) {
+    if (!rows->is_array()) {
+      return Status::InvalidArgument(at + ".append_rows must be an array");
+    }
+    for (std::size_t i = 0; i < rows->as_array().size(); ++i) {
+      const JsonValue& row = rows->as_array()[i];
+      const std::string where = at + ".append_rows[" + std::to_string(i) + "]";
+      if (!row.is_object()) {
+        return Status::InvalidArgument(where + " must be an object");
+      }
+      api::SnapshotDelta::RowAppend append;
+      const JsonValue* values = row.Find("values");
+      if (values == nullptr || !values->is_array()) {
+        return Status::InvalidArgument(where + " needs a \"values\" array");
+      }
+      for (const JsonValue& v : values->as_array()) {
+        if (!v.is_string()) {
+          return Status::InvalidArgument(where + ".values must be strings");
+        }
+        append.values.push_back(v.as_string());
+      }
+      if (const JsonValue* measure = row.Find("measure")) {
+        SCWSC_ASSIGN_OR_RETURN(append.measure,
+                               RequireNumber(*measure, where + ".measure"));
+      }
+      delta.append_rows.push_back(std::move(append));
+    }
+  }
+  if (const JsonValue* rows = entry.Find("retract_rows")) {
+    if (!rows->is_array()) {
+      return Status::InvalidArgument(at + ".retract_rows must be an array");
+    }
+    for (const JsonValue& v : rows->as_array()) {
+      SCWSC_ASSIGN_OR_RETURN(double n,
+                             RequireNumber(v, at + ".retract_rows[]"));
+      if (n < 0) {
+        return Status::InvalidArgument(at + ".retract_rows must be >= 0");
+      }
+      delta.retract_rows.push_back(static_cast<std::size_t>(n));
+    }
+  }
+  if (const JsonValue* sets = entry.Find("add_sets")) {
+    if (!sets->is_array()) {
+      return Status::InvalidArgument(at + ".add_sets must be an array");
+    }
+    for (std::size_t i = 0; i < sets->as_array().size(); ++i) {
+      const JsonValue& set = sets->as_array()[i];
+      const std::string where = at + ".add_sets[" + std::to_string(i) + "]";
+      if (!set.is_object()) {
+        return Status::InvalidArgument(where + " must be an object");
+      }
+      api::SnapshotDelta::SetAdd add;
+      const JsonValue* elements = set.Find("elements");
+      if (elements == nullptr || !elements->is_array()) {
+        return Status::InvalidArgument(where + " needs an \"elements\" array");
+      }
+      for (const JsonValue& e : elements->as_array()) {
+        SCWSC_ASSIGN_OR_RETURN(double n,
+                               RequireNumber(e, where + ".elements[]"));
+        if (n < 0) {
+          return Status::InvalidArgument(where + ".elements must be >= 0");
+        }
+        add.elements.push_back(static_cast<ElementId>(n));
+      }
+      if (const JsonValue* cost = set.Find("cost")) {
+        SCWSC_ASSIGN_OR_RETURN(add.cost,
+                               RequireNumber(*cost, where + ".cost"));
+      }
+      if (const JsonValue* label = set.Find("label")) {
+        if (!label->is_string()) {
+          return Status::InvalidArgument(where + ".label must be a string");
+        }
+        add.label = label->as_string();
+      }
+      delta.add_sets.push_back(std::move(add));
+    }
+  }
+  if (const JsonValue* sets = entry.Find("remove_sets")) {
+    if (!sets->is_array()) {
+      return Status::InvalidArgument(at + ".remove_sets must be an array");
+    }
+    for (const JsonValue& v : sets->as_array()) {
+      SCWSC_ASSIGN_OR_RETURN(double n, RequireNumber(v, at + ".remove_sets[]"));
+      if (n < 0) {
+        return Status::InvalidArgument(at + ".remove_sets must be >= 0");
+      }
+      delta.remove_sets.push_back(static_cast<SetId>(n));
+    }
+  }
+  return delta;
+}
+
+JsonValue DeltaStatsToJson(const api::DeltaStats& stats,
+                           std::uint64_t content_hash) {
+  char hex[2 + 16 + 1];
+  std::snprintf(hex, sizeof(hex), "0x%016llx",
+                static_cast<unsigned long long>(content_hash));
+  JsonObject o;
+  o["child_version"] = JsonValue(stats.child_version);
+  o["content_hash"] = JsonValue(std::string(hex));
+  o["shards_total"] = JsonValue(stats.shards_total);
+  o["shards_chained"] = JsonValue(stats.shards_chained);
+  o["shards_rehashed"] = JsonValue(stats.shards_rehashed);
+  o["rows_appended"] = JsonValue(stats.rows_appended);
+  o["rows_retracted"] = JsonValue(stats.rows_retracted);
+  o["sets_added"] = JsonValue(stats.sets_added);
+  o["sets_removed"] = JsonValue(stats.sets_removed);
+  return JsonValue(std::move(o));
+}
+
+JsonValue SolverListToJson() {
+  JsonArray solvers;
+  for (const api::SolverInfo& info : api::SolverRegistry::Global().List()) {
+    JsonObject entry;
+    entry["name"] = JsonValue(info.name);
+    entry["summary"] = JsonValue(info.summary);
+    entry["capabilities"] =
+        JsonValue(api::CapabilitiesToString(info.capabilities));
+    JsonArray options;
+    for (const api::OptionSpec& opt : info.options) {
+      JsonObject spec;
+      spec["name"] = JsonValue(opt.name);
+      spec["type"] = JsonValue(std::string(api::OptionTypeToString(opt.type)));
+      spec["default"] = JsonValue(opt.default_value);
+      spec["required"] = JsonValue(opt.required);
+      spec["help"] = JsonValue(opt.help);
+      if (!opt.deprecated_alias.empty()) {
+        spec["deprecated_alias"] = JsonValue(opt.deprecated_alias);
+      }
+      options.push_back(JsonValue(std::move(spec)));
+    }
+    entry["options"] = JsonValue(std::move(options));
+    solvers.push_back(JsonValue(std::move(entry)));
+  }
+  JsonObject root;
+  root["solvers"] = JsonValue(std::move(solvers));
+  return JsonValue(std::move(root));
+}
+
+}  // namespace serve
+}  // namespace scwsc

@@ -1,0 +1,120 @@
+// Versioned wire protocol shared by the serve frontends (the batch file
+// reader and the socket server, src/serve/server.h).
+//
+// Version 2 is the current protocol. A request envelope is one JSON object:
+//
+//   {"version": 2,                // required on v2; absent/1 = legacy v1
+//    "id": "req-17",              // echoed verbatim in the response
+//    "type": "solve",             // solve | delta | ping | list_solvers
+//    "tenant": "acme",            // optional; admission + fair share
+//    ...type-specific fields...}
+//
+// and every response is {"version": 2, "id": ..., "ok": true, "result":
+// {...}} or {"version": 2, "id": ..., "ok": false, "error": {...}} where
+// the error object is the typed envelope below — never free text.
+//
+// v1 payloads (a versionless solve-shaped object, or a batch file without
+// a "version" key) are still accepted; the first one per process logs a
+// deprecation warning (warn-once, same discipline as deprecated solver
+// option aliases). Unknown keys under v2 are not errors: they are
+// collected and echoed back under "forward", so a newer client's fields
+// round-trip through an older server (forward compatibility).
+//
+// docs/serving.md carries the full reference and the v1 -> v2 migration
+// table.
+
+#ifndef SCWSC_SERVE_WIRE_H_
+#define SCWSC_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/api/delta.h"
+#include "src/api/instance.h"
+#include "src/common/result.h"
+#include "src/serve/json.h"
+#include "src/serve/scheduler.h"
+
+namespace scwsc {
+namespace serve {
+
+/// The protocol version this build speaks natively.
+inline constexpr int kWireVersion = 2;
+
+/// The typed error envelope: a 1:1 mapping of Status onto the wire.
+/// `retryable` mirrors the scheduler's own retry classification plus
+/// capacity rejections (Internal, Unavailable, ResourceExhausted);
+/// `retry_after_ms` surfaces a RetryAfterHint payload (open breaker,
+/// tenant quota, full queue) machine-readably, 0 when the status carried
+/// none.
+struct ErrorInfo {
+  std::string code;     // stable StatusCode name, e.g. "ResourceExhausted"
+  std::string message;  // the status message, verbatim
+  bool retryable = false;
+  double retry_after_ms = 0.0;
+};
+
+/// Maps a non-OK Status onto the envelope. Must not be called with OK.
+ErrorInfo ErrorInfoFromStatus(const Status& status);
+
+/// {"code": ..., "message": ..., "retryable": ...} plus "retry_after_ms"
+/// when the hint is positive.
+JsonValue ErrorToJson(const ErrorInfo& error);
+
+/// Logs the v1 deprecation warning once per process per call site tag
+/// ("batch-file", "socket"). Returns true when this call did the warning
+/// (tests reset nothing; the warn-once set is process state).
+bool WarnDeprecatedWireV1(const std::string& where);
+
+/// Validates a payload's "version" key: absent or 1 is legacy v1 (accepted,
+/// warn-once), kWireVersion is current, anything else is InvalidArgument.
+/// Returns the effective version.
+Result<int> CheckWireVersion(const JsonValue& root, const std::string& where);
+
+/// One parsed job object plus its v2 extras. `forward` holds the unknown
+/// keys (v2 only) for the round-trip echo; `repeat` is the batch-file
+/// expansion count (always 1 on the socket path).
+struct ParsedJob {
+  SolveJob job;
+  std::size_t repeat = 1;
+  JsonObject forward;
+};
+
+/// Parses one job-shaped JSON object (a batch "jobs" entry or a socket
+/// "solve" request) into a SolveJob over `instance`. Accepted keys: solver
+/// (required), k, coverage, options, deadline_ms, priority, label, tenant,
+/// repeat. Under version >= 2 unknown keys land in `forward`; under v1 they
+/// are ignored (the legacy behaviour). `at` prefixes error messages
+/// ("jobs[3]"). Envelope keys (version/id/type) are skipped, never
+/// forwarded.
+Result<ParsedJob> ParseJobObject(const JsonValue& entry,
+                                 const api::InstancePtr& instance,
+                                 const std::string& at, int version);
+
+/// Parses the mutation fields of a "delta" request into a SnapshotDelta.
+/// Accepted keys: append_rows ([{"values": [...], "measure": n}]),
+/// retract_rows ([indices]), add_sets ([{"elements": [...], "cost": n,
+/// "label": s}]), remove_sets ([ids]). Validation beyond shape (bounds,
+/// duplicates, arity) happens in api::ApplyDelta, which owns the rules.
+Result<api::SnapshotDelta> ParseDeltaObject(const JsonValue& entry,
+                                            const std::string& at);
+
+/// Renders what one delta application did: child_version, shards
+/// chained/rehashed, row/set op counts, and the child's content hash as a
+/// hex *string* ("0x..."), because a 64-bit hash does not survive the trip
+/// through a JSON double.
+JsonValue DeltaStatsToJson(const api::DeltaStats& stats,
+                           std::uint64_t content_hash);
+
+/// The registry's solver table as machine-readable JSON: {"solvers":
+/// [{"name", "summary", "capabilities", "options": [{"name", "type",
+/// "default", "required", "help", "deprecated_alias"}]}]}. Shared by the
+/// CLI's --list-solvers --json and the socket server's list_solvers so the
+/// two surfaces cannot drift.
+JsonValue SolverListToJson();
+
+}  // namespace serve
+}  // namespace scwsc
+
+#endif  // SCWSC_SERVE_WIRE_H_

@@ -1,0 +1,319 @@
+// The socket front end: a real client over loopback speaking the v2 wire
+// protocol — ping, list_solvers, solve (with tenant and forward-echo),
+// delta advancing the live snapshot, typed errors for malformed requests —
+// plus the SnapshotStore's head semantics.
+
+#include "src/serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/api/delta.h"
+#include "src/api/instance.h"
+#include "src/common/thread_pool.h"
+#include "src/core/set_system.h"
+#include "src/serve/json.h"
+#include "src/serve/scheduler.h"
+#include "src/serve/wire.h"
+
+namespace scwsc {
+namespace {
+
+using api::InstancePtr;
+using serve::JsonValue;
+using serve::SnapshotStore;
+using serve::SolveScheduler;
+using serve::SolveServer;
+
+InstancePtr BlockInstance() {
+  SetSystem system(512);
+  for (std::size_t block = 0; block < 8; ++block) {
+    std::vector<ElementId> elements;
+    for (std::size_t e = block * 64; e < (block + 1) * 64; ++e) {
+      elements.push_back(static_cast<ElementId>(e));
+    }
+    EXPECT_TRUE(system
+                    .AddSet(std::move(elements),
+                            1.0 + 0.1 * static_cast<double>(block),
+                            "block-" + std::to_string(block))
+                    .ok());
+  }
+  ShardingOptions sharding;
+  sharding.num_shards = 4;
+  sharding.min_shard_elements = 64;
+  auto instance =
+      api::InstanceSnapshot::FromSetSystem(std::move(system), sharding);
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return *instance;
+}
+
+/// A blocking loopback client: connect, send request lines, read response
+/// lines. The server is non-blocking; the client does not need to be.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& line) {
+    const std::string body = line + "\n";
+    ASSERT_EQ(::send(fd_, body.data(), body.size(), 0),
+              static_cast<ssize_t>(body.size()));
+  }
+
+  /// Reads one newline-terminated response and parses it.
+  JsonValue ReadResponse() {
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      EXPECT_GT(got, 0) << "connection closed mid-response";
+      if (got <= 0) return JsonValue();
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+    const std::size_t newline = buffer_.find('\n');
+    const std::string line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    auto parsed = serve::ParseJson(line);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << ": " << line;
+    return parsed.ok() ? *parsed : JsonValue();
+  }
+
+  /// Round trip: send, read the (single) response.
+  JsonValue Call(const std::string& line) {
+    Send(line);
+    return ReadResponse();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct ServerFixture {
+  ServerFixture()
+      : pool(2),
+        scheduler(&pool),
+        store(&scheduler.snapshot_cache()),
+        server(&scheduler, &store) {
+    EXPECT_TRUE(store.Put("live", BlockInstance()).ok());
+    EXPECT_TRUE(server.Start().ok());
+    EXPECT_GT(server.port(), 0);
+  }
+
+  ThreadPool pool;
+  SolveScheduler scheduler;
+  SnapshotStore store;
+  SolveServer server;
+};
+
+double NumberAt(const JsonValue& root, const char* key) {
+  const JsonValue* v = root.Find(key);
+  EXPECT_NE(v, nullptr) << key;
+  return v != nullptr && v->is_number() ? v->as_number() : -1.0;
+}
+
+TEST(SnapshotStoreTest, HeadsAdvanceAndOldVersionsStayUsable) {
+  SnapshotStore store;
+  EXPECT_EQ(store.Get("live").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Put("", BlockInstance()).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(store.Put("live", BlockInstance()).ok());
+  auto v0 = store.Get("live");
+  ASSERT_TRUE(v0.ok());
+
+  api::SnapshotDelta delta;
+  api::SnapshotDelta::SetAdd add;
+  add.elements = {500};
+  add.cost = 0.5;
+  add.label = "extra";
+  delta.add_sets.push_back(std::move(add));
+  auto applied = store.Apply("live", delta);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->stats.child_version, 1u);
+
+  auto v1 = store.Get("live");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_NE((*v0)->content_hash(), (*v1)->content_hash());
+  EXPECT_EQ((*v0)->delta_version(), 0u);  // the old version is untouched
+  EXPECT_EQ(store.Apply("absent", delta).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.Names(), std::vector<std::string>{"live"});
+}
+
+TEST(ServerTest, PingAndListSolvers) {
+  ServerFixture fx;
+  Client client(fx.server.port());
+
+  JsonValue pong = client.Call(
+      R"({"version": 2, "id": "p1", "type": "ping"})");
+  EXPECT_EQ(NumberAt(pong, "version"), 2.0);
+  ASSERT_NE(pong.Find("id"), nullptr);
+  EXPECT_EQ(pong.Find("id")->as_string(), "p1");
+  ASSERT_NE(pong.Find("ok"), nullptr);
+  EXPECT_TRUE(pong.Find("ok")->as_bool());
+
+  JsonValue solvers = client.Call(
+      R"({"version": 2, "id": "p2", "type": "list_solvers"})");
+  ASSERT_NE(solvers.Find("result"), nullptr);
+  const JsonValue* list = solvers.Find("result")->Find("solvers");
+  ASSERT_NE(list, nullptr);
+  EXPECT_GT(list->as_array().size(), 3u);
+  // Every entry carries its OptionsSpec table.
+  for (const JsonValue& entry : list->as_array()) {
+    EXPECT_NE(entry.Find("name"), nullptr);
+    EXPECT_NE(entry.Find("options"), nullptr);
+  }
+}
+
+TEST(ServerTest, SolveOverTheWireWithTenantAndForwardEcho) {
+  ServerFixture fx;
+  Client client(fx.server.port());
+
+  JsonValue response = client.Call(
+      R"({"version": 2, "id": "s1", "type": "solve", "snapshot": "live",)"
+      R"( "solver": "greedy-wsc", "k": 4, "coverage": 0.5,)"
+      R"( "tenant": "acme", "future_hint": {"x": 1}})");
+  ASSERT_NE(response.Find("ok"), nullptr);
+  EXPECT_TRUE(response.Find("ok")->as_bool())
+      << response.Dump();
+  EXPECT_EQ(response.Find("id")->as_string(), "s1");
+  // The unknown key round-trips under "forward".
+  ASSERT_NE(response.Find("forward"), nullptr);
+  EXPECT_NE(response.Find("forward")->Find("future_hint"), nullptr);
+  const JsonValue* result = response.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(NumberAt(*result, "num_sets"), 0.0);
+  EXPECT_GT(NumberAt(*result, "covered"), 0.0);
+  // The tenant-scoped completion counter moved.
+  EXPECT_GE(fx.scheduler.metrics().CounterValue("serve.tenant.acme.completed"),
+            1u);
+}
+
+TEST(ServerTest, DeltaAdvancesTheLiveSnapshotAndSharesShards) {
+  ServerFixture fx;
+  Client client(fx.server.port());
+
+  JsonValue response = client.Call(
+      R"({"version": 2, "id": "d1", "type": "delta", "snapshot": "live",)"
+      R"( "add_sets": [{"elements": [500, 501], "cost": 0.5,)"
+      R"( "label": "hot"}]})");
+  ASSERT_NE(response.Find("ok"), nullptr);
+  EXPECT_TRUE(response.Find("ok")->as_bool()) << response.Dump();
+  const JsonValue* result = response.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(NumberAt(*result, "child_version"), 1.0);
+  EXPECT_EQ(NumberAt(*result, "shards_chained"), 3.0);
+  EXPECT_EQ(NumberAt(*result, "shards_rehashed"), 1.0);
+  ASSERT_NE(result->Find("content_hash"), nullptr);
+  EXPECT_EQ(result->Find("content_hash")->as_string().substr(0, 2), "0x");
+  // Publishing parent then child through the cache counts shared shards.
+  EXPECT_GE(fx.scheduler.metrics().CounterValue(
+                "serve.snapshot_cache.shard_shared"),
+            3u);
+
+  // A solve against the advanced head sees the new set.
+  JsonValue solve = client.Call(
+      R"({"version": 2, "id": "d2", "type": "solve", "snapshot": "live",)"
+      R"( "solver": "greedy-wsc", "k": 8, "coverage": 0.9})");
+  EXPECT_TRUE(solve.Find("ok")->as_bool()) << solve.Dump();
+}
+
+TEST(ServerTest, TypedErrorsForBadRequests) {
+  ServerFixture fx;
+  Client client(fx.server.port());
+
+  // Malformed JSON.
+  JsonValue bad = client.Call("{nope");
+  EXPECT_FALSE(bad.Find("ok")->as_bool());
+  ASSERT_NE(bad.Find("error"), nullptr);
+  EXPECT_EQ(bad.Find("error")->Find("code")->as_string(), "InvalidArgument");
+
+  // Unknown snapshot: typed NotFound, not retryable.
+  JsonValue missing = client.Call(
+      R"({"version": 2, "id": "e1", "type": "solve",)"
+      R"( "snapshot": "absent", "solver": "greedy-wsc"})");
+  EXPECT_FALSE(missing.Find("ok")->as_bool());
+  EXPECT_EQ(missing.Find("error")->Find("code")->as_string(), "NotFound");
+  EXPECT_FALSE(missing.Find("error")->Find("retryable")->as_bool());
+  EXPECT_EQ(missing.Find("id")->as_string(), "e1");
+
+  // Unsupported version: typed InvalidArgument naming the supported ones.
+  JsonValue future = client.Call(R"({"version": 9, "type": "ping"})");
+  EXPECT_FALSE(future.Find("ok")->as_bool());
+
+  // Unknown type.
+  JsonValue unknown = client.Call(
+      R"({"version": 2, "type": "teleport", "snapshot": "live"})");
+  EXPECT_FALSE(unknown.Find("ok")->as_bool());
+
+  // The connection survives all of the above.
+  JsonValue pong = client.Call(R"({"version": 2, "type": "ping"})");
+  EXPECT_TRUE(pong.Find("ok")->as_bool());
+}
+
+TEST(ServerTest, V1PayloadIsAcceptedAsLegacySolve) {
+  ServerFixture fx;
+  Client client(fx.server.port());
+  // A bare versionless solve-shaped object: the v1 form (warn-once fires
+  // at most once per process; not asserted here).
+  JsonValue response = client.Call(
+      R"({"snapshot": "live", "solver": "greedy-wsc", "k": 4,)"
+      R"( "coverage": 0.5, "mystery": true})");
+  ASSERT_NE(response.Find("ok"), nullptr);
+  EXPECT_TRUE(response.Find("ok")->as_bool()) << response.Dump();
+  // v1 ignores unknown keys instead of forwarding them.
+  EXPECT_EQ(response.Find("forward"), nullptr);
+}
+
+TEST(ServerTest, PipelinedRequestsAllComplete) {
+  ServerFixture fx;
+  Client client(fx.server.port());
+  const int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    client.Send(
+        R"({"version": 2, "id": "b)" + std::to_string(i) +
+        R"(", "type": "solve", "snapshot": "live",)"
+        R"( "solver": "greedy-wsc", "k": 4, "coverage": 0.5})");
+  }
+  int ok = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    JsonValue response = client.ReadResponse();
+    if (response.Find("ok") != nullptr && response.Find("ok")->as_bool()) {
+      ++ok;
+    }
+  }
+  EXPECT_EQ(ok, kRequests);
+}
+
+TEST(ServerTest, StopIsIdempotentAndRestartable) {
+  ServerFixture fx;
+  fx.server.Stop();
+  fx.server.Stop();
+  EXPECT_EQ(fx.server.port(), 0);
+  ASSERT_TRUE(fx.server.Start().ok());
+  EXPECT_GT(fx.server.port(), 0);
+  Client client(fx.server.port());
+  EXPECT_TRUE(client.Call(R"({"version": 2, "type": "ping"})")
+                  .Find("ok")
+                  ->as_bool());
+}
+
+}  // namespace
+}  // namespace scwsc
